@@ -1,0 +1,79 @@
+"""A2 — ablation: checkpoint interval.
+
+The paper argues checkpointing is off the critical path (Section VII-A)
+and that catch-up cost after a disconnection is governed by how much log
+follows the last stable checkpoint. This ablation sweeps the interval C:
+
+- steady-state latency should be flat in C (off the critical path),
+- the reconnection catch-up burst should grow with C (more updates to
+  ship and replay).
+"""
+
+import pytest
+
+from repro.system import Mode, SystemConfig, build
+
+from benchmarks.conftest import record_result
+
+INTERVALS = (20, 60, 180)
+
+
+def run_with_interval(interval: int):
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL,
+        f=1,
+        num_clients=10,
+        seed=17,
+        checkpoint_interval=interval,
+    )
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=60.0)
+    # Disconnect and rejoin a non-leader on-premises site to force the
+    # catch-up path.
+    deployment.kernel.call_at(25.0, deployment.attacks.isolate_site, "cc-b")
+    deployment.kernel.call_at(40.0, deployment.attacks.reconnect_site, "cc-b")
+    deployment.run(until=65.0)
+    steady = deployment.recorder.stats(since=5.0, until=25.0)
+    xfer_bytes = sum(
+        e.detail.get("size", 0)
+        for e in deployment.tracer.events
+        if e.category == "net.drop"
+    )
+    rejoined = [deployment.replicas[h] for h in deployment.on_premises_hosts if h.startswith("cc-b")]
+    transfers = sum(r.xfer.completed_count for r in rejoined)
+    catch_max = deployment.recorder.max_latency(since=39.0, until=50.0)
+    converged = len({r.executed_ordinal() for r in deployment.replicas.values()}) == 1
+    return steady, catch_max, transfers, converged
+
+
+def test_checkpoint_interval_sweep(benchmark):
+    results = {}
+
+    def sweep():
+        for interval in INTERVALS:
+            results[interval] = run_with_interval(interval)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation A2 — checkpoint interval C (steady latency vs catch-up):",
+        "",
+        f"{'C':>6s}{'steady avg':>14s}{'catch-up max':>15s}{'transfers':>11s}{'converged':>11s}",
+    ]
+    for interval in INTERVALS:
+        steady, catch_max, transfers, converged = results[interval]
+        lines.append(
+            f"{interval:6d}{steady.average * 1000:12.1f}ms{catch_max * 1000:13.1f}ms"
+            f"{transfers:11d}{str(converged):>11s}"
+        )
+    record_result("ablation_checkpoint", lines)
+    for line in lines:
+        print(line)
+
+    averages = [results[i][0].average for i in INTERVALS]
+    # Off the critical path: steady-state averages within 10% of each other.
+    assert max(averages) - min(averages) < 0.10 * min(averages) + 0.002
+    # Every interval converges after the attack.
+    assert all(results[i][3] for i in INTERVALS)

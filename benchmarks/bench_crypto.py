@@ -1,0 +1,105 @@
+"""A4 — cryptographic primitive microbenchmarks (Section VI-B substrate).
+
+Measures the real wall-clock cost of every primitive on the critical
+path: AES block/CBC, the deterministic HMAC-IV construction, RSA
+signatures, and Shoup threshold RSA (partial, combine, verify). These are
+the pure-Python costs; the *simulated* costs charged inside deployments
+come from :class:`repro.costs.CostModel` (calibrated to C/OpenSSL-class
+implementations) — this benchmark documents the gap.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import cbc_encrypt
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.shamir import reconstruct_bytes, split_bytes
+from repro.crypto.symmetric import decrypt, derive_keypair, encrypt
+from repro.crypto.threshold import combine_partials, generate_threshold_key
+
+KEY = bytes(range(32))
+BLOCK = bytes(range(16))
+UPDATE = b"x" * 100          # a typical SCADA status report
+CHECKPOINT = b"y" * 8192     # a small state snapshot
+
+
+@pytest.fixture(scope="module")
+def aes():
+    return AES(KEY)
+
+
+@pytest.fixture(scope="module")
+def sym_keys():
+    return derive_keypair(b"bench")
+
+
+@pytest.fixture(scope="module")
+def rsa():
+    return generate_keypair(512, random.Random(1))
+
+
+@pytest.fixture(scope="module")
+def tsig():
+    return generate_threshold_key(384, 2, 8, random.Random(2))
+
+
+def test_aes_encrypt_block(benchmark, aes):
+    benchmark(aes.encrypt_block, BLOCK)
+
+
+def test_aes_decrypt_block(benchmark, aes):
+    benchmark(aes.decrypt_block, BLOCK)
+
+
+def test_aes_cbc_1kb(benchmark, aes):
+    benchmark(cbc_encrypt, aes, BLOCK, b"z" * 1024)
+
+
+def test_symmetric_encrypt_update(benchmark, sym_keys):
+    benchmark(encrypt, sym_keys, UPDATE)
+
+
+def test_symmetric_decrypt_update(benchmark, sym_keys):
+    blob = encrypt(sym_keys, UPDATE)
+    benchmark(decrypt, sym_keys, blob)
+
+
+def test_symmetric_encrypt_checkpoint(benchmark, sym_keys):
+    benchmark(encrypt, sym_keys, CHECKPOINT)
+
+
+def test_rsa_sign(benchmark, rsa):
+    benchmark(rsa.sign, UPDATE)
+
+
+def test_rsa_verify(benchmark, rsa):
+    signature = rsa.sign(UPDATE)
+    benchmark(rsa.public.verify, UPDATE, signature)
+
+
+def test_threshold_partial_sign(benchmark, tsig):
+    benchmark(tsig.shares[1].sign_partial, UPDATE)
+
+
+def test_threshold_combine(benchmark, tsig):
+    partials = [tsig.shares[i].sign_partial(UPDATE) for i in (1, 2)]
+    benchmark(combine_partials, tsig.public, UPDATE, partials)
+
+
+def test_threshold_verify(benchmark, tsig):
+    partials = [tsig.shares[i].sign_partial(UPDATE) for i in (1, 2)]
+    signature = combine_partials(tsig.public, UPDATE, partials)
+    benchmark(tsig.public.verify, UPDATE, signature)
+
+
+def test_shamir_split(benchmark):
+    rng = random.Random(3)
+    benchmark(split_bytes, UPDATE, 2, 8, rng)
+
+
+def test_shamir_reconstruct(benchmark):
+    shares = split_bytes(UPDATE, 2, 8, random.Random(3))
+    subset = {1: shares[1], 5: shares[5]}
+    benchmark(reconstruct_bytes, subset)

@@ -1,0 +1,161 @@
+"""E3 — Figure 2: latency under proactive recoveries and site disconnections.
+
+Reproduces the paper's attack timeline on the Confidential Spire
+"4+4+3+3" configuration (10 clients at 1 update/s):
+
+    paper event                      ours (seconds into the run)
+    1:00-1:30 leader recovery        60-68   (view change; one spike)
+    2:00 leader-site disconnected    120     (view change; brief spike,
+                                              slightly elevated average)
+    2:30 site reconnects             150     (catch-up burst)
+    3:15-3:45 non-leader recovery    195-203 (no visible impact)
+    4:19 non-leader site (DC) cut    259     (no view change, no spike)
+    5:00 site reconnects             300     (catch-up burst)
+
+Shape assertions mirror the paper's observations: leader events cause
+view changes and the only >100 ms excursions; non-leader events are nearly
+invisible; every update still completes; the system converges afterwards.
+Absolute spike heights depend on flow-control engineering (the paper's
+prototype reached 450 ms on reconnection; ours is milder), so the
+assertions are on structure, not on matching the spike heights.
+"""
+
+import pytest
+
+from repro.system import Mode, SystemConfig, build
+
+from benchmarks.conftest import record_result
+
+WINDOWS = [
+    ("baseline", 5.0, 58.0),
+    ("leader recovery", 58.0, 72.0),
+    ("steady", 72.0, 118.0),
+    ("leader site cut", 118.0, 126.0),
+    ("during disconnection", 126.0, 149.0),
+    ("reconnection", 149.0, 160.0),
+    ("steady 2", 160.0, 193.0),
+    ("non-leader recovery", 193.0, 207.0),
+    ("steady 3", 207.0, 257.0),
+    ("dc site cut+gone", 257.0, 299.0),
+    ("dc reconnection", 299.0, 310.0),
+    ("tail", 310.0, 355.0),
+]
+
+
+def run_timeline():
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL, f=1, num_clients=10, seed=7, checkpoint_interval=50
+    )
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=355.0)
+
+    deployment.run(until=60.0)
+    leader_0 = deployment.current_leader()
+    deployment.recovery.schedule_recovery(leader_0, 60.0, 8.0)
+
+    deployment.run(until=120.0)
+    leader_site = deployment.site_of_host(deployment.current_leader())
+    deployment.attacks.isolate_site(leader_site)
+    deployment.run(until=150.0)
+    deployment.attacks.reconnect_site(leader_site)
+
+    deployment.run(until=195.0)
+    leader_now = deployment.current_leader()
+    non_leader = next(
+        h
+        for h in deployment.on_premises_hosts
+        if h != leader_now and h != leader_0
+        and deployment.site_of_host(h) != deployment.site_of_host(leader_now)
+    )
+    deployment.recovery.schedule_recovery(non_leader, 195.0, 8.0)
+
+    deployment.run(until=259.0)
+    deployment.attacks.isolate_site("dc-2")
+    deployment.run(until=300.0)
+    deployment.attacks.reconnect_site("dc-2")
+
+    deployment.run(until=360.0)
+    return deployment, leader_site
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return run_timeline()
+
+
+def window_stats(deployment, start, end):
+    values = [l for t, l in deployment.recorder.timeline() if start <= t < end]
+    if not values:
+        return None, None
+    return max(values), sum(values) / len(values)
+
+
+def test_figure2_timeline(benchmark, timeline):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    deployment, leader_site = timeline
+
+    lines = [
+        "Figure 2 — latency under recoveries and disconnections "
+        "(Confidential Spire 4+4+3+3, 10 clients @ 1/s):",
+        "",
+        f"{'window':24s}{'max':>10s}{'avg':>10s}",
+    ]
+    stats = {}
+    for name, start, end in WINDOWS:
+        mx, avg = window_stats(deployment, start, end)
+        stats[name] = (mx, avg)
+        lines.append(f"{name:24s}{mx * 1000:9.1f}ms{avg * 1000:9.1f}ms")
+    lines.append("")
+    views = sorted({r.engine.view for r in deployment.replicas.values()})
+    lines.append(f"final views: {views}; leader site attacked: {leader_site}")
+    spikes = [
+        (round(t, 1), round(l * 1000, 1))
+        for t, l in deployment.recorder.timeline()
+        if l > 0.100
+    ]
+    lines.append(f">100 ms updates (time, ms): {spikes}")
+    record_result("fig2", lines)
+    for line in lines:
+        print(line)
+
+    base_max, base_avg = stats["baseline"]
+
+    # Paper: proactive recovery of a non-leader "has almost no impact".
+    nl_max, nl_avg = stats["non-leader recovery"]
+    assert nl_max < 0.100
+    assert nl_avg < base_avg * 1.2
+
+    # Paper: no latency spike when a non-leader (DC) site is disconnected.
+    dc_max, _dc_avg = stats["dc site cut+gone"]
+    assert dc_max < 0.120
+
+    # Paper: during an on-premises disconnection the average rises
+    # modestly (the fastest quorum is gone) but stays within bounds.
+    _cut_max, cut_avg = stats["during disconnection"]
+    assert cut_avg < 0.100
+    assert cut_avg > base_avg * 0.9
+
+    # Paper: leader events (recovery, site cut) are where view changes
+    # and the worst latencies live.
+    lr_max, _ = stats["leader recovery"]
+    lc_max, _ = stats["leader site cut"]
+    assert max(lr_max, lc_max) > base_max
+    assert max(views) >= 2  # leader recovery + leader site cut
+
+    # Every update completes; the system converges afterwards.
+    for proxy in deployment.proxies.values():
+        assert proxy.outstanding == 0
+    assert len({r.executed_ordinal() for r in deployment.replicas.values()}) == 1
+    deployment.auditor.assert_clean(set(deployment.data_center_hosts))
+
+    # Timeliness: nothing ever exceeds the paper's 200 ms degraded bound
+    # by more than the reconnection bursts the paper itself reports
+    # (200-450 ms); and >100 ms excursions are confined to attack windows.
+    assert deployment.recorder.max_latency() < 0.450
+    for t, _l in [(t, l) for t, l in deployment.recorder.timeline() if l > 0.100]:
+        assert any(
+            start <= t < end
+            for name, start, end in WINDOWS
+            if "leader" in name or "reconnection" in name
+        ), f"unexpected spike outside attack windows at t={t:.1f}"

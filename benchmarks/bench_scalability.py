@@ -1,0 +1,87 @@
+"""A5 — extension: scalability beyond the paper's configurations.
+
+The paper evaluates f=1 and f=2. This bench extends the same measurement
+along two axes the design arguments predict:
+
+1. **Fault tolerance**: f = 1, 2, 3 for Confidential Spire (Table I's
+   column two: 14, 21, 28 replicas). Latency should grow moderately with
+   the quadratic message volume, while staying within the 100 ms SCADA
+   bound — the design claims the architecture scales to f=3.
+2. **Load**: update rate x1, x2, x4 at f=1. Prime's batching should
+   absorb added load with sublinear latency growth (more updates share
+   each proposal).
+"""
+
+import pytest
+
+from repro.system import Mode, SystemConfig, build
+
+from benchmarks.conftest import record_result
+
+
+def run(f: int, interval: float, seed: int = 37, duration: float = 40.0):
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL,
+        f=f,
+        num_clients=10,
+        seed=seed,
+        update_interval=interval,
+    )
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=duration)
+    deployment.run(until=duration + 3.0)
+    return deployment
+
+
+def test_latency_vs_fault_tolerance(benchmark):
+    results = {}
+
+    def sweep():
+        for f in (1, 2, 3):
+            results[f] = run(f, interval=1.0)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Scalability — latency vs tolerated intrusions (Confidential Spire):", ""]
+    # The SCADA bound: 100 ms normally, 200 ms tolerable (Section VII-B).
+    # f=1 and f=2 (the paper's configurations) essentially always meet
+    # 100 ms; f=3 (beyond the paper) develops a tail but stays within the
+    # degraded bound.
+    floors = {1: 100.0, 2: 99.0, 3: 90.0}
+    for f, deployment in results.items():
+        stats = deployment.recorder.stats()
+        lines.append(stats.row(f"f={f} ({deployment.plan.label()})"))
+        assert stats.pct_under_100ms >= floors[f]
+        assert stats.pct_under_200ms == 100.0
+        deployment.auditor.assert_clean(set(deployment.data_center_hosts))
+    averages = [results[f].recorder.stats().average for f in (1, 2, 3)]
+    assert averages[0] < averages[1] < averages[2], "latency grows with f"
+    # ... but stays moderate: f=3 within 1.5x of f=1.
+    assert averages[2] < averages[0] * 1.5
+    record_result("scalability_f", lines)
+    for line in lines:
+        print(line)
+
+
+def test_latency_vs_load(benchmark):
+    results = {}
+
+    def sweep():
+        for rate, interval in ((1, 1.0), (2, 0.5), (4, 0.25)):
+            results[rate] = run(1, interval=interval, duration=30.0)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Scalability — latency vs per-client update rate (f=1):", ""]
+    for rate, deployment in results.items():
+        stats = deployment.recorder.stats()
+        lines.append(stats.row(f"{rate} upd/s per client (n={stats.count})"))
+        assert stats.pct_under_200ms == 100.0
+    base = results[1].recorder.stats().average
+    heavy = results[4].recorder.stats().average
+    # Batching absorbs 4x load with far less than 4x latency.
+    assert heavy < base * 1.5
+    record_result("scalability_load", lines)
+    for line in lines:
+        print(line)

@@ -1,0 +1,48 @@
+"""E1 — Table I: replica distribution configurations.
+
+Regenerates the paper's Table I (system configurations tolerating a
+proactive recovery, a disconnected site, and 1-3 intrusions, for 1-3 data
+centers) and checks it cell-for-cell, plus the Spire baselines used in
+Table II.
+"""
+
+from repro.core.distribution import plan_confidential, plan_spire, table_one
+
+from benchmarks.conftest import record_result
+
+PAPER_TABLE_ONE = [
+    ["6+6+6 (18)", "4+4+3+3 (14)", "4+4+2+2+2 (14)"],
+    ["9+9+9 (27)", "6+6+5+4 (21)", "6+6+3+3+3 (21)"],
+    ["12+12+12 (36)", "8+8+6+6 (28)", "8+8+4+4+4 (28)"],
+]
+
+
+def test_table1_reproduction(benchmark):
+    table = benchmark(table_one)
+    assert table == PAPER_TABLE_ONE
+
+    lines = ["Table I — replica distributions (ours == paper, exact):", ""]
+    header = f"{'':8s}" + "".join(f"{f'{d} data centers':>18s}" for d in (1, 2, 3))
+    lines.append(header)
+    for f, row in zip((1, 2, 3), table):
+        lines.append(f"f = {f}   " + "".join(f"{cell:>18s}" for cell in row))
+    lines.append("")
+    lines.append("Spire 1.2 baselines (Section VII-A):")
+    lines.append(f"  f=1: {plan_spire(1, 2).label()}   (paper: 3+3+3+3 (12))")
+    lines.append(f"  f=2: {plan_spire(2, 2).label()}   (paper: 5+5+5+4 (19))")
+    record_result("table1", lines)
+    for line in lines:
+        print(line)
+
+
+def test_table1_derived_quorums(benchmark):
+    def derive():
+        return [
+            (plan_confidential(f, d).quorum, plan_confidential(f, d).k)
+            for f in (1, 2, 3)
+            for d in (1, 2, 3)
+        ]
+
+    quorums = benchmark(derive)
+    # Spot-check the flagship config: f=1, 2 DCs -> k=5, quorum 8.
+    assert quorums[1] == (8, 5)

@@ -1,0 +1,55 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates a paper table or figure (or an ablation) and
+prints the rows it produces; the same rows are appended to
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable outputs.
+
+Scale: by default runs are shortened relative to the paper's 1-hour
+experiments (latency distributions converge with far fewer samples in a
+deterministic simulation). Set ``REPRO_BENCH_FULL=1`` to reproduce the
+full 3600 s / 36 000-update runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Tuple
+
+import pytest
+
+from repro.system import Deployment, Mode, SystemConfig, build
+from repro.system.metrics import LatencyStats
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL") == "1"
+TABLE2_DURATION = 3600.0 if FULL_SCALE else 60.0
+FIG2_SCALE = 1.0 if FULL_SCALE else 1.0  # Figure 2 is a 6-minute timeline either way
+
+
+def record_result(name: str, lines) -> None:
+    """Write one experiment's rows to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+
+
+def run_latency_config(
+    mode: Mode, f: int, seed: int = 3, duration: float = TABLE2_DURATION, **overrides
+) -> Tuple[Deployment, LatencyStats]:
+    """Run one Table II configuration and return its stats."""
+    config = SystemConfig(mode=mode, f=f, num_clients=10, seed=seed, **overrides)
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=duration)
+    deployment.run(until=duration + 3.0)
+    return deployment, deployment.recorder.stats()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Bring your own application: CP-ITM as generic middleware.
+
+Section VI-A: "The CP-ITM is intended to be a generic middleware that can
+handle client communication and state management/transfer for any
+application." This example proves it by running a completely different
+application — an alarm-management service for industrial operators — on
+the same confidential, intrusion-tolerant substrate, with zero changes to
+the library.
+
+An application only needs to be a deterministic state machine
+(:class:`repro.core.app.Application`): execute ordered updates, snapshot,
+restore. Everything else — encryption, threshold signatures, ordering,
+checkpoints, recovery from data centers — is inherited.
+
+Run:  python examples/custom_application.py
+"""
+
+import json
+from typing import Optional
+
+from repro.core.app import Application
+from repro.system import Mode, SystemConfig, build
+
+
+class AlarmManager(Application):
+    """Tracks raised/acknowledged/cleared alarms with priorities.
+
+    Update grammar (JSON): {"op": "raise"|"ack"|"clear", "alarm": id,
+    "priority": 1-5} and {"op": "list"}.
+    """
+
+    def __init__(self) -> None:
+        self._alarms = {}      # id -> {"state": ..., "priority": ...}
+        self._sequence = 0
+
+    def execute(self, client_id: str, client_seq: int, body: bytes) -> Optional[bytes]:
+        try:
+            update = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return b'{"ok": false}'
+        self._sequence += 1
+        op = update.get("op")
+        alarm_id = update.get("alarm")
+        if op == "raise":
+            self._alarms[alarm_id] = {
+                "state": "active",
+                "priority": int(update.get("priority", 3)),
+                "raised_by": client_id,
+            }
+            return json.dumps({"ok": True, "alarm": alarm_id, "state": "active"}).encode()
+        if op == "ack" and alarm_id in self._alarms:
+            self._alarms[alarm_id]["state"] = "acknowledged"
+            return json.dumps({"ok": True, "alarm": alarm_id, "state": "acknowledged"}).encode()
+        if op == "clear" and alarm_id in self._alarms:
+            del self._alarms[alarm_id]
+            return json.dumps({"ok": True, "alarm": alarm_id, "state": "cleared"}).encode()
+        if op == "list":
+            active = sorted(
+                (a, v["priority"]) for a, v in self._alarms.items() if v["state"] == "active"
+            )
+            return json.dumps({"ok": True, "active": active}).encode()
+        return json.dumps({"ok": False, "error": "bad-op"}).encode()
+
+    def snapshot(self) -> bytes:
+        return json.dumps(
+            {"alarms": self._alarms, "sequence": self._sequence}, sort_keys=True
+        ).encode("utf-8")
+
+    def restore(self, blob: bytes) -> None:
+        state = json.loads(blob.decode("utf-8"))
+        self._alarms = state["alarms"]
+        self._sequence = int(state["sequence"])
+
+
+def main() -> None:
+    deployment = build(
+        SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=3, seed=7),
+        app_factory=AlarmManager,
+    )
+    deployment.start()
+
+    operator_a, operator_b, monitor = (deployment.proxies[c] for c in sorted(deployment.proxies))
+    replies = []
+    monitor.on_response(lambda seq, body, latency: replies.append(json.loads(body)))
+
+    def send(proxy, update):
+        proxy.submit(json.dumps(update, sort_keys=True).encode())
+
+    kernel = deployment.kernel
+    kernel.call_at(0.5, send, operator_a, {"op": "raise", "alarm": "xfmr-2-overtemp", "priority": 1})
+    kernel.call_at(1.0, send, operator_b, {"op": "raise", "alarm": "feeder-7-overload", "priority": 2})
+    kernel.call_at(2.0, send, operator_a, {"op": "ack", "alarm": "xfmr-2-overtemp"})
+    kernel.call_at(3.0, send, monitor, {"op": "list"})
+    # Mid-run: recover a replica; the alarm state survives via encrypted
+    # checkpoints + replay, untouched library code.
+    deployment.recovery.schedule_recovery("cc-b-r2", 4.0, 3.0)
+    kernel.call_at(9.0, send, operator_b, {"op": "clear", "alarm": "feeder-7-overload"})
+    kernel.call_at(10.0, send, monitor, {"op": "list"})
+    deployment.run(until=12.0)
+
+    print("monitor's replicated reads:")
+    for reply in replies:
+        print(f"  {reply}")
+
+    snapshots = {r.app.snapshot() for r in deployment.executing_replicas()}
+    recovered = deployment.replicas["cc-b-r2"]
+    print(f"\nall {len(deployment.executing_replicas())} alarm managers agree: "
+          f"{len(snapshots) == 1} (including recovered {recovered.host}, "
+          f"incarnation {recovered.incarnation})")
+    deployment.auditor.assert_clean(set(deployment.data_center_hosts))
+    print("alarm data never reached data centers in plaintext")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Power-grid SCADA on Confidential Spire (the paper's application).
+
+Wires the full stack the paper describes: a modeled power grid with
+substations, RTU field units polling them once per second, an HMI console
+issuing supervisory breaker commands and reading grid state back — all
+through the replicated, confidentiality-preserving SCADA master.
+
+Also demonstrates that the replicated masters converge and that operator
+commands take effect at every on-premises replica while data centers see
+only ciphertext.
+
+Run:  python examples/scada_grid.py
+"""
+
+from repro.scada import HmiConsole, PowerGrid, RtuFieldUnit, ScadaMaster
+from repro.system import Mode, SystemConfig, build
+
+
+def main() -> None:
+    config = SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=6, seed=42)
+    deployment = build(config, app_factory=ScadaMaster)
+    deployment.start()
+
+    grid = PowerGrid(num_substations=5, seed=42)
+    client_ids = sorted(deployment.proxies)
+
+    # Five RTUs report their substations once per second; the sixth
+    # client is the operator's HMI.
+    rtus = []
+    for index in range(5):
+        rtu = RtuFieldUnit(
+            deployment.kernel,
+            deployment.proxies[client_ids[index]],
+            grid,
+            substation_id=f"sub-{index:02d}",
+            report_interval=1.0,
+            jitter_rng=deployment.rng.stream(f"rtu.{index}"),
+        )
+        rtu.start(duration=40.0, phase=0.5 + 0.15 * index)
+        rtus.append(rtu)
+
+    hmi = HmiConsole(deployment.kernel, deployment.proxies[client_ids[5]])
+    # The operator trips a breaker at t=10 s, closes it again at t=25 s,
+    # and patrols the grid state every 5 s.
+    deployment.kernel.call_at(10.0, hmi.send_breaker_command, "sub-02", "sub-02-brk-1", "open")
+    deployment.kernel.call_at(25.0, hmi.send_breaker_command, "sub-02", "sub-02-brk-1", "close")
+    hmi.patrol([f"sub-{i:02d}" for i in range(5)], interval=5.0)
+
+    deployment.run(until=45.0)
+
+    print("=== SCADA traffic ===")
+    for rtu in rtus:
+        print(f"{rtu.substation_id}: {rtu.reports_sent} reports, "
+              f"{rtu.acks_received} threshold-signed acks")
+    print(f"HMI: {len(hmi.command_results)} command results, "
+          f"{len(hmi.read_results)} substations read")
+    for result in hmi.command_results:
+        print(f"  command result: {result}")
+
+    print()
+    print("=== replicated master state ===")
+    masters = [r.app for r in deployment.executing_replicas()]
+    snapshots = {m.snapshot() for m in masters}
+    print(f"masters in agreement: {len(snapshots) == 1} "
+          f"({len(masters)} replicas, {masters[0].status_count} status updates, "
+          f"{masters[0].command_count} commands)")
+    print(f"breaker sub-02-brk-1 commanded state (True=closed): "
+          f"{masters[0].breaker_command('sub-02-brk-1')}")
+
+    print()
+    print("=== latency and confidentiality ===")
+    print(deployment.recorder.stats().row("scada on confidential spire"))
+    deployment.auditor.assert_clean(set(deployment.data_center_hosts))
+    print("grid state never reached a data-center host in plaintext")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Confidential Spire: a reproduction of "Toward Intrusion Tolerance as a
+Service: Confidentiality in Partially Cloud-Based BFT Systems" (Khan &
+Babay, DSN 2021).
+
+The library is layered bottom-up:
+
+- :mod:`repro.sim` — deterministic discrete-event simulation kernel,
+- :mod:`repro.crypto` — from-scratch AES-256-CBC, RSA, Shamir sharing,
+  Shoup threshold RSA, and the TPM/SGX hardware-key model,
+- :mod:`repro.net` — geographic topology, Spines-style intrusion-tolerant
+  overlay, bandwidth/latency transport, and attack injection,
+- :mod:`repro.prime` — the Prime-style intrusion-tolerant replication
+  engine (pre-ordering, summary ordering, view changes),
+- :mod:`repro.core` — the paper's contribution: replica distribution
+  rules, threshold-signed introduction of encrypted updates, encrypted
+  checkpoints, data-center-only state transfer, key renewal, and the
+  executing/storage replica roles,
+- :mod:`repro.scada` — the power-grid SCADA application,
+- :mod:`repro.system` — deployment builder, proactive recovery, metrics,
+- :mod:`repro.baselines` — related-work comparison systems.
+
+Quickstart::
+
+    from repro.system import SystemConfig, Mode, build
+
+    deployment = build(SystemConfig(mode=Mode.CONFIDENTIAL, f=1))
+    deployment.start()
+    deployment.start_workload(duration=30.0)
+    deployment.run(until=35.0)
+    print(deployment.recorder.stats().row("confidential f=1"))
+    deployment.auditor.assert_clean(set(deployment.data_center_hosts))
+"""
+
+from repro.costs import FREE, CostModel
+from repro.errors import (
+    ConfidentialityViolation,
+    ConfigurationError,
+    CryptoError,
+    DecryptionError,
+    KeyExfiltrationError,
+    KeyScheduleError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SignatureError,
+    SimulationError,
+    StateTransferError,
+    UnreachableError,
+)
+from repro.system import Deployment, Mode, SystemConfig, build
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "FREE",
+    "Deployment",
+    "Mode",
+    "SystemConfig",
+    "build",
+    "ReproError",
+    "ConfigurationError",
+    "CryptoError",
+    "SignatureError",
+    "DecryptionError",
+    "KeyExfiltrationError",
+    "KeyScheduleError",
+    "NetworkError",
+    "UnreachableError",
+    "ProtocolError",
+    "StateTransferError",
+    "ConfidentialityViolation",
+    "SimulationError",
+    "__version__",
+]

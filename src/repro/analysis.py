@@ -1,0 +1,125 @@
+"""Post-run analysis: turning traces and metrics into reports.
+
+Used by the CLI and benchmarks, and handy in notebooks: export latency
+timelines as CSV, summarize protocol traffic, break a run into phases
+around attack events, and render a plain-text latency histogram (the
+closest thing to Figure 2 a terminal can show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.net.network import Network
+from repro.sim.trace import Tracer
+from repro.system.metrics import LatencyRecorder, percentile
+
+
+def latency_csv(recorder: LatencyRecorder) -> str:
+    """The full latency record as CSV (submit_time, latency_ms, client, seq)."""
+    lines = ["submit_time_s,latency_ms,client_id,client_seq"]
+    for sample in sorted(recorder.samples, key=lambda s: s.submit_time):
+        lines.append(
+            f"{sample.submit_time:.6f},{sample.latency * 1000:.3f},"
+            f"{sample.client_id},{sample.client_seq}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate network counters for one run."""
+
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    bytes_sent: int
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.messages_sent == 0:
+            return 1.0
+        return self.messages_delivered / self.messages_sent
+
+
+def traffic_summary(network: Network) -> TrafficSummary:
+    return TrafficSummary(
+        messages_sent=network.messages_sent,
+        messages_delivered=network.messages_delivered,
+        messages_dropped=network.messages_dropped,
+        bytes_sent=network.bytes_sent,
+    )
+
+
+def trace_category_counts(tracer: Tracer) -> Dict[str, int]:
+    """How often each trace category fired (protocol activity profile)."""
+    counts: Dict[str, int] = {}
+    for event in tracer.events:
+        counts[event.category] = counts.get(event.category, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def phase_report(
+    recorder: LatencyRecorder,
+    phases: Sequence[Tuple[str, float, float]],
+) -> str:
+    """A per-phase latency table for a scripted timeline.
+
+    ``phases`` is (name, start, end) triples in run time.
+    """
+    lines = [f"{'phase':28s}{'n':>7s}{'avg':>10s}{'p99':>10s}{'max':>10s}"]
+    timeline = recorder.timeline()
+    for name, start, end in phases:
+        values = sorted(l for t, l in timeline if start <= t < end)
+        if not values:
+            lines.append(f"{name:28s}{'-':>7s}")
+            continue
+        avg = sum(values) / len(values)
+        lines.append(
+            f"{name:28s}{len(values):7d}{avg * 1000:9.1f}ms"
+            f"{percentile(values, 99) * 1000:9.1f}ms{values[-1] * 1000:9.1f}ms"
+        )
+    return "\n".join(lines)
+
+
+def latency_histogram(
+    recorder: LatencyRecorder,
+    bucket_ms: float = 10.0,
+    width: int = 50,
+    max_ms: Optional[float] = None,
+) -> str:
+    """An ASCII histogram of update latencies."""
+    values = [s.latency * 1000 for s in recorder.samples]
+    if not values:
+        return "(no samples)"
+    top = max_ms if max_ms is not None else max(values)
+    buckets: Dict[int, int] = {}
+    for value in values:
+        index = min(int(value / bucket_ms), int(top / bucket_ms))
+        buckets[index] = buckets.get(index, 0) + 1
+    peak = max(buckets.values())
+    lines = []
+    for index in range(0, int(top / bucket_ms) + 1):
+        count = buckets.get(index, 0)
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        low = index * bucket_ms
+        lines.append(f"{low:6.0f}-{low + bucket_ms:<6.0f}ms {count:6d} {bar}")
+    return "\n".join(lines)
+
+
+def exposure_report(auditor, data_center_hosts: Sequence[str]) -> str:
+    """Human-readable confidentiality audit result."""
+    dc_set = set(data_center_hosts)
+    dirty = sorted(auditor.exposed_hosts & dc_set)
+    lines = []
+    if dirty:
+        lines.append(f"VIOLATION: data-center hosts saw plaintext: {dirty}")
+        for host in dirty:
+            labels = sorted({label for label, _c in auditor.exposures_for(host)})
+            lines.append(f"  {host}: {labels}")
+    else:
+        lines.append("confidentiality: CLEAN — no data-center host observed plaintext")
+    on_prem = sorted(auditor.exposed_hosts - dc_set)
+    lines.append(f"hosts handling plaintext (expected): {len(on_prem)}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Related-work baselines implemented for comparison.
+
+- :mod:`repro.baselines.secret_store` — DepSpace-style secret-sharing
+  confidential storage: confidential against any f compromises, but
+  limited to storage operations (no server-side application logic).
+"""
+
+from repro.baselines.secret_store import SecretStoreClient, SecretStoreReplica
+
+__all__ = ["SecretStoreClient", "SecretStoreReplica"]

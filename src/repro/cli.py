@@ -1,0 +1,186 @@
+"""Command-line interface: run deployments and print reports.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro run --mode confidential --f 1 --duration 30
+    python -m repro run --mode spire --f 2 --duration 60 --seed 9
+    python -m repro run --attack leader-site --duration 120
+    python -m repro table1
+    python -m repro compare --duration 30
+
+``run`` builds a deployment, drives the paper's workload, and prints the
+latency row, the traffic summary, and the confidentiality audit. The
+``--csv`` flag dumps the per-update latency record for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import analysis
+from repro.core.distribution import plan_spire, table_one
+from repro.system import Mode, SystemConfig, build
+
+ATTACKS = ("none", "leader-site", "non-leader-site", "data-center", "leader-recovery")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Confidential Spire reproduction (Khan & Babay, DSN 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one deployment and report")
+    run.add_argument("--mode", choices=[m.value for m in Mode], default="confidential")
+    run.add_argument("--f", dest="f", type=int, default=1, help="tolerated intrusions")
+    run.add_argument("--data-centers", type=int, default=2)
+    run.add_argument("--clients", type=int, default=10)
+    run.add_argument("--duration", type=float, default=30.0, help="workload seconds")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--interval", type=float, default=1.0, help="per-client update period")
+    run.add_argument("--key-renewal", action="store_true")
+    run.add_argument("--loss", type=float, default=0.0, help="WAN loss probability")
+    run.add_argument("--attack", choices=ATTACKS, default="none")
+    run.add_argument("--csv", action="store_true", help="dump latency CSV instead of a report")
+    run.add_argument("--histogram", action="store_true", help="include an ASCII latency histogram")
+    run.add_argument("--html", metavar="PATH", help="also write a self-contained HTML report")
+
+    sub.add_parser("table1", help="print Table I (replica distributions)")
+
+    scenario = sub.add_parser("scenario", help="run a declarative scenario file")
+    scenario.add_argument("path", help="JSON scenario (see repro.system.scenario)")
+    scenario.add_argument("--html", metavar="PATH", help="write an HTML report")
+
+    compare = sub.add_parser("compare", help="Spire vs Confidential Spire, side by side")
+    compare.add_argument("--f", dest="f", type=int, default=1)
+    compare.add_argument("--duration", type=float, default=30.0)
+    compare.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    return _cmd_run(args)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.system.scenario import load_scenario, run_scenario
+
+    result = run_scenario(load_scenario(args.path))
+    print(result.summary())
+    if args.html:
+        from repro.report import write_report
+
+        write_report(result.deployment, args.html, title=f"Scenario: {result.name}")
+        print(f"HTML report written to {args.html}")
+    return 0 if result.passed else 1
+
+
+def _cmd_table1() -> int:
+    print("Table I — system configurations (on-prem + data-center counts):")
+    header = f"{'':8s}" + "".join(f"{f'{d} data centers':>18s}" for d in (1, 2, 3))
+    print(header)
+    for f, row in zip((1, 2, 3), table_one()):
+        print(f"f = {f}   " + "".join(f"{cell:>18s}" for cell in row))
+    print()
+    print("Spire 1.2 baselines: "
+          f"f=1 {plan_spire(1, 2).label()}, f=2 {plan_spire(2, 2).label()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig(
+        mode=Mode(args.mode),
+        f=args.f,
+        data_centers=args.data_centers,
+        num_clients=args.clients,
+        seed=args.seed,
+        update_interval=args.interval,
+        key_renewal_enabled=args.key_renewal,
+        wan_loss_probability=args.loss,
+    )
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=args.duration)
+    _install_attack(deployment, args.attack, args.duration)
+    deployment.run(until=args.duration + 5.0)
+
+    if args.csv:
+        sys.stdout.write(analysis.latency_csv(deployment.recorder))
+        return 0
+
+    print(f"deployment: {args.mode} {deployment.plan.label()} "
+          f"(quorum {deployment.plan.quorum}, seed {args.seed})")
+    print(deployment.recorder.stats().row(f"{args.mode} f={args.f}"))
+    traffic = analysis.traffic_summary(deployment.network)
+    print(f"traffic: {traffic.messages_sent} msgs sent, "
+          f"{traffic.delivery_rate * 100:.2f}% delivered, "
+          f"{traffic.bytes_sent / 1e6:.1f} MB")
+    views = sorted({r.engine.view for r in deployment.replicas.values()})
+    print(f"views: {views}; outstanding updates: "
+          f"{sum(p.outstanding for p in deployment.proxies.values())}")
+    print(analysis.exposure_report(deployment.auditor, deployment.data_center_hosts))
+    if args.histogram:
+        print()
+        print(analysis.latency_histogram(deployment.recorder))
+    if args.html:
+        from repro.report import write_report
+
+        write_report(deployment, args.html)
+        print(f"HTML report written to {args.html}")
+    return 0
+
+
+def _install_attack(deployment, attack: str, duration: float) -> None:
+    third = duration / 3.0
+    if attack == "none":
+        return
+    if attack == "leader-recovery":
+        deployment.recovery.schedule_recovery(
+            deployment.current_leader(), third, min(8.0, third / 2)
+        )
+        return
+    if attack == "leader-site":
+        site = deployment.site_of_host(deployment.current_leader())
+    elif attack == "non-leader-site":
+        leader_site = deployment.site_of_host(deployment.current_leader())
+        site = "cc-b" if leader_site != "cc-b" else "cc-a"
+    else:  # data-center
+        site = deployment.data_center_hosts[-1].rsplit("-r", 1)[0]
+    deployment.kernel.call_at(third, deployment.attacks.isolate_site, site)
+    deployment.kernel.call_at(2 * third, deployment.attacks.reconnect_site, site)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    results = {}
+    for mode in (Mode.SPIRE, Mode.CONFIDENTIAL):
+        config = SystemConfig(mode=mode, f=args.f, seed=args.seed)
+        deployment = build(config)
+        deployment.start()
+        deployment.start_workload(duration=args.duration)
+        deployment.run(until=args.duration + 5.0)
+        results[mode] = deployment
+        print(deployment.recorder.stats().row(f"{mode.value} f={args.f} "
+                                              f"({deployment.plan.label()})"))
+    spire, conf = results[Mode.SPIRE], results[Mode.CONFIDENTIAL]
+    overhead = (conf.recorder.stats().average - spire.recorder.stats().average) * 1000
+    print(f"confidentiality overhead: {overhead:+.2f} ms")
+    for name, deployment in (("spire", spire), ("confidential", conf)):
+        exposed = sorted(
+            deployment.auditor.exposed_hosts & set(deployment.data_center_hosts)
+        )
+        print(f"{name}: exposed data-center hosts: {exposed if exposed else 'none'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

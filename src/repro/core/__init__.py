@@ -1,0 +1,65 @@
+"""The paper's contribution: partially cloud-based confidential BFT.
+
+- :mod:`repro.core.distribution` — replica placement rules (Table I),
+- :mod:`repro.core.intro` — threshold-signed introduction of encrypted
+  client updates (Section V-A),
+- :mod:`repro.core.checkpoint` — correct/stable encrypted checkpoints
+  (Section V-C),
+- :mod:`repro.core.state_transfer` — catch-up from data-center replicas
+  alone (Section V-C),
+- :mod:`repro.core.key_renewal` — bounded-disclosure key rotation
+  (Section V-D),
+- :mod:`repro.core.replica` — executing vs storage replica roles
+  (the CP-ITM middleware of Section VI),
+- :mod:`repro.core.proxy` — client proxies,
+- :mod:`repro.core.confidentiality` — plaintext-exposure auditing,
+- :mod:`repro.core.encryption` — per-client key schedules,
+- :mod:`repro.core.app` — the deterministic application interface.
+"""
+
+from repro.core.app import Application, KeyValueApplication
+from repro.core.confidentiality import Auditor, Sensitive
+from repro.core.distribution import (
+    DistributionPlan,
+    minimum_k_confidential,
+    plan_confidential,
+    plan_spire,
+    spire_site_bound,
+    table_one,
+)
+from repro.core.encryption import ClientKeySchedule, KeyEpoch, KeyManager
+from repro.core.messages import (
+    ClientResponse,
+    ClientUpdate,
+    EncryptedUpdate,
+    KeyProposal,
+    client_alias,
+)
+from repro.core.proxy import ClientProxy
+from repro.core.replica import ExecutingReplica, ReplicaBase, ReplicaEnv, StorageReplica
+
+__all__ = [
+    "Application",
+    "KeyValueApplication",
+    "Auditor",
+    "Sensitive",
+    "DistributionPlan",
+    "minimum_k_confidential",
+    "plan_confidential",
+    "plan_spire",
+    "spire_site_bound",
+    "table_one",
+    "ClientKeySchedule",
+    "KeyEpoch",
+    "KeyManager",
+    "ClientResponse",
+    "ClientUpdate",
+    "EncryptedUpdate",
+    "KeyProposal",
+    "client_alias",
+    "ClientProxy",
+    "ExecutingReplica",
+    "ReplicaBase",
+    "ReplicaEnv",
+    "StorageReplica",
+]

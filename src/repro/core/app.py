@@ -1,0 +1,75 @@
+"""The application interface executed by replicas.
+
+CP-ITM is application-agnostic middleware (Section VI-A): it hands the
+application decrypted updates in global order and asks it for snapshots.
+Applications must be *deterministic*: identical update sequences must
+produce identical state and identical responses on every replica, because
+checkpoints are compared byte-for-byte and responses are threshold-signed.
+
+:class:`KeyValueApplication` is a minimal reference application used by
+tests and the quickstart; the SCADA master in :mod:`repro.scada.master`
+is the paper's application.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+
+class Application(ABC):
+    """Deterministic replicated state machine."""
+
+    @abstractmethod
+    def execute(self, client_id: str, client_seq: int, body: bytes) -> Optional[bytes]:
+        """Apply one update; return the response body (or None)."""
+
+    @abstractmethod
+    def snapshot(self) -> bytes:
+        """Serialize the full application state, deterministically."""
+
+    @abstractmethod
+    def restore(self, blob: bytes) -> None:
+        """Replace the application state with a snapshot's contents."""
+
+
+class KeyValueApplication(Application):
+    """Reference application: a string key-value store.
+
+    Update grammar (UTF-8): ``SET key value``, ``GET key``, ``DEL key``.
+    Responses: ``OK``, the value (or ``NONE``), ``DELETED``/``NONE``.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, str] = {}
+        self.executed_count = 0
+
+    def execute(self, client_id: str, client_seq: int, body: bytes) -> Optional[bytes]:
+        self.executed_count += 1
+        parts = body.decode("utf-8").split(" ", 2)
+        command = parts[0].upper()
+        if command == "SET" and len(parts) == 3:
+            self._store[parts[1]] = parts[2]
+            return b"OK"
+        if command == "GET" and len(parts) >= 2:
+            value = self._store.get(parts[1])
+            return value.encode("utf-8") if value is not None else b"NONE"
+        if command == "DEL" and len(parts) >= 2:
+            return b"DELETED" if self._store.pop(parts[1], None) is not None else b"NONE"
+        return b"ERROR bad-command"
+
+    def snapshot(self) -> bytes:
+        return json.dumps(
+            {"store": self._store, "executed": self.executed_count},
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def restore(self, blob: bytes) -> None:
+        state = json.loads(blob.decode("utf-8"))
+        self._store = dict(state["store"])
+        self.executed_count = int(state["executed"])
+
+    def get(self, key: str) -> Optional[str]:
+        """Direct read for tests/examples (not part of the replicated API)."""
+        return self._store.get(key)

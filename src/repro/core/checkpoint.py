@@ -1,0 +1,146 @@
+"""Encrypted checkpoints with *correct* and *stable* levels (Section V-C).
+
+Every ``C`` ordinals, application-hosting replicas snapshot their state,
+encrypt it under the hardware-protected shared key (Confidential Spire) or
+leave it plaintext (Spire baseline — the auditor then observes the leak to
+data centers), and multicast the checkpoint to every replica.
+
+Vote levels, per the paper:
+
+- *correct* — f+1 identical blobs from distinct signers: at least one
+  correct replica vouches that this is the state at that ordinal. A
+  data-center replica that obtains a correct checkpoint re-multicasts it
+  under its own signature, so stability can be reached even though data
+  centers never generate checkpoints themselves.
+- *stable* — 2f+k+1 identical blobs: even with f liars and k newly
+  unavailable replicas, f+1 correct holders remain, so everything older
+  can be garbage collected (update log, engine history, older
+  checkpoints).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.core.messages import CheckpointMsg, ResumePoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.replica import ReplicaBase
+
+VoteKey = Tuple[int, bytes]  # (ordinal, blob digest)
+
+
+class CheckpointManager:
+    """Checkpoint generation, voting, relaying, and garbage collection."""
+
+    def __init__(self, replica: "ReplicaBase", interval: int):
+        self._replica = replica
+        self.interval = interval
+        self._votes: Dict[VoteKey, Set[str]] = {}
+        self._messages: Dict[VoteKey, CheckpointMsg] = {}
+        self._relayed: Set[VoteKey] = set()
+        self._next_due = interval
+        self.correct: Dict[int, CheckpointMsg] = {}
+        self.stable: Optional[CheckpointMsg] = None
+        self.generated_count = 0
+
+    # -- generation (application-hosting replicas) ------------------------------
+
+    def maybe_generate(self, ordinal: int, resume: ResumePoint) -> None:
+        """Called after each executed batch; snapshots when due."""
+        if ordinal < self._next_due:
+            return
+        self._next_due = (ordinal // self.interval + 1) * self.interval
+        replica = self._replica
+        if not replica.hosts_application:
+            return
+        blob = replica.build_checkpoint_blob()
+        size = len(blob.data if hasattr(blob, "data") else blob)
+        cost = replica.costs.snapshot(size) + (
+            replica.costs.encrypt_blob(size) if replica.confidential else 0.0
+        )
+        message = CheckpointMsg(
+            ordinal=ordinal, resume=resume, blob=blob, signer=replica.host
+        )
+        self.generated_count += 1
+        replica.after(cost, self._broadcast, message)
+
+    def _broadcast(self, message: CheckpointMsg) -> None:
+        replica = self._replica
+        if not replica.online:
+            return
+        replica.trace("checkpoint.generated", ordinal=message.ordinal)
+        for peer in replica.all_peers():
+            replica.network_send(peer, message)
+        self.on_checkpoint(replica.host, message)
+
+    # -- voting ---------------------------------------------------------------------
+
+    def on_checkpoint(self, src: str, message: CheckpointMsg) -> None:
+        replica = self._replica
+        key = (message.ordinal, message.blob_digest())
+        votes = self._votes.setdefault(key, set())
+        if src in votes:
+            return
+        votes.add(src)
+        self._messages.setdefault(key, message)
+        f_plus_1 = replica.f + 1
+        if len(votes) >= f_plus_1 and message.ordinal not in self.correct:
+            self.correct[message.ordinal] = self._messages[key]
+            replica.trace("checkpoint.correct", ordinal=message.ordinal)
+            if not replica.hosts_application and key not in self._relayed:
+                # Data-center relay: vouch for the correct checkpoint so it
+                # can become stable without on-premises help (Section V-C).
+                self._relayed.add(key)
+                relayed = CheckpointMsg(
+                    ordinal=message.ordinal,
+                    resume=message.resume,
+                    blob=message.blob,
+                    signer=replica.host,
+                )
+                for peer in replica.all_peers():
+                    replica.network_send(peer, relayed)
+                votes.add(replica.host)
+        if len(votes) >= replica.quorum:
+            self._mark_stable(key)
+
+    def _mark_stable(self, key: VoteKey) -> None:
+        message = self._messages[key]
+        if self.stable is not None and message.ordinal <= self.stable.ordinal:
+            return
+        replica = self._replica
+        # Never garbage-collect past our own execution point: a lagging
+        # replica keeps everything until it has caught up.
+        if replica.executed_ordinal() < message.ordinal:
+            return
+        self.stable = message
+        replica.trace("checkpoint.stable", ordinal=message.ordinal)
+        self._garbage_collect(message)
+
+    def _garbage_collect(self, stable: CheckpointMsg) -> None:
+        replica = self._replica
+        replica.engine.gc_before(stable.resume.batch_seq)
+        replica.prune_update_log(stable.resume.batch_seq)
+        for ordinal in [o for o in self.correct if o < stable.ordinal]:
+            del self.correct[ordinal]
+        for key in [k for k in self._votes if k[0] < stable.ordinal]:
+            self._votes.pop(key, None)
+            self._messages.pop(key, None)
+            self._relayed.discard(key)
+
+    # -- state transfer integration ------------------------------------------------------
+
+    def adopt_stable(self, message: CheckpointMsg) -> None:
+        """Install a checkpoint validated during state transfer."""
+        if self.stable is None or message.ordinal > self.stable.ordinal:
+            self.stable = message
+        self._next_due = max(
+            self._next_due, (message.ordinal // self.interval + 1) * self.interval
+        )
+
+    def retry_stability(self) -> None:
+        """Re-check stability after this replica catches up (its earlier
+        executed-point guard may have deferred garbage collection)."""
+        for key, votes in list(self._votes.items()):
+            if len(votes) >= self._replica.quorum:
+                self._mark_stable(key)

@@ -1,0 +1,85 @@
+"""Confidentiality auditing: who saw plaintext?
+
+Definition 3 of the paper (Complete Confidentiality) says system state and
+state-manipulation algorithms must remain known only to on-premises
+replicas. Rather than asserting this by construction, the reproduction
+*measures* it:
+
+- plaintext application data is wrapped in :class:`Sensitive` at its
+  source (proxies, application snapshots),
+- CP-ITM messages expose ``sensitive_parts()`` listing the sensitive
+  fields they carry,
+- an :class:`Auditor` hooks the network layer and records every host that
+  receives a message with sensitive parts, plus every host that explicitly
+  observes plaintext (decryption, execution, snapshotting).
+
+Tests and benchmarks then assert the exposure set: in Confidential Spire
+it must contain only on-premises hosts; in the Spire 1.2 baseline the
+data-center hosts show up — quantifying exactly the gap the paper closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.errors import ConfidentialityViolation
+
+
+@dataclass(frozen=True)
+class Sensitive:
+    """Plaintext application data; anything holding it is tainted.
+
+    The wrapper is deliberately thin — ``data`` is the payload — so code
+    that legitimately handles plaintext unwraps explicitly, and code that
+    should never see plaintext fails loudly in tests if it tries.
+    """
+
+    data: bytes
+    label: str = "client-data"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Auditor:
+    """Records plaintext exposure per host."""
+
+    def __init__(self, strict_hosts: Optional[Set[str]] = None):
+        # Hosts that must never observe plaintext; exposure raises
+        # immediately when strict, otherwise it is only recorded.
+        self.strict_hosts = strict_hosts or set()
+        self._exposures: List[Tuple[str, str, str]] = []  # (host, label, channel)
+        self._exposed_hosts: Set[str] = set()
+
+    def observe(self, host: str, label: str, channel: str = "local") -> None:
+        """Record that ``host`` observed plaintext tagged ``label``."""
+        self._exposures.append((host, label, channel))
+        self._exposed_hosts.add(host)
+        if host in self.strict_hosts:
+            raise ConfidentialityViolation(
+                f"host {host!r} observed sensitive data {label!r} via {channel}"
+            )
+
+    def inspect_delivery(self, dst: str, payload: Any) -> None:
+        """Network hook: check a delivered payload for sensitive parts."""
+        parts = getattr(payload, "sensitive_parts", None)
+        if parts is None:
+            return
+        for label in parts():
+            self.observe(dst, label, channel="network")
+
+    @property
+    def exposed_hosts(self) -> Set[str]:
+        return set(self._exposed_hosts)
+
+    def exposures_for(self, host: str) -> List[Tuple[str, str]]:
+        return [(label, channel) for h, label, channel in self._exposures if h == host]
+
+    def assert_clean(self, hosts: Set[str]) -> None:
+        """Raise unless none of ``hosts`` ever observed plaintext."""
+        dirty = self._exposed_hosts & hosts
+        if dirty:
+            raise ConfidentialityViolation(
+                f"hosts observed plaintext that must not have: {sorted(dirty)}"
+            )

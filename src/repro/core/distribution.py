@@ -1,0 +1,140 @@
+"""Replica distribution across sites (Section IV-B, Table I).
+
+Prime with proactive recovery needs ``n = 3f + 2k + 1`` replicas to
+tolerate ``f`` intrusions and ``k`` unavailable replicas. Tolerating the
+disconnection of a whole site forces ``k`` to exceed the largest site,
+giving the Spire bound ``k >= ceil((3f + S + 1) / (S - 2))`` for ``S``
+sites. Confidential Spire adds the constraint that only on-premises
+replicas can execute and answer clients: each of the two on-premises sites
+must hold at least ``2f + 2`` replicas so that even with one site
+disconnected, ``f`` compromised and one recovering replica, ``f + 1``
+correct on-premises replicas remain — which pushes ``k >= 2f + 3``.
+
+:func:`plan_confidential` reproduces Table I exactly; :func:`plan_spire`
+gives the baseline Spire distribution used for the Table II comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DistributionPlan:
+    """A replica placement: per-site counts plus the derived parameters."""
+
+    f: int
+    k: int
+    n: int
+    on_premises: Tuple[int, ...]
+    data_centers: Tuple[int, ...]
+
+    @property
+    def sites(self) -> int:
+        return len(self.on_premises) + len(self.data_centers)
+
+    @property
+    def quorum(self) -> int:
+        return 2 * self.f + self.k + 1
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        return self.on_premises + self.data_centers
+
+    def label(self) -> str:
+        """Table I cell notation, e.g. '4+4+3+3 (14)'."""
+        return "+".join(str(c) for c in self.counts) + f" ({self.n})"
+
+
+def spire_site_bound(f: int, sites: int) -> int:
+    """The [4] bound: k >= ceil((3f + S + 1) / (S - 2))."""
+    if sites < 3:
+        raise ConfigurationError(
+            "network-attack resilience requires at least 3 sites"
+        )
+    return math.ceil((3 * f + sites + 1) / (sites - 2))
+
+
+def minimum_k_confidential(f: int, sites: int) -> int:
+    """k >= max(2f + 3, ceil((3f + S + 1) / (S - 2))) (Section IV-B)."""
+    return max(2 * f + 3, spire_site_bound(f, sites))
+
+
+def plan_confidential(f: int, data_centers: int) -> DistributionPlan:
+    """Confidential Spire placement for 2 on-premises sites (Table I).
+
+    Each on-premises site first receives its mandatory 2f + 2 replicas;
+    the remainder is spread as evenly as possible subject to no site
+    exceeding k - 1 replicas.
+    """
+    if f < 1:
+        raise ConfigurationError("f must be at least 1")
+    if data_centers < 1:
+        raise ConfigurationError("at least one data center site is required")
+    sites = 2 + data_centers
+    k = minimum_k_confidential(f, sites)
+    n = 3 * f + 2 * k + 1
+    on_prem_base = 2 * f + 2
+    counts = [on_prem_base, on_prem_base] + [0] * data_centers
+    remaining = n - sum(counts)
+    if remaining < 0:
+        raise ConfigurationError("on-premises minimum exceeds total replicas")
+    # Round-robin the remainder onto the smallest sites, never letting any
+    # site reach k replicas (a site of size >= k breaks availability when
+    # it is disconnected during a recovery elsewhere).
+    while remaining > 0:
+        index = min(range(len(counts)), key=lambda i: (counts[i], i))
+        if counts[index] + 1 > k - 1:
+            raise ConfigurationError(
+                f"cannot place {n} replicas across {sites} sites with k={k}"
+            )
+        counts[index] += 1
+        remaining -= 1
+    return DistributionPlan(
+        f=f,
+        k=k,
+        n=n,
+        on_premises=tuple(counts[:2]),
+        data_centers=tuple(counts[2:]),
+    )
+
+
+def plan_spire(f: int, data_centers: int) -> DistributionPlan:
+    """Baseline Spire 1.2 placement (no on-premises minimum).
+
+    Uses k >= ceil((3f + S + 1)/(S - 2)) and spreads replicas as evenly as
+    possible; reproduces 3+3+3+3 (12) for f=1 and 5+5+5+4 (19) for f=2
+    with two data centers.
+    """
+    if f < 1:
+        raise ConfigurationError("f must be at least 1")
+    sites = 2 + data_centers
+    k = spire_site_bound(f, sites)
+    n = 3 * f + 2 * k + 1
+    counts = [0] * sites
+    for i in range(n):
+        counts[i % sites] += 1
+    if max(counts) > k - 1:
+        raise ConfigurationError(
+            f"even spread violates site-size bound for f={f}, S={sites}"
+        )
+    return DistributionPlan(
+        f=f,
+        k=k,
+        n=n,
+        on_premises=tuple(counts[:2]),
+        data_centers=tuple(counts[2:]),
+    )
+
+
+def table_one() -> List[List[str]]:
+    """Regenerate Table I: rows f=1..3, columns 1-3 data centers."""
+    rows = []
+    for f in (1, 2, 3):
+        row = [plan_confidential(f, dcs).label() for dcs in (1, 2, 3)]
+        rows.append(row)
+    return rows

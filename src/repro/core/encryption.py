@@ -1,0 +1,144 @@
+"""Per-client key schedules (Sections V-A, V-D, VI-B).
+
+Every client has a pair of shared symmetric keys (encryption + PRF) known
+to all on-premises replicas. With key renewal enabled, a key pair is only
+valid for a bounded range of that client's sequence numbers; the schedule
+maps sequence numbers to epochs and refuses to encrypt for ranges whose
+keys have not been established yet (the renewal protocol fills them in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.symmetric import SymmetricKeyPair, decrypt, encrypt
+from repro.errors import KeyScheduleError
+
+
+@dataclass(frozen=True)
+class KeyEpoch:
+    """One validity range of a client key pair: [start_seq, end_seq]."""
+
+    start_seq: int
+    end_seq: int
+    keys: SymmetricKeyPair
+
+    def covers(self, seq: int) -> bool:
+        return self.start_seq <= seq <= self.end_seq
+
+
+class ClientKeySchedule:
+    """The key epochs for one client, in increasing sequence order."""
+
+    def __init__(self, initial: KeyEpoch):
+        self._epochs: List[KeyEpoch] = [initial]
+
+    @property
+    def epochs(self) -> List[KeyEpoch]:
+        return list(self._epochs)
+
+    @property
+    def latest(self) -> KeyEpoch:
+        return self._epochs[-1]
+
+    def epoch_for(self, seq: int) -> Optional[KeyEpoch]:
+        for epoch in reversed(self._epochs):
+            if epoch.covers(seq):
+                return epoch
+        return None
+
+    def extend(self, epoch: KeyEpoch) -> None:
+        """Append the next epoch; must be contiguous with the last."""
+        if epoch.start_seq != self.latest.end_seq + 1:
+            raise KeyScheduleError(
+                f"epoch starting at {epoch.start_seq} does not follow "
+                f"current end {self.latest.end_seq}"
+            )
+        self._epochs.append(epoch)
+
+    def prune_before(self, seq: int) -> None:
+        """Drop epochs that ended before ``seq`` (post-checkpoint cleanup)."""
+        keep = [e for e in self._epochs if e.end_seq >= seq]
+        if keep:
+            self._epochs = keep
+
+    # -- serialization (for inclusion in encrypted checkpoints) ---------------
+
+    def to_state(self) -> List[Tuple[int, int, str, str]]:
+        return [
+            (e.start_seq, e.end_seq, e.keys.enc_key.hex(), e.keys.prf_key.hex())
+            for e in self._epochs
+        ]
+
+    @staticmethod
+    def from_state(state: List) -> "ClientKeySchedule":
+        epochs = [
+            KeyEpoch(
+                start_seq=int(start),
+                end_seq=int(end),
+                keys=SymmetricKeyPair(
+                    enc_key=bytes.fromhex(enc), prf_key=bytes.fromhex(prf)
+                ),
+            )
+            for start, end, enc, prf in state
+        ]
+        if not epochs:
+            raise KeyScheduleError("empty key schedule state")
+        schedule = ClientKeySchedule(epochs[0])
+        for epoch in epochs[1:]:
+            schedule.extend(epoch)
+        return schedule
+
+
+class KeyManager:
+    """All client key schedules held by one on-premises replica."""
+
+    def __init__(self) -> None:
+        self._schedules: Dict[str, ClientKeySchedule] = {}
+
+    def register_client(self, alias: str, initial_keys: SymmetricKeyPair, validity: int) -> None:
+        """Install a client's setup-time key epoch covering [1, validity]."""
+        self._schedules[alias] = ClientKeySchedule(
+            KeyEpoch(start_seq=1, end_seq=validity, keys=initial_keys)
+        )
+
+    def has_client(self, alias: str) -> bool:
+        return alias in self._schedules
+
+    def schedule_for(self, alias: str) -> ClientKeySchedule:
+        schedule = self._schedules.get(alias)
+        if schedule is None:
+            raise KeyScheduleError(f"no key schedule for client alias {alias!r}")
+        return schedule
+
+    def can_encrypt(self, alias: str, seq: int) -> bool:
+        schedule = self._schedules.get(alias)
+        return schedule is not None and schedule.epoch_for(seq) is not None
+
+    def encrypt_update(self, alias: str, seq: int, plaintext: bytes) -> bytes:
+        epoch = self._require_epoch(alias, seq)
+        return encrypt(epoch.keys, plaintext)
+
+    def decrypt_update(self, alias: str, seq: int, blob: bytes) -> bytes:
+        epoch = self._require_epoch(alias, seq)
+        return decrypt(epoch.keys, blob)
+
+    def _require_epoch(self, alias: str, seq: int) -> KeyEpoch:
+        epoch = self.schedule_for(alias).epoch_for(seq)
+        if epoch is None:
+            raise KeyScheduleError(
+                f"no key epoch covering seq {seq} for client alias {alias!r}"
+            )
+        return epoch
+
+    # -- checkpoint integration --------------------------------------------------
+
+    def to_state(self) -> Dict[str, List]:
+        return {alias: s.to_state() for alias, s in sorted(self._schedules.items())}
+
+    def restore_state(self, state: Dict[str, List]) -> None:
+        self._schedules = {
+            alias: ClientKeySchedule.from_state(epochs)
+            for alias, epochs in state.items()
+        }

@@ -1,0 +1,267 @@
+"""Introducing client updates into the global order (Section V-A).
+
+Confidential mode: each on-premises replica that receives a proxy-signed
+update verifies the proxy signature, deterministically encrypts the update
+(so all replicas produce the identical ciphertext), generates a threshold
+signature share over the ciphertext, and multicasts the share to its
+on-premises peers. Whoever collects f+1 shares can assemble a full
+threshold signature that every replica — including data-center replicas
+that cannot decrypt the update — can verify before helping to order it.
+
+Plain mode (Spire 1.2 baseline): the proxy's own signature authenticates
+the update; the receiving replica injects it directly.
+
+In both modes, one deterministic *introducer* per client actually injects
+(Spire's ITRC assigns clients to replicas); the other replicas hold the
+assembled update and inject it themselves only if it fails to get ordered
+within a rank-staggered failover delay, so a crashed or compromised
+introducer costs one timeout, not liveness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from repro.core.messages import (
+    ClientUpdate,
+    EncryptedUpdate,
+    IntroShare,
+    client_alias,
+    pack_update,
+)
+from repro.crypto.threshold import combine_with_retry
+from repro.errors import SignatureError
+from repro.prime.messages import OpaqueUpdate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.replica import ExecutingReplica
+
+IntroKey = Tuple[str, int]  # (alias, client_seq)
+
+
+class IntroductionManager:
+    """Update introduction pipeline for one executing replica."""
+
+    def __init__(self, replica: "ExecutingReplica", failover_delay: float = 0.120):
+        self._replica = replica
+        self.failover_delay = failover_delay
+        self._shares: Dict[Tuple[str, int, bytes], Dict[int, object]] = {}
+        self._assembled: Dict[IntroKey, EncryptedUpdate] = {}
+        self._plain_pending: Dict[IntroKey, ClientUpdate] = {}
+        self._failover_timers: Dict[IntroKey, object] = {}
+        self._injected: Set[IntroKey] = set()
+        self._done: Set[IntroKey] = set()
+        self._awaiting_keys: Dict[str, List[ClientUpdate]] = {}
+
+    # -- entry: proxy-signed update arrives ------------------------------------
+
+    def on_client_update(self, update: ClientUpdate) -> None:
+        replica = self._replica
+        public = replica.client_registry.get(update.client_id)
+        if public is None:
+            replica.trace("intro.unknown-client", client=update.client_id)
+            return
+        cost = replica.costs.rsa_verify
+        replica.after(cost, self._verified_update, update, public)
+
+    def _verified_update(self, update: ClientUpdate, public) -> None:
+        replica = self._replica
+        if not replica.online:
+            return
+        if not public.verify(update.signing_bytes(), update.signature):
+            replica.trace("intro.bad-signature", client=update.client_id)
+            return
+        alias = client_alias(update.client_id)
+        key = (alias, update.client_seq)
+        if replica.is_executed(alias, update.client_seq):
+            replica.resend_response(update.client_id, update.client_seq)
+            return
+        if key in self._done or key in self._injected:
+            return
+        if replica.confidential:
+            self._introduce_confidential(alias, update)
+        else:
+            self._introduce_plain(alias, update)
+
+    # -- confidential path ---------------------------------------------------------
+
+    def _introduce_confidential(self, alias: str, update: ClientUpdate) -> None:
+        replica = self._replica
+        if not replica.key_manager.can_encrypt(alias, update.client_seq):
+            # Key renewal for this range has not completed; park the update
+            # (drained by KeyRenewalManager when the epoch appears).
+            self._awaiting_keys.setdefault(alias, []).append(update)
+            replica.trace("intro.awaiting-key", alias=alias, seq=update.client_seq)
+            return
+        packed = pack_update(update.client_id, update.client_seq, update.body.data)
+        ciphertext = replica.key_manager.encrypt_update(alias, update.client_seq, packed)
+        encrypted = EncryptedUpdate(
+            alias=alias, client_seq=update.client_seq, ciphertext=ciphertext
+        )
+        cost = replica.costs.update_encrypt + replica.costs.threshold_partial
+        replica.after(cost, self._share_partial, encrypted)
+
+    def _share_partial(self, encrypted: EncryptedUpdate) -> None:
+        replica = self._replica
+        if not replica.online:
+            return
+        partial = replica.intro_share.sign_partial(encrypted.signing_bytes())
+        share = IntroShare(
+            alias=encrypted.alias,
+            client_seq=encrypted.client_seq,
+            update_digest=encrypted.digest(),
+            partial=partial,
+        )
+        self._assembled.setdefault((encrypted.alias, encrypted.client_seq), encrypted)
+        for peer in replica.on_premises_peers():
+            replica.network_send(peer, share)
+        self.on_intro_share(replica.host, share)
+
+    def on_intro_share(self, src: str, share: IntroShare) -> None:
+        replica = self._replica
+        key = (share.alias, share.client_seq)
+        if key in self._done:
+            return
+        vote_key = (share.alias, share.client_seq, share.update_digest)
+        partials = self._shares.setdefault(vote_key, {})
+        partials[share.partial.signer] = share.partial
+        if len(partials) < replica.intro_public.threshold:
+            return
+        encrypted = self._assembled.get(key)
+        if encrypted is None or encrypted.digest() != share.update_digest:
+            return
+        if key in self._injected:
+            return
+        rank = self.introducer_rank(share.alias)
+        if rank <= 1:
+            # Two immediate introducers, one per on-premises site (the
+            # preference list alternates sites): a site disconnection
+            # costs nothing on the introduction path. Prime deduplicates
+            # at execution.
+            replica.after(replica.costs.threshold_combine, self._combine_and_inject, key)
+        elif key not in self._failover_timers:
+            delay = (rank - 1) * self.failover_delay
+            self._failover_timers[key] = replica.kernel.call_later(
+                delay, self._failover_inject, key
+            )
+
+    def _failover_inject(self, key: IntroKey) -> None:
+        self._failover_timers.pop(key, None)
+        if key in self._done or key in self._injected or not self._replica.online:
+            return
+        self._replica.trace("intro.failover", alias=key[0], seq=key[1])
+        self._combine_and_inject(key)
+
+    def _combine_and_inject(self, key: IntroKey) -> None:
+        replica = self._replica
+        if key in self._done or key in self._injected or not replica.online:
+            return
+        encrypted = self._assembled.get(key)
+        if encrypted is None:
+            return
+        vote_key = (key[0], key[1], encrypted.digest())
+        partials = list(self._shares.get(vote_key, {}).values())
+        if len(partials) < replica.intro_public.threshold:
+            return
+        try:
+            signature = combine_with_retry(
+                replica.intro_public, encrypted.signing_bytes(), partials
+            )
+        except SignatureError:
+            # Fewer than f+1 honest shares so far; more are on the way
+            # (the proxy fans out to 2f+k+1 on-premises replicas).
+            replica.trace("intro.combine-failed", alias=key[0], seq=key[1])
+            self._injected.discard(key)
+            return
+        signed = EncryptedUpdate(
+            alias=encrypted.alias,
+            client_seq=encrypted.client_seq,
+            ciphertext=encrypted.ciphertext,
+            threshold_sig=signature,
+        )
+        self._injected.add(key)
+        replica.engine.inject(
+            OpaqueUpdate(digest=signed.digest(), payload=signed, size=signed.wire_size())
+        )
+        replica.trace("intro.injected", alias=key[0], seq=key[1])
+
+    # -- plain (baseline) path ---------------------------------------------------------
+
+    def _introduce_plain(self, alias: str, update: ClientUpdate) -> None:
+        key = (alias, update.client_seq)
+        self._plain_pending[key] = update
+        rank = self.introducer_rank(alias)
+        if rank <= 1:
+            self._inject_plain(key)
+        elif key not in self._failover_timers:
+            self._failover_timers[key] = self._replica.kernel.call_later(
+                (rank - 1) * self.failover_delay, self._inject_plain_failover, key
+            )
+
+    def _inject_plain_failover(self, key: IntroKey) -> None:
+        self._failover_timers.pop(key, None)
+        if key in self._done or not self._replica.online:
+            return
+        self._inject_plain(key)
+
+    def _inject_plain(self, key: IntroKey) -> None:
+        update = self._plain_pending.get(key)
+        if update is None or key in self._done or key in self._injected:
+            return
+        self._injected.add(key)
+        self._replica.engine.inject(
+            OpaqueUpdate(digest=update.digest(), payload=update, size=update.wire_size())
+        )
+
+    # -- shared plumbing ------------------------------------------------------------------
+
+    def introducer_rank(self, alias: str) -> int:
+        """This replica's position in the client's introducer preference
+        list: a deterministic rotation of the on-premises replicas with
+        consecutive ranks alternating between the two on-premises sites,
+        so losing a whole site never removes more than every other rank."""
+        ordered = self.preference_list(alias)
+        return ordered.index(self._replica.host)
+
+    def preference_list(self, alias: str) -> List[str]:
+        """The full introducer preference order for a client alias."""
+        replica = self._replica
+        hosts = sorted([replica.host] + replica.on_premises_peers())
+        topology = replica.env.network.topology
+        by_site: Dict[str, List[str]] = {}
+        for host in hosts:
+            by_site.setdefault(topology.site_of(host).name, []).append(host)
+        columns = [by_site[site] for site in sorted(by_site)]
+        interleaved: List[str] = []
+        for row in range(max(len(c) for c in columns)):
+            for column in columns:
+                if row < len(column):
+                    interleaved.append(column[row])
+        offset = int(hashlib.sha256(alias.encode("utf-8")).hexdigest(), 16)
+        rotation = offset % len(interleaved)
+        return interleaved[rotation:] + interleaved[:rotation]
+
+    def mark_executed(self, alias: str, client_seq: int) -> None:
+        """The update was globally ordered and executed: stop failovers."""
+        key = (alias, client_seq)
+        self._done.add(key)
+        timer = self._failover_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        self._assembled.pop(key, None)
+        self._plain_pending.pop(key, None)
+        self._injected.discard(key)
+        for vote_key in [vk for vk in self._shares if (vk[0], vk[1]) == key]:
+            del self._shares[vote_key]
+
+    def drain_awaiting_keys(self, alias: str) -> None:
+        """A new key epoch is available: retry parked updates."""
+        parked = self._awaiting_keys.pop(alias, [])
+        for update in parked:
+            if (alias, update.client_seq) not in self._done:
+                self._introduce_confidential(alias, update)
+
+    @property
+    def parked_updates(self) -> int:
+        return sum(len(v) for v in self._awaiting_keys.values())

@@ -1,0 +1,820 @@
+"""Replica hosts: executing (on-premises) and storage (data-center) roles.
+
+This module is the runtime embodiment of the paper's architecture split
+(Section IV-A): every replica hosts a Prime engine and participates fully
+in ordering, but only *executing* replicas host an application instance,
+hold client keys, decrypt updates, and generate responses; *storage*
+replicas store encrypted updates and checkpoints, relay checkpoint
+stability votes, and serve state transfer — nothing else.
+
+The Spire 1.2 baseline is expressed with the same classes: every replica
+(including those in data centers) is an :class:`ExecutingReplica` with
+``confidential=False``, which skips encryption and threshold introduction;
+the confidentiality auditor then records the resulting plaintext exposure
+at data-center hosts, quantifying the gap Confidential Spire closes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.app import Application
+from repro.core.checkpoint import CheckpointManager
+from repro.core.confidentiality import Auditor, Sensitive
+from repro.core.encryption import KeyManager
+from repro.core.intro import IntroductionManager
+from repro.core.key_renewal import KeyRenewalManager
+from repro.core.messages import (
+    BatchRecord,
+    CheckpointMsg,
+    ClientResponse,
+    ClientUpdate,
+    EncryptedUpdate,
+    IntroShare,
+    KeyProposal,
+    ResponseShare,
+    ResumePoint,
+    StateXferResponse,
+    StateXferSolicit,
+    XferRequest,
+    client_alias,
+    unpack_update,
+)
+from repro.core.state_transfer import StateTransferManager
+from repro.costs import CostModel
+from repro.crypto.keystore import HardwareKeyStore
+from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.symmetric import SymmetricKeyPair
+from repro.crypto.threshold import (
+    PartialSignature,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+    combine_with_retry,
+)
+from repro.errors import ProtocolError, SignatureError
+from repro.net.network import Network
+from repro.prime.config import PrimeConfig
+from repro.sim.cpu import Cpu
+from repro.prime.engine import PrimeReplica
+from repro.prime.messages import (
+    Commit,
+    Heartbeat,
+    NewView,
+    OpaqueUpdate,
+    PoAck,
+    PoAru,
+    PoFetch,
+    PoFetchReply,
+    PoRequest,
+    PrePrepare,
+    Prepare,
+    Suspect,
+    VcState,
+)
+
+_PRIME_TYPES = (
+    PoRequest,
+    PoAck,
+    PoAru,
+    PoFetch,
+    PoFetchReply,
+    PrePrepare,
+    Prepare,
+    Commit,
+    Heartbeat,
+    Suspect,
+    VcState,
+    NewView,
+)
+
+
+@dataclass
+class ReplicaEnv:
+    """Shared deployment context handed to every replica.
+
+    Built once by :mod:`repro.system.builder`; replicas treat it as
+    read-only configuration.
+    """
+
+    kernel: object
+    network: Network
+    costs: CostModel
+    prime_config: PrimeConfig
+    confidential: bool
+    all_replicas: Tuple[str, ...]
+    on_premises: Tuple[str, ...]
+    executing: Tuple[str, ...]
+    intro_public: Optional[ThresholdPublicKey]
+    response_public: ThresholdPublicKey
+    client_registry: Dict[str, RsaPublicKey]
+    alias_to_client: Dict[str, str]
+    proxy_of_client: Dict[str, str]
+    initial_client_keys: Dict[str, SymmetricKeyPair]
+    checkpoint_interval: int = 100
+    key_validity: int = 1000
+    key_slack: int = 10
+    key_renewal_enabled: bool = False
+    failover_delay: float = 0.120
+    lagging_debounce: float = 1.0
+    # Flow control for state-transfer responses: when set, responses are
+    # split into parts of at most this many bytes, paced xfer_chunk_interval
+    # apart (None reproduces the paper prototype's single-burst behaviour).
+    xfer_chunk_bytes: Optional[int] = 65536
+    xfer_chunk_interval: float = 0.004
+    tracer: Optional[object] = None
+    auditor: Optional[Auditor] = None
+    rng: Optional[object] = None
+
+
+class ClientProgress:
+    """Execution-dedup record for one client: which sequences ran.
+
+    The global total order may interleave one client's updates out of
+    sequence-number order (two introducers, independent pre-order
+    streams); execution follows the total order, so dedup must handle
+    holes. Stored compactly as a contiguous watermark plus the sparse set
+    above it.
+    """
+
+    __slots__ = ("contiguous", "extras")
+
+    def __init__(self, contiguous: int = 0, extras: Optional[Set[int]] = None):
+        self.contiguous = contiguous
+        self.extras: Set[int] = set(extras or ())
+        self._compact()
+
+    def is_executed(self, seq: int) -> bool:
+        return seq <= self.contiguous or seq in self.extras
+
+    def mark(self, seq: int) -> None:
+        if self.is_executed(seq):
+            return
+        self.extras.add(seq)
+        self._compact()
+
+    def _compact(self) -> None:
+        while (self.contiguous + 1) in self.extras:
+            self.contiguous += 1
+            self.extras.discard(self.contiguous)
+
+    @property
+    def high_watermark(self) -> int:
+        return max(self.extras) if self.extras else self.contiguous
+
+    def to_state(self):
+        return [self.contiguous, sorted(self.extras)]
+
+    @staticmethod
+    def from_state(state) -> "ClientProgress":
+        contiguous, extras = state
+        return ClientProgress(int(contiguous), {int(s) for s in extras})
+
+
+class ReplicaBase:
+    """Shared machinery: engine lifecycle, dispatch, logs, recovery."""
+
+    hosts_application = False
+
+    def __init__(self, env: ReplicaEnv, host: str, keystore: HardwareKeyStore):
+        self.env = env
+        self.host = host
+        self.keystore = keystore
+        self.kernel = env.kernel
+        self.costs = env.costs
+        self.confidential = env.confidential
+        self.online = False
+        self.incarnation = 0
+        self.cpu = Cpu(env.kernel)
+        self.update_log: Dict[int, BatchRecord] = {}
+        self.checkpoints = CheckpointManager(self, env.checkpoint_interval)
+        self.xfer = StateTransferManager(self)
+        self.engine = self._make_engine()
+        self._last_lagging_xfer = -1e9
+        # Hook for the Byzantine adversary (repro.system.adversary): maps
+        # (dst, message) -> message-or-None on everything this host sends.
+        self.outbound_filter = None
+        env.network.register(host, self.on_message)
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def f(self) -> int:
+        return self.env.prime_config.f
+
+    @property
+    def quorum(self) -> int:
+        return self.env.prime_config.quorum
+
+    def all_peers(self) -> List[str]:
+        return [r for r in self.env.all_replicas if r != self.host]
+
+    def on_premises_replicas(self) -> List[str]:
+        return list(self.env.on_premises)
+
+    def on_premises_peers(self) -> List[str]:
+        return [r for r in self.env.on_premises if r != self.host]
+
+    def executing_peers(self) -> List[str]:
+        return [r for r in self.env.executing if r != self.host]
+
+    # -- engine lifecycle ----------------------------------------------------------
+
+    def _make_engine(self) -> PrimeReplica:
+        return PrimeReplica(
+            kernel=self.kernel,
+            config=self.env.prime_config,
+            replica_id=self.host,
+            send=self.network_send,
+            multicast=self._multicast_replicas,
+            deliver=self._deliver,
+            validate=self._validate,
+            on_lagging=self._on_lagging,
+            costs=self.costs,
+            tracer=self.env.tracer,
+            incarnation=self.incarnation,
+        )
+
+    def start(self) -> None:
+        """Bring the replica online at deployment start."""
+        self.online = True
+        self.engine.start()
+
+    # -- networking ---------------------------------------------------------------------
+
+    def network_send(self, dst: str, message: object) -> None:
+        if self.outbound_filter is not None:
+            message = self.outbound_filter(dst, message)
+            if message is None:
+                return
+        self.env.network.send(self.host, dst, message)
+
+    def _multicast_replicas(self, message: object) -> None:
+        for dst in self.env.all_replicas:
+            if dst != self.host:
+                self.network_send(dst, message)
+
+    def on_message(self, src: str, message: object) -> None:
+        """Network entry point: queue the message behind the host CPU.
+
+        Every replica-to-replica message costs CPU (deserialization plus
+        Prime's per-message authentication check); the FIFO CPU model is
+        what makes message-volume growth show up as latency.
+        """
+        self.cpu.run(self.costs.message_processing, self._process_message, src, message)
+
+    def _process_message(self, src: str, message: object) -> None:
+        if not self.online:
+            return
+        if isinstance(message, _PRIME_TYPES):
+            self.engine.handle(src, message)
+        elif isinstance(message, ClientUpdate):
+            self.on_client_update(src, message)
+        elif isinstance(message, IntroShare):
+            self.on_intro_share(src, message)
+        elif isinstance(message, ResponseShare):
+            self.on_response_share(src, message)
+        elif isinstance(message, CheckpointMsg):
+            self.checkpoints.on_checkpoint(src, message)
+        elif isinstance(message, StateXferSolicit):
+            self.xfer.on_solicit(src, message)
+        elif isinstance(message, StateXferResponse):
+            self.xfer.on_response(src, message)
+        else:
+            raise ProtocolError(
+                f"{self.host}: unhandled message type {type(message).__name__}"
+            )
+
+    # Role-specific handlers overridden by ExecutingReplica.
+
+    def on_client_update(self, src: str, message: ClientUpdate) -> None:
+        self.trace("replica.unexpected-client-update", src=src)
+
+    def on_intro_share(self, src: str, message: IntroShare) -> None:
+        self.trace("replica.unexpected-intro-share", src=src)
+
+    def on_response_share(self, src: str, message: ResponseShare) -> None:
+        self.trace("replica.unexpected-response-share", src=src)
+
+    # -- scheduling helper ------------------------------------------------------------------
+
+    def after(self, cost: float, fn: Callable, *args) -> None:
+        """Run ``fn`` after ``cost`` seconds of this host's CPU time."""
+        if cost > 0:
+            self.cpu.run(cost, fn, *args)
+        else:
+            fn(*args)
+
+    def trace(self, category: str, **detail) -> None:
+        if self.env.tracer is not None:
+            self.env.tracer.record(category, self.host, **detail)
+
+    def observe_plaintext(self, label: str, channel: str = "local") -> None:
+        if self.env.auditor is not None:
+            self.env.auditor.observe(self.host, label, channel)
+
+    def draw_random_bytes(self, n: int) -> bytes:
+        if self.env.rng is None:
+            raise ProtocolError("no RNG registry configured")
+        return self.env.rng.randbytes(f"replica.{self.host}.{self.incarnation}", n)
+
+    # -- ordered batch processing -----------------------------------------------------------
+
+    def _deliver(self, entries, batch_seq: int) -> None:
+        for ordinal, _origin, _po_seq, update in entries:
+            self.process_entry(ordinal, update.payload)
+        batch_seq_r, ordinal_r, ordered_through = self.engine.resume_point()
+        record = BatchRecord(
+            batch_seq=batch_seq,
+            resume=ResumePoint.from_engine(batch_seq_r, ordinal_r, ordered_through),
+            entries=tuple((ordinal, update.payload) for ordinal, _o, _p, update in entries),
+        )
+        self.update_log[batch_seq] = record
+        self.checkpoints.maybe_generate(record.resume.ordinal, record.resume)
+
+    def process_entry(self, ordinal: int, payload: object) -> None:
+        if isinstance(payload, XferRequest):
+            self.xfer.on_ordered_request(payload)
+        elif isinstance(payload, (EncryptedUpdate, ClientUpdate, KeyProposal)):
+            self.store_entry(ordinal, payload)
+        else:
+            raise ProtocolError(
+                f"{self.host}: unknown ordered payload {type(payload).__name__}"
+            )
+
+    def store_entry(self, ordinal: int, payload: object) -> None:
+        """Storage behaviour: nothing beyond the update log (kept by
+        :meth:`_deliver`); executing replicas override."""
+
+    # -- update validation (Prime callback) ----------------------------------------------------
+
+    def _validate(self, update: OpaqueUpdate) -> bool:
+        payload = update.payload
+        if isinstance(payload, EncryptedUpdate):
+            if self.env.intro_public is None:
+                return False
+            return self.env.intro_public.verify(
+                payload.signing_bytes(), payload.threshold_sig
+            )
+        if isinstance(payload, ClientUpdate):
+            if self.confidential:
+                # Plaintext client updates must never be ordered in
+                # Confidential Spire.
+                return False
+            public = self.env.client_registry.get(payload.client_id)
+            return public is not None and public.verify(
+                payload.signing_bytes(), payload.signature
+            )
+        if isinstance(payload, KeyProposal):
+            return payload.proposer in self.env.on_premises
+        if isinstance(payload, XferRequest):
+            return True
+        return False
+
+    # -- lagging detection / state transfer ---------------------------------------------------------
+
+    def _on_lagging(self, target_seq: int) -> None:
+        now = self.kernel.now
+        if now - self._last_lagging_xfer < self.env.lagging_debounce:
+            return
+        if self.xfer.in_progress:
+            return
+        self._last_lagging_xfer = now
+        self.trace("replica.lagging", target=target_seq)
+        self.xfer.initiate(reason=f"lagging@{target_seq}")
+
+    def executed_ordinal(self) -> int:
+        return self.engine.order.ordinal
+
+    def update_log_after(self, batch_seq: int) -> List[BatchRecord]:
+        return [
+            self.update_log[seq]
+            for seq in sorted(self.update_log)
+            if seq > batch_seq
+        ]
+
+    def prune_update_log(self, before_seq: int) -> None:
+        for seq in [s for s in self.update_log if s < before_seq]:
+            del self.update_log[seq]
+
+    # -- state transfer application ----------------------------------------------------------------------
+
+    def apply_state_transfer(
+        self,
+        checkpoint: Optional[CheckpointMsg],
+        batches: List[BatchRecord],
+        view: int,
+    ) -> None:
+        if checkpoint is not None:
+            self.checkpoints.adopt_stable(checkpoint)
+            self.restore_from_checkpoint(checkpoint)
+        for record in batches:
+            self.update_log[record.batch_seq] = record
+            for ordinal, payload in record.entries:
+                self.replay_entry(ordinal, payload)
+        if batches:
+            resume = batches[-1].resume
+        elif checkpoint is not None:
+            resume = checkpoint.resume
+        else:
+            resume = None
+        if resume is not None:
+            self.engine.fast_forward(
+                resume.batch_seq,
+                resume.ordinal,
+                resume.ordered_through_dict(),
+                view=view,
+            )
+        elif view > self.engine.view:
+            self.engine.fast_forward(0, 0, {}, view=view)
+        self.checkpoints.retry_stability()
+        self.on_state_transfer_done()
+
+    def restore_from_checkpoint(self, checkpoint: CheckpointMsg) -> None:
+        """Storage replicas keep the blob opaque; nothing to apply."""
+
+    def replay_entry(self, ordinal: int, payload: object) -> None:
+        """Storage replicas only store; executing replicas re-execute."""
+
+    def on_state_transfer_done(self) -> None:
+        order = self.engine.order
+        if order.committed and (order.last_executed + 1) not in order.committed:
+            # Batches committed while the transfer was in flight and we
+            # still miss their predecessors: run one more round (each
+            # round closes the window to the traffic of the previous one).
+            self.trace("replica.post-transfer-gap", ordinal=self.executed_ordinal())
+            self.xfer.initiate(reason="post-transfer-gap")
+            return
+        self.trace("replica.caught-up", ordinal=self.executed_ordinal())
+
+    # -- checkpoint hooks --------------------------------------------------------------------------------------
+
+    def build_checkpoint_blob(self):
+        raise ProtocolError(f"{self.host}: storage replicas do not checkpoint")
+
+    # -- proactive recovery -------------------------------------------------------------------------------------
+
+    def go_down(self) -> None:
+        """Crash / begin proactive recovery: drop off the network."""
+        self.online = False
+        self.engine.stop()
+        self.env.network.set_host_down(self.host, True)
+        self.trace("replica.down")
+
+    def recover(self) -> None:
+        """Finish proactive recovery: wipe session state, rejoin, catch up.
+
+        Hardware-protected keys survive (the keystore's contract); all
+        session state — engine, logs, checkpoints, application state — is
+        rebuilt from scratch and then recovered via state transfer.
+        """
+        self.keystore.wipe()
+        self.incarnation += 1
+        self.update_log = {}
+        self.checkpoints = CheckpointManager(self, self.env.checkpoint_interval)
+        self.xfer = StateTransferManager(self)
+        self.reset_role_state()
+        self.engine = self._make_engine()
+        self.env.network.set_host_down(self.host, False)
+        self.online = True
+        self.engine.start()
+        self.trace("replica.recovered", incarnation=self.incarnation)
+        self.xfer.initiate(reason="proactive-recovery")
+
+    def reset_role_state(self) -> None:
+        """Subclass hook: clear role-specific session state."""
+
+
+class StorageReplica(ReplicaBase):
+    """A data-center replica: orders and stores, never executes.
+
+    This class deliberately has *no* application instance, no client keys,
+    and no decryption capability — confidentiality by construction, and
+    the auditor verifies it dynamically as well.
+    """
+
+    hosts_application = False
+
+    def stored_ciphertext_count(self) -> int:
+        """How many encrypted updates this replica currently stores."""
+        count = 0
+        for record in self.update_log.values():
+            for _ordinal, payload in record.entries:
+                if isinstance(payload, EncryptedUpdate):
+                    count += 1
+        return count
+
+
+class ExecutingReplica(ReplicaBase):
+    """An application-hosting replica (on-premises in Confidential Spire;
+    every replica in the Spire baseline)."""
+
+    hosts_application = True
+
+    def __init__(
+        self,
+        env: ReplicaEnv,
+        host: str,
+        keystore: HardwareKeyStore,
+        app_factory: Callable[[], Application],
+        intro_share: Optional[ThresholdKeyShare],
+        response_share: ThresholdKeyShare,
+    ):
+        self._app_factory = app_factory
+        self.app: Application = app_factory()
+        self.intro_share = intro_share
+        self.response_share = response_share
+        super().__init__(env, host, keystore)
+        self.intro = IntroductionManager(self, failover_delay=env.failover_delay)
+        self.key_manager = KeyManager()
+        self.renewal = KeyRenewalManager(
+            self,
+            validity=env.key_validity,
+            slack=env.key_slack,
+            enabled=env.key_renewal_enabled,
+        )
+        self._executed: Dict[str, ClientProgress] = {}
+        self._last_response: Dict[str, ClientResponse] = {}
+        self._response_shares: Dict[Tuple[str, int, bytes], Dict[int, PartialSignature]] = {}
+        self._pending_responses: Dict[Tuple[str, int], bytes] = {}
+        self._responses_combined: Set[Tuple[str, int]] = set()
+        self._install_initial_keys()
+
+    @property
+    def client_registry(self) -> Dict[str, RsaPublicKey]:
+        return self.env.client_registry
+
+    @property
+    def intro_public(self) -> ThresholdPublicKey:
+        if self.env.intro_public is None:
+            raise ProtocolError("no intro threshold key configured")
+        return self.env.intro_public
+
+    def _install_initial_keys(self) -> None:
+        if not self.confidential:
+            return
+        validity = (
+            self.env.key_validity if self.env.key_renewal_enabled else 10 ** 12
+        )
+        for alias, keys in self.env.initial_client_keys.items():
+            self.key_manager.register_client(alias, keys, validity)
+
+    # -- client path ------------------------------------------------------------------
+
+    def on_client_update(self, src: str, message: ClientUpdate) -> None:
+        self.observe_plaintext(message.body.label, channel="client-network")
+        self.intro.on_client_update(message)
+
+    def on_intro_share(self, src: str, message: IntroShare) -> None:
+        self.intro.on_intro_share(src, message)
+
+    def executed_seq(self, alias: str) -> int:
+        """Highest client sequence seen executed (renewal trigger input)."""
+        progress = self._executed.get(alias)
+        return progress.high_watermark if progress else 0
+
+    def is_executed(self, alias: str, client_seq: int) -> bool:
+        progress = self._executed.get(alias)
+        return progress is not None and progress.is_executed(client_seq)
+
+    def _mark_executed(self, alias: str, client_seq: int) -> None:
+        self._executed.setdefault(alias, ClientProgress()).mark(client_seq)
+
+    # -- ordered entries ----------------------------------------------------------------
+
+    def store_entry(self, ordinal: int, payload: object) -> None:
+        if isinstance(payload, EncryptedUpdate):
+            self._execute_encrypted(payload)
+        elif isinstance(payload, ClientUpdate):
+            self._execute_plain(payload)
+        elif isinstance(payload, KeyProposal):
+            self.renewal.on_ordered_proposal(payload)
+
+    def _execute_encrypted(self, payload: EncryptedUpdate) -> None:
+        if self.is_executed(payload.alias, payload.client_seq):
+            return
+        packed = self.key_manager.decrypt_update(
+            payload.alias, payload.client_seq, payload.ciphertext
+        )
+        client_id, client_seq, body = unpack_update(packed)
+        self.observe_plaintext("client-update-body", channel="decryption")
+        self._apply_update(
+            payload.alias,
+            client_id,
+            client_seq,
+            body,
+            extra_cost=self.costs.update_decrypt,
+        )
+
+    def _execute_plain(self, payload: ClientUpdate) -> None:
+        alias = client_alias(payload.client_id)
+        if self.is_executed(alias, payload.client_seq):
+            return
+        self.observe_plaintext(payload.body.label, channel="execution")
+        self._apply_update(alias, payload.client_id, payload.client_seq, payload.body.data)
+
+    def _apply_update(
+        self,
+        alias: str,
+        client_id: str,
+        client_seq: int,
+        body: bytes,
+        extra_cost: float = 0.0,
+    ) -> None:
+        response_body = self.app.execute(client_id, client_seq, body)
+        self._mark_executed(alias, client_seq)
+        self.intro.mark_executed(alias, client_seq)
+        self.renewal.on_client_progress(alias)
+        self.trace("replica.executed", client=alias, seq=client_seq)
+        if response_body is not None:
+            cost = extra_cost + self.costs.app_execute + self.costs.threshold_partial
+            self.after(cost, self._share_response, client_id, client_seq, response_body)
+
+    # -- response pipeline -----------------------------------------------------------------
+
+    def _share_response(self, client_id: str, client_seq: int, body: bytes) -> None:
+        if not self.online:
+            return
+        response = ClientResponse(
+            client_id=client_id,
+            client_seq=client_seq,
+            body=Sensitive(body, label="client-response"),
+            threshold_sig=b"",
+        )
+        signing = response.signing_bytes()
+        partial = self.response_share.sign_partial(signing)
+        import hashlib
+
+        digest = hashlib.sha256(signing).digest()
+        self._pending_responses[(client_id, client_seq)] = body
+        share = ResponseShare(
+            client_id=client_id,
+            client_seq=client_seq,
+            response_digest=digest,
+            partial=partial,
+        )
+        for peer in self.executing_peers():
+            self.network_send(peer, share)
+        self.on_response_share(self.host, share)
+
+    def on_response_share(self, src: str, message: ResponseShare) -> None:
+        key = (message.client_id, message.client_seq, message.response_digest)
+        partials = self._response_shares.setdefault(key, {})
+        partials[message.partial.signer] = message.partial
+        pending_key = (message.client_id, message.client_seq)
+        if (
+            len(partials) >= self.env.response_public.threshold
+            and pending_key in self._pending_responses
+            and pending_key not in self._responses_combined
+        ):
+            self._responses_combined.add(pending_key)
+            self.after(
+                self.costs.threshold_combine, self._combine_response, pending_key, key
+            )
+
+    def _combine_response(self, pending_key, vote_key) -> None:
+        if not self.online:
+            return
+        body = self._pending_responses.get(pending_key)
+        if body is None:
+            return
+        client_id, client_seq = pending_key
+        response = ClientResponse(
+            client_id=client_id,
+            client_seq=client_seq,
+            body=Sensitive(body, label="client-response"),
+            threshold_sig=b"",
+        )
+        partials = list(self._response_shares.get(vote_key, {}).values())
+        try:
+            signature = combine_with_retry(
+                self.env.response_public, response.signing_bytes(), partials
+            )
+        except SignatureError:
+            # Not enough honest shares yet (Byzantine co-signers); clear
+            # the in-progress marker so a later share retriggers us.
+            self.trace("response.combine-failed", client=client_id, seq=client_seq)
+            self._responses_combined.discard(pending_key)
+            return
+        del self._pending_responses[pending_key]
+        signed = ClientResponse(
+            client_id=client_id,
+            client_seq=client_seq,
+            body=response.body,
+            threshold_sig=signature,
+        )
+        self._last_response[client_id] = signed
+        self._response_shares.pop(vote_key, None)
+        self._maybe_send_response(signed)
+
+    def _maybe_send_response(self, response: ClientResponse) -> None:
+        """Send to the proxy if this replica is in the client's responder
+        set (first f+1 on-premises replicas in preference order)."""
+        site = self.env.network.topology.site_of(self.host)
+        if not site.is_on_premises:
+            return
+        alias = client_alias(response.client_id)
+        rank = self.intro.introducer_rank(alias)
+        if rank > self.f:
+            return
+        proxy = self.env.proxy_of_client.get(response.client_id)
+        if proxy is not None:
+            self.network_send(proxy, response)
+
+    def resend_response(self, client_id: str, client_seq: int) -> None:
+        """A retransmitted update for an already-executed sequence: resend
+        the cached threshold-signed response (Section V-C)."""
+        cached = self._last_response.get(client_id)
+        if cached is not None and cached.client_seq == client_seq:
+            proxy = self.env.proxy_of_client.get(client_id)
+            if proxy is not None:
+                self.network_send(proxy, cached)
+
+    # -- checkpointing --------------------------------------------------------------------------
+
+    def build_checkpoint_blob(self):
+        state = {
+            "app": self.app.snapshot().hex(),
+            "executed": {
+                alias: progress.to_state()
+                for alias, progress in sorted(self._executed.items())
+            },
+            "last_responses": {
+                client: [r.client_seq, r.body.data.hex(), r.threshold_sig.hex()]
+                for client, r in sorted(self._last_response.items())
+            },
+        }
+        if self.confidential:
+            state["keys"] = self.key_manager.to_state()
+            state["renewal"] = self.renewal.to_state()
+        packed = json.dumps(state, sort_keys=True).encode("utf-8")
+        self.observe_plaintext("state-snapshot", channel="checkpoint")
+        if self.confidential:
+            return self.keystore.hardware_encrypt(packed)
+        return Sensitive(packed, label="state-snapshot")
+
+    def restore_from_checkpoint(self, checkpoint: CheckpointMsg) -> None:
+        if self.confidential:
+            packed = self.keystore.hardware_decrypt(checkpoint.blob_bytes())
+        else:
+            packed = checkpoint.blob_bytes()
+        state = json.loads(packed.decode("utf-8"))
+        self.app.restore(bytes.fromhex(state["app"]))
+        self._executed = {
+            alias: ClientProgress.from_state(progress_state)
+            for alias, progress_state in state["executed"].items()
+        }
+        self._last_response = {}
+        for client, (seq, body_hex, sig_hex) in state["last_responses"].items():
+            self._last_response[client] = ClientResponse(
+                client_id=client,
+                client_seq=int(seq),
+                body=Sensitive(bytes.fromhex(body_hex), label="client-response"),
+                threshold_sig=bytes.fromhex(sig_hex),
+            )
+        if self.confidential and "keys" in state:
+            self.key_manager.restore_state(state["keys"])
+            self.renewal.restore_state(state.get("renewal", {}))
+        self.observe_plaintext("state-snapshot", channel="state-transfer")
+
+    # -- state transfer replay ---------------------------------------------------------------------
+
+    def replay_entry(self, ordinal: int, payload: object) -> None:
+        if isinstance(payload, EncryptedUpdate):
+            if self.is_executed(payload.alias, payload.client_seq):
+                return
+            packed = self.key_manager.decrypt_update(
+                payload.alias, payload.client_seq, payload.ciphertext
+            )
+            client_id, client_seq, body = unpack_update(packed)
+            self.app.execute(client_id, client_seq, body)
+            self._mark_executed(payload.alias, client_seq)
+            self.renewal.on_client_progress(payload.alias)
+        elif isinstance(payload, ClientUpdate):
+            alias = client_alias(payload.client_id)
+            if self.is_executed(alias, payload.client_seq):
+                return
+            self.app.execute(payload.client_id, payload.client_seq, payload.body.data)
+            self._mark_executed(alias, payload.client_seq)
+        elif isinstance(payload, KeyProposal):
+            self.renewal.on_ordered_proposal(payload)
+
+    # -- recovery -----------------------------------------------------------------------------------
+
+    def reset_role_state(self) -> None:
+        self.app = self._app_factory()
+        self.intro = IntroductionManager(self, failover_delay=self.env.failover_delay)
+        self.key_manager = KeyManager()
+        self.renewal = KeyRenewalManager(
+            self,
+            validity=self.env.key_validity,
+            slack=self.env.key_slack,
+            enabled=self.env.key_renewal_enabled,
+        )
+        self._executed = {}
+        self._last_response = {}
+        self._response_shares = {}
+        self._pending_responses = {}
+        self._responses_combined = set()
+        self._install_initial_keys()

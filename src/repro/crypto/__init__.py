@@ -1,0 +1,62 @@
+"""From-scratch cryptographic substrate.
+
+Implements everything Confidential Spire's protocols need, in pure Python:
+
+- :mod:`repro.crypto.numbers` — primality, safe primes, modular arithmetic,
+- :mod:`repro.crypto.rsa` — RSA signatures (proxies, replica session keys),
+- :mod:`repro.crypto.shamir` — Shamir secret sharing (baseline + dealing),
+- :mod:`repro.crypto.threshold` — Shoup (f+1, n) threshold RSA signatures,
+- :mod:`repro.crypto.aes` / :mod:`repro.crypto.modes` — AES-256-CBC,
+- :mod:`repro.crypto.symmetric` — deterministic HMAC-IV encryption
+  (Section VI-B),
+- :mod:`repro.crypto.keystore` — TPM/SGX hardware key model (Section V-D).
+"""
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.keystore import HardwareKeyStore
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.crypto.symmetric import (
+    KEY_SIZE,
+    SymmetricKeyPair,
+    decrypt,
+    derive_keypair,
+    deterministic_iv,
+    encrypt,
+)
+from repro.crypto.threshold import (
+    PartialSignature,
+    ShareProof,
+    ThresholdKeyGroup,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+    combine_partials,
+    combine_verified,
+    combine_with_retry,
+    generate_threshold_key,
+    verify_partial,
+)
+
+__all__ = [
+    "AES",
+    "BLOCK_SIZE",
+    "HardwareKeyStore",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "generate_keypair",
+    "KEY_SIZE",
+    "SymmetricKeyPair",
+    "encrypt",
+    "decrypt",
+    "derive_keypair",
+    "deterministic_iv",
+    "PartialSignature",
+    "ShareProof",
+    "ThresholdKeyGroup",
+    "ThresholdKeyShare",
+    "ThresholdPublicKey",
+    "combine_partials",
+    "combine_verified",
+    "combine_with_retry",
+    "generate_threshold_key",
+    "verify_partial",
+]

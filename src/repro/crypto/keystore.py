@@ -1,0 +1,122 @@
+"""Hardware-protected key storage (TPM / Intel SGX model).
+
+The paper relies on two hardware-rooted keys per replica (Sections III-B
+and V-D):
+
+- a persistent asymmetric *identity* key used to bootstrap proactive
+  recovery and certify fresh session signing keys,
+- on on-premises replicas only, a persistent shared symmetric key used to
+  encrypt key-renewal proposals and checkpoints, such that data-center
+  replicas can store but never read them.
+
+This module models exactly the properties the protocols depend on:
+
+1. keys can be *used* (sign/encrypt/decrypt) by whoever controls the
+   machine — including an attacker during a compromise window;
+2. keys can never be *exported*: any attempt raises
+   :class:`KeyExfiltrationError` (this is what the confidentiality
+   analysis of Section V-D leans on);
+3. keys survive :meth:`HardwareKeyStore.wipe`, which models the proactive
+   recovery wipe of all session state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.crypto import symmetric
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.crypto.symmetric import SymmetricKeyPair
+from repro.errors import KeyExfiltrationError
+
+
+class HardwareKeyStore:
+    """A single replica's trusted-hardware key compartment."""
+
+    def __init__(
+        self,
+        host: str,
+        identity_key: RsaKeyPair,
+        shared_symmetric: Optional[SymmetricKeyPair] = None,
+    ):
+        self.host = host
+        self._identity_key = identity_key
+        self._shared_symmetric = shared_symmetric
+        self._session_key: Optional[RsaKeyPair] = None
+        self.wipe_count = 0
+
+    # -- identity key ------------------------------------------------------
+
+    @property
+    def identity_public(self) -> RsaPublicKey:
+        """The persistent identity public key (safe to distribute)."""
+        return self._identity_key.public
+
+    def identity_sign(self, message: bytes) -> bytes:
+        """Sign with the TPM identity key (used only during recovery)."""
+        return self._identity_key.sign(message)
+
+    # -- session signing key ----------------------------------------------
+
+    def generate_session_key(self, bits: int, rng: random.Random) -> RsaPublicKey:
+        """Generate a fresh session signing key; returns its public half.
+
+        Called at startup and after every proactive recovery. The new
+        public key is certified to peers with :meth:`identity_sign`.
+        """
+        self._session_key = generate_keypair(bits, rng)
+        return self._session_key.public
+
+    @property
+    def session_public(self) -> RsaPublicKey:
+        if self._session_key is None:
+            raise KeyExfiltrationError(f"{self.host}: no session key generated yet")
+        return self._session_key.public
+
+    def session_sign(self, message: bytes) -> bytes:
+        if self._session_key is None:
+            raise KeyExfiltrationError(f"{self.host}: no session key generated yet")
+        return self._session_key.sign(message)
+
+    # -- shared symmetric key (on-premises replicas only) -------------------
+
+    @property
+    def has_shared_symmetric(self) -> bool:
+        return self._shared_symmetric is not None
+
+    def hardware_encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt under the non-exfiltratable shared symmetric key."""
+        if self._shared_symmetric is None:
+            raise KeyExfiltrationError(
+                f"{self.host}: no hardware symmetric key provisioned"
+            )
+        return symmetric.encrypt(self._shared_symmetric, plaintext)
+
+    def hardware_decrypt(self, blob: bytes) -> bytes:
+        """Decrypt under the non-exfiltratable shared symmetric key."""
+        if self._shared_symmetric is None:
+            raise KeyExfiltrationError(
+                f"{self.host}: no hardware symmetric key provisioned"
+            )
+        return symmetric.decrypt(self._shared_symmetric, blob)
+
+    # -- the property the whole design leans on -----------------------------
+
+    def export_keys(self) -> Dict[str, bytes]:
+        """Hardware keys cannot leave the device. Always raises.
+
+        The attack model in :mod:`repro.system.adversary` calls this when a
+        compromised replica tries to exfiltrate its root keys; the raise is
+        the simulated hardware saying no.
+        """
+        raise KeyExfiltrationError(
+            f"{self.host}: hardware-protected keys are not exportable"
+        )
+
+    # -- proactive recovery --------------------------------------------------
+
+    def wipe(self) -> None:
+        """Model a proactive-recovery wipe: session state dies, roots survive."""
+        self._session_key = None
+        self.wipe_count += 1

@@ -1,0 +1,60 @@
+"""Block-cipher modes: CBC with PKCS#7 padding.
+
+Confidential Spire encrypts updates and checkpoints with AES-256-CBC
+(Section VI-B); the IV comes from the deterministic HMAC construction in
+:mod:`repro.crypto.symmetric`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.errors import CryptoError, DecryptionError
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding (always at least one byte)."""
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise DecryptionError("ciphertext length not a multiple of the block size")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise DecryptionError("invalid padding length byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise DecryptionError("invalid padding bytes")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC-encrypt ``plaintext`` (PKCS#7-padded) under ``cipher`` and ``iv``."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = bytes(a ^ b for a, b in zip(padded[offset : offset + BLOCK_SIZE], previous))
+        encrypted = cipher.encrypt_block(block)
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt(cipher: AES, iv: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`cbc_encrypt`; raises on malformed input."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise DecryptionError("ciphertext length not a multiple of the block size")
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset : offset + BLOCK_SIZE]
+        decrypted = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(decrypted, previous))
+        previous = block
+    return pkcs7_unpad(bytes(out))

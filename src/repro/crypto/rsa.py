@@ -1,0 +1,105 @@
+"""Plain RSA signatures (per-replica and per-proxy signing keys).
+
+This implements textbook RSA with deterministic PKCS#1-v1.5-style padding
+over a SHA-256 digest. It is used for:
+
+- proxy signatures on client updates (Section V-A),
+- replica session-level signing keys (refreshed after proactive recovery),
+- the TPM-resident identity keys used to bootstrap recovery.
+
+Key sizes are configurable; simulations default to short keys for speed and
+the primitives are exercised against each other (sign/verify round trips),
+not against external fixtures, since padding here is intentionally the
+simplified deterministic variant described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numbers import bytes_to_int, generate_prime, int_to_bytes, modinv
+from repro.errors import SignatureError
+
+_DEFAULT_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """True iff ``signature`` is a valid signature on ``message``."""
+        if len(signature) != self.byte_length:
+            return False
+        s = bytes_to_int(signature)
+        if s >= self.n:
+            return False
+        em = pow(s, self.e, self.n)
+        return em == bytes_to_int(_encode_digest(message, self.byte_length))
+
+    def require_valid(self, message: bytes, signature: bytes, context: str = "") -> None:
+        """Raise :class:`SignatureError` unless the signature verifies."""
+        if not self.verify(message, signature):
+            raise SignatureError(f"invalid RSA signature{': ' + context if context else ''}")
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """RSA key pair; the private exponent stays inside this object."""
+
+    public: RsaPublicKey
+    d: int
+
+    def sign(self, message: bytes) -> bytes:
+        """Deterministically sign ``message`` (hash-then-pad-then-exponent)."""
+        em = bytes_to_int(_encode_digest(message, self.public.byte_length))
+        s = pow(em, self.d, self.public.n)
+        return int_to_bytes(s, self.public.byte_length)
+
+
+def _encode_digest(message: bytes, em_len: int) -> bytes:
+    """PKCS#1-v1.5-style deterministic encoding of SHA-256(message).
+
+    Layout: 0x00 0x01 PS 0x00 DIGEST, with PS = 0xff padding. This keeps the
+    encoded value below the modulus and fixed-length, which is all the
+    protocol layer relies on.
+    """
+    digest = hashlib.sha256(message).digest()
+    ps_len = em_len - len(digest) - 3
+    if ps_len < 1:
+        raise ValueError(f"modulus too small for SHA-256 encoding ({em_len} bytes)")
+    return b"\x00\x01" + b"\xff" * ps_len + b"\x00" + digest
+
+
+def generate_keypair(bits: int, rng: random.Random, e: int = _DEFAULT_PUBLIC_EXPONENT) -> RsaKeyPair:
+    """Generate an RSA key pair with a ``bits``-bit modulus.
+
+    ``bits`` of 512 is plenty inside a simulation; 2048+ works but slows key
+    generation noticeably in pure Python.
+    """
+    if bits < 384:
+        raise ValueError("RSA modulus must be at least 384 bits to fit SHA-256 padding")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = modinv(e, phi)
+        except ValueError:
+            continue
+        return RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d)

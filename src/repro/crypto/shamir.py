@@ -1,0 +1,126 @@
+"""Shamir secret sharing over a prime field.
+
+Used directly by the secret-sharing confidential-BFT baseline
+(:mod:`repro.baselines.secret_store`, modelling DepSpace/Belisarius/COBRA
+from the paper's related work) and as the conceptual basis of the threshold
+RSA share dealing in :mod:`repro.crypto.threshold`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.crypto.numbers import modinv
+from repro.errors import CryptoError
+
+# A 257-bit prime, large enough to embed any 32-byte secret chunk.
+DEFAULT_PRIME = 2 ** 256 + 297
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the point (x, y) on the dealing polynomial."""
+
+    x: int
+    y: int
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: random.Random,
+    prime: int = DEFAULT_PRIME,
+) -> Dict[int, Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it; fewer reveal nothing (information-theoretically).
+    """
+    if not 1 <= threshold <= num_shares:
+        raise CryptoError(f"invalid threshold {threshold} of {num_shares}")
+    if not 0 <= secret < prime:
+        raise CryptoError("secret out of field range")
+    coefficients = [secret] + [rng.randrange(prime) for _ in range(threshold - 1)]
+    shares: Dict[int, Share] = {}
+    for x in range(1, num_shares + 1):
+        y = 0
+        for coef in reversed(coefficients):
+            y = (y * x + coef) % prime
+        shares[x] = Share(x=x, y=y)
+    return shares
+
+
+def reconstruct_secret(shares: Sequence[Share], prime: int = DEFAULT_PRIME) -> int:
+    """Lagrange-interpolate the secret (the polynomial's value at 0)."""
+    if not shares:
+        raise CryptoError("no shares supplied")
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise CryptoError("duplicate share indices")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        num, den = 1, 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            num = (num * (-share_j.x)) % prime
+            den = (den * (share_i.x - share_j.x)) % prime
+        secret = (secret + share_i.y * num * modinv(den, prime)) % prime
+    return secret
+
+
+def split_bytes(
+    secret: bytes,
+    threshold: int,
+    num_shares: int,
+    rng: random.Random,
+    prime: int = DEFAULT_PRIME,
+) -> Dict[int, bytes]:
+    """Byte-string convenience wrapper: shares are length-prefixed ints.
+
+    Secrets up to 30 bytes fit in one field element; longer secrets are
+    split into chunks. The returned share encoding is
+    ``len(secret) || y_chunk_0 || y_chunk_1 || ...`` with 33-byte y values.
+    """
+    if len(secret) > 0xFFFF:
+        raise CryptoError("secret too long")
+    chunk_size = 30
+    chunks = [secret[i : i + chunk_size] for i in range(0, len(secret), chunk_size)] or [b""]
+    per_holder: Dict[int, bytearray] = {
+        x: bytearray(len(secret).to_bytes(2, "big")) for x in range(1, num_shares + 1)
+    }
+    for chunk in chunks:
+        value = int.from_bytes(chunk, "big")
+        shares = split_secret(value, threshold, num_shares, rng, prime)
+        for x, share in shares.items():
+            per_holder[x].extend(share.y.to_bytes(33, "big"))
+    return {x: bytes(buf) for x, buf in per_holder.items()}
+
+
+def reconstruct_bytes(
+    shares: Dict[int, bytes], prime: int = DEFAULT_PRIME
+) -> bytes:
+    """Inverse of :func:`split_bytes`."""
+    if not shares:
+        raise CryptoError("no shares supplied")
+    lengths = {data[:2] for data in shares.values()}
+    if len(lengths) != 1:
+        raise CryptoError("inconsistent share headers")
+    total_len = int.from_bytes(next(iter(lengths)), "big")
+    n_chunks = max(1, (total_len + 29) // 30)
+    body_len = {len(data) for data in shares.values()}
+    if body_len != {2 + 33 * n_chunks}:
+        raise CryptoError("malformed share bodies")
+    out = bytearray()
+    remaining = total_len
+    for c in range(n_chunks):
+        points = [
+            Share(x=x, y=int.from_bytes(data[2 + 33 * c : 2 + 33 * (c + 1)], "big"))
+            for x, data in shares.items()
+        ]
+        value = reconstruct_secret(points, prime)
+        chunk_len = min(30, remaining)
+        out.extend(value.to_bytes(chunk_len, "big") if chunk_len else b"")
+        remaining -= chunk_len
+    return bytes(out)

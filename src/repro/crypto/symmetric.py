@@ -1,0 +1,88 @@
+"""Deterministic authenticated-IV symmetric encryption (Section VI-B).
+
+Every on-premises replica must independently encrypt the *same* client
+update into the *same* ciphertext, so that the threshold-signature shares
+they generate over the ciphertext combine (Section V-A). Random IVs would
+break this. Following the paper (and Duan & Zhang, SRDS 2016), the IV is an
+HMAC of the plaintext under a second shared per-client key (the
+"pseudorandom function key"):
+
+    iv  = HMAC-SHA256(prf_key, plaintext)[:16]
+    ct  = AES-256-CBC(enc_key, iv, plaintext)
+    out = iv || ct
+
+Identical plaintexts produce identical ciphertexts, but because every
+client update embeds its client sequence number, real traffic never
+repeats; the construction is deterministic yet non-repeating, exactly as
+argued in the paper.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.errors import CryptoError, DecryptionError
+
+KEY_SIZE = 32
+
+
+@dataclass(frozen=True)
+class SymmetricKeyPair:
+    """A client's shared (encryption key, PRF key) pair.
+
+    All on-premises replicas hold identical copies; data-center replicas
+    never see either key. Key pairs are what the key-renewal protocol of
+    Section V-D rotates.
+    """
+
+    enc_key: bytes
+    prf_key: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.enc_key) != KEY_SIZE or len(self.prf_key) != KEY_SIZE:
+            raise CryptoError("keys must be 32 bytes")
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for logging/tracing (not a secret)."""
+        h = hashlib.sha256(self.enc_key + self.prf_key).hexdigest()
+        return h[:12]
+
+
+def derive_keypair(seed: bytes) -> SymmetricKeyPair:
+    """Derive a key pair from seed material (e.g. combined key proposals)."""
+    enc_key = hmac.new(seed, b"enc", hashlib.sha256).digest()
+    prf_key = hmac.new(seed, b"prf", hashlib.sha256).digest()
+    return SymmetricKeyPair(enc_key=enc_key, prf_key=prf_key)
+
+
+def deterministic_iv(keys: SymmetricKeyPair, plaintext: bytes) -> bytes:
+    """The HMAC-derived IV for ``plaintext`` under this key pair."""
+    return hmac.new(keys.prf_key, plaintext, hashlib.sha256).digest()[:BLOCK_SIZE]
+
+
+def encrypt(keys: SymmetricKeyPair, plaintext: bytes) -> bytes:
+    """Deterministically encrypt: returns ``iv || ciphertext``."""
+    iv = deterministic_iv(keys, plaintext)
+    cipher = AES(keys.enc_key)
+    return iv + cbc_encrypt(cipher, iv, plaintext)
+
+
+def decrypt(keys: SymmetricKeyPair, blob: bytes) -> bytes:
+    """Decrypt ``iv || ciphertext`` and verify the IV commitment.
+
+    Re-deriving the IV from the recovered plaintext and comparing it to the
+    transmitted IV gives integrity "for free": tampering with the
+    ciphertext produces either a padding failure or an IV mismatch.
+    """
+    if len(blob) < 2 * BLOCK_SIZE:
+        raise DecryptionError("blob too short to contain IV and one block")
+    iv, ciphertext = blob[:BLOCK_SIZE], blob[BLOCK_SIZE:]
+    cipher = AES(keys.enc_key)
+    plaintext = cbc_decrypt(cipher, iv, ciphertext)
+    if not hmac.compare_digest(deterministic_iv(keys, plaintext), iv):
+        raise DecryptionError("IV commitment mismatch (wrong key or tampered data)")
+    return plaintext

@@ -1,0 +1,409 @@
+"""(t, n) threshold RSA signatures, after Shoup (Eurocrypt 2000).
+
+Confidential Spire uses (f+1, n) threshold signatures in three places:
+
+- on-premises replicas jointly certify encrypted client updates before
+  injection into Prime (Section V-A),
+- application replicas jointly sign client responses so a proxy verifies a
+  single service public key (Section V-B),
+- the same machinery certifies checkpoints in the Spire baseline.
+
+The scheme: a trusted dealer (system setup) generates an RSA modulus
+``N = p*q`` with ``p, q`` safe primes, picks public exponent ``e`` (a prime
+larger than ``n``), and Shamir-shares the private exponent ``d`` over
+``Z_m`` where ``m = p' * q'``. Player ``i`` produces the partial signature
+``x_i = x^(2*delta*s_i) mod N`` with ``delta = n!``. Any ``t`` partials
+combine — via integer Lagrange coefficients scaled by ``delta`` — into
+``w`` with ``w^e = x^(4*delta^2)``; since ``gcd(e, 4*delta^2) = 1`` the
+actual signature ``y`` with ``y^e = x`` is recovered with one extended-GCD
+step. Verification is ordinary RSA verification, so verifiers (including
+data-center replicas and client proxies) need only the public key.
+
+Partial signatures carry the signer index so the combiner can apply the
+right Lagrange coefficients; invalid partials surface as a combine-then-
+verify failure, after which the caller retries with a different subset
+(the simulation's Byzantine replicas exercise this path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.numbers import (
+    bytes_to_int,
+    egcd,
+    generate_safe_prime,
+    int_to_bytes,
+    modinv,
+)
+from repro.errors import CryptoError, SignatureError
+
+
+@dataclass(frozen=True)
+class ThresholdPublicKey:
+    """Public data: RSA modulus/exponent plus the scheme parameters.
+
+    ``verifier_base`` and ``verifier_keys`` (v and v_i = v^{s_i}) support
+    per-share correctness proofs; they are dealt alongside the shares and
+    are safe to publish (discrete logs mod an RSA modulus are hard).
+    """
+
+    n_modulus: int
+    e: int
+    threshold: int
+    players: int
+    verifier_base: int = 0
+    verifier_keys: "Dict[int, int]" = None  # type: ignore[assignment]
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n_modulus.bit_length() + 7) // 8
+
+    def hash_to_element(self, message: bytes) -> int:
+        """Map a message to the group element that gets signed.
+
+        A SHA-256-based full-domain-hash: counters are appended and hashed
+        until the concatenation covers the modulus size, then reduced.
+        """
+        need = self.byte_length + 8
+        out = bytearray()
+        counter = 0
+        while len(out) < need:
+            out.extend(hashlib.sha256(message + counter.to_bytes(4, "big")).digest())
+            counter += 1
+        return bytes_to_int(bytes(out[:need])) % self.n_modulus
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Ordinary RSA check: signature^e == H(message) mod N."""
+        if len(signature) != self.byte_length:
+            return False
+        y = bytes_to_int(signature)
+        if y >= self.n_modulus:
+            return False
+        return pow(y, self.e, self.n_modulus) == self.hash_to_element(message)
+
+    def require_valid(self, message: bytes, signature: bytes, context: str = "") -> None:
+        if not self.verify(message, signature):
+            raise SignatureError(
+                f"invalid threshold signature{': ' + context if context else ''}"
+            )
+
+
+@dataclass(frozen=True)
+class PartialSignature:
+    """One player's contribution: index and the value x^(2*delta*s_i).
+
+    When produced by :meth:`ThresholdKeyShare.sign_partial_with_proof`,
+    ``proof`` carries Shoup's non-interactive correctness proof (a
+    Chaum-Pedersen discrete-log-equality proof made non-interactive with
+    Fiat-Shamir), letting verifiers discard Byzantine shares *before*
+    combining instead of searching subsets afterwards.
+    """
+
+    signer: int
+    value: int
+    proof: Optional["ShareProof"] = None
+
+
+@dataclass(frozen=True)
+class ShareProof:
+    """Fiat-Shamir proof that a partial signature used the dealt share:
+    log_{x~}(x_i) == log_v(v_i) where x~ = H(m)^(2*delta)."""
+
+    challenge: int
+    response: int
+
+
+@dataclass(frozen=True)
+class ThresholdKeyShare:
+    """Player ``index``'s private share of the service key."""
+
+    public: ThresholdPublicKey
+    index: int
+    share: int
+
+    def sign_partial(self, message: bytes) -> PartialSignature:
+        x = self.public.hash_to_element(message)
+        delta = math.factorial(self.public.players)
+        value = pow(x, 2 * delta * self.share, self.public.n_modulus)
+        return PartialSignature(signer=self.index, value=value)
+
+    def sign_partial_with_proof(self, message: bytes) -> PartialSignature:
+        """Sign and attach Shoup's correctness proof.
+
+        The proof nonce is derived deterministically from the share and
+        the message (RFC-6979 style), so signing stays deterministic and
+        never needs an entropy source at runtime.
+        """
+        public = self.public
+        if not public.verifier_base:
+            raise CryptoError("key group was dealt without verifier keys")
+        n = public.n_modulus
+        delta = math.factorial(public.players)
+        x_tilde = pow(public.hash_to_element(message), 2 * delta, n)
+        value = pow(x_tilde, self.share, n)
+        nonce_material = hashlib.sha512(
+            b"share-proof-nonce|"
+            + self.share.to_bytes((self.share.bit_length() + 7) // 8 or 1, "big")
+            + b"|"
+            + message
+        ).digest()
+        bound = 1 << (n.bit_length() + 2 * 256)
+        r = int.from_bytes(nonce_material * ((bound.bit_length() // 512) + 2), "big") % bound
+        v = public.verifier_base
+        v_i = public.verifier_keys[self.index]
+        commitment_v = pow(v, r, n)
+        commitment_x = pow(x_tilde, r, n)
+        challenge = _proof_challenge(n, v, x_tilde, v_i, value, commitment_v, commitment_x)
+        response = self.share * challenge + r
+        return PartialSignature(
+            signer=self.index,
+            value=value,
+            proof=ShareProof(challenge=challenge, response=response),
+        )
+
+
+@dataclass(frozen=True)
+class ThresholdKeyGroup:
+    """Dealer output: the public key and every player's share.
+
+    In a deployment the dealer runs once at system-setup time on operator
+    premises; inside the simulation the builder deals keys before the run.
+    """
+
+    public: ThresholdPublicKey
+    shares: Dict[int, ThresholdKeyShare]
+
+
+def generate_threshold_key(
+    bits: int,
+    threshold: int,
+    players: int,
+    rng: random.Random,
+) -> ThresholdKeyGroup:
+    """Deal a fresh (threshold, players) key with a ``bits``-bit modulus.
+
+    Safe-prime generation dominates cost; 256-384 bit moduli are instant
+    and fine for simulation, 2048-bit keys take minutes in pure Python.
+    """
+    if not 1 <= threshold <= players:
+        raise CryptoError(f"invalid threshold {threshold} of {players}")
+    half = bits // 2
+    while True:
+        p = generate_safe_prime(half, rng)
+        q = generate_safe_prime(bits - half, rng)
+        if p != q:
+            break
+    n_modulus = p * q
+    m = ((p - 1) // 2) * ((q - 1) // 2)
+    # e must be a prime strictly larger than the number of players so that
+    # it is coprime to delta = players!; 65537 covers any realistic n.
+    e = 65537 if players < 65537 else _next_prime_above(players, rng)
+    d = modinv(e, m)
+    # Shamir-share d over Z_m with a degree-(threshold-1) polynomial.
+    coefficients = [d] + [rng.randrange(m) for _ in range(threshold - 1)]
+    share_values: Dict[int, int] = {}
+    for i in range(1, players + 1):
+        y = 0
+        for coef in reversed(coefficients):
+            y = (y * i + coef) % m
+        share_values[i] = y
+    # Verifier keys for share-correctness proofs: v a random square,
+    # v_i = v^{s_i}.
+    verifier_base = pow(rng.randrange(2, n_modulus - 1), 2, n_modulus)
+    verifier_keys = {
+        i: pow(verifier_base, share_values[i], n_modulus)
+        for i in range(1, players + 1)
+    }
+    public = ThresholdPublicKey(
+        n_modulus=n_modulus,
+        e=e,
+        threshold=threshold,
+        players=players,
+        verifier_base=verifier_base,
+        verifier_keys=verifier_keys,
+    )
+    shares = {
+        i: ThresholdKeyShare(public=public, index=i, share=share_values[i])
+        for i in range(1, players + 1)
+    }
+    return ThresholdKeyGroup(public=public, shares=shares)
+
+
+def combine_partials(
+    public: ThresholdPublicKey,
+    message: bytes,
+    partials: Iterable[PartialSignature],
+) -> bytes:
+    """Combine ``threshold`` partial signatures into a full signature.
+
+    Raises :class:`SignatureError` if the combination does not verify,
+    which happens when any supplied partial was invalid (a Byzantine
+    signer); callers should retry with a different subset.
+    """
+    subset: List[PartialSignature] = []
+    seen = set()
+    for partial in partials:
+        if partial.signer in seen:
+            continue
+        seen.add(partial.signer)
+        subset.append(partial)
+        if len(subset) == public.threshold:
+            break
+    if len(subset) < public.threshold:
+        raise CryptoError(
+            f"need {public.threshold} distinct partial signatures, got {len(subset)}"
+        )
+    delta = math.factorial(public.players)
+    indices = [p.signer for p in subset]
+    w = 1
+    for partial in subset:
+        lam = _integer_lagrange_at_zero(delta, partial.signer, indices)
+        exponent = 2 * lam
+        base = partial.value % public.n_modulus
+        if exponent < 0:
+            base = modinv(base, public.n_modulus)
+            exponent = -exponent
+        w = (w * pow(base, exponent, public.n_modulus)) % public.n_modulus
+    # Now w^e == x^(4*delta^2). Recover y with y^e == x via extended GCD.
+    x = public.hash_to_element(message)
+    g, a, b = egcd(public.e, 4 * delta * delta)
+    if g != 1:
+        raise CryptoError("public exponent not coprime to 4*delta^2")
+    y = 1
+    if a >= 0:
+        y = (y * pow(x, a, public.n_modulus)) % public.n_modulus
+    else:
+        y = (y * pow(modinv(x, public.n_modulus), -a, public.n_modulus)) % public.n_modulus
+    if b >= 0:
+        y = (y * pow(w, b, public.n_modulus)) % public.n_modulus
+    else:
+        y = (y * pow(modinv(w, public.n_modulus), -b, public.n_modulus)) % public.n_modulus
+    signature = int_to_bytes(y, public.byte_length)
+    if not public.verify(message, signature):
+        raise SignatureError(
+            "combined threshold signature failed verification "
+            "(an invalid partial was supplied)"
+        )
+    return signature
+
+
+def _proof_challenge(
+    n: int, v: int, x_tilde: int, v_i: int, x_i: int, commit_v: int, commit_x: int
+) -> int:
+    hasher = hashlib.sha256()
+    for value in (n, v, x_tilde, v_i, x_i, commit_v, commit_x):
+        raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+        hasher.update(len(raw).to_bytes(4, "big"))
+        hasher.update(raw)
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def verify_partial(
+    public: ThresholdPublicKey, message: bytes, partial: PartialSignature
+) -> bool:
+    """Check a partial signature's Shoup correctness proof.
+
+    Returns False for partials without a proof, with an unknown signer,
+    or whose proof does not verify — i.e. anything a combiner should not
+    feed into :func:`combine_partials`.
+    """
+    if partial.proof is None or not public.verifier_base:
+        return False
+    v_i = (public.verifier_keys or {}).get(partial.signer)
+    if v_i is None:
+        return False
+    n = public.n_modulus
+    delta = math.factorial(public.players)
+    x_tilde = pow(public.hash_to_element(message), 2 * delta, n)
+    c = partial.proof.challenge
+    z = partial.proof.response
+    if z < 0:
+        return False
+    commit_v = (pow(public.verifier_base, z, n) * modinv(pow(v_i, c, n), n)) % n
+    commit_x = (pow(x_tilde, z, n) * modinv(pow(partial.value, c, n), n)) % n
+    return c == _proof_challenge(
+        n, public.verifier_base, x_tilde, v_i, partial.value, commit_v, commit_x
+    )
+
+
+def combine_verified(
+    public: ThresholdPublicKey,
+    message: bytes,
+    partials: Iterable[PartialSignature],
+) -> bytes:
+    """Filter partials by their correctness proofs, then combine.
+
+    This is the paper-accurate pipeline: Byzantine shares are identified
+    and discarded individually (O(n) proof checks) instead of searched
+    for combinatorially.
+    """
+    good = [p for p in partials if verify_partial(public, message, p)]
+    return combine_partials(public, message, good)
+
+
+def combine_with_retry(
+    public: ThresholdPublicKey,
+    message: bytes,
+    partials: Iterable[PartialSignature],
+    max_attempts: int = 64,
+) -> bytes:
+    """Combine, tolerating invalid partials from Byzantine signers.
+
+    Shoup's full scheme attaches a zero-knowledge correctness proof to
+    each partial so bad shares are filtered before combining; we get the
+    same effect by trying threshold-sized subsets until one verifies
+    (cheap at the small thresholds BFT uses: f+1 of n). Raises
+    :class:`SignatureError` when no subset verifies within the budget —
+    which under the threat model means fewer than f+1 honest shares were
+    supplied.
+    """
+    import itertools
+
+    unique: Dict[int, PartialSignature] = {}
+    for partial in partials:
+        unique.setdefault(partial.signer, partial)
+    pool = sorted(unique.values(), key=lambda p: p.signer)
+    if len(pool) < public.threshold:
+        raise CryptoError(
+            f"need {public.threshold} distinct partial signatures, got {len(pool)}"
+        )
+    attempts = 0
+    last_error: Optional[SignatureError] = None
+    for subset in itertools.combinations(pool, public.threshold):
+        attempts += 1
+        if attempts > max_attempts:
+            break
+        try:
+            return combine_partials(public, message, subset)
+        except SignatureError as error:
+            last_error = error
+    raise last_error or SignatureError("no verifying subset of partial signatures")
+
+
+def _integer_lagrange_at_zero(delta: int, i: int, indices: List[int]) -> int:
+    """delta * l_i(0) for the Lagrange basis over ``indices``; an integer."""
+    num = delta
+    den = 1
+    for j in indices:
+        if j == i:
+            continue
+        num *= -j
+        den *= i - j
+    if num % den:
+        raise CryptoError("Lagrange coefficient not integral (bad delta)")
+    return num // den
+
+
+def _next_prime_above(n: int, rng: random.Random) -> int:
+    from repro.crypto.numbers import is_probable_prime
+
+    candidate = n + 1
+    while True:
+        if is_probable_prime(candidate, rng):
+            return candidate
+        candidate += 1

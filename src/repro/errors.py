@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Confidential Spire reproduction.
+
+All library-specific exceptions derive from :class:`ReproError`, so callers
+can catch one base class at an API boundary without swallowing unrelated
+programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration is invalid or cannot satisfy the threat model."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature or threshold signature failed to verify."""
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext could not be decrypted (bad key, IV, or padding)."""
+
+
+class KeyExfiltrationError(CryptoError):
+    """An attempt was made to export a hardware-protected key."""
+
+
+class KeyScheduleError(CryptoError):
+    """No valid client key exists for a requested sequence range."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-level failures."""
+
+
+class UnreachableError(NetworkError):
+    """No overlay route exists between two hosts."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message violated the rules of the protocol state machine."""
+
+
+class StateTransferError(ReproError):
+    """A state transfer could not be completed or validated."""
+
+
+class ConfidentialityViolation(ReproError):
+    """Plaintext application state reached a host that must never see it.
+
+    Raised by the confidentiality auditor when running in ``strict`` mode;
+    otherwise violations are recorded for post-hoc inspection.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly."""

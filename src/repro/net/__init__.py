@@ -1,0 +1,43 @@
+"""Network substrate: geography, intrusion-tolerant overlay, transport,
+and attack injection.
+
+- :mod:`repro.net.topology` — sites, hosts, link latencies, the canonical
+  East-Coast evaluation topology,
+- :mod:`repro.net.overlay` — Spines-model routing around failures,
+- :mod:`repro.net.network` — message delivery with latency, bandwidth,
+  queueing and jitter,
+- :mod:`repro.net.attacks` — scripted site isolation and link cuts.
+"""
+
+from repro.net.attacks import AttackController, AttackEvent
+from repro.net.network import Network
+from repro.net.overlay import Overlay
+from repro.net.topology import (
+    CLIENT_SITE,
+    CONTROL_CENTER_A,
+    CONTROL_CENTER_B,
+    DATA_CENTER_1,
+    DATA_CENTER_2,
+    DATA_CENTER_3,
+    Site,
+    SiteKind,
+    Topology,
+    east_coast_topology,
+)
+
+__all__ = [
+    "AttackController",
+    "AttackEvent",
+    "Network",
+    "Overlay",
+    "Site",
+    "SiteKind",
+    "Topology",
+    "east_coast_topology",
+    "CLIENT_SITE",
+    "CONTROL_CENTER_A",
+    "CONTROL_CENTER_B",
+    "DATA_CENTER_1",
+    "DATA_CENTER_2",
+    "DATA_CENTER_3",
+]

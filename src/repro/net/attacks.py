@@ -1,0 +1,132 @@
+"""Attack injection: the adversary's network-level playbook.
+
+The residual network attack under the paper's threat model (after the
+Spines reduction) is a sophisticated DoS that isolates one geographic site.
+This module scripts such attacks against the overlay, plus finer-grained
+link cuts used by robustness tests.
+
+Attacks can be driven two ways:
+
+- imperatively (``controller.isolate_site("cc-a")``) from test code,
+- declaratively as a schedule of :class:`AttackEvent` entries executed by
+  :meth:`AttackController.install_schedule`, which is how the Figure 2
+  benchmark reproduces the paper's timeline of disconnections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.net.overlay import Overlay
+from repro.sim.kernel import Kernel
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """One scheduled attack action.
+
+    ``action`` is one of ``isolate``, ``reconnect``, ``cut_link``,
+    ``restore_link``. ``target`` is a site name, or "siteA|siteB" for link
+    actions.
+    """
+
+    time: float
+    action: str
+    target: str
+
+    _ACTIONS = ("isolate", "reconnect", "cut_link", "restore_link", "degrade", "restore")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ValueError(f"unknown attack action {self.action!r}")
+
+
+class AttackController:
+    """Executes network attacks against an overlay, with tracing."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        overlay: Overlay,
+        tracer: Optional[Tracer] = None,
+        network=None,
+    ):
+        self.kernel = kernel
+        self.overlay = overlay
+        self.tracer = tracer
+        self.network = network
+        self.log: List[AttackEvent] = []
+
+    # -- imperative interface ----------------------------------------------------
+
+    def isolate_site(self, site: str) -> None:
+        """Launch a DoS isolating ``site`` from every other site, now."""
+        self.overlay.isolate_site(site)
+        self._record("isolate", site)
+
+    def reconnect_site(self, site: str) -> None:
+        """End the DoS against ``site``; its links come back immediately."""
+        self.overlay.reconnect_site(site)
+        self._record("reconnect", site)
+
+    def degrade_site(
+        self,
+        site: str,
+        bandwidth_divisor: float = 10.0,
+        added_latency: float = 0.020,
+        loss_probability: float = 0.02,
+    ) -> None:
+        """Partial DoS: throttle, delay, and drop (but do not sever)
+        every WAN flow touching ``site``."""
+        if self.network is None:
+            raise RuntimeError("attack controller has no network reference")
+        self.network.degrade_site(
+            site, bandwidth_divisor, added_latency, loss_probability
+        )
+        self._record("degrade", site)
+
+    def restore_site(self, site: str) -> None:
+        """Lift a partial DoS."""
+        if self.network is None:
+            raise RuntimeError("attack controller has no network reference")
+        self.network.restore_site(site)
+        self._record("restore", site)
+
+    def cut_link(self, site_a: str, site_b: str) -> None:
+        self.overlay.cut_link(site_a, site_b)
+        self._record("cut_link", f"{site_a}|{site_b}")
+
+    def restore_link(self, site_a: str, site_b: str) -> None:
+        self.overlay.restore_link(site_a, site_b)
+        self._record("restore_link", f"{site_a}|{site_b}")
+
+    # -- declarative schedule -------------------------------------------------------
+
+    def install_schedule(self, events: Iterable[AttackEvent]) -> None:
+        """Schedule a scripted attack timeline on the kernel."""
+        for event in events:
+            self.kernel.call_at(event.time, self._execute, event)
+
+    def _execute(self, event: AttackEvent) -> None:
+        if event.action == "isolate":
+            self.isolate_site(event.target)
+        elif event.action == "reconnect":
+            self.reconnect_site(event.target)
+        elif event.action == "cut_link":
+            site_a, site_b = event.target.split("|")
+            self.cut_link(site_a, site_b)
+        elif event.action == "restore_link":
+            site_a, site_b = event.target.split("|")
+            self.restore_link(site_a, site_b)
+        elif event.action == "degrade":
+            self.degrade_site(event.target)
+        elif event.action == "restore":
+            self.restore_site(event.target)
+
+    def _record(self, action: str, target: str) -> None:
+        event = AttackEvent(time=self.kernel.now, action=action, target=target)
+        self.log.append(event)
+        if self.tracer:
+            self.tracer.record("attack", "adversary", action=action, target=target)

@@ -1,0 +1,212 @@
+"""Message transport: latency, bandwidth, queueing, jitter, drops.
+
+This is the runtime counterpart of :mod:`repro.net.topology` (static
+geography) and :mod:`repro.net.overlay` (routing/health). It delivers
+payload objects between named hosts with:
+
+- propagation delay from the overlay route (LAN latency inside a site),
+- serialization delay and FIFO queueing on a per-directed-site-pair pipe,
+  which is what makes post-reconnection state-transfer bursts congest the
+  network and produce the 200-450 ms latency spikes of Figure 2,
+- bounded random jitter (Prime assumes bounded latency variance; the
+  default jitter respects that),
+- silent drops when the overlay has no route (isolated site) or the
+  destination host is down.
+
+Payloads are ordinary Python objects; if a payload defines ``wire_size()``
+it is used for serialization cost, otherwise a default size applies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.overlay import Overlay
+from repro.net.topology import Topology
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+Handler = Callable[[str, Any], None]
+
+DEFAULT_MESSAGE_SIZE = 256          # bytes, when payload declares nothing
+DEFAULT_WAN_BANDWIDTH = 100e6 / 8   # 100 Mbit/s in bytes/second
+DEFAULT_LAN_BANDWIDTH = 1e9 / 8     # 1 Gbit/s in bytes/second
+
+
+class Network:
+    """Delivers messages between registered hosts over the overlay."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        topology: Topology,
+        overlay: Overlay,
+        rng: RngRegistry,
+        tracer: Optional[Tracer] = None,
+        wan_bandwidth: float = DEFAULT_WAN_BANDWIDTH,
+        lan_bandwidth: float = DEFAULT_LAN_BANDWIDTH,
+        jitter_fraction: float = 0.05,
+        wan_loss_probability: float = 0.0,
+    ):
+        self.kernel = kernel
+        self.topology = topology
+        self.overlay = overlay
+        self.tracer = tracer
+        self._rng = rng.stream("net.jitter")
+        self._handlers: Dict[str, Handler] = {}
+        self._down_hosts: Dict[str, bool] = {}
+        self._pipe_free_at: Dict[Tuple[str, str], float] = {}
+        self._wan_bandwidth = wan_bandwidth
+        self._lan_bandwidth = lan_bandwidth
+        self._jitter_fraction = jitter_fraction
+        # Random per-message loss on inter-site links. The intrusion-
+        # tolerant overlay absorbs most real loss via rerouting; residual
+        # loss exercises the protocols' retransmission paths.
+        self.wan_loss_probability = wan_loss_probability
+        self._loss_rng = rng.stream("net.loss")
+        # Partial-DoS state: per-site degradation (bandwidth divisor,
+        # added one-way latency, extra loss probability). A weaker attack
+        # than full isolation: traffic still flows, but slowly.
+        self._degraded_sites: Dict[str, Tuple[float, float, float]] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        # Optional delivery inspector (the confidentiality auditor hooks
+        # here): called as inspector(dst_host, payload) on every delivery.
+        self.inspector: Optional[Callable[[str, Any], None]] = None
+
+    # -- membership -------------------------------------------------------------
+
+    def register(self, host: str, handler: Handler) -> None:
+        """Attach the receive handler for ``host`` (must be in the topology)."""
+        if not self.topology.has_host(host):
+            raise ConfigurationError(f"host {host!r} is not in the topology")
+        self._handlers[host] = handler
+
+    def set_host_down(self, host: str, down: bool) -> None:
+        """Mark a host crashed/recovering; messages to it are dropped."""
+        self._down_hosts[host] = down
+
+    def degrade_site(
+        self,
+        site: str,
+        bandwidth_divisor: float = 10.0,
+        added_latency: float = 0.020,
+        loss_probability: float = 0.02,
+    ) -> None:
+        """Apply a partial DoS to every WAN flow touching ``site``."""
+        self._degraded_sites[site] = (bandwidth_divisor, added_latency, loss_probability)
+
+    def restore_site(self, site: str) -> None:
+        """Lift a partial DoS installed by :meth:`degrade_site`."""
+        self._degraded_sites.pop(site, None)
+
+    def site_is_degraded(self, site: str) -> bool:
+        return site in self._degraded_sites
+
+    def host_is_down(self, host: str) -> bool:
+        return self._down_hosts.get(host, False)
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size: Optional[int] = None) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns True if the message was put on the wire (delivery may still
+        be dropped if the destination goes down in flight); False if there
+        was no route, so the caller can observe partitions if it wants to.
+        Protocol code generally ignores the return value: BFT protocols
+        must tolerate silent loss anyway.
+        """
+        self.messages_sent += 1
+        size = size if size is not None else _payload_size(payload)
+        self.bytes_sent += size
+        src_site = self.topology.site_of(src).name
+        dst_site = self.topology.site_of(dst).name
+
+        if src_site == dst_site:
+            if self.overlay.is_isolated(src_site):
+                # Intra-site traffic still flows during an external DoS: the
+                # attack saturates the site's uplinks, not its LAN.
+                pass
+            latency = self.topology.lan_latency
+            bandwidth = self._lan_bandwidth
+        else:
+            route = self.overlay.path_latency(src_site, dst_site)
+            if route is None:
+                self.messages_dropped += 1
+                if self.tracer:
+                    self.tracer.record(
+                        "net.drop", src, dst=dst, reason="no-route", size=size
+                    )
+                return False
+            latency = route
+            bandwidth = self._wan_bandwidth
+            loss = self.wan_loss_probability
+            for site in (src_site, dst_site):
+                degradation = self._degraded_sites.get(site)
+                if degradation is not None:
+                    divisor, extra_latency, extra_loss = degradation
+                    bandwidth = bandwidth / divisor
+                    latency += extra_latency
+                    loss += extra_loss
+            if loss > 0.0 and self._loss_rng.random() < loss:
+                self.messages_dropped += 1
+                if self.tracer:
+                    self.tracer.record(
+                        "net.drop", src, dst=dst, reason="loss", size=size
+                    )
+                return False
+
+        tx_time = size / bandwidth
+        pipe = (src_site, dst_site)
+        now = self.kernel.now
+        start = max(now, self._pipe_free_at.get(pipe, 0.0))
+        self._pipe_free_at[pipe] = start + tx_time
+        jitter = self._rng.uniform(0, self._jitter_fraction * latency)
+        arrival = start + tx_time + latency + jitter
+        self.kernel.call_at(arrival, self._deliver, src, dst, payload, size)
+        return True
+
+    def multicast(self, src: str, dsts, payload: Any, size: Optional[int] = None) -> None:
+        """Send the same payload to every host in ``dsts`` (excluding src)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload, size=size)
+
+    # -- delivery -------------------------------------------------------------------
+
+    def _deliver(self, src: str, dst: str, payload: Any, size: int) -> None:
+        if self._down_hosts.get(dst, False):
+            self.messages_dropped += 1
+            if self.tracer:
+                self.tracer.record("net.drop", src, dst=dst, reason="host-down", size=size)
+            return
+        # Re-check reachability at arrival time: a partition that started
+        # while the message was in flight kills it (DoS saturates the last
+        # hop too).
+        src_site = self.topology.site_of(src).name
+        dst_site = self.topology.site_of(dst).name
+        if src_site != dst_site and self.overlay.path_latency(src_site, dst_site) is None:
+            self.messages_dropped += 1
+            if self.tracer:
+                self.tracer.record("net.drop", src, dst=dst, reason="partitioned", size=size)
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        if self.inspector is not None:
+            self.inspector(dst, payload)
+        handler(src, payload)
+
+
+def _payload_size(payload: Any) -> int:
+    wire_size = getattr(payload, "wire_size", None)
+    if callable(wire_size):
+        return int(wire_size())
+    return DEFAULT_MESSAGE_SIZE

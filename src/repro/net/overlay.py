@@ -1,0 +1,116 @@
+"""Intrusion-tolerant overlay routing (the Spines model).
+
+Spire connects its sites with the Spines intrusion-tolerant overlay, whose
+job in the paper's threat model is to reduce "a broad range of network
+attacks" to the single remaining attack: a resource-intensive DoS that
+isolates one whole site. We reproduce that reduction:
+
+- the overlay maintains the site graph from the topology,
+- it routes messages over the lowest-latency *functioning* path, so a cut
+  link is survived transparently (with the latency of the detour),
+- an *isolated* site has every incident link suppressed; no detour exists
+  and traffic to/from it is dropped, exactly the residual attack the
+  protocols must tolerate.
+
+Routing is recomputed lazily whenever link state changes; path computation
+is plain Dijkstra over a handful of sites, so cost is negligible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.topology import Topology, _ordered
+
+
+class Overlay:
+    """Site-level routing with mutable link/site health."""
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self._isolated_sites: Set[str] = set()
+        self._route_cache: Dict[Tuple[str, str], Optional[Tuple[float, int]]] = {}
+
+    # -- attack surface (driven by repro.net.attacks) -------------------------
+
+    def cut_link(self, site_a: str, site_b: str) -> None:
+        if self._topology.link_latency(site_a, site_b) is None:
+            raise ConfigurationError(f"no link between {site_a} and {site_b}")
+        self._cut_links.add(_ordered(site_a, site_b))
+        self._route_cache.clear()
+
+    def restore_link(self, site_a: str, site_b: str) -> None:
+        self._cut_links.discard(_ordered(site_a, site_b))
+        self._route_cache.clear()
+
+    def isolate_site(self, site: str) -> None:
+        """Model a DoS that disconnects every link touching ``site``."""
+        self._topology.get_site(site)
+        self._isolated_sites.add(site)
+        self._route_cache.clear()
+
+    def reconnect_site(self, site: str) -> None:
+        self._isolated_sites.discard(site)
+        self._route_cache.clear()
+
+    def is_isolated(self, site: str) -> bool:
+        return site in self._isolated_sites
+
+    @property
+    def isolated_sites(self) -> Set[str]:
+        return set(self._isolated_sites)
+
+    # -- routing ---------------------------------------------------------------
+
+    def path_latency(self, site_a: str, site_b: str) -> Optional[float]:
+        """One-way latency of the best live route, or None if unreachable."""
+        route = self.route(site_a, site_b)
+        return None if route is None else route[0]
+
+    def route(self, site_a: str, site_b: str) -> Optional[Tuple[float, int]]:
+        """(latency, hop_count) of the best live route, or None.
+
+        Same-site routing is free (handled by the LAN model upstream).
+        """
+        if site_a == site_b:
+            return (0.0, 0)
+        key = (site_a, site_b)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        result = self._dijkstra(site_a, site_b)
+        self._route_cache[key] = result
+        return result
+
+    def _live_neighbors(self, site: str) -> List[Tuple[str, float]]:
+        if site in self._isolated_sites:
+            return []
+        neighbors = []
+        for (a, b), latency in self._topology.links.items():
+            if a != site and b != site:
+                continue
+            other = b if a == site else a
+            if other in self._isolated_sites:
+                continue
+            if _ordered(a, b) in self._cut_links:
+                continue
+            neighbors.append((other, latency))
+        return neighbors
+
+    def _dijkstra(self, start: str, goal: str) -> Optional[Tuple[float, int]]:
+        best: Dict[str, float] = {start: 0.0}
+        heap: List[Tuple[float, int, str]] = [(0.0, 0, start)]
+        while heap:
+            dist, hops, site = heapq.heappop(heap)
+            if site == goal:
+                return (dist, hops)
+            if dist > best.get(site, float("inf")):
+                continue
+            for neighbor, latency in self._live_neighbors(site):
+                candidate = dist + latency
+                if candidate < best.get(neighbor, float("inf")):
+                    best[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, hops + 1, neighbor))
+        return None

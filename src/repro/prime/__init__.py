@@ -1,0 +1,26 @@
+"""Prime-style intrusion-tolerant replication engine.
+
+A pure-Python reproduction of the structure of Prime (Amir et al., "Prime:
+Byzantine Replication Under Attack", TDSC 2011) as deployed in Spire, with
+the quorum sizes of the proactive-recovery configuration (n = 3f+2k+1,
+quorums of 2f+k+1):
+
+- :mod:`repro.prime.preorder` — po-request dissemination, acknowledgement
+  certificates, cumulative ARU vectors, po-fetch retransmission,
+- :mod:`repro.prime.order` — leader summary proposals, prepare/commit
+  agreement, deterministic batch expansion into update ordinals,
+- :mod:`repro.prime.view_change` — leader-alive + progress failure
+  detectors, suspicion voting, PBFT-style new-view state adoption,
+- :mod:`repro.prime.engine` — the per-replica facade.
+
+Documented simplifications relative to the C implementation are listed in
+DESIGN.md (summary vectors instead of full summary matrices; distilled
+suspect-leader; channel-level authentication for engine-internal traffic
+with signature costs charged via the cost model).
+"""
+
+from repro.prime.config import PrimeConfig
+from repro.prime.engine import PrimeReplica
+from repro.prime.messages import OpaqueUpdate
+
+__all__ = ["PrimeConfig", "PrimeReplica", "OpaqueUpdate"]

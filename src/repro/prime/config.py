@@ -1,0 +1,75 @@
+"""Prime engine configuration and quorum arithmetic.
+
+Prime configured for proactive recovery (as in Spire) uses ``n = 3f+2k+1``
+total replicas to tolerate ``f`` Byzantine replicas and ``k`` unavailable
+ones (recovering, crashed, or disconnected); every certificate quorum is
+``2f+k+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PrimeConfig:
+    """Static parameters shared by every replica in one Prime instance."""
+
+    replica_ids: Tuple[str, ...]
+    f: int
+    k: int
+    # Leader cadence: a pre-prepare is issued every pp_interval seconds
+    # (non-empty batches run full agreement; empty ones act as heartbeats).
+    pp_interval: float = 0.020
+    # A replica suspects the leader after this long without a valid
+    # pre-prepare (Prime's suspect-leader distilled to its timeout form).
+    vc_timeout: float = 0.150
+    # How long to wait before re-fetching a missing po-request.
+    fetch_retry: float = 0.050
+    # Coalescing window for cumulative PO-ARU advertisements.
+    aru_flush_interval: float = 0.008
+    # Retransmission period for own uncertified po-requests (repairs
+    # streams broken by partitions or message loss).
+    po_retransmit_interval: float = 0.500
+    # Retention of executed batch metadata (for serving po-fetches and
+    # state transfer) before garbage collection, in batches.
+    max_batch_history: int = 20000
+
+    def __post_init__(self) -> None:
+        if self.f < 0 or self.k < 0:
+            raise ConfigurationError("f and k must be non-negative")
+        expected = 3 * self.f + 2 * self.k + 1
+        if len(self.replica_ids) != expected:
+            raise ConfigurationError(
+                f"Prime with f={self.f}, k={self.k} needs n={expected} replicas, "
+                f"got {len(self.replica_ids)}"
+            )
+        if len(set(self.replica_ids)) != len(self.replica_ids):
+            raise ConfigurationError("replica ids must be unique")
+
+    @property
+    def n(self) -> int:
+        return len(self.replica_ids)
+
+    @property
+    def quorum(self) -> int:
+        """Certificate size: 2f+k+1 (ordering, po-acks, stability)."""
+        return 2 * self.f + self.k + 1
+
+    @property
+    def join_threshold(self) -> int:
+        """f+1: enough votes to contain one correct replica."""
+        return self.f + 1
+
+    def leader_of(self, view: int) -> str:
+        """Round-robin leader rotation in ``replica_ids`` order.
+
+        The deployment builder passes replicas interleaved across sites,
+        so consecutive views place the leader in different sites and a
+        site disconnection costs a single view change, not one per
+        replica in the dead site.
+        """
+        return self.replica_ids[view % len(self.replica_ids)]

@@ -1,0 +1,200 @@
+"""The Prime replica engine: facade over the three sub-protocols.
+
+A :class:`PrimeReplica` is one replica's protocol brain. It is written as
+a pure event-driven state machine: the hosting layer (CP-ITM middleware or
+the Spire baseline replica) feeds it network messages via :meth:`handle`
+and local updates via :meth:`inject`, and receives ordered batches through
+the ``deliver`` callback. The engine never touches application state,
+encryption keys, or client identities — exactly mirroring the paper's
+separation where Prime orders opaque (possibly encrypted) payloads.
+
+Lifecycle: an engine instance represents one *incarnation* of a replica.
+Proactive recovery discards the instance and builds a fresh one with
+``incarnation + 1`` (pre-order sequence spaces are per-incarnation, so a
+recovered replica cannot collide with its pre-wipe self), then adopts a
+resume point from state transfer via :meth:`fast_forward`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.costs import CostModel
+from repro.errors import ProtocolError
+from repro.prime.config import PrimeConfig
+from repro.prime.messages import (
+    Commit,
+    Heartbeat,
+    NewView,
+    OpaqueUpdate,
+    PoAck,
+    PoAru,
+    PoFetch,
+    PoFetchReply,
+    PoRequest,
+    PrePrepare,
+    Prepare,
+    Suspect,
+    VcState,
+)
+from repro.prime.order import BatchEntry, GlobalOrder
+from repro.prime.preorder import PreOrder
+from repro.prime.view_change import ViewChange
+from repro.sim.kernel import Kernel
+from repro.sim.trace import Tracer
+
+SendFn = Callable[[str, object], None]
+MulticastFn = Callable[[object], None]
+DeliverFn = Callable[[List[BatchEntry], int], None]
+ValidateFn = Callable[[OpaqueUpdate], bool]
+LaggingFn = Callable[[int], None]
+
+_VIEW_CARRIERS = (PrePrepare, Prepare, Commit, Heartbeat, NewView)
+
+
+class PrimeReplica:
+    """One incarnation of a Prime protocol replica."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: PrimeConfig,
+        replica_id: str,
+        send: SendFn,
+        multicast: MulticastFn,
+        deliver: DeliverFn,
+        validate: Optional[ValidateFn] = None,
+        on_lagging: Optional[LaggingFn] = None,
+        costs: Optional[CostModel] = None,
+        tracer: Optional[Tracer] = None,
+        incarnation: int = 0,
+    ):
+        if replica_id not in config.replica_ids:
+            raise ProtocolError(f"{replica_id!r} is not in the replica set")
+        self.kernel = kernel
+        self.config = config
+        self.replica_id = replica_id
+        self.incarnation = incarnation
+        self.costs = costs or CostModel()
+        self.tracer = tracer
+        self.view = 0
+        self.online = False
+        # Set by the hosting layer while a state transfer is in progress:
+        # a replica that knows it is behind must not blame the leader for
+        # its own lack of progress (that mistake turns every site rejoin
+        # into a view-change storm).
+        self.catching_up = False
+        self._send = send
+        self._multicast = multicast
+        self._deliver = deliver
+        self._validate = validate or (lambda update: True)
+        self._on_lagging = on_lagging
+        self.preorder = PreOrder(self)
+        self.order = GlobalOrder(self)
+        self.view_change = ViewChange(self)
+        self._dispatch = {
+            PoRequest: self.preorder.on_po_request,
+            PoAck: self.preorder.on_po_ack,
+            PoAru: self.preorder.on_po_aru,
+            PoFetch: self.preorder.on_po_fetch,
+            PoFetchReply: self.preorder.on_po_fetch_reply,
+            PrePrepare: self.order.on_pre_prepare,
+            Prepare: self.order.on_prepare,
+            Commit: self.order.on_commit,
+            Heartbeat: self.order.on_heartbeat,
+            Suspect: self.view_change.on_suspect,
+            VcState: self.view_change.on_vc_state,
+            NewView: self.view_change.on_new_view,
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring the engine online; begins leader duty if it is leader."""
+        self.online = True
+        self.view_change.start()
+        self.preorder.start_retransmission()
+        if self.is_leader():
+            self.order.start_leader_duty()
+
+    def stop(self) -> None:
+        """Take the engine offline (crash / start of proactive recovery)."""
+        self.online = False
+        self.order.stop_leader_duty()
+        self.preorder.stop_retransmission()
+        self.view_change.stop()
+
+    def is_leader(self) -> bool:
+        return self.config.leader_of(self.view) == self.replica_id
+
+    # -- I/O ----------------------------------------------------------------------
+
+    def handle(self, src: str, message: object) -> None:
+        """Entry point for every protocol message addressed to this replica."""
+        if not self.online:
+            return
+        if isinstance(message, _VIEW_CARRIERS):
+            self.view_change.note_view_evidence(src, message.view)
+        handler = self._dispatch.get(type(message))
+        if handler is None:
+            raise ProtocolError(f"unknown Prime message type {type(message).__name__}")
+        handler(src, message)
+
+    def inject(self, update: OpaqueUpdate) -> Optional[int]:
+        """Originate ``update`` into the pre-ordering protocol."""
+        if not self.online:
+            return None
+        seq = self.preorder.inject(update)
+        if seq is not None:
+            self.view_change.note_work_pending()
+        return seq
+
+    def send(self, dst: str, message: object) -> None:
+        self._send(dst, message)
+
+    def multicast(self, message: object) -> None:
+        self._multicast(message)
+
+    # -- callbacks from sub-protocols ------------------------------------------------
+
+    def deliver_batch(self, entries: List[BatchEntry], batch_seq: int) -> None:
+        self.view_change.note_progress()
+        self._deliver(entries, batch_seq)
+
+    def validate_update(self, update: OpaqueUpdate) -> bool:
+        return self._validate(update)
+
+    def note_lagging(self, target_seq: int) -> None:
+        if self._on_lagging is not None:
+            self._on_lagging(target_seq)
+
+    def trace(self, category: str, **detail: object) -> None:
+        if self.tracer is not None:
+            self.tracer.record(category, self.replica_id, **detail)
+
+    # -- state transfer integration -----------------------------------------------------
+
+    def resume_point(self) -> Tuple[int, int, Dict[str, int]]:
+        """(batch_seq, ordinal, ordered_through) after last local execution."""
+        return self.order.resume_point()
+
+    def fast_forward(
+        self,
+        batch_seq: int,
+        ordinal: int,
+        ordered_through: Dict[str, int],
+        view: int = 0,
+    ) -> None:
+        """Adopt a checkpoint-certified resume point."""
+        if view > self.view:
+            self.view = view
+            self.order.replay_future_pre_prepares(view)
+            if self.is_leader():
+                self.order.start_leader_duty()
+            else:
+                self.order.stop_leader_duty()
+        self.order.fast_forward(batch_seq, ordinal, dict(ordered_through))
+
+    def gc_before(self, batch_seq: int) -> None:
+        """Garbage-collect execution history before ``batch_seq``."""
+        self.order.gc_before(batch_seq)

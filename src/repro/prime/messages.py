@@ -1,0 +1,204 @@
+"""Prime protocol messages.
+
+All messages are immutable dataclasses. ``wire_size()`` returns the
+approximate serialized size in bytes, which the network layer uses for
+bandwidth/queueing; the estimates follow the C Spire message layouts
+(headers + fixed fields + payload lengths).
+
+Authentication model: as in deployed BFT systems, replica-to-replica
+channels are authenticated (Spire uses per-link keys); the simulation's
+network layer provides authenticated sender identity, and per-message
+signature *cost* is charged through the cost model. The messages that the
+paper's contribution actually inspects cryptographically — client updates,
+threshold-signed introductions, threshold-signed responses, checkpoints —
+carry real signatures produced by :mod:`repro.crypto`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+# An update originator is a (replica incarnation) identity: "r3#0" is
+# replica 3's first incarnation; after a proactive recovery it injects as
+# "r3#1", which keeps pre-ordering sequence spaces from colliding.
+OriginId = str
+
+_HEADER = 64  # common message header estimate (type, sender, view, auth tag)
+
+
+@dataclass(frozen=True)
+class OpaqueUpdate:
+    """An update as Prime sees it: opaque payload plus routing metadata.
+
+    In Confidential Spire the payload is an encrypted, threshold-signed
+    client update; in the Spire baseline it is a plaintext signed update.
+    ``digest`` identifies the update for deduplication and acks.
+    """
+
+    digest: bytes
+    payload: object
+    size: int
+
+    def wire_size(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class PoRequest:
+    """Pre-order request: an originator introduces an update."""
+
+    origin: OriginId
+    seq: int
+    update: OpaqueUpdate
+
+    def wire_size(self) -> int:
+        return _HEADER + 16 + self.update.size
+
+
+@dataclass(frozen=True)
+class PoAck:
+    """Acknowledgement that the sender holds (origin, seq)'s po-request."""
+
+    origin: OriginId
+    seq: int
+    digest: bytes
+
+    def wire_size(self) -> int:
+        return _HEADER + 16 + len(self.digest)
+
+
+@dataclass(frozen=True)
+class PoAru:
+    """Cumulative pre-order acknowledgement vector.
+
+    ``vector[origin]`` is the highest contiguous pre-order sequence from
+    ``origin`` for which the sender holds a pre-order certificate.
+    """
+
+    vector: Mapping[OriginId, int]
+
+    def wire_size(self) -> int:
+        return _HEADER + 16 * max(1, len(self.vector))
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Leader's global ordering proposal for batch ``seq`` in ``view``.
+
+    ``cutoffs`` plays the role of Prime's summary matrix: the batch orders
+    every (origin, s) with ordered-so-far < s <= cutoffs[origin].
+    """
+
+    view: int
+    seq: int
+    cutoffs: Mapping[OriginId, int]
+
+    def wire_size(self) -> int:
+        return _HEADER + 24 + 16 * max(1, len(self.cutoffs))
+
+    def content_key(self) -> Tuple[int, Tuple[Tuple[OriginId, int], ...]]:
+        """Hashable identity of the proposal content (excludes view)."""
+        return (self.seq, tuple(sorted(self.cutoffs.items())))
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Echo of a pre-prepare's content in the prepare phase."""
+
+    view: int
+    seq: int
+    content_digest: bytes
+
+    def wire_size(self) -> int:
+        return _HEADER + 24 + len(self.content_digest)
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Commit vote: the sender holds a prepare certificate for the batch."""
+
+    view: int
+    seq: int
+    content_digest: bytes
+
+    def wire_size(self) -> int:
+        return _HEADER + 24 + len(self.content_digest)
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Leader liveness beacon sent when there is nothing new to order.
+
+    Heartbeats carry no ordering content and run no agreement; they exist
+    so followers can distinguish "idle leader" from "dead leader".
+    """
+
+    view: int
+
+    def wire_size(self) -> int:
+        return _HEADER + 8
+
+
+@dataclass(frozen=True)
+class Suspect:
+    """Vote to replace the current leader by moving to ``target_view``."""
+
+    target_view: int
+
+    def wire_size(self) -> int:
+        return _HEADER + 8
+
+
+@dataclass(frozen=True)
+class PreparedCert:
+    """A prepared-but-possibly-uncommitted batch reported in a view change."""
+
+    view: int
+    seq: int
+    cutoffs: Mapping[OriginId, int]
+
+
+@dataclass(frozen=True)
+class VcState:
+    """A replica's state report to the new leader of ``view``."""
+
+    view: int
+    last_committed: int
+    prepared: Tuple[PreparedCert, ...] = ()
+
+    def wire_size(self) -> int:
+        return _HEADER + 16 + sum(24 + 16 * max(1, len(c.cutoffs)) for c in self.prepared)
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New leader's announcement: adopted batches then fresh proposals."""
+
+    view: int
+    start_seq: int
+    adopted: Tuple[PreparedCert, ...] = ()
+
+    def wire_size(self) -> int:
+        return _HEADER + 16 + sum(24 + 16 * max(1, len(c.cutoffs)) for c in self.adopted)
+
+
+@dataclass(frozen=True)
+class PoFetch:
+    """Request retransmission of a missing po-request."""
+
+    origin: OriginId
+    seq: int
+
+    def wire_size(self) -> int:
+        return _HEADER + 16
+
+
+@dataclass(frozen=True)
+class PoFetchReply:
+    """Retransmission of a stored po-request."""
+
+    request: PoRequest
+
+    def wire_size(self) -> int:
+        return _HEADER + self.request.wire_size()

@@ -1,0 +1,313 @@
+"""Prime's global ordering sub-protocol.
+
+The leader periodically (every ``pp_interval``) turns its aggregated
+knowledge of pre-order certificates into a PRE-PREPARE carrying a
+cumulative cutoff vector: batch ``s`` globally orders every (origin, seq)
+pair above what previous batches covered, up to the vector. Followers run
+a prepare/commit agreement on the batch with 2f+k+1 quorums; committed
+batches are executed in sequence order, expanding deterministically into
+individually-numbered updates (ordinals) that the application layer
+consumes.
+
+When the leader has nothing new to order it emits a heartbeat instead of
+an empty batch, so idle periods cost O(n) messages rather than O(n^2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from repro.prime.messages import (
+    Commit,
+    Heartbeat,
+    OriginId,
+    PoRequest,
+    PrePrepare,
+    Prepare,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.prime.engine import PrimeReplica
+
+BatchEntry = Tuple[int, OriginId, int, object]  # (ordinal, origin, po_seq, update)
+
+
+def content_digest(seq: int, cutoffs: Dict[OriginId, int]) -> bytes:
+    """Canonical digest of a proposal's ordering content."""
+    canonical = f"{seq}|" + "|".join(
+        f"{origin}:{cut}" for origin, cut in sorted(cutoffs.items())
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).digest()
+
+
+class GlobalOrder:
+    """Global ordering state machine for one replica."""
+
+    def __init__(self, engine: "PrimeReplica"):
+        self._engine = engine
+        # Accepted proposals: seq -> (view, cutoffs, digest).
+        self.pre_prepares: Dict[int, Tuple[int, Dict[OriginId, int], bytes]] = {}
+        self._prepare_votes: Dict[Tuple[int, int, bytes], Set[str]] = {}
+        self._commit_votes: Dict[Tuple[int, int, bytes], Set[str]] = {}
+        self._prepared: Set[Tuple[int, int]] = set()          # (view, seq)
+        self._commit_sent: Set[Tuple[int, int]] = set()
+        self.committed: Dict[int, Dict[OriginId, int]] = {}   # seq -> cutoffs
+        self.last_executed = 0
+        self.ordinal = 0
+        self.ordered_through: Dict[OriginId, int] = {}
+        # Executed batch metadata kept for state-transfer resume points and
+        # po-request garbage collection: seq -> (ordinal_after, pairs).
+        self.executed_batches: Dict[int, Tuple[int, List[Tuple[OriginId, int]]]] = {}
+        # Leader-side proposal state.
+        self.propose_seq = 0
+        self._proposed_vector: Dict[OriginId, int] = {}
+        self._tick_timer = None
+        # Pre-prepares for views we have not adopted yet: a replica that
+        # is about to learn of a view change (f+1 evidence) must not lose
+        # the proposal that arrived moments earlier.
+        self._future_pre_prepares: Dict[int, List[Tuple[str, PrePrepare]]] = {}
+
+    # -- leader duty cycle ---------------------------------------------------
+
+    def start_leader_duty(self) -> None:
+        """Begin (or resume) periodic proposing; idempotent."""
+        self.stop_leader_duty()
+        self._tick_timer = self._engine.kernel.call_later(
+            self._engine.config.pp_interval, self._tick
+        )
+
+    def stop_leader_duty(self) -> None:
+        if self._tick_timer is not None:
+            self._tick_timer.cancel()
+            self._tick_timer = None
+
+    def _tick(self) -> None:
+        self._tick_timer = None
+        if not self._engine.online or not self._engine.is_leader():
+            return
+        self._propose_if_new()
+        self._tick_timer = self._engine.kernel.call_later(
+            self._engine.config.pp_interval, self._tick
+        )
+
+    def _propose_if_new(self) -> None:
+        cutoffs: Dict[OriginId, int] = {}
+        advanced = False
+        for origin in self._engine.preorder.known_origins():
+            known = self._engine.preorder.max_known(origin)
+            floor = max(
+                self._proposed_vector.get(origin, 0), self.ordered_through.get(origin, 0)
+            )
+            if known > floor:
+                advanced = True
+            cutoffs[origin] = max(known, floor)
+        if not advanced:
+            self._engine.multicast(Heartbeat(view=self._engine.view))
+            return
+        self.propose_seq = max(self.propose_seq, self.last_committed_contiguous()) + 1
+        proposal = PrePrepare(
+            view=self._engine.view, seq=self.propose_seq, cutoffs=dict(cutoffs)
+        )
+        self._proposed_vector = dict(cutoffs)
+        self._engine.multicast(proposal)
+        self.on_pre_prepare(self._engine.replica_id, proposal)
+
+    def on_aru_advanced(self) -> None:
+        """A pre-order certificate advanced: there is work to order."""
+        self._engine.view_change.note_work_pending()
+
+    def last_committed_contiguous(self) -> int:
+        seq = self.last_executed
+        while (seq + 1) in self.committed or (seq + 1) in self.executed_batches:
+            seq += 1
+        return seq
+
+    # -- agreement handlers ----------------------------------------------------
+
+    def on_pre_prepare(self, src: str, message: PrePrepare) -> None:
+        engine = self._engine
+        if message.view > engine.view:
+            stash = self._future_pre_prepares.setdefault(message.view, [])
+            if len(stash) < 1000:
+                stash.append((src, message))
+            return
+        if message.view != engine.view:
+            return
+        if src != engine.config.leader_of(message.view):
+            return
+        engine.view_change.note_leader_alive()
+        existing = self.pre_prepares.get(message.seq)
+        digest = content_digest(message.seq, dict(message.cutoffs))
+        if existing is not None:
+            old_view, _cut, old_digest = existing
+            if old_view == message.view and old_digest != digest:
+                # Conflicting proposals from the leader in one view: keep
+                # the first, ignore the second (a Byzantine leader only
+                # hurts itself; followers will time it out).
+                return
+            if old_view > message.view:
+                return
+        self.pre_prepares[message.seq] = (message.view, dict(message.cutoffs), digest)
+        self._broadcast_prepare(message.view, message.seq, digest)
+
+    def replay_future_pre_prepares(self, view: int) -> None:
+        """Called on view adoption: process stashed proposals for ``view``
+        and drop stashes for views that can no longer be adopted."""
+        for stale in [v for v in self._future_pre_prepares if v < view]:
+            del self._future_pre_prepares[stale]
+        for src, message in self._future_pre_prepares.pop(view, []):
+            self.on_pre_prepare(src, message)
+
+    def on_heartbeat(self, src: str, message: Heartbeat) -> None:
+        engine = self._engine
+        if message.view == engine.view and src == engine.config.leader_of(message.view):
+            engine.view_change.note_leader_alive()
+
+    def _broadcast_prepare(self, view: int, seq: int, digest: bytes) -> None:
+        prepare = Prepare(view=view, seq=seq, content_digest=digest)
+        self._engine.multicast(prepare)
+        self.on_prepare(self._engine.replica_id, prepare)
+
+    def on_prepare(self, src: str, message: Prepare) -> None:
+        key = (message.view, message.seq, message.content_digest)
+        votes = self._prepare_votes.setdefault(key, set())
+        votes.add(src)
+        self._maybe_prepared(message.view, message.seq, message.content_digest)
+
+    def _maybe_prepared(self, view: int, seq: int, digest: bytes) -> None:
+        if (view, seq) in self._prepared:
+            return
+        stored = self.pre_prepares.get(seq)
+        if stored is None or stored[0] != view or stored[2] != digest:
+            return
+        votes = self._prepare_votes.get((view, seq, digest), set())
+        if len(votes) < self._engine.config.quorum:
+            return
+        self._prepared.add((view, seq))
+        if (view, seq) not in self._commit_sent:
+            self._commit_sent.add((view, seq))
+            commit = Commit(view=view, seq=seq, content_digest=digest)
+            self._engine.multicast(commit)
+            self.on_commit(self._engine.replica_id, commit)
+
+    def on_commit(self, src: str, message: Commit) -> None:
+        key = (message.view, message.seq, message.content_digest)
+        votes = self._commit_votes.setdefault(key, set())
+        votes.add(src)
+        self._maybe_committed(message.view, message.seq, message.content_digest)
+
+    def _maybe_committed(self, view: int, seq: int, digest: bytes) -> None:
+        if seq <= self.last_executed:
+            return
+        if seq in self.committed or seq in self.executed_batches:
+            return
+        stored = self.pre_prepares.get(seq)
+        if stored is None or stored[0] != view or stored[2] != digest:
+            return
+        votes = self._commit_votes.get((view, seq, digest), set())
+        if len(votes) < self._engine.config.quorum:
+            return
+        self.committed[seq] = stored[1]
+        self._engine.trace("prime.committed", seq=seq, view=view)
+        self.try_execute()
+
+    # -- prepared certificates (for view changes) ---------------------------------
+
+    def prepared_certificates(self, above_seq: int):
+        """Yield (view, seq, cutoffs) for prepared batches above ``above_seq``."""
+        for view, seq in sorted(self._prepared):
+            if seq <= above_seq:
+                continue
+            stored = self.pre_prepares.get(seq)
+            if stored is not None and stored[0] == view:
+                yield (view, seq, stored[1])
+        # Committed batches count as prepared too.
+        for seq, cutoffs in sorted(self.committed.items()):
+            if seq > above_seq:
+                stored = self.pre_prepares.get(seq)
+                view = stored[0] if stored else 0
+                yield (view, seq, cutoffs)
+
+    # -- execution -------------------------------------------------------------------
+
+    def execution_gap(self) -> bool:
+        """True when batches well beyond the execution point have
+        committed while the next batch has not — the signature of a
+        replica that missed traffic and needs a state transfer."""
+        if not self.committed:
+            return False
+        next_seq = self.last_executed + 1
+        return next_seq not in self.committed and max(self.committed) >= next_seq + 3
+
+    def try_execute(self) -> None:
+        while True:
+            next_seq = self.last_executed + 1
+            cutoffs = self.committed.get(next_seq)
+            if cutoffs is None:
+                if self.execution_gap():
+                    self._engine.note_lagging(max(self.committed))
+                return
+            pairs = self._expand(cutoffs)
+            missing = [
+                pair for pair in pairs if pair not in self._engine.preorder.requests
+            ]
+            if missing:
+                for pair in missing:
+                    self._engine.preorder.fetch_missing(pair)
+                return
+            entries: List[BatchEntry] = []
+            for origin, po_seq in pairs:
+                self.ordinal += 1
+                request = self._engine.preorder.requests[(origin, po_seq)]
+                entries.append((self.ordinal, origin, po_seq, request.update))
+            for origin, po_seq in pairs:
+                if po_seq > self.ordered_through.get(origin, 0):
+                    self.ordered_through[origin] = po_seq
+            del self.committed[next_seq]
+            self.executed_batches[next_seq] = (self.ordinal, pairs)
+            self.last_executed = next_seq
+            self._engine.trace(
+                "prime.executed", seq=next_seq, updates=len(entries), ordinal=self.ordinal
+            )
+            if entries:
+                self._engine.deliver_batch(entries, next_seq)
+
+    def retry_execution(self) -> None:
+        self.try_execute()
+
+    def _expand(self, cutoffs: Dict[OriginId, int]) -> List[Tuple[OriginId, int]]:
+        """Deterministic batch expansion: new pairs in (origin, seq) order."""
+        pairs: List[Tuple[OriginId, int]] = []
+        for origin in sorted(cutoffs):
+            start = self.ordered_through.get(origin, 0) + 1
+            for po_seq in range(start, cutoffs[origin] + 1):
+                pairs.append((origin, po_seq))
+        return pairs
+
+    # -- state transfer integration -----------------------------------------------------
+
+    def resume_point(self) -> Tuple[int, int, Dict[OriginId, int]]:
+        """(batch_seq, ordinal, ordered_through) after the last execution."""
+        return (self.last_executed, self.ordinal, dict(self.ordered_through))
+
+    def fast_forward(
+        self, batch_seq: int, ordinal: int, ordered_through: Dict[OriginId, int]
+    ) -> None:
+        """Adopt a verified resume point obtained via state transfer."""
+        if batch_seq < self.last_executed:
+            return
+        self.last_executed = batch_seq
+        self.ordinal = ordinal
+        self.ordered_through = dict(ordered_through)
+        self.propose_seq = max(self.propose_seq, batch_seq)
+        for seq in [s for s in self.committed if s <= batch_seq]:
+            del self.committed[seq]
+        self.try_execute()
+
+    def gc_before(self, batch_seq: int) -> None:
+        """Forget executed batches (and their po-requests) up to batch_seq."""
+        doomed = [s for s in self.executed_batches if s < batch_seq]
+        for seq in doomed:
+            _ordinal, pairs = self.executed_batches.pop(seq)
+            self._engine.preorder.gc_before(pairs)

@@ -1,0 +1,252 @@
+"""Prime's pre-ordering sub-protocol.
+
+Every replica can *originate* updates: it assigns them a local pre-order
+sequence number and disseminates them. Other replicas acknowledge receipt;
+once a quorum (2f+k+1) of replicas has acknowledged an update it is
+*certified* — enough correct replicas hold it that it can always be
+retrieved. Each replica advertises, per originator, the highest contiguous
+certified sequence (its PO-ARU vector); the leader turns those vectors
+into global ordering proposals (see :mod:`repro.prime.order`).
+
+This module owns: the po-request store, ack accounting, certification,
+ARU vectors, and retransmission of stored requests to peers that are
+missing them (po-fetch).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.prime.messages import (
+    OpaqueUpdate,
+    OriginId,
+    PoAck,
+    PoAru,
+    PoFetch,
+    PoFetchReply,
+    PoRequest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.prime.engine import PrimeReplica
+
+PoKey = Tuple[OriginId, int]
+
+
+class PreOrder:
+    """Pre-ordering state machine for one replica."""
+
+    def __init__(self, engine: "PrimeReplica"):
+        self._engine = engine
+        self._own_seq = 0
+        self.requests: Dict[PoKey, PoRequest] = {}
+        self._acks: Dict[PoKey, Set[str]] = {}
+        self._injected_digests: Set[bytes] = set()
+        # aru[origin]: highest contiguous certified seq from origin (local).
+        self.aru: Dict[OriginId, int] = {}
+        # matrix[replica][origin]: the peer's advertised ARU (monotonic).
+        self.matrix: Dict[str, Dict[OriginId, int]] = {}
+        self._pending_fetches: Dict[PoKey, object] = {}
+        self._aru_flush_timer = None
+        self._retransmit_timer = None
+
+    # -- origination ---------------------------------------------------------
+
+    @property
+    def origin(self) -> OriginId:
+        return f"{self._engine.replica_id}#{self._engine.incarnation}"
+
+    def inject(self, update: OpaqueUpdate) -> Optional[int]:
+        """Originate ``update``; returns its po-seq (None if duplicate)."""
+        if update.digest in self._injected_digests:
+            return None
+        self._injected_digests.add(update.digest)
+        self._own_seq += 1
+        request = PoRequest(origin=self.origin, seq=self._own_seq, update=update)
+        self._store_request(request, from_replica=self._engine.replica_id)
+        self._engine.multicast(request)
+        return self._own_seq
+
+    # -- own-stream retransmission ---------------------------------------------
+
+    def start_retransmission(self) -> None:
+        """Begin periodically re-multicasting own uncertified po-requests.
+
+        A replica whose site is isolated keeps originating (failover
+        injections, transfer requests) into the void; without
+        retransmission its origin stream would wedge forever — later
+        sequence numbers can never certify past the lost gap. Prime
+        retransmits unacknowledged po-requests for exactly this reason.
+        """
+        self.stop_retransmission()
+        self._retransmit_timer = self._engine.kernel.call_later(
+            self._engine.config.po_retransmit_interval, self._retransmit_own
+        )
+
+    def stop_retransmission(self) -> None:
+        if self._retransmit_timer is not None:
+            self._retransmit_timer.cancel()
+            self._retransmit_timer = None
+
+    def _retransmit_own(self) -> None:
+        self._retransmit_timer = None
+        if not self._engine.online:
+            return
+        origin = self.origin
+        certified = self.aru.get(origin, 0)
+        for seq in range(certified + 1, self._own_seq + 1):
+            request = self.requests.get((origin, seq))
+            if request is not None:
+                self._engine.multicast(request)
+        self._retransmit_timer = self._engine.kernel.call_later(
+            self._engine.config.po_retransmit_interval, self._retransmit_own
+        )
+
+    # -- message handlers -------------------------------------------------------
+
+    def on_po_request(self, src: str, message: PoRequest) -> None:
+        key = (message.origin, message.seq)
+        if key in self.requests:
+            # Duplicate (e.g. a fetch raced a retransmission); re-ack so the
+            # sender can still build its certificate.
+            self._send_ack(message)
+            return
+        delay = self._engine.costs.update_validation
+        if delay > 0:
+            self._engine.kernel.call_later(delay, self._accept_request, src, message)
+        else:
+            self._accept_request(src, message)
+
+    def _accept_request(self, src: str, message: PoRequest) -> None:
+        if not self._engine.online:
+            return
+        if not self._engine.validate_update(message.update):
+            self._engine.trace("prime.po.invalid", origin=message.origin, seq=message.seq)
+            return
+        self._store_request(message, from_replica=src)
+        self._send_ack(message)
+
+    def _send_ack(self, message: PoRequest) -> None:
+        ack = PoAck(origin=message.origin, seq=message.seq, digest=message.update.digest)
+        self._engine.multicast(ack)
+
+    def on_po_ack(self, src: str, message: PoAck) -> None:
+        key = (message.origin, message.seq)
+        self._acks.setdefault(key, set()).add(src)
+        self._maybe_certify(key)
+
+    def on_po_aru(self, src: str, message: PoAru) -> None:
+        row = self.matrix.setdefault(src, {})
+        for origin, seq in message.vector.items():
+            if seq > row.get(origin, 0):
+                row[origin] = seq
+
+    def on_po_fetch(self, src: str, message: PoFetch) -> None:
+        request = self.requests.get((message.origin, message.seq))
+        if request is not None:
+            self._engine.send(src, PoFetchReply(request=request))
+
+    def on_po_fetch_reply(self, src: str, message: PoFetchReply) -> None:
+        request = message.request
+        key = (request.origin, request.seq)
+        timer = self._pending_fetches.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        if key not in self.requests:
+            if not self._engine.validate_update(request.update):
+                return
+            self._store_request(request, from_replica=src)
+        self._engine.order.retry_execution()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _store_request(self, request: PoRequest, from_replica: str) -> None:
+        key = (request.origin, request.seq)
+        self.requests[key] = request
+        acks = self._acks.setdefault(key, set())
+        # Holding the request is an implicit ack from both the originator
+        # (who broadcast it) and ourselves (who stored it).
+        acks.add(from_replica)
+        acks.add(self._engine.replica_id)
+        origin_replica = request.origin.split("#", 1)[0]
+        acks.add(origin_replica)
+        self._maybe_certify(key)
+
+    def _maybe_certify(self, key: PoKey) -> None:
+        if key not in self.requests:
+            return
+        if len(self._acks.get(key, ())) < self._engine.config.quorum:
+            return
+        origin, _seq = key
+        advanced = False
+        cursor = self.aru.get(origin, 0)
+        while True:
+            next_key = (origin, cursor + 1)
+            if next_key not in self.requests:
+                break
+            if len(self._acks.get(next_key, ())) < self._engine.config.quorum:
+                break
+            cursor += 1
+            advanced = True
+        if advanced:
+            self.aru[origin] = cursor
+            self.matrix.setdefault(self._engine.replica_id, {})[origin] = cursor
+            self._schedule_aru_flush()
+            self._engine.order.on_aru_advanced()
+
+    def _schedule_aru_flush(self) -> None:
+        """Coalesce ARU advertisements: certifications arriving within one
+        flush window share a single cumulative PO-ARU broadcast (Prime
+        sends PO-ARUs periodically for the same reason)."""
+        if self._aru_flush_timer is not None and self._aru_flush_timer.active:
+            return
+        self._aru_flush_timer = self._engine.kernel.call_later(
+            self._engine.config.aru_flush_interval, self._flush_aru
+        )
+
+    def _flush_aru(self) -> None:
+        self._aru_flush_timer = None
+        if not self._engine.online:
+            return
+        self._engine.multicast(PoAru(vector=dict(self.aru)))
+
+    # -- queries used by global ordering ----------------------------------------------
+
+    def max_known(self, origin: OriginId) -> int:
+        """Highest ARU for ``origin`` across every replica's advertisement."""
+        best = self.aru.get(origin, 0)
+        for row in self.matrix.values():
+            seq = row.get(origin, 0)
+            if seq > best:
+                best = seq
+        return best
+
+    def known_origins(self) -> Set[OriginId]:
+        origins = set(self.aru)
+        for row in self.matrix.values():
+            origins.update(row)
+        return origins
+
+    def fetch_missing(self, key: PoKey) -> None:
+        """Ask peers (round-robin) for a po-request we need to execute."""
+        if key in self.requests or key in self._pending_fetches:
+            return
+        peers = [r for r in sorted(self._engine.config.replica_ids) if r != self._engine.replica_id]
+        attempt = self._engine.kernel.events_processed % len(peers)
+        target = peers[attempt]
+        self._engine.send(target, PoFetch(origin=key[0], seq=key[1]))
+        timer = self._engine.kernel.call_later(
+            self._engine.config.fetch_retry, self._retry_fetch, key
+        )
+        self._pending_fetches[key] = timer
+
+    def _retry_fetch(self, key: PoKey) -> None:
+        self._pending_fetches.pop(key, None)
+        if key not in self.requests and self._engine.online:
+            self.fetch_missing(key)
+
+    def gc_before(self, ordered_pairs) -> None:
+        """Drop po-requests and acks covered by a stable checkpoint."""
+        for key in ordered_pairs:
+            self.requests.pop(key, None)
+            self._acks.pop(key, None)

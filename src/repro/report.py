@@ -1,0 +1,216 @@
+"""Self-contained HTML run reports.
+
+``render_report(deployment)`` produces a single HTML file — no external
+assets — with the run's configuration, the Table-II-style latency row, an
+inline-SVG latency timeline annotated with attack and recovery events
+(the Figure 2 view of *your* run), per-replica state, traffic counters,
+and the confidentiality audit. Wired into the CLI as
+``python -m repro run --html report.html``.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro import analysis
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 62rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.9rem; }
+th, td { text-align: left; padding: 0.35rem 0.6rem;
+         border-bottom: 1px solid #e0e0e8; }
+th { background: #f4f4f8; }
+.ok { color: #0a7d36; font-weight: 600; }
+.bad { color: #b3261e; font-weight: 600; }
+.meta { color: #666; font-size: 0.85rem; }
+svg { background: #fafafc; border: 1px solid #e0e0e8; border-radius: 4px; }
+"""
+
+
+def render_report(deployment, title: str = "Confidential Spire run report") -> str:
+    """Render the deployment's completed run as a standalone HTML page."""
+    sections = [
+        _header(deployment, title),
+        _latency_section(deployment),
+        _timeline_svg_section(deployment),
+        _replica_section(deployment),
+        _traffic_section(deployment),
+        _audit_section(deployment),
+    ]
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head>"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+def write_report(deployment, path: str, title: str = "Confidential Spire run report") -> None:
+    with open(path, "w") as handle:
+        handle.write(render_report(deployment, title))
+
+
+# ---------------------------------------------------------------------------
+
+
+def _header(deployment, title: str) -> str:
+    config = deployment.config
+    plan = deployment.plan
+    return (
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p class='meta'>mode <b>{config.mode.value}</b> · plan "
+        f"<b>{html.escape(plan.label())}</b> (f={plan.f}, k={plan.k}, "
+        f"quorum={plan.quorum}) · {config.num_clients} clients @ "
+        f"{1 / config.update_interval:.1f}/s · seed {config.seed} · "
+        f"simulated time {deployment.kernel.now:.1f}s</p>"
+    )
+
+
+def _latency_section(deployment) -> str:
+    try:
+        stats = deployment.recorder.stats()
+    except ValueError:
+        return "<h2>Latency</h2><p>No completed updates.</p>"
+    cells = [
+        ("updates", f"{stats.count}"),
+        ("average", f"{stats.average * 1000:.1f} ms"),
+        ("&lt; 100 ms", f"{stats.pct_under_100ms:.2f}%"),
+        ("&lt; 200 ms", f"{stats.pct_under_200ms:.2f}%"),
+        ("p0.1", f"{stats.p0_1 * 1000:.1f} ms"),
+        ("p50", f"{stats.p50 * 1000:.1f} ms"),
+        ("p99", f"{stats.p99 * 1000:.1f} ms"),
+        ("p99.9", f"{stats.p99_9 * 1000:.1f} ms"),
+    ]
+    head = "".join(f"<th>{name}</th>" for name, _ in cells)
+    row = "".join(f"<td>{value}</td>" for _, value in cells)
+    return f"<h2>Latency</h2><table><tr>{head}</tr><tr>{row}</tr></table>"
+
+
+def _timeline_svg_section(deployment, width: int = 920, height: int = 260) -> str:
+    timeline = deployment.recorder.timeline()
+    if not timeline:
+        return ""
+    margin = 46
+    t_max = max(t for t, _ in timeline) * 1.02 or 1.0
+    l_max = max(max(l for _, l in timeline) * 1.15, 0.1)
+    plot_w, plot_h = width - margin - 12, height - margin - 12
+
+    def sx(t: float) -> float:
+        return margin + t / t_max * plot_w
+
+    def sy(l: float) -> float:
+        return height - margin - l / l_max * plot_h
+
+    points = "".join(
+        f"<circle cx='{sx(t):.1f}' cy='{sy(l):.1f}' r='1.6' fill='#3b5bdb' "
+        f"fill-opacity='0.55'/>"
+        for t, l in timeline
+    )
+    # Attack / recovery annotations.
+    marks: List[str] = []
+    for event in deployment.attacks.log:
+        marks.append(_event_mark(sx(event.time), height - margin,
+                                 f"{event.action} {event.target}", "#b3261e"))
+    for event in deployment.tracer.select(category="recovery.begin"):
+        marks.append(_event_mark(sx(event.time), height - margin,
+                                 f"recover {event.host}", "#e8710a"))
+    # Axes + 100 ms guide.
+    axes = (
+        f"<line x1='{margin}' y1='{height - margin}' x2='{width - 12}' "
+        f"y2='{height - margin}' stroke='#888'/>"
+        f"<line x1='{margin}' y1='{height - margin}' x2='{margin}' y2='12' "
+        f"stroke='#888'/>"
+    )
+    guides = ""
+    if l_max > 0.1:
+        y100 = sy(0.1)
+        guides = (
+            f"<line x1='{margin}' y1='{y100:.1f}' x2='{width - 12}' "
+            f"y2='{y100:.1f}' stroke='#0a7d36' stroke-dasharray='5 4'/>"
+            f"<text x='{width - 70}' y='{y100 - 4:.1f}' font-size='10' "
+            f"fill='#0a7d36'>100 ms</text>"
+        )
+    labels = (
+        f"<text x='{margin}' y='{height - margin + 26}' font-size='11' "
+        f"fill='#444'>0 s</text>"
+        f"<text x='{width - 60}' y='{height - margin + 26}' font-size='11' "
+        f"fill='#444'>{t_max:.0f} s</text>"
+        f"<text x='4' y='16' font-size='11' fill='#444'>"
+        f"{l_max * 1000:.0f} ms</text>"
+    )
+    svg = (
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>{axes}{guides}{points}"
+        f"{''.join(marks)}{labels}</svg>"
+    )
+    return f"<h2>Latency timeline</h2>{svg}"
+
+
+def _event_mark(x: float, y_base: float, label: str, color: str) -> str:
+    return (
+        f"<line x1='{x:.1f}' y1='{y_base}' x2='{x:.1f}' y2='22' "
+        f"stroke='{color}' stroke-opacity='0.5' stroke-dasharray='2 4'/>"
+        f"<text x='{x + 3:.1f}' y='32' font-size='9' fill='{color}' "
+        f"transform='rotate(55 {x + 3:.1f} 32)'>{html.escape(label)}</text>"
+    )
+
+
+def _replica_section(deployment) -> str:
+    rows = []
+    for host in sorted(deployment.replicas):
+        replica = deployment.replicas[host]
+        site = deployment.site_of_host(host)
+        role = "executing" if replica.hosts_application else "storage"
+        stable = replica.checkpoints.stable
+        rows.append(
+            f"<tr><td>{host}</td><td>{site}</td><td>{role}</td>"
+            f"<td>{'up' if replica.online else 'down'}</td>"
+            f"<td>{replica.engine.view}</td>"
+            f"<td>{replica.executed_ordinal()}</td>"
+            f"<td>{replica.incarnation}</td>"
+            f"<td>{stable.ordinal if stable else '-'}</td></tr>"
+        )
+    return (
+        "<h2>Replicas</h2><table><tr><th>host</th><th>site</th><th>role</th>"
+        "<th>status</th><th>view</th><th>ordinal</th><th>incarnation</th>"
+        "<th>stable ckpt</th></tr>" + "".join(rows) + "</table>"
+    )
+
+
+def _traffic_section(deployment) -> str:
+    summary = analysis.traffic_summary(deployment.network)
+    return (
+        "<h2>Traffic</h2><table><tr><th>messages sent</th>"
+        "<th>delivered</th><th>dropped</th><th>bytes</th></tr>"
+        f"<tr><td>{summary.messages_sent}</td>"
+        f"<td>{summary.messages_delivered} "
+        f"({summary.delivery_rate * 100:.2f}%)</td>"
+        f"<td>{summary.messages_dropped}</td>"
+        f"<td>{summary.bytes_sent / 1e6:.2f} MB</td></tr></table>"
+    )
+
+
+def _audit_section(deployment) -> str:
+    dc_hosts = set(deployment.data_center_hosts)
+    dirty = sorted(deployment.auditor.exposed_hosts & dc_hosts)
+    if dirty:
+        detail = "".join(
+            f"<tr><td>{host}</td><td>"
+            + ", ".join(sorted({l for l, _ in deployment.auditor.exposures_for(host)}))
+            + "</td></tr>"
+            for host in dirty
+        )
+        return (
+            "<h2>Confidentiality audit</h2>"
+            "<p class='bad'>VIOLATION — data-center hosts observed plaintext</p>"
+            f"<table><tr><th>host</th><th>content kinds</th></tr>{detail}</table>"
+        )
+    return (
+        "<h2>Confidentiality audit</h2>"
+        "<p class='ok'>CLEAN — no data-center host ever observed plaintext</p>"
+        f"<p class='meta'>{len(deployment.auditor.exposed_hosts)} on-premises/"
+        "client hosts handled plaintext, as designed.</p>"
+    )

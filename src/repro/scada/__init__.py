@@ -1,0 +1,24 @@
+"""SCADA for the power grid: the paper's application domain.
+
+- :mod:`repro.scada.grid` — the field model (substations, breakers,
+  transformers, electrical readings),
+- :mod:`repro.scada.master` — the replicated SCADA master application,
+- :mod:`repro.scada.rtu` — RTU field units reporting once per second,
+- :mod:`repro.scada.hmi` — operator consoles issuing commands and reads.
+"""
+
+from repro.scada.grid import Breaker, Feeder, PowerGrid, Substation, Transformer
+from repro.scada.hmi import HmiConsole
+from repro.scada.master import ScadaMaster
+from repro.scada.rtu import RtuFieldUnit
+
+__all__ = [
+    "Breaker",
+    "Feeder",
+    "PowerGrid",
+    "Substation",
+    "Transformer",
+    "HmiConsole",
+    "ScadaMaster",
+    "RtuFieldUnit",
+]

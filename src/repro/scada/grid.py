@@ -1,0 +1,179 @@
+"""A small power-grid model backing the SCADA workload.
+
+The paper's deployment manages ten substations; each substation has field
+equipment — breakers, transformers, and feeder lines with electrical
+readings — polled by an RTU and controlled through commands relayed by the
+SCADA master. The model here produces the same shaped traffic: compact
+periodic status reports and occasional supervisory commands, with
+deterministic (seeded) evolution so simulation runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+NOMINAL_VOLTAGE_KV = 13.8
+
+
+@dataclass
+class Breaker:
+    """A circuit breaker: the unit of supervisory control."""
+
+    breaker_id: str
+    closed: bool = True
+    trip_count: int = 0
+
+    def open_(self) -> None:
+        if self.closed:
+            self.closed = False
+            self.trip_count += 1
+
+    def close_(self) -> None:
+        self.closed = True
+
+
+@dataclass
+class Transformer:
+    """A tap-changing transformer."""
+
+    transformer_id: str
+    tap_position: int = 0          # -8 .. +8
+    temperature_c: float = 55.0
+
+    def adjust_tap(self, delta: int) -> None:
+        self.tap_position = max(-8, min(8, self.tap_position + delta))
+
+
+@dataclass
+class Feeder:
+    """A distribution feeder hanging off a substation breaker."""
+
+    feeder_id: str
+    breaker_id: str
+    load_a: float = 120.0
+    rating_a: float = 400.0
+
+    @property
+    def overloaded(self) -> bool:
+        return self.load_a > self.rating_a
+
+
+@dataclass
+class Substation:
+    """One substation: breakers, transformers, feeders, live readings."""
+
+    substation_id: str
+    breakers: List[Breaker] = field(default_factory=list)
+    transformers: List[Transformer] = field(default_factory=list)
+    feeders: List[Feeder] = field(default_factory=list)
+    voltage_kv: float = NOMINAL_VOLTAGE_KV
+    frequency_hz: float = 60.0
+
+    @property
+    def current_a(self) -> float:
+        """Bus current: the sum of energized feeder loads."""
+        closed = {b.breaker_id for b in self.breakers if b.closed}
+        return sum(f.load_a for f in self.feeders if f.breaker_id in closed)
+
+    def status_payload(self) -> Dict:
+        """The dict an RTU reports for this substation."""
+        return {
+            "sub": self.substation_id,
+            "breakers": {b.breaker_id: int(b.closed) for b in self.breakers},
+            "taps": {t.transformer_id: t.tap_position for t in self.transformers},
+            "feeders": {f.feeder_id: round(f.load_a, 1) for f in self.feeders},
+            "v": round(self.voltage_kv, 3),
+            "i": round(self.current_a, 1),
+            "f": round(self.frequency_hz, 4),
+        }
+
+    def find_breaker(self, breaker_id: str) -> Optional[Breaker]:
+        for breaker in self.breakers:
+            if breaker.breaker_id == breaker_id:
+                return breaker
+        return None
+
+
+class PowerGrid:
+    """The full field model: substations with deterministic dynamics."""
+
+    def __init__(self, num_substations: int = 10, seed: int = 1):
+        if num_substations < 1:
+            raise ConfigurationError("at least one substation required")
+        self._rng = random.Random(seed)
+        self.substations: Dict[str, Substation] = {}
+        for i in range(num_substations):
+            sub_id = f"sub-{i:02d}"
+            breakers = [Breaker(f"{sub_id}-brk-{j}") for j in range(3)]
+            self.substations[sub_id] = Substation(
+                substation_id=sub_id,
+                breakers=breakers,
+                transformers=[Transformer(f"{sub_id}-xfmr-{j}") for j in range(2)],
+                feeders=[
+                    Feeder(
+                        feeder_id=f"{sub_id}-fdr-{j}",
+                        breaker_id=breakers[j].breaker_id,
+                        load_a=100.0 + 30.0 * j,
+                    )
+                    for j in range(3)
+                ],
+            )
+
+    def step(self, substation_id: str) -> Substation:
+        """Advance one substation's electrical state by one poll tick.
+
+        Feeder loads random-walk; a feeder pushed past its rating trips
+        its protective breaker (the field acts on its own — the SCADA
+        master only learns about it from the next status report, which is
+        exactly the visibility problem SCADA exists to solve).
+        """
+        sub = self.substations[substation_id]
+        sub.voltage_kv = NOMINAL_VOLTAGE_KV * (1 + self._rng.uniform(-0.02, 0.02))
+        sub.frequency_hz = 60.0 + self._rng.uniform(-0.01, 0.01)
+        for feeder in sub.feeders:
+            feeder.load_a = max(0.0, feeder.load_a + self._rng.uniform(-12, 12))
+            if feeder.overloaded:
+                breaker = sub.find_breaker(feeder.breaker_id)
+                if breaker is not None and breaker.closed:
+                    breaker.open_()
+        # Rarely, a relay mis-trips for reasons invisible to the model.
+        if self._rng.random() < 0.002:
+            breaker = self._rng.choice(sub.breakers)
+            breaker.open_()
+        return sub
+
+    def inject_overload(self, substation_id: str, feeder_index: int = 0) -> Feeder:
+        """Force a feeder past its rating (test/demo hook: the next step
+        trips its breaker)."""
+        feeder = self.substations[substation_id].feeders[feeder_index]
+        feeder.load_a = feeder.rating_a * 1.5
+        return feeder
+
+    def total_load(self) -> float:
+        """System-wide energized load in amperes."""
+        return sum(sub.current_a for sub in self.substations.values())
+
+    def status_report(self, substation_id: str) -> bytes:
+        """Advance and serialize one substation's RTU status report."""
+        sub = self.step(substation_id)
+        return json.dumps(sub.status_payload(), sort_keys=True).encode("utf-8")
+
+    def apply_command(self, substation_id: str, breaker_id: str, close: bool) -> bool:
+        """Apply a supervisory command at the field level (used when the
+        SCADA master's command makes it back out to the RTU)."""
+        sub = self.substations.get(substation_id)
+        if sub is None:
+            return False
+        breaker = sub.find_breaker(breaker_id)
+        if breaker is None:
+            return False
+        if close:
+            breaker.close_()
+        else:
+            breaker.open_()
+        return True

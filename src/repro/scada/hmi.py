@@ -1,0 +1,69 @@
+"""Human-Machine Interface clients.
+
+HMIs are the operator-facing clients: they issue supervisory commands
+(open/close breakers) and poll the SCADA master's view of the grid through
+the same replicated, threshold-verified path as RTU traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.proxy import ClientProxy
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process, Timeout, spawn
+
+
+class HmiConsole:
+    """An operator console wired to a client proxy."""
+
+    def __init__(self, kernel: Kernel, proxy: ClientProxy):
+        self.kernel = kernel
+        self.proxy = proxy
+        self.command_results: List[Dict] = []
+        self.read_results: Dict[str, Optional[Dict]] = {}
+        proxy.on_response(self._on_response)
+        self._inflight: Dict[int, Tuple[str, str]] = {}
+
+    def send_breaker_command(self, substation_id: str, breaker_id: str, action: str) -> int:
+        """Issue an open/close command; returns the client sequence."""
+        if action not in ("open", "close"):
+            raise ValueError(f"invalid breaker action {action!r}")
+        body = json.dumps(
+            {"op": "cmd", "sub": substation_id, "breaker": breaker_id, "action": action},
+            sort_keys=True,
+        ).encode("utf-8")
+        seq = self.proxy.submit(body)
+        self._inflight[seq] = ("cmd", breaker_id)
+        return seq
+
+    def read_substation(self, substation_id: str) -> int:
+        """Poll the master's current view of a substation."""
+        body = json.dumps({"op": "read", "sub": substation_id}, sort_keys=True).encode("utf-8")
+        seq = self.proxy.submit(body)
+        self._inflight[seq] = ("read", substation_id)
+        return seq
+
+    def patrol(self, substations: List[str], interval: float = 5.0) -> Process:
+        """Background process cycling READ polls over the given substations."""
+
+        def gen():
+            index = 0
+            while True:
+                self.read_substation(substations[index % len(substations)])
+                index += 1
+                yield Timeout(interval)
+
+        return spawn(self.kernel, gen(), name="hmi-patrol")
+
+    def _on_response(self, seq: int, body: bytes, latency: float) -> None:
+        kind, target = self._inflight.pop(seq, (None, None))
+        try:
+            reply = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return
+        if kind == "cmd":
+            self.command_results.append(reply)
+        elif kind == "read":
+            self.read_results[target] = reply.get("status")

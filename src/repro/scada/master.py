@@ -1,0 +1,142 @@
+"""The SCADA master: the replicated application (Section VI).
+
+Spire's SCADA master maintains the latest view of every substation and
+mediates operator commands. As a CP-ITM application it is a deterministic
+state machine over the ordered update stream:
+
+- ``STATUS`` updates from RTU proxies refresh the master's per-substation
+  state and are acknowledged,
+- ``CMD`` updates from HMIs (e.g. open/close a breaker) mutate supervisory
+  state and return the command result,
+- ``READ`` updates from HMIs return the master's current view of a
+  substation (this is how operators poll the system state through the
+  replicated path).
+
+Update wire format (UTF-8 JSON): ``{"op": "status", "sub": ..., "data":
+{...}}``, ``{"op": "cmd", "sub": ..., "breaker": ..., "action":
+"open"|"close"}``, ``{"op": "read", "sub": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.core.app import Application
+
+
+class ScadaMaster(Application):
+    """Deterministic SCADA master state machine."""
+
+    def __init__(self) -> None:
+        # Latest status per substation, exactly as reported.
+        self._substations: Dict[str, Dict] = {}
+        # Supervisory breaker overrides: breaker id -> desired closed state.
+        self._breaker_commands: Dict[str, bool] = {}
+        # Report-by-exception event log (bounded, newest last).
+        self._events: list = []
+        self._status_count = 0
+        self._command_count = 0
+
+    # -- Application interface ----------------------------------------------------
+
+    def execute(self, client_id: str, client_seq: int, body: bytes) -> Optional[bytes]:
+        try:
+            update = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return b'{"ok": false, "error": "malformed"}'
+        op = update.get("op")
+        if op == "status":
+            return self._handle_status(update)
+        if op == "cmd":
+            return self._handle_command(update)
+        if op == "read":
+            return self._handle_read(update)
+        if op == "event":
+            return self._handle_event(update)
+        return b'{"ok": false, "error": "unknown-op"}'
+
+    def snapshot(self) -> bytes:
+        return json.dumps(
+            {
+                "substations": self._substations,
+                "breaker_commands": self._breaker_commands,
+                "events": self._events,
+                "status_count": self._status_count,
+                "command_count": self._command_count,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def restore(self, blob: bytes) -> None:
+        state = json.loads(blob.decode("utf-8"))
+        self._substations = state["substations"]
+        self._breaker_commands = state["breaker_commands"]
+        self._events = list(state.get("events", []))
+        self._status_count = int(state["status_count"])
+        self._command_count = int(state["command_count"])
+
+    # -- operations ------------------------------------------------------------------
+
+    def _handle_status(self, update: Dict) -> bytes:
+        sub = update.get("sub")
+        data = update.get("data")
+        if not isinstance(sub, str) or not isinstance(data, dict):
+            return b'{"ok": false, "error": "bad-status"}'
+        self._substations[sub] = data
+        self._status_count += 1
+        return json.dumps({"ok": True, "ack": self._status_count}).encode("utf-8")
+
+    def _handle_command(self, update: Dict) -> bytes:
+        sub = update.get("sub")
+        breaker = update.get("breaker")
+        action = update.get("action")
+        if action not in ("open", "close") or not isinstance(breaker, str):
+            return b'{"ok": false, "error": "bad-cmd"}'
+        self._breaker_commands[breaker] = action == "close"
+        self._command_count += 1
+        return json.dumps(
+            {"ok": True, "sub": sub, "breaker": breaker, "applied": action}
+        ).encode("utf-8")
+
+    def _handle_event(self, update: Dict) -> bytes:
+        sub = update.get("sub")
+        breaker = update.get("breaker")
+        state = update.get("state")
+        if not isinstance(breaker, str) or state not in ("open", "closed"):
+            return b'{"ok": false, "error": "bad-event"}'
+        self._events.append({"sub": sub, "breaker": breaker, "state": state})
+        if len(self._events) > 1000:
+            self._events = self._events[-1000:]
+        return json.dumps(
+            {"ok": True, "ack_event": breaker, "state": state}
+        ).encode("utf-8")
+
+    def _handle_read(self, update: Dict) -> bytes:
+        sub = update.get("sub")
+        status = self._substations.get(sub)
+        return json.dumps(
+            {"ok": status is not None, "sub": sub, "status": status},
+            sort_keys=True,
+        ).encode("utf-8")
+
+    # -- direct inspection (tests / examples, not replicated reads) --------------------
+
+    @property
+    def status_count(self) -> int:
+        return self._status_count
+
+    @property
+    def command_count(self) -> int:
+        return self._command_count
+
+    def known_substations(self) -> int:
+        return len(self._substations)
+
+    def breaker_command(self, breaker_id: str) -> Optional[bool]:
+        return self._breaker_commands.get(breaker_id)
+
+    @property
+    def events(self) -> list:
+        """The report-by-exception event log (newest last)."""
+        return list(self._events)

@@ -1,0 +1,99 @@
+"""RTU field units: the paper's workload generators.
+
+Each emulated substation has an RTU that polls its field equipment and
+submits a status report through its proxy once per second (Section VII).
+The RTU also consumes command results relayed back by the SCADA master.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.proxy import ClientProxy
+from repro.scada.grid import PowerGrid
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process, Timeout, spawn
+
+
+class RtuFieldUnit:
+    """One substation's RTU, wired to a client proxy."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        proxy: ClientProxy,
+        grid: PowerGrid,
+        substation_id: str,
+        report_interval: float = 1.0,
+        jitter_rng=None,
+    ):
+        self.kernel = kernel
+        self.proxy = proxy
+        self.grid = grid
+        self.substation_id = substation_id
+        self.report_interval = report_interval
+        self._jitter_rng = jitter_rng
+        self.reports_sent = 0
+        self.events_sent = 0
+        self.acks_received = 0
+        self._last_breaker_state: dict = {}
+        proxy.on_response(self._on_response)
+
+    def start(self, duration: Optional[float] = None, phase: float = 0.5) -> Process:
+        """Begin periodic status reporting; returns the driving process."""
+
+        def gen():
+            yield Timeout(phase)
+            start = self.kernel.now
+            while duration is None or self.kernel.now - start < duration:
+                self.report_once()
+                interval = self.report_interval
+                if self._jitter_rng is not None:
+                    interval *= self._jitter_rng.uniform(0.9, 1.1)
+                yield Timeout(interval)
+
+        return spawn(self.kernel, gen(), name=f"rtu-{self.substation_id}")
+
+    def report_once(self) -> int:
+        """Poll the field and submit one status report.
+
+        Report-by-exception rides along: a breaker whose state changed
+        since the last poll additionally raises an immediate event update
+        (operators must learn of protection trips at once, not at the
+        next scan).
+        """
+        status = json.loads(self.grid.status_report(self.substation_id))
+        breakers = status.get("breakers", {})
+        for breaker_id, closed in breakers.items():
+            previous = self._last_breaker_state.get(breaker_id)
+            if previous is not None and previous != closed:
+                self._send_event(breaker_id, bool(closed))
+        self._last_breaker_state = dict(breakers)
+        body = json.dumps(
+            {"op": "status", "sub": self.substation_id, "data": status},
+            sort_keys=True,
+        ).encode("utf-8")
+        self.reports_sent += 1
+        return self.proxy.submit(body)
+
+    def _send_event(self, breaker_id: str, closed: bool) -> None:
+        body = json.dumps(
+            {
+                "op": "event",
+                "sub": self.substation_id,
+                "breaker": breaker_id,
+                "state": "closed" if closed else "open",
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        self.events_sent += 1
+        self.proxy.submit(body)
+
+    def _on_response(self, seq: int, body: bytes, latency: float) -> None:
+        try:
+            reply = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return
+        if reply.get("ok"):
+            self.acks_received += 1

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation substrate.
+
+Public surface:
+
+- :class:`Kernel` — the event loop and virtual clock,
+- :class:`Timer` — cancellable scheduled callback,
+- :class:`Timeout`, :class:`Future`, :class:`Process`, :func:`spawn` —
+  generator-based processes,
+- :class:`RngRegistry` — named deterministic random streams,
+- :class:`Tracer`, :class:`TraceEvent` — structured run traces.
+"""
+
+from repro.sim.cpu import Cpu
+from repro.sim.kernel import Kernel, Timer
+from repro.sim.process import Future, Process, Timeout, spawn
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Cpu",
+    "Kernel",
+    "Timer",
+    "Future",
+    "Process",
+    "Timeout",
+    "spawn",
+    "RngRegistry",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,155 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate every other subsystem runs on. It provides:
+
+- a virtual clock (``Kernel.now``, a float number of seconds),
+- an event heap with deterministic tie-breaking (events scheduled for the
+  same instant fire in scheduling order),
+- one-shot callbacks (:meth:`Kernel.call_at` / :meth:`Kernel.call_later`),
+- cancellable timers (:class:`Timer`),
+- generator-based processes (see :mod:`repro.sim.process`).
+
+Determinism is a hard requirement: two runs with the same seed and the same
+workload must produce byte-identical traces. The kernel therefore never
+consults the wall clock and never iterates over unordered containers when
+deciding execution order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Timers are returned by :meth:`Kernel.call_at` and friends. Cancelling a
+    timer after it fired (or cancelling twice) is a harmless no-op, which is
+    the behaviour protocol code invariably wants.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running, if it has not run yet."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not yet fired, not cancelled)."""
+        return not (self.cancelled or self.fired)
+
+
+class Kernel:
+    """The event loop at the heart of the simulation.
+
+    A kernel owns the virtual clock. All simulated components must share a
+    single kernel; mixing components from different kernels is a programming
+    error and raises :class:`SimulationError` where detectable.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds since the start of the run."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics and tests)."""
+        return self._event_count
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``.
+
+        Scheduling in the past raises: silently clamping hides protocol bugs.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when:.6f}, current time is {self._now:.6f}"
+            )
+        timer = Timer(when, callback, args)
+        heapq.heappush(self._heap, (when, next(self._counter), timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at the current instant.
+
+        The callback runs after all callbacks already scheduled for ``now``.
+        """
+        return self.call_at(self._now, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would advance past this time. The
+                clock is left at ``until`` even if the heap empties earlier.
+            max_events: safety valve for tests; raise after this many events.
+
+        Returns:
+            The virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("kernel is already running (re-entrant run() call)")
+        self._running = True
+        try:
+            while self._heap:
+                when, _seq, timer = self._heap[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                self._now = when
+                timer.fired = True
+                self._event_count += 1
+                if max_events is not None and self._event_count > max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                timer.callback(*timer.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute a single event. Returns False if the heap is empty."""
+        while self._heap:
+            when, _seq, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            timer.fired = True
+            self._event_count += 1
+            timer.callback(*timer.args)
+            return True
+        return False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled events still in the heap."""
+        return sum(1 for _, _, t in self._heap if not t.cancelled)

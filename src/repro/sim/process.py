@@ -1,0 +1,125 @@
+"""Generator-based processes on top of the simulation kernel.
+
+A *process* is a Python generator that yields instructions to the scheduler:
+
+- ``yield Timeout(seconds)`` suspends the process for simulated time,
+- ``yield future`` suspends until another component resolves the
+  :class:`Future` (delivering its value as the result of the ``yield``).
+
+Processes are the natural way to express clients ("send an update every
+second"), recovery orchestrators ("every ten minutes, wipe the next
+replica"), and attack scripts ("at t=120 isolate site B; at t=150 release").
+Protocol replicas, in contrast, are written as plain event-driven callbacks,
+which is closer to how the real Spire/Prime code is structured.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+
+class Future:
+    """A one-shot value that a process can wait on.
+
+    Resolution wakes every waiting process at the current instant, in the
+    order they started waiting (deterministic).
+    """
+
+    __slots__ = ("_kernel", "_value", "_resolved", "_waiters")
+
+    def __init__(self, kernel: Kernel):
+        self._kernel = kernel
+        self._value: Any = None
+        self._resolved = False
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def value(self) -> Any:
+        if not self._resolved:
+            raise SimulationError("future is not resolved yet")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve with ``value``. Resolving twice is an error."""
+        if self._resolved:
+            raise SimulationError("future already resolved")
+        self._resolved = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self._kernel.call_soon(waiter, value)
+
+    def _add_waiter(self, waiter: Callable[[Any], None]) -> None:
+        if self._resolved:
+            self._kernel.call_soon(waiter, self._value)
+        else:
+            self._waiters.append(waiter)
+
+
+class Process:
+    """A running process; returned by :func:`spawn`.
+
+    The process's generator may ``return`` a value; it becomes the value of
+    :attr:`done` (a :class:`Future`), so processes can wait on each other.
+    """
+
+    def __init__(self, kernel: Kernel, gen: Generator[Any, Any, Any], name: str = ""):
+        self._kernel = kernel
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Future(kernel)
+        self._stopped = False
+        kernel.call_soon(self._advance, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.done.resolved and not self._stopped
+
+    def stop(self) -> None:
+        """Terminate the process at its next suspension point."""
+        self._stopped = True
+
+    def _advance(self, send_value: Any) -> None:
+        if self._stopped:
+            if not self.done.resolved:
+                self.done.resolve(None)
+            return
+        try:
+            instruction = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.done.resolve(stop.value)
+            return
+        if isinstance(instruction, Timeout):
+            self._kernel.call_later(instruction.delay, self._advance, None)
+        elif isinstance(instruction, Future):
+            instruction._add_waiter(self._advance)
+        elif isinstance(instruction, Process):
+            instruction.done._add_waiter(self._advance)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {instruction!r}; expected "
+                "Timeout, Future, or Process"
+            )
+
+
+def spawn(kernel: Kernel, gen: Generator[Any, Any, Any], name: Optional[str] = None) -> Process:
+    """Start ``gen`` as a process on ``kernel`` and return its handle."""
+    return Process(kernel, gen, name or "")

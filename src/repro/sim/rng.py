@@ -1,0 +1,42 @@
+"""Seeded, named random-number streams.
+
+Every source of randomness in a run draws from a named stream derived from a
+single master seed. Components never construct their own ``random.Random``:
+that would make event ordering (and therefore results) depend on Python hash
+randomisation or on unrelated code paths. Instead they ask the registry for
+a stream by a stable name ("net.jitter", "replica.3.keygen", ...).
+
+Two streams with different names are statistically independent; the same
+(master seed, name) pair always yields the same stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngRegistry:
+    """Factory for named deterministic random streams."""
+
+    def __init__(self, master_seed: int):
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(
+            f"{self.master_seed}:{name}".encode("utf-8")
+        ).digest()
+        stream = random.Random(int.from_bytes(digest[:16], "big"))
+        self._streams[name] = stream
+        return stream
+
+    def randbytes(self, name: str, n: int) -> bytes:
+        """Draw ``n`` deterministic bytes from stream ``name``."""
+        stream = self.stream(name)
+        return bytes(stream.getrandbits(8) for _ in range(n))

@@ -1,0 +1,36 @@
+"""Full-system assembly: configuration, builder, recovery, metrics.
+
+Typical use::
+
+    from repro.system import SystemConfig, Mode, build
+
+    deployment = build(SystemConfig(mode=Mode.CONFIDENTIAL, f=1))
+    deployment.start()
+    deployment.start_workload(duration=60.0)
+    deployment.run(until=70.0)
+    print(deployment.recorder.stats().row("confidential f=1"))
+"""
+
+from repro.system.adversary import Adversary, Behavior, LootBag
+from repro.system.builder import Deployment, build
+from repro.system.config import Mode, SystemConfig
+from repro.system.metrics import LatencyRecorder, LatencyStats, percentile
+from repro.system.recovery import RecoveryOrchestrator
+from repro.system.scenario import ScenarioResult, load_scenario, run_scenario
+
+__all__ = [
+    "Adversary",
+    "Behavior",
+    "LootBag",
+    "Deployment",
+    "build",
+    "Mode",
+    "SystemConfig",
+    "LatencyRecorder",
+    "LatencyStats",
+    "percentile",
+    "RecoveryOrchestrator",
+    "ScenarioResult",
+    "load_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,335 @@
+"""Deployment builder: assembles a full Spire / Confidential Spire system.
+
+Given a :class:`SystemConfig`, :func:`build` constructs the entire
+simulated world — kernel, topology, overlay, network, attack controller,
+cryptographic material (threshold groups, client keys, hardware
+keystores), replicas in their roles, client proxies, and metrics — and
+returns a :class:`Deployment` handle for tests, examples, and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.app import Application, KeyValueApplication
+from repro.core.confidentiality import Auditor
+from repro.core.distribution import DistributionPlan, plan_confidential, plan_spire
+from repro.core.messages import client_alias
+from repro.core.proxy import ClientProxy
+from repro.core.replica import ExecutingReplica, ReplicaBase, ReplicaEnv, StorageReplica
+from repro.crypto.keystore import HardwareKeyStore
+from repro.crypto.rsa import RsaKeyPair, generate_keypair
+from repro.crypto.symmetric import SymmetricKeyPair, derive_keypair
+from repro.crypto.threshold import ThresholdKeyGroup, generate_threshold_key
+from repro.net.attacks import AttackController
+from repro.net.network import Network
+from repro.net.overlay import Overlay
+from repro.net.topology import (
+    CLIENT_SITE,
+    CONTROL_CENTER_A,
+    CONTROL_CENTER_B,
+    DATA_CENTER_1,
+    DATA_CENTER_2,
+    DATA_CENTER_3,
+    Topology,
+    east_coast_topology,
+)
+from repro.prime.config import PrimeConfig
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process, Timeout, spawn
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.system.config import SystemConfig
+from repro.system.metrics import LatencyRecorder
+from repro.system.recovery import RecoveryOrchestrator
+
+BodyFn = Callable[[str, int], bytes]
+
+
+@dataclass
+class Deployment:
+    """A fully wired simulated system, ready to run."""
+
+    config: SystemConfig
+    plan: DistributionPlan
+    kernel: Kernel
+    rng: RngRegistry
+    tracer: Tracer
+    topology: Topology
+    overlay: Overlay
+    network: Network
+    attacks: AttackController
+    auditor: Auditor
+    replicas: Dict[str, ReplicaBase]
+    on_premises_hosts: Tuple[str, ...]
+    data_center_hosts: Tuple[str, ...]
+    proxies: Dict[str, ClientProxy]
+    recorder: LatencyRecorder
+    recovery: RecoveryOrchestrator
+    env: ReplicaEnv
+
+    def start(self) -> None:
+        """Bring every replica online (idempotent per replica start)."""
+        for host in sorted(self.replicas):
+            self.replicas[host].start()
+
+    def run(self, until: float) -> float:
+        """Advance the simulation to virtual time ``until``."""
+        return self.kernel.run(until=until)
+
+    # -- workload helpers ----------------------------------------------------------
+
+    def start_workload(
+        self,
+        body_fn: Optional[BodyFn] = None,
+        duration: Optional[float] = None,
+        interval: Optional[float] = None,
+        start_at: float = 0.5,
+    ) -> List[Process]:
+        """Spawn the paper's workload: each client submits one update per
+        ``interval`` seconds, phase-staggered, until ``duration``.
+
+        ``body_fn(client_id, seq)`` produces update bodies; the default
+        issues key-value SETs.
+        """
+        interval = interval if interval is not None else self.config.update_interval
+        body_fn = body_fn or _default_body
+        processes = []
+        client_ids = sorted(self.proxies)
+        for index, client_id in enumerate(client_ids):
+            phase = start_at + (index / max(1, len(client_ids))) * interval
+            jitter_rng = self.rng.stream(f"workload.{client_id}")
+
+            def gen(proxy=self.proxies[client_id], cid=client_id, phase=phase, rng=jitter_rng):
+                # Field devices poll on nominal intervals but are not
+                # synchronized with each other or with the servers; the
+                # jitter keeps submission phases from aliasing against the
+                # leader's proposal ticks.
+                yield Timeout(phase)
+                seq = 0
+                while duration is None or proxy.kernel.now < start_at + duration:
+                    seq += 1
+                    proxy.submit(body_fn(cid, seq))
+                    yield Timeout(interval * rng.uniform(0.9, 1.1))
+
+            processes.append(spawn(self.kernel, gen(), name=f"workload-{client_id}"))
+        return processes
+
+    # -- convenience views -----------------------------------------------------------
+
+    def executing_replicas(self) -> List[ExecutingReplica]:
+        return [
+            r for r in self.replicas.values() if isinstance(r, ExecutingReplica)
+        ]
+
+    def storage_replicas(self) -> List[StorageReplica]:
+        return [r for r in self.replicas.values() if isinstance(r, StorageReplica)]
+
+    def current_leader(self) -> str:
+        views = [r.engine.view for r in self.replicas.values() if r.online]
+        view = max(views) if views else 0
+        return self.env.prime_config.leader_of(view)
+
+    def site_of_host(self, host: str) -> str:
+        return self.topology.site_of(host).name
+
+
+def _default_body(client_id: str, seq: int) -> bytes:
+    return f"SET {client_id}-key-{seq % 17} value-{seq}".encode("utf-8")
+
+
+def build(
+    config: SystemConfig,
+    app_factory: Optional[Callable[[], Application]] = None,
+) -> Deployment:
+    """Construct a deployment per ``config``. See the module docstring."""
+    app_factory = app_factory or KeyValueApplication
+    kernel = Kernel()
+    rng = RngRegistry(config.seed)
+    tracer = Tracer(kernel, enabled=config.tracing)
+
+    if config.confidential:
+        plan = plan_confidential(config.f, config.data_centers)
+    else:
+        plan = plan_spire(config.f, config.data_centers)
+
+    topology = east_coast_topology(config.data_centers)
+    on_prem_hosts, dc_hosts = _place_replicas(topology, plan)
+    all_hosts = on_prem_hosts + dc_hosts
+
+    overlay = Overlay(topology)
+    network = Network(
+        kernel,
+        topology,
+        overlay,
+        rng,
+        tracer=tracer,
+        wan_loss_probability=config.wan_loss_probability,
+    )
+    attacks = AttackController(kernel, overlay, tracer=tracer, network=network)
+    auditor = Auditor()
+    network.inspector = auditor.inspect_delivery
+
+    prime_config = PrimeConfig(
+        replica_ids=_interleave_by_site(topology, all_hosts),
+        f=plan.f,
+        k=plan.k,
+        pp_interval=config.pp_interval,
+        vc_timeout=config.vc_timeout,
+    )
+
+    # -- cryptographic material (the system-setup "dealer" role) -----------------
+    keygen_rng = rng.stream("keygen")
+    executing_hosts = on_prem_hosts if config.confidential else all_hosts
+
+    intro_group: Optional[ThresholdKeyGroup] = None
+    if config.confidential:
+        intro_group = generate_threshold_key(
+            config.threshold_bits, plan.f + 1, len(on_prem_hosts), keygen_rng
+        )
+    response_group = generate_threshold_key(
+        config.threshold_bits, plan.f + 1, len(executing_hosts), keygen_rng
+    )
+
+    client_ids = [f"client-{i:02d}" for i in range(config.num_clients)]
+    client_keys: Dict[str, RsaKeyPair] = {
+        cid: generate_keypair(config.rsa_bits, keygen_rng) for cid in client_ids
+    }
+    client_registry = {cid: kp.public for cid, kp in client_keys.items()}
+    alias_to_client = {client_alias(cid): cid for cid in client_ids}
+    initial_client_keys: Dict[str, SymmetricKeyPair] = {
+        client_alias(cid): derive_keypair(
+            rng.randbytes(f"client-keys.{cid}", 32)
+        )
+        for cid in client_ids
+    }
+    proxy_of_client = {cid: f"proxy-{cid}" for cid in client_ids}
+    for proxy_host in proxy_of_client.values():
+        topology.add_host(proxy_host, CLIENT_SITE)
+
+    # Hardware keystores: every replica has a TPM identity key; on-premises
+    # replicas additionally share the hardware-protected symmetric key.
+    hw_shared = derive_keypair(rng.randbytes("hw-shared-key", 32))
+    keystores: Dict[str, HardwareKeyStore] = {}
+    for host in all_hosts:
+        identity = generate_keypair(config.rsa_bits, keygen_rng)
+        shared = hw_shared if (host in on_prem_hosts and config.confidential) else None
+        keystores[host] = HardwareKeyStore(host, identity, shared)
+
+    env = ReplicaEnv(
+        kernel=kernel,
+        network=network,
+        costs=config.costs,
+        prime_config=prime_config,
+        confidential=config.confidential,
+        all_replicas=tuple(all_hosts),
+        on_premises=tuple(on_prem_hosts),
+        executing=tuple(executing_hosts),
+        intro_public=intro_group.public if intro_group else None,
+        response_public=response_group.public,
+        client_registry=client_registry,
+        alias_to_client=alias_to_client,
+        proxy_of_client=proxy_of_client,
+        initial_client_keys=initial_client_keys,
+        checkpoint_interval=config.checkpoint_interval,
+        key_validity=config.key_validity,
+        key_slack=config.key_slack,
+        key_renewal_enabled=config.key_renewal_enabled,
+        failover_delay=config.failover_delay,
+        xfer_chunk_bytes=config.xfer_chunk_bytes,
+        xfer_chunk_interval=config.xfer_chunk_interval,
+        tracer=tracer,
+        auditor=auditor,
+        rng=rng,
+    )
+
+    replicas: Dict[str, ReplicaBase] = {}
+    for index, host in enumerate(executing_hosts):
+        intro_share = intro_group.shares[index + 1] if intro_group else None
+        replicas[host] = ExecutingReplica(
+            env=env,
+            host=host,
+            keystore=keystores[host],
+            app_factory=app_factory,
+            intro_share=intro_share,
+            response_share=response_group.shares[index + 1],
+        )
+    if config.confidential:
+        for host in dc_hosts:
+            replicas[host] = StorageReplica(env, host, keystores[host])
+
+    recorder = LatencyRecorder()
+    proxies: Dict[str, ClientProxy] = {}
+    for cid in client_ids:
+        proxy = ClientProxy(
+            kernel=kernel,
+            network=network,
+            host=proxy_of_client[cid],
+            client_id=cid,
+            signing_key=client_keys[cid],
+            response_public=response_group.public,
+            on_premises_replicas=list(on_prem_hosts),
+            costs=config.costs,
+            tracer=tracer,
+        )
+        recorder.attach(proxy)
+        proxies[cid] = proxy
+
+    recovery = RecoveryOrchestrator(kernel, replicas, tracer=tracer)
+
+    return Deployment(
+        config=config,
+        plan=plan,
+        kernel=kernel,
+        rng=rng,
+        tracer=tracer,
+        topology=topology,
+        overlay=overlay,
+        network=network,
+        attacks=attacks,
+        auditor=auditor,
+        replicas=replicas,
+        on_premises_hosts=tuple(on_prem_hosts),
+        data_center_hosts=tuple(dc_hosts),
+        proxies=proxies,
+        recorder=recorder,
+        recovery=recovery,
+        env=env,
+    )
+
+
+def _interleave_by_site(topology: Topology, hosts: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Order hosts round-robin across their sites, so that the Prime
+    leader rotation (which follows this order) never dwells in one site."""
+    by_site: Dict[str, List[str]] = {}
+    for host in hosts:
+        by_site.setdefault(topology.site_of(host).name, []).append(host)
+    columns = [sorted(by_site[site]) for site in sorted(by_site)]
+    interleaved: List[str] = []
+    for row in range(max(len(c) for c in columns)):
+        for column in columns:
+            if row < len(column):
+                interleaved.append(column[row])
+    return tuple(interleaved)
+
+
+def _place_replicas(
+    topology: Topology, plan: DistributionPlan
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Create replica hostnames and place them in their sites."""
+    on_prem_sites = [CONTROL_CENTER_A, CONTROL_CENTER_B]
+    dc_sites = [DATA_CENTER_1, DATA_CENTER_2, DATA_CENTER_3][: len(plan.data_centers)]
+    on_prem_hosts: List[str] = []
+    dc_hosts: List[str] = []
+    for site, count in zip(on_prem_sites, plan.on_premises):
+        for i in range(count):
+            host = f"{site}-r{i}"
+            topology.add_host(host, site)
+            on_prem_hosts.append(host)
+    for site, count in zip(dc_sites, plan.data_centers):
+        for i in range(count):
+            host = f"{site}-r{i}"
+            topology.add_host(host, site)
+            dc_hosts.append(host)
+    return tuple(on_prem_hosts), tuple(dc_hosts)

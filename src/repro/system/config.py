@@ -1,0 +1,77 @@
+"""Deployment configuration for full-system simulations."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.costs import CostModel
+from repro.errors import ConfigurationError
+
+
+class Mode(enum.Enum):
+    """Which system to deploy."""
+
+    SPIRE = "spire"                    # Spire 1.2 baseline: everyone executes
+    CONFIDENTIAL = "confidential"      # Confidential Spire: DC replicas store only
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one deployment.
+
+    Defaults reproduce the paper's evaluation setup: two control centers
+    and two data centers on the emulated East Coast topology, ten clients
+    submitting one update per second each.
+    """
+
+    mode: Mode = Mode.CONFIDENTIAL
+    f: int = 1
+    data_centers: int = 2
+    seed: int = 1
+
+    # Workload (Section VII: ten substations at 1 update/s each).
+    num_clients: int = 10
+    update_interval: float = 1.0
+
+    # Protocol parameters.
+    checkpoint_interval: int = 100
+    pp_interval: float = 0.026
+    vc_timeout: float = 0.100
+    failover_delay: float = 0.120
+
+    # Key renewal (Section V-D); off by default, as in the paper's
+    # implementation ("not yet implemented" in Spire; we implement it and
+    # evaluate it in the A3 ablation).
+    key_renewal_enabled: bool = False
+    key_validity: int = 100
+    key_slack: int = 10
+
+    # Residual random loss on inter-site links (after Spines rerouting).
+    wan_loss_probability: float = 0.0
+
+    # State-transfer flow control (None = the paper prototype's
+    # single-burst responses, which produced its 200-450 ms spikes).
+    xfer_chunk_bytes: Optional[int] = 65536
+    xfer_chunk_interval: float = 0.004
+
+    # Cryptographic sizes. Small-but-real keys keep pure-Python wall time
+    # tolerable; simulated costs come from `costs`, not from wall time.
+    rsa_bits: int = 512
+    threshold_bits: int = 384
+
+    costs: CostModel = field(default_factory=CostModel)
+    tracing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.f < 1:
+            raise ConfigurationError("f must be at least 1")
+        if not 1 <= self.data_centers <= 3:
+            raise ConfigurationError("1-3 data centers supported")
+        if self.num_clients < 1:
+            raise ConfigurationError("at least one client required")
+
+    @property
+    def confidential(self) -> bool:
+        return self.mode is Mode.CONFIDENTIAL

@@ -1,0 +1,126 @@
+"""Latency metrics matching the paper's reporting format.
+
+Table II reports, per configuration: average latency, the percentage of
+updates under 100 ms and 200 ms, and the 0.1 / 1 / 50 / 99 / 99.9
+percentiles. Figure 2 plots per-update latency against submission time.
+:class:`LatencyRecorder` collects the samples; :class:`LatencyStats`
+computes the table row; :meth:`LatencyRecorder.timeline` yields the figure
+series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.proxy import ClientProxy
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One completed update."""
+
+    submit_time: float
+    latency: float
+    client_id: str
+    client_seq: int
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """The Table II row for one configuration."""
+
+    count: int
+    average: float
+    pct_under_100ms: float
+    pct_under_200ms: float
+    p0_1: float
+    p1: float
+    p50: float
+    p99: float
+    p99_9: float
+
+    def row(self, label: str) -> str:
+        def ms(value: float) -> str:
+            return f"{value * 1000:7.1f}"
+
+        return (
+            f"{label:28s} n={self.count:6d} avg={ms(self.average)}ms "
+            f"<100ms={self.pct_under_100ms:6.2f}% <200ms={self.pct_under_200ms:6.2f}% "
+            f"p0.1={ms(self.p0_1)} p1={ms(self.p1)} p50={ms(self.p50)} "
+            f"p99={ms(self.p99)} p99.9={ms(self.p99_9)}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values (p in [0, 100])."""
+    if not sorted_values:
+        raise ValueError("no samples")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    interpolated = sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+    # Clamp against float rounding so results never escape the sample range.
+    return min(max(interpolated, sorted_values[0]), sorted_values[-1])
+
+
+class LatencyRecorder:
+    """Collects latency samples from any number of proxies."""
+
+    def __init__(self) -> None:
+        self.samples: List[LatencySample] = []
+
+    def attach(self, proxy: ClientProxy) -> None:
+        """Record every completed update from ``proxy``."""
+
+        def on_response(seq: int, _body: bytes, latency: float) -> None:
+            submit = proxy.kernel.now - latency
+            self.samples.append(
+                LatencySample(
+                    submit_time=submit,
+                    latency=latency,
+                    client_id=proxy.client_id,
+                    client_seq=seq,
+                )
+            )
+
+        proxy.on_response(on_response)
+
+    def stats(self, since: float = 0.0, until: Optional[float] = None) -> LatencyStats:
+        """Aggregate statistics over samples submitted in [since, until)."""
+        values = sorted(
+            s.latency
+            for s in self.samples
+            if s.submit_time >= since and (until is None or s.submit_time < until)
+        )
+        if not values:
+            raise ValueError("no latency samples in the requested window")
+        count = len(values)
+        return LatencyStats(
+            count=count,
+            average=sum(values) / count,
+            pct_under_100ms=100.0 * sum(1 for v in values if v < 0.100) / count,
+            pct_under_200ms=100.0 * sum(1 for v in values if v < 0.200) / count,
+            p0_1=percentile(values, 0.1),
+            p1=percentile(values, 1),
+            p50=percentile(values, 50),
+            p99=percentile(values, 99),
+            p99_9=percentile(values, 99.9),
+        )
+
+    def timeline(self) -> List[Tuple[float, float]]:
+        """(submit_time, latency) series in submission order (Figure 2)."""
+        return sorted((s.submit_time, s.latency) for s in self.samples)
+
+    def max_latency(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        values = [
+            s.latency
+            for s in self.samples
+            if s.submit_time >= since and (until is None or s.submit_time < until)
+        ]
+        if not values:
+            raise ValueError("no samples in window")
+        return max(values)

@@ -1,0 +1,93 @@
+"""Tests for the secret-sharing storage baseline (related work)."""
+
+import pytest
+
+from repro.baselines import SecretStoreClient, SecretStoreReplica
+from repro.errors import ConfigurationError
+from repro.net import Network, Overlay, east_coast_topology
+from repro.net.topology import CLIENT_SITE, DATA_CENTER_1, DATA_CENTER_2
+from repro.sim import Kernel, RngRegistry
+
+
+@pytest.fixture
+def store_world():
+    kernel = Kernel()
+    topo = east_coast_topology(2)
+    hosts = []
+    for i in range(4):
+        host = f"store-{i}"
+        topo.add_host(host, DATA_CENTER_1 if i % 2 else DATA_CENTER_2)
+        hosts.append(host)
+    topo.add_host("client", CLIENT_SITE)
+    rng = RngRegistry(3)
+    network = Network(kernel, topo, Overlay(topo), rng)
+    replicas = [SecretStoreReplica(network, host, i + 1) for i, host in enumerate(hosts)]
+    client = SecretStoreClient(kernel, network, "client", hosts, f=1, rng=rng)
+    return kernel, replicas, client
+
+
+def test_write_then_read(store_world):
+    kernel, _replicas, client = store_world
+    done = []
+    client.write("meter-readings", b"secret grid state", lambda: done.append("w"))
+    kernel.run(until=1.0)
+    assert done == ["w"]
+    values = []
+    client.read("meter-readings", values.append)
+    kernel.run(until=2.0)
+    assert values == [b"secret grid state"]
+
+
+def test_read_unknown_key_returns_none(store_world):
+    kernel, _replicas, client = store_world
+    values = []
+    client.read("ghost", values.append)
+    kernel.run(until=1.0)
+    assert values == [None]
+
+
+def test_no_replica_holds_the_value(store_world):
+    # The confidentiality property of the baseline: individual shares
+    # reveal nothing; in particular no replica stores the value itself.
+    kernel, replicas, client = store_world
+    client.write("k", b"super secret", lambda: None)
+    kernel.run(until=1.0)
+    shares = [r.stored_share("k") for r in replicas]
+    assert all(share is not None for share in shares)
+    assert all(b"super secret" not in share for share in shares)
+    assert len(set(shares)) == len(shares)
+
+
+def test_overwrite_takes_latest_version(store_world):
+    kernel, _replicas, client = store_world
+    client.write("k", b"v1", lambda: None)
+    kernel.run(until=1.0)
+    client.write("k", b"v2", lambda: None)
+    kernel.run(until=2.0)
+    values = []
+    client.read("k", values.append)
+    kernel.run(until=3.0)
+    assert values == [b"v2"]
+
+
+def test_tolerates_one_crashed_replica(store_world):
+    kernel, replicas, client = store_world
+    client.write("k", b"durable", lambda: None)
+    kernel.run(until=1.0)
+    # Crash one replica: f+1 = 2 shares still reconstruct.
+    client.network.set_host_down(replicas[0].host, True)
+    values = []
+    client.read("k", values.append)
+    kernel.run(until=2.0)
+    assert values == [b"durable"]
+
+
+def test_requires_enough_replicas():
+    kernel = Kernel()
+    topo = east_coast_topology(1)
+    topo.add_host("c", CLIENT_SITE)
+    topo.add_host("s0", DATA_CENTER_1)
+    rng = RngRegistry(1)
+    network = Network(kernel, topo, Overlay(topo), rng)
+    with pytest.raises(ConfigurationError):
+        SecretStoreClient(kernel, network, "c", ["s0"], f=1, rng=rng)

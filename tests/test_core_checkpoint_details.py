@@ -1,0 +1,93 @@
+"""Checkpoint protocol details against a live deployment (Section V-C)."""
+
+import pytest
+
+from repro.core.messages import CheckpointMsg
+from repro.system import Mode, SystemConfig, build
+
+
+@pytest.fixture(scope="module")
+def ckpt_run():
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL, f=1, num_clients=3, seed=91, checkpoint_interval=20
+    )
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=25.0, interval=0.5)
+    deployment.run(until=28.0)
+    return deployment
+
+
+def test_only_executing_replicas_generate(ckpt_run):
+    for replica in ckpt_run.executing_replicas():
+        assert replica.checkpoints.generated_count > 0
+    for replica in ckpt_run.storage_replicas():
+        assert replica.checkpoints.generated_count == 0
+
+
+def test_generation_cadence_matches_interval(ckpt_run):
+    replica = ckpt_run.executing_replicas()[0]
+    executed = replica.executed_ordinal()
+    expected = executed // ckpt_run.config.checkpoint_interval
+    assert abs(replica.checkpoints.generated_count - expected) <= 1
+
+
+def test_data_center_relay_produces_stability(ckpt_run):
+    # Storage replicas re-sign and relay correct checkpoints; without
+    # their votes stability (2f+k+1 = 8 > 8 on-prem... exactly 8) would be
+    # fragile. Check the relay actually happened via checkpoint traces.
+    relayed = ckpt_run.tracer.count(category="checkpoint.correct")
+    assert relayed > 0
+    for replica in ckpt_run.storage_replicas():
+        assert replica.checkpoints.stable is not None
+
+
+def test_stable_ordinals_are_interval_multiples(ckpt_run):
+    for replica in ckpt_run.replicas.values():
+        stable = replica.checkpoints.stable
+        assert stable.ordinal % ckpt_run.config.checkpoint_interval == 0
+
+
+def test_garbage_collection_bounded_log(ckpt_run):
+    # The update log retains at most ~2 checkpoint intervals of batches.
+    replica = ckpt_run.executing_replicas()[0]
+    stable = replica.checkpoints.stable
+    for batch_seq in replica.update_log:
+        assert batch_seq >= stable.resume.batch_seq
+
+
+def test_checkpoint_blobs_identical_across_generators(ckpt_run):
+    # Deterministic state + deterministic encryption = byte-identical
+    # blobs, which is what makes f+1 matching possible at all.
+    stable_digests = {
+        r.checkpoints.stable.blob_digest()
+        for r in ckpt_run.executing_replicas()
+        if r.checkpoints.stable is not None
+    }
+    ordinals = {
+        r.checkpoints.stable.ordinal for r in ckpt_run.executing_replicas()
+    }
+    if len(ordinals) == 1:
+        assert len(stable_digests) == 1
+
+
+def test_forged_checkpoint_cannot_reach_correct(ckpt_run):
+    # A single malicious replica multicasting a bogus blob never reaches
+    # the f+1 bar.
+    replica = ckpt_run.storage_replicas()[0]
+    stable = replica.checkpoints.stable
+    forged = CheckpointMsg(
+        ordinal=stable.ordinal + 1000,
+        resume=stable.resume,
+        blob=b"forged state",
+        signer="dc-2-r1",
+    )
+    replica.checkpoints.on_checkpoint("dc-2-r1", forged)
+    assert (stable.ordinal + 1000) not in replica.checkpoints.correct
+
+
+def test_engine_history_pruned_after_stability(ckpt_run):
+    replica = ckpt_run.executing_replicas()[0]
+    stable_seq = replica.checkpoints.stable.resume.batch_seq
+    executed = replica.engine.order.executed_batches
+    assert all(seq >= stable_seq for seq in executed)

@@ -1,0 +1,112 @@
+"""Tests for the replica distribution rules (Section IV-B, Table I)."""
+
+import pytest
+
+from repro.core.distribution import (
+    minimum_k_confidential,
+    plan_confidential,
+    plan_spire,
+    spire_site_bound,
+    table_one,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTableOne:
+    """The paper's Table I, cell by cell."""
+
+    EXPECTED = [
+        ["6+6+6 (18)", "4+4+3+3 (14)", "4+4+2+2+2 (14)"],
+        ["9+9+9 (27)", "6+6+5+4 (21)", "6+6+3+3+3 (21)"],
+        ["12+12+12 (36)", "8+8+6+6 (28)", "8+8+4+4+4 (28)"],
+    ]
+
+    def test_full_table_matches_paper(self):
+        assert table_one() == self.EXPECTED
+
+    @pytest.mark.parametrize(
+        "f,dcs,label",
+        [
+            (1, 1, "6+6+6 (18)"),
+            (1, 2, "4+4+3+3 (14)"),
+            (1, 3, "4+4+2+2+2 (14)"),
+            (2, 2, "6+6+5+4 (21)"),
+            (3, 3, "8+8+4+4+4 (28)"),
+        ],
+    )
+    def test_individual_cells(self, f, dcs, label):
+        assert plan_confidential(f, dcs).label() == label
+
+
+class TestConfidentialPlan:
+    def test_n_formula(self):
+        plan = plan_confidential(1, 2)
+        assert plan.n == 3 * plan.f + 2 * plan.k + 1
+
+    def test_on_premises_minimum(self):
+        # Each on-premises site needs >= 2f+2 replicas (Section IV-B).
+        for f in (1, 2, 3):
+            for dcs in (1, 2, 3):
+                plan = plan_confidential(f, dcs)
+                assert all(c >= 2 * f + 2 for c in plan.on_premises)
+
+    def test_no_site_reaches_k(self):
+        # A site of size >= k breaks availability when disconnected
+        # during a proactive recovery elsewhere.
+        for f in (1, 2, 3):
+            for dcs in (1, 2, 3):
+                plan = plan_confidential(f, dcs)
+                assert max(plan.counts) <= plan.k - 1
+
+    def test_k_bound_formula(self):
+        assert minimum_k_confidential(1, 4) == 5      # max(5, ceil(8/2)=4)
+        assert minimum_k_confidential(2, 4) == 7      # max(7, ceil(11/2)=6)
+        assert minimum_k_confidential(1, 3) == 7      # max(5, ceil(7/1)=7)
+
+    def test_quorum_survives_worst_case(self):
+        # Disconnect the largest site, lose k-1 more (recovery) and f
+        # compromised: at least quorum replicas must remain correct & up.
+        for f in (1, 2, 3):
+            for dcs in (1, 2, 3):
+                plan = plan_confidential(f, dcs)
+                available = plan.n - max(plan.counts) - 1 - plan.f
+                assert available >= plan.quorum - plan.f  # correct & connected
+
+    def test_f_plus_1_on_premises_survive(self):
+        # One on-prem site disconnected, f compromised + 1 recovering in
+        # the other: f+1 correct on-premises replicas must remain.
+        for f in (1, 2, 3):
+            plan = plan_confidential(f, 2)
+            remaining = min(plan.on_premises) - f - 1
+            assert remaining >= f + 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_confidential(0, 2)
+        with pytest.raises(ConfigurationError):
+            plan_confidential(1, 0)
+
+
+class TestSpirePlan:
+    def test_paper_baselines(self):
+        assert plan_spire(1, 2).label() == "3+3+3+3 (12)"
+        assert plan_spire(2, 2).label() == "5+5+5+4 (19)"
+
+    def test_spire_site_bound(self):
+        # f=1, S=4: ceil((3+4+1)/2) = 4 (the 12-replica Spire config).
+        assert spire_site_bound(1, 4) == 4
+
+    def test_fewer_than_three_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spire_site_bound(1, 2)
+
+    def test_even_spread(self):
+        plan = plan_spire(1, 2)
+        assert max(plan.counts) - min(plan.counts) <= 1
+
+
+def test_confidential_needs_more_replicas_than_spire():
+    # The confidentiality price in replicas: 14 vs 12 at f=1 (paper
+    # Section IV-B discussion).
+    for f in (1, 2):
+        assert plan_confidential(f, 2).n > plan_spire(f, 2).n

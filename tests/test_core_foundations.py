@@ -1,0 +1,158 @@
+"""Tests for the confidentiality auditor, key schedules, and the
+reference application."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.app import KeyValueApplication
+from repro.core.confidentiality import Auditor, Sensitive
+from repro.core.encryption import ClientKeySchedule, KeyEpoch, KeyManager
+from repro.crypto.symmetric import derive_keypair
+from repro.errors import ConfidentialityViolation, KeyScheduleError
+
+
+class TestAuditor:
+    def test_records_exposure(self):
+        auditor = Auditor()
+        auditor.observe("host-1", "client-data")
+        assert auditor.exposed_hosts == {"host-1"}
+        assert auditor.exposures_for("host-1") == [("client-data", "local")]
+
+    def test_strict_host_raises_immediately(self):
+        auditor = Auditor(strict_hosts={"dc-1-r0"})
+        with pytest.raises(ConfidentialityViolation):
+            auditor.observe("dc-1-r0", "client-data")
+
+    def test_assert_clean(self):
+        auditor = Auditor()
+        auditor.observe("cc-a-r0", "data")
+        auditor.assert_clean({"dc-1-r0"})
+        with pytest.raises(ConfidentialityViolation):
+            auditor.assert_clean({"cc-a-r0"})
+
+    def test_inspect_delivery_sees_sensitive_payloads(self):
+        auditor = Auditor()
+
+        class Carrier:
+            def sensitive_parts(self):
+                return ["payload"]
+
+        auditor.inspect_delivery("dc-1-r0", Carrier())
+        assert "dc-1-r0" in auditor.exposed_hosts
+
+    def test_inspect_delivery_ignores_opaque_payloads(self):
+        auditor = Auditor()
+        auditor.inspect_delivery("dc-1-r0", b"ciphertext")
+        auditor.inspect_delivery("dc-1-r0", object())
+        assert auditor.exposed_hosts == set()
+
+    def test_sensitive_wrapper(self):
+        wrapped = Sensitive(b"abc", label="x")
+        assert len(wrapped) == 3
+        assert wrapped.data == b"abc"
+
+
+class TestKeySchedule:
+    def make(self, start=1, end=100):
+        return ClientKeySchedule(KeyEpoch(start, end, derive_keypair(b"k0")))
+
+    def test_epoch_lookup(self):
+        schedule = self.make()
+        assert schedule.epoch_for(1) is not None
+        assert schedule.epoch_for(100) is not None
+        assert schedule.epoch_for(101) is None
+
+    def test_extend_contiguous(self):
+        schedule = self.make()
+        schedule.extend(KeyEpoch(101, 200, derive_keypair(b"k1")))
+        assert schedule.epoch_for(150).keys == derive_keypair(b"k1")
+        assert schedule.latest.end_seq == 200
+
+    def test_extend_gap_rejected(self):
+        schedule = self.make()
+        with pytest.raises(KeyScheduleError):
+            schedule.extend(KeyEpoch(150, 250, derive_keypair(b"k1")))
+
+    def test_prune_keeps_covering_epochs(self):
+        schedule = self.make()
+        schedule.extend(KeyEpoch(101, 200, derive_keypair(b"k1")))
+        schedule.prune_before(150)
+        assert schedule.epoch_for(50) is None
+        assert schedule.epoch_for(150) is not None
+
+    def test_state_roundtrip(self):
+        schedule = self.make()
+        schedule.extend(KeyEpoch(101, 200, derive_keypair(b"k1")))
+        restored = ClientKeySchedule.from_state(schedule.to_state())
+        assert restored.to_state() == schedule.to_state()
+
+
+class TestKeyManager:
+    def test_encrypt_decrypt_through_schedule(self):
+        manager = KeyManager()
+        manager.register_client("alias", derive_keypair(b"init"), validity=100)
+        blob = manager.encrypt_update("alias", 5, b"payload")
+        assert manager.decrypt_update("alias", 5, blob) == b"payload"
+
+    def test_unknown_client_rejected(self):
+        with pytest.raises(KeyScheduleError):
+            KeyManager().encrypt_update("ghost", 1, b"x")
+
+    def test_out_of_range_seq_rejected(self):
+        manager = KeyManager()
+        manager.register_client("alias", derive_keypair(b"init"), validity=10)
+        assert not manager.can_encrypt("alias", 11)
+        with pytest.raises(KeyScheduleError):
+            manager.encrypt_update("alias", 11, b"x")
+
+    def test_state_roundtrip(self):
+        manager = KeyManager()
+        manager.register_client("a", derive_keypair(b"ka"), validity=100)
+        manager.register_client("b", derive_keypair(b"kb"), validity=100)
+        other = KeyManager()
+        other.restore_state(manager.to_state())
+        blob = manager.encrypt_update("a", 3, b"cross")
+        assert other.decrypt_update("a", 3, blob) == b"cross"
+
+
+class TestKeyValueApplication:
+    def test_set_get_del(self):
+        app = KeyValueApplication()
+        assert app.execute("c", 1, b"SET k hello") == b"OK"
+        assert app.execute("c", 2, b"GET k") == b"hello"
+        assert app.execute("c", 3, b"DEL k") == b"DELETED"
+        assert app.execute("c", 4, b"GET k") == b"NONE"
+        assert app.execute("c", 5, b"DEL k") == b"NONE"
+
+    def test_bad_command(self):
+        app = KeyValueApplication()
+        assert app.execute("c", 1, b"FROB x").startswith(b"ERROR")
+
+    def test_snapshot_restore_roundtrip(self):
+        app = KeyValueApplication()
+        app.execute("c", 1, b"SET a 1")
+        app.execute("c", 2, b"SET b 2")
+        clone = KeyValueApplication()
+        clone.restore(app.snapshot())
+        assert clone.get("a") == "1"
+        assert clone.get("b") == "2"
+        assert clone.executed_count == 2
+
+    def test_snapshot_is_deterministic(self):
+        a, b = KeyValueApplication(), KeyValueApplication()
+        for app in (a, b):
+            app.execute("c", 1, b"SET z 9")
+            app.execute("c", 2, b"SET y 8")
+        assert a.snapshot() == b.snapshot()
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 9)), max_size=20))
+    @settings(max_examples=25)
+    def test_replicas_converge_property(self, ops):
+        # Two replicas applying the same update sequence always end in
+        # identical state — the determinism the checkpoint protocol needs.
+        a, b = KeyValueApplication(), KeyValueApplication()
+        for i, (key, value) in enumerate(ops, start=1):
+            for app in (a, b):
+                app.execute("client", i, f"SET {key} {value}".encode())
+        assert a.snapshot() == b.snapshot()

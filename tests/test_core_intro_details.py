@@ -1,0 +1,96 @@
+"""Introduction-manager details: preference lists, bad inputs, cleanup."""
+
+import pytest
+
+from repro.core.confidentiality import Sensitive
+from repro.core.messages import ClientUpdate, client_alias
+from repro.system import Mode, SystemConfig, build
+
+
+@pytest.fixture(scope="module")
+def system():
+    deployment = build(
+        SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=3, seed=141)
+    )
+    deployment.start()
+    return deployment
+
+
+class TestPreferenceList:
+    def test_all_replicas_agree_on_the_list(self, system):
+        alias = client_alias("client-00")
+        lists = {
+            tuple(r.intro.preference_list(alias))
+            for r in system.executing_replicas()
+        }
+        assert len(lists) == 1
+
+    def test_consecutive_ranks_alternate_sites(self, system):
+        replica = system.executing_replicas()[0]
+        for client in system.proxies:
+            ordered = replica.intro.preference_list(client_alias(client))
+            sites = [system.site_of_host(host) for host in ordered]
+            for a, b in zip(sites, sites[1:]):
+                assert a != b, f"adjacent ranks share site for {client}"
+
+    def test_introducer_load_spreads_across_replicas(self, system):
+        # The preference head is a hash rotation: over many client ids the
+        # load lands on several different replicas.
+        replica = system.executing_replicas()[0]
+        heads = {
+            replica.intro.preference_list(client_alias(f"spread-client-{i}"))[0]
+            for i in range(20)
+        }
+        assert len(heads) >= 4
+
+    def test_list_covers_every_on_premises_replica_once(self, system):
+        replica = system.executing_replicas()[0]
+        ordered = replica.intro.preference_list(client_alias("client-01"))
+        assert sorted(ordered) == sorted(system.on_premises_hosts)
+
+
+class TestInputValidation:
+    def test_unknown_client_ignored(self, system):
+        replica = system.executing_replicas()[0]
+        bogus = ClientUpdate(
+            client_id="intruder",
+            client_seq=1,
+            body=Sensitive(b"evil"),
+            signature=b"\x00" * 64,
+        )
+        before = system.tracer.count(category="intro.unknown-client")
+        replica.intro.on_client_update(bogus)
+        system.run(until=system.kernel.now + 0.1)
+        assert system.tracer.count(category="intro.unknown-client") == before + 1
+
+    def test_bad_signature_rejected(self, system):
+        replica = system.executing_replicas()[0]
+        forged = ClientUpdate(
+            client_id="client-00",
+            client_seq=999,
+            body=Sensitive(b"forged"),
+            signature=b"\x00" * 64,
+        )
+        replica.intro.on_client_update(forged)
+        system.run(until=system.kernel.now + 0.2)
+        assert system.tracer.count(category="intro.bad-signature") >= 1
+        # Nothing was injected for it.
+        alias = client_alias("client-00")
+        assert not replica.is_executed(alias, 999)
+
+
+class TestLifecycle:
+    def test_mark_executed_cancels_failovers_and_clears_state(self, system):
+        proxy = system.proxies["client-02"]
+        seq = proxy.submit(b"SET cleanup 1")
+        system.run(until=system.kernel.now + 1.5)
+        alias = client_alias("client-02")
+        for replica in system.executing_replicas():
+            intro = replica.intro
+            assert (alias, seq) in intro._done
+            assert (alias, seq) not in intro._failover_timers
+            assert (alias, seq) not in intro._assembled
+        assert proxy.completed[seq]
+
+    def test_parked_counter_starts_empty(self, system):
+        assert all(r.intro.parked_updates == 0 for r in system.executing_replicas())

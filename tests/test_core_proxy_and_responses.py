@@ -1,0 +1,128 @@
+"""Client proxy behaviour: retransmission, response validation, caching."""
+
+import pytest
+
+from repro.core.messages import ClientResponse, client_alias
+from repro.core.confidentiality import Sensitive
+from repro.system import Mode, SystemConfig, build
+
+
+@pytest.fixture
+def small_system():
+    deployment = build(
+        SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=2, seed=71)
+    )
+    deployment.start()
+    return deployment
+
+
+def test_submit_assigns_monotonic_sequences(small_system):
+    proxy = next(iter(small_system.proxies.values()))
+    assert proxy.submit(b"SET a 1") == 1
+    assert proxy.submit(b"SET a 2") == 2
+
+
+def test_response_delivered_with_latency(small_system):
+    proxy = next(iter(small_system.proxies.values()))
+    results = []
+    proxy.on_response(lambda seq, body, latency: results.append((seq, body, latency)))
+    small_system.kernel.call_later(0.1, proxy.submit, b"SET x hello")
+    small_system.run(until=2.0)
+    assert len(results) == 1
+    seq, body, latency = results[0]
+    assert seq == 1
+    assert body == b"OK"
+    assert 0.0 < latency < 0.2
+
+
+def test_forged_response_rejected(small_system):
+    proxy = next(iter(small_system.proxies.values()))
+    small_system.kernel.call_later(0.1, proxy.submit, b"SET x 1")
+
+    def forge():
+        fake = ClientResponse(
+            client_id=proxy.client_id,
+            client_seq=1,
+            body=Sensitive(b"EVIL"),
+            threshold_sig=b"\x00" * 48,
+        )
+        small_system.network.send("dc-1-r0", proxy.host, fake)
+
+    small_system.kernel.call_later(0.11, forge)
+    small_system.run(until=2.0)
+    assert proxy.completed[1][1] == b"OK"  # the real response won
+
+
+def test_response_for_unknown_client_ignored(small_system):
+    proxies = list(small_system.proxies.values())
+    a, b = proxies[0], proxies[1]
+    small_system.kernel.call_later(0.1, a.submit, b"SET x 1")
+    small_system.run(until=2.0)
+    assert not b.completed
+
+
+def test_retransmission_when_responses_lost(small_system):
+    # Take all on-premises replicas' proxy-facing path away briefly by
+    # isolating the client site; the proxy retransmits and eventually
+    # succeeds.
+    proxy = next(iter(small_system.proxies.values()))
+    small_system.attacks.isolate_site("field")
+    small_system.kernel.call_later(0.1, proxy.submit, b"SET y 2")
+    small_system.kernel.call_later(1.5, small_system.attacks.reconnect_site, "field")
+    small_system.run(until=5.0)
+    assert proxy.retransmissions >= 1
+    assert 1 in proxy.completed
+    assert proxy.outstanding == 0
+
+
+def test_duplicate_retransmission_executes_once(small_system):
+    # Force an extra retransmission after success has already happened:
+    # replicas resend the cached response instead of re-executing.
+    proxy = next(iter(small_system.proxies.values()))
+    small_system.kernel.call_later(0.1, proxy.submit, b"SET z 3")
+    small_system.run(until=2.0)
+    replica = small_system.executing_replicas()[0]
+    alias = client_alias(proxy.client_id)
+    executed_before = replica.executed_seq(alias)
+    update = proxy._pending.get(1)
+    assert update is None  # completed; craft a manual duplicate
+    # Re-deliver the original signed update to a replica directly.
+    signed = ClientResponse  # placeholder to appease linters
+    from repro.core.messages import ClientUpdate
+
+    original = ClientUpdate(
+        client_id=proxy.client_id,
+        client_seq=1,
+        body=Sensitive(b"SET z 3", label="client-update-body"),
+        signature=proxy._signing_key.sign(
+            ClientUpdate(proxy.client_id, 1, Sensitive(b"SET z 3")).signing_bytes()
+        ),
+    )
+    small_system.network.send(proxy.host, replica.host, original)
+    small_system.run(until=3.0)
+    assert replica.executed_seq(alias) == executed_before
+
+
+def test_gave_up_after_max_retransmits():
+    deployment = build(
+        SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=1, seed=72)
+    )
+    deployment.start()
+    proxy = next(iter(deployment.proxies.values()))
+    proxy.max_retransmits = 2
+    deployment.attacks.isolate_site("field")
+    deployment.kernel.call_later(0.1, proxy.submit, b"SET a 1")
+    deployment.run(until=10.0)
+    assert proxy.outstanding == 0
+    assert not proxy.completed
+    assert proxy.retransmissions == 2
+
+
+def test_latencies_listing(small_system):
+    proxy = next(iter(small_system.proxies.values()))
+    small_system.kernel.call_later(0.1, proxy.submit, b"SET a 1")
+    small_system.kernel.call_later(0.5, proxy.submit, b"SET a 2")
+    small_system.run(until=2.0)
+    pairs = proxy.latencies()
+    assert [seq for seq, _ in pairs] == [1, 2]
+    assert all(latency > 0 for _, latency in pairs)

@@ -1,0 +1,149 @@
+"""AES tests: FIPS-197 vectors, structural properties, CBC mode."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, pkcs7_pad, pkcs7_unpad
+from repro.errors import CryptoError, DecryptionError
+
+PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+KEY_128 = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+KEY_192 = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+KEY_256 = bytes.fromhex(
+    "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+)
+
+
+class TestFips197Vectors:
+    """Appendix C of FIPS-197: the canonical example vectors."""
+
+    def test_aes128(self):
+        assert AES(KEY_128).encrypt_block(PLAIN).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192(self):
+        assert AES(KEY_192).encrypt_block(PLAIN).hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256(self):
+        assert AES(KEY_256).encrypt_block(PLAIN).hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+    @pytest.mark.parametrize("key", [KEY_128, KEY_192, KEY_256])
+    def test_decrypt_inverts_encrypt(self, key):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(PLAIN)) == PLAIN
+
+
+class TestSbox:
+    def test_sbox_known_entries(self):
+        # S(0x00)=0x63, S(0x01)=0x7c, S(0x53)=0xed are standard spot checks.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        assert all(INV_SBOX[SBOX[x]] == x for x in range(256))
+
+    def test_sbox_has_no_fixed_points(self):
+        assert all(SBOX[x] != x for x in range(256))
+
+
+class TestBlockCipher:
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(CryptoError):
+            AES(b"short")
+
+    def test_bad_block_length_rejected(self):
+        with pytest.raises(CryptoError):
+            AES(KEY_256).encrypt_block(b"tiny")
+        with pytest.raises(CryptoError):
+            AES(KEY_256).decrypt_block(b"tiny")
+
+    def test_rounds_by_key_size(self):
+        assert AES(KEY_128).rounds == 10
+        assert AES(KEY_192).rounds == 12
+        assert AES(KEY_256).rounds == 14
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=32, max_size=32))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, block, key):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_avalanche(self):
+        cipher = AES(KEY_256)
+        a = cipher.encrypt_block(PLAIN)
+        flipped = bytes([PLAIN[0] ^ 1]) + PLAIN[1:]
+        b = cipher.encrypt_block(flipped)
+        differing_bits = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing_bits > 40  # ~64 expected for a good cipher
+
+
+class TestPkcs7:
+    def test_pad_is_multiple_of_block(self):
+        for n in range(0, 40):
+            assert len(pkcs7_pad(b"x" * n)) % 16 == 0
+
+    def test_full_block_padding_for_aligned_input(self):
+        padded = pkcs7_pad(b"x" * 16)
+        assert len(padded) == 32
+        assert padded[-1] == 16
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=50)
+    def test_roundtrip(self, data):
+        assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_bad_padding_rejected(self):
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 15 + b"\x03")
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"x" * 16 + b"\x00" * 16)
+        with pytest.raises(DecryptionError):
+            pkcs7_unpad(b"")
+
+
+class TestCbc:
+    IV = bytes(range(16))
+
+    def test_roundtrip(self):
+        cipher = AES(KEY_256)
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert cbc_decrypt(cipher, self.IV, cbc_encrypt(cipher, self.IV, data)) == data
+
+    def test_iv_affects_ciphertext(self):
+        cipher = AES(KEY_256)
+        data = b"hello world"
+        other_iv = bytes(16)
+        assert cbc_encrypt(cipher, self.IV, data) != cbc_encrypt(cipher, other_iv, data)
+
+    def test_chaining_hides_repeated_blocks(self):
+        cipher = AES(KEY_256)
+        data = b"A" * 48  # three identical plaintext blocks
+        ct = cbc_encrypt(cipher, self.IV, data)
+        blocks = [ct[i : i + 16] for i in range(0, len(ct), 16)]
+        assert len(set(blocks)) == len(blocks)
+
+    def test_bad_iv_length_rejected(self):
+        with pytest.raises(CryptoError):
+            cbc_encrypt(AES(KEY_256), b"short", b"data")
+
+    def test_truncated_ciphertext_rejected(self):
+        with pytest.raises(DecryptionError):
+            cbc_decrypt(AES(KEY_256), self.IV, b"not-multiple")
+
+    def test_tampered_ciphertext_fails_or_garbles(self):
+        # CBC without a MAC cannot *guarantee* a padding error on
+        # tampering (the higher layer's HMAC-IV check does); but the
+        # original plaintext must never come back.
+        cipher = AES(KEY_256)
+        ct = bytearray(cbc_encrypt(cipher, self.IV, b"secret message"))
+        ct[-1] ^= 0xFF
+        try:
+            recovered = cbc_decrypt(cipher, self.IV, bytes(ct))
+        except DecryptionError:
+            return
+        assert recovered != b"secret message"

@@ -1,0 +1,91 @@
+"""Tests for the hardware (TPM/SGX) key store model."""
+
+import random
+
+import pytest
+
+from repro.crypto.keystore import HardwareKeyStore
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.symmetric import derive_keypair
+from repro.errors import KeyExfiltrationError
+
+
+@pytest.fixture
+def keystore():
+    identity = generate_keypair(512, random.Random(3))
+    return HardwareKeyStore("host-1", identity, derive_keypair(b"hw"))
+
+
+def test_identity_signing(keystore):
+    sig = keystore.identity_sign(b"boot attestation")
+    assert keystore.identity_public.verify(b"boot attestation", sig)
+
+
+def test_session_key_lifecycle(keystore):
+    rng = random.Random(4)
+    public = keystore.generate_session_key(512, rng)
+    sig = keystore.session_sign(b"protocol message")
+    assert public.verify(b"protocol message", sig)
+    assert keystore.session_public == public
+
+
+def test_session_key_absent_before_generation(keystore):
+    with pytest.raises(KeyExfiltrationError):
+        keystore.session_sign(b"m")
+    with pytest.raises(KeyExfiltrationError):
+        keystore.session_public
+
+
+def test_hardware_encrypt_roundtrip(keystore):
+    blob = keystore.hardware_encrypt(b"key proposal seed")
+    assert keystore.hardware_decrypt(blob) == b"key proposal seed"
+
+
+def test_hardware_encrypt_is_deterministic(keystore):
+    # On-premises replicas share the hardware key and must produce
+    # identical encrypted checkpoints.
+    assert keystore.hardware_encrypt(b"state") == keystore.hardware_encrypt(b"state")
+
+
+def test_shared_key_consistency_across_stores():
+    shared = derive_keypair(b"fleet")
+    store_a = HardwareKeyStore("a", generate_keypair(512, random.Random(1)), shared)
+    store_b = HardwareKeyStore("b", generate_keypair(512, random.Random(2)), shared)
+    assert store_b.hardware_decrypt(store_a.hardware_encrypt(b"x")) == b"x"
+
+
+def test_no_shared_key_raises():
+    store = HardwareKeyStore("dc", generate_keypair(512, random.Random(1)), None)
+    assert not store.has_shared_symmetric
+    with pytest.raises(KeyExfiltrationError):
+        store.hardware_encrypt(b"x")
+    with pytest.raises(KeyExfiltrationError):
+        store.hardware_decrypt(b"x")
+
+
+def test_export_always_refused(keystore):
+    # The property Section V-D leans on: compromise grants use, not copy.
+    with pytest.raises(KeyExfiltrationError):
+        keystore.export_keys()
+
+
+def test_wipe_kills_session_but_keeps_roots(keystore):
+    rng = random.Random(5)
+    keystore.generate_session_key(512, rng)
+    keystore.wipe()
+    assert keystore.wipe_count == 1
+    with pytest.raises(KeyExfiltrationError):
+        keystore.session_sign(b"m")
+    # Hardware-rooted capabilities survive the wipe.
+    blob = keystore.hardware_encrypt(b"post-wipe")
+    assert keystore.hardware_decrypt(blob) == b"post-wipe"
+    sig = keystore.identity_sign(b"rejoin")
+    assert keystore.identity_public.verify(b"rejoin", sig)
+
+
+def test_session_keys_differ_across_incarnations(keystore):
+    rng = random.Random(6)
+    first = keystore.generate_session_key(512, rng)
+    keystore.wipe()
+    second = keystore.generate_session_key(512, rng)
+    assert first.n != second.n

@@ -1,0 +1,101 @@
+"""Tests for Shoup share-correctness proofs (verified partials)."""
+
+import random
+
+import pytest
+
+from repro.crypto.threshold import (
+    PartialSignature,
+    ShareProof,
+    combine_verified,
+    generate_threshold_key,
+    verify_partial,
+)
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def group():
+    return generate_threshold_key(384, 2, 5, random.Random(77))
+
+
+def test_honest_proof_verifies(group):
+    partial = group.shares[2].sign_partial_with_proof(b"message")
+    assert verify_partial(group.public, b"message", partial)
+
+
+def test_proof_bound_to_message(group):
+    partial = group.shares[2].sign_partial_with_proof(b"message")
+    assert not verify_partial(group.public, b"other message", partial)
+
+
+def test_proof_bound_to_signer(group):
+    partial = group.shares[2].sign_partial_with_proof(b"message")
+    imposter = PartialSignature(signer=3, value=partial.value, proof=partial.proof)
+    assert not verify_partial(group.public, b"message", imposter)
+
+
+def test_forged_value_rejected(group):
+    partial = group.shares[2].sign_partial_with_proof(b"message")
+    forged = PartialSignature(signer=2, value=(partial.value * 2) % group.public.n_modulus, proof=partial.proof)
+    assert not verify_partial(group.public, b"message", forged)
+
+
+def test_forged_proof_rejected(group):
+    partial = group.shares[2].sign_partial_with_proof(b"message")
+    bad_proof = ShareProof(challenge=partial.proof.challenge ^ 1, response=partial.proof.response)
+    assert not verify_partial(
+        group.public, b"message", PartialSignature(signer=2, value=partial.value, proof=bad_proof)
+    )
+
+
+def test_missing_proof_rejected(group):
+    plain = group.shares[2].sign_partial(b"message")
+    assert not verify_partial(group.public, b"message", plain)
+
+
+def test_unknown_signer_rejected(group):
+    partial = group.shares[2].sign_partial_with_proof(b"message")
+    ghost = PartialSignature(signer=99, value=partial.value, proof=partial.proof)
+    assert not verify_partial(group.public, b"message", ghost)
+
+
+def test_proved_value_matches_plain_partial(group):
+    # Both signing paths produce the same group element.
+    a = group.shares[4].sign_partial(b"same")
+    b = group.shares[4].sign_partial_with_proof(b"same")
+    assert a.value == b.value
+
+
+def test_signing_is_deterministic(group):
+    a = group.shares[1].sign_partial_with_proof(b"det")
+    b = group.shares[1].sign_partial_with_proof(b"det")
+    assert a == b
+
+
+def test_combine_verified_filters_byzantine_shares(group):
+    message = b"combine me"
+    honest = [group.shares[i].sign_partial_with_proof(message) for i in (1, 4)]
+    garbage = PartialSignature(signer=3, value=424242, proof=honest[0].proof)
+    signature = combine_verified(group.public, message, [garbage] + honest)
+    assert group.public.verify(message, signature)
+
+
+def test_combine_verified_needs_enough_honest_shares(group):
+    message = b"not enough"
+    honest = [group.shares[1].sign_partial_with_proof(message)]
+    garbage = PartialSignature(signer=2, value=7, proof=None)
+    with pytest.raises(CryptoError):
+        combine_verified(group.public, message, honest + [garbage])
+
+
+def test_codec_carries_proofs():
+    from repro.core.messages import IntroShare
+    from repro.net.codec import decode_message, encode_message
+
+    group = generate_threshold_key(384, 2, 4, random.Random(5))
+    partial = group.shares[1].sign_partial_with_proof(b"wire")
+    share = IntroShare(alias="a" * 16, client_seq=1, update_digest=b"\x01" * 32, partial=partial)
+    decoded, _ = decode_message(encode_message(share))
+    assert decoded == share
+    assert verify_partial(group.public, b"wire", decoded.partial)

@@ -1,0 +1,87 @@
+"""Tests for deterministic HMAC-IV encryption (Section VI-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import symmetric
+from repro.crypto.symmetric import SymmetricKeyPair, derive_keypair
+from repro.errors import CryptoError, DecryptionError
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return derive_keypair(b"test-seed")
+
+
+def test_derive_keypair_is_deterministic():
+    assert derive_keypair(b"s") == derive_keypair(b"s")
+    assert derive_keypair(b"s") != derive_keypair(b"t")
+
+
+def test_keys_must_be_32_bytes():
+    with pytest.raises(CryptoError):
+        SymmetricKeyPair(enc_key=b"short", prf_key=b"y" * 32)
+
+
+def test_encryption_is_deterministic(keys):
+    # The property the whole introduction protocol rests on: every
+    # on-premises replica independently produces the identical blob.
+    blob_a = symmetric.encrypt(keys, b"update body 1")
+    blob_b = symmetric.encrypt(keys, b"update body 1")
+    assert blob_a == blob_b
+
+
+def test_different_plaintexts_different_blobs(keys):
+    assert symmetric.encrypt(keys, b"a") != symmetric.encrypt(keys, b"b")
+
+
+def test_roundtrip(keys):
+    blob = symmetric.encrypt(keys, b"hello")
+    assert symmetric.decrypt(keys, blob) == b"hello"
+
+
+@given(st.binary(max_size=500))
+@settings(max_examples=50)
+def test_roundtrip_property(data):
+    keys = derive_keypair(b"prop")
+    assert symmetric.decrypt(keys, symmetric.encrypt(keys, data)) == data
+
+
+def test_wrong_key_rejected(keys):
+    blob = symmetric.encrypt(keys, b"hello")
+    with pytest.raises(DecryptionError):
+        symmetric.decrypt(derive_keypair(b"other"), blob)
+
+
+def test_tampered_blob_rejected(keys):
+    blob = bytearray(symmetric.encrypt(keys, b"hello there, a longer message"))
+    blob[20] ^= 0x01
+    with pytest.raises(DecryptionError):
+        symmetric.decrypt(keys, bytes(blob))
+
+
+def test_tampered_iv_rejected(keys):
+    blob = bytearray(symmetric.encrypt(keys, b"hello"))
+    blob[0] ^= 0x01
+    with pytest.raises(DecryptionError):
+        symmetric.decrypt(keys, bytes(blob))
+
+
+def test_short_blob_rejected(keys):
+    with pytest.raises(DecryptionError):
+        symmetric.decrypt(keys, b"x" * 16)
+
+
+def test_iv_commits_to_plaintext(keys):
+    iv = symmetric.deterministic_iv(keys, b"payload")
+    assert len(iv) == 16
+    assert iv != symmetric.deterministic_iv(keys, b"payload2")
+    # Different PRF key => different IV for the same plaintext.
+    other = derive_keypair(b"other-prf")
+    assert iv != symmetric.deterministic_iv(other, b"payload")
+
+
+def test_fingerprint_is_stable_and_short(keys):
+    assert keys.fingerprint() == keys.fingerprint()
+    assert len(keys.fingerprint()) == 12

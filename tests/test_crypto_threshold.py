@@ -1,0 +1,111 @@
+"""Tests for Shoup-style (t, n) threshold RSA signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto.threshold import (
+    PartialSignature,
+    combine_partials,
+    generate_threshold_key,
+)
+from repro.errors import CryptoError, SignatureError
+
+
+def test_basic_sign_combine_verify(threshold_group):
+    message = b"threshold me"
+    partials = [threshold_group.shares[i].sign_partial(message) for i in (1, 2)]
+    signature = combine_partials(threshold_group.public, message, partials)
+    assert threshold_group.public.verify(message, signature)
+
+
+def test_any_subset_gives_same_signature(threshold_group):
+    message = b"subset independence"
+    sig_a = combine_partials(
+        threshold_group.public,
+        message,
+        [threshold_group.shares[i].sign_partial(message) for i in (1, 2)],
+    )
+    sig_b = combine_partials(
+        threshold_group.public,
+        message,
+        [threshold_group.shares[i].sign_partial(message) for i in (5, 7)],
+    )
+    assert sig_a == sig_b
+
+
+def test_extra_partials_are_ignored(threshold_group):
+    message = b"extras"
+    partials = [threshold_group.shares[i].sign_partial(message) for i in (3, 4, 5, 6)]
+    signature = combine_partials(threshold_group.public, message, partials)
+    assert threshold_group.public.verify(message, signature)
+
+
+def test_duplicate_signers_do_not_count_twice(threshold_group):
+    message = b"dupes"
+    partial = threshold_group.shares[1].sign_partial(message)
+    with pytest.raises(CryptoError):
+        combine_partials(threshold_group.public, message, [partial, partial])
+
+
+def test_too_few_partials_rejected(threshold_group):
+    message = b"too few"
+    with pytest.raises(CryptoError):
+        combine_partials(
+            threshold_group.public,
+            message,
+            [threshold_group.shares[1].sign_partial(message)],
+        )
+
+
+def test_corrupt_partial_detected_at_combine(threshold_group):
+    # A Byzantine signer submits garbage: combination must not silently
+    # produce an invalid signature.
+    message = b"byzantine"
+    good = threshold_group.shares[1].sign_partial(message)
+    bad = PartialSignature(signer=2, value=12345)
+    with pytest.raises(SignatureError):
+        combine_partials(threshold_group.public, message, [good, bad])
+
+
+def test_verify_rejects_wrong_message(threshold_group):
+    message = b"right"
+    partials = [threshold_group.shares[i].sign_partial(message) for i in (1, 2)]
+    signature = combine_partials(threshold_group.public, message, partials)
+    assert not threshold_group.public.verify(b"wrong", signature)
+
+
+def test_verify_rejects_wrong_length(threshold_group):
+    assert not threshold_group.public.verify(b"m", b"short")
+
+
+def test_partials_from_wrong_message_fail(threshold_group):
+    a = threshold_group.shares[1].sign_partial(b"message-a")
+    b = threshold_group.shares[2].sign_partial(b"message-b")
+    with pytest.raises(SignatureError):
+        combine_partials(threshold_group.public, b"message-a", [a, b])
+
+
+def test_different_group_sizes():
+    group = generate_threshold_key(384, 3, 12, random.Random(5))
+    message = b"3 of 12"
+    partials = [group.shares[i].sign_partial(message) for i in (2, 7, 11)]
+    signature = combine_partials(group.public, message, partials)
+    assert group.public.verify(message, signature)
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(CryptoError):
+        generate_threshold_key(384, 8, 7, random.Random(1))
+
+
+def test_hash_to_element_in_range(threshold_group):
+    element = threshold_group.public.hash_to_element(b"anything")
+    assert 0 <= element < threshold_group.public.n_modulus
+
+
+def test_require_valid_raises(threshold_group):
+    with pytest.raises(SignatureError):
+        threshold_group.public.require_valid(
+            b"m", b"\x00" * threshold_group.public.byte_length
+        )

@@ -1,0 +1,157 @@
+"""Network attacks against the full system: the threat model in action.
+
+These reproduce the situations of Section VII-B / Figure 2: isolating
+leader and non-leader sites, rejoining, and the combination with ongoing
+traffic. The crucial paper claim under test: a disconnected on-premises
+site can rejoin and catch up using only data-center replicas.
+"""
+
+import pytest
+
+from repro.net.attacks import AttackEvent
+from repro.system import Mode, SystemConfig, build
+
+
+def deploy(seed=55, **overrides):
+    defaults = dict(
+        mode=Mode.CONFIDENTIAL, f=1, num_clients=4, seed=seed, checkpoint_interval=25
+    )
+    defaults.update(overrides)
+    deployment = build(SystemConfig(**defaults))
+    deployment.start()
+    return deployment
+
+
+class TestNonLeaderSiteDisconnection:
+    @pytest.fixture(scope="class")
+    def run(self):
+        deployment = deploy()
+        deployment.start_workload(duration=40.0)
+        # cc-b hosts no view-0 leader (leader rotation starts at cc-a).
+        deployment.attacks.install_schedule(
+            [
+                AttackEvent(10.0, "isolate", "cc-b"),
+                AttackEvent(22.0, "reconnect", "cc-b"),
+            ]
+        )
+        deployment.run(until=45.0)
+        return deployment
+
+    def test_progress_continues_during_disconnection(self, run):
+        submitted_during = [
+            s for s in run.recorder.samples if 10.0 <= s.submit_time < 22.0
+        ]
+        assert len(submitted_during) >= 40  # 4 clients x 12 s
+
+    def test_no_view_change_for_non_leader_site(self, run):
+        assert all(r.engine.view == 0 for r in run.replicas.values() if r.online)
+
+    def test_disconnected_site_catches_up_after_rejoin(self, run):
+        ordinals = {r.executed_ordinal() for r in run.replicas.values()}
+        assert len(ordinals) == 1
+
+    def test_rejoined_replicas_used_state_transfer(self, run):
+        rejoined = [run.replicas[h] for h in run.on_premises_hosts if h.startswith("cc-b")]
+        assert any(r.xfer.completed_count >= 1 for r in rejoined)
+
+    def test_app_state_consistent_after_rejoin(self, run):
+        snapshots = {r.app.snapshot() for r in run.executing_replicas()}
+        assert len(snapshots) == 1
+
+    def test_confidentiality_survives_the_attack(self, run):
+        run.auditor.assert_clean(set(run.data_center_hosts))
+
+    def test_all_updates_eventually_complete(self, run):
+        for proxy in run.proxies.values():
+            assert proxy.outstanding == 0
+
+
+class TestLeaderSiteDisconnection:
+    @pytest.fixture(scope="class")
+    def run(self):
+        deployment = deploy(seed=56)
+        deployment.start_workload(duration=40.0)
+        deployment.attacks.install_schedule(
+            [
+                AttackEvent(10.0, "isolate", "cc-a"),  # leader of view 0 is in cc-a
+                AttackEvent(22.0, "reconnect", "cc-a"),
+            ]
+        )
+        deployment.run(until=45.0)
+        return deployment
+
+    def test_view_changed_away_from_dead_leader(self, run):
+        views = {r.engine.view for r in run.replicas.values()}
+        assert max(views) >= 1
+        leader = run.env.prime_config.leader_of(max(views))
+        assert not leader.startswith("cc-a")
+
+    def test_progress_resumes_after_view_change(self, run):
+        during = [s for s in run.recorder.samples if 12.0 <= s.submit_time < 22.0]
+        assert during, "updates during the disconnection must still complete"
+        assert max(s.latency for s in during) < 0.300
+
+    def test_site_rejoins_and_converges(self, run):
+        ordinals = {r.executed_ordinal() for r in run.replicas.values()}
+        assert len(ordinals) == 1
+        snapshots = {r.app.snapshot() for r in run.executing_replicas()}
+        assert len(snapshots) == 1
+
+    def test_all_updates_complete(self, run):
+        for proxy in run.proxies.values():
+            assert proxy.outstanding == 0
+
+
+class TestDataCenterDisconnection:
+    def test_data_center_site_loss_is_invisible_to_clients(self):
+        deployment = deploy(seed=57)
+        deployment.start_workload(duration=30.0)
+        deployment.attacks.install_schedule(
+            [
+                AttackEvent(8.0, "isolate", "dc-1"),
+                AttackEvent(20.0, "reconnect", "dc-1"),
+            ]
+        )
+        deployment.run(until=35.0)
+        stats = deployment.recorder.stats()
+        assert stats.pct_under_200ms == 100.0
+        ordinals = {r.executed_ordinal() for r in deployment.replicas.values()}
+        assert len(ordinals) == 1
+
+
+class TestLinkCutResilience:
+    def test_overlay_routes_around_cut_link(self):
+        # Cut the direct CC link: Spines-style rerouting keeps the system
+        # running with only a latency bump.
+        deployment = deploy(seed=58)
+        deployment.start_workload(duration=20.0)
+        deployment.attacks.install_schedule(
+            [AttackEvent(5.0, "cut_link", "cc-a|cc-b")]
+        )
+        deployment.run(until=25.0)
+        stats = deployment.recorder.stats()
+        assert stats.pct_under_200ms == 100.0
+        for proxy in deployment.proxies.values():
+            assert proxy.outstanding == 0
+
+
+class TestCombinedRecoveryAndDisconnection:
+    def test_full_threat_model_simultaneously(self):
+        # One site disconnected AND a proactive recovery elsewhere: the
+        # distribution rule guarantees f+1 correct on-premises replicas
+        # remain, so the system keeps answering clients.
+        deployment = deploy(seed=59)
+        deployment.start_workload(duration=40.0)
+        deployment.attacks.install_schedule(
+            [
+                AttackEvent(10.0, "isolate", "cc-b"),
+                AttackEvent(25.0, "reconnect", "cc-b"),
+            ]
+        )
+        deployment.recovery.schedule_recovery("cc-a-r2", 12.0, 5.0)
+        deployment.run(until=48.0)
+        during = [s for s in deployment.recorder.samples if 13.0 <= s.submit_time < 24.0]
+        assert during
+        ordinals = {r.executed_ordinal() for r in deployment.replicas.values()}
+        assert len(ordinals) == 1
+        deployment.auditor.assert_clean(set(deployment.data_center_hosts))

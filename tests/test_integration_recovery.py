@@ -1,0 +1,135 @@
+"""Proactive recovery and state transfer, end to end (Section V-C)."""
+
+import pytest
+
+from repro.system import Mode, SystemConfig, build
+
+
+def deploy(**overrides):
+    defaults = dict(
+        mode=Mode.CONFIDENTIAL, f=1, num_clients=3, seed=44, checkpoint_interval=25
+    )
+    defaults.update(overrides)
+    deployment = build(SystemConfig(**defaults))
+    deployment.start()
+    return deployment
+
+
+class TestOnPremisesRecovery:
+    @pytest.fixture(scope="class")
+    def recovered(self):
+        deployment = deploy()
+        deployment.start_workload(duration=30.0)
+        deployment.recovery.schedule_recovery("cc-b-r1", 8.0, 4.0)
+        deployment.run(until=34.0)
+        return deployment
+
+    def test_replica_catches_up_completely(self, recovered):
+        target = recovered.replicas["cc-b-r1"]
+        live = recovered.replicas["cc-a-r0"]
+        assert target.executed_ordinal() == live.executed_ordinal()
+
+    def test_application_state_matches(self, recovered):
+        target = recovered.replicas["cc-b-r1"]
+        live = recovered.replicas["cc-a-r0"]
+        assert target.app.snapshot() == live.app.snapshot()
+
+    def test_incarnation_advanced_and_keystore_wiped(self, recovered):
+        target = recovered.replicas["cc-b-r1"]
+        assert target.incarnation == 1
+        assert target.keystore.wipe_count == 1
+
+    def test_state_transfer_ran(self, recovered):
+        target = recovered.replicas["cc-b-r1"]
+        assert target.xfer.completed_count >= 1
+        assert not target.xfer.in_progress
+        assert not target.engine.catching_up
+
+    def test_workload_unaffected(self, recovered):
+        stats = recovered.recorder.stats()
+        assert stats.pct_under_200ms == 100.0
+        for proxy in recovered.proxies.values():
+            assert proxy.outstanding == 0
+
+    def test_confidentiality_preserved_through_recovery(self, recovered):
+        recovered.auditor.assert_clean(set(recovered.data_center_hosts))
+
+    def test_recovery_logged(self, recovered):
+        assert recovered.recovery.completed == ["cc-b-r1"]
+
+
+class TestDataCenterRecovery:
+    @pytest.fixture(scope="class")
+    def recovered(self):
+        deployment = deploy(seed=45)
+        deployment.start_workload(duration=30.0)
+        deployment.recovery.schedule_recovery("dc-2-r0", 8.0, 4.0)
+        deployment.run(until=34.0)
+        return deployment
+
+    def test_storage_replica_catches_up(self, recovered):
+        target = recovered.replicas["dc-2-r0"]
+        live = recovered.replicas["dc-1-r0"]
+        assert target.executed_ordinal() == live.executed_ordinal()
+
+    def test_recovered_storage_replica_restores_ciphertexts(self, recovered):
+        target = recovered.replicas["dc-2-r0"]
+        assert target.stored_ciphertext_count() > 0
+
+    def test_recovered_storage_replica_never_saw_plaintext(self, recovered):
+        assert "dc-2-r0" not in recovered.auditor.exposed_hosts
+
+
+class TestLeaderRecovery:
+    def test_leader_recovery_triggers_view_change_and_recovers(self):
+        deployment = deploy(seed=46)
+        deployment.start_workload(duration=30.0)
+        leader = deployment.env.prime_config.leader_of(0)
+        deployment.recovery.schedule_recovery(leader, 8.0, 4.0)
+        deployment.run(until=34.0)
+        views = {r.engine.view for r in deployment.replicas.values()}
+        assert views == {1}
+        target = deployment.replicas[leader]
+        live_host = next(h for h in deployment.on_premises_hosts if h != leader)
+        assert target.executed_ordinal() == deployment.replicas[live_host].executed_ordinal()
+        assert deployment.recorder.stats().pct_under_200ms > 98.0
+
+
+class TestPeriodicRecovery:
+    def test_round_robin_cycles_through_replicas(self):
+        deployment = deploy(seed=47)
+        deployment.start_workload(duration=60.0)
+        deployment.recovery.start_periodic(period=12.0)
+        # Run well past the last recovery (t=60 takes down the 5th
+        # replica) so every replica is back and caught up.
+        deployment.run(until=75.0)
+        assert len(deployment.recovery.completed) >= 5
+        assert len(set(deployment.recovery.completed)) == len(
+            deployment.recovery.completed
+        )
+        ordinals = {r.executed_ordinal() for r in deployment.replicas.values()}
+        assert len(ordinals) == 1
+        deployment.auditor.assert_clean(set(deployment.data_center_hosts))
+
+    def test_one_recovery_at_a_time(self):
+        deployment = deploy(seed=48)
+        deployment.recovery.schedule_recovery("cc-a-r1", 1.0, 5.0)
+        deployment.recovery.schedule_recovery("cc-a-r2", 2.0, 5.0)  # overlaps: skipped
+        deployment.run(until=10.0)
+        assert deployment.recovery.completed == ["cc-a-r1"]
+        assert deployment.replicas["cc-a-r2"].incarnation == 0
+
+
+class TestSpireModeRecovery:
+    def test_baseline_replica_recovers_with_plaintext_checkpoints(self):
+        deployment = build(
+            SystemConfig(mode=Mode.SPIRE, f=1, num_clients=3, seed=49, checkpoint_interval=25)
+        )
+        deployment.start()
+        deployment.start_workload(duration=25.0)
+        deployment.recovery.schedule_recovery("dc-1-r0", 8.0, 4.0)
+        deployment.run(until=29.0)
+        target = deployment.replicas["dc-1-r0"]
+        live = deployment.replicas["cc-a-r0"]
+        assert target.executed_ordinal() == live.executed_ordinal()
+        assert target.app.snapshot() == live.app.snapshot()

@@ -1,0 +1,174 @@
+"""Tests for the message transport (latency, queueing, drops, attacks)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import AttackController, AttackEvent, Network, Overlay, east_coast_topology
+from repro.net.topology import CLIENT_SITE, CONTROL_CENTER_A, CONTROL_CENTER_B
+from repro.sim import Kernel, RngRegistry, Tracer
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel()
+    topo = east_coast_topology(2)
+    topo.add_host("a1", CONTROL_CENTER_A)
+    topo.add_host("a2", CONTROL_CENTER_A)
+    topo.add_host("b1", CONTROL_CENTER_B)
+    topo.add_host("c1", CLIENT_SITE)
+    overlay = Overlay(topo)
+    tracer = Tracer(kernel)
+    network = Network(kernel, topo, overlay, RngRegistry(1), tracer=tracer)
+    return kernel, topo, overlay, network, tracer
+
+
+def collect(network, host):
+    inbox = []
+    network.register(host, lambda src, payload: inbox.append((src, payload)))
+    return inbox
+
+
+def test_delivery_with_wan_latency(world):
+    kernel, _topo, _overlay, network, _tracer = world
+    inbox = collect(network, "b1")
+    network.register("a1", lambda *a: None)
+    network.send("a1", "b1", "hello")
+    kernel.run()
+    assert inbox == [("a1", "hello")]
+    # One-way cc-a -> cc-b is 8.5 ms plus jitter and serialization.
+    assert 0.0085 <= kernel.now <= 0.0100
+
+
+def test_lan_delivery_is_fast(world):
+    kernel, _t, _o, network, _tr = world
+    inbox = collect(network, "a2")
+    network.register("a1", lambda *a: None)
+    network.send("a1", "a2", "hi")
+    kernel.run()
+    assert inbox
+    assert kernel.now < 0.001
+
+
+def test_unregistered_host_rejected(world):
+    _k, _t, _o, network, _tr = world
+    with pytest.raises(ConfigurationError):
+        network.register("ghost", lambda *a: None)
+
+
+def test_multicast_excludes_sender(world):
+    kernel, _t, _o, network, _tr = world
+    a1 = collect(network, "a1")
+    a2 = collect(network, "a2")
+    b1 = collect(network, "b1")
+    network.multicast("a1", ["a1", "a2", "b1"], "fanout")
+    kernel.run()
+    assert a1 == []
+    assert len(a2) == 1 and len(b1) == 1
+
+
+def test_drop_when_destination_down(world):
+    kernel, _t, _o, network, _tr = world
+    inbox = collect(network, "b1")
+    network.register("a1", lambda *a: None)
+    network.set_host_down("b1", True)
+    network.send("a1", "b1", "lost")
+    kernel.run()
+    assert inbox == []
+    assert network.messages_dropped == 1
+
+
+def test_drop_when_site_isolated(world):
+    kernel, _t, overlay, network, tracer = world
+    inbox = collect(network, "b1")
+    network.register("a1", lambda *a: None)
+    overlay.isolate_site(CONTROL_CENTER_B)
+    assert network.send("a1", "b1", "lost") is False
+    kernel.run()
+    assert inbox == []
+    assert any(e.detail.get("reason") == "no-route" for e in tracer.select("net.drop"))
+
+
+def test_lan_still_works_inside_isolated_site(world):
+    kernel, _t, overlay, network, _tr = world
+    inbox = collect(network, "a2")
+    network.register("a1", lambda *a: None)
+    overlay.isolate_site(CONTROL_CENTER_A)
+    network.send("a1", "a2", "local")
+    kernel.run()
+    assert inbox == [("a1", "local")]
+
+
+def test_in_flight_message_killed_by_partition(world):
+    kernel, _t, overlay, network, _tr = world
+    inbox = collect(network, "b1")
+    network.register("a1", lambda *a: None)
+    network.send("a1", "b1", "doomed")
+    kernel.call_later(0.001, overlay.isolate_site, CONTROL_CENTER_B)
+    kernel.run()
+    assert inbox == []
+
+
+def test_serialization_delay_queues_large_messages(world):
+    kernel, _t, _o, network, _tr = world
+    inbox = collect(network, "b1")
+    network.register("a1", lambda *a: None)
+    # 10 MB at 100 Mbit/s = 0.8 s of serialization on the pipe.
+    network.send("a1", "b1", "big", size=10_000_000)
+    network.send("a1", "b1", "queued", size=100)
+    kernel.run()
+    assert [p for _s, p in inbox] == ["big", "queued"]
+    assert kernel.now > 0.8
+
+
+def test_payload_wire_size_used(world):
+    kernel, _t, _o, network, _tr = world
+
+    class Sized:
+        def wire_size(self):
+            return 2_500_000
+
+    collect(network, "b1")
+    network.register("a1", lambda *a: None)
+    network.send("a1", "b1", Sized())
+    kernel.run()
+    assert network.bytes_sent == 2_500_000
+
+
+def test_counters(world):
+    kernel, _t, _o, network, _tr = world
+    collect(network, "b1")
+    network.register("a1", lambda *a: None)
+    network.send("a1", "b1", "one")
+    kernel.run()
+    assert network.messages_sent == 1
+    assert network.messages_delivered == 1
+
+
+class TestAttackController:
+    def test_schedule_executes_timeline(self, world):
+        kernel, _t, overlay, _n, tracer = world
+        controller = AttackController(kernel, overlay, tracer=tracer)
+        controller.install_schedule(
+            [
+                AttackEvent(1.0, "isolate", CONTROL_CENTER_A),
+                AttackEvent(2.0, "reconnect", CONTROL_CENTER_A),
+            ]
+        )
+        kernel.run(until=1.5)
+        assert overlay.is_isolated(CONTROL_CENTER_A)
+        kernel.run(until=2.5)
+        assert not overlay.is_isolated(CONTROL_CENTER_A)
+        assert len(controller.log) == 2
+
+    def test_link_actions(self, world):
+        kernel, _t, overlay, _n, _tr = world
+        controller = AttackController(kernel, overlay)
+        controller.install_schedule(
+            [AttackEvent(1.0, "cut_link", f"{CONTROL_CENTER_A}|{CONTROL_CENTER_B}")]
+        )
+        kernel.run(until=1.5)
+        assert overlay.route(CONTROL_CENTER_A, CONTROL_CENTER_B)[1] > 1
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            AttackEvent(1.0, "nuke", "cc-a")

@@ -1,0 +1,153 @@
+"""Tests for the geographic topology and the intrusion-tolerant overlay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import Overlay, SiteKind, Topology, east_coast_topology
+from repro.net.topology import (
+    CLIENT_SITE,
+    CONTROL_CENTER_A,
+    CONTROL_CENTER_B,
+    DATA_CENTER_1,
+    DATA_CENTER_2,
+)
+
+
+class TestTopology:
+    def test_add_and_query_sites_hosts(self):
+        topo = Topology()
+        topo.add_site("s1", SiteKind.ON_PREMISES)
+        topo.add_host("h1", "s1")
+        assert topo.site_of("h1").name == "s1"
+        assert topo.hosts_in("s1") == ["h1"]
+        assert topo.has_host("h1")
+        assert not topo.has_host("h2")
+
+    def test_duplicate_site_rejected(self):
+        topo = Topology()
+        topo.add_site("s1", SiteKind.CLIENT)
+        with pytest.raises(ConfigurationError):
+            topo.add_site("s1", SiteKind.CLIENT)
+
+    def test_duplicate_host_rejected(self):
+        topo = Topology()
+        topo.add_site("s1", SiteKind.CLIENT)
+        topo.add_host("h1", "s1")
+        with pytest.raises(ConfigurationError):
+            topo.add_host("h1", "s1")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology().add_host("h1", "nowhere")
+
+    def test_link_latency_symmetric(self):
+        topo = Topology()
+        topo.add_site("a", SiteKind.ON_PREMISES)
+        topo.add_site("b", SiteKind.DATA_CENTER)
+        topo.add_link("a", "b", 0.005)
+        assert topo.link_latency("a", "b") == 0.005
+        assert topo.link_latency("b", "a") == 0.005
+
+    def test_self_link_rejected(self):
+        topo = Topology()
+        topo.add_site("a", SiteKind.ON_PREMISES)
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "a", 0.001)
+
+    def test_nonpositive_latency_rejected(self):
+        topo = Topology()
+        topo.add_site("a", SiteKind.ON_PREMISES)
+        topo.add_site("b", SiteKind.ON_PREMISES)
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "b", 0.0)
+
+    def test_site_kind_predicates(self):
+        topo = east_coast_topology()
+        assert topo.get_site(CONTROL_CENTER_A).is_on_premises
+        assert topo.get_site(DATA_CENTER_1).is_data_center
+        assert not topo.get_site(CLIENT_SITE).is_on_premises
+
+
+class TestEastCoastTopology:
+    def test_default_has_expected_sites(self):
+        topo = east_coast_topology()
+        names = {site.name for site in topo.sites}
+        assert names == {
+            CONTROL_CENTER_A,
+            CONTROL_CENTER_B,
+            CLIENT_SITE,
+            DATA_CENTER_1,
+            DATA_CENTER_2,
+        }
+
+    @pytest.mark.parametrize("dcs", [1, 2, 3])
+    def test_data_center_count(self, dcs):
+        topo = east_coast_topology(dcs)
+        assert sum(1 for s in topo.sites if s.is_data_center) == dcs
+
+    def test_invalid_dc_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            east_coast_topology(0)
+        with pytest.raises(ConfigurationError):
+            east_coast_topology(4)
+
+    def test_full_replica_mesh_connected(self):
+        topo = east_coast_topology(2)
+        overlay = Overlay(topo)
+        replica_sites = [s.name for s in topo.sites if s.name != CLIENT_SITE]
+        for a in replica_sites:
+            for b in replica_sites:
+                if a != b:
+                    assert overlay.path_latency(a, b) is not None
+
+
+class TestOverlay:
+    @pytest.fixture
+    def overlay(self):
+        return Overlay(east_coast_topology(2))
+
+    def test_direct_route_preferred(self, overlay):
+        latency, hops = overlay.route(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        assert hops == 1
+        assert latency == pytest.approx(0.0085)
+
+    def test_same_site_route_is_free(self, overlay):
+        assert overlay.route(CONTROL_CENTER_A, CONTROL_CENTER_A) == (0.0, 0)
+
+    def test_cut_link_reroutes_through_intermediate(self, overlay):
+        direct = overlay.path_latency(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        overlay.cut_link(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        rerouted, hops = overlay.route(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        assert hops >= 2
+        assert rerouted >= direct
+
+    def test_restore_link_restores_direct_route(self, overlay):
+        overlay.cut_link(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        overlay.restore_link(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        assert overlay.route(CONTROL_CENTER_A, CONTROL_CENTER_B)[1] == 1
+
+    def test_cut_unknown_link_rejected(self, overlay):
+        with pytest.raises(ConfigurationError):
+            overlay.cut_link(CONTROL_CENTER_A, "nowhere")
+
+    def test_isolated_site_unreachable(self, overlay):
+        overlay.isolate_site(CONTROL_CENTER_A)
+        assert overlay.path_latency(CONTROL_CENTER_B, CONTROL_CENTER_A) is None
+        assert overlay.path_latency(CONTROL_CENTER_A, DATA_CENTER_1) is None
+        assert overlay.is_isolated(CONTROL_CENTER_A)
+
+    def test_isolation_does_not_break_others(self, overlay):
+        overlay.isolate_site(CONTROL_CENTER_A)
+        assert overlay.path_latency(CONTROL_CENTER_B, DATA_CENTER_1) is not None
+
+    def test_reconnect_site(self, overlay):
+        overlay.isolate_site(CONTROL_CENTER_A)
+        overlay.reconnect_site(CONTROL_CENTER_A)
+        assert overlay.path_latency(CONTROL_CENTER_B, CONTROL_CENTER_A) is not None
+        assert overlay.isolated_sites == set()
+
+    def test_route_cache_invalidated_on_change(self, overlay):
+        before = overlay.route(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        overlay.cut_link(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        after = overlay.route(CONTROL_CENTER_A, CONTROL_CENTER_B)
+        assert after[1] > before[1]  # detour has more hops

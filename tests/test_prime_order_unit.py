@@ -1,0 +1,127 @@
+"""Unit tests for global ordering details: digests, batch expansion,
+execution gaps, resume points, garbage collection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prime.order import content_digest
+
+from tests.conftest import PrimeHarness
+
+
+class TestContentDigest:
+    def test_digest_depends_on_seq_and_cutoffs(self):
+        a = content_digest(1, {"x": 1})
+        assert a != content_digest(2, {"x": 1})
+        assert a != content_digest(1, {"x": 2})
+        assert a != content_digest(1, {"y": 1})
+
+    def test_digest_is_order_insensitive(self):
+        assert content_digest(1, {"a": 1, "b": 2}) == content_digest(
+            1, {"b": 2, "a": 1}
+        )
+
+    @given(
+        st.integers(1, 1000),
+        st.dictionaries(st.sampled_from(["r0#0", "r1#0", "r2#1"]), st.integers(1, 99)),
+    )
+    @settings(max_examples=40)
+    def test_digest_deterministic(self, seq, cutoffs):
+        assert content_digest(seq, cutoffs) == content_digest(seq, dict(cutoffs))
+
+
+class TestBatchExpansion:
+    def test_updates_numbered_in_origin_then_seq_order(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        # Two origins inject concurrently: expansion must be identically
+        # ordered everywhere (sorted by origin id, then po-seq).
+        h.kernel.call_at(0.01, h.inject, "r0", b"a1")
+        h.kernel.call_at(0.011, h.inject, "r1", b"b1")
+        h.kernel.call_at(0.012, h.inject, "r0", b"a2")
+        h.run(until=1.0)
+        reference = h.delivered["r2"]
+        assert len(reference) == 3
+        assert all(h.delivered[r] == reference for r in h.ids)
+
+    def test_resume_point_tracks_execution(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        for i in range(4):
+            h.kernel.call_at(0.01 + i * 0.05, h.inject, "r0", f"n{i}".encode())
+        h.run(until=1.0)
+        batch_seq, ordinal, ordered_through = h.engines["r1"].resume_point()
+        assert ordinal == 4
+        assert ordered_through == {"r0#0": 4}
+        assert batch_seq >= 1
+
+    def test_execution_gap_detection(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.2)
+        order = h.engines["r0"].order
+        assert not order.execution_gap()
+        # Synthesize committed batches far ahead of execution.
+        order.committed[10] = {"r1#0": 5}
+        assert order.execution_gap()
+        order.committed.clear()
+        order.committed[1] = {"r1#0": 1}
+        assert not order.execution_gap()  # contiguous: executable, no gap
+
+
+class TestFastForwardAndGc:
+    def test_fast_forward_skips_history(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.1)
+        engine = h.engines["r5"]
+        engine.fast_forward(batch_seq=7, ordinal=30, ordered_through={"r0#0": 30})
+        assert engine.order.last_executed == 7
+        assert engine.order.ordinal == 30
+        # Stale fast-forward is ignored.
+        engine.fast_forward(batch_seq=3, ordinal=10, ordered_through={})
+        assert engine.order.last_executed == 7
+
+    def test_gc_prunes_batches_and_po_requests(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        for i in range(6):
+            h.kernel.call_at(0.01 + i * 0.05, h.inject, "r0", f"g{i}".encode())
+        h.run(until=1.0)
+        engine = h.engines["r1"]
+        executed = sorted(engine.order.executed_batches)
+        assert executed
+        cutoff = executed[-1]  # keep only the last batch
+        engine.gc_before(cutoff)
+        assert min(engine.order.executed_batches) >= cutoff
+        # Pruned batches' po-requests are gone too.
+        remaining = {seq for (_o, seq) in engine.preorder.requests}
+        kept_pairs = {
+            seq
+            for batch in engine.order.executed_batches.values()
+            for (_o, seq) in batch[1]
+        }
+        assert remaining <= kept_pairs or not remaining
+
+
+class TestLeaderProposals:
+    def test_heartbeats_flow_when_idle(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.5)
+        # No batches were proposed...
+        assert all(e.order.last_executed == 0 for e in h.engines.values())
+        # ...but followers' leader timers stayed calm (no suspicion).
+        assert h.tracer.count(category="prime.suspect") == 0
+
+    def test_proposals_cover_multiple_updates_per_tick(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        # Five updates land within one pp_interval: they share batches.
+        for i in range(5):
+            h.kernel.call_at(0.010 + i * 0.001, h.inject, "r1", f"t{i}".encode())
+        h.run(until=1.0)
+        engine = h.engines["r2"]
+        assert engine.order.ordinal == 5
+        assert len(engine.order.executed_batches) <= 2

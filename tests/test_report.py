@@ -1,0 +1,79 @@
+"""Tests for the HTML run-report generator."""
+
+import pytest
+
+from repro.report import render_report, write_report
+from repro.system import Mode, SystemConfig, build
+
+
+@pytest.fixture(scope="module")
+def reported_run():
+    deployment = build(
+        SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=3, seed=161)
+    )
+    deployment.start()
+    deployment.start_workload(duration=12.0)
+    deployment.kernel.call_at(4.0, deployment.attacks.isolate_site, "dc-1")
+    deployment.kernel.call_at(8.0, deployment.attacks.reconnect_site, "dc-1")
+    deployment.recovery.schedule_recovery("cc-b-r3", 5.0, 3.0)
+    deployment.run(until=15.0)
+    return deployment
+
+
+def test_report_is_complete_html(reported_run):
+    report = render_report(reported_run)
+    assert report.startswith("<!DOCTYPE html>")
+    assert report.rstrip().endswith("</html>")
+    assert "<script" not in report  # self-contained and static
+
+
+def test_report_carries_the_key_facts(reported_run):
+    report = render_report(reported_run)
+    assert "4+4+3+3" in report
+    assert "confidential" in report
+    assert "CLEAN" in report
+    assert "Latency timeline" in report
+    assert "<svg" in report
+
+
+def test_report_annotates_attacks_and_recoveries(reported_run):
+    report = render_report(reported_run)
+    assert "isolate dc-1" in report
+    assert "reconnect dc-1" in report
+    assert "recover cc-b-r3" in report
+
+
+def test_report_lists_every_replica(reported_run):
+    report = render_report(reported_run)
+    for host in reported_run.replicas:
+        assert host in report
+    assert "storage" in report and "executing" in report
+
+
+def test_write_report_to_disk(reported_run, tmp_path):
+    path = tmp_path / "run.html"
+    write_report(reported_run, str(path))
+    content = path.read_text()
+    assert "<svg" in content
+
+
+def test_violation_renders_as_such(reported_run):
+    # Inject a fake exposure and confirm the audit section flips.
+    reported_run.auditor.observe("dc-1-r0", "client-update-body")
+    report = render_report(reported_run)
+    assert "VIOLATION" in report
+    # Undo for other tests sharing the fixture.
+    reported_run.auditor._exposed_hosts.discard("dc-1-r0")
+
+
+def test_cli_html_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "cli.html"
+    code = main(
+        ["run", "--clients", "2", "--duration", "5", "--seed", "6",
+         "--html", str(path)]
+    )
+    assert code == 0
+    assert path.exists()
+    assert "HTML report written" in capsys.readouterr().out

@@ -1,0 +1,177 @@
+"""Tests for the SCADA layer: grid model, master application, RTU, HMI."""
+
+import json
+
+import pytest
+
+from repro.core.proxy import ClientProxy
+from repro.errors import ConfigurationError
+from repro.scada import HmiConsole, PowerGrid, RtuFieldUnit, ScadaMaster
+from repro.system import Mode, SystemConfig, build
+
+
+class TestPowerGrid:
+    def test_substation_inventory(self):
+        grid = PowerGrid(num_substations=10, seed=1)
+        assert len(grid.substations) == 10
+        sub = grid.substations["sub-00"]
+        assert len(sub.breakers) == 3
+        assert len(sub.transformers) == 2
+
+    def test_status_report_shape(self):
+        grid = PowerGrid(num_substations=2, seed=1)
+        report = json.loads(grid.status_report("sub-01"))
+        assert report["sub"] == "sub-01"
+        assert len(report["breakers"]) == 3
+        assert "v" in report and "i" in report and "f" in report
+
+    def test_dynamics_are_seeded(self):
+        a = PowerGrid(num_substations=1, seed=9)
+        b = PowerGrid(num_substations=1, seed=9)
+        assert a.status_report("sub-00") == b.status_report("sub-00")
+
+    def test_apply_command(self):
+        grid = PowerGrid(num_substations=1, seed=1)
+        assert grid.apply_command("sub-00", "sub-00-brk-0", close=False)
+        assert not grid.substations["sub-00"].breakers[0].closed
+        assert grid.apply_command("sub-00", "sub-00-brk-0", close=True)
+        assert grid.substations["sub-00"].breakers[0].closed
+
+    def test_apply_command_unknown_targets(self):
+        grid = PowerGrid(num_substations=1, seed=1)
+        assert not grid.apply_command("sub-99", "x", close=True)
+        assert not grid.apply_command("sub-00", "ghost", close=True)
+
+    def test_breaker_trip_counting(self):
+        grid = PowerGrid(num_substations=1, seed=1)
+        breaker = grid.substations["sub-00"].breakers[0]
+        breaker.open_()
+        breaker.open_()  # already open: no second trip
+        assert breaker.trip_count == 1
+
+    def test_invalid_substation_count(self):
+        with pytest.raises(ConfigurationError):
+            PowerGrid(num_substations=0)
+
+
+class TestScadaMaster:
+    def make_status(self, sub="sub-00"):
+        return json.dumps(
+            {"op": "status", "sub": sub, "data": {"v": 13.8, "breakers": {}}}
+        ).encode()
+
+    def test_status_update_acked_and_stored(self):
+        master = ScadaMaster()
+        reply = json.loads(master.execute("rtu", 1, self.make_status()))
+        assert reply["ok"]
+        assert master.known_substations() == 1
+        assert master.status_count == 1
+
+    def test_command_applied(self):
+        master = ScadaMaster()
+        body = json.dumps(
+            {"op": "cmd", "sub": "sub-00", "breaker": "b1", "action": "open"}
+        ).encode()
+        reply = json.loads(master.execute("hmi", 1, body))
+        assert reply["ok"] and reply["applied"] == "open"
+        assert master.breaker_command("b1") is False
+
+    def test_read_returns_latest_status(self):
+        master = ScadaMaster()
+        master.execute("rtu", 1, self.make_status())
+        reply = json.loads(
+            master.execute("hmi", 1, json.dumps({"op": "read", "sub": "sub-00"}).encode())
+        )
+        assert reply["ok"]
+        assert reply["status"]["v"] == 13.8
+
+    def test_read_unknown_substation(self):
+        master = ScadaMaster()
+        reply = json.loads(
+            master.execute("hmi", 1, json.dumps({"op": "read", "sub": "nope"}).encode())
+        )
+        assert not reply["ok"]
+
+    def test_malformed_updates_rejected_deterministically(self):
+        master = ScadaMaster()
+        assert b"malformed" in master.execute("x", 1, b"\xff\xfe not json")
+        assert b"unknown-op" in master.execute("x", 2, b'{"op": "dance"}')
+        assert b"bad-cmd" in master.execute(
+            "x", 3, json.dumps({"op": "cmd", "breaker": 7, "action": "open"}).encode()
+        )
+
+    def test_snapshot_restore_roundtrip(self):
+        master = ScadaMaster()
+        master.execute("rtu", 1, self.make_status())
+        master.execute(
+            "hmi",
+            1,
+            json.dumps({"op": "cmd", "sub": "s", "breaker": "b", "action": "close"}).encode(),
+        )
+        clone = ScadaMaster()
+        clone.restore(master.snapshot())
+        assert clone.snapshot() == master.snapshot()
+        assert clone.status_count == 1 and clone.command_count == 1
+
+    def test_determinism_across_replicas(self):
+        a, b = ScadaMaster(), ScadaMaster()
+        for i in range(10):
+            body = self.make_status(f"sub-{i % 3:02d}")
+            assert a.execute("rtu", i, body) == b.execute("rtu", i, body)
+        assert a.snapshot() == b.snapshot()
+
+
+@pytest.fixture(scope="module")
+def scada_system():
+    """Full Confidential Spire running the real SCADA stack."""
+    config = SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=4, seed=81)
+    deployment = build(config, app_factory=ScadaMaster)
+    deployment.start()
+    grid = PowerGrid(num_substations=3, seed=81)
+    proxies = sorted(deployment.proxies)
+    rtus = [
+        RtuFieldUnit(
+            deployment.kernel,
+            deployment.proxies[proxies[i]],
+            grid,
+            f"sub-{i:02d}",
+            jitter_rng=deployment.rng.stream(f"rtu{i}"),
+        )
+        for i in range(3)
+    ]
+    for i, rtu in enumerate(rtus):
+        rtu.start(duration=20.0, phase=0.5 + 0.3 * i)
+    hmi = HmiConsole(deployment.kernel, deployment.proxies[proxies[3]])
+    deployment.kernel.call_at(5.0, hmi.send_breaker_command, "sub-00", "sub-00-brk-1", "open")
+    deployment.kernel.call_at(10.0, hmi.read_substation, "sub-01")
+    deployment.run(until=25.0)
+    return deployment, rtus, hmi
+
+
+class TestScadaEndToEnd:
+    def test_rtu_reports_acknowledged(self, scada_system):
+        _dep, rtus, _hmi = scada_system
+        for rtu in rtus:
+            assert rtu.reports_sent >= 18
+            assert rtu.acks_received == rtu.reports_sent
+
+    def test_hmi_command_executed_on_all_replicas(self, scada_system):
+        deployment, _rtus, hmi = scada_system
+        assert hmi.command_results and hmi.command_results[0]["ok"]
+        for replica in deployment.executing_replicas():
+            assert replica.app.breaker_command("sub-00-brk-1") is False
+
+    def test_hmi_read_reflects_rtu_traffic(self, scada_system):
+        _dep, _rtus, hmi = scada_system
+        status = hmi.read_results.get("sub-01")
+        assert status is not None
+        assert "v" in status
+
+    def test_masters_converge(self, scada_system):
+        deployment, _rtus, _hmi = scada_system
+        snapshots = {r.app.snapshot() for r in deployment.executing_replicas()}
+        assert len(snapshots) == 1
+
+    def test_scada_traffic_stays_confidential(self, scada_system):
+        deployment, _rtus, _hmi = scada_system
+        deployment.auditor.assert_clean(set(deployment.data_center_hosts))

@@ -1,0 +1,109 @@
+"""Feeder model, protection trips, and report-by-exception events."""
+
+import json
+
+import pytest
+
+from repro.scada import HmiConsole, PowerGrid, RtuFieldUnit, ScadaMaster
+from repro.system import Mode, SystemConfig, build
+
+
+class TestFeederModel:
+    def test_bus_current_sums_energized_feeders(self):
+        grid = PowerGrid(num_substations=1, seed=2)
+        sub = grid.substations["sub-00"]
+        total = sum(f.load_a for f in sub.feeders)
+        assert sub.current_a == pytest.approx(total)
+        # Opening a breaker de-energizes its feeder.
+        sub.breakers[0].open_()
+        assert sub.current_a == pytest.approx(total - sub.feeders[0].load_a)
+
+    def test_overload_trips_protective_breaker(self):
+        grid = PowerGrid(num_substations=1, seed=2)
+        feeder = grid.inject_overload("sub-00", feeder_index=1)
+        assert feeder.overloaded
+        grid.step("sub-00")
+        breaker = grid.substations["sub-00"].find_breaker(feeder.breaker_id)
+        assert not breaker.closed
+        assert breaker.trip_count == 1
+
+    def test_total_load_reflects_trips(self):
+        grid = PowerGrid(num_substations=3, seed=2)
+        before = grid.total_load()
+        grid.substations["sub-01"].breakers[0].open_()
+        assert grid.total_load() < before
+
+    def test_status_payload_includes_feeders(self):
+        grid = PowerGrid(num_substations=1, seed=2)
+        payload = json.loads(grid.status_report("sub-00"))
+        assert len(payload["feeders"]) == 3
+
+
+class TestMasterEvents:
+    def test_event_recorded(self):
+        master = ScadaMaster()
+        body = json.dumps(
+            {"op": "event", "sub": "sub-00", "breaker": "b1", "state": "open"}
+        ).encode()
+        reply = json.loads(master.execute("rtu", 1, body))
+        assert reply["ok"]
+        assert master.events == [{"sub": "sub-00", "breaker": "b1", "state": "open"}]
+
+    def test_bad_event_rejected(self):
+        master = ScadaMaster()
+        assert b"bad-event" in master.execute(
+            "rtu", 1, json.dumps({"op": "event", "breaker": 5, "state": "open"}).encode()
+        )
+
+    def test_event_log_bounded(self):
+        master = ScadaMaster()
+        for i in range(1100):
+            master.execute(
+                "rtu",
+                i,
+                json.dumps(
+                    {"op": "event", "sub": "s", "breaker": f"b{i}", "state": "open"}
+                ).encode(),
+            )
+        assert len(master.events) == 1000
+        assert master.events[-1]["breaker"] == "b1099"
+
+    def test_events_survive_snapshot_restore(self):
+        master = ScadaMaster()
+        master.execute(
+            "rtu", 1,
+            json.dumps({"op": "event", "sub": "s", "breaker": "b", "state": "open"}).encode(),
+        )
+        clone = ScadaMaster()
+        clone.restore(master.snapshot())
+        assert clone.events == master.events
+
+
+def test_trip_reaches_operators_through_the_replicated_path():
+    """End to end: a field overload trips a breaker; the RTU raises an
+    event; every replicated master logs it; the HMI sees the open breaker."""
+    deployment2 = build(
+        SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=2, seed=181),
+        app_factory=ScadaMaster,
+    )
+    deployment2.start()
+    grid = PowerGrid(num_substations=1, seed=181)
+    proxies = sorted(deployment2.proxies)
+    rtu = RtuFieldUnit(
+        deployment2.kernel, deployment2.proxies[proxies[0]], grid, "sub-00",
+        jitter_rng=deployment2.rng.stream("rtu"),
+    )
+    rtu.start(duration=10.0, phase=0.5)
+    hmi = HmiConsole(deployment2.kernel, deployment2.proxies[proxies[1]])
+    deployment2.kernel.call_at(2.2, grid.inject_overload, "sub-00", 0)
+    deployment2.kernel.call_at(8.0, hmi.read_substation, "sub-00")
+    deployment2.run(until=12.0)
+
+    assert rtu.events_sent >= 1
+    masters = [r.app for r in deployment2.executing_replicas()]
+    assert all(
+        any(e["breaker"] == "sub-00-brk-0" and e["state"] == "open" for e in m.events)
+        for m in masters
+    )
+    status = hmi.read_results["sub-00"]
+    assert status["breakers"]["sub-00-brk-0"] == 0

@@ -1,0 +1,160 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Kernel
+
+
+def test_clock_starts_at_zero():
+    assert Kernel().now == 0.0
+
+
+def test_call_later_fires_at_expected_time():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(1.5, lambda: fired.append(kernel.now))
+    kernel.run()
+    assert fired == [1.5]
+
+
+def test_call_at_absolute_time():
+    kernel = Kernel()
+    fired = []
+    kernel.call_at(2.0, lambda: fired.append(kernel.now))
+    kernel.run()
+    assert fired == [2.0]
+
+
+def test_events_fire_in_time_order():
+    kernel = Kernel()
+    order = []
+    kernel.call_later(3.0, lambda: order.append("c"))
+    kernel.call_later(1.0, lambda: order.append("a"))
+    kernel.call_later(2.0, lambda: order.append("b"))
+    kernel.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    kernel = Kernel()
+    order = []
+    for tag in ("first", "second", "third"):
+        kernel.call_later(1.0, order.append, tag)
+    kernel.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_call_soon_runs_after_existing_now_events():
+    kernel = Kernel()
+    order = []
+    kernel.call_later(0.5, lambda: (order.append("a"), kernel.call_soon(order.append, "c")))
+    kernel.call_at(0.5, order.append, "b")
+    kernel.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock_at_until():
+    kernel = Kernel()
+    kernel.call_later(10.0, lambda: None)
+    stopped = kernel.run(until=5.0)
+    assert stopped == 5.0
+    assert kernel.now == 5.0
+    assert kernel.pending_events == 1
+
+
+def test_run_until_advances_clock_even_when_heap_empties():
+    kernel = Kernel()
+    kernel.call_later(1.0, lambda: None)
+    kernel.run(until=4.0)
+    assert kernel.now == 4.0
+
+
+def test_cancelled_timer_does_not_fire():
+    kernel = Kernel()
+    fired = []
+    timer = kernel.call_later(1.0, fired.append, "x")
+    timer.cancel()
+    kernel.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_cancel_after_fire_is_noop():
+    kernel = Kernel()
+    timer = kernel.call_later(1.0, lambda: None)
+    kernel.run()
+    timer.cancel()
+    assert timer.fired
+
+
+def test_scheduling_in_past_raises():
+    kernel = Kernel()
+    kernel.call_later(2.0, lambda: kernel.call_at(1.0, lambda: None))
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Kernel().call_later(-1.0, lambda: None)
+
+
+def test_nested_scheduling_from_callbacks():
+    kernel = Kernel()
+    times = []
+
+    def chain(depth):
+        times.append(kernel.now)
+        if depth:
+            kernel.call_later(1.0, chain, depth - 1)
+
+    kernel.call_later(1.0, chain, 3)
+    kernel.run()
+    assert times == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_step_executes_single_event():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(1.0, fired.append, 1)
+    kernel.call_later(2.0, fired.append, 2)
+    assert kernel.step()
+    assert fired == [1]
+    assert kernel.step()
+    assert fired == [1, 2]
+    assert not kernel.step()
+
+
+def test_max_events_guard():
+    kernel = Kernel()
+
+    def loop():
+        kernel.call_later(0.001, loop)
+
+    kernel.call_later(0.001, loop)
+    with pytest.raises(SimulationError):
+        kernel.run(max_events=100)
+
+
+def test_events_processed_counts():
+    kernel = Kernel()
+    for _ in range(5):
+        kernel.call_later(1.0, lambda: None)
+    kernel.run()
+    assert kernel.events_processed == 5
+
+
+def test_reentrant_run_raises():
+    kernel = Kernel()
+    errors = []
+
+    def reenter():
+        try:
+            kernel.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    kernel.call_later(1.0, reenter)
+    kernel.run()
+    assert len(errors) == 1

@@ -1,0 +1,143 @@
+"""Tests for generator-based processes, futures, and timeouts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Future, Kernel, Timeout, spawn
+
+
+def test_process_sleeps_simulated_time():
+    kernel = Kernel()
+    times = []
+
+    def proc():
+        times.append(kernel.now)
+        yield Timeout(2.0)
+        times.append(kernel.now)
+        yield Timeout(3.0)
+        times.append(kernel.now)
+
+    spawn(kernel, proc())
+    kernel.run()
+    assert times == [0.0, 2.0, 5.0]
+
+
+def test_process_return_value_resolves_done_future():
+    kernel = Kernel()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    handle = spawn(kernel, proc())
+    kernel.run()
+    assert handle.done.resolved
+    assert handle.done.value == 42
+
+
+def test_future_wakes_waiting_process_with_value():
+    kernel = Kernel()
+    future = Future(kernel)
+    received = []
+
+    def waiter():
+        value = yield future
+        received.append((kernel.now, value))
+
+    spawn(kernel, waiter())
+    kernel.call_later(3.0, future.resolve, "ready")
+    kernel.run()
+    assert received == [(3.0, "ready")]
+
+
+def test_multiple_waiters_wake_in_order():
+    kernel = Kernel()
+    future = Future(kernel)
+    woken = []
+
+    def waiter(tag):
+        yield future
+        woken.append(tag)
+
+    spawn(kernel, waiter("a"))
+    spawn(kernel, waiter("b"))
+    kernel.call_later(1.0, future.resolve)
+    kernel.run()
+    assert woken == ["a", "b"]
+
+
+def test_waiting_on_resolved_future_continues_immediately():
+    kernel = Kernel()
+    future = Future(kernel)
+    future.resolve("early")
+    got = []
+
+    def proc():
+        value = yield future
+        got.append((kernel.now, value))
+
+    spawn(kernel, proc())
+    kernel.run()
+    assert got == [(0.0, "early")]
+
+
+def test_double_resolve_raises():
+    future = Future(Kernel())
+    future.resolve(1)
+    with pytest.raises(SimulationError):
+        future.resolve(2)
+
+
+def test_unresolved_value_access_raises():
+    with pytest.raises(SimulationError):
+        Future(Kernel()).value
+
+
+def test_process_can_wait_on_process():
+    kernel = Kernel()
+    log = []
+
+    def child():
+        yield Timeout(2.0)
+        return "child-result"
+
+    def parent():
+        handle = spawn(kernel, child())
+        result = yield handle
+        log.append((kernel.now, result))
+
+    spawn(kernel, parent())
+    kernel.run()
+    assert log == [(2.0, "child-result")]
+
+
+def test_stop_terminates_at_next_suspension():
+    kernel = Kernel()
+    ticks = []
+
+    def proc():
+        while True:
+            ticks.append(kernel.now)
+            yield Timeout(1.0)
+
+    handle = spawn(kernel, proc())
+    kernel.call_later(2.5, handle.stop)
+    kernel.run(until=10.0)
+    assert ticks == [0.0, 1.0, 2.0]
+    assert not handle.alive
+
+
+def test_yielding_garbage_raises():
+    kernel = Kernel()
+
+    def proc():
+        yield "nonsense"
+
+    spawn(kernel, proc())
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-0.5)

@@ -1,0 +1,116 @@
+"""Tests for RNG streams, tracing, and the CPU model."""
+
+from repro.sim import Cpu, Kernel, RngRegistry, Tracer
+
+
+class TestRngRegistry:
+    def test_same_seed_same_name_reproduces(self):
+        a = RngRegistry(5).stream("x")
+        b = RngRegistry(5).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(5)
+        xs = [reg.stream("x").random() for _ in range(5)]
+        ys = [reg.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(5)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_randbytes_length_and_determinism(self):
+        assert len(RngRegistry(9).randbytes("k", 32)) == 32
+        assert RngRegistry(9).randbytes("k", 16) == RngRegistry(9).randbytes("k", 16)
+
+
+class TestTracer:
+    def test_records_time_and_detail(self):
+        kernel = Kernel()
+        tracer = Tracer(kernel)
+        kernel.call_later(1.5, tracer.record, "cat", "host-a")
+        kernel.run()
+        (event,) = tracer.events
+        assert event.time == 1.5
+        assert event.category == "cat"
+        assert event.host == "host-a"
+
+    def test_select_filters(self):
+        kernel = Kernel()
+        tracer = Tracer(kernel)
+        tracer.record("a", "h1")
+        tracer.record("a", "h2")
+        tracer.record("b", "h1")
+        assert tracer.count(category="a") == 2
+        assert tracer.count(host="h1") == 2
+        assert tracer.count(category="b", host="h2") == 0
+
+    def test_select_since(self):
+        kernel = Kernel()
+        tracer = Tracer(kernel)
+        tracer.record("a", "h")
+        kernel.call_later(5.0, tracer.record, "a", "h")
+        kernel.run()
+        assert len(list(tracer.select(since=1.0))) == 1
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(Kernel(), enabled=False)
+        tracer.record("a", "h")
+        assert tracer.events == []
+
+    def test_subscription_sees_live_events(self):
+        tracer = Tracer(Kernel())
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.record("a", "h")
+        assert len(seen) == 1
+
+
+class TestCpu:
+    def test_work_runs_after_cost(self):
+        kernel = Kernel()
+        cpu = Cpu(kernel)
+        done = []
+        cpu.run(0.5, lambda: done.append(kernel.now))
+        kernel.run()
+        assert done == [0.5]
+
+    def test_fifo_serialization(self):
+        kernel = Kernel()
+        cpu = Cpu(kernel)
+        done = []
+        cpu.run(0.5, lambda: done.append(("a", kernel.now)))
+        cpu.run(0.25, lambda: done.append(("b", kernel.now)))
+        kernel.run()
+        assert done == [("a", 0.5), ("b", 0.75)]
+
+    def test_idle_gaps_are_not_charged(self):
+        kernel = Kernel()
+        cpu = Cpu(kernel)
+        done = []
+        cpu.run(0.1, lambda: done.append(kernel.now))
+        kernel.call_later(5.0, lambda: cpu.run(0.1, lambda: done.append(kernel.now)))
+        kernel.run()
+        assert done == [0.1, 5.1]
+
+    def test_zero_cost_runs_inline_when_free(self):
+        kernel = Kernel()
+        cpu = Cpu(kernel)
+        done = []
+        cpu.run(0.0, done.append, "now")
+        assert done == ["now"]
+
+    def test_backlog_and_busy_accounting(self):
+        kernel = Kernel()
+        cpu = Cpu(kernel)
+        cpu.run(1.0, lambda: None)
+        cpu.run(1.0, lambda: None)
+        assert cpu.backlog == 2.0
+        kernel.run()
+        assert cpu.busy_time == 2.0
+        assert cpu.backlog == 0.0

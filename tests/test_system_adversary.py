@@ -1,0 +1,172 @@
+"""Byzantine replica behaviour: the f-compromise half of the threat model.
+
+Each test compromises one replica (f=1) with a classic misbehaviour and
+asserts the protocol-level defence the paper relies on.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system import Adversary, Behavior, Mode, SystemConfig, build
+
+
+def deploy(seed):
+    deployment = build(
+        SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=4, seed=seed)
+    )
+    deployment.start()
+    return deployment
+
+
+class TestMute:
+    def test_muted_replica_does_not_block_progress(self):
+        deployment = deploy(101)
+        adversary = Adversary(deployment)
+        adversary.compromise("cc-b-r2", Behavior.MUTE)
+        deployment.start_workload(duration=20.0)
+        deployment.run(until=24.0)
+        stats = deployment.recorder.stats()
+        assert stats.count >= 76
+        assert stats.pct_under_200ms == 100.0
+
+
+class TestDelayOrderingLeader:
+    """Prime's signature move: a leader that chats but does not order
+    must be detected by the *progress* detector, not just liveness."""
+
+    def test_stalling_leader_is_replaced(self):
+        deployment = deploy(102)
+        adversary = Adversary(deployment)
+        leader = deployment.current_leader()
+        deployment.start_workload(duration=25.0)
+        deployment.kernel.call_at(
+            8.0, adversary.compromise, leader, Behavior.DELAY_ORDERING
+        )
+        deployment.run(until=30.0)
+        views = {r.engine.view for r in deployment.replicas.values() if r.online}
+        assert max(views) >= 1, "progress detector must depose the stalling leader"
+        new_leader = deployment.env.prime_config.leader_of(max(views))
+        assert new_leader != leader
+        # Updates submitted during the stall eventually complete.
+        for proxy in deployment.proxies.values():
+            assert proxy.outstanding == 0
+
+    def test_bounded_delay_under_leader_attack(self):
+        deployment = deploy(103)
+        adversary = Adversary(deployment)
+        leader = deployment.current_leader()
+        deployment.start_workload(duration=25.0)
+        deployment.kernel.call_at(
+            8.0, adversary.compromise, leader, Behavior.DELAY_ORDERING
+        )
+        deployment.run(until=30.0)
+        # One view-change's worth of delay, not unbounded stall.
+        assert deployment.recorder.max_latency() < 0.500
+
+
+class TestEquivocation:
+    def test_safety_holds_under_conflicting_proposals(self):
+        deployment = deploy(104)
+        adversary = Adversary(deployment)
+        leader = deployment.current_leader()
+        deployment.start_workload(duration=25.0)
+        deployment.kernel.call_at(5.0, adversary.compromise, leader, Behavior.EQUIVOCATE)
+        deployment.kernel.call_at(15.0, adversary.release, leader)
+        deployment.run(until=32.0)
+        # Definition 1: no two correct replicas diverge, ever.
+        snapshots = {r.app.snapshot() for r in deployment.executing_replicas()}
+        assert len(snapshots) == 1
+        for proxy in deployment.proxies.values():
+            assert proxy.outstanding == 0
+
+
+class TestCorruptShares:
+    def test_intro_and_responses_survive_bad_shares(self):
+        deployment = deploy(105)
+        adversary = Adversary(deployment)
+        adversary.compromise("cc-a-r3", Behavior.CORRUPT_SHARES)
+        deployment.start_workload(duration=20.0)
+        deployment.run(until=25.0)
+        stats = deployment.recorder.stats()
+        assert stats.count >= 76
+        assert stats.pct_under_200ms == 100.0
+        # The corrupted shares never produce a bogus verified response:
+        # proxies verified every completion against the service key.
+        snapshots = {r.app.snapshot() for r in deployment.executing_replicas()}
+        assert len(snapshots) == 1
+
+
+class TestKeyLeakage:
+    def test_client_keys_leak_but_hardware_keys_do_not(self):
+        deployment = deploy(106)
+        adversary = Adversary(deployment)
+        bag = adversary.compromise("cc-a-r0", Behavior.LEAK_KEYS)
+        assert len(bag.client_keys) == 4          # all client schedules leak
+        assert bag.hardware_key_refusals == 1     # the TPM refuses
+
+    def test_leaked_keys_decrypt_current_traffic(self):
+        # The flip side of Definition 3: one on-premises compromise *does*
+        # break confidentiality of current traffic (bounded only by key
+        # renewal, tested elsewhere).
+        deployment = deploy(107)
+        adversary = Adversary(deployment)
+        bag = adversary.compromise("cc-a-r0", Behavior.LEAK_KEYS)
+        deployment.start_workload(duration=10.0)
+        deployment.run(until=13.0)
+        from repro.core.messages import EncryptedUpdate
+        from repro.crypto import symmetric
+
+        storage = deployment.storage_replicas()[0]
+        decrypted = 0
+        for record in storage.update_log.values():
+            for _ordinal, payload in record.entries:
+                if isinstance(payload, EncryptedUpdate):
+                    keys = bag.client_keys.get(payload.alias)
+                    if keys is not None:
+                        symmetric.decrypt(keys, payload.ciphertext)
+                        decrypted += 1
+        assert decrypted > 0
+
+
+class TestThreatModelBudget:
+    def test_more_than_f_compromises_rejected(self):
+        deployment = deploy(108)
+        adversary = Adversary(deployment)
+        adversary.compromise("cc-a-r0", Behavior.MUTE)
+        with pytest.raises(ConfigurationError):
+            adversary.compromise("cc-a-r1", Behavior.MUTE)
+
+    def test_release_frees_the_budget(self):
+        deployment = deploy(109)
+        adversary = Adversary(deployment)
+        adversary.compromise("cc-a-r0", Behavior.MUTE)
+        adversary.release("cc-a-r0")
+        adversary.compromise("cc-a-r1", Behavior.MUTE)
+        assert adversary.compromised_hosts == ["cc-a-r1"]
+
+    def test_unknown_host_rejected(self):
+        deployment = deploy(110)
+        with pytest.raises(ConfigurationError):
+            Adversary(deployment).compromise("ghost", Behavior.MUTE)
+
+
+class TestCompromiseThenRecover:
+    def test_recovery_evicts_the_attacker(self):
+        # The full cycle of Section V-D: compromise, leak, release (the
+        # window closes), proactively recover, and the replica is clean
+        # and caught up.
+        deployment = deploy(111)
+        adversary = Adversary(deployment)
+        deployment.start_workload(duration=30.0)
+        deployment.kernel.call_at(
+            5.0, adversary.compromise, "cc-b-r1", Behavior.CORRUPT_SHARES
+        )
+        deployment.kernel.call_at(12.0, adversary.release, "cc-b-r1")
+        deployment.recovery.schedule_recovery("cc-b-r1", 12.5, 4.0)
+        deployment.run(until=35.0)
+        recovered = deployment.replicas["cc-b-r1"]
+        live = deployment.replicas["cc-a-r0"]
+        assert recovered.incarnation == 1
+        assert recovered.executed_ordinal() == live.executed_ordinal()
+        assert recovered.app.snapshot() == live.app.snapshot()
+        deployment.auditor.assert_clean(set(deployment.data_center_hosts))

@@ -1,0 +1,99 @@
+"""Tests for latency metrics and percentile computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.metrics import LatencyRecorder, LatencySample, percentile
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        values = sorted([3.0, 1.0, 2.0, 4.0])
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 25) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_bounds_property(self, values):
+        ordered = sorted(values)
+        for p in (0, 1, 50, 99, 100):
+            result = percentile(ordered, p)
+            assert ordered[0] <= result <= ordered[-1]
+
+    @given(st.lists(st.floats(0, 1000), min_size=2, max_size=30))
+    @settings(max_examples=50)
+    def test_monotone_in_p(self, values):
+        ordered = sorted(values)
+        points = [percentile(ordered, p) for p in (0, 25, 50, 75, 100)]
+        assert points == sorted(points)
+
+
+class TestLatencyRecorder:
+    def make_recorder(self, latencies, start=0.0, spacing=1.0):
+        recorder = LatencyRecorder()
+        for i, latency in enumerate(latencies):
+            recorder.samples.append(
+                LatencySample(
+                    submit_time=start + i * spacing,
+                    latency=latency,
+                    client_id="c",
+                    client_seq=i + 1,
+                )
+            )
+        return recorder
+
+    def test_stats_basic(self):
+        recorder = self.make_recorder([0.050, 0.060, 0.070])
+        stats = recorder.stats()
+        assert stats.count == 3
+        assert stats.average == pytest.approx(0.060)
+        assert stats.pct_under_100ms == 100.0
+        assert stats.p50 == pytest.approx(0.060)
+
+    def test_threshold_percentages(self):
+        recorder = self.make_recorder([0.050, 0.150, 0.250, 0.090])
+        stats = recorder.stats()
+        assert stats.pct_under_100ms == 50.0
+        assert stats.pct_under_200ms == 75.0
+
+    def test_window_filtering(self):
+        recorder = self.make_recorder([0.010, 0.020, 0.030, 0.040])
+        stats = recorder.stats(since=1.0, until=3.0)
+        assert stats.count == 2
+        assert stats.average == pytest.approx(0.025)
+
+    def test_empty_window_rejected(self):
+        recorder = self.make_recorder([0.010])
+        with pytest.raises(ValueError):
+            recorder.stats(since=100.0)
+
+    def test_timeline_sorted_by_submit(self):
+        recorder = LatencyRecorder()
+        recorder.samples.append(LatencySample(5.0, 0.02, "c", 2))
+        recorder.samples.append(LatencySample(1.0, 0.01, "c", 1))
+        assert recorder.timeline() == [(1.0, 0.01), (5.0, 0.02)]
+
+    def test_max_latency(self):
+        recorder = self.make_recorder([0.010, 0.090, 0.030])
+        assert recorder.max_latency() == pytest.approx(0.090)
+
+    def test_row_formatting(self):
+        stats = self.make_recorder([0.050] * 10).stats()
+        row = stats.row("label")
+        assert "label" in row
+        assert "avg=   50.0ms" in row

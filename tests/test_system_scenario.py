@@ -1,0 +1,127 @@
+"""Tests for the declarative scenario runner."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.scenario import load_scenario, run_scenario, validate_scenario
+
+
+def small_scenario(**overrides):
+    scenario = {
+        "name": "smoke",
+        "config": {"mode": "confidential", "f": 1, "num_clients": 2, "seed": 171},
+        "workload": {"duration": 10.0},
+        "events": [],
+        "run_until": 13.0,
+        "expect": {"all_complete": True, "converged": True, "confidential": True},
+    }
+    scenario.update(overrides)
+    return scenario
+
+
+class TestValidation:
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_scenario({"events": []})
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_scenario(
+                {"name": "x", "events": [{"at": 1.0, "action": "meteor"}]}
+            )
+
+    def test_site_actions_need_site(self):
+        with pytest.raises(ConfigurationError):
+            validate_scenario(
+                {"name": "x", "events": [{"at": 1.0, "action": "isolate"}]}
+            )
+
+    def test_replica_actions_need_replica(self):
+        with pytest.raises(ConfigurationError):
+            validate_scenario(
+                {"name": "x", "events": [{"at": 1.0, "action": "recover"}]}
+            )
+
+
+class TestRunning:
+    def test_smoke_scenario_passes(self):
+        result = run_scenario(small_scenario())
+        assert result.passed
+        assert "PASS" in result.summary()
+        assert result.deployment.recorder.samples
+
+    def test_attack_events_fire(self):
+        scenario = small_scenario(
+            events=[
+                {"at": 3.0, "action": "isolate", "site": "dc-1"},
+                {"at": 7.0, "action": "reconnect", "site": "dc-1"},
+            ],
+            run_until=16.0,
+        )
+        result = run_scenario(scenario)
+        assert result.passed
+        actions = [e.action for e in result.deployment.attacks.log]
+        assert actions == ["isolate", "reconnect"]
+
+    def test_recovery_events_fire(self):
+        scenario = small_scenario(
+            events=[{"at": 3.0, "action": "recover", "replica": "cc-b-r2",
+                     "duration": 2.0}],
+            run_until=16.0,
+        )
+        result = run_scenario(scenario)
+        assert result.passed
+        assert result.deployment.replicas["cc-b-r2"].incarnation == 1
+
+    def test_compromise_events_fire(self):
+        scenario = small_scenario(
+            events=[
+                {"at": 2.0, "action": "compromise", "replica": "cc-a-r1",
+                 "behaviors": ["corrupt-shares"]},
+                {"at": 6.0, "action": "release", "replica": "cc-a-r1"},
+            ],
+            run_until=16.0,
+        )
+        result = run_scenario(scenario)
+        assert result.passed
+
+    def test_failed_expectation_reported(self):
+        scenario = small_scenario(expect={"avg_latency_ms": 0.001})
+        result = run_scenario(scenario)
+        assert not result.passed
+        assert "FAIL" in result.summary()
+
+    def test_degrade_events_fire(self):
+        scenario = small_scenario(
+            events=[
+                {"at": 2.0, "action": "degrade", "site": "cc-b",
+                 "bandwidth_divisor": 4.0},
+                {"at": 6.0, "action": "restore", "site": "cc-b"},
+            ],
+            run_until=15.0,
+        )
+        result = run_scenario(scenario)
+        assert result.passed
+
+
+class TestFileLoading:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(small_scenario()))
+        scenario = load_scenario(str(path))
+        assert scenario["name"] == "smoke"
+
+    def test_shipped_figure2_scenario_is_valid(self):
+        scenario = load_scenario("examples/scenarios/figure2.json")
+        assert scenario["name"].startswith("figure-2")
+
+    def test_cli_scenario_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(small_scenario()))
+        code = main(["scenario", str(path)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
