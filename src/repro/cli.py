@@ -58,6 +58,32 @@ def make_parser() -> argparse.ArgumentParser:
     compare.add_argument("--f", dest="f", type=int, default=1)
     compare.add_argument("--duration", type=float, default=30.0)
     compare.add_argument("--seed", type=int, default=1)
+
+    faultlab = sub.add_parser(
+        "faultlab",
+        help="sweep seeded fault schedules and check safety/liveness invariants",
+    )
+    faultlab.add_argument("--seeds", type=int, default=25,
+                          help="number of seeds to sweep")
+    faultlab.add_argument("--start-seed", type=int, default=1,
+                          help="first seed of the sweep")
+    faultlab.add_argument("--seed", type=int, default=None,
+                          help="replay exactly one seed (overrides --seeds)")
+    faultlab.add_argument("--mode", choices=[m.value for m in Mode],
+                          default="confidential")
+    faultlab.add_argument("--f", dest="f", type=int, default=1)
+    faultlab.add_argument("--key-renewal", action="store_true",
+                          help="enable key renewal (checks bounded disclosure)")
+    faultlab.add_argument("--plant-leak", action="store_true",
+                          help="inject a deliberate plaintext leak "
+                               "(validates the checker; run MUST fail)")
+    faultlab.add_argument("--no-shrink", dest="shrink", action="store_false",
+                          help="report failures without minimizing them")
+    faultlab.add_argument("--emit-test", action="store_true",
+                          help="print a regression test for the first "
+                               "shrunk failure")
+    faultlab.add_argument("--json", action="store_true",
+                          help="print failing schedules as JSON")
     return parser
 
 
@@ -69,7 +95,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "faultlab":
+        return _cmd_faultlab(args)
     return _cmd_run(args)
+
+
+def _cmd_faultlab(args: argparse.Namespace) -> int:
+    from repro.faultlab import (
+        FaultLabConfig,
+        plant_leak,
+        regression_test_source,
+        run_schedule,
+        schedule_for_seed,
+        shrink,
+    )
+
+    lab = FaultLabConfig(
+        mode=Mode(args.mode),
+        f=args.f,
+        key_renewal_enabled=args.key_renewal,
+    )
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.start_seed, args.start_seed + args.seeds))
+
+    failures = []
+    for seed in seeds:
+        schedule = schedule_for_seed(seed, lab)
+        if args.plant_leak:
+            schedule = plant_leak(schedule)
+        result = run_schedule(schedule, lab)
+        print(result.summary())
+        if not result.ok:
+            failures.append((schedule, result))
+            for violation in result.report.violations:
+                print("   ", violation.describe())
+
+    print(f"\nfaultlab: {len(seeds) - len(failures)}/{len(seeds)} seeds green")
+    if not failures:
+        return 0
+
+    schedule, result = failures[0]
+    if args.shrink:
+        shrunk = shrink(schedule, lab)
+        print(shrunk.summary())
+        print(shrunk.minimal.describe())
+        if args.json:
+            print(shrunk.minimal.to_json())
+        if args.emit_test:
+            print()
+            print(regression_test_source(shrunk))
+    elif args.json:
+        print(schedule.to_json())
+
+    # A planted leak is SUPPOSED to fail: the checker catching it is the
+    # pass condition, so invert the exit code.
+    if args.plant_leak:
+        caught = all(
+            "confidentiality" in r.report.failing_invariants for _s, r in failures
+        ) and len(failures) == len(seeds)
+        return 0 if caught else 1
+    return 1
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:

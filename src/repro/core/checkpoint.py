@@ -119,6 +119,7 @@ class CheckpointManager:
 
     def _garbage_collect(self, stable: CheckpointMsg) -> None:
         replica = self._replica
+        replica.trace("checkpoint.gc", ordinal=stable.ordinal)
         replica.engine.gc_before(stable.resume.batch_seq)
         replica.prune_update_log(stable.resume.batch_seq)
         for ordinal in [o for o in self.correct if o < stable.ordinal]:
@@ -134,6 +135,7 @@ class CheckpointManager:
         """Install a checkpoint validated during state transfer."""
         if self.stable is None or message.ordinal > self.stable.ordinal:
             self.stable = message
+            self._replica.trace("checkpoint.adopted", ordinal=message.ordinal)
         self._next_due = max(
             self._next_due, (message.ordinal // self.interval + 1) * self.interval
         )

@@ -45,10 +45,14 @@ class Sensitive:
 class Auditor:
     """Records plaintext exposure per host."""
 
-    def __init__(self, strict_hosts: Optional[Set[str]] = None):
+    def __init__(self, strict_hosts: Optional[Set[str]] = None, tracer=None):
         # Hosts that must never observe plaintext; exposure raises
         # immediately when strict, otherwise it is only recorded.
         self.strict_hosts = strict_hosts or set()
+        # Optional tracer: exposures also become ``audit.exposure`` trace
+        # events so online monitors (the FaultLab invariant checker) see
+        # them the moment they happen, with a timestamp.
+        self.tracer = tracer
         self._exposures: List[Tuple[str, str, str]] = []  # (host, label, channel)
         self._exposed_hosts: Set[str] = set()
 
@@ -56,6 +60,8 @@ class Auditor:
         """Record that ``host`` observed plaintext tagged ``label``."""
         self._exposures.append((host, label, channel))
         self._exposed_hosts.add(host)
+        if self.tracer is not None:
+            self.tracer.record("audit.exposure", host, label=label, channel=channel)
         if host in self.strict_hosts:
             raise ConfidentialityViolation(
                 f"host {host!r} observed sensitive data {label!r} via {channel}"

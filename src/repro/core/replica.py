@@ -59,6 +59,8 @@ from repro.prime.config import PrimeConfig
 from repro.sim.cpu import Cpu
 from repro.prime.engine import PrimeReplica
 from repro.prime.messages import (
+    BatchFetch,
+    BatchFetchReply,
     Commit,
     Heartbeat,
     NewView,
@@ -74,12 +76,29 @@ from repro.prime.messages import (
     VcState,
 )
 
+def batch_digest(entries) -> str:
+    """Stable short digest of an executed batch's (ordinal, payload) pairs.
+
+    Used by the ordering-safety invariant: two correct replicas executing
+    the same batch sequence must produce identical digests.
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for ordinal, _origin, _po_seq, update in entries:
+        hasher.update(str(ordinal).encode("ascii"))
+        hasher.update(update.digest)
+    return hasher.hexdigest()[:16]
+
+
 _PRIME_TYPES = (
     PoRequest,
     PoAck,
     PoAru,
     PoFetch,
     PoFetchReply,
+    BatchFetch,
+    BatchFetchReply,
     PrePrepare,
     Prepare,
     Commit,
@@ -331,6 +350,17 @@ class ReplicaBase:
             entries=tuple((ordinal, update.payload) for ordinal, _o, _p, update in entries),
         )
         self.update_log[batch_seq] = record
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            # Ordering-safety tap (FaultLab): every replica attests what it
+            # executed at this sequence; any two hosts disagreeing on the
+            # digest of the same batch_seq is a safety violation.
+            tracer.record(
+                "order.batch",
+                self.host,
+                batch_seq=batch_seq,
+                digest=batch_digest(entries),
+            )
         self.checkpoints.maybe_generate(record.resume.ordinal, record.resume)
 
     def process_entry(self, ordinal: int, payload: object) -> None:
@@ -512,6 +542,11 @@ class ExecutingReplica(ReplicaBase):
 
     hosts_application = True
 
+    #: Responses retained per client for retransmit replay; must exceed
+    #: the number of updates a proxy can pipeline while one reply is lost
+    #: (retransmit window / update interval).
+    response_cache_window = 32
+
     def __init__(
         self,
         env: ReplicaEnv,
@@ -535,7 +570,11 @@ class ExecutingReplica(ReplicaBase):
             enabled=env.key_renewal_enabled,
         )
         self._executed: Dict[str, ClientProgress] = {}
-        self._last_response: Dict[str, ClientResponse] = {}
+        # Recent threshold-signed responses, kept per client for a window
+        # of sequence numbers: the proxy pipelines updates, so the reply
+        # for seq n must stay replayable to retransmits even after seqs
+        # n+1.. complete (a single "last response" slot loses it).
+        self._response_cache: Dict[str, Dict[int, ClientResponse]] = {}
         self._response_shares: Dict[Tuple[str, int, bytes], Dict[int, PartialSignature]] = {}
         self._pending_responses: Dict[Tuple[str, int], bytes] = {}
         self._responses_combined: Set[Tuple[str, int]] = set()
@@ -704,7 +743,10 @@ class ExecutingReplica(ReplicaBase):
             body=response.body,
             threshold_sig=signature,
         )
-        self._last_response[client_id] = signed
+        cache = self._response_cache.setdefault(client_id, {})
+        cache[client_seq] = signed
+        while len(cache) > self.response_cache_window:
+            del cache[min(cache)]
         self._response_shares.pop(vote_key, None)
         self._maybe_send_response(signed)
 
@@ -725,8 +767,8 @@ class ExecutingReplica(ReplicaBase):
     def resend_response(self, client_id: str, client_seq: int) -> None:
         """A retransmitted update for an already-executed sequence: resend
         the cached threshold-signed response (Section V-C)."""
-        cached = self._last_response.get(client_id)
-        if cached is not None and cached.client_seq == client_seq:
+        cached = self._response_cache.get(client_id, {}).get(client_seq)
+        if cached is not None:
             proxy = self.env.proxy_of_client.get(client_id)
             if proxy is not None:
                 self.network_send(proxy, cached)
@@ -740,9 +782,12 @@ class ExecutingReplica(ReplicaBase):
                 alias: progress.to_state()
                 for alias, progress in sorted(self._executed.items())
             },
-            "last_responses": {
-                client: [r.client_seq, r.body.data.hex(), r.threshold_sig.hex()]
-                for client, r in sorted(self._last_response.items())
+            "responses": {
+                client: [
+                    [seq, r.body.data.hex(), r.threshold_sig.hex()]
+                    for seq, r in sorted(cache.items())
+                ]
+                for client, cache in sorted(self._response_cache.items())
             },
         }
         if self.confidential:
@@ -765,14 +810,16 @@ class ExecutingReplica(ReplicaBase):
             alias: ClientProgress.from_state(progress_state)
             for alias, progress_state in state["executed"].items()
         }
-        self._last_response = {}
-        for client, (seq, body_hex, sig_hex) in state["last_responses"].items():
-            self._last_response[client] = ClientResponse(
-                client_id=client,
-                client_seq=int(seq),
-                body=Sensitive(bytes.fromhex(body_hex), label="client-response"),
-                threshold_sig=bytes.fromhex(sig_hex),
-            )
+        self._response_cache = {}
+        for client, entries in state["responses"].items():
+            cache = self._response_cache.setdefault(client, {})
+            for seq, body_hex, sig_hex in entries:
+                cache[int(seq)] = ClientResponse(
+                    client_id=client,
+                    client_seq=int(seq),
+                    body=Sensitive(bytes.fromhex(body_hex), label="client-response"),
+                    threshold_sig=bytes.fromhex(sig_hex),
+                )
         if self.confidential and "keys" in state:
             self.key_manager.restore_state(state["keys"])
             self.renewal.restore_state(state.get("renewal", {}))
@@ -813,7 +860,7 @@ class ExecutingReplica(ReplicaBase):
             enabled=self.env.key_renewal_enabled,
         )
         self._executed = {}
-        self._last_response = {}
+        self._response_cache = {}
         self._response_shares = {}
         self._pending_responses = {}
         self._responses_combined = set()

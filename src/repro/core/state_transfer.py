@@ -226,6 +226,15 @@ class StateTransferManager:
 
         checkpoint = self._agree_checkpoint(responses, threshold)
         if checkpoint is _NO_AGREEMENT:
+            # Fewer than f+1 responders agree on any checkpoint: installing
+            # state here could adopt a fabrication by f liars. Refuse and
+            # keep waiting (the retry timer re-solicits if needed).
+            replica.trace(
+                "xfer.insufficient",
+                nonce=nonce,
+                responses=len(responses),
+                threshold=threshold,
+            )
             return
         base_seq = checkpoint.resume.batch_seq if checkpoint is not None else 0
 

@@ -1,0 +1,220 @@
+"""Execute fault schedules against freshly built deployments.
+
+:func:`run_schedule` is FaultLab's core loop: build a deployment from the
+schedule's seed, attach the invariant checker, install every fault window
+as kernel callbacks, run a client workload through the turbulence, let the
+system quiesce, and score the run. Because the simulation is fully
+deterministic, the same :class:`~repro.faultlab.schedule.FaultSchedule`
+against the same :class:`FaultLabConfig` always yields the same
+:class:`FaultLabResult` — which is what makes sweeping, replaying, and
+shrinking meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.faultlab.invariants import InvariantChecker, InvariantReport
+from repro.faultlab.schedule import (
+    FaultSchedule,
+    ScheduleSpace,
+    generate_schedule,
+    space_for,
+    validate_schedule,
+)
+from repro.system.adversary import Adversary, Behavior
+from repro.system.builder import build
+from repro.system.config import Mode, SystemConfig
+
+
+@dataclass(frozen=True)
+class FaultLabConfig:
+    """Sizing for FaultLab runs: small enough to sweep, big enough to
+    exercise checkpoints, recovery, and state transfer."""
+
+    mode: Mode = Mode.CONFIDENTIAL
+    f: int = 1
+    data_centers: int = 2
+    num_clients: int = 3
+    update_interval: float = 0.35
+    checkpoint_interval: int = 25
+    key_renewal_enabled: bool = False
+
+    #: Faults start after the system has warmed up...
+    fault_start: float = 1.5
+    #: ...and every fault window closes by this virtual time.
+    horizon: float = 9.0
+    #: Extra quiet time after the horizon for recovery/catch-up/liveness.
+    quiescence: float = 8.0
+    #: Largest number of events a generated schedule may carry.
+    max_events: int = 6
+
+    def system_config(self, seed: int) -> SystemConfig:
+        return SystemConfig(
+            mode=self.mode,
+            f=self.f,
+            data_centers=self.data_centers,
+            seed=seed,
+            num_clients=self.num_clients,
+            update_interval=self.update_interval,
+            checkpoint_interval=self.checkpoint_interval,
+            key_renewal_enabled=self.key_renewal_enabled,
+            tracing=True,
+        )
+
+
+@dataclass
+class FaultLabResult:
+    """One schedule's verdict."""
+
+    schedule: FaultSchedule
+    report: InvariantReport
+    end_time: float
+    trace_events: int
+    deployment: object = field(default=None, repr=False)
+    adversary: object = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"{status} seed={self.schedule.seed} events={len(self.schedule)} "
+            f"t_end={self.end_time:.1f} :: {self.report.summary().splitlines()[0]}"
+        )
+
+
+def schedule_for_seed(seed: int, lab: Optional[FaultLabConfig] = None) -> FaultSchedule:
+    """Generate the schedule a sweep would run for ``seed``."""
+    lab = lab or FaultLabConfig()
+    deployment = build(lab.system_config(seed))
+    space = space_for(
+        deployment,
+        start=lab.fault_start,
+        horizon=lab.horizon,
+        max_events=lab.max_events,
+    )
+    return generate_schedule(seed, space)
+
+
+def run_schedule(
+    schedule: FaultSchedule,
+    lab: Optional[FaultLabConfig] = None,
+    keep_deployment: bool = False,
+) -> FaultLabResult:
+    """Replay ``schedule`` against a fresh deployment and check invariants."""
+    lab = lab or FaultLabConfig()
+    validate_schedule(schedule)
+
+    deployment = build(lab.system_config(schedule.seed))
+    adversary = Adversary(deployment)
+    quiesce_at = max(schedule.clear_time, lab.horizon)
+    checker = InvariantChecker(deployment, adversary, quiesce_at=quiesce_at).attach()
+
+    _install_events(schedule, deployment, adversary)
+
+    deployment.start()
+    end_time = quiesce_at + lab.quiescence
+    # Clients keep submitting through the faults and for a short stretch
+    # past quiescence, so the liveness invariant has fresh updates to watch
+    # complete; the remaining quiet time lets retransmissions drain.
+    deployment.start_workload(duration=quiesce_at + lab.quiescence * 0.4)
+    deployment.run(until=end_time)
+
+    report = checker.finish()
+    return FaultLabResult(
+        schedule=schedule,
+        report=report,
+        end_time=end_time,
+        trace_events=len(deployment.tracer.events),
+        deployment=deployment if keep_deployment else None,
+        adversary=adversary if keep_deployment else None,
+    )
+
+
+def sweep(
+    seeds: Iterable[int],
+    lab: Optional[FaultLabConfig] = None,
+    on_result=None,
+) -> List[FaultLabResult]:
+    """Run one generated schedule per seed; ``on_result`` (if given) is
+    called after each run, e.g. for progress printing."""
+    lab = lab or FaultLabConfig()
+    results = []
+    for seed in seeds:
+        result = run_schedule(schedule_for_seed(seed, lab), lab)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results
+
+
+def plant_leak(schedule: FaultSchedule, at: Optional[float] = None,
+               host: Optional[str] = None) -> FaultSchedule:
+    """Add a deliberate confidentiality breach to ``schedule``.
+
+    Used to validate the checker end-to-end: the resulting schedule MUST
+    fail the confidentiality invariant, and shrinking it MUST retain the
+    ``leak`` event.
+    """
+    from repro.faultlab.schedule import make_event
+
+    leak_at = at if at is not None else min(schedule.horizon - 1.0, 4.0)
+    event = make_event(leak_at, "leak", host or "")
+    return schedule.with_event(event)
+
+
+# ---------------------------------------------------------------------------
+# Event installation
+# ---------------------------------------------------------------------------
+
+def _install_events(schedule: FaultSchedule, deployment, adversary: Adversary) -> None:
+    kernel = deployment.kernel
+    for event in schedule.events:
+        if event.kind == "compromise":
+            behaviors = tuple(Behavior(b) for b in event.param("behaviors"))
+            kernel.call_at(
+                event.at, adversary.compromise, event.target, *behaviors
+            )
+            kernel.call_at(event.until, adversary.release, event.target)
+        elif event.kind == "isolate":
+            kernel.call_at(event.at, deployment.attacks.isolate_site, event.target)
+            kernel.call_at(event.until, deployment.attacks.reconnect_site, event.target)
+        elif event.kind == "degrade":
+            kernel.call_at(
+                event.at,
+                deployment.attacks.degrade_site,
+                event.target,
+                event.param("bandwidth_divisor", 10.0),
+                event.param("added_latency", 0.020),
+                event.param("loss", 0.02),
+            )
+            kernel.call_at(event.until, deployment.attacks.restore_site, event.target)
+        elif event.kind == "loss":
+            probability = event.param("probability", 0.05)
+            base = deployment.config.wan_loss_probability
+            kernel.call_at(event.at, deployment.network.set_wan_loss, probability)
+            kernel.call_at(event.until, deployment.network.set_wan_loss, base)
+        elif event.kind == "skew":
+            kernel.call_at(
+                event.at,
+                deployment.network.set_delivery_skew,
+                event.target,
+                event.param("skew", 0.02),
+            )
+            kernel.call_at(
+                event.until, deployment.network.clear_delivery_skew, event.target
+            )
+        elif event.kind == "recover":
+            deployment.recovery.schedule_recovery(
+                event.target, event.at, event.param("duration", 3.0)
+            )
+        elif event.kind == "leak":
+            host = event.target or deployment.on_premises_hosts[0]
+            kernel.call_at(event.at, adversary.exfiltrate_plaintext, host)
+        else:  # pragma: no cover - validate_schedule rejects unknown kinds
+            raise ConfigurationError(f"unknown fault kind {event.kind!r}")

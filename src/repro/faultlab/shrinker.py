@@ -1,0 +1,157 @@
+"""Schedule shrinking: bisect a failing timeline to a minimal repro.
+
+Given a schedule that violates some invariant, :func:`shrink` removes
+events delta-debugging style (Zeller's ddmin) until no single event can be
+dropped without losing the failure. Because each
+:class:`~repro.faultlab.schedule.FaultEvent` carries its whole window
+(compromise+release, isolate+reconnect), events are independently
+removable and the reduced schedule is always well-formed.
+
+The reduction predicate is *same failing invariant*, not merely "still
+fails": a schedule that trips confidentiality must shrink to a schedule
+that still trips confidentiality, never drift to an unrelated liveness
+failure discovered along the way.
+
+:func:`regression_test_source` then renders the minimal schedule as a
+ready-to-paste pytest function with the schedule JSON embedded, so a
+counterexample found in a sweep becomes a permanent regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faultlab.runner import FaultLabConfig, FaultLabResult, run_schedule
+from repro.faultlab.schedule import FaultSchedule
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink: the minimal schedule and the bookkeeping."""
+
+    original: FaultSchedule
+    minimal: FaultSchedule
+    failing_invariants: Tuple[str, ...]
+    runs: int
+    final: FaultLabResult
+
+    @property
+    def removed(self) -> int:
+        return len(self.original) - len(self.minimal)
+
+    def summary(self) -> str:
+        return (
+            f"shrunk {len(self.original)} -> {len(self.minimal)} events "
+            f"({self.runs} replays); still failing: "
+            f"{', '.join(self.failing_invariants)}"
+        )
+
+
+def shrink(
+    schedule: FaultSchedule,
+    lab: Optional[FaultLabConfig] = None,
+    max_runs: int = 64,
+) -> ShrinkResult:
+    """Minimize ``schedule`` while preserving its invariant failure.
+
+    Raises ``ValueError`` if the schedule does not fail to begin with —
+    shrinking a passing schedule is a caller bug, not an empty result.
+    """
+    lab = lab or FaultLabConfig()
+    first = run_schedule(schedule, lab)
+    if first.ok:
+        raise ValueError("schedule passes all invariants; nothing to shrink")
+    target = set(first.report.failing_invariants)
+
+    runs = 1
+    current = list(range(len(schedule.events)))
+    best_result = first
+
+    def still_fails(indices: Sequence[int]) -> Optional[FaultLabResult]:
+        nonlocal runs
+        if runs >= max_runs:
+            return None
+        runs += 1
+        result = run_schedule(schedule.subset(indices), lab)
+        if not result.ok and target & set(result.report.failing_invariants):
+            return result
+        return None
+
+    # ddmin: try removing chunks, halving granularity when stuck.
+    granularity = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            result = still_fails(candidate)
+            if result is not None:
+                current = candidate
+                best_result = result
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart scanning the (shorter) list from the left.
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    minimal = schedule.subset(current)
+    return ShrinkResult(
+        original=schedule,
+        minimal=minimal,
+        failing_invariants=tuple(sorted(target)),
+        runs=runs,
+        final=best_result,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Regression-test emission
+# ---------------------------------------------------------------------------
+
+_TEMPLATE = '''\
+def test_{name}():
+    """Auto-generated FaultLab regression (seed {seed}).
+
+    Minimal schedule reproducing: {invariants}.
+    Regenerate with: repro faultlab --seed {seed} --shrink --emit-test
+    """
+    from repro.faultlab import FaultLabConfig, FaultSchedule, run_schedule
+
+    schedule = FaultSchedule.from_json("""{schedule_json}""")
+    result = run_schedule(schedule, FaultLabConfig())
+    assert not result.ok, "schedule no longer reproduces the failure"
+    assert set(result.report.failing_invariants) & {invariant_set!r}, (
+        "failure drifted to a different invariant: "
+        + result.report.summary()
+    )
+'''
+
+
+def regression_test_source(
+    shrunk: ShrinkResult,
+    name: Optional[str] = None,
+) -> str:
+    """Render a ready-to-paste pytest function pinning the counterexample.
+
+    The generated test asserts the failure still *reproduces* — it is a
+    bug tracker entry in executable form. Once the underlying bug is
+    fixed, flip the assertions to ``assert result.ok``.
+    """
+    test_name = name or f"faultlab_seed_{shrunk.minimal.seed}_regression"
+    return _TEMPLATE.format(
+        name=test_name,
+        seed=shrunk.minimal.seed,
+        invariants=", ".join(shrunk.failing_invariants),
+        schedule_json=shrunk.minimal.to_json(indent=2),
+        invariant_set=set(shrunk.failing_invariants),
+    )

@@ -45,6 +45,8 @@ from repro.core.messages import (
 from repro.crypto.threshold import PartialSignature, ShareProof
 from repro.errors import ProtocolError
 from repro.prime.messages import (
+    BatchFetch,
+    BatchFetchReply,
     Commit,
     Heartbeat,
     NewView,
@@ -455,6 +457,40 @@ def _decode_po_fetch_reply(data, offset):
     nested, offset = read_bytes(data, offset)
     request, _ = decode_message(nested)
     return PoFetchReply(request=request), offset
+
+
+def _encode_batch_fetch(out, m: BatchFetch):
+    write_varint(out, len(m.seqs))
+    for seq in m.seqs:
+        write_varint(out, seq)
+
+
+def _decode_batch_fetch(data, offset):
+    count, offset = read_varint(data, offset)
+    seqs = []
+    for _ in range(count):
+        seq, offset = read_varint(data, offset)
+        seqs.append(seq)
+    return BatchFetch(seqs=tuple(seqs)), offset
+
+
+_register(13, BatchFetch)((_encode_batch_fetch, _decode_batch_fetch))
+
+_register(14, BatchFetchReply)(
+    (
+        lambda out, m: (
+            write_varint(out, m.seq),
+            write_int_map(out, dict(m.cutoffs)),
+        ),
+        lambda data, o: _decode_batch_fetch_reply(data, o),
+    )
+)
+
+
+def _decode_batch_fetch_reply(data, offset):
+    seq, offset = read_varint(data, offset)
+    cutoffs, offset = read_int_map(data, offset)
+    return BatchFetchReply(seq=seq, cutoffs=cutoffs), offset
 
 
 # -- CP-ITM messages ------------------------------------------------------------

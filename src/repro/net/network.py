@@ -70,6 +70,11 @@ class Network:
         # added one-way latency, extra loss probability). A weaker attack
         # than full isolation: traffic still flows, but slowly.
         self._degraded_sites: Dict[str, Tuple[float, float, float]] = {}
+        # Clock-skew model: every delivery *into* a skewed site arrives
+        # this many seconds late, as if the site's receive timestamps ran
+        # behind. Prime assumes bounded latency variance; FaultLab uses
+        # skew windows to probe that assumption.
+        self._site_skew: Dict[str, float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -106,6 +111,29 @@ class Network:
 
     def site_is_degraded(self, site: str) -> bool:
         return site in self._degraded_sites
+
+    def set_delivery_skew(self, site: str, skew: float) -> None:
+        """Delay every delivery into ``site`` by ``skew`` seconds."""
+        if skew < 0:
+            raise ConfigurationError(f"negative skew {skew!r}")
+        self._site_skew[site] = skew
+        if self.tracer:
+            self.tracer.record("net.skew", site, skew=skew)
+
+    def clear_delivery_skew(self, site: str) -> None:
+        """Lift a delivery skew installed by :meth:`set_delivery_skew`."""
+        self._site_skew.pop(site, None)
+        if self.tracer:
+            self.tracer.record("net.skew", site, skew=0.0)
+
+    def delivery_skew(self, site: str) -> float:
+        return self._site_skew.get(site, 0.0)
+
+    def set_wan_loss(self, probability: float) -> None:
+        """Set the residual WAN loss probability (message-loss windows)."""
+        self.wan_loss_probability = probability
+        if self.tracer:
+            self.tracer.record("net.loss-window", "network", probability=probability)
 
     def host_is_down(self, host: str) -> bool:
         return self._down_hosts.get(host, False)
@@ -167,7 +195,7 @@ class Network:
         start = max(now, self._pipe_free_at.get(pipe, 0.0))
         self._pipe_free_at[pipe] = start + tx_time
         jitter = self._rng.uniform(0, self._jitter_fraction * latency)
-        arrival = start + tx_time + latency + jitter
+        arrival = start + tx_time + latency + jitter + self._site_skew.get(dst_site, 0.0)
         self.kernel.call_at(arrival, self._deliver, src, dst, payload, size)
         return True
 

@@ -34,6 +34,18 @@ class PrimeConfig:
     # Retransmission period for own uncertified po-requests (repairs
     # streams broken by partitions or message loss).
     po_retransmit_interval: float = 0.500
+    # Reconciliation period for missing committed batches: a replica
+    # whose execution is stuck on a sequence gap re-fetches the batch
+    # content from peers (f+1 matching attestations to adopt).
+    batch_fill_interval: float = 0.120
+    # At most this many missing sequences are requested per fill round.
+    batch_fill_max: int = 16
+    # How long execution may stall on a committed batch whose po-requests
+    # cannot be fetched before the stall counts as an execution gap
+    # (peers have pruned the data; only state transfer can jump it).
+    # Generous relative to fetch_retry so in-band repair always wins on
+    # live data.
+    blocked_execution_timeout: float = 0.500
     # Retention of executed batch metadata (for serving po-fetches and
     # state transfer) before garbage collection, in batches.
     max_batch_history: int = 20000

@@ -23,6 +23,8 @@ from repro.costs import CostModel
 from repro.errors import ProtocolError
 from repro.prime.config import PrimeConfig
 from repro.prime.messages import (
+    BatchFetch,
+    BatchFetchReply,
     Commit,
     Heartbeat,
     NewView,
@@ -102,6 +104,8 @@ class PrimeReplica:
             Prepare: self.order.on_prepare,
             Commit: self.order.on_commit,
             Heartbeat: self.order.on_heartbeat,
+            BatchFetch: self.order.on_batch_fetch,
+            BatchFetchReply: self.order.on_batch_fetch_reply,
             Suspect: self.view_change.on_suspect,
             VcState: self.view_change.on_vc_state,
             NewView: self.view_change.on_new_view,
@@ -114,6 +118,7 @@ class PrimeReplica:
         self.online = True
         self.view_change.start()
         self.preorder.start_retransmission()
+        self.order.start_reconciliation()
         if self.is_leader():
             self.order.start_leader_duty()
 
@@ -121,6 +126,7 @@ class PrimeReplica:
         """Take the engine offline (crash / start of proactive recovery)."""
         self.online = False
         self.order.stop_leader_duty()
+        self.order.stop_reconciliation()
         self.preorder.stop_retransmission()
         self.view_change.stop()
 
@@ -135,6 +141,15 @@ class PrimeReplica:
             return
         if isinstance(message, _VIEW_CARRIERS):
             self.view_change.note_view_evidence(src, message.view)
+        elif isinstance(message, Suspect):
+            # A correct replica only suspects the successor of the view
+            # it operates in, so Suspect(t) attests operation at t-1.
+            # Counting it as view evidence is what rescues a replica (or
+            # pair) that adopted a view the rest of the system abandoned
+            # suspecting: their repeated suspicions pull everyone else up
+            # (PBFT's f+1 join rule), where the abandon rule would
+            # otherwise wedge them out of agreement forever.
+            self.view_change.note_view_evidence(src, message.target_view - 1)
         handler = self._dispatch.get(type(message))
         if handler is None:
             raise ProtocolError(f"unknown Prime message type {type(message).__name__}")

@@ -184,6 +184,37 @@ class NewView:
 
 
 @dataclass(frozen=True)
+class BatchFetch:
+    """Request retransmission of committed batches the sender is missing.
+
+    A replica whose execution is stuck on a gap (it lost the pre-prepare
+    or enough commits during a partition) asks its peers for the batches
+    it cannot reconstruct; ``seqs`` lists the missing batch sequences.
+    """
+
+    seqs: Tuple[int, ...]
+
+    def wire_size(self) -> int:
+        return _HEADER + 8 * max(1, len(self.seqs))
+
+
+@dataclass(frozen=True)
+class BatchFetchReply:
+    """Attestation of one committed batch's content.
+
+    Only batches the responder itself committed (or executed) are ever
+    attested; the requester adopts content once f+1 responders agree, so
+    at least one correct replica vouches for it.
+    """
+
+    seq: int
+    cutoffs: Mapping[OriginId, int]
+
+    def wire_size(self) -> int:
+        return _HEADER + 16 + 16 * max(1, len(self.cutoffs))
+
+
+@dataclass(frozen=True)
 class PoFetch:
     """Request retransmission of a missing po-request."""
 

@@ -19,6 +19,8 @@ import hashlib
 from typing import TYPE_CHECKING, Dict, List, Set, Tuple
 
 from repro.prime.messages import (
+    BatchFetch,
+    BatchFetchReply,
     Commit,
     Heartbeat,
     OriginId,
@@ -59,6 +61,17 @@ class GlobalOrder:
         # Executed batch metadata kept for state-transfer resume points and
         # po-request garbage collection: seq -> (ordinal_after, pairs).
         self.executed_batches: Dict[int, Tuple[int, List[Tuple[OriginId, int]]]] = {}
+        # Cutoff vectors of executed batches, kept so peers stuck on a
+        # sequence gap can re-fetch the batch content (pre_prepares[seq]
+        # may be overwritten by a later view and cannot serve as the
+        # attested record of what was actually committed).
+        self.executed_cutoffs: Dict[int, Dict[OriginId, int]] = {}
+        # Batch-fill reconciliation state: seq -> content digest -> voters.
+        self._fill_votes: Dict[int, Dict[bytes, Dict[str, Dict[OriginId, int]]]] = {}
+        self._fill_timer = None
+        # When execution first stalled on missing po-requests for a
+        # committed batch (None while execution is advancing).
+        self._blocked_since = None
         # Leader-side proposal state.
         self.propose_seq = 0
         self._proposed_vector: Dict[OriginId, int] = {}
@@ -176,6 +189,15 @@ class GlobalOrder:
         self._maybe_prepared(message.view, message.seq, message.content_digest)
 
     def _maybe_prepared(self, view: int, seq: int, digest: bytes) -> None:
+        if view < self._engine.view:
+            # A replica that moved to a later view has already reported
+            # its prepared certificates to the new leader; becoming
+            # prepared in an abandoned view *after* that report would
+            # let an old-view agreement finish behind the new leader's
+            # back and commit content the new view re-proposes
+            # differently (the PBFT view-change safety argument relies
+            # on participation stopping at the report).
+            return
         if (view, seq) in self._prepared:
             return
         stored = self.pre_prepares.get(seq)
@@ -198,6 +220,10 @@ class GlobalOrder:
         self._maybe_committed(message.view, message.seq, message.content_digest)
 
     def _maybe_committed(self, view: int, seq: int, digest: bytes) -> None:
+        if view < self._engine.view:
+            # Same abandon rule as in _maybe_prepared: no old-view
+            # agreement may conclude once we operate in a later view.
+            return
         if seq <= self.last_executed:
             return
         if seq in self.committed or seq in self.executed_batches:
@@ -232,19 +258,33 @@ class GlobalOrder:
     # -- execution -------------------------------------------------------------------
 
     def execution_gap(self) -> bool:
-        """True when batches well beyond the execution point have
-        committed while the next batch has not — the signature of a
-        replica that missed traffic and needs a state transfer."""
+        """True when execution is stuck far behind the committed horizon
+        — the signature of a replica that missed traffic and needs a
+        state transfer. Two shapes qualify: the next batch never
+        committed here while much later ones did (ordering messages
+        lost), or the next batch is committed but its po-requests have
+        been unfetchable for so long that peers must have pruned them.
+        A merely-backlogged replica is NOT gapped: po-fetches repair a
+        committed backlog in-band within a round trip, and escalating it
+        to state transfer would skip response generation for the batches
+        jumped over."""
         if not self.committed:
             return False
         next_seq = self.last_executed + 1
-        return next_seq not in self.committed and max(self.committed) >= next_seq + 3
+        if next_seq not in self.committed:
+            return max(self.committed) >= next_seq + 3
+        return (
+            self._blocked_since is not None
+            and self._engine.kernel.now - self._blocked_since
+            > self._engine.config.blocked_execution_timeout
+        )
 
     def try_execute(self) -> None:
         while True:
             next_seq = self.last_executed + 1
             cutoffs = self.committed.get(next_seq)
             if cutoffs is None:
+                self._blocked_since = None
                 if self.execution_gap():
                     self._engine.note_lagging(max(self.committed))
                 return
@@ -253,9 +293,17 @@ class GlobalOrder:
                 pair for pair in pairs if pair not in self._engine.preorder.requests
             ]
             if missing:
+                if self._blocked_since is None:
+                    self._blocked_since = self._engine.kernel.now
                 for pair in missing:
                     self._engine.preorder.fetch_missing(pair)
+                if self.execution_gap():
+                    # Blocked long enough that peers must have pruned the
+                    # po-requests: state transfer can jump past the
+                    # unfetchable region, po-fetch cannot.
+                    self._engine.note_lagging(max(self.committed))
                 return
+            self._blocked_since = None
             entries: List[BatchEntry] = []
             for origin, po_seq in pairs:
                 self.ordinal += 1
@@ -266,6 +314,8 @@ class GlobalOrder:
                     self.ordered_through[origin] = po_seq
             del self.committed[next_seq]
             self.executed_batches[next_seq] = (self.ordinal, pairs)
+            self.executed_cutoffs[next_seq] = dict(cutoffs)
+            self._fill_votes.pop(next_seq, None)
             self.last_executed = next_seq
             self._engine.trace(
                 "prime.executed", seq=next_seq, updates=len(entries), ordinal=self.ordinal
@@ -303,6 +353,7 @@ class GlobalOrder:
         self.propose_seq = max(self.propose_seq, batch_seq)
         for seq in [s for s in self.committed if s <= batch_seq]:
             del self.committed[seq]
+        self._blocked_since = None
         self.try_execute()
 
     def gc_before(self, batch_seq: int) -> None:
@@ -310,4 +361,84 @@ class GlobalOrder:
         doomed = [s for s in self.executed_batches if s < batch_seq]
         for seq in doomed:
             _ordinal, pairs = self.executed_batches.pop(seq)
+            self.executed_cutoffs.pop(seq, None)
             self._engine.preorder.gc_before(pairs)
+
+    # -- committed-batch reconciliation -------------------------------------------------
+
+    def start_reconciliation(self) -> None:
+        """Begin periodically re-fetching committed batches we are missing.
+
+        Ordering messages are not retransmitted, so a pre-prepare or
+        commit lost to a partition leaves a permanent sequence gap: the
+        replica cannot execute past it, cannot serve ordered transfer
+        requests, and — once every replica is gapped — the whole system
+        deadlocks (state transfer itself needs the order to advance).
+        Re-fetching the committed content point-to-point breaks that
+        cycle; f+1 matching attestations make the adoption safe.
+        """
+        self.stop_reconciliation()
+        self._fill_timer = self._engine.kernel.call_later(
+            self._engine.config.batch_fill_interval, self._fill_tick
+        )
+
+    def stop_reconciliation(self) -> None:
+        if self._fill_timer is not None:
+            self._fill_timer.cancel()
+            self._fill_timer = None
+
+    def _fill_tick(self) -> None:
+        self._fill_timer = None
+        if not self._engine.online:
+            return
+        missing = self.missing_committed_seqs()
+        if missing:
+            self._engine.multicast(BatchFetch(seqs=tuple(missing)))
+        if self.execution_gap():
+            # Nothing event-driven will re-run try_execute when peers
+            # have pruned the po-requests we are stuck on; the periodic
+            # tick is what escalates that stall to state transfer.
+            self._engine.note_lagging(max(self.committed))
+        self._fill_timer = self._engine.kernel.call_later(
+            self._engine.config.batch_fill_interval, self._fill_tick
+        )
+
+    def missing_committed_seqs(self) -> List[int]:
+        """Sequences below our committed horizon that we cannot execute."""
+        if not self.committed:
+            return []
+        horizon = max(self.committed)
+        limit = self._engine.config.batch_fill_max
+        missing = []
+        for seq in range(self.last_executed + 1, horizon):
+            if seq not in self.committed and seq not in self.executed_batches:
+                missing.append(seq)
+                if len(missing) >= limit:
+                    break
+        return missing
+
+    def on_batch_fetch(self, src: str, message: BatchFetch) -> None:
+        for seq in message.seqs[: self._engine.config.batch_fill_max]:
+            cutoffs = self.committed.get(seq)
+            if cutoffs is None:
+                cutoffs = self.executed_cutoffs.get(seq)
+            if cutoffs is not None:
+                self._engine.send(src, BatchFetchReply(seq=seq, cutoffs=dict(cutoffs)))
+
+    def on_batch_fetch_reply(self, src: str, message: BatchFetchReply) -> None:
+        seq = message.seq
+        if (
+            seq <= self.last_executed
+            or seq in self.committed
+            or seq in self.executed_batches
+        ):
+            return
+        digest = content_digest(seq, dict(message.cutoffs))
+        voters = self._fill_votes.setdefault(seq, {}).setdefault(digest, {})
+        voters[src] = dict(message.cutoffs)
+        if len(voters) < self._engine.config.join_threshold:
+            return
+        self.committed[seq] = dict(message.cutoffs)
+        self._fill_votes.pop(seq, None)
+        self._engine.trace("prime.filled", seq=seq)
+        self.try_execute()

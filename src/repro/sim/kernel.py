@@ -28,27 +28,61 @@ class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     Timers are returned by :meth:`Kernel.call_at` and friends. Cancelling a
-    timer after it fired (or cancelling twice) is a harmless no-op, which is
-    the behaviour protocol code invariably wants.
+    one-shot timer after it fired (or cancelling twice) is a harmless no-op,
+    which is the behaviour protocol code invariably wants. For repeating
+    timers (:meth:`Kernel.call_repeating`) the cancel/re-arm edge is subtle
+    and pinned down precisely:
+
+    - the kernel decides whether to re-arm *after* the callback returns, so
+      cancelling a repeating timer from inside its own callback suppresses
+      every later occurrence — it cannot leave a same-tick (or next-tick)
+      duplicate armed in the heap;
+    - cancellation from any other callback takes effect at the occurrence's
+      pop time, so a same-tick cancel scheduled *before* the occurrence
+      suppresses it, while one scheduled *after* it is too late for that
+      occurrence but still stops all later ones (same tie-break order as
+      one-shot timers: same-instant events run in scheduling order).
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "callback", "args", "cancelled", "fired", "interval", "pending")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        interval: Optional[float] = None,
+    ):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        # Repetition period for repeating timers; None for one-shots.
+        self.interval = interval
+        # True while an occurrence sits in the kernel heap. Distinct from
+        # ``fired``: a repeating timer that already fired is pending again
+        # once re-armed.
+        self.pending = False
 
     def cancel(self) -> None:
-        """Prevent the callback from running, if it has not run yet."""
+        """Prevent the callback from running, if it has not run yet.
+
+        For repeating timers, also stops every future occurrence — valid
+        from any context, including the timer's own callback.
+        """
         self.cancelled = True
 
     @property
     def active(self) -> bool:
-        """True while the timer is pending (not yet fired, not cancelled)."""
-        return not (self.cancelled or self.fired)
+        """True while an occurrence is armed (in the heap, not cancelled).
+
+        Inside its own callback a timer is *not* active: the occurrence was
+        consumed, and for repeating timers the next one is only armed after
+        the callback returns. This is what lets ``if timer.active: return``
+        re-arm guards work without double-scheduling.
+        """
+        return self.pending and not self.cancelled
 
 
 class Kernel:
@@ -86,7 +120,7 @@ class Kernel:
                 f"cannot schedule event at {when:.6f}, current time is {self._now:.6f}"
             )
         timer = Timer(when, callback, args)
-        heapq.heappush(self._heap, (when, next(self._counter), timer))
+        self._push(timer, when)
         return timer
 
     def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
@@ -94,6 +128,25 @@ class Kernel:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.call_at(self._now + delay, callback, *args)
+
+    def call_repeating(self, interval: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` every ``interval`` seconds.
+
+        The first occurrence fires ``interval`` from now. One logical
+        :class:`Timer` handle covers all occurrences, so ``cancel()`` always
+        stops the series — there is no stale-handle window between an
+        occurrence firing and the next being armed, the race that makes
+        hand-rolled "re-arm in the callback" periodic timers drop cancels.
+        """
+        if interval <= 0:
+            raise SimulationError(f"repeating interval must be positive, got {interval!r}")
+        timer = Timer(self._now + interval, callback, args, interval=interval)
+        self._push(timer, timer.time)
+        return timer
+
+    def _push(self, timer: Timer, when: float) -> None:
+        timer.pending = True
+        heapq.heappush(self._heap, (when, next(self._counter), timer))
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``callback(*args)`` at the current instant.
@@ -122,6 +175,7 @@ class Kernel:
                 if until is not None and when > until:
                     break
                 heapq.heappop(self._heap)
+                timer.pending = False
                 if timer.cancelled:
                     continue
                 self._now = when
@@ -130,6 +184,7 @@ class Kernel:
                 if max_events is not None and self._event_count > max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")
                 timer.callback(*timer.args)
+                self._maybe_rearm(timer)
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -140,14 +195,28 @@ class Kernel:
         """Execute a single event. Returns False if the heap is empty."""
         while self._heap:
             when, _seq, timer = heapq.heappop(self._heap)
+            timer.pending = False
             if timer.cancelled:
                 continue
             self._now = when
             timer.fired = True
             self._event_count += 1
             timer.callback(*timer.args)
+            self._maybe_rearm(timer)
             return True
         return False
+
+    def _maybe_rearm(self, timer: Timer) -> None:
+        """Arm a repeating timer's next occurrence.
+
+        Runs *after* the callback returns, so a ``cancel()`` issued inside
+        the callback (or by anything the callback triggered synchronously)
+        is seen here and no duplicate occurrence ever enters the heap.
+        """
+        if timer.interval is None or timer.cancelled:
+            return
+        timer.time = self._now + timer.interval
+        self._push(timer, timer.time)
 
     @property
     def pending_events(self) -> int:

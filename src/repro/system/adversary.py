@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.messages import IntroShare, ResponseShare
+from repro.core.confidentiality import Sensitive
+from repro.core.messages import ClientUpdate, IntroShare, ResponseShare
 from repro.core.replica import ExecutingReplica, ReplicaBase
 from repro.crypto.threshold import PartialSignature
 from repro.errors import ConfigurationError, KeyExfiltrationError
@@ -50,6 +51,10 @@ class LootBag:
     """What the adversary managed to steal from a compromised replica."""
 
     client_keys: Dict[str, object] = field(default_factory=dict)
+    # (start_seq, end_seq) of each leaked key epoch: with key renewal on,
+    # these ranges bound what the stolen keys can ever decrypt — the V + x
+    # disclosure bound the FaultLab invariant checks (Section V-D).
+    client_epochs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     hardware_key_refusals: int = 0
 
 
@@ -97,6 +102,35 @@ class Adversary:
             replica.outbound_filter = None
         if self.deployment.tracer:
             self.deployment.tracer.record("adversary.release", host)
+
+    def exfiltrate_plaintext(self, host: str, dst: Optional[str] = None) -> None:
+        """Forward plaintext from ``host`` to a data-center replica.
+
+        This models a compromised executing replica using its legitimate
+        network access to ship application plaintext off-premises — the
+        exact violation Definition 3 forbids. It exists so FaultLab can
+        *plant* a confidentiality breach and prove the invariant checker
+        catches it; the middleware itself never does this.
+        """
+        replica = self.deployment.replicas.get(host)
+        if replica is None:
+            raise ConfigurationError(f"unknown replica {host!r}")
+        if not isinstance(replica, ExecutingReplica):
+            raise ConfigurationError(
+                f"{host!r} holds no plaintext to exfiltrate (storage replica)"
+            )
+        if dst is None:
+            if not self.deployment.data_center_hosts:
+                raise ConfigurationError("no data-center host to exfiltrate to")
+            dst = self.deployment.data_center_hosts[0]
+        stolen = ClientUpdate(
+            client_id="adversary",
+            client_seq=1,
+            body=Sensitive(b"exfiltrated-state", label="exfiltrated-plaintext"),
+        )
+        self.deployment.network.send(host, dst, stolen)
+        if self.deployment.tracer:
+            self.deployment.tracer.record("adversary.exfiltrate", host, dst=dst)
 
     # -- behaviours ---------------------------------------------------------------
 
@@ -151,6 +185,10 @@ class Adversary:
                 except Exception:
                     continue
                 bag.client_keys[alias] = schedule.latest.keys
+                bag.client_epochs[alias] = (
+                    schedule.latest.start_seq,
+                    schedule.latest.end_seq,
+                )
         try:
             replica.keystore.export_keys()
         except KeyExfiltrationError:

@@ -168,7 +168,7 @@ def build(
         wan_loss_probability=config.wan_loss_probability,
     )
     attacks = AttackController(kernel, overlay, tracer=tracer, network=network)
-    auditor = Auditor()
+    auditor = Auditor(tracer=tracer)
     network.inspector = auditor.inspect_delivery
 
     prime_config = PrimeConfig(

@@ -59,21 +59,25 @@ class RecoveryOrchestrator:
     # -- periodic mode ----------------------------------------------------------
 
     def start_periodic(self, period: float) -> None:
-        """Round-robin recovery: one replica every ``period`` seconds."""
+        """Round-robin recovery: one replica every ``period`` seconds.
+
+        Uses a kernel repeating timer so :meth:`stop_periodic` always stops
+        the series, even when invoked from a callback at the same tick as a
+        recovery (a hand-rolled re-arm would leave a stale handle there).
+        """
         if period <= self.duration:
             raise ConfigurationError("recovery period must exceed recovery duration")
-        self._periodic_timer = self.kernel.call_later(period, self._periodic_tick, period)
+        self._periodic_timer = self.kernel.call_repeating(period, self._periodic_tick)
 
     def stop_periodic(self) -> None:
         if self._periodic_timer is not None:
             self._periodic_timer.cancel()
             self._periodic_timer = None
 
-    def _periodic_tick(self, period: float) -> None:
+    def _periodic_tick(self) -> None:
         host = self._order[self._next_index % len(self._order)]
         self._next_index += 1
         self._begin(host, self.duration)
-        self._periodic_timer = self.kernel.call_later(period, self._periodic_tick, period)
 
     # -- execution ------------------------------------------------------------------
 

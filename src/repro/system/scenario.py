@@ -28,8 +28,13 @@ Schema (all times in seconds)::
       "run_until": 130.0,
       "expect": {"pct_under_200ms": 99.0, "max_latency_ms": 500.0,
                   "all_complete": true, "confidential": true,
-                  "converged": true}
+                  "converged": true, "invariants": true}
     }
+
+``"invariants": true`` attaches the FaultLab invariant checker (see
+``docs/FAULTLAB.md``) for the whole run, with quiescence at the last
+scheduled event; the scenario then also fails on any safety/liveness
+invariant violation.
 """
 
 from __future__ import annotations
@@ -116,9 +121,27 @@ def run_scenario(scenario: Dict[str, Any]) -> ScenarioResult:
         _schedule_event(deployment, adversary, event)
 
     run_until = float(scenario.get("run_until", duration + 5.0))
+    expect = scenario.get("expect", {})
+
+    checker = None
+    if expect.get("invariants"):
+        # Lazy import: repro.faultlab imports from repro.system, so the
+        # checker must be pulled in here, not at module load.
+        from repro.faultlab.invariants import InvariantChecker
+
+        last_event = max(
+            (float(e["at"]) for e in scenario.get("events", [])), default=0.0
+        )
+        checker = InvariantChecker(
+            deployment, adversary, quiesce_at=last_event
+        ).attach()
+
     deployment.run(until=run_until)
 
-    checks = _evaluate(deployment, scenario.get("expect", {}))
+    checks = _evaluate(deployment, expect)
+    if checker is not None:
+        report = checker.finish()
+        checks["invariants hold"] = report.ok
     return ScenarioResult(name=scenario["name"], deployment=deployment, checks=checks)
 
 

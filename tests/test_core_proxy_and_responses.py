@@ -103,6 +103,36 @@ def test_duplicate_retransmission_executes_once(small_system):
     assert replica.executed_seq(alias) == executed_before
 
 
+def test_resend_covers_pipelined_older_sequences(small_system):
+    # The proxy pipelines updates, so the reply to seq n can be lost
+    # while seqs n+1.. complete; replicas must keep a window of recent
+    # responses — a single last-response slot would forget seq n and the
+    # retransmit would never be answered.
+    proxy = next(iter(small_system.proxies.values()))
+    for i in range(3):
+        small_system.kernel.call_later(0.1 + 0.2 * i, proxy.submit, f"SET p {i}".encode())
+    small_system.run(until=2.0)
+    assert set(proxy.completed) == {1, 2, 3}
+    # Pretend the reply to seq 2 was lost: forget it proxy-side and
+    # retransmit the original signed update.
+    from repro.core.messages import ClientUpdate
+
+    unsigned = ClientUpdate(proxy.client_id, 2, Sensitive(b"SET p 1", label="client-update-body"))
+    signed = ClientUpdate(
+        proxy.client_id,
+        2,
+        unsigned.body,
+        proxy._signing_key.sign(unsigned.signing_bytes()),
+    )
+    del proxy.completed[2]
+    proxy._pending[2] = signed
+    proxy._submit_time[2] = small_system.kernel.now
+    replica = small_system.executing_replicas()[0]
+    small_system.network.send(proxy.host, replica.host, signed)
+    small_system.run(until=4.0)
+    assert 2 in proxy.completed
+
+
 def test_gave_up_after_max_retransmits():
     deployment = build(
         SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=1, seed=72)

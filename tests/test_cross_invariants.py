@@ -114,9 +114,10 @@ class TestResponseAuthenticity:
         # once; the cached copy at replicas still verifies.
         replica = conf_run.executing_replicas()[0]
         verified = 0
-        for response in replica._last_response.values():
-            assert conf_run.env.response_public.verify(
-                response.signing_bytes(), response.threshold_sig
-            )
-            verified += 1
+        for cache in replica._response_cache.values():
+            for response in cache.values():
+                assert conf_run.env.response_public.verify(
+                    response.signing_bytes(), response.threshold_sig
+                )
+                verified += 1
         assert verified > 0

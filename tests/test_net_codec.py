@@ -30,6 +30,8 @@ from repro.net.codec import (
     write_varint,
 )
 from repro.prime.messages import (
+    BatchFetch,
+    BatchFetchReply,
     Commit,
     Heartbeat,
     NewView,
@@ -93,6 +95,9 @@ PRIME_MESSAGES = [
     NewView(view=4, start_seq=8, adopted=(PreparedCert(view=4, seq=9, cutoffs={}),)),
     PoFetch(origin="r1#0", seq=2),
     PoFetchReply(request=PoRequest(origin="r1#0", seq=2, update=OpaqueUpdate(digest=b"\x08" * 32, payload=SAMPLE_PLAIN, size=150))),
+    BatchFetch(seqs=(12, 14, 15)),
+    BatchFetch(seqs=()),
+    BatchFetchReply(seq=12, cutoffs={"r0#0": 9, "r1#0": 2}),
 ]
 
 CPITM_MESSAGES = [

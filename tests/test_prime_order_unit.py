@@ -1,10 +1,12 @@
 """Unit tests for global ordering details: digests, batch expansion,
-execution gaps, resume points, garbage collection."""
+execution gaps, resume points, garbage collection, view abandonment,
+and committed-batch reconciliation (gap fills)."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.prime.messages import BatchFetch, BatchFetchReply, Commit, Prepare, PrePrepare
 from repro.prime.order import content_digest
 
 from tests.conftest import PrimeHarness
@@ -67,7 +69,37 @@ class TestBatchExpansion:
         assert order.execution_gap()
         order.committed.clear()
         order.committed[1] = {"r1#0": 1}
-        assert not order.execution_gap()  # contiguous: executable, no gap
+        assert not order.execution_gap()  # shallow backlog: fills repair it
+
+    def test_persistently_blocked_expansion_is_a_gap(self):
+        # A committed backlog is not a gap while po-fetch can still
+        # repair it, but becomes one once the blocking po-requests stay
+        # unfetchable past the timeout (peers pruned them).
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        order = h.engines["r1"].order
+        for seq in range(1, 6):
+            order.committed[seq] = {"ghost#0": seq}
+        order.try_execute()  # blocks on the unfetchable pairs
+        assert not order.execution_gap()  # po-fetch still has its chance
+        h.run(until=1.0)
+        assert order.execution_gap()
+
+    def test_blocked_deep_backlog_signals_lagging(self):
+        # Committed batches whose po-requests cannot be fetched (peers
+        # garbage-collected them) must escalate to state transfer via
+        # the reconciliation tick; po-fetch alone would retry forever.
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        order = h.engines["r1"].order
+        for seq in range(1, 6):
+            order.committed[seq] = {"ghost#0": seq}
+        order.try_execute()
+        assert not h.lagging_reports["r1"]
+        h.run(until=1.5)
+        assert h.lagging_reports["r1"]
 
 
 class TestFastForwardAndGc:
@@ -103,6 +135,141 @@ class TestFastForwardAndGc:
             for (_o, seq) in batch[1]
         }
         assert remaining <= kept_pairs or not remaining
+
+
+def _drive_prepare_quorum(harness, engine, seq=1, view=0, cutoffs=None):
+    """Feed ``engine`` a leader pre-prepare plus enough peer prepares to
+    make it prepared (it then multicasts its commit)."""
+    cutoffs = cutoffs or {"r0#0": 1}
+    leader = harness.config.leader_of(view)
+    digest = content_digest(seq, cutoffs)
+    engine.handle(leader, PrePrepare(view=view, seq=seq, cutoffs=cutoffs))
+    for peer in harness.ids:
+        if peer != engine.replica_id:
+            engine.handle(peer, Prepare(view=view, seq=seq, content_digest=digest))
+    return digest
+
+
+class TestViewAbandonment:
+    """Once a replica operates in view v, agreement in views < v must not
+    conclude at it: its view-change state report was a one-shot snapshot,
+    so anything it prepared or committed afterwards in the old view would
+    be invisible to the new leader — the exact hole that lets two
+    conflicting batches commit at one sequence."""
+
+    def test_commit_quorum_from_abandoned_view_is_refused(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        engine = h.engines["r1"]
+        digest = _drive_prepare_quorum(h, engine, seq=1, view=0)
+        assert (0, 1) in engine.order._prepared
+        # The replica moves on to view 1 before the old view's commit
+        # quorum completes...
+        engine.view = 1
+        for peer in ("r0", "r2", "r3", "r4"):
+            engine.handle(peer, Commit(view=0, seq=1, content_digest=digest))
+        # ...so those commits must not be adopted.
+        assert 1 not in engine.order.committed
+        assert engine.order.last_executed == 0
+
+    def test_commit_quorum_in_current_view_is_adopted(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        engine = h.engines["r1"]
+        digest = _drive_prepare_quorum(h, engine, seq=1, view=0)
+        for peer in ("r0", "r2", "r3", "r4"):
+            engine.handle(peer, Commit(view=0, seq=1, content_digest=digest))
+        assert 1 in engine.order.committed or engine.order.last_executed >= 1
+
+    def test_stale_prepare_quorum_does_not_mark_prepared(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        engine = h.engines["r1"]
+        cutoffs = {"r0#0": 1}
+        digest = content_digest(1, cutoffs)
+        engine.handle("r0", PrePrepare(view=0, seq=1, cutoffs=cutoffs))
+        engine.handle("r2", Prepare(view=0, seq=1, content_digest=digest))
+        engine.view = 1
+        for peer in ("r3", "r4", "r5"):
+            engine.handle(peer, Prepare(view=0, seq=1, content_digest=digest))
+        assert (0, 1) not in engine.order._prepared
+
+
+class TestBatchFill:
+    """Committed-batch reconciliation: ordering messages lost to a
+    partition leave a sequence gap no retransmission repairs; the fill
+    protocol re-fetches the committed content from peers and adopts it on
+    f+1 matching attestations."""
+
+    def test_replica_heals_gap_via_fill(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.isolate("r5")
+        h.start()
+        h.kernel.call_at(0.01, h.inject, "r0", b"lost")
+        h.kernel.call_at(0.30, h.reconnect, "r5")
+        h.kernel.call_at(0.40, h.inject, "r0", b"seen")
+        h.run(until=2.0)
+        # r5 missed batch 1 entirely (pre-prepare, prepares, commits all
+        # dropped); only the fill path can repair a 1-batch gap — the
+        # execution-gap detector needs a deeper backlog to fire.
+        assert h.delivered["r5"] == h.delivered["r0"]
+        assert len(h.delivered["r5"]) == 2
+        assert h.tracer.count(category="prime.filled") >= 1
+
+    def test_single_attestation_is_not_adopted(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        order = h.engines["r1"].order
+        order.on_batch_fetch_reply("r2", BatchFetchReply(seq=1, cutoffs={"r0#0": 1}))
+        assert 1 not in order.committed
+
+    def test_conflicting_attestations_do_not_combine(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        order = h.engines["r1"].order
+        order.on_batch_fetch_reply("r2", BatchFetchReply(seq=1, cutoffs={"r0#0": 1}))
+        order.on_batch_fetch_reply("r3", BatchFetchReply(seq=1, cutoffs={"r0#0": 2}))
+        assert 1 not in order.committed
+
+    def test_f_plus_one_matching_attestations_adopt(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        order = h.engines["r1"].order
+        order.on_batch_fetch_reply("r2", BatchFetchReply(seq=1, cutoffs={"r9#0": 1}))
+        order.on_batch_fetch_reply("r3", BatchFetchReply(seq=1, cutoffs={"r9#0": 1}))
+        assert order.committed.get(1) == {"r9#0": 1}
+
+    def test_server_attests_only_committed_content(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.kernel.call_at(0.01, h.inject, "r0", b"x")
+        h.run(until=1.0)
+        engine = h.engines["r1"]
+        sent = []
+        engine._send = lambda dst, msg: sent.append((dst, msg))
+        # Batch 1 executed: attested from the executed-cutoffs record.
+        engine.order.on_batch_fetch("r4", BatchFetch(seqs=(1,)))
+        assert [m.seq for _d, m in sent] == [1]
+        assert sent[0][0] == "r4"
+        # A sequence never agreed on is not attested.
+        sent.clear()
+        engine.order.on_batch_fetch("r4", BatchFetch(seqs=(99,)))
+        assert sent == []
+
+    def test_missing_committed_seqs_reports_the_gap(self):
+        h = PrimeHarness(n_replicas=6, f=1, k=1)
+        h.start()
+        h.run(until=0.05)
+        order = h.engines["r1"].order
+        assert order.missing_committed_seqs() == []
+        order.committed[5] = {"r0#0": 3}
+        assert order.missing_committed_seqs() == [1, 2, 3, 4]
 
 
 class TestLeaderProposals:

@@ -93,10 +93,13 @@ def test_briefly_isolated_replica_catches_up_from_live_traffic():
     assert len(h.delivered["r0"]) == 2
 
 
-def test_replica_that_missed_batches_reports_lagging():
-    # The engine cannot reconstruct batches it never saw — that is state
-    # transfer's job (CP-ITM layer). It must *detect* the situation and
-    # signal the hosting layer.
+def test_replica_that_missed_batches_signals_lagging_then_heals():
+    # A rejoined replica first *detects* its backlog and signals the
+    # hosting layer (deep catch-up — past garbage collection — is state
+    # transfer's job); the ordering content it merely lost to the
+    # partition it then reconstructs itself via batch-fill
+    # reconciliation, so with peers still holding history it converges
+    # without any state transfer at all.
     h = PrimeHarness(n_replicas=6, f=1, k=1)
     h.start()
     h.kernel.call_at(0.2, h.isolate, "r4")
@@ -107,10 +110,32 @@ def test_replica_that_missed_batches_reports_lagging():
         h.kernel.call_at(1.5 + i * 0.1, h.inject, "r0", f"back{i}".encode())
     h.run(until=4.0)
     assert h.lagging_reports["r4"], "rejoined replica should signal lagging"
-    assert h.engines["r4"].order.execution_gap()
+    assert not h.engines["r4"].order.execution_gap()
+    assert h.delivered["r4"] == h.delivered["r0"]
     # Live replicas are unaffected and consistent.
     assert len(h.delivered["r0"]) == 9
     assert h.delivered["r0"] == h.delivered["r1"]
+
+
+def test_replicas_stranded_in_future_view_pull_the_system_forward():
+    # Two replicas that adopted a view the rest of the system never
+    # moved to cannot participate in the old view (the abandon rule bars
+    # them from its agreement); their ongoing suspicions are f+1
+    # evidence of the higher view and must drag everyone else up —
+    # PBFT's join rule — rather than leave them wedged forever.
+    h = PrimeHarness(n_replicas=6, f=1, k=1)
+    h.start()
+
+    def strand(rid):
+        h.engines[rid].view_change._adopt_view(1, broadcast_state=True)
+
+    h.kernel.call_at(0.2, strand, "r4")
+    h.kernel.call_at(0.2, strand, "r5")
+    h.kernel.call_at(1.5, h.inject, "r0", b"after-rescue")
+    h.run(until=4.0)
+    assert all(e.view >= 1 for e in h.engines.values())
+    for rid in h.ids:
+        assert any(p == b"after-rescue" for _o, p in h.delivered[rid]), rid
 
 
 def test_leader_isolation_behaves_like_crash():

@@ -158,3 +158,111 @@ def test_reentrant_run_raises():
     kernel.call_later(1.0, reenter)
     kernel.run()
     assert len(errors) == 1
+
+
+class TestRepeatingTimers:
+    def test_fires_every_interval(self):
+        kernel = Kernel()
+        times = []
+        kernel.call_repeating(1.0, lambda: times.append(kernel.now))
+        kernel.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_nonpositive_interval_raises(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.call_repeating(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            kernel.call_repeating(-1.0, lambda: None)
+
+    def test_cancel_stops_future_occurrences(self):
+        kernel = Kernel()
+        times = []
+        timer = kernel.call_repeating(1.0, lambda: times.append(kernel.now))
+        kernel.call_at(2.5, timer.cancel)
+        kernel.run(until=5.0)
+        assert times == [1.0, 2.0]
+
+    def test_cancel_inside_own_callback_fires_exactly_once(self):
+        # The edge this API exists for: the kernel decides whether to
+        # re-arm only AFTER the callback returns, so a self-cancel can
+        # never leave a duplicate occurrence armed in the heap.
+        kernel = Kernel()
+        times = []
+        timer = None
+
+        def tick():
+            times.append(kernel.now)
+            timer.cancel()
+
+        timer = kernel.call_repeating(1.0, tick)
+        kernel.run(until=5.0)
+        assert times == [1.0]
+        assert not timer.active
+        assert kernel.pending_events == 0
+
+    def test_same_tick_cancel_from_earlier_callback_suppresses(self):
+        # Tie-break pin: same-instant events run in scheduling order. The
+        # cancel was scheduled BEFORE the repeating timer, so at their
+        # shared tick it runs first and the occurrence never fires.
+        kernel = Kernel()
+        times = []
+        canceller = {}
+        kernel.call_at(1.0, lambda: canceller["t"].cancel())
+        canceller["t"] = kernel.call_repeating(1.0, lambda: times.append(kernel.now))
+        kernel.run(until=3.0)
+        assert times == []
+
+    def test_same_tick_cancel_from_later_callback_is_too_late_for_that_tick(self):
+        # Scheduled AFTER the repeating timer, the same-tick cancel runs
+        # second: this occurrence fires, every later one is suppressed.
+        kernel = Kernel()
+        times = []
+        timer = kernel.call_repeating(1.0, lambda: times.append(kernel.now))
+        kernel.call_at(1.0, timer.cancel)
+        kernel.run(until=3.0)
+        assert times == [1.0]
+
+    def test_not_active_inside_own_callback(self):
+        # The occurrence was consumed and the next isn't armed yet, so
+        # ``if timer.active: return`` re-arm guards can't double-schedule.
+        kernel = Kernel()
+        observed = []
+        timer = None
+
+        def tick():
+            observed.append(timer.active)
+            if len(observed) == 2:
+                timer.cancel()
+
+        timer = kernel.call_repeating(1.0, tick)
+        assert timer.active
+        kernel.run(until=5.0)
+        assert observed == [False, False]
+
+    def test_one_shot_not_active_inside_own_callback(self):
+        kernel = Kernel()
+        observed = []
+        timer = kernel.call_later(1.0, lambda: observed.append(timer.active))
+        kernel.run()
+        assert observed == [False]
+
+    def test_rearm_after_cancel_in_other_same_tick_callback(self):
+        # Cancel-then-rearm at one instant: the replacement series runs,
+        # the cancelled one stays dead. Exercises pending bookkeeping
+        # across cancel() + fresh call_repeating at the same tick.
+        kernel = Kernel()
+        times = []
+        handles = {}
+
+        def tick(tag):
+            times.append((tag, kernel.now))
+
+        def swap():
+            handles["a"].cancel()
+            handles["b"] = kernel.call_repeating(1.0, tick, "b")
+
+        handles["a"] = kernel.call_repeating(1.0, tick, "a")
+        kernel.call_at(1.0, swap)
+        kernel.run(until=3.5)
+        assert times == [("a", 1.0), ("b", 2.0), ("b", 3.0)]

@@ -1,0 +1,187 @@
+"""Negative paths: state transfer and recovery must refuse bad evidence.
+
+A requester may only install transferred state backed by f+1 agreeing
+responses — anything less could be a fabrication by the f replicas the
+threat model lets the adversary control. These tests drive the requester
+side of :class:`repro.core.state_transfer.StateTransferManager` with
+hand-crafted disagreeing responses and assert nothing is installed, plus
+the recovery-orchestrator edges around the one-at-a-time rule.
+"""
+
+import pytest
+
+from repro.core.messages import CheckpointMsg, ResumePoint, StateXferResponse
+from repro.errors import ConfigurationError
+from repro.system import Mode, SystemConfig, build
+
+
+@pytest.fixture
+def deployment():
+    dep = build(SystemConfig(mode=Mode.CONFIDENTIAL, f=1, num_clients=2, seed=41))
+    dep.start()
+    return dep
+
+
+def _checkpoint(ordinal: int, blob: bytes, signer: str) -> CheckpointMsg:
+    resume = ResumePoint(batch_seq=ordinal, ordinal=ordinal * 5, ordered_through=())
+    return CheckpointMsg(ordinal=ordinal, resume=resume, blob=blob, signer=signer)
+
+
+def _response(requester, nonce, responder, checkpoint):
+    return StateXferResponse(
+        requester=requester,
+        nonce=nonce,
+        checkpoint=checkpoint,
+        batches=(),
+        view=0,
+        responder=responder,
+    )
+
+
+def _initiate(replica):
+    replica.xfer.initiate(reason="test")
+    assert replica.xfer.in_progress
+    return replica.xfer._active_nonce
+
+
+class TestInsufficientAgreement:
+    def test_conflicting_checkpoints_are_not_installed(self, deployment):
+        # f=1 needs f+1=2 matching responses; two responders that disagree
+        # on the checkpoint blob give no ordinal a quorum.
+        replica = deployment.replicas[deployment.on_premises_hosts[0]]
+        nonce = _initiate(replica)
+        before = replica.executed_ordinal()
+        replica.xfer.on_response(
+            "cc-b-r0", _response(replica.host, nonce, "cc-b-r0",
+                                 _checkpoint(3, b"blob-A", "cc-b-r0"))
+        )
+        replica.xfer.on_response(
+            "cc-b-r1", _response(replica.host, nonce, "cc-b-r1",
+                                 _checkpoint(3, b"blob-B", "cc-b-r1"))
+        )
+        assert replica.xfer.in_progress          # still waiting, not installed
+        assert replica.xfer.completed_count == 0
+        assert replica.executed_ordinal() == before
+        insufficient = list(
+            deployment.tracer.select("xfer.insufficient", host=replica.host)
+        )
+        assert insufficient
+        assert insufficient[-1].detail["threshold"] == 2
+
+    def test_lone_response_below_threshold_does_nothing(self, deployment):
+        replica = deployment.replicas[deployment.on_premises_hosts[0]]
+        nonce = _initiate(replica)
+        replica.xfer.on_response(
+            "cc-b-r0", _response(replica.host, nonce, "cc-b-r0",
+                                 _checkpoint(2, b"blob", "cc-b-r0"))
+        )
+        # Below f+1 responses the assembler is not even consulted.
+        assert replica.xfer.in_progress
+        assert replica.xfer.completed_count == 0
+        assert not list(deployment.tracer.select("xfer.insufficient"))
+
+    def test_none_vs_checkpoint_split_is_no_agreement(self, deployment):
+        # One responder claims "no checkpoint yet", another offers one:
+        # neither claim reaches f+1, so nothing may be believed.
+        replica = deployment.replicas[deployment.on_premises_hosts[0]]
+        nonce = _initiate(replica)
+        replica.xfer.on_response(
+            "cc-b-r0", _response(replica.host, nonce, "cc-b-r0", None)
+        )
+        replica.xfer.on_response(
+            "cc-b-r1", _response(replica.host, nonce, "cc-b-r1",
+                                 _checkpoint(1, b"blob", "cc-b-r1"))
+        )
+        assert replica.xfer.in_progress
+        assert replica.xfer.completed_count == 0
+        assert list(deployment.tracer.select("xfer.insufficient"))
+
+    def test_agreement_after_disagreement_installs(self, deployment):
+        # A third response matching one of the two camps tips that camp to
+        # f+1 and the transfer completes — the refusal is about evidence,
+        # not a latch. (Requester is a storage replica: it keeps the blob
+        # opaque, so a synthetic checkpoint installs without decryption.)
+        replica = deployment.replicas[deployment.data_center_hosts[0]]
+        nonce = _initiate(replica)
+        agreed = _checkpoint(3, b"blob-A", "x")
+        replica.xfer.on_response(
+            "cc-b-r0", _response(replica.host, nonce, "cc-b-r0", agreed)
+        )
+        replica.xfer.on_response(
+            "cc-b-r1", _response(replica.host, nonce, "cc-b-r1",
+                                 _checkpoint(3, b"blob-B", "cc-b-r1"))
+        )
+        assert replica.xfer.in_progress
+        replica.xfer.on_response(
+            "cc-a-r1", _response(replica.host, nonce, "cc-a-r1", agreed)
+        )
+        assert not replica.xfer.in_progress
+        assert replica.xfer.completed_count == 1
+
+    def test_stale_nonce_responses_ignored(self, deployment):
+        replica = deployment.replicas[deployment.on_premises_hosts[0]]
+        nonce = _initiate(replica)
+        for responder in ("cc-b-r0", "cc-b-r1"):
+            replica.xfer.on_response(
+                responder,
+                _response(replica.host, nonce + 7, responder,
+                          _checkpoint(9, b"stale", responder)),
+            )
+        assert replica.xfer.completed_count == 0
+        assert replica.xfer._responses.get(nonce + 7) is None
+
+
+class TestRecoveryNegativePaths:
+    def test_concurrent_recovery_skipped_not_queued(self, deployment):
+        hosts = deployment.on_premises_hosts[:2]
+        deployment.recovery.schedule_recovery(hosts[0], 1.0, duration=4.0)
+        deployment.recovery.schedule_recovery(hosts[1], 2.0, duration=4.0)
+        deployment.run(until=3.0)
+        assert deployment.recovery.in_progress == hosts[0]
+        skipped = list(deployment.tracer.select("recovery.skipped"))
+        assert [e.host for e in skipped] == [hosts[1]]
+        assert skipped[0].detail["busy_with"] == hosts[0]
+        # The skipped replica never went down.
+        assert deployment.replicas[hosts[1]].online
+
+    def test_unknown_replica_recovery_rejected(self, deployment):
+        with pytest.raises(ConfigurationError):
+            deployment.recovery.schedule_recovery("no-such-host", 1.0)
+
+    def test_periodic_period_must_exceed_duration(self, deployment):
+        deployment.recovery.duration = 5.0
+        with pytest.raises(ConfigurationError):
+            deployment.recovery.start_periodic(4.0)
+
+    def test_stop_periodic_at_recovery_tick_stops_series(self, deployment):
+        # The repeating-timer migration pins this: stopping the series from
+        # a callback at the same tick as a recovery must actually stop it.
+        deployment.recovery.duration = 0.5
+        deployment.recovery.start_periodic(2.0)
+        deployment.kernel.call_at(2.0, deployment.recovery.stop_periodic)
+        deployment.run(until=9.0)
+        assert len(deployment.recovery.completed) <= 1
+        begins = deployment.tracer.count("recovery.begin")
+        assert begins <= 1
+
+    def test_recovered_replica_does_not_install_unagreed_state(self, deployment):
+        # Recovery wipes state; catch-up must still demand f+1 agreement.
+        host = deployment.on_premises_hosts[1]
+        replica = deployment.replicas[host]
+        replica.go_down()
+        deployment.run(until=0.5)
+        replica.recover()
+        nonce = replica.xfer._active_nonce
+        if nonce is None:
+            replica.xfer.initiate(reason="test")
+            nonce = replica.xfer._active_nonce
+        replica.xfer.on_response(
+            "cc-b-r0", _response(host, nonce, "cc-b-r0",
+                                 _checkpoint(5, b"forged-1", "cc-b-r0"))
+        )
+        replica.xfer.on_response(
+            "cc-b-r1", _response(host, nonce, "cc-b-r1",
+                                 _checkpoint(5, b"forged-2", "cc-b-r1"))
+        )
+        assert replica.xfer.completed_count == 0
+        assert replica.engine.catching_up

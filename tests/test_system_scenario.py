@@ -106,6 +106,22 @@ class TestRunning:
         assert result.passed
 
 
+class TestInvariantExpectation:
+    def test_invariants_expectation_attaches_checker(self):
+        scenario = small_scenario(
+            expect={"all_complete": True, "invariants": True},
+            events=[
+                {"at": 2.0, "action": "compromise", "replica": "cc-a-r0",
+                 "behaviors": ["mute"]},
+                {"at": 4.0, "action": "release", "replica": "cc-a-r0"},
+            ],
+            run_until=13.0,
+        )
+        result = run_scenario(scenario)
+        assert "invariants hold" in result.checks
+        assert result.passed, result.summary()
+
+
 class TestFileLoading:
     def test_load_from_disk(self, tmp_path):
         path = tmp_path / "scenario.json"
