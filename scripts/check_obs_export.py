@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate an observability bundle written by ``repro obs`` / ``--obs-out``.
+
+Checks, per artifact:
+
+* ``metrics.prom``  — parses as Prometheus text exposition: every sample
+  line belongs to a ``# TYPE`` family, counters end in ``_total``, values
+  are finite numbers, and the pipeline's four layers (net, prime, core,
+  crypto) are all represented.
+* ``metrics.jsonl`` / ``spans.jsonl`` / ``trace.jsonl`` — every line is a
+  JSON object carrying the required keys for its ``kind``.
+* ``trace.json``    — Chrome ``trace_event`` JSON: complete ("X") events
+  with numeric ts/dur, and every phase slice nested inside its update
+  slice's bounds.
+
+Exit code 0 when the bundle is well-formed; 1 with a per-file error list
+otherwise. Used by CI (see .github/workflows/ci.yml) and by the export
+tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
+)
+TYPE_RE = re.compile(r"^# TYPE (?P<name>\S+) (?P<kind>counter|gauge|summary)$")
+
+REQUIRED_JSONL_KEYS = {
+    "counter": {"name", "labels", "value"},
+    "gauge": {"name", "labels", "value"},
+    "histogram": {"name", "labels", "count", "sum", "p50", "p99", "p99_9"},
+    "span": {"alias", "client", "client_seq", "start", "status", "marks", "phases"},
+    "trace": {"time", "category", "host", "detail"},
+}
+
+#: Counter-name prefixes that prove each pipeline layer is instrumented.
+REQUIRED_LAYERS = ("net_", "prime_", "intro_", "proxy_", "crypto_")
+
+
+def check_prometheus(path: Path, errors: list) -> None:
+    families: dict = {}
+    layer_hits = set()
+    for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line or line.startswith("#"):
+            match = TYPE_RE.match(line)
+            if match:
+                families[match.group("name")] = match.group("kind")
+            continue
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"{path.name}:{line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"{path.name}:{line_no}: non-numeric value {line!r}")
+            continue
+        if not math.isfinite(value):
+            errors.append(f"{path.name}:{line_no}: non-finite value {line!r}")
+        family = name
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+        if family not in families:
+            errors.append(f"{path.name}:{line_no}: sample {name} has no # TYPE")
+        elif families[family] == "counter" and not name.endswith("_total"):
+            errors.append(f"{path.name}:{line_no}: counter {name} lacks _total")
+        for prefix in REQUIRED_LAYERS:
+            if name.startswith(prefix):
+                layer_hits.add(prefix)
+    for prefix in REQUIRED_LAYERS:
+        if prefix not in layer_hits:
+            errors.append(f"{path.name}: no metrics from layer {prefix!r}")
+
+
+def check_jsonl(path: Path, errors: list, kinds: set) -> None:
+    seen = 0
+    for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path.name}:{line_no}: invalid JSON ({exc})")
+            continue
+        kind = row.get("kind")
+        if kind not in kinds:
+            errors.append(f"{path.name}:{line_no}: unexpected kind {kind!r}")
+            continue
+        missing = REQUIRED_JSONL_KEYS[kind] - row.keys()
+        if missing:
+            errors.append(
+                f"{path.name}:{line_no}: {kind} row missing {sorted(missing)}"
+            )
+        seen += 1
+    if seen == 0:
+        errors.append(f"{path.name}: no rows")
+
+
+def check_chrome_trace(path: Path, errors: list) -> None:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        errors.append(f"{path.name}: invalid JSON ({exc})")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append(f"{path.name}: traceEvents missing or empty")
+        return
+    updates = {}  # (tid, overlapping range) lookup is by containment below
+    slices = []
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            errors.append(f"{path.name}: event {index} has unexpected ph {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        for field in ("ts", "dur"):
+            if not isinstance(event.get(field), (int, float)):
+                errors.append(f"{path.name}: event {index} missing numeric {field}")
+        if event.get("cat") == "update":
+            updates.setdefault(event.get("tid"), []).append(event)
+        elif event.get("cat") == "phase":
+            slices.append(event)
+        else:
+            errors.append(f"{path.name}: event {index} has unknown cat")
+    if not updates:
+        errors.append(f"{path.name}: no update slices")
+    if not slices:
+        errors.append(f"{path.name}: no nested phase slices")
+    eps = 1e-6
+    for phase in slices:
+        parents = updates.get(phase.get("tid"), [])
+        start, end = phase["ts"], phase["ts"] + phase["dur"]
+        if not any(
+            parent["ts"] - eps <= start and end <= parent["ts"] + parent["dur"] + eps
+            for parent in parents
+        ):
+            errors.append(
+                f"{path.name}: phase slice {phase.get('name')!r} at ts={start} "
+                "is not nested inside any update slice on its lane"
+            )
+
+
+def check_bundle(bundle_dir: str) -> list:
+    root = Path(bundle_dir)
+    errors: list = []
+    expected = {
+        "metrics.prom": lambda p: check_prometheus(p, errors),
+        "metrics.jsonl": lambda p: check_jsonl(
+            p, errors, {"counter", "gauge", "histogram"}
+        ),
+        "spans.jsonl": lambda p: check_jsonl(p, errors, {"span"}),
+        "trace.jsonl": lambda p: check_jsonl(p, errors, {"trace"}),
+        "trace.json": lambda p: check_chrome_trace(p, errors),
+    }
+    for name, checker in expected.items():
+        path = root / name
+        if not path.is_file():
+            errors.append(f"{name}: missing")
+            continue
+        checker(path)
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} BUNDLE_DIR", file=sys.stderr)
+        return 2
+    errors = check_bundle(argv[1])
+    if errors:
+        for error in errors:
+            print(f"FAIL {error}")
+        return 1
+    print(f"OK {argv[1]}: observability bundle is well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -52,6 +52,26 @@ def traffic_summary(network: Network) -> TrafficSummary:
     )
 
 
+def span_phase_table(spans) -> str:
+    """Plain-text per-phase latency breakdown from a SpanTracker.
+
+    Phase means are an exact decomposition of the end-to-end mean, so the
+    table always "adds up"; the share column shows where the time goes.
+    """
+    summary = spans.phase_summary()
+    if summary["count"] == 0:
+        return "latency by phase: no completed updates"
+    mean = summary["mean_latency"]
+    lines = [
+        f"latency by phase ({summary['count']} completed updates, "
+        f"mean {mean * 1000:.2f} ms):"
+    ]
+    for phase, value in summary["phases"].items():
+        share = value / mean if mean else 0.0
+        lines.append(f"  {phase:8s} {value * 1000:8.2f} ms  {share * 100:5.1f}%")
+    return "\n".join(lines)
+
+
 def trace_category_counts(tracer: Tracer) -> Dict[str, int]:
     """How often each trace category fired (protocol activity profile)."""
     counts: Dict[str, int] = {}

@@ -7,10 +7,15 @@ Usage (also via ``python -m repro``)::
     python -m repro run --attack leader-site --duration 120
     python -m repro table1
     python -m repro compare --duration 30
+    python -m repro obs --duration 20 --out obs-bundle/
 
 ``run`` builds a deployment, drives the paper's workload, and prints the
 latency row, the traffic summary, and the confidentiality audit. The
-``--csv`` flag dumps the per-update latency record for plotting.
+``--csv`` flag dumps the per-update latency record for plotting. ``obs``
+runs the same workload and exports the full observability bundle
+(Prometheus text, JSONL metrics/spans/trace, Chrome trace_event JSON);
+``run``/``scenario`` accept ``--trace-out`` and ``--obs-out`` for the
+same artifacts alongside their normal reports.
 """
 
 from __future__ import annotations
@@ -47,12 +52,28 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--csv", action="store_true", help="dump latency CSV instead of a report")
     run.add_argument("--histogram", action="store_true", help="include an ASCII latency histogram")
     run.add_argument("--html", metavar="PATH", help="also write a self-contained HTML report")
+    _add_obs_args(run)
 
     sub.add_parser("table1", help="print Table I (replica distributions)")
+
+    obs = sub.add_parser(
+        "obs", help="run a deployment and export the observability bundle"
+    )
+    obs.add_argument("--mode", choices=[m.value for m in Mode], default="confidential")
+    obs.add_argument("--f", dest="f", type=int, default=1)
+    obs.add_argument("--data-centers", type=int, default=2)
+    obs.add_argument("--clients", type=int, default=10)
+    obs.add_argument("--duration", type=float, default=30.0)
+    obs.add_argument("--seed", type=int, default=1)
+    obs.add_argument("--interval", type=float, default=1.0)
+    obs.add_argument("--attack", choices=ATTACKS, default="none")
+    obs.add_argument("--out", required=True, metavar="DIR",
+                     help="directory for metrics.prom / *.jsonl / trace.json")
 
     scenario = sub.add_parser("scenario", help="run a declarative scenario file")
     scenario.add_argument("path", help="JSON scenario (see repro.system.scenario)")
     scenario.add_argument("--html", metavar="PATH", help="write an HTML report")
+    _add_obs_args(scenario)
 
     compare = sub.add_parser("compare", help="Spire vs Confidential Spire, side by side")
     compare.add_argument("--f", dest="f", type=int, default=1)
@@ -84,7 +105,33 @@ def make_parser() -> argparse.ArgumentParser:
                                "shrunk failure")
     faultlab.add_argument("--json", action="store_true",
                           help="print failing schedules as JSON")
+    faultlab.add_argument("--windows", action="store_true",
+                          help="print per-fault-window metric deltas")
+    faultlab.add_argument("--obs-out", metavar="DIR",
+                          help="write an observability bundle per seed "
+                               "(DIR/seed-N/)")
     return parser
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write the raw trace-event stream as JSONL")
+    parser.add_argument("--obs-out", metavar="DIR",
+                        help="write the observability bundle "
+                             "(metrics.prom, *.jsonl, trace.json)")
+
+
+def _write_obs_outputs(deployment, trace_out=None, obs_out=None) -> None:
+    if trace_out:
+        from repro.obs import tracer_jsonl_rows, write_jsonl
+
+        count = write_jsonl(trace_out, tracer_jsonl_rows(deployment.tracer.events))
+        print(f"trace: {count} events written to {trace_out}")
+    if obs_out:
+        from repro.obs import write_bundle
+
+        paths = write_bundle(deployment, obs_out)
+        print(f"obs bundle: {len(paths)} artifacts written to {obs_out}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -97,6 +144,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario(args)
     if args.command == "faultlab":
         return _cmd_faultlab(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return _cmd_run(args)
 
 
@@ -125,8 +174,17 @@ def _cmd_faultlab(args: argparse.Namespace) -> int:
         schedule = schedule_for_seed(seed, lab)
         if args.plant_leak:
             schedule = plant_leak(schedule)
-        result = run_schedule(schedule, lab)
+        result = run_schedule(schedule, lab, keep_deployment=bool(args.obs_out))
         print(result.summary())
+        if args.windows:
+            for window in result.metric_windows:
+                print("   ", window.describe())
+        if args.obs_out:
+            from repro.obs import write_bundle
+
+            import os
+
+            write_bundle(result.deployment, os.path.join(args.obs_out, f"seed-{seed}"))
         if not result.ok:
             failures.append((schedule, result))
             for violation in result.report.violations:
@@ -169,6 +227,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
         write_report(result.deployment, args.html, title=f"Scenario: {result.name}")
         print(f"HTML report written to {args.html}")
+    _write_obs_outputs(result.deployment, args.trace_out, args.obs_out)
     return 0 if result.passed else 1
 
 
@@ -216,6 +275,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"views: {views}; outstanding updates: "
           f"{sum(p.outstanding for p in deployment.proxies.values())}")
     print(analysis.exposure_report(deployment.auditor, deployment.data_center_hosts))
+    if deployment.spans is not None:
+        print(analysis.span_phase_table(deployment.spans))
     if args.histogram:
         print()
         print(analysis.latency_histogram(deployment.recorder))
@@ -224,6 +285,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         write_report(deployment, args.html)
         print(f"HTML report written to {args.html}")
+    _write_obs_outputs(deployment, args.trace_out, args.obs_out)
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import write_bundle
+
+    config = SystemConfig(
+        mode=Mode(args.mode),
+        f=args.f,
+        data_centers=args.data_centers,
+        num_clients=args.clients,
+        seed=args.seed,
+        update_interval=args.interval,
+    )
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=args.duration)
+    _install_attack(deployment, args.attack, args.duration)
+    deployment.run(until=args.duration + 5.0)
+
+    paths = write_bundle(deployment, args.out)
+    print(f"deployment: {args.mode} {deployment.plan.label()} (seed {args.seed})")
+    print(deployment.recorder.stats().row(f"{args.mode} f={args.f}"))
+    print(analysis.span_phase_table(deployment.spans))
+    for name in sorted(paths):
+        print(f"  wrote {paths[name]}")
     return 0
 
 

@@ -35,6 +35,11 @@ class CheckpointManager:
 
     def __init__(self, replica: "ReplicaBase", interval: int):
         self._replica = replica
+        metrics = replica.metrics
+        self._m_generated = metrics.counter("checkpoint.generated")
+        self._m_correct = metrics.counter("checkpoint.correct")
+        self._m_stable = metrics.counter("checkpoint.stable")
+        self._g_stable = metrics.gauge("checkpoint.stable_ordinal", host=replica.host)
         self.interval = interval
         self._votes: Dict[VoteKey, Set[str]] = {}
         self._messages: Dict[VoteKey, CheckpointMsg] = {}
@@ -63,6 +68,7 @@ class CheckpointManager:
             ordinal=ordinal, resume=resume, blob=blob, signer=replica.host
         )
         self.generated_count += 1
+        self._m_generated.inc()
         replica.after(cost, self._broadcast, message)
 
     def _broadcast(self, message: CheckpointMsg) -> None:
@@ -87,6 +93,7 @@ class CheckpointManager:
         f_plus_1 = replica.f + 1
         if len(votes) >= f_plus_1 and message.ordinal not in self.correct:
             self.correct[message.ordinal] = self._messages[key]
+            self._m_correct.inc()
             replica.trace("checkpoint.correct", ordinal=message.ordinal)
             if not replica.hosts_application and key not in self._relayed:
                 # Data-center relay: vouch for the correct checkpoint so it
@@ -114,6 +121,8 @@ class CheckpointManager:
         if replica.executed_ordinal() < message.ordinal:
             return
         self.stable = message
+        self._m_stable.inc()
+        self._g_stable.set(message.ordinal)
         replica.trace("checkpoint.stable", ordinal=message.ordinal)
         self._garbage_collect(message)
 

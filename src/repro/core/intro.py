@@ -45,6 +45,14 @@ class IntroductionManager:
 
     def __init__(self, replica: "ExecutingReplica", failover_delay: float = 0.120):
         self._replica = replica
+        metrics = replica.metrics
+        self._m_rsa_verify = metrics.counter("crypto.rsa.verify", op="client-update")
+        self._m_aes_encrypt = metrics.counter("crypto.aes.encrypt")
+        self._m_partial = metrics.counter("crypto.threshold.partial", op="intro")
+        self._m_combine = metrics.counter("crypto.threshold.combine", op="intro")
+        self._m_shares = metrics.counter("intro.shares_received")
+        self._m_injected = metrics.counter("intro.injected")
+        self._m_failovers = metrics.counter("intro.failovers")
         self.failover_delay = failover_delay
         self._shares: Dict[Tuple[str, int, bytes], Dict[int, object]] = {}
         self._assembled: Dict[IntroKey, EncryptedUpdate] = {}
@@ -63,6 +71,7 @@ class IntroductionManager:
             replica.trace("intro.unknown-client", client=update.client_id)
             return
         cost = replica.costs.rsa_verify
+        self._m_rsa_verify.inc()
         replica.after(cost, self._verified_update, update, public)
 
     def _verified_update(self, update: ClientUpdate, public) -> None:
@@ -95,6 +104,7 @@ class IntroductionManager:
             replica.trace("intro.awaiting-key", alias=alias, seq=update.client_seq)
             return
         packed = pack_update(update.client_id, update.client_seq, update.body.data)
+        self._m_aes_encrypt.inc()
         ciphertext = replica.key_manager.encrypt_update(alias, update.client_seq, packed)
         encrypted = EncryptedUpdate(
             alias=alias, client_seq=update.client_seq, ciphertext=ciphertext
@@ -106,6 +116,7 @@ class IntroductionManager:
         replica = self._replica
         if not replica.online:
             return
+        self._m_partial.inc()
         partial = replica.intro_share.sign_partial(encrypted.signing_bytes())
         share = IntroShare(
             alias=encrypted.alias,
@@ -120,6 +131,7 @@ class IntroductionManager:
 
     def on_intro_share(self, src: str, share: IntroShare) -> None:
         replica = self._replica
+        self._m_shares.inc()
         key = (share.alias, share.client_seq)
         if key in self._done:
             return
@@ -150,6 +162,7 @@ class IntroductionManager:
         self._failover_timers.pop(key, None)
         if key in self._done or key in self._injected or not self._replica.online:
             return
+        self._m_failovers.inc()
         self._replica.trace("intro.failover", alias=key[0], seq=key[1])
         self._combine_and_inject(key)
 
@@ -164,6 +177,7 @@ class IntroductionManager:
         partials = list(self._shares.get(vote_key, {}).values())
         if len(partials) < replica.intro_public.threshold:
             return
+        self._m_combine.inc()
         try:
             signature = combine_with_retry(
                 replica.intro_public, encrypted.signing_bytes(), partials
@@ -181,6 +195,7 @@ class IntroductionManager:
             threshold_sig=signature,
         )
         self._injected.add(key)
+        self._m_injected.inc()
         replica.engine.inject(
             OpaqueUpdate(digest=signed.digest(), payload=signed, size=signed.wire_size())
         )
@@ -210,9 +225,13 @@ class IntroductionManager:
         if update is None or key in self._done or key in self._injected:
             return
         self._injected.add(key)
+        self._m_injected.inc()
         self._replica.engine.inject(
             OpaqueUpdate(digest=update.digest(), payload=update, size=update.wire_size())
         )
+        # Same span milestone as the confidential path: the update entered
+        # Prime here, whatever authenticated it.
+        self._replica.trace("intro.injected", alias=key[0], seq=key[1])
 
     # -- shared plumbing ------------------------------------------------------------------
 

@@ -43,6 +43,11 @@ class KeyRenewalManager:
         enabled: bool = False,
     ):
         self._replica = replica
+        metrics = replica.metrics
+        self._m_proposals = metrics.counter("keyrenew.proposals")
+        self._m_completed = metrics.counter("keyrenew.completed")
+        self._m_hw_encrypt = metrics.counter("crypto.hw.encrypt")
+        self._m_hw_decrypt = metrics.counter("crypto.hw.decrypt")
         self.validity = validity
         self.slack = slack
         self.enabled = enabled
@@ -76,6 +81,8 @@ class KeyRenewalManager:
     def _propose(self, alias: str, range_start: int, range_end: int) -> None:
         replica = self._replica
         seed = replica.draw_random_bytes(32)
+        self._m_proposals.inc()
+        self._m_hw_encrypt.inc()
         encrypted_seed = replica.keystore.hardware_encrypt(seed)
         proposal = KeyProposal(
             alias=alias,
@@ -112,6 +119,7 @@ class KeyRenewalManager:
         seeds = self._pending.setdefault(range_key, [])
         if any(proposer == proposal.proposer for proposer, _ in seeds):
             return
+        self._m_hw_decrypt.inc()
         seed = replica.keystore.hardware_decrypt(proposal.encrypted_seed)
         seeds.append((proposal.proposer, seed))
         if len(seeds) >= replica.f + 1:
@@ -149,6 +157,7 @@ class KeyRenewalManager:
         self._completed.add(range_key)
         self._pending.pop(range_key, None)
         self.renewals_completed += 1
+        self._m_completed.inc()
         replica.trace(
             "keyrenew.complete", alias=proposal.alias, start=proposal.range_start
         )

@@ -16,11 +16,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.confidentiality import Sensitive
-from repro.core.messages import ClientResponse, ClientUpdate
+from repro.core.messages import ClientResponse, ClientUpdate, client_alias
 from repro.costs import CostModel
 from repro.crypto.rsa import RsaKeyPair
 from repro.crypto.threshold import ThresholdPublicKey
 from repro.net.network import Network
+from repro.obs.registry import NULL_METRICS
 from repro.sim.kernel import Kernel
 
 ResponseCallback = Callable[[int, bytes, float], None]
@@ -42,11 +43,21 @@ class ClientProxy:
         retransmit_timeout: float = 1.0,
         max_retransmits: int = 10,
         tracer=None,
+        metrics=None,
     ):
         self.kernel = kernel
         self.network = network
         self.host = host
         self.client_id = client_id
+        self.alias = client_alias(client_id)
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_submitted = metrics.counter("proxy.submitted")
+        self._m_completed = metrics.counter("proxy.completed")
+        self._m_retransmits = metrics.counter("proxy.retransmits")
+        self._m_gave_up = metrics.counter("proxy.gave_up")
+        self._m_latency = metrics.histogram("proxy.latency")
+        self._m_rsa_sign = metrics.counter("crypto.rsa.sign", site="proxy")
+        self._m_thresh_verify = metrics.counter("crypto.threshold.verify", site="proxy")
         self._signing_key = signing_key
         self._response_public = response_public
         self._replicas = list(on_premises_replicas)
@@ -92,6 +103,18 @@ class ClientProxy:
         self._pending[seq] = signed
         self._submit_time[seq] = self.kernel.now
         self._retransmit_counts[seq] = 0
+        self._m_submitted.inc()
+        self._m_rsa_sign.inc()
+        if self.tracer:
+            # Span-open milestone: carries both identities so span tracking
+            # can map this proxy host to the update's alias stream.
+            self.tracer.record(
+                "proxy.submit",
+                self.host,
+                client=self.client_id,
+                alias=self.alias,
+                seq=seq,
+            )
         self.kernel.call_later(self.costs.rsa_sign, self._send, seq)
         return seq
 
@@ -111,12 +134,14 @@ class ClientProxy:
             return
         count = self._retransmit_counts.get(seq, 0)
         if count >= self.max_retransmits:
+            self._m_gave_up.inc()
             if self.tracer:
                 self.tracer.record("proxy.gave-up", self.host, seq=seq)
             del self._pending[seq]
             return
         self._retransmit_counts[seq] = count + 1
         self.retransmissions += 1
+        self._m_retransmits.inc()
         if self.tracer:
             self.tracer.record("proxy.retransmit", self.host, seq=seq)
         self._send(seq)
@@ -139,6 +164,7 @@ class ClientProxy:
         seq = message.client_seq
         if seq not in self._pending:
             return
+        self._m_thresh_verify.inc()
         if not self._response_public.verify(
             message.signing_bytes(), message.threshold_sig
         ):
@@ -151,6 +177,8 @@ class ClientProxy:
         if timer is not None:
             timer.cancel()
         self.completed[seq] = (latency, message.body.data)
+        self._m_completed.inc()
+        self._m_latency.observe(latency)
         if self.tracer:
             self.tracer.record("proxy.complete", self.host, seq=seq, latency=latency)
         for callback in self._response_callbacks:

@@ -55,6 +55,7 @@ from repro.crypto.threshold import (
 )
 from repro.errors import ProtocolError, SignatureError
 from repro.net.network import Network
+from repro.obs.registry import NULL_METRICS
 from repro.prime.config import PrimeConfig
 from repro.sim.cpu import Cpu
 from repro.prime.engine import PrimeReplica
@@ -145,6 +146,7 @@ class ReplicaEnv:
     tracer: Optional[object] = None
     auditor: Optional[Auditor] = None
     rng: Optional[object] = None
+    metrics: Optional[object] = None
 
 
 class ClientProgress:
@@ -203,6 +205,7 @@ class ReplicaBase:
         self.kernel = env.kernel
         self.costs = env.costs
         self.confidential = env.confidential
+        self.metrics = env.metrics if env.metrics is not None else NULL_METRICS
         self.online = False
         self.incarnation = 0
         self.cpu = Cpu(env.kernel)
@@ -253,6 +256,7 @@ class ReplicaBase:
             costs=self.costs,
             tracer=self.env.tracer,
             incarnation=self.incarnation,
+            metrics=self.env.metrics,
         )
 
     def start(self) -> None:
@@ -578,6 +582,14 @@ class ExecutingReplica(ReplicaBase):
         self._response_shares: Dict[Tuple[str, int, bytes], Dict[int, PartialSignature]] = {}
         self._pending_responses: Dict[Tuple[str, int], bytes] = {}
         self._responses_combined: Set[Tuple[str, int]] = set()
+        metrics = self.metrics
+        self._m_executed = metrics.counter("replica.updates_executed")
+        self._m_resp_partial = metrics.counter("crypto.threshold.partial", op="response")
+        self._m_resp_combine = metrics.counter("crypto.threshold.combine", op="response")
+        self._m_resp_combined = metrics.counter("response.combined")
+        self._m_aes_decrypt = metrics.counter("crypto.aes.decrypt")
+        self._m_hw_encrypt = metrics.counter("crypto.hw.encrypt")
+        self._m_hw_decrypt = metrics.counter("crypto.hw.decrypt")
         self._install_initial_keys()
 
     @property
@@ -636,6 +648,7 @@ class ExecutingReplica(ReplicaBase):
         packed = self.key_manager.decrypt_update(
             payload.alias, payload.client_seq, payload.ciphertext
         )
+        self._m_aes_decrypt.inc()
         client_id, client_seq, body = unpack_update(packed)
         self.observe_plaintext("client-update-body", channel="decryption")
         self._apply_update(
@@ -665,6 +678,7 @@ class ExecutingReplica(ReplicaBase):
         self._mark_executed(alias, client_seq)
         self.intro.mark_executed(alias, client_seq)
         self.renewal.on_client_progress(alias)
+        self._m_executed.inc()
         self.trace("replica.executed", client=alias, seq=client_seq)
         if response_body is not None:
             cost = extra_cost + self.costs.app_execute + self.costs.threshold_partial
@@ -682,6 +696,7 @@ class ExecutingReplica(ReplicaBase):
             threshold_sig=b"",
         )
         signing = response.signing_bytes()
+        self._m_resp_partial.inc()
         partial = self.response_share.sign_partial(signing)
         import hashlib
 
@@ -726,6 +741,7 @@ class ExecutingReplica(ReplicaBase):
             threshold_sig=b"",
         )
         partials = list(self._response_shares.get(vote_key, {}).values())
+        self._m_resp_combine.inc()
         try:
             signature = combine_with_retry(
                 self.env.response_public, response.signing_bytes(), partials
@@ -748,6 +764,12 @@ class ExecutingReplica(ReplicaBase):
         while len(cache) > self.response_cache_window:
             del cache[min(cache)]
         self._response_shares.pop(vote_key, None)
+        self._m_resp_combined.inc()
+        # Span milestone: the response is fully threshold-signed here; what
+        # remains is the network trip back to the proxy plus verification.
+        self.trace(
+            "response.combined", alias=client_alias(client_id), seq=client_seq
+        )
         self._maybe_send_response(signed)
 
     def _maybe_send_response(self, response: ClientResponse) -> None:
@@ -796,11 +818,13 @@ class ExecutingReplica(ReplicaBase):
         packed = json.dumps(state, sort_keys=True).encode("utf-8")
         self.observe_plaintext("state-snapshot", channel="checkpoint")
         if self.confidential:
+            self._m_hw_encrypt.inc()
             return self.keystore.hardware_encrypt(packed)
         return Sensitive(packed, label="state-snapshot")
 
     def restore_from_checkpoint(self, checkpoint: CheckpointMsg) -> None:
         if self.confidential:
+            self._m_hw_decrypt.inc()
             packed = self.keystore.hardware_decrypt(checkpoint.blob_bytes())
         else:
             packed = checkpoint.blob_bytes()

@@ -48,6 +48,11 @@ class StateTransferManager:
 
     def __init__(self, replica: "ReplicaBase", retry_timeout: float = 2.0):
         self._replica = replica
+        metrics = replica.metrics
+        self._m_initiated = metrics.counter("xfer.initiated")
+        self._m_served = metrics.counter("xfer.served")
+        self._m_completed = metrics.counter("xfer.completed")
+        self._m_bytes_served = metrics.counter("xfer.bytes_served")
         self.retry_timeout = retry_timeout
         self._nonce = 0
         self._active_nonce: Optional[int] = None
@@ -72,6 +77,7 @@ class StateTransferManager:
         self._nonce += 1
         self._active_nonce = self._nonce
         replica.engine.catching_up = True
+        self._m_initiated.inc()
         replica.trace("xfer.initiate", nonce=self._nonce, reason=reason)
         solicit = StateXferSolicit(requester=replica.host, nonce=self._nonce)
         for peer in replica.on_premises_replicas():
@@ -135,6 +141,8 @@ class StateTransferManager:
         stable = replica.checkpoints.stable
         after_seq = stable.resume.batch_seq if stable is not None else 0
         batches = replica.update_log_after(after_seq)
+        self._m_served.inc()
+        self._m_bytes_served.inc(sum(record.wire_size() for record in batches))
         chunk_bytes = replica.env.xfer_chunk_bytes
         if not chunk_bytes:
             response = StateXferResponse(
@@ -251,6 +259,7 @@ class StateTransferManager:
         self._active_nonce = None
         self._responses.pop(nonce, None)
         self.completed_count += 1
+        self._m_completed.inc()
         replica.trace(
             "xfer.complete",
             nonce=nonce,

@@ -397,11 +397,20 @@ class InvariantChecker:
         self._attached = True
         return self
 
+    def detach(self) -> None:
+        """Stop observing the tracer (idempotent)."""
+        if self._attached:
+            self.deployment.tracer.unsubscribe(self._on_event)
+            self._attached = False
+
     def _on_event(self, event: TraceEvent) -> None:
         for invariant in self.invariants:
             invariant.on_event(event)
 
     def finish(self) -> InvariantReport:
+        # Scoring ends the observation: anything traced after finish() —
+        # post-mortem replays, a reused kernel — must not mutate verdicts.
+        self.detach()
         ctx = CheckContext(
             deployment=self.deployment,
             adversary=self.adversary,

@@ -13,7 +13,7 @@ shrinking meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faultlab.invariants import InvariantChecker, InvariantReport
@@ -66,6 +66,27 @@ class FaultLabConfig:
 
 
 @dataclass
+class MetricWindow:
+    """Counter deltas over one fault event's window.
+
+    ``deltas`` maps ``name{label=value}`` to the counter's increase between
+    the snapshot at the window's open and the one at its close (zero-delta
+    counters are dropped). Lets a sweep answer "what did the leader-site
+    isolation *cost*" — retransmits, view changes, drops — per window.
+    """
+
+    label: str
+    start: float
+    end: float
+    deltas: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self, top: int = 6) -> str:
+        ranked = sorted(self.deltas.items(), key=lambda kv: -abs(kv[1]))[:top]
+        body = ", ".join(f"{name}+{delta:g}" for name, delta in ranked)
+        return f"[{self.start:.2f}..{self.end:.2f}] {self.label}: {body or 'no change'}"
+
+
+@dataclass
 class FaultLabResult:
     """One schedule's verdict."""
 
@@ -75,6 +96,7 @@ class FaultLabResult:
     trace_events: int
     deployment: object = field(default=None, repr=False)
     adversary: object = field(default=None, repr=False)
+    metric_windows: Tuple[MetricWindow, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -115,6 +137,10 @@ def run_schedule(
     quiesce_at = max(schedule.clear_time, lab.horizon)
     checker = InvariantChecker(deployment, adversary, quiesce_at=quiesce_at).attach()
 
+    # Snapshot timers go in before the fault callbacks so that, at the
+    # same virtual instant, the registry is read *before* the fault flips —
+    # the kernel drains same-time events in insertion order.
+    windows = _install_metric_windows(schedule, deployment)
     _install_events(schedule, deployment, adversary)
 
     deployment.start()
@@ -133,6 +159,7 @@ def run_schedule(
         trace_events=len(deployment.tracer.events),
         deployment=deployment if keep_deployment else None,
         adversary=adversary if keep_deployment else None,
+        metric_windows=tuple(_finalize_metric_windows(windows, deployment)),
     )
 
 
@@ -166,6 +193,77 @@ def plant_leak(schedule: FaultSchedule, at: Optional[float] = None,
     leak_at = at if at is not None else min(schedule.horizon - 1.0, 4.0)
     event = make_event(leak_at, "leak", host or "")
     return schedule.with_event(event)
+
+
+# ---------------------------------------------------------------------------
+# Metric windows
+# ---------------------------------------------------------------------------
+
+def _metric_key_label(key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def _window_bounds(event) -> Tuple[float, float]:
+    if event.until is not None:
+        return event.at, event.until
+    if event.kind == "recover":
+        return event.at, event.at + float(event.param("duration", 3.0))
+    # Instant faults (e.g. leak): watch one second of aftermath.
+    return event.at, event.at + 1.0
+
+
+def _install_metric_windows(schedule: FaultSchedule, deployment) -> List[dict]:
+    """Schedule counter snapshots at each fault window's open and close."""
+    if not deployment.metrics.enabled:
+        return []
+    windows: List[dict] = []
+    for event in schedule.events:
+        start, end = _window_bounds(event)
+        record = {
+            "label": f"{event.kind} {event.target}".strip(),
+            "start": start,
+            "end": end,
+            "before": None,
+            "after": None,
+        }
+
+        def snap(record, slot):
+            record[slot] = deployment.metrics.counter_values()
+
+        deployment.kernel.call_at(start, snap, record, "before")
+        deployment.kernel.call_at(end, snap, record, "after")
+        windows.append(record)
+    return windows
+
+
+def _finalize_metric_windows(windows: List[dict], deployment) -> List[MetricWindow]:
+    results: List[MetricWindow] = []
+    for record in windows:
+        before = record["before"]
+        if before is None:
+            continue  # window opened after the run ended
+        # A close past the end of the run reads the final values instead.
+        after = record["after"] or deployment.metrics.counter_values()
+        # Iterate the *after* snapshot: counters born inside the window
+        # (a first view change, a new drop reason) have no "before" entry
+        # and count from zero.
+        deltas = {
+            _metric_key_label(key): value - before.get(key, 0.0)
+            for key, value in sorted(after.items())
+            if value != before.get(key, 0.0)
+        }
+        results.append(
+            MetricWindow(
+                label=record["label"],
+                start=record["start"],
+                end=record["end"],
+                deltas=deltas,
+            )
+        )
+    return results
 
 
 # ---------------------------------------------------------------------------

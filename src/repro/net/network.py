@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.net.overlay import Overlay
 from repro.net.topology import Topology
+from repro.obs.registry import MetricsRegistry, NULL_METRICS
 from repro.sim.kernel import Kernel
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -49,11 +50,18 @@ class Network:
         lan_bandwidth: float = DEFAULT_LAN_BANDWIDTH,
         jitter_fraction: float = 0.05,
         wan_loss_probability: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.kernel = kernel
         self.topology = topology
         self.overlay = overlay
         self.tracer = tracer
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Per-message-type instrument handles, cached so the hot send path
+        # pays one dict lookup instead of a registry lookup per message.
+        self._send_instruments: Dict[str, Tuple[Any, Any]] = {}
+        self._recv_instruments: Dict[str, Tuple[Any, Any]] = {}
+        self._drop_counters: Dict[Tuple[str, str], Any] = {}
         self._rng = rng.stream("net.jitter")
         self._handlers: Dict[str, Handler] = {}
         self._down_hosts: Dict[str, bool] = {}
@@ -138,6 +146,37 @@ class Network:
     def host_is_down(self, host: str) -> bool:
         return self._down_hosts.get(host, False)
 
+    # -- metrics helpers -------------------------------------------------------------
+
+    def _count_send(self, type_name: str, size: int) -> None:
+        pair = self._send_instruments.get(type_name)
+        if pair is None:
+            pair = self._send_instruments[type_name] = (
+                self.metrics.counter("net.send", type=type_name),
+                self.metrics.counter("net.send_bytes", type=type_name),
+            )
+        pair[0].inc()
+        pair[1].inc(size)
+
+    def _count_recv(self, type_name: str, size: int) -> None:
+        pair = self._recv_instruments.get(type_name)
+        if pair is None:
+            pair = self._recv_instruments[type_name] = (
+                self.metrics.counter("net.recv", type=type_name),
+                self.metrics.counter("net.recv_bytes", type=type_name),
+            )
+        pair[0].inc()
+        pair[1].inc(size)
+
+    def _count_drop(self, type_name: str, reason: str) -> None:
+        key = (type_name, reason)
+        counter = self._drop_counters.get(key)
+        if counter is None:
+            counter = self._drop_counters[key] = self.metrics.counter(
+                "net.drop", type=type_name, reason=reason
+            )
+        counter.inc()
+
     # -- sending ------------------------------------------------------------------
 
     def send(self, src: str, dst: str, payload: Any, size: Optional[int] = None) -> bool:
@@ -152,6 +191,8 @@ class Network:
         self.messages_sent += 1
         size = size if size is not None else _payload_size(payload)
         self.bytes_sent += size
+        type_name = type(payload).__name__
+        self._count_send(type_name, size)
         src_site = self.topology.site_of(src).name
         dst_site = self.topology.site_of(dst).name
 
@@ -166,6 +207,7 @@ class Network:
             route = self.overlay.path_latency(src_site, dst_site)
             if route is None:
                 self.messages_dropped += 1
+                self._count_drop(type_name, "no-route")
                 if self.tracer:
                     self.tracer.record(
                         "net.drop", src, dst=dst, reason="no-route", size=size
@@ -183,6 +225,7 @@ class Network:
                     loss += extra_loss
             if loss > 0.0 and self._loss_rng.random() < loss:
                 self.messages_dropped += 1
+                self._count_drop(type_name, "loss")
                 if self.tracer:
                     self.tracer.record(
                         "net.drop", src, dst=dst, reason="loss", size=size
@@ -210,6 +253,7 @@ class Network:
     def _deliver(self, src: str, dst: str, payload: Any, size: int) -> None:
         if self._down_hosts.get(dst, False):
             self.messages_dropped += 1
+            self._count_drop(type(payload).__name__, "host-down")
             if self.tracer:
                 self.tracer.record("net.drop", src, dst=dst, reason="host-down", size=size)
             return
@@ -220,14 +264,17 @@ class Network:
         dst_site = self.topology.site_of(dst).name
         if src_site != dst_site and self.overlay.path_latency(src_site, dst_site) is None:
             self.messages_dropped += 1
+            self._count_drop(type(payload).__name__, "partitioned")
             if self.tracer:
                 self.tracer.record("net.drop", src, dst=dst, reason="partitioned", size=size)
             return
         handler = self._handlers.get(dst)
         if handler is None:
             self.messages_dropped += 1
+            self._count_drop(type(payload).__name__, "no-handler")
             return
         self.messages_delivered += 1
+        self._count_recv(type(payload).__name__, size)
         if self.inspector is not None:
             self.inspector(dst, payload)
         handler(src, payload)

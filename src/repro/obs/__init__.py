@@ -1,0 +1,48 @@
+"""Observability substrate: metrics registry, causal spans, exporters.
+
+The obs package is the measurement layer for the whole pipeline. It is
+deliberately decoupled from the protocol code: hosts grab cheap counter /
+gauge / histogram handles from a :class:`MetricsRegistry`, and the
+:class:`SpanTracker` reconstructs per-update causal spans purely from
+:class:`~repro.sim.trace.Tracer` events, so no protocol message carries a
+span id. Exporters serialise both into JSONL, Prometheus text, and Chrome
+``trace_event`` JSON.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramStats,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.obs.spans import PHASES, Span, SpanTracker
+from repro.obs.export import (
+    chrome_trace,
+    metrics_jsonl_rows,
+    prometheus_text,
+    spans_jsonl_rows,
+    tracer_jsonl_rows,
+    write_bundle,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "PHASES",
+    "Span",
+    "SpanTracker",
+    "chrome_trace",
+    "metrics_jsonl_rows",
+    "prometheus_text",
+    "spans_jsonl_rows",
+    "tracer_jsonl_rows",
+    "write_bundle",
+    "write_jsonl",
+]

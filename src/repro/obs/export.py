@@ -1,0 +1,266 @@
+"""Exporters: JSONL, Prometheus text, and Chrome ``trace_event`` JSON.
+
+All three read the same in-memory sources — a
+:class:`~repro.obs.registry.MetricsRegistry`, a
+:class:`~repro.obs.spans.SpanTracker`, and a
+:class:`~repro.sim.trace.Tracer` — and serialise them for offline tools:
+
+* ``*.jsonl``     — one JSON object per line; shared writer for metrics,
+  spans, and raw trace events (``repro run --trace-out`` uses the same
+  writer).
+* ``metrics.prom`` — Prometheus text exposition format (counters get a
+  ``_total`` suffix; label sets are preserved).
+* ``trace.json``  — Chrome ``trace_event`` array format: one *complete*
+  ("ph": "X") slice per span with nested slices per phase, loadable in
+  chrome://tracing or Perfetto. Virtual seconds are scaled to microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import PHASES, Span
+from repro.sim.trace import TraceEvent
+
+_US = 1_000_000  # virtual seconds -> trace_event microseconds
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _json_safe(value):
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# -- Prometheus text -----------------------------------------------------------------
+
+
+def prometheus_text(metrics: MetricsRegistry, at_time: float = 0.0) -> str:
+    """Render every instrument in Prometheus exposition format."""
+    lines: List[str] = [f"# repro metrics snapshot at virtual t={at_time:g}s"]
+    seen_types: Dict[str, str] = {}
+
+    def header(name: str, kind: str) -> None:
+        if seen_types.get(name) != kind:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in metrics.counters():
+        name = _prom_name(counter.name) + "_total"
+        header(name, "counter")
+        lines.append(f"{name}{_prom_labels(counter.labels)} {counter.value:g}")
+    for gauge in metrics.gauges():
+        name = _prom_name(gauge.name)
+        header(name, "gauge")
+        lines.append(f"{name}{_prom_labels(gauge.labels)} {gauge.value:g}")
+    for histogram in metrics.histograms():
+        name = _prom_name(histogram.name)
+        stats = histogram.stats()
+        header(name, "summary")
+        labels = list(histogram.labels)
+        for q, value in (("0.5", stats.p50), ("0.99", stats.p99), ("0.999", stats.p99_9)):
+            q_labels = _prom_labels(labels + [("quantile", q)])
+            lines.append(f"{name}{q_labels} {value:g}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} {stats.total:g}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {stats.count}")
+    return "\n".join(lines) + "\n"
+
+
+# -- JSONL ---------------------------------------------------------------------------
+
+
+def write_jsonl(path, rows: Iterable[Dict]) -> int:
+    """Shared JSONL writer: one compact JSON object per line; returns rows written."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(_json_safe(row), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def tracer_jsonl_rows(events: Iterable[TraceEvent]) -> Iterator[Dict]:
+    for event in events:
+        yield {
+            "kind": "trace",
+            "time": event.time,
+            "category": event.category,
+            "host": event.host,
+            "detail": event.detail,
+        }
+
+
+def metrics_jsonl_rows(metrics: MetricsRegistry) -> Iterator[Dict]:
+    for counter in metrics.counters():
+        yield {
+            "kind": "counter",
+            "name": counter.name,
+            "labels": dict(counter.labels),
+            "value": counter.value,
+        }
+    for gauge in metrics.gauges():
+        yield {
+            "kind": "gauge",
+            "name": gauge.name,
+            "labels": dict(gauge.labels),
+            "value": gauge.value,
+        }
+    for histogram in metrics.histograms():
+        stats = histogram.stats()
+        yield {
+            "kind": "histogram",
+            "name": histogram.name,
+            "labels": dict(histogram.labels),
+            "count": stats.count,
+            "sum": stats.total,
+            "min": stats.minimum,
+            "max": stats.maximum,
+            "p50": stats.p50,
+            "p99": stats.p99,
+            "p99_9": stats.p99_9,
+        }
+
+
+def spans_jsonl_rows(spans: Iterable[Span]) -> Iterator[Dict]:
+    for span in spans:
+        yield {
+            "kind": "span",
+            "alias": span.alias,
+            "client": span.client,
+            "client_seq": span.client_seq,
+            "start": span.start,
+            "end": span.end,
+            "latency": span.latency,
+            "status": span.status,
+            "retransmits": span.retransmits,
+            "xfer_overlap": span.xfer_overlap,
+            "marks": dict(span.marks),
+            "phases": span.phase_durations(),
+        }
+
+
+# -- Chrome trace_event --------------------------------------------------------------
+
+
+def chrome_trace(spans: Iterable[Span]) -> Dict:
+    """Chrome ``trace_event`` JSON: one lane (tid) per client, one outer
+    slice per update with the phases nested inside it."""
+    events: List[Dict] = []
+    tids: Dict[str, int] = {}
+    events.append(
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro pipeline"},
+        }
+    )
+    for span in spans:
+        tid = tids.get(span.client)
+        if tid is None:
+            tid = tids[span.client] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": span.client},
+                }
+            )
+        end = span.end
+        if end is None:
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": f"update {span.client_seq}",
+                "cat": "update",
+                "ts": span.start * _US,
+                "dur": (end - span.start) * _US,
+                "args": {
+                    "status": span.status,
+                    "retransmits": span.retransmits,
+                    "xfer_overlap": span.xfer_overlap,
+                },
+            }
+        )
+        prev = span.start
+        for phase in PHASES:
+            t = span.marks.get(phase)
+            if t is None:
+                continue
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "name": phase,
+                    "cat": "phase",
+                    "ts": prev * _US,
+                    "dur": (t - prev) * _US,
+                    "args": {"seq": span.client_seq},
+                }
+            )
+            prev = t
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- bundle --------------------------------------------------------------------------
+
+
+def write_bundle(deployment, out_dir) -> Dict[str, str]:
+    """Write the full observability bundle for one deployment run.
+
+    Emits ``metrics.prom``, ``metrics.jsonl``, ``spans.jsonl``,
+    ``trace.jsonl`` and ``trace.json`` under ``out_dir``; returns a map of
+    artifact name to path.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "metrics.prom": out / "metrics.prom",
+        "metrics.jsonl": out / "metrics.jsonl",
+        "spans.jsonl": out / "spans.jsonl",
+        "trace.jsonl": out / "trace.jsonl",
+        "trace.json": out / "trace.json",
+    }
+    paths["metrics.prom"].write_text(
+        prometheus_text(deployment.metrics, at_time=deployment.kernel.now),
+        encoding="utf-8",
+    )
+    write_jsonl(paths["metrics.jsonl"], metrics_jsonl_rows(deployment.metrics))
+    spans = deployment.spans.all_spans() if deployment.spans is not None else []
+    write_jsonl(paths["spans.jsonl"], spans_jsonl_rows(spans))
+    write_jsonl(paths["trace.jsonl"], tracer_jsonl_rows(deployment.tracer.events))
+    paths["trace.json"].write_text(
+        json.dumps(chrome_trace(spans), sort_keys=True), encoding="utf-8"
+    )
+    return {name: str(path) for name, path in paths.items()}

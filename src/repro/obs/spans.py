@@ -1,0 +1,238 @@
+"""Per-update causal spans reconstructed from trace events.
+
+A span follows one client update through the pipeline::
+
+    proxy submit -> intro (threshold introduction) -> order (Prime
+    pre-order + global order + execution) -> execute (response threshold
+    signing) -> respond (network back to the proxy + verification)
+
+Rather than threading a span id through every protocol message, the
+:class:`SpanTracker` subscribes to the deployment's
+:class:`~repro.sim.trace.Tracer` and keys spans by the update's natural
+identity ``(alias, client_seq)``. That makes retransmission transparent —
+a retransmit after a view change touches the *same* span, never a second
+one — and keeps the protocol layers free of observability plumbing.
+
+Milestones and their source events:
+
+==========  ======================  ==========================================
+milestone   trace category          meaning
+==========  ======================  ==========================================
+submit      ``proxy.submit``        proxy signed and queued the update
+intro       ``intro.injected``      first introducer injected into Prime
+order       ``replica.executed``    first replica executed the ordered update
+execute     ``response.combined``   first replica combined the response sig
+respond     ``proxy.complete``      proxy verified the threshold response
+==========  ======================  ==========================================
+
+Milestones are consecutive, so the phase durations of a completed span sum
+*exactly* to the proxy-measured end-to-end latency. A milestone that never
+fires (e.g. Spire's plain path used to skip introduction) simply folds its
+time into the next phase that does fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sim.trace import TraceEvent, Tracer
+
+#: Phase names, in pipeline order. ``submit`` is the span start, not a phase.
+PHASES = ("intro", "order", "execute", "respond")
+
+_MILESTONE_OF = {
+    "intro.injected": "intro",
+    "replica.executed": "order",
+    "response.combined": "execute",
+}
+
+SpanKey = Tuple[str, int]  # (alias, client_seq)
+
+
+@dataclass
+class Span:
+    """One client update's journey through the pipeline."""
+
+    alias: str
+    client: str
+    client_seq: int
+    start: float
+    marks: Dict[str, float] = field(default_factory=dict)
+    retransmits: int = 0
+    status: str = "open"  # open | completed | abandoned
+    xfer_overlap: bool = False
+
+    @property
+    def end(self) -> Optional[float]:
+        if self.status == "open":
+            return None
+        return self.marks.get("respond", self.marks.get("abandoned"))
+
+    @property
+    def latency(self) -> Optional[float]:
+        end = self.end
+        return None if end is None else end - self.start
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Per-phase seconds; only phases whose milestone fired appear.
+
+        Each phase is measured from the previous *present* milestone, so
+        the values always sum to ``last milestone - start``.
+        """
+        durations: Dict[str, float] = {}
+        prev = self.start
+        for phase in PHASES:
+            t = self.marks.get(phase)
+            if t is None:
+                continue
+            durations[phase] = t - prev
+            prev = t
+        return durations
+
+
+class SpanTracker:
+    """Builds spans live from a :class:`Tracer` subscription."""
+
+    def __init__(self) -> None:
+        self.open: Dict[SpanKey, Span] = {}
+        self.closed: List[Span] = []
+        self._proxy_key: Dict[str, Tuple[str, str]] = {}  # proxy host -> (client, alias)
+        self._active_transfers: Set[str] = set()
+        self._tracer: Optional[Tracer] = None
+        self._handlers = {
+            "proxy.submit": self._on_submit,
+            "intro.injected": self._on_milestone,
+            "replica.executed": self._on_milestone,
+            "response.combined": self._on_milestone,
+            "proxy.complete": self._on_complete,
+            "proxy.retransmit": self._on_retransmit,
+            "proxy.gave-up": self._on_gave_up,
+            "xfer.initiate": self._on_xfer_start,
+            "xfer.complete": self._on_xfer_end,
+        }
+
+    # -- tracer wiring -----------------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "SpanTracker":
+        tracer.subscribe(self.on_event)
+        self._tracer = tracer
+        return self
+
+    def detach(self) -> None:
+        if self._tracer is not None:
+            self._tracer.unsubscribe(self.on_event)
+            self._tracer = None
+
+    def on_event(self, event: TraceEvent) -> None:
+        handler = self._handlers.get(event.category)
+        if handler is not None:
+            handler(event)
+
+    # -- event handlers -----------------------------------------------------------
+
+    def _on_submit(self, event: TraceEvent) -> None:
+        detail = event.detail
+        alias = detail["alias"]
+        client = detail["client"]
+        self._proxy_key[event.host] = (client, alias)
+        key = (alias, detail["seq"])
+        if key in self.open:
+            return
+        span = Span(alias=alias, client=client, client_seq=detail["seq"], start=event.time)
+        if self._active_transfers:
+            span.xfer_overlap = True
+        self.open[key] = span
+
+    def _on_milestone(self, event: TraceEvent) -> None:
+        detail = event.detail
+        # replica.executed names the alias "client"; the others say "alias".
+        alias = detail.get("alias") or detail.get("client")
+        span = self.open.get((alias, detail["seq"]))
+        if span is None:
+            return
+        phase = _MILESTONE_OF[event.category]
+        if phase not in span.marks:
+            span.marks[phase] = event.time
+
+    def _span_for_proxy(self, event: TraceEvent) -> Optional[Span]:
+        mapped = self._proxy_key.get(event.host)
+        if mapped is None:
+            return None
+        return self.open.get((mapped[1], event.detail["seq"]))
+
+    def _on_complete(self, event: TraceEvent) -> None:
+        span = self._span_for_proxy(event)
+        if span is None:
+            return
+        span.marks["respond"] = event.time
+        span.status = "completed"
+        self._close(span)
+
+    def _on_retransmit(self, event: TraceEvent) -> None:
+        span = self._span_for_proxy(event)
+        if span is not None:
+            span.retransmits += 1
+
+    def _on_gave_up(self, event: TraceEvent) -> None:
+        span = self._span_for_proxy(event)
+        if span is None:
+            return
+        span.marks["abandoned"] = event.time
+        span.status = "abandoned"
+        self._close(span)
+
+    def _on_xfer_start(self, event: TraceEvent) -> None:
+        self._active_transfers.add(event.host)
+        for span in self.open.values():
+            span.xfer_overlap = True
+
+    def _on_xfer_end(self, event: TraceEvent) -> None:
+        self._active_transfers.discard(event.host)
+
+    def _close(self, span: Span) -> None:
+        del self.open[(span.alias, span.client_seq)]
+        self.closed.append(span)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def all_spans(self) -> List[Span]:
+        return self.closed + list(self.open.values())
+
+    def completed(self) -> List[Span]:
+        return [s for s in self.closed if s.status == "completed"]
+
+    def abandoned(self) -> List[Span]:
+        return [s for s in self.closed if s.status == "abandoned"]
+
+    def phase_summary(self) -> Dict[str, object]:
+        """Mean per-phase and end-to-end seconds over completed spans.
+
+        Returns ``{"count": n, "mean_latency": s, "phases": {name: mean}}``;
+        ``phase_sum`` is the mean of per-span phase-duration sums (equal to
+        ``mean_latency`` for completed spans, by construction).
+        """
+        spans = self.completed()
+        if not spans:
+            return {"count": 0, "mean_latency": 0.0, "phase_sum": 0.0, "phases": {}}
+        totals: Dict[str, float] = {}
+        latency_total = 0.0
+        phase_sum_total = 0.0
+        for span in spans:
+            latency_total += span.latency or 0.0
+            durations = span.phase_durations()
+            phase_sum_total += sum(durations.values())
+            for phase, duration in durations.items():
+                totals[phase] = totals.get(phase, 0.0) + duration
+        count = len(spans)
+        # Dividing every phase total by the full span count (not the number
+        # of spans where the phase fired) keeps sum(phase means) identical
+        # to the mean end-to-end latency — the decomposition is exact.
+        return {
+            "count": count,
+            "mean_latency": latency_total / count,
+            "phase_sum": phase_sum_total / count,
+            "phases": {
+                phase: totals[phase] / count for phase in PHASES if phase in totals
+            },
+        }

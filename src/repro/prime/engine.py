@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.costs import CostModel
 from repro.errors import ProtocolError
+from repro.obs.registry import MetricsRegistry, NULL_METRICS
 from repro.prime.config import PrimeConfig
 from repro.prime.messages import (
     BatchFetch,
@@ -70,6 +71,7 @@ class PrimeReplica:
         costs: Optional[CostModel] = None,
         tracer: Optional[Tracer] = None,
         incarnation: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if replica_id not in config.replica_ids:
             raise ProtocolError(f"{replica_id!r} is not in the replica set")
@@ -79,6 +81,7 @@ class PrimeReplica:
         self.incarnation = incarnation
         self.costs = costs or CostModel()
         self.tracer = tracer
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.view = 0
         self.online = False
         # Set by the hosting layer while a state transfer is in progress:

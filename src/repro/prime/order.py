@@ -48,6 +48,13 @@ class GlobalOrder:
 
     def __init__(self, engine: "PrimeReplica"):
         self._engine = engine
+        metrics = engine.metrics
+        self._m_proposals = metrics.counter("prime.order.proposals")
+        self._m_heartbeats = metrics.counter("prime.order.heartbeats")
+        self._m_committed = metrics.counter("prime.order.committed")
+        self._m_batches = metrics.counter("prime.order.batches_executed")
+        self._m_updates = metrics.counter("prime.order.updates_ordered")
+        self._m_batch_size = metrics.histogram("prime.order.batch_size")
         # Accepted proposals: seq -> (view, cutoffs, digest).
         self.pre_prepares: Dict[int, Tuple[int, Dict[OriginId, int], bytes]] = {}
         self._prepare_votes: Dict[Tuple[int, int, bytes], Set[str]] = {}
@@ -116,8 +123,10 @@ class GlobalOrder:
                 advanced = True
             cutoffs[origin] = max(known, floor)
         if not advanced:
+            self._m_heartbeats.inc()
             self._engine.multicast(Heartbeat(view=self._engine.view))
             return
+        self._m_proposals.inc()
         self.propose_seq = max(self.propose_seq, self.last_committed_contiguous()) + 1
         proposal = PrePrepare(
             view=self._engine.view, seq=self.propose_seq, cutoffs=dict(cutoffs)
@@ -235,6 +244,7 @@ class GlobalOrder:
         if len(votes) < self._engine.config.quorum:
             return
         self.committed[seq] = stored[1]
+        self._m_committed.inc()
         self._engine.trace("prime.committed", seq=seq, view=view)
         self.try_execute()
 
@@ -317,6 +327,9 @@ class GlobalOrder:
             self.executed_cutoffs[next_seq] = dict(cutoffs)
             self._fill_votes.pop(next_seq, None)
             self.last_executed = next_seq
+            self._m_batches.inc()
+            self._m_updates.inc(len(entries))
+            self._m_batch_size.observe(len(entries))
             self._engine.trace(
                 "prime.executed", seq=next_seq, updates=len(entries), ordinal=self.ordinal
             )

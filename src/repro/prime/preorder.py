@@ -38,6 +38,11 @@ class PreOrder:
 
     def __init__(self, engine: "PrimeReplica"):
         self._engine = engine
+        metrics = engine.metrics
+        self._m_originated = metrics.counter("prime.preorder.requests_originated")
+        self._m_acks = metrics.counter("prime.preorder.acks")
+        self._m_certified = metrics.counter("prime.preorder.certified")
+        self._m_fetches = metrics.counter("prime.preorder.fetches")
         self._own_seq = 0
         self.requests: Dict[PoKey, PoRequest] = {}
         self._acks: Dict[PoKey, Set[str]] = {}
@@ -62,6 +67,7 @@ class PreOrder:
             return None
         self._injected_digests.add(update.digest)
         self._own_seq += 1
+        self._m_originated.inc()
         request = PoRequest(origin=self.origin, seq=self._own_seq, update=update)
         self._store_request(request, from_replica=self._engine.replica_id)
         self._engine.multicast(request)
@@ -132,6 +138,7 @@ class PreOrder:
 
     def on_po_ack(self, src: str, message: PoAck) -> None:
         key = (message.origin, message.seq)
+        self._m_acks.inc()
         self._acks.setdefault(key, set()).add(src)
         self._maybe_certify(key)
 
@@ -188,6 +195,7 @@ class PreOrder:
                 break
             cursor += 1
             advanced = True
+            self._m_certified.inc()
         if advanced:
             self.aru[origin] = cursor
             self.matrix.setdefault(self._engine.replica_id, {})[origin] = cursor
@@ -231,6 +239,7 @@ class PreOrder:
         """Ask peers (round-robin) for a po-request we need to execute."""
         if key in self.requests or key in self._pending_fetches:
             return
+        self._m_fetches.inc()
         peers = [r for r in sorted(self._engine.config.replica_ids) if r != self._engine.replica_id]
         attempt = self._engine.kernel.events_processed % len(peers)
         target = peers[attempt]

@@ -40,6 +40,8 @@ class ViewChange:
 
     def __init__(self, engine: "PrimeReplica"):
         self._engine = engine
+        self._m_suspects = engine.metrics.counter("prime.view_change.suspects")
+        self._m_adopted = engine.metrics.counter("prime.view_change.adopted")
         self._suspect_votes: Dict[int, Set[str]] = {}
         self._own_suspects: Set[int] = set()
         self._vc_states: Dict[int, Dict[str, VcState]] = {}
@@ -135,6 +137,7 @@ class ViewChange:
         message = Suspect(target_view=target_view)
         self._engine.multicast(message)
         self.on_suspect(self._engine.replica_id, message)
+        self._m_suspects.inc()
         self._engine.trace("prime.suspect", target_view=target_view)
         # Postpone re-suspicion so votes can accumulate.
         self._last_leader_sign = self._engine.kernel.now
@@ -187,6 +190,7 @@ class ViewChange:
         if view <= engine.view:
             return
         engine.view = view
+        self._m_adopted.inc()
         engine.trace("prime.view", view=view, leader=engine.config.leader_of(view))
         self._last_leader_sign = engine.kernel.now
         self._last_progress = engine.kernel.now

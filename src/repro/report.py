@@ -35,6 +35,7 @@ def render_report(deployment, title: str = "Confidential Spire run report") -> s
     sections = [
         _header(deployment, title),
         _latency_section(deployment),
+        _phase_section(deployment),
         _timeline_svg_section(deployment),
         _replica_section(deployment),
         _traffic_section(deployment),
@@ -70,9 +71,8 @@ def _header(deployment, title: str) -> str:
 
 
 def _latency_section(deployment) -> str:
-    try:
-        stats = deployment.recorder.stats()
-    except ValueError:
+    stats = deployment.recorder.stats()
+    if stats.is_empty:
         return "<h2>Latency</h2><p>No completed updates.</p>"
     cells = [
         ("updates", f"{stats.count}"),
@@ -87,6 +87,29 @@ def _latency_section(deployment) -> str:
     head = "".join(f"<th>{name}</th>" for name, _ in cells)
     row = "".join(f"<td>{value}</td>" for _, value in cells)
     return f"<h2>Latency</h2><table><tr>{head}</tr><tr>{row}</tr></table>"
+
+
+def _phase_section(deployment) -> str:
+    """Where the latency goes: mean per-phase breakdown from causal spans."""
+    spans = getattr(deployment, "spans", None)
+    if spans is None:
+        return ""
+    summary = spans.phase_summary()
+    if not summary["count"]:
+        return ""
+    rows = "".join(
+        f"<tr><td>{phase}</td><td>{mean * 1000:.1f} ms</td>"
+        f"<td>{100 * mean / summary['mean_latency']:.1f}%</td></tr>"
+        for phase, mean in summary["phases"].items()
+    )
+    return (
+        "<h2>Latency by phase</h2>"
+        f"<p class='meta'>{summary['count']} completed spans; phase means "
+        f"sum to {summary['phase_sum'] * 1000:.1f} ms vs proxy-measured "
+        f"{summary['mean_latency'] * 1000:.1f} ms end-to-end.</p>"
+        "<table><tr><th>phase</th><th>mean</th><th>share</th></tr>"
+        f"{rows}</table>"
+    )
 
 
 def _timeline_svg_section(deployment, width: int = 920, height: int = 260) -> str:

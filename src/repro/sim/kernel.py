@@ -99,6 +99,7 @@ class Kernel:
         self._counter = itertools.count()
         self._running = False
         self._event_count = 0
+        self._timers_scheduled = 0
 
     @property
     def now(self) -> float:
@@ -146,6 +147,7 @@ class Kernel:
 
     def _push(self, timer: Timer, when: float) -> None:
         timer.pending = True
+        self._timers_scheduled += 1
         heapq.heappush(self._heap, (when, next(self._counter), timer))
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> Timer:
@@ -222,3 +224,13 @@ class Kernel:
     def pending_events(self) -> int:
         """Number of scheduled, non-cancelled events still in the heap."""
         return sum(1 for _, _, t in self._heap if not t.cancelled)
+
+    @property
+    def timers_scheduled(self) -> int:
+        """Total timer arms over the run's lifetime (includes re-arms)."""
+        return self._timers_scheduled
+
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap size, cancelled entries included (queue-depth gauge)."""
+        return len(self._heap)

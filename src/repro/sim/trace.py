@@ -11,6 +11,7 @@ are fine on hot paths.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -48,6 +49,27 @@ class Tracer:
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> None:
         """Invoke ``callback`` for every future event (live monitoring)."""
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceEvent], None]) -> None:
+        """Stop delivering events to ``callback``; no-op if not subscribed.
+
+        Long-lived processes that build many monitors against one tracer
+        (FaultLab sweeps, test harnesses) must detach them, or every run
+        keeps paying for — and mutating — its predecessors' monitors.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def subscribed(self, callback: Callable[[TraceEvent], None]):
+        """Context manager: subscribe on entry, unsubscribe on exit."""
+        self.subscribe(callback)
+        try:
+            yield self
+        finally:
+            self.unsubscribe(callback)
 
     @property
     def events(self) -> List[TraceEvent]:

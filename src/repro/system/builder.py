@@ -24,6 +24,7 @@ from repro.crypto.symmetric import SymmetricKeyPair, derive_keypair
 from repro.crypto.threshold import ThresholdKeyGroup, generate_threshold_key
 from repro.net.attacks import AttackController
 from repro.net.network import Network
+from repro.obs import NULL_METRICS, MetricsRegistry, SpanTracker
 from repro.net.overlay import Overlay
 from repro.net.topology import (
     CLIENT_SITE,
@@ -68,6 +69,8 @@ class Deployment:
     recorder: LatencyRecorder
     recovery: RecoveryOrchestrator
     env: ReplicaEnv
+    metrics: MetricsRegistry
+    spans: Optional[SpanTracker]
 
     def start(self) -> None:
         """Bring every replica online (idempotent per replica start)."""
@@ -149,6 +152,19 @@ def build(
     rng = RngRegistry(config.seed)
     tracer = Tracer(kernel, enabled=config.tracing)
 
+    metrics = (
+        MetricsRegistry(now_fn=lambda: kernel.now)
+        if config.metrics_enabled
+        else NULL_METRICS
+    )
+    # Causal spans piggyback on the tracer; without tracing there are no
+    # milestone events to observe, so there is nothing to attach.
+    spans = SpanTracker().attach(tracer) if config.tracing else None
+    metrics.register_gauge("kernel.events_processed", lambda: kernel.events_processed)
+    metrics.register_gauge("kernel.pending_events", lambda: kernel.pending_events)
+    metrics.register_gauge("kernel.timers_scheduled", lambda: kernel.timers_scheduled)
+    metrics.register_gauge("kernel.heap_depth", lambda: kernel.heap_depth)
+
     if config.confidential:
         plan = plan_confidential(config.f, config.data_centers)
     else:
@@ -166,6 +182,7 @@ def build(
         rng,
         tracer=tracer,
         wan_loss_probability=config.wan_loss_probability,
+        metrics=metrics,
     )
     attacks = AttackController(kernel, overlay, tracer=tracer, network=network)
     auditor = Auditor(tracer=tracer)
@@ -242,6 +259,7 @@ def build(
         tracer=tracer,
         auditor=auditor,
         rng=rng,
+        metrics=metrics,
     )
 
     replicas: Dict[str, ReplicaBase] = {}
@@ -272,6 +290,7 @@ def build(
             on_premises_replicas=list(on_prem_hosts),
             costs=config.costs,
             tracer=tracer,
+            metrics=metrics,
         )
         recorder.attach(proxy)
         proxies[cid] = proxy
@@ -296,6 +315,8 @@ def build(
         recorder=recorder,
         recovery=recovery,
         env=env,
+        metrics=metrics,
+        spans=spans,
     )
 
 

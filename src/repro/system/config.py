@@ -63,6 +63,9 @@ class SystemConfig:
 
     costs: CostModel = field(default_factory=CostModel)
     tracing: bool = True
+    # Observability: when False the deployment wires the null registry and
+    # every instrumentation site degrades to a no-op attribute access.
+    metrics_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.f < 1:

@@ -40,7 +40,15 @@ class LatencyStats:
     p99: float
     p99_9: float
 
+    @property
+    def is_empty(self) -> bool:
+        """True for the no-samples sentinel (:data:`EMPTY_STATS`)."""
+        return self.count == 0
+
     def row(self, label: str) -> str:
+        if self.is_empty:
+            return f"{label:28s} n=     0 (no completed updates in window)"
+
         def ms(value: float) -> str:
             return f"{value * 1000:7.1f}"
 
@@ -50,6 +58,21 @@ class LatencyStats:
             f"p0.1={ms(self.p0_1)} p1={ms(self.p1)} p50={ms(self.p50)} "
             f"p99={ms(self.p99)} p99.9={ms(self.p99_9)}"
         )
+
+
+#: Sentinel returned by :meth:`LatencyRecorder.stats` for empty windows —
+#: zero-traffic windows are a reportable outcome, not an exception.
+EMPTY_STATS = LatencyStats(
+    count=0,
+    average=0.0,
+    pct_under_100ms=0.0,
+    pct_under_200ms=0.0,
+    p0_1=0.0,
+    p1=0.0,
+    p50=0.0,
+    p99=0.0,
+    p99_9=0.0,
+)
 
 
 def percentile(sorted_values: Sequence[float], p: float) -> float:
@@ -90,14 +113,19 @@ class LatencyRecorder:
         proxy.on_response(on_response)
 
     def stats(self, since: float = 0.0, until: Optional[float] = None) -> LatencyStats:
-        """Aggregate statistics over samples submitted in [since, until)."""
+        """Aggregate statistics over samples submitted in [since, until).
+
+        An empty window returns :data:`EMPTY_STATS` (check ``.is_empty``)
+        rather than raising — scenario reports over zero-traffic windows
+        are legitimate.
+        """
         values = sorted(
             s.latency
             for s in self.samples
             if s.submit_time >= since and (until is None or s.submit_time < until)
         )
         if not values:
-            raise ValueError("no latency samples in the requested window")
+            return EMPTY_STATS
         count = len(values)
         return LatencyStats(
             count=count,
@@ -116,11 +144,12 @@ class LatencyRecorder:
         return sorted((s.submit_time, s.latency) for s in self.samples)
 
     def max_latency(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Largest latency in the window; 0.0 when the window is empty."""
         values = [
             s.latency
             for s in self.samples
             if s.submit_time >= since and (until is None or s.submit_time < until)
         ]
         if not values:
-            raise ValueError("no samples in window")
+            return 0.0
         return max(values)

@@ -66,10 +66,11 @@ class ScenarioResult:
 
     def summary(self) -> str:
         lines = [f"scenario: {self.name} — {'PASS' if self.passed else 'FAIL'}"]
-        try:
-            lines.append(self.deployment.recorder.stats().row("  latency"))
-        except ValueError:
+        stats = self.deployment.recorder.stats()
+        if stats.is_empty:
             lines.append("  (no completed updates)")
+        else:
+            lines.append(stats.row("  latency"))
         for check, ok in sorted(self.checks.items()):
             lines.append(f"  {'PASS' if ok else 'FAIL'}  {check}")
         return "\n".join(lines)
@@ -176,11 +177,9 @@ def _schedule_event(deployment: Deployment, adversary: Adversary, event: Dict) -
 
 def _evaluate(deployment: Deployment, expect: Dict[str, Any]) -> Dict[str, bool]:
     checks: Dict[str, bool] = {}
-    stats = None
-    try:
-        stats = deployment.recorder.stats()
-    except ValueError:
-        pass
+    stats = deployment.recorder.stats()
+    if stats.is_empty:
+        stats = None
     if "pct_under_100ms" in expect:
         checks[f"pct_under_100ms >= {expect['pct_under_100ms']}"] = (
             stats is not None and stats.pct_under_100ms >= float(expect["pct_under_100ms"])

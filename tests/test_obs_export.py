@@ -1,0 +1,195 @@
+"""Exporter tests: Prometheus text, JSONL, Chrome trace, bundles, windows."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracker,
+    chrome_trace,
+    metrics_jsonl_rows,
+    prometheus_text,
+    spans_jsonl_rows,
+    write_bundle,
+    write_jsonl,
+)
+from repro.obs.spans import Span
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_obs_export.py"
+
+
+def make_span(seq=1, start=1.0, status="completed"):
+    span = Span(alias="aa" * 8, client="client-00", client_seq=seq, start=start)
+    span.marks = {
+        "intro": start + 0.01,
+        "order": start + 0.04,
+        "execute": start + 0.045,
+        "respond": start + 0.05,
+    }
+    span.status = status
+    return span
+
+
+class TestPrometheusText:
+    def test_counter_gets_total_suffix_and_type(self):
+        metrics = MetricsRegistry()
+        metrics.counter("prime.preorder.acks").inc(3)
+        text = prometheus_text(metrics)
+        assert "# TYPE prime_preorder_acks_total counter" in text
+        assert "prime_preorder_acks_total 3" in text
+
+    def test_labels_rendered(self):
+        metrics = MetricsRegistry()
+        metrics.counter("net.send", type="PoAck").inc()
+        assert 'net_send_total{type="PoAck"} 1' in prometheus_text(metrics)
+
+    def test_histogram_rendered_as_summary(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("proxy.latency")
+        for v in (0.01, 0.02, 0.03):
+            hist.observe(v)
+        text = prometheus_text(metrics)
+        assert "# TYPE proxy_latency summary" in text
+        assert 'proxy_latency{quantile="0.5"} 0.02' in text
+        assert "proxy_latency_count 3" in text
+
+    def test_snapshot_comment_carries_virtual_time(self):
+        assert prometheus_text(MetricsRegistry(), at_time=12.5).startswith(
+            "# repro metrics snapshot at virtual t=12.5s"
+        )
+
+
+class TestJsonl:
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        count = write_jsonl(path, [{"a": 1}, {"b": b"\x01\x02"}])
+        assert count == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0] == {"a": 1}
+        assert rows[1] == {"b": "0102"}  # bytes serialized as hex
+
+    def test_metrics_rows_cover_all_instruments(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        metrics.gauge("g").set(2)
+        metrics.histogram("h").observe(1.0)
+        kinds = [row["kind"] for row in metrics_jsonl_rows(metrics)]
+        assert kinds == ["counter", "gauge", "histogram"]
+
+    def test_span_rows_carry_phases(self):
+        (row,) = spans_jsonl_rows([make_span()])
+        assert row["kind"] == "span"
+        assert row["status"] == "completed"
+        assert set(row["phases"]) == {"intro", "order", "execute", "respond"}
+        assert sum(row["phases"].values()) == pytest.approx(row["latency"])
+
+
+class TestChromeTrace:
+    def test_phases_nest_inside_update_slice(self):
+        doc = chrome_trace([make_span()])
+        updates = [e for e in doc["traceEvents"] if e.get("cat") == "update"]
+        phases = [e for e in doc["traceEvents"] if e.get("cat") == "phase"]
+        assert len(updates) == 1
+        assert len(phases) == 4
+        (outer,) = updates
+        for phase in phases:
+            assert phase["ts"] >= outer["ts"]
+            assert phase["ts"] + phase["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_one_lane_per_client_with_metadata(self):
+        spans = [make_span(seq=1), make_span(seq=2)]
+        spans[1].client = "client-01"
+        doc = chrome_trace(spans)
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == ["client-00", "client-01"]
+
+    def test_open_spans_are_skipped(self):
+        span = make_span(status="open")
+        doc = chrome_trace([span])
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+
+class TestBundleAndSchema:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        from repro.system import SystemConfig, build
+
+        dep = build(SystemConfig(num_clients=3, seed=3))
+        dep.start()
+        dep.start_workload(duration=4.0)
+        dep.run(until=6.0)
+        return dep
+
+    def test_bundle_writes_all_artifacts(self, deployment, tmp_path):
+        paths = write_bundle(deployment, tmp_path / "bundle")
+        assert sorted(paths) == [
+            "metrics.jsonl",
+            "metrics.prom",
+            "spans.jsonl",
+            "trace.json",
+            "trace.jsonl",
+        ]
+        for path in paths.values():
+            assert Path(path).stat().st_size > 0
+
+    def test_schema_checker_accepts_real_bundle(self, deployment, tmp_path):
+        out = tmp_path / "bundle"
+        write_bundle(deployment, out)
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(out)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_schema_checker_rejects_corrupt_bundle(self, deployment, tmp_path):
+        out = tmp_path / "bundle"
+        write_bundle(deployment, out)
+        (out / "metrics.prom").write_text("not prometheus at all {{{\n")
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), str(out)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+
+    def test_prometheus_covers_all_layers(self, deployment):
+        text = prometheus_text(deployment.metrics, at_time=deployment.kernel.now)
+        for prefix in ("net_", "prime_", "intro_", "proxy_", "crypto_"):
+            assert any(
+                line.startswith(prefix) for line in text.splitlines()
+            ), f"no {prefix} metrics in exposition"
+
+
+class TestFaultLabWindows:
+    def test_metric_windows_capture_fault_deltas(self):
+        from repro.faultlab import FaultLabConfig, run_schedule, schedule_for_seed
+
+        lab = FaultLabConfig()
+        schedule = schedule_for_seed(3, lab)
+        result = run_schedule(schedule, lab)
+        assert len(result.metric_windows) == len(schedule.events)
+        for window, event in zip(result.metric_windows, schedule.events):
+            assert window.start == event.at
+            assert window.end > window.start
+            assert window.deltas, "fault window saw no counter movement"
+            assert "]" in window.describe()
+
+    def test_windows_deterministic_across_runs(self):
+        from repro.faultlab import FaultLabConfig, run_schedule, schedule_for_seed
+
+        lab = FaultLabConfig()
+        schedule = schedule_for_seed(5, lab)
+        first = run_schedule(schedule, lab)
+        second = run_schedule(schedule, lab)
+        assert [w.deltas for w in first.metric_windows] == [
+            w.deltas for w in second.metric_windows
+        ]

@@ -1,0 +1,176 @@
+"""Tests for the metrics registry: instruments, caching, null registry."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+)
+from repro.obs.registry import EMPTY_HISTOGRAM_STATS, NullMetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        metrics = MetricsRegistry()
+        counter = metrics.counter("a.b")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_handles_are_cached_by_name_and_labels(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("x") is metrics.counter("x")
+        assert metrics.counter("x", op="a") is metrics.counter("x", op="a")
+        assert metrics.counter("x", op="a") is not metrics.counter("x", op="b")
+
+    def test_label_order_does_not_matter(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("x", a=1, b=2) is metrics.counter("x", b=2, a=1)
+
+    def test_counter_values_snapshot_supports_deltas(self):
+        metrics = MetricsRegistry()
+        metrics.counter("hits").inc(3)
+        before = metrics.counter_values()
+        metrics.counter("hits").inc(4)
+        after = metrics.counter_values()
+        key = ("hits", ())
+        assert after[key] - before[key] == 4
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        metrics = MetricsRegistry()
+        gauge = metrics.gauge("depth")
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_registered_function_is_read_live(self):
+        metrics = MetricsRegistry()
+        state = {"v": 1}
+        metrics.register_gauge("live", lambda: state["v"])
+        assert metrics.gauge("live").value == 1
+        state["v"] = 42
+        assert metrics.gauge("live").value == 42
+
+
+class TestHistogram:
+    def test_stats_over_all_samples(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        stats = hist.stats()
+        assert stats.count == 4
+        assert stats.total == 10.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.mean == 2.5
+        assert 2.0 <= stats.p50 <= 3.0
+        assert stats.p99 <= 4.0
+
+    def test_empty_stats_sentinel(self):
+        metrics = MetricsRegistry()
+        assert metrics.histogram("lat").stats() is EMPTY_HISTOGRAM_STATS
+        assert EMPTY_HISTOGRAM_STATS.mean == 0.0
+
+    def test_time_window_filters_samples(self):
+        clock = {"t": 0.0}
+        metrics = MetricsRegistry(now_fn=lambda: clock["t"])
+        hist = metrics.histogram("lat")
+        for t, v in ((0.0, 10.0), (1.0, 20.0), (2.0, 30.0)):
+            clock["t"] = t
+            hist.observe(v)
+        assert hist.stats(since=1.0).count == 2
+        assert hist.stats(since=1.0, until=2.0).count == 1
+        assert hist.stats(since=1.0, until=2.0).maximum == 20.0
+
+    def test_single_sample_percentiles(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("lat")
+        hist.observe(5.0)
+        stats = hist.stats()
+        assert stats.p50 == stats.p99 == stats.p99_9 == 5.0
+
+
+class TestReadSide:
+    def test_listings_are_sorted_and_complete(self):
+        metrics = MetricsRegistry()
+        metrics.counter("b")
+        metrics.counter("a")
+        metrics.gauge("g")
+        metrics.histogram("h")
+        assert [c.name for c in metrics.counters()] == ["a", "b"]
+        assert [g.name for g in metrics.gauges()] == ["g"]
+        assert [h.name for h in metrics.histograms()] == ["h"]
+
+    def test_enabled_flags(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_METRICS.enabled
+
+
+class TestNullRegistry:
+    def test_instruments_accept_everything_and_record_nothing(self):
+        null = NullMetricsRegistry()
+        null.counter("x", op="y").inc(5)
+        null.gauge("g").set(3)
+        null.register_gauge("live", lambda: 9)
+        null.histogram("h").observe(1.0)
+        assert null.counters() == []
+        assert null.gauges() == []
+        assert null.histograms() == []
+        assert null.histogram("h").stats() is EMPTY_HISTOGRAM_STATS
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)
+
+
+class TestDeploymentWiring:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        from repro.system import SystemConfig, build
+
+        dep = build(SystemConfig(num_clients=2, seed=11))
+        dep.start()
+        dep.start_workload(duration=3.0)
+        dep.run(until=5.0)
+        return dep
+
+    def test_counters_cover_every_layer(self, deployment):
+        names = {c.name for c in deployment.metrics.counters()}
+        assert any(n.startswith("net.") for n in names)
+        assert any(n.startswith("prime.") for n in names)
+        assert any(n.startswith("intro.") for n in names)
+        assert any(n.startswith("proxy.") for n in names)
+        assert any(n.startswith("crypto.") for n in names)
+
+    def test_pipeline_counters_are_nonzero(self, deployment):
+        metrics = deployment.metrics
+        assert metrics.counter("proxy.submitted").value > 0
+        assert metrics.counter("proxy.completed").value > 0
+        assert metrics.counter("intro.injected").value > 0
+        assert metrics.counter("prime.order.updates_ordered").value > 0
+        assert metrics.counter("crypto.threshold.partial", op="intro").value > 0
+        assert metrics.counter("net.send", type="PoAck").value > 0
+
+    def test_kernel_gauges_track_kernel(self, deployment):
+        kernel = deployment.kernel
+        metrics = deployment.metrics
+        assert metrics.gauge("kernel.events_processed").value == kernel.events_processed
+        assert metrics.gauge("kernel.timers_scheduled").value == kernel.timers_scheduled
+
+    def test_proxy_latency_histogram_matches_recorder(self, deployment):
+        stats = deployment.metrics.histogram("proxy.latency").stats()
+        assert stats.count == deployment.recorder.stats().count
+        assert stats.mean == pytest.approx(deployment.recorder.stats().average)
+
+    def test_disabled_metrics_uses_null_registry(self):
+        from repro.system import SystemConfig, build
+
+        dep = build(SystemConfig(num_clients=2, seed=11, metrics_enabled=False))
+        dep.start()
+        dep.start_workload(duration=2.0)
+        dep.run(until=3.0)
+        assert not dep.metrics.enabled
+        assert dep.metrics.counters() == []
+        assert dep.recorder.stats().count > 0  # system itself unaffected

@@ -77,10 +77,13 @@ class TestLatencyRecorder:
         assert stats.count == 2
         assert stats.average == pytest.approx(0.025)
 
-    def test_empty_window_rejected(self):
+    def test_empty_window_returns_sentinel(self):
         recorder = self.make_recorder([0.010])
-        with pytest.raises(ValueError):
-            recorder.stats(since=100.0)
+        stats = recorder.stats(since=100.0)
+        assert stats.is_empty
+        assert stats.count == 0
+        assert "no completed updates" in stats.row("empty")
+        assert recorder.max_latency(since=100.0) == 0.0
 
     def test_timeline_sorted_by_submit(self):
         recorder = LatencyRecorder()
