@@ -1,0 +1,149 @@
+"""Sim vs live: the same f=1 workload on both substrates.
+
+The simulation *predicts* throughput and latency from modelled costs; the
+live runtime *measures* them with real processes, real sockets, and real
+RSA. This benchmark runs the identical workload shape (5 clients, 40
+updates each, f=1 confidential distribution) on both and writes the pair
+to ``benchmarks/results/BENCH_rt.json`` so the gap between model and
+metal is a checked-in, diffable number.
+
+Run directly (the live half spawns ~19 OS processes):
+
+    PYTHONPATH=src python benchmarks/bench_rt_live.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.rt.bootstrap import RtConfig
+from repro.rt.launcher import run_deployment
+from repro.system import Mode, SystemConfig, build
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_rt.json"
+
+NUM_CLIENTS = 5
+UPDATES_PER_CLIENT = 40
+UPDATE_INTERVAL = 0.05
+SEED = 23
+
+
+def _percentile(sorted_values, p):
+    if not sorted_values:
+        return 0.0
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def _stats(latencies, completed, elapsed):
+    ordered = sorted(latencies)
+    return {
+        "updates_completed": completed,
+        "workload_seconds": round(elapsed, 3),
+        "throughput_per_s": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
+        "latency_p50_ms": round(_percentile(ordered, 50) * 1000, 2),
+        "latency_p99_ms": round(_percentile(ordered, 99) * 1000, 2),
+        "latency_mean_ms": round(
+            sum(ordered) / len(ordered) * 1000 if ordered else 0.0, 2
+        ),
+    }
+
+
+def run_sim() -> dict:
+    """The same closed-loop workload under the deterministic simulation.
+
+    Mirrors the live ClientDriver exactly: one in-flight update per
+    client — submit, wait for the threshold-verified response, sleep the
+    interval, repeat.
+    """
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL,
+        f=1,
+        seed=SEED,
+        num_clients=NUM_CLIENTS,
+        update_interval=UPDATE_INTERVAL,
+    )
+    deployment = build(config)
+    deployment.start()
+    kernel = deployment.kernel
+    remaining = {cid: UPDATES_PER_CLIENT for cid in deployment.proxies}
+    last_completion = [0.0]
+
+    def submit(cid):
+        proxy = deployment.proxies[cid]
+        seq = proxy._seq + 1
+        proxy.submit(f"SET {cid} {seq}".encode())
+
+    def chain(cid):
+        def on_response(_seq, _body, _latency):
+            last_completion[0] = kernel.now
+            remaining[cid] -= 1
+            if remaining[cid] > 0:
+                kernel.call_later(UPDATE_INTERVAL, submit, cid)
+
+        deployment.proxies[cid].on_response(on_response)
+
+    start_at = 0.5
+    for cid in deployment.proxies:
+        chain(cid)
+        kernel.call_at(start_at, submit, cid)
+    deployment.run(until=600.0)
+    latencies = [
+        latency
+        for proxy in deployment.proxies.values()
+        for _seq, latency in proxy.latencies()
+    ]
+    return _stats(latencies, len(latencies), last_completion[0] - start_at)
+
+
+def run_live(out_dir: str) -> dict:
+    """The same workload on real processes and sockets."""
+    config = RtConfig(
+        mode="confidential",
+        f=1,
+        seed=SEED,
+        num_clients=NUM_CLIENTS,
+        updates_per_client=UPDATES_PER_CLIENT,
+        update_interval=UPDATE_INTERVAL,
+        base_port=22000,
+        out_dir=out_dir,
+    )
+    summary = run_deployment(config, timeout=240.0)
+    if not summary["finished"]:
+        raise RuntimeError(f"live workload did not finish: {summary}")
+    latencies = []
+    clients_dir = Path(out_dir) / "clients"
+    for path in sorted(clients_dir.glob("*.json")):
+        result = json.loads(path.read_text())
+        latencies.extend(latency for _seq, latency in result["latencies"])
+    return _stats(
+        latencies, summary["updates_completed"], summary["workload_seconds"]
+    )
+
+
+def main(out_dir: str = "rt-bench") -> dict:
+    result = {
+        "workload": {
+            "mode": "confidential",
+            "f": 1,
+            "clients": NUM_CLIENTS,
+            "updates_per_client": UPDATES_PER_CLIENT,
+            "update_interval_s": UPDATE_INTERVAL,
+            "seed": SEED,
+        },
+        "sim": run_sim(),
+        "live": run_live(out_dir),
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return result
+
+
+if __name__ == "__main__":
+    out = main(sys.argv[1] if len(sys.argv) > 1 else "rt-bench")
+    print(json.dumps(out, indent=2, sort_keys=True))

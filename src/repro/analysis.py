@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.net.network import Network
+from repro.rt.substrate import Transport
 from repro.sim.trace import Tracer
 from repro.system.metrics import LatencyRecorder, percentile
 
@@ -43,7 +43,7 @@ class TrafficSummary:
         return self.messages_delivered / self.messages_sent
 
 
-def traffic_summary(network: Network) -> TrafficSummary:
+def traffic_summary(network: Transport) -> TrafficSummary:
     return TrafficSummary(
         messages_sent=network.messages_sent,
         messages_delivered=network.messages_delivered,

@@ -27,8 +27,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.shamir import reconstruct_bytes, split_bytes
 from repro.errors import ConfigurationError
-from repro.net.network import Network
-from repro.sim.kernel import Kernel
+from repro.rt.substrate import Scheduler, Transport
 from repro.sim.rng import RngRegistry
 
 
@@ -77,7 +76,7 @@ class StoreReadReply:
 class SecretStoreReplica:
     """One storage replica: holds a single share per key, never the value."""
 
-    def __init__(self, network: Network, host: str, index: int):
+    def __init__(self, network: Transport, host: str, index: int):
         self.network = network
         self.host = host
         self.index = index
@@ -121,8 +120,8 @@ class SecretStoreClient:
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
+        kernel: Scheduler,
+        network: Transport,
         host: str,
         replicas: List[str],
         f: int,

@@ -80,10 +80,53 @@ def make_parser() -> argparse.ArgumentParser:
     compare.add_argument("--duration", type=float, default=30.0)
     compare.add_argument("--seed", type=int, default=1)
 
+    rt = sub.add_parser(
+        "rt", help="live runtime: real processes over real sockets"
+    )
+    rt_sub = rt.add_subparsers(dest="rt_command", required=True)
+
+    rt_run = rt_sub.add_parser(
+        "run", help="launch a live deployment and drive a workload"
+    )
+    rt_run.add_argument("--mode", choices=[m.value for m in Mode], default="confidential")
+    rt_run.add_argument("--f", dest="f", type=int, default=1)
+    rt_run.add_argument("--data-centers", type=int, default=2)
+    rt_run.add_argument("--clients", type=int, default=5)
+    rt_run.add_argument("--updates", type=int, default=100,
+                        help="updates per client (closed loop)")
+    rt_run.add_argument("--interval", type=float, default=0.02,
+                        help="pacing delay between a client's updates")
+    rt_run.add_argument("--seed", type=int, default=1)
+    rt_run.add_argument("--base-port", type=int, default=17000)
+    rt_run.add_argument("--no-latency", dest="latency", action="store_false",
+                        help="disable emulated site latencies")
+    rt_run.add_argument("--out", default="rt-out", metavar="DIR",
+                        help="artifacts: spec, logs, per-node slices, merged bundle")
+    rt_run.add_argument("--timeout", type=float, default=300.0,
+                        help="workload wall-clock limit in seconds")
+
+    rt_node = rt_sub.add_parser(
+        "node", help="run one node process (spawned by the launcher)"
+    )
+    rt_node.add_argument("--spec", required=True, help="deployment spec JSON path")
+    group = rt_node.add_mutually_exclusive_group(required=True)
+    group.add_argument("--host", help="replica host to run")
+    group.add_argument("--client", help="client id to run (proxy + driver)")
+
     faultlab = sub.add_parser(
         "faultlab",
         help="sweep seeded fault schedules and check safety/liveness invariants",
     )
+    faultlab.add_argument("--substrate", choices=["sim", "live"], default="sim",
+                          help="sim: deterministic simulation (all fault kinds); "
+                               "live: real processes — crash/partition faults only")
+    faultlab.add_argument("--schedule", metavar="PATH",
+                          help="replay a JSON schedule file instead of "
+                               "generating from seeds")
+    faultlab.add_argument("--out", default="rt-faultlab", metavar="DIR",
+                          help="live substrate: artifact directory")
+    faultlab.add_argument("--base-port", type=int, default=18000,
+                          help="live substrate: first TCP port")
     faultlab.add_argument("--seeds", type=int, default=25,
                           help="number of seeds to sweep")
     faultlab.add_argument("--start-seed", type=int, default=1,
@@ -146,7 +189,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faultlab(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "rt":
+        return _cmd_rt(args)
     return _cmd_run(args)
+
+
+def _cmd_rt(args: argparse.Namespace) -> int:
+    if args.rt_command == "node":
+        from repro.rt.bootstrap import RtConfig
+        from repro.rt.node import run_client_node, run_replica_node
+
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            config = RtConfig.from_json(fh.read())
+        if args.host:
+            return run_replica_node(config, args.host)
+        return run_client_node(config, args.client)
+
+    # rt run
+    from repro.rt.bootstrap import RtConfig
+    from repro.rt.launcher import run_deployment
+
+    config = RtConfig(
+        mode=args.mode,
+        f=args.f,
+        data_centers=args.data_centers,
+        num_clients=args.clients,
+        seed=args.seed,
+        updates_per_client=args.updates,
+        update_interval=args.interval,
+        base_port=args.base_port,
+        latency=args.latency,
+        out_dir=args.out,
+    )
+    summary = run_deployment(config, timeout=args.timeout)
+    total = summary["updates_submitted"]
+    done = summary["updates_completed"]
+    print(f"rt run: {summary['clients']} clients, {done}/{total} updates "
+          f"completed in {summary['workload_seconds']:.1f}s "
+          f"({summary['throughput_per_s']:.1f}/s)")
+    print(f"latency: mean {summary['latency_mean'] * 1000:.1f} ms, "
+          f"p50 {summary['latency_p50'] * 1000:.1f} ms, "
+          f"p99 {summary['latency_p99'] * 1000:.1f} ms; "
+          f"retransmissions {summary['retransmissions']}")
+    print(f"merged bundle: {summary['merged_bundle']['metrics.prom']}")
+    ok = summary["finished"] and done >= total and total > 0
+    return 0 if ok else 1
 
 
 def _cmd_faultlab(args: argparse.Namespace) -> int:
@@ -164,14 +251,20 @@ def _cmd_faultlab(args: argparse.Namespace) -> int:
         f=args.f,
         key_renewal_enabled=args.key_renewal,
     )
+    if args.substrate == "live":
+        return _cmd_faultlab_live(args, lab)
     if args.seed is not None:
         seeds = [args.seed]
     else:
         seeds = list(range(args.start_seed, args.start_seed + args.seeds))
 
+    loaded = _load_schedule(args.schedule) if args.schedule else None
+    if loaded is not None:
+        seeds = [loaded.seed]
+
     failures = []
     for seed in seeds:
-        schedule = schedule_for_seed(seed, lab)
+        schedule = loaded if loaded is not None else schedule_for_seed(seed, lab)
         if args.plant_leak:
             schedule = plant_leak(schedule)
         result = run_schedule(schedule, lab, keep_deployment=bool(args.obs_out))
@@ -215,6 +308,58 @@ def _cmd_faultlab(args: argparse.Namespace) -> int:
         ) and len(failures) == len(seeds)
         return 0 if caught else 1
     return 1
+
+
+def _load_schedule(path: str):
+    from repro.faultlab.schedule import FaultSchedule
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return FaultSchedule.from_json(fh.read())
+
+
+def _cmd_faultlab_live(args: argparse.Namespace, lab) -> int:
+    """Replay crash/partition faults against a real process fleet.
+
+    Only ``recover`` (process kill + respawn) and ``isolate`` (partition)
+    have live realisations; schedules carrying sim-only kinds are rejected
+    with the offending kinds named (see repro.rt.faultlive).
+    """
+    from repro.faultlab import schedule_for_seed
+    from repro.rt.bootstrap import RtConfig
+    from repro.rt.faultlive import run_schedule_live, unsupported_kinds
+
+    if args.schedule:
+        schedule = _load_schedule(args.schedule)
+    elif args.seed is not None:
+        schedule = schedule_for_seed(args.seed, lab)
+    else:
+        print("faultlab --substrate live needs --seed or --schedule "
+              "(live runs are too slow to sweep)")
+        return 2
+    bad = unsupported_kinds(schedule)
+    if bad:
+        print(f"schedule seed={schedule.seed} uses sim-only fault kinds "
+              f"{bad}; the live substrate supports only crash/partition "
+              "(recover/isolate). Re-run with --substrate sim, or provide "
+              "a --schedule restricted to those kinds.")
+        return 2
+    config = RtConfig(
+        mode=args.mode,
+        f=args.f,
+        num_clients=lab.num_clients,
+        seed=schedule.seed,
+        out_dir=args.out,
+        base_port=args.base_port,
+    )
+    print(schedule.describe())
+    summary = run_schedule_live(schedule, config)
+    status = "PASS" if summary["ok"] else "FAIL"
+    print(f"{status} live seed={schedule.seed}: "
+          f"{summary['updates_completed']}/{summary['updates_submitted']} "
+          f"updates completed through {len(schedule.events)} fault events "
+          f"in {summary['workload_seconds']:.1f}s")
+    print(f"merged bundle: {summary['merged_bundle']['metrics.prom']}")
+    return 0 if summary["ok"] else 1
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:

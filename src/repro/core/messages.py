@@ -218,6 +218,9 @@ class ResumePoint:
     def ordered_through_dict(self) -> Dict[str, int]:
         return dict(self.ordered_through)
 
+    def wire_size(self) -> int:
+        return 24 + 16 * len(self.ordered_through)
+
 
 @dataclass(frozen=True)
 class CheckpointMsg:
@@ -241,7 +244,7 @@ class CheckpointMsg:
         return hashlib.sha256(self.blob_bytes()).digest()
 
     def wire_size(self) -> int:
-        return _HEADER + 48 + len(self.blob_bytes()) + 16 * len(self.resume.ordered_through)
+        return _HEADER + 24 + len(self.blob_bytes()) + self.resume.wire_size()
 
     def sensitive_parts(self) -> List[str]:
         if isinstance(self.blob, Sensitive):

@@ -20,9 +20,8 @@ from repro.core.messages import ClientResponse, ClientUpdate, client_alias
 from repro.costs import CostModel
 from repro.crypto.rsa import RsaKeyPair
 from repro.crypto.threshold import ThresholdPublicKey
-from repro.net.network import Network
 from repro.obs.registry import NULL_METRICS
-from repro.sim.kernel import Kernel
+from repro.rt.substrate import Scheduler, Transport
 
 ResponseCallback = Callable[[int, bytes, float], None]
 
@@ -32,8 +31,8 @@ class ClientProxy:
 
     def __init__(
         self,
-        kernel: Kernel,
-        network: Network,
+        kernel: Scheduler,
+        network: Transport,
         host: str,
         client_id: str,
         signing_key: RsaKeyPair,

@@ -54,8 +54,8 @@ from repro.crypto.threshold import (
     combine_with_retry,
 )
 from repro.errors import ProtocolError, SignatureError
-from repro.net.network import Network
 from repro.obs.registry import NULL_METRICS
+from repro.rt.substrate import Scheduler, Transport
 from repro.prime.config import PrimeConfig
 from repro.sim.cpu import Cpu
 from repro.prime.engine import PrimeReplica
@@ -118,8 +118,8 @@ class ReplicaEnv:
     read-only configuration.
     """
 
-    kernel: object
-    network: Network
+    kernel: Scheduler
+    network: Transport
     costs: CostModel
     prime_config: PrimeConfig
     confidential: bool

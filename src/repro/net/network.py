@@ -280,8 +280,16 @@ class Network:
         handler(src, payload)
 
 
+#: Payload types that hit the DEFAULT_MESSAGE_SIZE fallback, with a count of
+#: how often. A message type in here is lying about its bandwidth footprint;
+#: tests assert the map stays empty after an integration run.
+FALLBACK_SIZES: Dict[str, int] = {}
+
+
 def _payload_size(payload: Any) -> int:
     wire_size = getattr(payload, "wire_size", None)
     if callable(wire_size):
         return int(wire_size())
+    name = type(payload).__name__
+    FALLBACK_SIZES[name] = FALLBACK_SIZES.get(name, 0) + 1
     return DEFAULT_MESSAGE_SIZE

@@ -43,7 +43,7 @@ from repro.prime.messages import (
 from repro.prime.order import BatchEntry, GlobalOrder
 from repro.prime.preorder import PreOrder
 from repro.prime.view_change import ViewChange
-from repro.sim.kernel import Kernel
+from repro.rt.substrate import Scheduler
 from repro.sim.trace import Tracer
 
 SendFn = Callable[[str, object], None]
@@ -60,7 +60,7 @@ class PrimeReplica:
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Scheduler,
         config: PrimeConfig,
         replica_id: str,
         send: SendFn,

@@ -158,6 +158,9 @@ class PreparedCert:
     seq: int
     cutoffs: Mapping[OriginId, int]
 
+    def wire_size(self) -> int:
+        return 24 + 16 * max(1, len(self.cutoffs))
+
 
 @dataclass(frozen=True)
 class VcState:
@@ -168,7 +171,7 @@ class VcState:
     prepared: Tuple[PreparedCert, ...] = ()
 
     def wire_size(self) -> int:
-        return _HEADER + 16 + sum(24 + 16 * max(1, len(c.cutoffs)) for c in self.prepared)
+        return _HEADER + 16 + sum(c.wire_size() for c in self.prepared)
 
 
 @dataclass(frozen=True)
@@ -180,7 +183,7 @@ class NewView:
     adopted: Tuple[PreparedCert, ...] = ()
 
     def wire_size(self) -> int:
-        return _HEADER + 16 + sum(24 + 16 * max(1, len(c.cutoffs)) for c in self.adopted)
+        return _HEADER + 16 + sum(c.wire_size() for c in self.adopted)
 
 
 @dataclass(frozen=True)

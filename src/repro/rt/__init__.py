@@ -1,0 +1,49 @@
+"""RtLab: the runtime substrate layer.
+
+This package defines the *substrate abstraction* — the narrow interface
+(:class:`~repro.rt.substrate.Clock`, :class:`~repro.rt.substrate.Scheduler`,
+:class:`~repro.rt.substrate.Transport`) that all protocol code targets —
+and its two implementations:
+
+- the deterministic discrete-event simulation (:mod:`repro.sim.kernel` +
+  :mod:`repro.net.network`), unchanged in behaviour and still the substrate
+  of every test, FaultLab schedule, and scenario file;
+- a live asyncio runtime (:mod:`repro.rt.runtime`,
+  :mod:`repro.rt.transport`) where every replica, proxy, and client is its
+  own OS process speaking the versioned framed wire format of
+  :mod:`repro.rt.wire` over TCP on localhost, with site latencies injected
+  at the transport layer (no ``tc`` required).
+
+Heavy runtime modules (asyncio servers, the process launcher) are imported
+lazily so that simulation-only users never pay for them.
+"""
+
+from repro.rt.substrate import (
+    SUBSTRATES,
+    Clock,
+    Scheduler,
+    TimerHandle,
+    Transport,
+)
+from repro.rt.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "SUBSTRATES",
+    "Clock",
+    "Scheduler",
+    "TimerHandle",
+    "Transport",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,287 @@
+"""Deterministic system bootstrap shared by the sim builder and live nodes.
+
+The simulation builds the whole world in one process, so a central
+"dealer" can generate threshold groups, client keys, and hardware
+keystores and hand each component its share directly. The live runtime
+has no such process: every replica, proxy, and client is its own OS
+process. Instead of shipping key material over the wire (or files), every
+process *re-derives* the identical material from the run's master seed —
+:class:`~repro.sim.rng.RngRegistry` streams are keyed by name, so each
+process drawing the same named streams in the same order reconstructs
+byte-identical keys, shares, and keystores.
+
+:func:`generate_material` is that dealer, extracted verbatim from
+``repro.system.builder.build`` (which now calls it), preserving the exact
+RNG draw order so existing simulation traces stay byte-identical.
+
+:class:`RtConfig` is the JSON-serialisable description of one live
+deployment: the launcher writes it to a spec file, every spawned node
+reads it back, and both sides derive the same
+:class:`~repro.system.config.SystemConfig`, material, and port map.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.distribution import DistributionPlan, plan_confidential, plan_spire
+from repro.core.messages import client_alias
+from repro.costs import FREE
+from repro.crypto.keystore import HardwareKeyStore
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.crypto.symmetric import SymmetricKeyPair, derive_keypair
+from repro.crypto.threshold import ThresholdKeyGroup, generate_threshold_key
+from repro.net.topology import CLIENT_SITE, Topology, east_coast_topology
+from repro.prime.config import PrimeConfig
+from repro.sim.rng import RngRegistry
+from repro.system.config import Mode, SystemConfig
+
+
+@dataclass
+class SystemMaterial:
+    """Everything derivable from (config, seed): geography, roles, keys.
+
+    Identical in every process of a deployment; never crosses the wire.
+    """
+
+    plan: DistributionPlan
+    topology: Topology
+    on_premises_hosts: Tuple[str, ...]
+    data_center_hosts: Tuple[str, ...]
+    all_hosts: Tuple[str, ...]
+    executing_hosts: Tuple[str, ...]
+    prime_config: PrimeConfig
+    intro_group: Optional[ThresholdKeyGroup]
+    response_group: ThresholdKeyGroup
+    client_ids: List[str]
+    client_keys: Dict[str, RsaKeyPair]
+    client_registry: Dict[str, RsaPublicKey]
+    alias_to_client: Dict[str, str]
+    initial_client_keys: Dict[str, SymmetricKeyPair]
+    proxy_of_client: Dict[str, str]
+    keystores: Dict[str, HardwareKeyStore]
+
+    def role_of(self, host: str) -> str:
+        """"executing" | "storage" for a replica host."""
+        return "executing" if host in self.executing_hosts else "storage"
+
+
+def generate_material(config: SystemConfig, rng: RngRegistry) -> SystemMaterial:
+    """Derive the full deterministic system material for ``config``.
+
+    The RNG draw order on the ``"keygen"`` stream is a compatibility
+    contract: changing it changes every key in every existing trace.
+    """
+    if config.confidential:
+        plan = plan_confidential(config.f, config.data_centers)
+    else:
+        plan = plan_spire(config.f, config.data_centers)
+
+    topology = east_coast_topology(config.data_centers)
+    on_prem_hosts, dc_hosts = _place_replicas(topology, plan)
+    all_hosts = on_prem_hosts + dc_hosts
+
+    prime_config = PrimeConfig(
+        replica_ids=_interleave_by_site(topology, all_hosts),
+        f=plan.f,
+        k=plan.k,
+        pp_interval=config.pp_interval,
+        vc_timeout=config.vc_timeout,
+    )
+
+    # -- cryptographic material (the system-setup "dealer" role) -----------------
+    keygen_rng = rng.stream("keygen")
+    executing_hosts = on_prem_hosts if config.confidential else all_hosts
+
+    intro_group: Optional[ThresholdKeyGroup] = None
+    if config.confidential:
+        intro_group = generate_threshold_key(
+            config.threshold_bits, plan.f + 1, len(on_prem_hosts), keygen_rng
+        )
+    response_group = generate_threshold_key(
+        config.threshold_bits, plan.f + 1, len(executing_hosts), keygen_rng
+    )
+
+    client_ids = [f"client-{i:02d}" for i in range(config.num_clients)]
+    client_keys: Dict[str, RsaKeyPair] = {
+        cid: generate_keypair(config.rsa_bits, keygen_rng) for cid in client_ids
+    }
+    client_registry = {cid: kp.public for cid, kp in client_keys.items()}
+    alias_to_client = {client_alias(cid): cid for cid in client_ids}
+    initial_client_keys: Dict[str, SymmetricKeyPair] = {
+        client_alias(cid): derive_keypair(
+            rng.randbytes(f"client-keys.{cid}", 32)
+        )
+        for cid in client_ids
+    }
+    proxy_of_client = {cid: f"proxy-{cid}" for cid in client_ids}
+    for proxy_host in proxy_of_client.values():
+        topology.add_host(proxy_host, CLIENT_SITE)
+
+    # Hardware keystores: every replica has a TPM identity key; on-premises
+    # replicas additionally share the hardware-protected symmetric key.
+    hw_shared = derive_keypair(rng.randbytes("hw-shared-key", 32))
+    keystores: Dict[str, HardwareKeyStore] = {}
+    for host in all_hosts:
+        identity = generate_keypair(config.rsa_bits, keygen_rng)
+        shared = hw_shared if (host in on_prem_hosts and config.confidential) else None
+        keystores[host] = HardwareKeyStore(host, identity, shared)
+
+    return SystemMaterial(
+        plan=plan,
+        topology=topology,
+        on_premises_hosts=tuple(on_prem_hosts),
+        data_center_hosts=tuple(dc_hosts),
+        all_hosts=tuple(all_hosts),
+        executing_hosts=tuple(executing_hosts),
+        prime_config=prime_config,
+        intro_group=intro_group,
+        response_group=response_group,
+        client_ids=client_ids,
+        client_keys=client_keys,
+        client_registry=client_registry,
+        alias_to_client=alias_to_client,
+        initial_client_keys=initial_client_keys,
+        proxy_of_client=proxy_of_client,
+        keystores=keystores,
+    )
+
+
+def _interleave_by_site(topology: Topology, hosts: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Order hosts round-robin across their sites, so that the Prime
+    leader rotation (which follows this order) never dwells in one site."""
+    by_site: Dict[str, List[str]] = {}
+    for host in hosts:
+        by_site.setdefault(topology.site_of(host).name, []).append(host)
+    columns = [sorted(by_site[site]) for site in sorted(by_site)]
+    interleaved: List[str] = []
+    for row in range(max(len(c) for c in columns)):
+        for column in columns:
+            if row < len(column):
+                interleaved.append(column[row])
+    return tuple(interleaved)
+
+
+def _place_replicas(
+    topology: Topology, plan: DistributionPlan
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Create replica hostnames and place them in their sites."""
+    from repro.net.topology import (
+        CONTROL_CENTER_A,
+        CONTROL_CENTER_B,
+        DATA_CENTER_1,
+        DATA_CENTER_2,
+        DATA_CENTER_3,
+    )
+
+    on_prem_sites = [CONTROL_CENTER_A, CONTROL_CENTER_B]
+    dc_sites = [DATA_CENTER_1, DATA_CENTER_2, DATA_CENTER_3][: len(plan.data_centers)]
+    on_prem_hosts: List[str] = []
+    dc_hosts: List[str] = []
+    for site, count in zip(on_prem_sites, plan.on_premises):
+        for i in range(count):
+            host = f"{site}-r{i}"
+            topology.add_host(host, site)
+            on_prem_hosts.append(host)
+    for site, count in zip(dc_sites, plan.data_centers):
+        for i in range(count):
+            host = f"{site}-r{i}"
+            topology.add_host(host, site)
+            dc_hosts.append(host)
+    return tuple(on_prem_hosts), tuple(dc_hosts)
+
+
+# -- live deployment spec ---------------------------------------------------------
+
+
+@dataclass
+class RtConfig:
+    """One live deployment, JSON round-trippable for the spec file.
+
+    Protocol timing defaults are scaled up from the simulation's: the sim
+    charges modelled CPU costs on a virtual clock, while live processes
+    pay real scheduling, real crypto, and real TCP under a shared machine,
+    so the sim's 100 ms view-change timeout would misfire constantly.
+    """
+
+    mode: str = "confidential"
+    f: int = 1
+    data_centers: int = 2
+    num_clients: int = 5
+    seed: int = 1
+
+    #: Updates each client submits (closed loop: next begins when the
+    #: previous completes or the pacing interval elapses).
+    updates_per_client: int = 100
+    update_interval: float = 0.02
+
+    # Live-scaled protocol timing.
+    pp_interval: float = 0.05
+    vc_timeout: float = 3.0
+    failover_delay: float = 0.5
+    retransmit_timeout: float = 2.0
+    checkpoint_interval: int = 100
+
+    # Below the Linux ephemeral range (32768+): a peer's outbound
+    # connection must never steal a listener's port.
+    base_port: int = 17000
+    bind_host: str = "127.0.0.1"
+    #: Inject the emulated topology's site latencies at the transport
+    #: layer. Off for pure-throughput benchmarking.
+    latency: bool = True
+    #: Shared wall-clock epoch (the launcher's launch instant); every
+    #: node's ``now`` is seconds since this, so merged timelines align.
+    epoch: float = 0.0
+    #: Directory for per-node artifacts and the merged bundle.
+    out_dir: str = "rt-out"
+
+    def system_config(self) -> SystemConfig:
+        """The :class:`SystemConfig` every node derives material from.
+
+        Costs are :data:`~repro.costs.FREE`: live crypto does real work on
+        a real CPU, so charging modelled costs on top would double-count.
+        """
+        return SystemConfig(
+            mode=Mode(self.mode),
+            f=self.f,
+            data_centers=self.data_centers,
+            num_clients=self.num_clients,
+            seed=self.seed,
+            update_interval=self.update_interval,
+            checkpoint_interval=self.checkpoint_interval,
+            pp_interval=self.pp_interval,
+            vc_timeout=self.vc_timeout,
+            failover_delay=self.failover_delay,
+            costs=FREE,
+            tracing=True,
+            metrics_enabled=True,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RtConfig":
+        data = json.loads(text)
+        return cls(**data)
+
+
+def host_ports(material: SystemMaterial, base_port: int) -> Dict[str, Tuple[int, int]]:
+    """Deterministic (data_port, control_port) per host.
+
+    Sorted over replicas then proxies so every process computes the same
+    map without coordination: host i gets base+2i (data) and base+2i+1
+    (control).
+    """
+    hosts = sorted(material.all_hosts) + sorted(material.proxy_of_client.values())
+    return {
+        host: (base_port + 2 * i, base_port + 2 * i + 1)
+        for i, host in enumerate(hosts)
+    }
+
+
+def data_ports(material: SystemMaterial, base_port: int) -> Dict[str, int]:
+    """Just the data-plane port per host (what :class:`LiveTransport` needs)."""
+    return {host: ports[0] for host, ports in host_ports(material, base_port).items()}

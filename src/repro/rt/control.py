@@ -1,0 +1,143 @@
+"""Per-process control plane: a tiny HTTP server over asyncio streams.
+
+Every RtLab node serves a control endpoint next to its data port:
+
+- ``GET /health``   — liveness + identity (host, role, now, port);
+- ``GET /metrics``  — Prometheus text exposition of the node's registry
+  (the launcher scrapes this during the run);
+- ``POST /shutdown`` — graceful stop: the node writes its observability
+  artifacts, closes its transport, and exits 0;
+- ``POST /partition`` — install/lift a live partition fault
+  (``{"site": "dc-1", "blocked": true}``), FaultLab's ``isolate`` on the
+  live substrate.
+
+Hand-rolled on purpose: the stdlib's ``http.server`` is threaded and the
+container has no third-party HTTP stack; forty lines of HTTP/1.0 parsing
+keeps the whole runtime on one event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Awaitable, Callable, Dict, Optional, Tuple, Union
+
+#: handler(body_dict) -> (status, content_type, body_text)
+Response = Tuple[int, str, str]
+Handler = Callable[[Dict], Union[Response, Awaitable[Response]]]
+
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found"}
+
+_MAX_BODY = 1 << 20
+
+
+class ControlServer:
+    """Minimal single-purpose HTTP endpoint for one node."""
+
+    def __init__(self, port: int, bind_host: str = "127.0.0.1"):
+        self.port = port
+        self.bind_host = bind_host
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    def route(self, method: str, path: str, handler: Handler) -> None:
+        self._routes[(method.upper(), path)] = handler
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.bind_host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0].upper(), parts[1]
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = min(int(value.strip() or 0), _MAX_BODY)
+            body: Dict = {}
+            if content_length:
+                raw = await reader.readexactly(content_length)
+                try:
+                    body = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    await self._respond(writer, 400, "application/json",
+                                        '{"error": "bad json body"}')
+                    return
+            handler = self._routes.get((method, path))
+            if handler is None:
+                await self._respond(writer, 404, "application/json",
+                                    '{"error": "no such route"}')
+                return
+            result = handler(body)
+            if asyncio.iscoroutine(result):
+                result = await result
+            status, content_type, text = result
+            await self._respond(writer, status, content_type, text)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, content_type: str, text: str
+    ) -> None:
+        payload = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii") + payload)
+        await writer.drain()
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict] = None,
+    timeout: float = 5.0,
+) -> Tuple[int, str]:
+    """One-shot client for control endpoints; returns (status, body text)."""
+
+    async def _do() -> Tuple[int, str]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else b""
+            head = (
+                f"{method.upper()} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+        header, _, rest = raw.partition(b"\r\n\r\n")
+        status_line = header.split(b"\r\n", 1)[0].decode("ascii", "replace")
+        status = int(status_line.split()[1]) if len(status_line.split()) > 1 else 0
+        return status, rest.decode("utf-8", "replace")
+
+    return await asyncio.wait_for(_do(), timeout)

@@ -1,0 +1,122 @@
+"""Merge per-node observability artifacts into one deployment bundle.
+
+Each live node persists its slice at shutdown (``nodes/<host>/``): a raw
+instrument dump with full histogram samples, its Prometheus snapshot, and
+its trace events. Because every process stamps events with the *shared*
+wall-clock epoch, the merge is trivial and exact:
+
+- **counters** with the same (name, labels) sum across nodes;
+- **gauges** sum (each node contributes its own, e.g. events processed);
+- **histograms** concatenate their raw ``(t, value)`` samples — merged
+  percentiles are computed over the union, not averaged from per-node
+  aggregates;
+- **trace events** interleave by timestamp into one timeline, and the
+  deployment's causal spans are *replayed offline* through the same
+  :class:`~repro.obs.spans.SpanTracker` the simulation runs online —
+  a proxy's submit on one process and a replica's execute on another
+  land in the same span, exactly as they do in one sim process.
+
+The result is the standard bundle layout (``metrics.prom``,
+``metrics.jsonl``, ``spans.jsonl``, ``trace.jsonl``, ``trace.json``)
+that ``scripts/check_obs_export.py`` validates and every existing
+offline tool already reads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_jsonl_rows,
+    prometheus_text,
+    spans_jsonl_rows,
+    tracer_jsonl_rows,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracker
+from repro.sim.trace import TraceEvent
+
+
+def load_trace_events(node_dirs: List[Path]) -> List[TraceEvent]:
+    """All nodes' trace events, interleaved on the shared timeline."""
+    events: List[TraceEvent] = []
+    for node_dir in node_dirs:
+        path = node_dir / "trace.jsonl"
+        if not path.is_file():
+            continue
+        for line in path.read_text(encoding="utf-8").splitlines():
+            row = json.loads(line)
+            events.append(
+                TraceEvent(
+                    time=row["time"],
+                    category=row["category"],
+                    host=row["host"],
+                    detail=row.get("detail") or {},
+                )
+            )
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def merge_metrics(node_dirs: List[Path]) -> MetricsRegistry:
+    """One registry with every node's instruments folded in."""
+    merged = MetricsRegistry()
+    for node_dir in node_dirs:
+        path = node_dir / "metrics_raw.json"
+        if not path.is_file():
+            continue
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        for row in raw.get("counters", ()):
+            merged.counter(row["name"], **dict(row["labels"])).inc(row["value"])
+        for row in raw.get("gauges", ()):
+            gauge = merged.gauge(row["name"], **dict(row["labels"]))
+            gauge.set(gauge.value + row["value"])
+        for row in raw.get("histograms", ()):
+            histogram = merged.histogram(row["name"], **dict(row["labels"]))
+            histogram.samples.extend((t, v) for t, v in row["samples"])
+    for histogram in merged.histograms():
+        histogram.samples.sort()
+    return merged
+
+
+def replay_spans(events: List[TraceEvent]) -> SpanTracker:
+    """Rebuild causal spans offline from the merged timeline."""
+    tracker = SpanTracker()
+    for event in events:
+        tracker.on_event(event)
+    return tracker
+
+
+def merge_bundle(out_dir) -> Dict[str, str]:
+    """Merge ``out_dir/nodes/*`` into ``out_dir/merged/``; returns paths."""
+    root = Path(out_dir)
+    node_dirs = sorted(p for p in (root / "nodes").glob("*") if p.is_dir())
+    merged_dir = root / "merged"
+    merged_dir.mkdir(parents=True, exist_ok=True)
+
+    events = load_trace_events(node_dirs)
+    metrics = merge_metrics(node_dirs)
+    spans = replay_spans(events)
+    at_time = events[-1].time if events else 0.0
+
+    paths = {
+        "metrics.prom": merged_dir / "metrics.prom",
+        "metrics.jsonl": merged_dir / "metrics.jsonl",
+        "spans.jsonl": merged_dir / "spans.jsonl",
+        "trace.jsonl": merged_dir / "trace.jsonl",
+        "trace.json": merged_dir / "trace.json",
+    }
+    paths["metrics.prom"].write_text(
+        prometheus_text(metrics, at_time=at_time), encoding="utf-8"
+    )
+    write_jsonl(paths["metrics.jsonl"], metrics_jsonl_rows(metrics))
+    write_jsonl(paths["spans.jsonl"], spans_jsonl_rows(spans.all_spans()))
+    write_jsonl(paths["trace.jsonl"], tracer_jsonl_rows(events))
+    paths["trace.json"].write_text(
+        json.dumps(chrome_trace(spans.all_spans()), sort_keys=True), encoding="utf-8"
+    )
+    return {name: str(path) for name, path in paths.items()}

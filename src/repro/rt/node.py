@@ -1,0 +1,335 @@
+"""One RtLab OS process: a replica, or a client driving its proxy.
+
+A node re-derives the full deterministic system material from the spec
+file's (config, seed), builds the live substrate — a
+:class:`~repro.rt.runtime.LiveScheduler` on its own asyncio loop and a
+:class:`~repro.rt.transport.LiveTransport` on its own TCP port — and then
+instantiates *exactly the same protocol objects the simulation uses*:
+:class:`~repro.core.replica.ExecutingReplica` /
+:class:`~repro.core.replica.StorageReplica` /
+:class:`~repro.core.proxy.ClientProxy`, unmodified.
+
+Next to the data port every node serves a control endpoint
+(:mod:`repro.rt.control`): ``/health``, ``/metrics`` (Prometheus text),
+``/shutdown`` (graceful: write artifacts, close sockets, exit 0), and
+``/partition`` (live fault injection). On shutdown a node persists its
+slice of the observability record — ``metrics.prom``, raw instrument
+dumps, and its trace events — under ``out_dir/nodes/<host>/`` for the
+launcher to merge into one deployment-wide bundle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.app import KeyValueApplication
+from repro.core.confidentiality import Auditor
+from repro.core.proxy import ClientProxy
+from repro.core.replica import ExecutingReplica, ReplicaBase, ReplicaEnv, StorageReplica
+from repro.obs.export import metrics_jsonl_rows, prometheus_text, tracer_jsonl_rows, write_jsonl
+from repro.obs.registry import MetricsRegistry
+from repro.rt.bootstrap import RtConfig, SystemMaterial, data_ports, generate_material, host_ports
+from repro.rt.control import ControlServer
+from repro.rt.runtime import LiveScheduler
+from repro.rt.transport import LiveTransport
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class NodeContext:
+    """The live substrate plus the node's slice of the system."""
+
+    def __init__(self, config: RtConfig, host: str, role: str):
+        self.config = config
+        self.host = host
+        self.role = role
+        self.system_config = config.system_config()
+        self.rng = RngRegistry(self.system_config.seed)
+        self.material: SystemMaterial = generate_material(self.system_config, self.rng)
+        self.ports = host_ports(self.material, config.base_port)
+        if host not in self.ports:
+            raise SystemExit(f"unknown host {host!r} for this deployment")
+        self.data_port, self.control_port = self.ports[host]
+        self.loop = asyncio.get_event_loop()
+        self.scheduler = LiveScheduler(self.loop, epoch=config.epoch)
+        self.metrics = MetricsRegistry(now_fn=lambda: self.scheduler.now)
+        self.metrics.register_gauge(
+            "kernel.events_processed", lambda: self.scheduler.events_processed
+        )
+        self.tracer = Tracer(self.scheduler, enabled=True)
+        self.transport = LiveTransport(
+            self.material.topology,
+            data_ports(self.material, config.base_port),
+            bind_host=config.bind_host,
+            latency=config.latency,
+            loop=self.loop,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        self.auditor = Auditor(tracer=self.tracer)
+        self.transport.inspector = self.auditor.inspect_delivery
+        self.control = ControlServer(self.control_port, bind_host=config.bind_host)
+        self.shutdown_requested = asyncio.Event()
+        self._install_routes()
+
+    # -- control routes -----------------------------------------------------------
+
+    def _install_routes(self) -> None:
+        self.control.route("GET", "/health", self._r_health)
+        self.control.route("GET", "/metrics", self._r_metrics)
+        self.control.route("POST", "/shutdown", self._r_shutdown)
+        self.control.route("POST", "/partition", self._r_partition)
+
+    def _r_health(self, _body: Dict) -> Tuple[int, str, str]:
+        return 200, "application/json", json.dumps(
+            {
+                "host": self.host,
+                "role": self.role,
+                "now": self.scheduler.now,
+                "pid": os.getpid(),
+                "events": self.scheduler.events_processed,
+            }
+        )
+
+    def _r_metrics(self, _body: Dict) -> Tuple[int, str, str]:
+        return (
+            200,
+            "text/plain; version=0.0.4",
+            prometheus_text(self.metrics, at_time=self.scheduler.now),
+        )
+
+    def _r_shutdown(self, _body: Dict) -> Tuple[int, str, str]:
+        self.shutdown_requested.set()
+        return 202, "application/json", '{"shutting_down": true}'
+
+    def _r_partition(self, body: Dict) -> Tuple[int, str, str]:
+        site = body.get("site")
+        if not isinstance(site, str):
+            return 400, "application/json", '{"error": "missing site"}'
+        blocked = bool(body.get("blocked", True))
+        self.transport.set_site_blocked(site, blocked)
+        self.tracer.record("rt.partition", self.host, site=site, blocked=blocked)
+        return 200, "application/json", json.dumps({"site": site, "blocked": blocked})
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.transport.start_serving()
+        await self.control.start()
+        # SIGTERM behaves like POST /shutdown: artifacts still get written.
+        try:
+            self.loop.add_signal_handler(signal.SIGTERM, self.shutdown_requested.set)
+            self.loop.add_signal_handler(signal.SIGINT, self.shutdown_requested.set)
+        except NotImplementedError:  # pragma: no cover - non-unix
+            pass
+
+    async def stop(self) -> None:
+        await self.control.close()
+        await self.transport.close()
+
+    def node_dir(self) -> Path:
+        return Path(self.config.out_dir) / "nodes" / self.host
+
+    def write_artifacts(self) -> None:
+        """Persist this node's observability slice for the merge step."""
+        out = self.node_dir()
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "metrics.prom").write_text(
+            prometheus_text(self.metrics, at_time=self.scheduler.now), encoding="utf-8"
+        )
+        write_jsonl(out / "metrics.jsonl", metrics_jsonl_rows(self.metrics))
+        write_jsonl(out / "trace.jsonl", tracer_jsonl_rows(self.tracer.events))
+        raw = {
+            "host": self.host,
+            "role": self.role,
+            "now": self.scheduler.now,
+            "counters": [
+                {"name": c.name, "labels": list(c.labels), "value": c.value}
+                for c in self.metrics.counters()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": list(g.labels), "value": g.value}
+                for g in self.metrics.gauges()
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": list(h.labels),
+                    "samples": [[t, v] for t, v in h.samples],
+                }
+                for h in self.metrics.histograms()
+            ],
+        }
+        tmp = out / "metrics_raw.json.tmp"
+        tmp.write_text(json.dumps(raw, sort_keys=True), encoding="utf-8")
+        tmp.replace(out / "metrics_raw.json")
+
+
+def _build_env(ctx: NodeContext) -> ReplicaEnv:
+    """Mirror of the builder's ReplicaEnv, on the live substrate."""
+    m = ctx.material
+    cfg = ctx.system_config
+    return ReplicaEnv(
+        kernel=ctx.scheduler,
+        network=ctx.transport,
+        costs=cfg.costs,
+        prime_config=m.prime_config,
+        confidential=cfg.confidential,
+        all_replicas=tuple(m.all_hosts),
+        on_premises=tuple(m.on_premises_hosts),
+        executing=tuple(m.executing_hosts),
+        intro_public=m.intro_group.public if m.intro_group else None,
+        response_public=m.response_group.public,
+        client_registry=m.client_registry,
+        alias_to_client=m.alias_to_client,
+        proxy_of_client=m.proxy_of_client,
+        initial_client_keys=m.initial_client_keys,
+        checkpoint_interval=cfg.checkpoint_interval,
+        key_validity=cfg.key_validity,
+        key_slack=cfg.key_slack,
+        key_renewal_enabled=cfg.key_renewal_enabled,
+        failover_delay=cfg.failover_delay,
+        xfer_chunk_bytes=cfg.xfer_chunk_bytes,
+        xfer_chunk_interval=cfg.xfer_chunk_interval,
+        tracer=ctx.tracer,
+        auditor=ctx.auditor,
+        rng=ctx.rng,
+        metrics=ctx.metrics,
+    )
+
+
+def _build_replica(ctx: NodeContext) -> ReplicaBase:
+    m = ctx.material
+    env = _build_env(ctx)
+    host = ctx.host
+    if host in m.executing_hosts:
+        index = m.executing_hosts.index(host)
+        return ExecutingReplica(
+            env=env,
+            host=host,
+            keystore=m.keystores[host],
+            app_factory=KeyValueApplication,
+            intro_share=m.intro_group.shares[index + 1] if m.intro_group else None,
+            response_share=m.response_group.shares[index + 1],
+        )
+    return StorageReplica(env, host, m.keystores[host])
+
+
+# -- replica process ------------------------------------------------------------------
+
+
+async def _replica_main(config: RtConfig, host: str) -> int:
+    ctx = NodeContext(config, host, role="replica")
+    replica = _build_replica(ctx)
+    await ctx.start()
+    replica.start()
+    await ctx.shutdown_requested.wait()
+    ctx.write_artifacts()
+    await ctx.stop()
+    return 0
+
+
+def run_replica_node(config: RtConfig, host: str) -> int:
+    return asyncio.run(_replica_main(config, host))
+
+
+# -- client process -------------------------------------------------------------------
+
+
+def _update_body(client_id: str, seq: int) -> bytes:
+    return f"SET {client_id}-key-{seq % 17} value-{seq}".encode("utf-8")
+
+
+class ClientDriver:
+    """Closed-loop workload: one in-flight update per client."""
+
+    def __init__(self, ctx: NodeContext, proxy: ClientProxy, updates: int, interval: float):
+        self.ctx = ctx
+        self.proxy = proxy
+        self.updates = updates
+        self.interval = interval
+        self._completions: Dict[int, float] = {}
+        self._done = asyncio.Event()
+        proxy.on_response(self._on_response)
+
+    def _on_response(self, seq: int, _body: bytes, latency: float) -> None:
+        self._completions[seq] = latency
+        self._done.set()
+
+    async def run(self) -> Dict:
+        # Worst case one update rides out every retransmit before we call
+        # it lost and move on; the proxy keeps retrying in the background.
+        per_update_timeout = (
+            self.proxy.retransmit_timeout * (self.proxy.max_retransmits + 1) + 10.0
+        )
+        for _ in range(self.updates):
+            self._done.clear()
+            seq = self.proxy.submit(_update_body(self.proxy.client_id, self.proxy._seq + 1))
+            deadline = self.ctx.scheduler.now + per_update_timeout
+            while seq not in self._completions and self.ctx.scheduler.now < deadline:
+                try:
+                    await asyncio.wait_for(self._done.wait(), timeout=1.0)
+                except asyncio.TimeoutError:
+                    pass
+                self._done.clear()
+            if self.interval > 0:
+                await asyncio.sleep(self.interval)
+        return {
+            "client_id": self.proxy.client_id,
+            "updates": self.updates,
+            "completed": len(self.proxy.completed),
+            "gave_up": int(self.proxy._m_gave_up.value)
+            if hasattr(self.proxy._m_gave_up, "value")
+            else 0,
+            "retransmissions": self.proxy.retransmissions,
+            "latencies": self.proxy.latencies(),
+        }
+
+
+async def _client_main(config: RtConfig, client_id: str) -> int:
+    rng_probe = RngRegistry(config.seed)
+    material = generate_material(config.system_config(), rng_probe)
+    proxy_host = material.proxy_of_client.get(client_id)
+    if proxy_host is None:
+        raise SystemExit(f"unknown client {client_id!r} for this deployment")
+
+    ctx = NodeContext(config, proxy_host, role="client")
+    proxy = ClientProxy(
+        kernel=ctx.scheduler,
+        network=ctx.transport,
+        host=proxy_host,
+        client_id=client_id,
+        signing_key=ctx.material.client_keys[client_id],
+        response_public=ctx.material.response_group.public,
+        on_premises_replicas=list(ctx.material.on_premises_hosts),
+        costs=ctx.system_config.costs,
+        retransmit_timeout=config.retransmit_timeout,
+        tracer=ctx.tracer,
+        metrics=ctx.metrics,
+    )
+    await ctx.start()
+
+    driver = ClientDriver(ctx, proxy, config.updates_per_client, config.update_interval)
+    result = await driver.run()
+
+    # Publish the result atomically, then wait for the launcher's shutdown:
+    # exiting now would tear down the control port before the final scrape.
+    clients_dir = Path(config.out_dir) / "clients"
+    clients_dir.mkdir(parents=True, exist_ok=True)
+    tmp = clients_dir / f"{client_id}.json.tmp"
+    tmp.write_text(json.dumps(result, sort_keys=True), encoding="utf-8")
+    tmp.replace(clients_dir / f"{client_id}.json")
+
+    await ctx.shutdown_requested.wait()
+    ctx.write_artifacts()
+    await ctx.stop()
+    return 0
+
+
+def run_client_node(config: RtConfig, client_id: str) -> int:
+    return asyncio.run(_client_main(config, client_id))

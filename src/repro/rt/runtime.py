@@ -1,0 +1,130 @@
+"""Live substrate: a wall-clock :class:`Scheduler` over asyncio.
+
+Every RtLab process runs one :class:`LiveScheduler` on its asyncio event
+loop. It satisfies the same structural contract as the simulation kernel
+(:class:`repro.rt.substrate.Scheduler`), so replicas, proxies, the Prime
+engine, and every manager built on them run unmodified.
+
+Time is *shared wall time*: the launcher picks one epoch (its own
+``time.time()`` at launch) and hands it to every process, so ``now`` is
+comparable across processes — trace events merged from all nodes form one
+coherent timeline, which is what lets the launcher reconstruct causal
+spans offline exactly as the simulation builds them online.
+
+Semantic differences from the simulation kernel, deliberate and small:
+
+- scheduling "in the past" clamps to *now* instead of raising — on a real
+  machine the clock moves between computing a deadline and scheduling it;
+- same-instant ordering follows the asyncio loop's FIFO, which matches
+  the kernel's scheduling-order tie-break for callbacks scheduled from
+  the same task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Optional
+
+
+class LiveTimer:
+    """Cancellable handle over an asyncio timer, kernel-compatible.
+
+    For repeating timers one logical handle covers all occurrences (the
+    kernel's contract): ``cancel()`` always stops the series, with no
+    stale-handle window between occurrences.
+    """
+
+    __slots__ = ("_scheduler", "callback", "args", "interval", "cancelled", "fired", "_handle")
+
+    def __init__(
+        self,
+        scheduler: "LiveScheduler",
+        callback: Callable[..., Any],
+        args: tuple,
+        interval: Optional[float] = None,
+    ):
+        self._scheduler = scheduler
+        self.callback = callback
+        self.args = args
+        self.interval = interval
+        self.cancelled = False
+        self.fired = False
+        self._handle: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def active(self) -> bool:
+        return self._handle is not None and not self.cancelled
+
+    def _arm(self, delay: float) -> None:
+        self._handle = self._scheduler.loop.call_later(max(0.0, delay), self._fire)
+
+    def _fire(self) -> None:
+        self._handle = None
+        if self.cancelled:
+            return
+        self.fired = True
+        try:
+            self.callback(*self.args)
+        finally:
+            # Re-arm *after* the callback returns, mirroring the kernel:
+            # a cancel() issued inside the callback suppresses the series.
+            if self.interval is not None and not self.cancelled:
+                self._arm(self.interval)
+
+
+class LiveScheduler:
+    """Wall-clock scheduler over one process's asyncio loop."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None, epoch: Optional[float] = None):
+        self.loop = loop if loop is not None else asyncio.get_event_loop()
+        #: Wall-clock instant that maps to now == 0 for every process of a
+        #: deployment (the launcher's launch time).
+        self.epoch = epoch if epoch is not None else time.time()
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        return time.time() - self.epoch
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    def _wrap(self, timer: LiveTimer) -> LiveTimer:
+        original = timer.callback
+
+        def counted(*args: Any) -> None:
+            self._event_count += 1
+            original(*args)
+
+        timer.callback = counted
+        return timer
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> LiveTimer:
+        timer = self._wrap(LiveTimer(self, callback, args))
+        timer._arm(when - self.now)
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> LiveTimer:
+        if delay < 0:
+            # Same contract as the sim kernel: a negative *relative* delay is
+            # a protocol bug, not wall-clock drift, so don't clamp it away.
+            raise ValueError(f"negative delay {delay!r}")
+        timer = self._wrap(LiveTimer(self, callback, args))
+        timer._arm(delay)
+        return timer
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> LiveTimer:
+        return self.call_later(0.0, callback, *args)
+
+    def call_repeating(self, interval: float, callback: Callable[..., Any], *args: Any) -> LiveTimer:
+        timer = self._wrap(LiveTimer(self, callback, args, interval=interval))
+        timer._arm(interval)
+        return timer

@@ -1,0 +1,97 @@
+"""Substrate protocols: what protocol code may assume about its runtime.
+
+Replicas, proxies, the Prime engine, checkpointing, state transfer, and
+the recovery orchestrator are all written against three small interfaces:
+
+- :class:`Clock` — a monotonically advancing ``now`` in seconds;
+- :class:`Scheduler` — one-shot, immediate, and repeating callbacks with
+  cancellable :class:`TimerHandle`\\ s (the simulation kernel's contract);
+- :class:`Transport` — named-host message delivery with handler
+  registration and a :class:`~repro.net.topology.Topology` view.
+
+The deterministic simulation (:class:`repro.sim.kernel.Kernel`,
+:class:`repro.net.network.Network`) and the live asyncio runtime
+(:class:`repro.rt.runtime.LiveScheduler`,
+:class:`repro.rt.transport.LiveTransport`) both satisfy these protocols,
+which is what lets the *same* protocol code run deterministically under
+test and as real processes over real sockets in production.
+
+Protocol code must not import ``repro.sim.kernel`` or
+``repro.net.network`` for typing — it imports these protocols instead.
+The structural checks are enforced by ``tests/test_rt_substrate.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Protocol, runtime_checkable
+
+#: Recognised substrate names for CLI flags and scenario files.
+SUBSTRATES = ("sim", "live")
+
+Handler = Callable[[str, Any], None]
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancelling after the callback ran (or cancelling twice) must be a
+    harmless no-op; for repeating timers ``cancel()`` stops the series.
+    """
+
+    def cancel(self) -> None: ...
+
+    @property
+    def active(self) -> bool: ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A source of the current time, in seconds since the run started.
+
+    The simulation's clock is virtual; the live runtime's is the shared
+    wall-clock epoch the launcher hands to every process.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Callback scheduling: the event-loop face of a substrate."""
+
+    @property
+    def now(self) -> float: ...
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> TimerHandle: ...
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> TimerHandle: ...
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> TimerHandle: ...
+
+    def call_repeating(self, interval: float, callback: Callable[..., Any], *args: Any) -> TimerHandle: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Named-host message delivery.
+
+    ``send`` returns True when the message was put on the wire; silent
+    loss afterwards is always possible and protocol code must tolerate
+    it (this is a BFT system). ``topology`` exposes the static site map
+    so role logic (e.g. "am I on-premises?") stays substrate-agnostic.
+    """
+
+    @property
+    def topology(self) -> Any: ...
+
+    def register(self, host: str, handler: Handler) -> None: ...
+
+    def send(self, src: str, dst: str, payload: Any, size: Optional[int] = None) -> bool: ...
+
+    def multicast(self, src: str, dsts: Iterable[str], payload: Any, size: Optional[int] = None) -> None: ...
+
+    def set_host_down(self, host: str, down: bool) -> None: ...
+
+    def host_is_down(self, host: str) -> bool: ...

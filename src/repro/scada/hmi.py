@@ -11,14 +11,14 @@ import json
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.proxy import ClientProxy
-from repro.sim.kernel import Kernel
+from repro.rt.substrate import Scheduler
 from repro.sim.process import Process, Timeout, spawn
 
 
 class HmiConsole:
     """An operator console wired to a client proxy."""
 
-    def __init__(self, kernel: Kernel, proxy: ClientProxy):
+    def __init__(self, kernel: Scheduler, proxy: ClientProxy):
         self.kernel = kernel
         self.proxy = proxy
         self.command_results: List[Dict] = []

@@ -11,8 +11,8 @@ import json
 from typing import Optional
 
 from repro.core.proxy import ClientProxy
+from repro.rt.substrate import Scheduler
 from repro.scada.grid import PowerGrid
-from repro.sim.kernel import Kernel
 from repro.sim.process import Process, Timeout, spawn
 
 
@@ -21,7 +21,7 @@ class RtuFieldUnit:
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Scheduler,
         proxy: ClientProxy,
         grid: PowerGrid,
         substation_id: str,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.sim.kernel import Kernel
+from repro.rt.substrate import Scheduler
 
 
 class Cpu:
@@ -19,7 +19,7 @@ class Cpu:
 
     __slots__ = ("_kernel", "_free_at", "busy_time")
 
-    def __init__(self, kernel: Kernel):
+    def __init__(self, kernel: Scheduler):
         self._kernel = kernel
         self._free_at = 0.0
         self.busy_time = 0.0

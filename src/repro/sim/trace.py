@@ -15,7 +15,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from repro.sim.kernel import Kernel
+from repro.rt.substrate import Clock
 
 
 @dataclass(frozen=True)
@@ -31,7 +31,7 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent` records for one simulation run."""
 
-    def __init__(self, kernel: Kernel, enabled: bool = True):
+    def __init__(self, kernel: Clock, enabled: bool = True):
         self._kernel = kernel
         self.enabled = enabled
         self._events: List[TraceEvent] = []

@@ -14,29 +14,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.app import Application, KeyValueApplication
 from repro.core.confidentiality import Auditor
-from repro.core.distribution import DistributionPlan, plan_confidential, plan_spire
-from repro.core.messages import client_alias
+from repro.core.distribution import DistributionPlan
 from repro.core.proxy import ClientProxy
 from repro.core.replica import ExecutingReplica, ReplicaBase, ReplicaEnv, StorageReplica
-from repro.crypto.keystore import HardwareKeyStore
-from repro.crypto.rsa import RsaKeyPair, generate_keypair
-from repro.crypto.symmetric import SymmetricKeyPair, derive_keypair
-from repro.crypto.threshold import ThresholdKeyGroup, generate_threshold_key
 from repro.net.attacks import AttackController
 from repro.net.network import Network
 from repro.obs import NULL_METRICS, MetricsRegistry, SpanTracker
 from repro.net.overlay import Overlay
-from repro.net.topology import (
-    CLIENT_SITE,
-    CONTROL_CENTER_A,
-    CONTROL_CENTER_B,
-    DATA_CENTER_1,
-    DATA_CENTER_2,
-    DATA_CENTER_3,
-    Topology,
-    east_coast_topology,
-)
-from repro.prime.config import PrimeConfig
+from repro.net.topology import Topology
+from repro.rt.bootstrap import generate_material
 from repro.sim.kernel import Kernel
 from repro.sim.process import Process, Timeout, spawn
 from repro.sim.rng import RngRegistry
@@ -165,14 +151,15 @@ def build(
     metrics.register_gauge("kernel.timers_scheduled", lambda: kernel.timers_scheduled)
     metrics.register_gauge("kernel.heap_depth", lambda: kernel.heap_depth)
 
-    if config.confidential:
-        plan = plan_confidential(config.f, config.data_centers)
-    else:
-        plan = plan_spire(config.f, config.data_centers)
-
-    topology = east_coast_topology(config.data_centers)
-    on_prem_hosts, dc_hosts = _place_replicas(topology, plan)
-    all_hosts = on_prem_hosts + dc_hosts
+    # Geography, roles, and every key in the system come from the shared
+    # deterministic dealer; live RtLab nodes re-derive the identical
+    # material from (config, seed) in their own processes.
+    material = generate_material(config, rng)
+    plan = material.plan
+    topology = material.topology
+    on_prem_hosts = material.on_premises_hosts
+    dc_hosts = material.data_center_hosts
+    all_hosts = material.all_hosts
 
     overlay = Overlay(topology)
     network = Network(
@@ -188,51 +175,17 @@ def build(
     auditor = Auditor(tracer=tracer)
     network.inspector = auditor.inspect_delivery
 
-    prime_config = PrimeConfig(
-        replica_ids=_interleave_by_site(topology, all_hosts),
-        f=plan.f,
-        k=plan.k,
-        pp_interval=config.pp_interval,
-        vc_timeout=config.vc_timeout,
-    )
-
-    # -- cryptographic material (the system-setup "dealer" role) -----------------
-    keygen_rng = rng.stream("keygen")
-    executing_hosts = on_prem_hosts if config.confidential else all_hosts
-
-    intro_group: Optional[ThresholdKeyGroup] = None
-    if config.confidential:
-        intro_group = generate_threshold_key(
-            config.threshold_bits, plan.f + 1, len(on_prem_hosts), keygen_rng
-        )
-    response_group = generate_threshold_key(
-        config.threshold_bits, plan.f + 1, len(executing_hosts), keygen_rng
-    )
-
-    client_ids = [f"client-{i:02d}" for i in range(config.num_clients)]
-    client_keys: Dict[str, RsaKeyPair] = {
-        cid: generate_keypair(config.rsa_bits, keygen_rng) for cid in client_ids
-    }
-    client_registry = {cid: kp.public for cid, kp in client_keys.items()}
-    alias_to_client = {client_alias(cid): cid for cid in client_ids}
-    initial_client_keys: Dict[str, SymmetricKeyPair] = {
-        client_alias(cid): derive_keypair(
-            rng.randbytes(f"client-keys.{cid}", 32)
-        )
-        for cid in client_ids
-    }
-    proxy_of_client = {cid: f"proxy-{cid}" for cid in client_ids}
-    for proxy_host in proxy_of_client.values():
-        topology.add_host(proxy_host, CLIENT_SITE)
-
-    # Hardware keystores: every replica has a TPM identity key; on-premises
-    # replicas additionally share the hardware-protected symmetric key.
-    hw_shared = derive_keypair(rng.randbytes("hw-shared-key", 32))
-    keystores: Dict[str, HardwareKeyStore] = {}
-    for host in all_hosts:
-        identity = generate_keypair(config.rsa_bits, keygen_rng)
-        shared = hw_shared if (host in on_prem_hosts and config.confidential) else None
-        keystores[host] = HardwareKeyStore(host, identity, shared)
+    prime_config = material.prime_config
+    executing_hosts = material.executing_hosts
+    intro_group = material.intro_group
+    response_group = material.response_group
+    client_ids = material.client_ids
+    client_keys = material.client_keys
+    client_registry = material.client_registry
+    alias_to_client = material.alias_to_client
+    initial_client_keys = material.initial_client_keys
+    proxy_of_client = material.proxy_of_client
+    keystores = material.keystores
 
     env = ReplicaEnv(
         kernel=kernel,
@@ -320,37 +273,3 @@ def build(
     )
 
 
-def _interleave_by_site(topology: Topology, hosts: Tuple[str, ...]) -> Tuple[str, ...]:
-    """Order hosts round-robin across their sites, so that the Prime
-    leader rotation (which follows this order) never dwells in one site."""
-    by_site: Dict[str, List[str]] = {}
-    for host in hosts:
-        by_site.setdefault(topology.site_of(host).name, []).append(host)
-    columns = [sorted(by_site[site]) for site in sorted(by_site)]
-    interleaved: List[str] = []
-    for row in range(max(len(c) for c in columns)):
-        for column in columns:
-            if row < len(column):
-                interleaved.append(column[row])
-    return tuple(interleaved)
-
-
-def _place_replicas(
-    topology: Topology, plan: DistributionPlan
-) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
-    """Create replica hostnames and place them in their sites."""
-    on_prem_sites = [CONTROL_CENTER_A, CONTROL_CENTER_B]
-    dc_sites = [DATA_CENTER_1, DATA_CENTER_2, DATA_CENTER_3][: len(plan.data_centers)]
-    on_prem_hosts: List[str] = []
-    dc_hosts: List[str] = []
-    for site, count in zip(on_prem_sites, plan.on_premises):
-        for i in range(count):
-            host = f"{site}-r{i}"
-            topology.add_host(host, site)
-            on_prem_hosts.append(host)
-    for site, count in zip(dc_sites, plan.data_centers):
-        for i in range(count):
-            host = f"{site}-r{i}"
-            topology.add_host(host, site)
-            dc_hosts.append(host)
-    return tuple(on_prem_hosts), tuple(dc_hosts)

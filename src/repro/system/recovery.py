@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.core.replica import ReplicaBase
 from repro.errors import ConfigurationError
-from repro.sim.kernel import Kernel
+from repro.rt.substrate import Scheduler
 from repro.sim.trace import Tracer
 
 
@@ -29,7 +29,7 @@ class RecoveryOrchestrator:
 
     def __init__(
         self,
-        kernel: Kernel,
+        kernel: Scheduler,
         replicas: Dict[str, ReplicaBase],
         duration: float = 5.0,
         tracer: Optional[Tracer] = None,

@@ -1,0 +1,75 @@
+"""Deterministic bootstrap: every process derives the same world from (config, seed)."""
+
+import json
+
+from repro.rt.bootstrap import RtConfig, generate_material, host_ports
+from repro.sim.rng import RngRegistry
+
+
+def _material(seed=7, **overrides):
+    config = RtConfig(seed=seed, **overrides)
+    return config, generate_material(config.system_config(), RngRegistry(seed))
+
+
+def test_material_is_deterministic_across_processes():
+    """Two independent derivations (fresh RNG registries, as two OS
+    processes would do) agree on every piece of key material."""
+    _, a = _material()
+    _, b = _material()
+    assert a.all_hosts == b.all_hosts
+    assert a.executing_hosts == b.executing_hosts
+    assert a.client_ids == b.client_ids
+    assert a.proxy_of_client == b.proxy_of_client
+    assert a.intro_group.public.n_modulus == b.intro_group.public.n_modulus
+    assert a.response_group.public.n_modulus == b.response_group.public.n_modulus
+    for cid in a.client_ids:
+        assert a.client_keys[cid].sign(b"x") == b.client_keys[cid].sign(b"x")
+    assert a.initial_client_keys == b.initial_client_keys
+
+
+def test_different_seeds_differ():
+    _, a = _material(seed=7)
+    _, b = _material(seed=8)
+    assert a.intro_group.public.n_modulus != b.intro_group.public.n_modulus
+
+
+def test_f1_confidential_deployment_shape():
+    config, material = _material()
+    plan = material.plan
+    # n = 3f + 2k + 1 replicas for the confidential distributions
+    assert len(material.all_hosts) == 3 * plan.f + 2 * plan.k + 1
+    assert set(material.executing_hosts) <= set(material.on_premises_hosts)
+    assert not (set(material.on_premises_hosts) & set(material.data_center_hosts))
+
+
+def test_every_replica_has_a_keystore_and_role():
+    _, material = _material()
+    for host in material.all_hosts:
+        assert host in material.keystores
+        assert material.role_of(host) in ("executing", "storage")
+
+
+def test_port_map_is_disjoint_and_covers_proxies():
+    config, material = _material()
+    ports = host_ports(material, config.base_port)
+    flat = [p for pair in ports.values() for p in pair]
+    assert len(flat) == len(set(flat)), "port collision"
+    for host in material.all_hosts:
+        assert host in ports
+    for proxy in set(material.proxy_of_client.values()):
+        assert proxy in ports
+
+
+def test_ports_stay_below_the_ephemeral_range():
+    """Outbound sockets draw from 32768+; listeners must never overlap
+    or a peer's connect() can steal a replica's port (seen in anger)."""
+    config, material = _material()
+    ports = host_ports(material, config.base_port)
+    assert all(p < 32768 for pair in ports.values() for p in pair)
+
+
+def test_rt_config_json_roundtrip():
+    config = RtConfig(seed=5, num_clients=3, epoch=123.5, out_dir="/tmp/x")
+    restored = RtConfig.from_json(config.to_json())
+    assert restored == config
+    assert json.loads(config.to_json())["epoch"] == 123.5

@@ -1,0 +1,115 @@
+"""LiveScheduler timer semantics mirror the sim kernel's contracts."""
+
+import asyncio
+
+import pytest
+
+from repro.rt.runtime import LiveScheduler
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_now_is_relative_to_epoch():
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        assert scheduler.now > 0  # epoch 0 => now is wall time, far from zero
+
+    run(main())
+
+
+def test_call_later_fires_and_counts():
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        fired = []
+        scheduler.call_later(0.01, fired.append, "a")
+        await asyncio.sleep(0.08)
+        assert fired == ["a"]
+        assert scheduler.events_processed == 1
+
+    run(main())
+
+
+def test_call_at_in_the_past_clamps_to_now():
+    """The sim kernel raises on past scheduling; live clamps — wall time
+    marches on between computing a deadline and arming the timer."""
+
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        fired = []
+        scheduler.call_at(scheduler.now - 5.0, fired.append, "late")
+        await asyncio.sleep(0.05)
+        assert fired == ["late"]
+
+    run(main())
+
+
+def test_cancel_prevents_firing():
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        fired = []
+        timer = scheduler.call_later(0.02, fired.append, "x")
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+        await asyncio.sleep(0.08)
+        assert fired == []
+
+    run(main())
+
+
+def test_repeating_timer_rearms_until_cancelled():
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        fired = []
+        timer = scheduler.call_repeating(0.01, lambda: fired.append(1))
+        await asyncio.sleep(0.08)
+        timer.cancel()
+        count = len(fired)
+        assert count >= 2
+        await asyncio.sleep(0.05)
+        assert len(fired) == count  # no firings after cancel
+
+    run(main())
+
+
+def test_cancel_inside_callback_stops_repeating():
+    """Cancelling from within the callback must win over the re-arm,
+    matching the sim kernel's cancel-in-callback semantics."""
+
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        fired = []
+        holder = {}
+
+        def tick():
+            fired.append(1)
+            holder["timer"].cancel()
+
+        holder["timer"] = scheduler.call_repeating(0.01, tick)
+        await asyncio.sleep(0.08)
+        assert fired == [1]
+
+    run(main())
+
+
+def test_call_soon_runs_before_delayed_timers():
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        order = []
+        scheduler.call_later(0.02, order.append, "later")
+        scheduler.call_soon(order.append, "soon")
+        await asyncio.sleep(0.08)
+        assert order == ["soon", "later"]
+
+    run(main())
+
+
+def test_negative_delay_rejected():
+    async def main():
+        scheduler = LiveScheduler(asyncio.get_running_loop(), epoch=0.0)
+        with pytest.raises(ValueError):
+            scheduler.call_later(-0.5, lambda: None)
+
+    run(main())

@@ -1,0 +1,71 @@
+"""Both substrates satisfy the protocols the protocol code is written against."""
+
+import asyncio
+
+from repro.net.network import Network
+from repro.net.overlay import Overlay
+from repro.net.topology import SiteKind, Topology
+from repro.rt.runtime import LiveScheduler
+from repro.rt.substrate import Clock, Scheduler, Transport
+from repro.rt.transport import LiveTransport
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+
+
+def _topology() -> Topology:
+    topology = Topology()
+    topology.add_site("cc-a", SiteKind.ON_PREMISES)
+    topology.add_site("dc-1", SiteKind.DATA_CENTER)
+    topology.add_host("cc-a-r0", "cc-a")
+    topology.add_host("cc-a-r1", "cc-a")
+    topology.add_host("dc-1-r0", "dc-1")
+    topology.add_link("cc-a", "dc-1", 0.01)
+    return topology
+
+
+def test_sim_kernel_satisfies_scheduler():
+    kernel = Kernel()
+    assert isinstance(kernel, Clock)
+    assert isinstance(kernel, Scheduler)
+
+
+def test_sim_network_satisfies_transport():
+    kernel = Kernel()
+    topology = _topology()
+    network = Network(kernel, topology, Overlay(topology), RngRegistry(1))
+    assert isinstance(network, Transport)
+
+
+def test_live_scheduler_satisfies_scheduler():
+    loop = asyncio.new_event_loop()
+    try:
+        scheduler = LiveScheduler(loop, epoch=0.0)
+        assert isinstance(scheduler, Clock)
+        assert isinstance(scheduler, Scheduler)
+    finally:
+        loop.close()
+
+
+def test_live_transport_satisfies_transport():
+    loop = asyncio.new_event_loop()
+    try:
+        topology = _topology()
+        hosts = sorted(host for site in topology.sites for host in site.hosts)
+        ports = {h: (20000 + 2 * i, 20001 + 2 * i) for i, h in enumerate(hosts)}
+        transport = LiveTransport(topology, ports, loop=loop)
+        assert isinstance(transport, Transport)
+    finally:
+        loop.close()
+
+
+def test_transport_protocol_shape_matches_network_surface():
+    """Every method the protocol code calls on `network` is in the protocol."""
+    for name in ("register", "send", "multicast", "set_host_down",
+                 "host_is_down", "topology"):
+        assert hasattr(Transport, name)
+
+
+def test_scheduler_protocol_shape_matches_kernel_surface():
+    """Every method the protocol code calls on `kernel` is in the protocol."""
+    for name in ("now", "call_at", "call_later", "call_soon", "call_repeating"):
+        assert hasattr(Scheduler, name)

@@ -1,0 +1,162 @@
+"""The versioned frame format every live socket speaks (repro.rt.wire)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidentiality import Sensitive
+from repro.core.messages import CheckpointMsg, ResumePoint
+from repro.crypto.threshold import PartialSignature
+from repro.core.messages import IntroShare, ResponseShare
+from repro.errors import ProtocolError
+from repro.net.codec import registered_types
+from repro.rt.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+    frame_size,
+)
+from tests.test_net_codec import CPITM_MESSAGES, PRIME_MESSAGES
+
+ALL_SAMPLES = PRIME_MESSAGES + CPITM_MESSAGES
+
+
+def roundtrip(src, message):
+    frame = encode_frame(src, message)
+    got_src, got_message, consumed = decode_frame(frame)
+    assert consumed == len(frame)
+    assert got_src == src
+    assert got_message == message
+    return frame
+
+
+@pytest.mark.parametrize(
+    "message", ALL_SAMPLES, ids=lambda m: f"{type(m).__name__}-{id(m) % 97}"
+)
+def test_every_sample_roundtrips(message):
+    roundtrip("cc-a-r0", message)
+
+
+def test_samples_cover_every_registered_type():
+    sampled = {type(m) for m in ALL_SAMPLES}
+    missing = [t.__name__ for t in registered_types() if t not in sampled]
+    assert not missing, f"no frame round-trip sample for: {missing}"
+
+
+def test_header_layout():
+    frame = encode_frame("x", PRIME_MESSAGES[0])
+    assert frame[:2] == WIRE_MAGIC
+    assert frame[2] == WIRE_VERSION
+    assert frame[3] == 0  # flags, reserved
+    declared = int.from_bytes(frame[4:8], "big")
+    assert declared == len(frame) - 8
+    assert frame_size("x", PRIME_MESSAGES[0]) == len(frame)
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(encode_frame("x", PRIME_MESSAGES[0]))
+    frame[0] ^= 0xFF
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(frame))
+
+
+def test_future_version_rejected():
+    frame = bytearray(encode_frame("x", PRIME_MESSAGES[0]))
+    frame[2] = WIRE_VERSION + 1
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(frame))
+
+
+def test_nonzero_flags_rejected():
+    frame = bytearray(encode_frame("x", PRIME_MESSAGES[0]))
+    frame[3] = 1
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(frame))
+
+
+def test_oversized_length_rejected():
+    frame = bytearray(encode_frame("x", PRIME_MESSAGES[0]))
+    frame[4:8] = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(frame))
+
+
+@given(
+    signer=st.integers(0, 13),
+    value=st.integers(1, 2 ** 380),
+    seq=st.integers(1, 10 ** 9),
+)
+@settings(max_examples=50)
+def test_threshold_share_messages_roundtrip_property(signer, value, seq):
+    """Nested threshold-signature shares survive the frame intact."""
+    partial = PartialSignature(signer=signer, value=value)
+    roundtrip(
+        "dc-1-r0",
+        IntroShare(
+            alias="ab" * 8, client_seq=seq, update_digest=b"\x01" * 32, partial=partial
+        ),
+    )
+    roundtrip(
+        "cc-b-r2",
+        ResponseShare(
+            client_id="client-00",
+            client_seq=seq,
+            response_digest=b"\x02" * 32,
+            partial=partial,
+        ),
+    )
+
+
+@given(
+    blob=st.binary(min_size=0, max_size=2048),
+    ordinal=st.integers(0, 10 ** 6),
+    pairs=st.dictionaries(
+        st.sampled_from(["r0#0", "r1#0", "r2#1", "r3#2"]), st.integers(0, 10 ** 6)
+    ),
+    plaintext=st.booleans(),
+)
+@settings(max_examples=50)
+def test_checkpoint_payloads_roundtrip_property(blob, ordinal, pairs, plaintext):
+    """Checkpoint payloads — encrypted or Sensitive — survive the frame."""
+    resume = ResumePoint.from_engine(ordinal // 10, ordinal, pairs)
+    body = Sensitive(blob, label="state-snapshot") if plaintext else blob
+    roundtrip(
+        "cc-a-r3",
+        CheckpointMsg(ordinal=ordinal, resume=resume, blob=body, signer="cc-a-r3"),
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=30)
+def test_decoder_reassembles_arbitrary_chunking(data):
+    """A frame stream split at any byte boundaries decodes identically."""
+    messages = data.draw(
+        st.lists(st.sampled_from(ALL_SAMPLES), min_size=1, max_size=5)
+    )
+    stream = b"".join(encode_frame(f"h{i}", m) for i, m in enumerate(messages))
+    cuts = sorted(
+        data.draw(
+            st.lists(st.integers(0, len(stream)), min_size=0, max_size=6)
+        )
+    )
+    decoder = FrameDecoder()
+    got = []
+    last = 0
+    for cut in cuts + [len(stream)]:
+        got.extend(decoder.feed(stream[last:cut]))
+        last = cut
+    assert got == [(f"h{i}", m) for i, m in enumerate(messages)]
+    assert decoder.pending_bytes == 0
+
+
+def test_decoder_rejects_corrupt_stream_midway():
+    good = encode_frame("a", PRIME_MESSAGES[0])
+    bad = bytearray(encode_frame("b", PRIME_MESSAGES[1]))
+    bad[0] ^= 0xFF
+    decoder = FrameDecoder()
+    assert decoder.feed(good) == [("a", PRIME_MESSAGES[0])]
+    with pytest.raises(ProtocolError):
+        decoder.feed(bytes(bad))

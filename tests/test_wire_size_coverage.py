@@ -1,0 +1,57 @@
+"""Every wire-crossing message type reports an honest wire_size().
+
+The sim network charges bandwidth per message using ``wire_size()``; a
+type without one silently bills the DEFAULT_MESSAGE_SIZE flat rate, which
+skews every bandwidth-derived number in the paper's plots. These tests pin
+(a) full coverage across the codec registry plus nested certificate types
+and (b) that real runs never hit the fallback.
+"""
+
+from repro.core.messages import ResumePoint
+from repro.net import network as network_mod
+from repro.net.codec import registered_types
+from repro.prime.messages import PreparedCert
+from repro.system.builder import build
+from repro.system.config import SystemConfig
+
+
+def test_every_registered_type_defines_wire_size():
+    missing = [
+        t.__name__ for t in registered_types() if not callable(getattr(t, "wire_size", None))
+    ]
+    assert not missing, f"types billing the flat default rate: {missing}"
+
+
+def test_nested_payload_types_define_wire_size():
+    cert = PreparedCert(view=1, seq=2, cutoffs={"r0#0": 3})
+    assert cert.wire_size() == 24 + 16
+    assert PreparedCert(view=1, seq=2, cutoffs={}).wire_size() == 24 + 16
+    resume = ResumePoint.from_engine(1, 10, {"r0#0": 5, "r1#0": 6})
+    assert resume.wire_size() == 24 + 32
+
+
+def test_fallback_is_tracked():
+    class Mystery:
+        pass
+
+    network_mod.FALLBACK_SIZES.clear()
+    size = network_mod._payload_size(Mystery())
+    assert size == network_mod.DEFAULT_MESSAGE_SIZE
+    assert network_mod.FALLBACK_SIZES == {"Mystery": 1}
+    network_mod.FALLBACK_SIZES.clear()
+
+
+def test_integration_run_never_hits_the_fallback():
+    """A short end-to-end sim run with checkpoints and state transfer
+    exercises every message family; none may fall back."""
+    network_mod.FALLBACK_SIZES.clear()
+    config = SystemConfig(seed=11, num_clients=3)
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=6.0)
+    deployment.run(until=8.0)
+    completed = sum(len(p.completed) for p in deployment.proxies.values())
+    assert completed > 0, "workload did not run"
+    assert network_mod.FALLBACK_SIZES == {}, (
+        f"messages billed at the flat default rate: {network_mod.FALLBACK_SIZES}"
+    )
