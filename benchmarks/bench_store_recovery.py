@@ -1,0 +1,146 @@
+"""StoreLab: recovery time and network transfer vs log length, disk on/off.
+
+A data-center replica crashes mid-run and rejoins. Without a durable
+store, the whole missing prefix crosses the wire; with one, the replica
+replays its local log first and fetches only the suffix it missed while
+down. This benchmark sweeps how much log has accumulated by crash time
+(the longer the log since the last stable checkpoint, the bigger the
+disk win) and writes the paired measurements to
+``benchmarks/results/BENCH_store.json``.
+
+Run directly:
+
+    PYTHONPATH=src python benchmarks/bench_store_recovery.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.system import Mode, SystemConfig, build
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_store.json"
+
+TARGET = "dc-2-r0"
+SEED = 31
+NUM_CLIENTS = 5
+#: Long interval: the update-log tail (not checkpoint freshness) dominates
+#: recovery, which is the regime this benchmark sweeps.
+CHECKPOINT_INTERVAL = 400
+OUTAGE = 2.0
+CRASH_TIMES = (6.0, 12.0, 18.0)
+
+
+def counter(deployment, name, host):
+    return sum(
+        value
+        for (metric, labels), value in deployment.metrics.counter_values().items()
+        if metric == name and ("host", host) in labels
+    )
+
+
+def run_once(crash_at: float, disk: bool, store_dir: str | None) -> dict:
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL,
+        f=1,
+        num_clients=NUM_CLIENTS,
+        seed=SEED,
+        checkpoint_interval=CHECKPOINT_INTERVAL,
+        store_dir=store_dir if disk else None,
+        store_fsync="never",
+    )
+    deployment = build(config)
+    deployment.start()
+    end = crash_at + OUTAGE + 10.0
+    deployment.start_workload(duration=end - 3.0)
+    deployment.recovery.schedule_recovery(TARGET, crash_at, OUTAGE)
+    deployment.run(until=end)
+
+    recovered_at = caught_up_at = None
+    have_seq = 0
+    for event in deployment.tracer.events:
+        if event.host != TARGET:
+            continue
+        if event.category == "replica.recovered":
+            recovered_at = event.time
+        elif event.category == "replica.caught-up" and recovered_at is not None:
+            caught_up_at = caught_up_at or event.time
+        elif event.category == "xfer.initiate":
+            have_seq = max(have_seq, event.detail.get("have_seq", 0))
+
+    live = deployment.replicas["dc-1-r0"]
+    target = deployment.replicas[TARGET]
+    point = {
+        "crash_at": crash_at,
+        "disk_recovery": disk,
+        "recovery_seconds": (
+            round(caught_up_at - recovered_at, 4)
+            if recovered_at is not None and caught_up_at is not None
+            else None
+        ),
+        "xfer_bytes_received": counter(deployment, "xfer.bytes_received", TARGET),
+        "store_recovered_bytes": counter(deployment, "store.recovered_bytes", TARGET),
+        "store_recovered_records": counter(
+            deployment, "store.recovered_records", TARGET
+        ),
+        "have_seq_advertised": have_seq,
+        "converged": target.executed_ordinal() == live.executed_ordinal(),
+    }
+    if disk:
+        for replica in deployment.replicas.values():
+            replica.store.close()
+    return point
+
+
+def main() -> int:
+    points = []
+    for crash_at in CRASH_TIMES:
+        tempdir = tempfile.mkdtemp(prefix="bench-store-")
+        try:
+            with_disk = run_once(crash_at, disk=True, store_dir=tempdir)
+            without = run_once(crash_at, disk=False, store_dir=None)
+        finally:
+            shutil.rmtree(tempdir, ignore_errors=True)
+        points.extend([with_disk, without])
+        saved = without["xfer_bytes_received"] - with_disk["xfer_bytes_received"]
+        print(
+            f"crash@{crash_at:5.1f}s  "
+            f"disk: {with_disk['xfer_bytes_received']:>9.0f}B wire, "
+            f"{with_disk['store_recovered_records']:>4.0f} records replayed locally | "
+            f"no-disk: {without['xfer_bytes_received']:>9.0f}B wire | "
+            f"saved {saved:.0f}B"
+        )
+        if not (with_disk["converged"] and without["converged"]):
+            print("FAIL: a run did not converge", file=sys.stderr)
+            return 1
+        if with_disk["xfer_bytes_received"] > without["xfer_bytes_received"]:
+            print("FAIL: disk recovery transferred MORE than network-only",
+                  file=sys.stderr)
+            return 1
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "seed": SEED,
+                "num_clients": NUM_CLIENTS,
+                "checkpoint_interval": CHECKPOINT_INTERVAL,
+                "outage_seconds": OUTAGE,
+                "points": points,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

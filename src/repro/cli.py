@@ -153,6 +153,22 @@ def make_parser() -> argparse.ArgumentParser:
     faultlab.add_argument("--obs-out", metavar="DIR",
                           help="write an observability bundle per seed "
                                "(DIR/seed-N/)")
+
+    store = sub.add_parser(
+        "store", help="inspect or verify a durable store directory"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_inspect = store_sub.add_parser(
+        "inspect", help="report segments, records, and checkpoints"
+    )
+    store_inspect.add_argument("path", metavar="DIR",
+                               help="store root (contains segments/, checkpoints/)")
+    store_inspect.add_argument("--json", action="store_true",
+                               help="print the full report as JSON")
+    store_verify = store_sub.add_parser(
+        "verify", help="check CRCs and decodability; exit 1 on corruption"
+    )
+    store_verify.add_argument("path", metavar="DIR")
     return parser
 
 
@@ -191,7 +207,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_obs(args)
     if args.command == "rt":
         return _cmd_rt(args)
+    if args.command == "store":
+        return _cmd_store(args)
     return _cmd_run(args)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.store.inspect import inspect_store, verify_store
+
+    root = Path(args.path)
+    if not (root / "segments").is_dir() and not (root / "checkpoints").is_dir():
+        print(f"{root}: not a store directory "
+              "(expected segments/ and/or checkpoints/ inside)")
+        return 2
+
+    if args.store_command == "verify":
+        report, ok = verify_store(root)
+        status = "OK" if ok else "CORRUPT"
+        print(f"{status}: {root} — {report['total_records']} records in "
+              f"{len(report['segments'])} segments, "
+              f"{len(report['checkpoints'])} checkpoints")
+        if report["torn_segments"]:
+            print(f"  torn tail in newest segment (survivable crash artifact)")
+        for segment in report["segments"]:
+            if segment["status"] == "corrupt":
+                print(f"  corrupt segment {segment['file']}: {segment['detail']}")
+        for ckpt in report["checkpoints"]:
+            if not ckpt["verified"]:
+                print(f"  corrupt checkpoint {ckpt['file']}")
+        return 0 if ok else 1
+
+    report = inspect_store(root)
+    if getattr(args, "json", False):
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"store: {root}")
+    print(f"  {len(report['segments'])} segments, "
+          f"{report['total_records']} records, "
+          f"max batch_seq {report['max_seq']}")
+    for segment in report["segments"]:
+        span = ""
+        if segment["min_seq"] is not None:
+            span = f" seq {segment['min_seq']}..{segment['max_seq']}"
+        detail = f" ({segment['detail']})" if segment["detail"] else ""
+        print(f"    {segment['file']}: {segment['records']} records,"
+              f"{span} [{segment['status']}]{detail}")
+    print(f"  {len(report['checkpoints'])} checkpoints")
+    for ckpt in report["checkpoints"]:
+        mark = "ok" if ckpt["verified"] else "CORRUPT"
+        extra = (f" batch_seq {ckpt['batch_seq']} signer {ckpt['signer']}"
+                 if ckpt["verified"] else "")
+        print(f"    {ckpt['file']}: ordinal {ckpt['ordinal']}{extra} [{mark}]")
+    return 0
 
 
 def _cmd_rt(args: argparse.Namespace) -> int:
@@ -339,9 +409,10 @@ def _cmd_faultlab_live(args: argparse.Namespace, lab) -> int:
     bad = unsupported_kinds(schedule)
     if bad:
         print(f"schedule seed={schedule.seed} uses sim-only fault kinds "
-              f"{bad}; the live substrate supports only crash/partition "
-              "(recover/isolate). Re-run with --substrate sim, or provide "
-              "a --schedule restricted to those kinds.")
+              f"{bad}; the live substrate supports only crash/partition/"
+              "store damage (recover/isolate/torn_write/corrupt_segment). "
+              "Re-run with --substrate sim, or provide a --schedule "
+              "restricted to those kinds.")
         return 2
     config = RtConfig(
         mode=args.mode,

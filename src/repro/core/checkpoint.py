@@ -124,6 +124,7 @@ class CheckpointManager:
         self._m_stable.inc()
         self._g_stable.set(message.ordinal)
         replica.trace("checkpoint.stable", ordinal=message.ordinal)
+        replica.store.save_checkpoint(message)
         self._garbage_collect(message)
 
     def _garbage_collect(self, stable: CheckpointMsg) -> None:
@@ -131,6 +132,7 @@ class CheckpointManager:
         replica.trace("checkpoint.gc", ordinal=stable.ordinal)
         replica.engine.gc_before(stable.resume.batch_seq)
         replica.prune_update_log(stable.resume.batch_seq)
+        replica.store.gc(stable.ordinal, stable.resume.batch_seq)
         for ordinal in [o for o in self.correct if o < stable.ordinal]:
             del self.correct[ordinal]
         for key in [k for k in self._votes if k[0] < stable.ordinal]:
@@ -145,6 +147,7 @@ class CheckpointManager:
         if self.stable is None or message.ordinal > self.stable.ordinal:
             self.stable = message
             self._replica.trace("checkpoint.adopted", ordinal=message.ordinal)
+            self._replica.store.save_checkpoint(message)
         self._next_due = max(
             self._next_due, (message.ordinal // self.interval + 1) * self.interval
         )

@@ -255,10 +255,18 @@ class CheckpointMsg:
 @dataclass(frozen=True)
 class StateXferSolicit:
     """A lagging replica asks on-premises replicas to introduce its state
-    transfer request into the global order."""
+    transfer request into the global order.
+
+    ``have_seq``/``have_ordinal`` advertise what the requester already
+    recovered from its local durable store (0/0 when nothing): responders
+    then send only the missing suffix of the log, and omit the checkpoint
+    entirely when the requester's is at least as fresh.
+    """
 
     requester: str
     nonce: int
+    have_seq: int = 0
+    have_ordinal: int = 0
 
     def wire_size(self) -> int:
         return _HEADER + 24
@@ -270,8 +278,18 @@ class XferRequest:
 
     requester: str
     nonce: int
+    have_seq: int = 0
+    have_ordinal: int = 0
 
     def signing_bytes(self) -> bytes:
+        # The legacy form is kept bit-for-bit when no disk state is
+        # advertised: this digest feeds ordered-batch trace digests, and
+        # default-path traces are a byte-identity contract.
+        if self.have_seq or self.have_ordinal:
+            return (
+                f"xfer|{self.requester}|{self.nonce}"
+                f"|{self.have_seq}|{self.have_ordinal}".encode("utf-8")
+            )
         return f"xfer|{self.requester}|{self.nonce}".encode("utf-8")
 
     def digest(self) -> bytes:

@@ -56,6 +56,8 @@ from repro.crypto.threshold import (
 from repro.errors import ProtocolError, SignatureError
 from repro.obs.registry import NULL_METRICS
 from repro.rt.substrate import Scheduler, Transport
+from repro.store.base import DurableStore, StoreRecovery
+from repro.store.memory import MemoryStore
 from repro.prime.config import PrimeConfig
 from repro.sim.cpu import Cpu
 from repro.prime.engine import PrimeReplica
@@ -147,6 +149,9 @@ class ReplicaEnv:
     auditor: Optional[Auditor] = None
     rng: Optional[object] = None
     metrics: Optional[object] = None
+    # Durable-store seam: host -> DurableStore. None means the volatile
+    # MemoryStore (the deterministic sim's default; traces byte-identical).
+    store_factory: Optional[Callable[[str], DurableStore]] = None
 
 
 class ClientProgress:
@@ -209,6 +214,11 @@ class ReplicaBase:
         self.online = False
         self.incarnation = 0
         self.cpu = Cpu(env.kernel)
+        self.store: DurableStore = (
+            env.store_factory(host)
+            if env.store_factory is not None
+            else MemoryStore(metrics=self.metrics, host=host)
+        )
         self.update_log: Dict[int, BatchRecord] = {}
         self.checkpoints = CheckpointManager(self, env.checkpoint_interval)
         self.xfer = StateTransferManager(self)
@@ -354,6 +364,7 @@ class ReplicaBase:
             entries=tuple((ordinal, update.payload) for ordinal, _o, _p, update in entries),
         )
         self.update_log[batch_seq] = record
+        self.store.append(record)
         tracer = self.env.tracer
         if tracer is not None and tracer.enabled:
             # Ordering-safety tap (FaultLab): every replica attests what it
@@ -445,6 +456,7 @@ class ReplicaBase:
             self.restore_from_checkpoint(checkpoint)
         for record in batches:
             self.update_log[record.batch_seq] = record
+            self.store.append(record)
             for ordinal, payload in record.entries:
                 self.replay_entry(ordinal, payload)
         if batches:
@@ -514,7 +526,98 @@ class ReplicaBase:
         self.online = True
         self.engine.start()
         self.trace("replica.recovered", incarnation=self.incarnation)
-        self.xfer.initiate(reason="proactive-recovery")
+        recovered = self.recover_from_store()
+        if recovered.empty:
+            self.xfer.initiate(reason="proactive-recovery")
+        else:
+            self.xfer.initiate(
+                reason="proactive-recovery",
+                have_seq=recovered.batch_seq,
+                have_ordinal=recovered.ordinal,
+            )
+
+    def recover_from_store(self) -> StoreRecovery:
+        """Replay whatever the durable store preserved across the crash.
+
+        Restores the newest verified checkpoint, replays the *contiguous*
+        run of logged batches above it (gaps and anything beyond them are
+        left for network state transfer), and fast-forwards the engine to
+        the resulting resume point. Damage is detected, traced, and
+        degraded around — never served: a corrupt checkpoint or segment
+        simply shrinks what recovers locally.
+
+        With the sim's :class:`MemoryStore` (``load()`` always empty) this
+        is a no-op, preserving trace byte-identity for existing seeds.
+        """
+        recovery = StoreRecovery()
+        load = self.store.load()
+        if load.damaged:
+            recovery.corruption_detected = True
+            self.metrics.counter("store.corruption_detected", host=self.host).inc()
+            self.trace(
+                "store.corrupted",
+                segments=load.corrupt_segments,
+                checkpoints=load.corrupt_checkpoints,
+            )
+        if load.truncated_tail:
+            self.trace("store.truncated")
+        if load.empty:
+            return recovery
+        checkpoint = load.checkpoint
+        base_seq = 0
+        if checkpoint is not None:
+            try:
+                self.restore_from_checkpoint(checkpoint)
+            except Exception:
+                # The file verified (magic + CRC) but the content does not
+                # decrypt/parse — e.g. bit rot below CRC collision odds or
+                # a hostile rewrite. Fall back to the network entirely.
+                recovery.corruption_detected = True
+                self.metrics.counter("store.corruption_detected", host=self.host).inc()
+                self.trace("store.corrupted", stage="checkpoint-restore")
+                checkpoint = None
+            else:
+                self.checkpoints.adopt_stable(checkpoint)
+                base_seq = checkpoint.resume.batch_seq
+                recovery.ordinal = checkpoint.ordinal
+                recovery.bytes_replayed += load.checkpoint_bytes
+        resume = checkpoint.resume if checkpoint is not None else None
+        next_seq = base_seq + 1
+        for record in load.records:
+            if record.batch_seq < next_seq:
+                continue
+            if record.batch_seq > next_seq:
+                break  # a gap: the rest must come over the network
+            self.update_log[record.batch_seq] = record
+            for ordinal, payload in record.entries:
+                self.replay_entry(ordinal, payload)
+            resume = record.resume
+            recovery.records += 1
+            recovery.bytes_replayed += load.record_bytes.get(record.batch_seq, 0)
+            next_seq += 1
+        if resume is not None:
+            self.engine.fast_forward(
+                resume.batch_seq,
+                resume.ordinal,
+                resume.ordered_through_dict(),
+                view=self.engine.view,
+            )
+            recovery.batch_seq = resume.batch_seq
+        if not recovery.empty:
+            self.metrics.counter("store.recovered_bytes", host=self.host).inc(
+                recovery.bytes_replayed
+            )
+            self.metrics.counter("store.recovered_records", host=self.host).inc(
+                recovery.records
+            )
+            self.trace(
+                "store.recovered",
+                ordinal=recovery.ordinal,
+                batch_seq=recovery.batch_seq,
+                records=recovery.records,
+                bytes=recovery.bytes_replayed,
+            )
+        return recovery
 
     def reset_role_state(self) -> None:
         """Subclass hook: clear role-specific session state."""

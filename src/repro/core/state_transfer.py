@@ -53,9 +53,17 @@ class StateTransferManager:
         self._m_served = metrics.counter("xfer.served")
         self._m_completed = metrics.counter("xfer.completed")
         self._m_bytes_served = metrics.counter("xfer.bytes_served")
+        self._m_bytes_received = metrics.counter(
+            "xfer.bytes_received", host=replica.host
+        )
         self.retry_timeout = retry_timeout
         self._nonce = 0
         self._active_nonce: Optional[int] = None
+        # What this requester already holds from its durable store, and
+        # what each solicitor advertised (threaded into the ordered
+        # XferRequest so every server trims its response consistently).
+        self._have: Tuple[int, int] = (0, 0)
+        self._solicit_have: Dict[Tuple[str, int], Tuple[int, int]] = {}
         self._responses: Dict[int, Dict[str, StateXferResponse]] = {}
         self._parts: Dict[Tuple[int, str], Dict[int, StateXferResponse]] = {}
         self._served: Set[Tuple[str, int]] = set()
@@ -69,17 +77,36 @@ class StateTransferManager:
 
     # -- requester side -----------------------------------------------------------
 
-    def initiate(self, reason: str = "") -> None:
-        """Start a transfer unless one is already running."""
+    def initiate(self, reason: str = "", have_seq: int = 0, have_ordinal: int = 0) -> None:
+        """Start a transfer unless one is already running.
+
+        ``have_seq``/``have_ordinal`` advertise state already recovered
+        from the local durable store: responders then omit their
+        checkpoint when ours is at least as fresh and send only log
+        batches above ``have_seq``, so just the missing suffix crosses
+        the wire. Defaults (0/0) reproduce the original full transfer.
+        """
         replica = self._replica
         if self._active_nonce is not None or not replica.online:
             return
         self._nonce += 1
         self._active_nonce = self._nonce
+        self._have = (have_seq, have_ordinal)
         replica.engine.catching_up = True
         self._m_initiated.inc()
-        replica.trace("xfer.initiate", nonce=self._nonce, reason=reason)
-        solicit = StateXferSolicit(requester=replica.host, nonce=self._nonce)
+        detail = {"nonce": self._nonce, "reason": reason}
+        if have_seq or have_ordinal:
+            # Keys added only when disk recovery contributed: default-path
+            # traces are a byte-identity contract across seeds.
+            detail["have_seq"] = have_seq
+            detail["have_ordinal"] = have_ordinal
+        replica.trace("xfer.initiate", **detail)
+        solicit = StateXferSolicit(
+            requester=replica.host,
+            nonce=self._nonce,
+            have_seq=have_seq,
+            have_ordinal=have_ordinal,
+        )
         for peer in replica.on_premises_replicas():
             if peer != replica.host:
                 replica.network_send(peer, solicit)
@@ -96,7 +123,7 @@ class StateTransferManager:
             return
         self._replica.trace("xfer.retry", nonce=nonce)
         self._active_nonce = None
-        self.initiate(reason="retry")
+        self.initiate(reason="retry", have_seq=self._have[0], have_ordinal=self._have[1])
 
     # -- server side: getting the request ordered ------------------------------------
 
@@ -110,6 +137,7 @@ class StateTransferManager:
         if key in self._introduced or not replica.hosts_application:
             return
         self._introduced.add(key)
+        self._solicit_have[key] = (solicit.have_seq, solicit.have_ordinal)
         rank = replica.intro.introducer_rank(f"xfer|{solicit.requester}|{solicit.nonce}")
         if rank <= 1:
             self._inject_request(key)
@@ -124,7 +152,10 @@ class StateTransferManager:
         self._inject_request(key)
 
     def _inject_request(self, key: Tuple[str, int]) -> None:
-        request = XferRequest(requester=key[0], nonce=key[1])
+        have_seq, have_ordinal = self._solicit_have.get(key, (0, 0))
+        request = XferRequest(
+            requester=key[0], nonce=key[1], have_seq=have_seq, have_ordinal=have_ordinal
+        )
         self._replica.engine.inject(
             OpaqueUpdate(digest=request.digest(), payload=request, size=request.wire_size())
         )
@@ -139,7 +170,15 @@ class StateTransferManager:
         if request.requester == replica.host:
             return
         stable = replica.checkpoints.stable
+        # Trim to what the requester does not already hold: omit the
+        # checkpoint when theirs is at least as fresh, and send only the
+        # log suffix above both our stable point and their have-point.
+        if stable is not None and stable.ordinal <= request.have_ordinal:
+            checkpoint = None
+        else:
+            checkpoint = stable
         after_seq = stable.resume.batch_seq if stable is not None else 0
+        after_seq = max(after_seq, request.have_seq)
         batches = replica.update_log_after(after_seq)
         self._m_served.inc()
         self._m_bytes_served.inc(sum(record.wire_size() for record in batches))
@@ -148,14 +187,14 @@ class StateTransferManager:
             response = StateXferResponse(
                 requester=request.requester,
                 nonce=request.nonce,
-                checkpoint=stable,
+                checkpoint=checkpoint,
                 batches=tuple(batches),
                 view=replica.engine.view,
                 responder=replica.host,
             )
             replica.network_send(request.requester, response)
             return
-        self._serve_chunked(request, stable, batches, chunk_bytes)
+        self._serve_chunked(request, checkpoint, batches, chunk_bytes)
 
     def _serve_chunked(self, request, stable, batches, chunk_bytes: int) -> None:
         """Flow-controlled serving: split the update log into bounded
@@ -198,6 +237,9 @@ class StateTransferManager:
         replica = self._replica
         if response.nonce != self._active_nonce or response.requester != replica.host:
             return
+        # Counted per part, pre-reassembly: this is what actually crossed
+        # the wire, the quantity disk recovery exists to shrink.
+        self._m_bytes_received.inc(response.wire_size())
         if response.part_count > 1:
             response = self._reassemble(response)
             if response is None:
@@ -244,7 +286,19 @@ class StateTransferManager:
                 threshold=threshold,
             )
             return
-        base_seq = checkpoint.resume.batch_seq if checkpoint is not None else 0
+        if (
+            checkpoint is not None
+            and self._have != (0, 0)
+            and checkpoint.resume.batch_seq <= self._have[0]
+        ):
+            # Our disk recovery already covers this checkpoint's prefix;
+            # restoring it would roll the application back behind records
+            # we replayed locally. Treat it as already held.
+            checkpoint = None
+        # With no checkpoint to install, batches continue from what we
+        # recovered locally (0 when there was no disk recovery —
+        # responders only omit their checkpoint against a nonzero have).
+        base_seq = checkpoint.resume.batch_seq if checkpoint is not None else self._have[0]
 
         batches = self._agree_batches(responses, base_seq, threshold)
         if batches is None:

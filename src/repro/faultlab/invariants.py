@@ -21,6 +21,10 @@ Invariant catalogue (each maps to a claim in the paper):
 - ``bounded-disclosure`` — Section V-D: keys stolen from a compromised
   replica decrypt at most ``key_validity + key_slack`` updates submitted
   after the compromise;
+- ``durable-recovery`` — StoreLab contract: recovery from a file-backed
+  store never resumes below the last checkpoint that was stable before
+  the crash, and a damaged store is detected (and repaired via network
+  state transfer) rather than silently served;
 - ``liveness`` — after all scheduled faults clear (quiescence), clients
   finish their updates, no proxy gives up, and online replicas converge.
 """
@@ -203,6 +207,81 @@ class CheckpointMonotonicityInvariant(Invariant):
                 )
 
 
+class DurableRecoveryInvariant(Invariant):
+    """Disk recovery never regresses, and damage is detected, not served.
+
+    Armed only by durable-store activity in the trace (``store.recovered``,
+    ``store.corrupted``, ``fault.store-damage``): the default MemoryStore
+    sweep produces none of those events and skips this invariant, keeping
+    seed schedules and their verdicts untouched.
+    """
+
+    name = "durable-recovery"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._armed = False
+        self._stable_high: Dict[str, int] = {}
+        # Stable high-water mark frozen at the instant a host went down:
+        # the floor its later disk recovery must not regress below.
+        self._down_high: Dict[str, int] = {}
+        self._pending_damage: Dict[str, float] = {}    # corrupt_segment applied, not yet detected
+        self._awaiting_fallback: Dict[str, float] = {} # corruption detected, no xfer.complete yet
+
+    def on_event(self, event: TraceEvent) -> None:
+        host = event.host
+        category = event.category
+        if category in ("checkpoint.stable", "checkpoint.adopted"):
+            ordinal = event.detail["ordinal"]
+            if ordinal > self._stable_high.get(host, 0):
+                self._stable_high[host] = ordinal
+        elif category == "replica.down":
+            self._down_high[host] = self._stable_high.get(host, 0)
+        elif category == "fault.store-damage":
+            self._armed = True
+            if event.detail.get("applied") and event.detail.get("kind") == "corrupt_segment":
+                self._pending_damage[host] = event.time
+        elif category == "store.corrupted":
+            self._armed = True
+            self._pending_damage.pop(host, None)
+            self._awaiting_fallback.setdefault(host, event.time)
+        elif category == "store.recovered":
+            self._armed = True
+            floor = self._down_high.get(host, 0)
+            ordinal = event.detail["ordinal"]
+            # A detected-corrupt store is allowed to come back below the
+            # floor — network state transfer covers the gap; that path is
+            # policed by _awaiting_fallback instead.
+            if ordinal < floor and host not in self._awaiting_fallback:
+                self.violate(
+                    event.time,
+                    host,
+                    f"disk recovery resumed at checkpoint ordinal {ordinal}, "
+                    f"below the pre-crash stable ordinal {floor}",
+                )
+        elif category == "xfer.complete":
+            self._awaiting_fallback.pop(host, None)
+
+    def finish(self, ctx: CheckContext) -> None:
+        if not self._armed:
+            self.skip("no durable-store activity in this run")
+            return
+        for host, when in sorted(self._pending_damage.items()):
+            self.violate(
+                when,
+                host,
+                "segment corruption was injected but recovery never "
+                "reported store.corrupted (damage served silently?)",
+            )
+        for host, when in sorted(self._awaiting_fallback.items()):
+            self.violate(
+                when,
+                host,
+                "store corruption was detected but no network state "
+                "transfer completed afterwards to repair it",
+            )
+
+
 class BoundedDisclosureInvariant(Invariant):
     """Leaked keys decrypt at most V + x post-compromise updates (Sec V-D)."""
 
@@ -352,6 +431,7 @@ def default_invariants(deployment, quiesce_at: Optional[float]) -> List[Invarian
         ),
         OrderingSafetyInvariant(),
         CheckpointMonotonicityInvariant(),
+        DurableRecoveryInvariant(),
         BoundedDisclosureInvariant(),
         LivenessInvariant(quiesce_at),
     ]

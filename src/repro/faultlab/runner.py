@@ -12,12 +12,16 @@ shrinking meaningful.
 
 from __future__ import annotations
 
+import dataclasses
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faultlab.invariants import InvariantChecker, InvariantReport
 from repro.faultlab.schedule import (
+    STORE_KINDS,
     FaultSchedule,
     ScheduleSpace,
     generate_schedule,
@@ -50,6 +54,14 @@ class FaultLabConfig:
     quiescence: float = 8.0
     #: Largest number of events a generated schedule may carry.
     max_events: int = 6
+
+    #: Give every replica a FileStore (in a run-scoped temp directory) even
+    #: when the schedule carries no storage faults. Off by default: the
+    #: sweep's MemoryStore runs are the trace-identity baseline.
+    durable_store: bool = False
+    #: fsync policy for FaultLab file stores. The sim's crash model never
+    #: loses the page cache, so ``never`` keeps sweeps fast.
+    store_fsync: str = "never"
 
     def system_config(self, seed: int) -> SystemConfig:
         return SystemConfig(
@@ -132,7 +144,21 @@ def run_schedule(
     lab = lab or FaultLabConfig()
     validate_schedule(schedule)
 
-    deployment = build(lab.system_config(schedule.seed))
+    config = lab.system_config(schedule.seed)
+    # Storage faults need real files to damage; an explicit durable_store
+    # opt-in gets them too. Everything else keeps the MemoryStore, whose
+    # traces are the byte-identity baseline for existing seeds.
+    needs_store = lab.durable_store or any(
+        event.kind in STORE_KINDS for event in schedule.events
+    )
+    tempdir: Optional[str] = None
+    if needs_store and config.store_dir is None:
+        tempdir = tempfile.mkdtemp(prefix="faultlab-store-")
+        config = dataclasses.replace(
+            config, store_dir=tempdir, store_fsync=lab.store_fsync
+        )
+
+    deployment = build(config)
     adversary = Adversary(deployment)
     quiesce_at = max(schedule.clear_time, lab.horizon)
     checker = InvariantChecker(deployment, adversary, quiesce_at=quiesce_at).attach()
@@ -143,24 +169,31 @@ def run_schedule(
     windows = _install_metric_windows(schedule, deployment)
     _install_events(schedule, deployment, adversary)
 
-    deployment.start()
-    end_time = quiesce_at + lab.quiescence
-    # Clients keep submitting through the faults and for a short stretch
-    # past quiescence, so the liveness invariant has fresh updates to watch
-    # complete; the remaining quiet time lets retransmissions drain.
-    deployment.start_workload(duration=quiesce_at + lab.quiescence * 0.4)
-    deployment.run(until=end_time)
+    try:
+        deployment.start()
+        end_time = quiesce_at + lab.quiescence
+        # Clients keep submitting through the faults and for a short stretch
+        # past quiescence, so the liveness invariant has fresh updates to watch
+        # complete; the remaining quiet time lets retransmissions drain.
+        deployment.start_workload(duration=quiesce_at + lab.quiescence * 0.4)
+        deployment.run(until=end_time)
 
-    report = checker.finish()
-    return FaultLabResult(
-        schedule=schedule,
-        report=report,
-        end_time=end_time,
-        trace_events=len(deployment.tracer.events),
-        deployment=deployment if keep_deployment else None,
-        adversary=adversary if keep_deployment else None,
-        metric_windows=tuple(_finalize_metric_windows(windows, deployment)),
-    )
+        report = checker.finish()
+        return FaultLabResult(
+            schedule=schedule,
+            report=report,
+            end_time=end_time,
+            trace_events=len(deployment.tracer.events),
+            deployment=deployment if keep_deployment else None,
+            adversary=adversary if keep_deployment else None,
+            metric_windows=tuple(_finalize_metric_windows(windows, deployment)),
+        )
+    finally:
+        if needs_store:
+            for replica in deployment.replicas.values():
+                replica.store.close()
+        if tempdir is not None and not keep_deployment:
+            shutil.rmtree(tempdir, ignore_errors=True)
 
 
 def sweep(
@@ -209,7 +242,7 @@ def _metric_key_label(key) -> str:
 def _window_bounds(event) -> Tuple[float, float]:
     if event.until is not None:
         return event.at, event.until
-    if event.kind == "recover":
+    if event.kind == "recover" or event.kind in STORE_KINDS:
         return event.at, event.at + float(event.param("duration", 3.0))
     # Instant faults (e.g. leak): watch one second of aftermath.
     return event.at, event.at + 1.0
@@ -311,8 +344,38 @@ def _install_events(schedule: FaultSchedule, deployment, adversary: Adversary) -
             deployment.recovery.schedule_recovery(
                 event.target, event.at, event.param("duration", 3.0)
             )
+        elif event.kind in STORE_KINDS:
+            # Crash the replica, then damage its durable store while it is
+            # down; the recovery's respawn must detect the damage and fall
+            # back to network transfer for whatever was lost. Damage is
+            # registered AFTER schedule_recovery so the same-instant kernel
+            # drain runs go_down first (insertion order).
+            deployment.recovery.schedule_recovery(
+                event.target, event.at, float(event.param("duration", 3.0))
+            )
+            kernel.call_at(event.at, _damage_store, deployment, event)
         elif event.kind == "leak":
             host = event.target or deployment.on_premises_hosts[0]
             kernel.call_at(event.at, adversary.exfiltrate_plaintext, host)
         else:  # pragma: no cover - validate_schedule rejects unknown kinds
             raise ConfigurationError(f"unknown fault kind {event.kind!r}")
+
+
+def _damage_store(deployment, event) -> None:
+    """Apply a storage fault to the target replica's on-disk store.
+
+    No-ops (with ``applied=False`` in the trace) against a MemoryStore —
+    volatile stores have no files to damage."""
+    replica = deployment.replicas[event.target]
+    store = replica.store
+    applied = False
+    if event.kind == "torn_write":
+        damage = getattr(store, "damage_torn_write", None)
+        if damage is not None:
+            applied = damage(int(event.param("bytes", 64))) is not None
+    else:  # corrupt_segment
+        damage = getattr(store, "damage_corrupt_segment", None)
+        if damage is not None:
+            offset = event.param("offset")
+            applied = damage(int(offset) if offset is not None else None) is not None
+    replica.trace("fault.store-damage", kind=event.kind, applied=applied)

@@ -31,11 +31,23 @@ from repro.errors import ConfigurationError
 from repro.system.adversary import Behavior
 
 #: Recognised fault kinds. ``leak`` is never generated randomly — it is the
-#: deliberate confidentiality breach used to validate the checker.
-KINDS = ("compromise", "isolate", "degrade", "loss", "skew", "recover", "leak")
+#: deliberate confidentiality breach used to validate the checker. The
+#: storage kinds (``torn_write``/``corrupt_segment``) are likewise explicit
+#: only: adding them to the random pool would regenerate every existing
+#: seed's schedule, invalidating the sweep baselines.
+KINDS = (
+    "compromise", "isolate", "degrade", "loss", "skew", "recover", "leak",
+    "torn_write", "corrupt_segment",
+)
 
 #: Kinds whose ``target`` names a site rather than a replica host.
 SITE_KINDS = ("isolate", "degrade", "skew")
+
+#: Kinds that crash a replica *and* damage its durable store before the
+#: respawn: ``torn_write`` truncates the newest segment's tail (a crash
+#: mid-append); ``corrupt_segment`` flips a byte inside a record (bit rot
+#: / hostile storage). Both carry recover-style ``duration`` params.
+STORE_KINDS = ("torn_write", "corrupt_segment")
 
 #: Kinds that require an ``until`` (they are windows, not instants).
 WINDOW_KINDS = ("compromise", "isolate", "degrade", "loss", "skew")
@@ -135,7 +147,7 @@ class FaultSchedule:
 
     @staticmethod
     def _tail(event: FaultEvent) -> float:
-        if event.kind == "recover":
+        if event.kind == "recover" or event.kind in STORE_KINDS:
             return float(event.param("duration", 3.0))
         return 0.0
 

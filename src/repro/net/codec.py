@@ -672,32 +672,50 @@ def _decode_checkpoint(data, offset):
 
 _register(26, CheckpointMsg)((_encode_checkpoint, _decode_checkpoint))
 
-_register(27, StateXferSolicit)(
-    (
-        lambda out, m: (write_str(out, m.requester), write_varint(out, m.nonce)),
-        lambda data, o: _decode_solicit(data, o),
-    )
-)
+def _encode_solicit(out, m: StateXferSolicit):
+    write_str(out, m.requester)
+    write_varint(out, m.nonce)
+    write_varint(out, m.have_seq)
+    write_varint(out, m.have_ordinal)
 
 
 def _decode_solicit(data, offset):
     requester, offset = read_str(data, offset)
     nonce, offset = read_varint(data, offset)
-    return StateXferSolicit(requester=requester, nonce=nonce), offset
-
-
-_register(28, XferRequest)(
-    (
-        lambda out, m: (write_str(out, m.requester), write_varint(out, m.nonce)),
-        lambda data, o: _decode_xfer_request(data, o),
+    have_seq, offset = read_varint(data, offset)
+    have_ordinal, offset = read_varint(data, offset)
+    return (
+        StateXferSolicit(
+            requester=requester, nonce=nonce, have_seq=have_seq, have_ordinal=have_ordinal
+        ),
+        offset,
     )
-)
+
+
+_register(27, StateXferSolicit)((_encode_solicit, _decode_solicit))
+
+
+def _encode_xfer_request(out, m: XferRequest):
+    write_str(out, m.requester)
+    write_varint(out, m.nonce)
+    write_varint(out, m.have_seq)
+    write_varint(out, m.have_ordinal)
 
 
 def _decode_xfer_request(data, offset):
     requester, offset = read_str(data, offset)
     nonce, offset = read_varint(data, offset)
-    return XferRequest(requester=requester, nonce=nonce), offset
+    have_seq, offset = read_varint(data, offset)
+    have_ordinal, offset = read_varint(data, offset)
+    return (
+        XferRequest(
+            requester=requester, nonce=nonce, have_seq=have_seq, have_ordinal=have_ordinal
+        ),
+        offset,
+    )
+
+
+_register(28, XferRequest)((_encode_xfer_request, _decode_xfer_request))
 
 
 def _encode_batch_record(out, m: BatchRecord):

@@ -237,6 +237,14 @@ class RtConfig:
     #: Directory for per-node artifacts and the merged bundle.
     out_dir: str = "rt-out"
 
+    # Durable storage (repro.store): each replica process keeps a
+    # FileStore under <out_dir>/nodes/<host>/store, so a SIGKILLed node
+    # recovers its own prefix from disk and only the missing suffix
+    # crosses the network on respawn.
+    durable_store: bool = True
+    store_fsync: str = "batch"
+    store_segment_bytes: int = 1 << 20
+
     def system_config(self) -> SystemConfig:
         """The :class:`SystemConfig` every node derives material from.
 

@@ -4,18 +4,31 @@
 real multi-process deployment instead of the simulation. Only the fault
 kinds with a faithful physical realisation are supported:
 
-========== ==========================================================
-kind        live realisation
-========== ==========================================================
-recover     SIGKILL the replica's OS process (no goodbye, no flush),
-            then respawn it after the window: the fresh process
-            re-derives its key material from the seed and catches up
-            through the ordinary state-transfer path.
-isolate     ``POST /partition`` to every node: traffic to and from the
-            site's hosts is dropped at both endpoints while LAN
-            traffic keeps flowing — the paper's site-disconnection
-            attack.
-========== ==========================================================
+=============== ======================================================
+kind             live realisation
+=============== ======================================================
+recover          SIGKILL the replica's OS process (no goodbye, no
+                 flush), then respawn it after the window: the fresh
+                 process re-derives its key material from the seed and
+                 catches up — from its durable store first when one is
+                 configured, then state transfer for the suffix.
+isolate          ``POST /partition`` to every node: traffic to and from
+                 the site's hosts is dropped at both endpoints while
+                 LAN traffic keeps flowing — the paper's
+                 site-disconnection attack.
+torn_write       SIGKILL, then truncate the tail of the newest store
+                 segment on disk (a write that never finished), then
+                 respawn: recovery must absorb the torn tail and still
+                 replay the intact prefix.
+corrupt_segment  SIGKILL, then flip a byte inside the newest store
+                 segment (silent media corruption), then respawn:
+                 recovery must *detect* the damage and fall back to
+                 network state transfer rather than serve it.
+=============== ======================================================
+
+The two store-damage kinds require the fleet to run with file-backed
+stores (``RtConfig.durable_store``, the default); they act on the
+replica's segment files under ``out_dir/nodes/<host>/store``.
 
 Everything else (``compromise``, ``degrade``, ``loss``, ``skew``,
 ``leak``) stays **sim-only**: Byzantine behaviour needs the adversary's
@@ -33,14 +46,48 @@ from __future__ import annotations
 
 import asyncio
 import time
+from pathlib import Path
 from typing import Dict, List
 
 from repro.faultlab.schedule import FaultSchedule
 from repro.rt.bootstrap import RtConfig
 from repro.rt.launcher import Launcher
+from repro.store.filestore import (
+    _FRAME_HEADER,
+    SEGMENT_MAGIC,
+    flip_byte,
+    torn_write_file,
+)
 
 #: Fault kinds the live substrate can realise physically.
-LIVE_KINDS = ("recover", "isolate")
+LIVE_KINDS = ("recover", "isolate", "torn_write", "corrupt_segment")
+
+
+def _damage_store_files(out_dir: str, host: str, kind: str, event) -> bool:
+    """Damage the newest on-disk store segment of ``host``; True if applied.
+
+    Runs only while the host's process is dead (we SIGKILL first), so
+    nothing races the file writes.
+    """
+    seg_dir = Path(out_dir) / "nodes" / host / "store" / "segments"
+    if not seg_dir.is_dir():
+        return False
+    header = len(SEGMENT_MAGIC)
+    candidates = sorted(
+        path for path in seg_dir.glob("seg-*.log") if path.stat().st_size > header
+    )
+    if not candidates:
+        return False
+    target = candidates[-1]
+    if kind == "torn_write":
+        torn_write_file(target, int(event.param("bytes", 64)))
+    else:
+        offset = event.param("offset")
+        if offset is None:
+            # First byte of the first record body: guaranteed CRC mismatch.
+            offset = header + _FRAME_HEADER.size
+        flip_byte(target, int(offset))
+    return True
 
 
 def unsupported_kinds(schedule: FaultSchedule) -> List[str]:
@@ -60,6 +107,15 @@ async def _apply_event(launcher: Launcher, event, t0: float) -> None:
         duration = float(event.param("duration", 3.0))
         await at(event.at)
         launcher.crash(event.target)
+        await at(event.at + duration)
+        await launcher.restart(event.target)
+    elif event.kind in ("torn_write", "corrupt_segment"):
+        duration = float(event.param("duration", 3.0))
+        await at(event.at)
+        launcher.crash(event.target)
+        _damage_store_files(
+            launcher.config.out_dir, event.target, event.kind, event
+        )
         await at(event.at + duration)
         await launcher.restart(event.target)
     elif event.kind == "isolate":
@@ -121,5 +177,5 @@ async def _run_live_async(
 def run_schedule_live(
     schedule: FaultSchedule, config: RtConfig, timeout: float = 300.0
 ) -> Dict:
-    """Replay ``schedule``'s crash/partition faults against a live fleet."""
+    """Replay ``schedule``'s crash/partition/store faults against a live fleet."""
     return asyncio.run(_run_live_async(schedule, config, timeout))

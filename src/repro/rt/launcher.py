@@ -39,6 +39,22 @@ _HEALTH_INTERVAL = 0.25
 _SCRAPE_INTERVAL = 2.0
 
 
+def _log_tail(handle: "NodeHandle", lines: int = 15) -> str:
+    """The last few log lines of a node, for inlining into errors — a
+    bare 'see the log file' forces a second round trip to diagnose a
+    fleet that died during startup."""
+    if handle.log_path is None or not handle.log_path.is_file():
+        return "<no log captured>"
+    try:
+        content = handle.log_path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:  # pragma: no cover - racing filesystem
+        return f"<log unreadable: {exc}>"
+    tail = content.splitlines()[-lines:]
+    if not tail:
+        return "<log empty>"
+    return "\n".join(f"    | {line}" for line in tail)
+
+
 @dataclass
 class NodeHandle:
     """One supervised OS process."""
@@ -143,9 +159,11 @@ class Launcher:
             still = []
             for handle in pending:
                 if not handle.alive:
+                    code = handle.proc.returncode if handle.proc else None
                     raise RuntimeError(
                         f"{handle.kind} {handle.name} exited during startup "
-                        f"(see {handle.log_path})"
+                        f"(code {code}, log {handle.log_path}):\n"
+                        f"{_log_tail(handle)}"
                     )
                 try:
                     status, _ = await http_request(
@@ -160,7 +178,13 @@ class Launcher:
             if pending:
                 if time.time() > deadline:
                     names = [h.name for h in pending]
-                    raise RuntimeError(f"nodes never became healthy: {names}")
+                    tails = "\n".join(
+                        f"  {h.kind} {h.name} (log {h.log_path}):\n{_log_tail(h)}"
+                        for h in pending
+                    )
+                    raise RuntimeError(
+                        f"nodes never became healthy: {names}\n{tails}"
+                    )
                 await asyncio.sleep(_HEALTH_INTERVAL)
 
     # -- fault injection ----------------------------------------------------------
@@ -236,7 +260,7 @@ class Launcher:
                 if not handle.alive and handle.name not in self.client_results():
                     raise RuntimeError(
                         f"client {handle.name} died before finishing "
-                        f"(see {handle.log_path})"
+                        f"(log {handle.log_path}):\n{_log_tail(handle)}"
                     )
             if time.time() >= next_scrape:
                 await self.scrape()

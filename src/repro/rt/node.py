@@ -174,6 +174,19 @@ def _build_env(ctx: NodeContext) -> ReplicaEnv:
     """Mirror of the builder's ReplicaEnv, on the live substrate."""
     m = ctx.material
     cfg = ctx.system_config
+    store_factory = None
+    if ctx.config.durable_store:
+        from repro.store.filestore import FileStore
+
+        def store_factory(host: str, _ctx=ctx):
+            return FileStore(
+                Path(_ctx.config.out_dir) / "nodes" / host / "store",
+                fsync=_ctx.config.store_fsync,
+                segment_bytes=_ctx.config.store_segment_bytes,
+                metrics=_ctx.metrics,
+                host=host,
+            )
+
     return ReplicaEnv(
         kernel=ctx.scheduler,
         network=ctx.transport,
@@ -200,6 +213,7 @@ def _build_env(ctx: NodeContext) -> ReplicaEnv:
         auditor=ctx.auditor,
         rng=ctx.rng,
         metrics=ctx.metrics,
+        store_factory=store_factory,
     )
 
 
@@ -227,9 +241,21 @@ async def _replica_main(config: RtConfig, host: str) -> int:
     ctx = NodeContext(config, host, role="replica")
     replica = _build_replica(ctx)
     await ctx.start()
+    # Disk-first recovery: replay the local durable prefix (checkpoint +
+    # contiguous log tail) before touching the network, then solicit a
+    # state transfer for only the missing suffix. A first boot (empty
+    # store) skips both and behaves exactly as before.
+    recovered = replica.recover_from_store()
     replica.start()
+    if not recovered.empty:
+        replica.xfer.initiate(
+            reason="disk-recovery",
+            have_seq=recovered.batch_seq,
+            have_ordinal=recovered.ordinal,
+        )
     await ctx.shutdown_requested.wait()
     ctx.write_artifacts()
+    replica.store.close()
     await ctx.stop()
     return 0
 

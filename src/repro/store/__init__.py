@@ -1,0 +1,18 @@
+"""Durable storage for ordered encrypted updates and checkpoints.
+
+See :mod:`repro.store.base` for the seam, :mod:`repro.store.memory` for
+the simulation's volatile default, and :mod:`repro.store.filestore` for
+the crash-recoverable on-disk implementation used by RtLab nodes.
+"""
+
+from repro.store.base import DurableStore, StoreLoad, StoreRecovery
+from repro.store.filestore import FileStore
+from repro.store.memory import MemoryStore
+
+__all__ = [
+    "DurableStore",
+    "FileStore",
+    "MemoryStore",
+    "StoreLoad",
+    "StoreRecovery",
+]

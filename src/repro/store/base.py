@@ -1,0 +1,125 @@
+"""The durable-store seam: what a replica persists and recovers.
+
+The paper's data-center replicas "durably store encrypted updates and
+checkpoints" (Sections IV, V-C); this package makes that storage real and
+pluggable behind the same seam that already splits the deterministic
+simulation from the live runtime:
+
+- :class:`~repro.store.memory.MemoryStore` — the simulation's default.
+  Volatile by design: a modeled crash loses RAM, so ``load()`` always
+  returns nothing and existing traces stay byte-identical.
+- :class:`~repro.store.filestore.FileStore` — a segmented append-only log
+  plus an atomic checkpoint store on disk, used by RtLab nodes so a
+  SIGKILLed process recovers its own prefix locally and only the missing
+  suffix crosses the network.
+
+The store holds exactly two kinds of objects, both already codec-framed
+wire messages (:mod:`repro.net.codec`):
+
+- :class:`~repro.core.messages.BatchRecord` — one executed batch of the
+  global order (encrypted updates / key proposals, plus the engine resume
+  point after the batch), appended by ``ReplicaBase._deliver``;
+- :class:`~repro.core.messages.CheckpointMsg` — the replica's stable
+  checkpoint, saved by :class:`~repro.core.checkpoint.CheckpointManager`
+  whenever stability is reached or adopted.
+
+Garbage collection mirrors the in-memory discipline: once a checkpoint at
+ordinal ``O`` / batch ``S`` is stable, records below ``S`` and checkpoints
+below ``O`` are dead weight and may be dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.messages import BatchRecord, CheckpointMsg
+
+
+@dataclass
+class StoreLoad:
+    """Everything a store could read back at boot, plus damage found.
+
+    ``records`` may be sparse or overlapping (last write wins per
+    ``batch_seq``); the *recovery* layer decides how much of it is usable
+    (a contiguous run above the checkpoint). ``record_bytes`` maps each
+    surviving ``batch_seq`` to its on-disk frame size so recovered bytes
+    are measured in the same units as network-transfer bytes.
+    """
+
+    checkpoint: Optional[CheckpointMsg] = None
+    records: List[BatchRecord] = field(default_factory=list)
+    record_bytes: Dict[int, int] = field(default_factory=dict)
+    checkpoint_bytes: int = 0
+    bytes_scanned: int = 0
+    #: Segments where a CRC/decode failure stopped the scan mid-file.
+    corrupt_segments: int = 0
+    #: Checkpoint files that failed verification (newer-but-broken ones).
+    corrupt_checkpoints: int = 0
+    #: The newest segment ended in a partial frame (torn write / SIGKILL
+    #: mid-append) — expected after a crash, handled by clean truncation.
+    truncated_tail: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return self.checkpoint is None and not self.records
+
+    @property
+    def damaged(self) -> bool:
+        return bool(self.corrupt_segments or self.corrupt_checkpoints)
+
+
+@dataclass
+class StoreRecovery:
+    """What :meth:`ReplicaBase.recover_from_store` actually replayed.
+
+    ``batch_seq``/``ordinal`` are the resume coordinates the replica holds
+    after local replay; a subsequent state transfer advertises them as
+    ``have_seq``/``have_ordinal`` so responders send only the suffix.
+    """
+
+    batch_seq: int = 0
+    ordinal: int = 0
+    records: int = 0
+    bytes_replayed: int = 0
+    corruption_detected: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return self.batch_seq == 0 and self.ordinal == 0 and self.records == 0
+
+
+class DurableStore:
+    """Interface every store implementation provides.
+
+    All methods are synchronous: the simulation calls them inline on the
+    virtual-time kernel, and the live runtime calls them from the asyncio
+    loop (writes are small; fsync policy bounds the stalls).
+    """
+
+    #: Whether data written here survives a process crash.
+    persistent = False
+
+    def append(self, record: BatchRecord) -> int:
+        """Durably append one executed batch; returns bytes written."""
+        raise NotImplementedError
+
+    def save_checkpoint(self, message: CheckpointMsg) -> int:
+        """Atomically persist a stable checkpoint; returns bytes written."""
+        raise NotImplementedError
+
+    def gc(self, stable_ordinal: int, stable_seq: int) -> None:
+        """Drop records below ``stable_seq`` and checkpoints below
+        ``stable_ordinal`` (both covered by the stable checkpoint)."""
+        raise NotImplementedError
+
+    def load(self) -> StoreLoad:
+        """Read back whatever survived; never raises on damaged data —
+        damage is reported in the :class:`StoreLoad` instead."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force outstanding writes to stable storage (no-op if volatile)."""
+
+    def close(self) -> None:
+        """Flush and release resources; the store may not be used after."""

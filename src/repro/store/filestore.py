@@ -1,0 +1,467 @@
+"""File-backed durable store: segmented CRC32 log + atomic checkpoints.
+
+Layout under the store root (one root per replica)::
+
+    <root>/segments/seg-00000001.log     append-only update log segments
+    <root>/checkpoints/ckpt-000000000050 one file per stable checkpoint
+
+Segment format: a 5-byte header (magic ``RSEG`` + format version), then
+length-prefixed records::
+
+    [u32 body length][u32 CRC32(body)][body = codec-encoded BatchRecord]
+
+Checkpoint files carry the same magic discipline (``RCKP`` + version +
+one CRC-framed codec-encoded CheckpointMsg) and are written via the
+write-temp-then-rename idiom, so a checkpoint either exists whole or not
+at all.
+
+Durability policy (``fsync=``):
+
+- ``always`` — fsync after every append: survives power loss, slowest;
+- ``batch``  — fsync every few appends and at every checkpoint/close:
+  bounded power-loss window, the default;
+- ``never``  — rely on the OS to write back eventually: still survives
+  SIGKILL (the page cache belongs to the kernel, not the process), which
+  is the crash RtLab's launcher actually inflicts.
+
+Every append is ``flush()``ed regardless of policy — a SIGKILLed process
+loses user-space buffers but not what it handed to the kernel, and
+surviving SIGKILL is the property the recovery path is built on.
+
+Damage tolerance on :meth:`FileStore.load`:
+
+- a partial frame at the *end of the newest segment* is a torn write
+  (crash mid-append): expected, reported as ``truncated_tail``, the
+  intact prefix is used;
+- a CRC or decode failure anywhere else is corruption: the scan stops
+  for that segment (frames are not self-resynchronizing), the damage is
+  counted, and recovery falls back to network state transfer for
+  whatever was lost. Corrupt data is never returned.
+
+A fresh :class:`FileStore` always opens a *new* segment rather than
+appending to the last one, so a torn tail from a previous incarnation is
+never written after — it stays quarantined until GC removes it.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import BatchRecord, CheckpointMsg
+from repro.errors import ConfigurationError
+from repro.net.codec import decode_message, encode_message
+from repro.obs.registry import NULL_METRICS
+from repro.store.base import DurableStore, StoreLoad
+
+SEGMENT_MAGIC = b"RSEG\x01"
+CHECKPOINT_MAGIC = b"RCKP\x01"
+_FRAME_HEADER = struct.Struct(">II")  # (body length, CRC32 of body)
+
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: ``batch`` policy: fsync once per this many appends.
+_FSYNC_EVERY = 8
+
+
+def _frame(body: bytes) -> bytes:
+    return _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+class FileStore(DurableStore):
+    """Segmented append-only log + checkpoint files for one replica."""
+
+    persistent = True
+
+    def __init__(
+        self,
+        root,
+        fsync: str = "batch",
+        segment_bytes: int = 1 << 20,
+        metrics=NULL_METRICS,
+        host: str = "",
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown fsync policy {fsync!r} (expected one of {FSYNC_POLICIES})"
+            )
+        if segment_bytes < 4096:
+            raise ConfigurationError("segment_bytes must be at least 4096")
+        self.root = Path(root)
+        self.fsync_policy = fsync
+        self.segment_bytes = segment_bytes
+        self.segments_dir = self.root / "segments"
+        self.checkpoints_dir = self.root / "checkpoints"
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoints_dir.mkdir(parents=True, exist_ok=True)
+
+        self._m_appends = metrics.counter("store.append_records", host=host)
+        self._m_append_bytes = metrics.counter("store.append_bytes", host=host)
+        self._m_fsyncs = metrics.counter("store.fsyncs", host=host)
+        self._m_ckpts = metrics.counter("store.checkpoints_saved", host=host)
+        self._m_ckpt_bytes = metrics.counter("store.checkpoint_bytes", host=host)
+        self._m_gc_segments = metrics.counter("store.gc_segments", host=host)
+        self._m_gc_ckpts = metrics.counter("store.gc_checkpoints", host=host)
+        self._h_append = metrics.histogram("store.append_seconds", host=host)
+        self._h_fsync = metrics.histogram("store.fsync_seconds", host=host)
+
+        self._fh = None
+        self._segment_index = self._highest_segment_index()
+        self._appends_since_sync = 0
+        #: Max batch_seq per segment written by *this* process (sealed
+        #: segments from earlier incarnations are scanned lazily by GC).
+        self._segment_max_seq: Dict[int, int] = {}
+
+    # -- segment plumbing ---------------------------------------------------------
+
+    def _segment_path(self, index: int) -> Path:
+        return self.segments_dir / f"seg-{index:08d}.log"
+
+    def _highest_segment_index(self) -> int:
+        highest = 0
+        for path in self.segments_dir.glob("seg-*.log"):
+            try:
+                highest = max(highest, int(path.stem.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return highest
+
+    def _roll_segment(self) -> None:
+        if self._fh is not None:
+            self._sync_current()
+            self._fh.close()
+        self._segment_index += 1
+        self._fh = open(self._segment_path(self._segment_index), "ab")
+        if self._fh.tell() == 0:
+            self._fh.write(SEGMENT_MAGIC)
+        self._fh.flush()
+
+    def _sync_current(self) -> None:
+        if self._fh is None or self.fsync_policy == "never":
+            return
+        started = time.perf_counter()
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._m_fsyncs.inc()
+        self._h_fsync.observe(time.perf_counter() - started)
+        self._appends_since_sync = 0
+
+    # -- DurableStore ------------------------------------------------------------
+
+    def append(self, record: BatchRecord) -> int:
+        body = encode_message(record)
+        frame = _frame(body)
+        if self._fh is None or self._fh.tell() + len(frame) > self.segment_bytes:
+            self._roll_segment()
+        started = time.perf_counter()
+        self._fh.write(frame)
+        # flush() every time: the kernel's page cache survives SIGKILL,
+        # user-space stdio buffers do not.
+        self._fh.flush()
+        if self.fsync_policy == "always":
+            self._sync_current()
+        elif self.fsync_policy == "batch":
+            self._appends_since_sync += 1
+            if self._appends_since_sync >= _FSYNC_EVERY:
+                self._sync_current()
+        self._h_append.observe(time.perf_counter() - started)
+        self._m_appends.inc()
+        self._m_append_bytes.inc(len(frame))
+        current = self._segment_max_seq.get(self._segment_index, 0)
+        self._segment_max_seq[self._segment_index] = max(current, record.batch_seq)
+        return len(frame)
+
+    def save_checkpoint(self, message: CheckpointMsg) -> int:
+        body = encode_message(message)
+        payload = CHECKPOINT_MAGIC + _frame(body)
+        final = self.checkpoints_dir / f"ckpt-{message.ordinal:012d}"
+        tmp = final.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            if self.fsync_policy != "never":
+                os.fsync(fh.fileno())
+        tmp.replace(final)
+        if self.fsync_policy != "never":
+            self._fsync_dir(self.checkpoints_dir)
+        # A stable checkpoint makes everything before it collectable, so
+        # the log itself should be on disk before the checkpoint claims
+        # to cover it.
+        self._sync_current()
+        self._m_ckpts.inc()
+        self._m_ckpt_bytes.inc(len(payload))
+        return len(payload)
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def gc(self, stable_ordinal: int, stable_seq: int) -> None:
+        """Drop sealed segments and checkpoints the stable point covers.
+
+        A sealed segment goes only when a *clean* scan proves every record
+        in it is below ``stable_seq``; a segment with unreadable frames is
+        kept so load() can still report the damage.
+        """
+        for path in sorted(self.segments_dir.glob("seg-*.log")):
+            try:
+                index = int(path.stem.split("-")[1])
+            except (IndexError, ValueError):
+                continue
+            if index == self._segment_index:
+                continue  # never the live segment
+            max_seq = self._segment_max_seq.get(index)
+            if max_seq is None:
+                max_seq = _scan_segment_max_seq(path)
+            if max_seq is not None and max_seq < stable_seq:
+                path.unlink(missing_ok=True)
+                self._segment_max_seq.pop(index, None)
+                self._m_gc_segments.inc()
+        for path, ordinal in _checkpoint_files(self.checkpoints_dir):
+            if ordinal < stable_ordinal:
+                path.unlink(missing_ok=True)
+                self._m_gc_ckpts.inc()
+
+    def load(self) -> StoreLoad:
+        load = StoreLoad()
+        self._load_checkpoint(load)
+        self._load_segments(load)
+        return load
+
+    def sync(self) -> None:
+        self._sync_current()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._sync_current()
+            self._fh.close()
+            self._fh = None
+
+    # -- load internals -----------------------------------------------------------
+
+    def _load_checkpoint(self, load: StoreLoad) -> None:
+        for path, _ordinal in sorted(
+            _checkpoint_files(self.checkpoints_dir), key=lambda po: -po[1]
+        ):
+            data = path.read_bytes()
+            message = _verify_checkpoint_bytes(data)
+            if message is None:
+                load.corrupt_checkpoints += 1
+                continue
+            load.checkpoint = message
+            load.checkpoint_bytes = len(data)
+            load.bytes_scanned += len(data)
+            return
+
+    def _load_segments(self, load: StoreLoad) -> None:
+        paths = sorted(self.segments_dir.glob("seg-*.log"))
+        by_seq: Dict[int, Tuple[BatchRecord, int]] = {}
+        for position, path in enumerate(paths):
+            is_last = position == len(paths) - 1
+            data = path.read_bytes()
+            load.bytes_scanned += len(data)
+            if len(data) < len(SEGMENT_MAGIC):
+                if is_last:
+                    load.truncated_tail = True
+                else:
+                    load.corrupt_segments += 1
+                continue
+            if not data.startswith(SEGMENT_MAGIC):
+                load.corrupt_segments += 1
+                continue
+            offset = len(SEGMENT_MAGIC)
+            while offset < len(data):
+                if offset + _FRAME_HEADER.size > len(data):
+                    if is_last:
+                        load.truncated_tail = True
+                    else:
+                        load.corrupt_segments += 1
+                    break
+                length, crc = _FRAME_HEADER.unpack_from(data, offset)
+                end = offset + _FRAME_HEADER.size + length
+                if end > len(data):
+                    if is_last:
+                        load.truncated_tail = True
+                    else:
+                        load.corrupt_segments += 1
+                    break
+                body = data[offset + _FRAME_HEADER.size : end]
+                if zlib.crc32(body) != crc:
+                    load.corrupt_segments += 1
+                    break
+                try:
+                    record, _ = decode_message(body)
+                except Exception:
+                    record = None
+                if not isinstance(record, BatchRecord):
+                    load.corrupt_segments += 1
+                    break
+                by_seq[record.batch_seq] = (record, end - offset)
+                offset = end
+        load.records = [by_seq[seq][0] for seq in sorted(by_seq)]
+        load.record_bytes = {seq: size for seq, (_r, size) in by_seq.items()}
+
+    # -- fault injection (FaultLab torn_write / corrupt_segment) -------------------
+
+    def damage_torn_write(self, nbytes: int = 64) -> Optional[Path]:
+        """Truncate the tail of the newest non-empty segment, as a crash
+        mid-append would; rolls to a fresh segment so later appends never
+        touch the damaged file. Returns the damaged path (None if there
+        was nothing to damage)."""
+        target = self._newest_record_segment()
+        if target is None:
+            return None
+        self._quarantine_current()
+        torn_write_file(target, nbytes)
+        return target
+
+    def damage_corrupt_segment(self, offset: Optional[int] = None) -> Optional[Path]:
+        """Flip one byte inside the newest non-empty segment (bit rot /
+        hostile storage). Default offset lands in the first record's body,
+        guaranteeing a CRC mismatch on the next load."""
+        target = self._newest_record_segment()
+        if target is None:
+            return None
+        self._quarantine_current()
+        if offset is None:
+            offset = len(SEGMENT_MAGIC) + _FRAME_HEADER.size
+        flip_byte(target, offset)
+        return target
+
+    def _newest_record_segment(self) -> Optional[Path]:
+        if self._fh is not None:
+            self._fh.flush()
+        for path in sorted(self.segments_dir.glob("seg-*.log"), reverse=True):
+            if path.stat().st_size > len(SEGMENT_MAGIC):
+                return path
+        return None
+
+    def _quarantine_current(self) -> None:
+        """Seal the live segment (without fsync — the damage models a
+        crash) and start a fresh one, so post-damage appends are clean."""
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+        self._segment_index += 1
+        self._fh = open(self._segment_path(self._segment_index), "ab")
+        if self._fh.tell() == 0:
+            self._fh.write(SEGMENT_MAGIC)
+        self._fh.flush()
+
+
+# ---------------------------------------------------------------------------
+# module-level helpers (shared with the live fault injector and the CLI)
+# ---------------------------------------------------------------------------
+
+
+def torn_write_file(path, nbytes: int = 64) -> None:
+    """Truncate up to ``nbytes`` off the end of ``path`` (>= header)."""
+    path = Path(path)
+    size = path.stat().st_size
+    keep = max(len(SEGMENT_MAGIC) - 1, size - max(1, nbytes))
+    with open(path, "rb+") as fh:
+        fh.truncate(keep)
+
+
+def flip_byte(path, offset: int) -> None:
+    """XOR one byte of ``path`` at ``offset`` (clamped into the file)."""
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        return
+    offset = min(max(0, offset), size - 1)
+    with open(path, "rb+") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _checkpoint_files(directory: Path) -> List[Tuple[Path, int]]:
+    found: List[Tuple[Path, int]] = []
+    for path in directory.glob("ckpt-*"):
+        if path.suffix == ".tmp":
+            continue
+        try:
+            found.append((path, int(path.name.split("-")[1])))
+        except (IndexError, ValueError):
+            continue
+    return found
+
+
+def _verify_checkpoint_bytes(data: bytes) -> Optional[CheckpointMsg]:
+    if not data.startswith(CHECKPOINT_MAGIC):
+        return None
+    offset = len(CHECKPOINT_MAGIC)
+    if offset + _FRAME_HEADER.size > len(data):
+        return None
+    length, crc = _FRAME_HEADER.unpack_from(data, offset)
+    body = data[offset + _FRAME_HEADER.size : offset + _FRAME_HEADER.size + length]
+    if len(body) != length or zlib.crc32(body) != crc:
+        return None
+    try:
+        message, _ = decode_message(body)
+    except Exception:
+        return None
+    return message if isinstance(message, CheckpointMsg) else None
+
+
+def _scan_segment_max_seq(path: Path) -> Optional[int]:
+    """Max batch_seq of a sealed segment via a header-only scan.
+
+    Reads each frame header plus a few body bytes (the codec tag and the
+    leading batch_seq varint), seeking over the rest. Returns None if the
+    scan hits anything unreadable — the caller then keeps the segment.
+    """
+    max_seq: Optional[int] = None
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(SEGMENT_MAGIC)) != SEGMENT_MAGIC:
+                return None
+            size = path.stat().st_size
+            while fh.tell() < size:
+                header = fh.read(_FRAME_HEADER.size)
+                if len(header) < _FRAME_HEADER.size:
+                    return None
+                length, _crc = _FRAME_HEADER.unpack_from(header, 0)
+                if fh.tell() + length > size:
+                    return None
+                peek = fh.read(min(length, 16))
+                seq = _peek_batch_seq(peek)
+                if seq is None:
+                    return None
+                max_seq = seq if max_seq is None else max(max_seq, seq)
+                fh.seek(length - len(peek), os.SEEK_CUR)
+    except OSError:
+        return None
+    return max_seq
+
+
+def _peek_batch_seq(body_prefix: bytes) -> Optional[int]:
+    """The leading batch_seq varint of an encoded BatchRecord body."""
+    if not body_prefix:
+        return None
+    value = 0
+    shift = 0
+    for byte in body_prefix[1:]:  # skip the codec tag byte
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+        if shift > 70:
+            return None
+    return None

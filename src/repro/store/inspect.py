@@ -1,0 +1,128 @@
+"""Offline inspection of a FileStore directory (``repro store ...``).
+
+Pure readers: nothing here mutates the store, so they are safe to run
+against a live node's directory (the worst case is observing a frame
+mid-append, which reports as a torn tail).
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import BatchRecord
+from repro.net.codec import decode_message
+from repro.store.filestore import (
+    SEGMENT_MAGIC,
+    _FRAME_HEADER,
+    _checkpoint_files,
+    _verify_checkpoint_bytes,
+)
+
+
+def scan_segment(path: Path, is_last: bool) -> Dict:
+    """Parse one segment file into a report dict.
+
+    ``status`` is ``ok``, ``empty``, ``torn`` (partial final frame — only
+    benign in the newest segment), or ``corrupt`` (CRC/decode/magic
+    failure; the scan stops there).
+    """
+    data = Path(path).read_bytes()
+    report: Dict = {
+        "file": Path(path).name,
+        "size": len(data),
+        "records": 0,
+        "min_seq": None,
+        "max_seq": None,
+        "status": "ok",
+        "detail": "",
+    }
+    if len(data) < len(SEGMENT_MAGIC):
+        report["status"] = "torn" if is_last else "corrupt"
+        report["detail"] = "missing segment header"
+        return report
+    if not data.startswith(SEGMENT_MAGIC):
+        report["status"] = "corrupt"
+        report["detail"] = "bad segment magic"
+        return report
+    if len(data) == len(SEGMENT_MAGIC):
+        report["status"] = "empty"
+        return report
+    offset = len(SEGMENT_MAGIC)
+    records: List[Tuple[int, int]] = []
+    while offset < len(data):
+        if offset + _FRAME_HEADER.size > len(data):
+            report["status"] = "torn" if is_last else "corrupt"
+            report["detail"] = f"partial frame header at offset {offset}"
+            break
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        end = offset + _FRAME_HEADER.size + length
+        if end > len(data):
+            report["status"] = "torn" if is_last else "corrupt"
+            report["detail"] = f"frame at offset {offset} extends past end of file"
+            break
+        body = data[offset + _FRAME_HEADER.size : end]
+        if zlib.crc32(body) != crc:
+            report["status"] = "corrupt"
+            report["detail"] = f"CRC mismatch at offset {offset}"
+            break
+        try:
+            record, _ = decode_message(body)
+        except Exception:
+            record = None
+        if not isinstance(record, BatchRecord):
+            report["status"] = "corrupt"
+            report["detail"] = f"undecodable record at offset {offset}"
+            break
+        records.append((record.batch_seq, end - offset))
+        offset = end
+    if records:
+        seqs = [seq for seq, _ in records]
+        report["records"] = len(records)
+        report["min_seq"] = min(seqs)
+        report["max_seq"] = max(seqs)
+    return report
+
+
+def inspect_store(root) -> Dict:
+    """Full report of a store directory: segments, checkpoints, totals."""
+    root = Path(root)
+    segment_paths = sorted((root / "segments").glob("seg-*.log"))
+    segments = [
+        scan_segment(path, is_last=(i == len(segment_paths) - 1))
+        for i, path in enumerate(segment_paths)
+    ]
+    checkpoints = []
+    for path, ordinal in sorted(_checkpoint_files(root / "checkpoints"), key=lambda po: po[1]):
+        data = path.read_bytes()
+        message = _verify_checkpoint_bytes(data)
+        entry = {
+            "file": path.name,
+            "ordinal": ordinal,
+            "size": len(data),
+            "verified": message is not None,
+        }
+        if message is not None:
+            entry["batch_seq"] = message.resume.batch_seq
+            entry["signer"] = message.signer
+        checkpoints.append(entry)
+    seqs = [s["max_seq"] for s in segments if s["max_seq"] is not None]
+    return {
+        "root": str(root),
+        "segments": segments,
+        "checkpoints": checkpoints,
+        "total_records": sum(s["records"] for s in segments),
+        "max_seq": max(seqs) if seqs else None,
+        "corrupt_segments": sum(1 for s in segments if s["status"] == "corrupt"),
+        "torn_segments": sum(1 for s in segments if s["status"] == "torn"),
+        "corrupt_checkpoints": sum(1 for c in checkpoints if not c["verified"]),
+    }
+
+
+def verify_store(root) -> Tuple[Dict, bool]:
+    """(report, ok): ok is False on real corruption. A torn tail in the
+    newest segment is a survivable crash artifact, not a failure."""
+    report = inspect_store(root)
+    ok = report["corrupt_segments"] == 0 and report["corrupt_checkpoints"] == 0
+    return report, ok

@@ -1,0 +1,52 @@
+"""The simulation's store: append and forget, like the RAM it models.
+
+The deterministic simulation models a crash as losing *everything* except
+hardware-protected keys (``ReplicaBase.recover`` wipes all session
+state). A store that handed data back after such a crash would change
+recovery behaviour — and therefore traces — for every existing seed. So
+:meth:`MemoryStore.load` always reports an empty store: the in-memory
+deployment keeps its byte-identical traces, while the appended data stays
+inspectable for tests and for GC accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.messages import BatchRecord, CheckpointMsg
+from repro.obs.registry import NULL_METRICS
+from repro.store.base import DurableStore, StoreLoad
+
+
+class MemoryStore(DurableStore):
+    """Volatile store: retains writes for introspection, recovers nothing."""
+
+    persistent = False
+
+    def __init__(self, metrics=NULL_METRICS, host: str = ""):
+        self.records: Dict[int, BatchRecord] = {}
+        self.checkpoints: Dict[int, CheckpointMsg] = {}
+        self._m_append = metrics.counter("store.append_records", host=host)
+        self._m_ckpt = metrics.counter("store.checkpoints_saved", host=host)
+
+    def append(self, record: BatchRecord) -> int:
+        self.records[record.batch_seq] = record
+        self._m_append.inc()
+        return record.wire_size()
+
+    def save_checkpoint(self, message: CheckpointMsg) -> int:
+        self.checkpoints[message.ordinal] = message
+        self._m_ckpt.inc()
+        return message.wire_size()
+
+    def gc(self, stable_ordinal: int, stable_seq: int) -> None:
+        for seq in [s for s in self.records if s < stable_seq]:
+            del self.records[seq]
+        for ordinal in [o for o in self.checkpoints if o < stable_ordinal]:
+            del self.checkpoints[ordinal]
+
+    def load(self) -> StoreLoad:
+        # Volatile RAM does not survive the modeled crash: recovery always
+        # starts empty and catches up over the network, exactly as before
+        # this store existed (the sim's trace byte-identity contract).
+        return StoreLoad()

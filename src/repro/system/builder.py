@@ -187,6 +187,23 @@ def build(
     proxy_of_client = material.proxy_of_client
     keystores = material.keystores
 
+    store_factory = None
+    if config.store_dir is not None:
+        from pathlib import Path
+
+        from repro.store.filestore import FileStore
+
+        store_root = Path(config.store_dir)
+
+        def store_factory(host: str, _root=store_root, _metrics=metrics):
+            return FileStore(
+                _root / host,
+                fsync=config.store_fsync,
+                segment_bytes=config.store_segment_bytes,
+                metrics=_metrics,
+                host=host,
+            )
+
     env = ReplicaEnv(
         kernel=kernel,
         network=network,
@@ -213,6 +230,7 @@ def build(
         auditor=auditor,
         rng=rng,
         metrics=metrics,
+        store_factory=store_factory,
     )
 
     replicas: Dict[str, ReplicaBase] = {}

@@ -56,6 +56,14 @@ class SystemConfig:
     xfer_chunk_bytes: Optional[int] = 65536
     xfer_chunk_interval: float = 0.004
 
+    # Durable storage (repro.store). None keeps the volatile MemoryStore
+    # (the deterministic default; traces byte-identical across seeds);
+    # a directory path gives every replica a FileStore under
+    # <store_dir>/<host>, enabling crash recovery from disk.
+    store_dir: Optional[str] = None
+    store_fsync: str = "batch"
+    store_segment_bytes: int = 1 << 20
+
     # Cryptographic sizes. Small-but-real keys keep pure-Python wall time
     # tolerable; simulated costs come from `costs`, not from wall time.
     rsa_bits: int = 512
@@ -74,6 +82,10 @@ class SystemConfig:
             raise ConfigurationError("1-3 data centers supported")
         if self.num_clients < 1:
             raise ConfigurationError("at least one client required")
+        if self.store_fsync not in ("always", "batch", "never"):
+            raise ConfigurationError(
+                f"store_fsync must be always/batch/never, got {self.store_fsync!r}"
+            )
 
     @property
     def confidential(self) -> bool:

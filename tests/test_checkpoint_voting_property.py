@@ -1,0 +1,209 @@
+"""Property tests: checkpoint voting under duplicated/reordered delivery.
+
+The network may deliver any replica's CheckpointMsg multicast late, twice,
+or out of order, and garbage collection races the tail of the vote stream.
+:class:`~repro.core.checkpoint.CheckpointManager` must stay idempotent and
+monotone through all of it:
+
+- the final stable ordinal is a pure function of *which distinct signers
+  voted for which ordinal*, independent of delivery order or duplication;
+- the stable ordinal never regresses mid-stream;
+- redelivering an entire vote stream is a no-op for stable state;
+- votes arriving after their ordinal was garbage-collected never resurrect
+  an old stable checkpoint or re-persist it to the durable store.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.messages import CheckpointMsg, ResumePoint
+from repro.obs.registry import NULL_METRICS
+from repro.store.memory import MemoryStore
+
+F = 1
+QUORUM = 4  # 2f + k + 1 with k = 1
+INTERVAL = 25
+ORDINALS = (25, 50, 75)
+SIGNERS = ("cc-a-r0", "cc-a-r1", "cc-b-r0", "cc-b-r1", "dc-2-r0")
+
+
+class RecordingStore(MemoryStore):
+    def __init__(self):
+        super().__init__()
+        self.saved = []
+        self.gcs = []
+
+    def save_checkpoint(self, message):
+        self.saved.append(message.ordinal)
+        return super().save_checkpoint(message)
+
+    def gc(self, stable_ordinal, stable_seq):
+        self.gcs.append((stable_ordinal, stable_seq))
+        super().gc(stable_ordinal, stable_seq)
+
+
+class FakeEngine:
+    def __init__(self):
+        self.gc_calls = []
+
+    def gc_before(self, seq):
+        self.gc_calls.append(seq)
+
+
+class FakeReplica:
+    """Just enough replica surface for the voting/GC paths."""
+
+    f = F
+    quorum = QUORUM
+    confidential = True
+
+    def __init__(self, hosts_application):
+        # Not in SIGNERS: the relay self-vote must be its own contribution.
+        self.host = "cc-x-r9" if hosts_application else "dc-9-r9"
+        self.hosts_application = hosts_application
+        self.metrics = NULL_METRICS
+        self.engine = FakeEngine()
+        self.store = RecordingStore()
+        self.sent = []
+        self.traces = []
+        self.pruned = []
+
+    def executed_ordinal(self):
+        return 10 ** 9  # never lagging: the GC guard stays open
+
+    def trace(self, category, **detail):
+        self.traces.append((category, detail))
+
+    def network_send(self, peer, message):
+        self.sent.append((peer, message))
+
+    def all_peers(self):
+        return ("peer-0", "peer-1", "peer-2")
+
+    def prune_update_log(self, seq):
+        self.pruned.append(seq)
+
+
+def make_message(ordinal, signer):
+    resume = ResumePoint(
+        batch_seq=ordinal * 2, ordinal=ordinal, ordered_through=(("r0#0", ordinal),)
+    )
+    return CheckpointMsg(
+        ordinal=ordinal,
+        resume=resume,
+        blob=b"state-%d" % ordinal,
+        signer=signer,
+    )
+
+
+def deliver_all(manager, deliveries):
+    for ordinal, src in deliveries:
+        manager.on_checkpoint(src, make_message(ordinal, src))
+
+
+def expected_stable(deliveries, relaying):
+    """Oracle: the max ordinal whose distinct-signer count (plus the relay
+    self-vote a data-center replica contributes once f+1 is seen) reaches
+    the stability quorum."""
+    by_ordinal = {}
+    for ordinal, src in deliveries:
+        by_ordinal.setdefault(ordinal, set()).add(src)
+    best = None
+    for ordinal, srcs in by_ordinal.items():
+        effective = len(srcs) + (1 if relaying and len(srcs) >= F + 1 else 0)
+        if effective >= QUORUM and (best is None or ordinal > best):
+            best = ordinal
+    return best
+
+
+deliveries_strategy = st.lists(
+    st.tuples(st.sampled_from(ORDINALS), st.sampled_from(SIGNERS)),
+    max_size=40,
+)
+
+
+@given(deliveries=deliveries_strategy, hosts_application=st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_final_stable_is_order_and_duplication_independent(
+    deliveries, hosts_application
+):
+    replica = FakeReplica(hosts_application)
+    manager = CheckpointManager(replica, INTERVAL)
+    stable_history = []
+    for ordinal, src in deliveries:
+        manager.on_checkpoint(src, make_message(ordinal, src))
+        stable_history.append(
+            manager.stable.ordinal if manager.stable is not None else 0
+        )
+
+    # Monotone: stability never regresses mid-stream.
+    assert stable_history == sorted(stable_history)
+
+    expected = expected_stable(deliveries, relaying=not hosts_application)
+    actual = manager.stable.ordinal if manager.stable is not None else None
+    assert actual == expected
+
+    # Every stability transition was persisted, in order, exactly once.
+    assert replica.store.saved == sorted(set(replica.store.saved))
+    stable_traces = [d["ordinal"] for c, d in replica.traces if c == "checkpoint.stable"]
+    assert stable_traces == replica.store.saved
+
+
+@given(deliveries=deliveries_strategy, hosts_application=st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_redelivering_the_whole_stream_changes_nothing_stable(
+    deliveries, hosts_application
+):
+    replica = FakeReplica(hosts_application)
+    manager = CheckpointManager(replica, INTERVAL)
+    deliver_all(manager, deliveries)
+    stable_after_first = manager.stable
+    saved_after_first = list(replica.store.saved)
+    gcs_after_first = list(replica.store.gcs)
+
+    deliver_all(manager, deliveries)
+    assert manager.stable is stable_after_first
+    assert replica.store.saved == saved_after_first
+    assert replica.store.gcs == gcs_after_first
+
+
+def quorum_votes(ordinal, count=QUORUM):
+    return [(ordinal, SIGNERS[i]) for i in range(count)]
+
+
+class TestVotesAfterGc:
+    def test_late_votes_for_collected_ordinal_cannot_regress_stability(self):
+        replica = FakeReplica(hosts_application=True)
+        manager = CheckpointManager(replica, INTERVAL)
+        deliver_all(manager, quorum_votes(50))
+        assert manager.stable.ordinal == 50
+        assert replica.store.gcs == [(50, 100)]
+
+        # A full quorum for an already-collected ordinal arrives late.
+        deliver_all(manager, quorum_votes(25))
+        assert manager.stable.ordinal == 50
+        assert replica.store.saved == [50]  # the stale one was never persisted
+        assert replica.store.gcs == [(50, 100)]
+        stale_stable = [d for c, d in replica.traces
+                        if c == "checkpoint.stable" and d["ordinal"] == 25]
+        assert not stale_stable
+
+    def test_data_center_relays_a_correct_checkpoint_exactly_once(self):
+        replica = FakeReplica(hosts_application=False)
+        manager = CheckpointManager(replica, INTERVAL)
+        votes = quorum_votes(25, count=F + 1)
+        deliver_all(manager, votes)
+        deliver_all(manager, votes)  # duplicates must not re-relay
+        relayed = [m for _peer, m in replica.sent if m.signer == replica.host]
+        assert len(relayed) == len(replica.all_peers())
+        assert {m.ordinal for m in relayed} == {25}
+
+    def test_duplicate_votes_never_count_twice(self):
+        replica = FakeReplica(hosts_application=True)
+        manager = CheckpointManager(replica, INTERVAL)
+        # QUORUM - 1 distinct signers, one of them repeated many times.
+        deliveries = quorum_votes(25, count=QUORUM - 1) + [(25, SIGNERS[0])] * 10
+        deliver_all(manager, deliveries)
+        assert manager.stable is None
+        assert 25 in manager.correct  # f+1 distinct signers did vote

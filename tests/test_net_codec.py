@@ -110,7 +110,9 @@ CPITM_MESSAGES = [
     CheckpointMsg(ordinal=100, resume=SAMPLE_RESUME, blob=b"\x0c" * 256, signer="cc-a-r0"),
     CheckpointMsg(ordinal=100, resume=SAMPLE_RESUME, blob=Sensitive(b"plain state", label="state-snapshot"), signer="dc-1-r0"),
     StateXferSolicit(requester="cc-b-r1", nonce=2),
+    StateXferSolicit(requester="cc-b-r1", nonce=2, have_seq=75, have_ordinal=3),
     XferRequest(requester="cc-b-r1", nonce=2),
+    XferRequest(requester="cc-b-r1", nonce=2, have_seq=75, have_ordinal=3),
     BatchRecord(batch_seq=11, resume=SAMPLE_RESUME, entries=((43, SAMPLE_ENCRYPTED), (44, SAMPLE_PROPOSAL))),
     StateXferResponse(
         requester="cc-b-r1",
@@ -149,6 +151,16 @@ def test_unknown_type_rejected():
 def test_unknown_tag_rejected():
     with pytest.raises(ProtocolError):
         decode_message(b"\xff\x00")
+
+
+def test_xfer_request_signing_bytes_keeps_legacy_form():
+    # The no-disk-state digest feeds ordered-batch trace digests; changing
+    # it would break the sim's byte-identity contract across versions.
+    legacy = XferRequest(requester="cc-b-r1", nonce=2)
+    assert legacy.signing_bytes() == b"xfer|cc-b-r1|2"
+    advertised = XferRequest(requester="cc-b-r1", nonce=2, have_seq=75, have_ordinal=3)
+    assert advertised.signing_bytes() == b"xfer|cc-b-r1|2|75|3"
+    assert legacy.digest() != advertised.digest()
 
 
 def test_sensitive_blob_survives_the_wire():

@@ -1,0 +1,300 @@
+"""Unit tests for the file-backed durable store (StoreLab).
+
+Covers the crash-recovery contract in isolation: log round-trips, torn
+tails, corruption detection, checkpoint atomicity, GC, segment rolling,
+and the inspect/verify helpers behind ``repro store``.
+"""
+
+import pytest
+
+from repro.core.messages import (
+    BatchRecord,
+    CheckpointMsg,
+    EncryptedUpdate,
+    ResumePoint,
+)
+from repro.errors import ConfigurationError
+from repro.store import FileStore, MemoryStore
+from repro.store.filestore import (
+    SEGMENT_MAGIC,
+    flip_byte,
+    torn_write_file,
+)
+from repro.store.inspect import inspect_store, verify_store
+
+
+def make_record(seq: int, payload_bytes: int = 32) -> BatchRecord:
+    resume = ResumePoint(
+        batch_seq=seq, ordinal=seq, ordered_through=(("cc-a-r0#0", seq),)
+    )
+    update = EncryptedUpdate(
+        alias="ab" * 8,
+        client_seq=seq,
+        ciphertext=b"\x01" * payload_bytes,
+        threshold_sig=b"\x02" * 16,
+    )
+    return BatchRecord(batch_seq=seq, resume=resume, entries=((seq, update),))
+
+
+def make_checkpoint(ordinal: int, seq: int) -> CheckpointMsg:
+    resume = ResumePoint(
+        batch_seq=seq, ordinal=ordinal, ordered_through=(("cc-a-r0#0", seq),)
+    )
+    return CheckpointMsg(
+        ordinal=ordinal, resume=resume, blob=b"\x0c" * 64, signer="cc-a-r0"
+    )
+
+
+def newest_segment(store: FileStore):
+    paths = sorted(store.segments_dir.glob("seg-*.log"))
+    assert paths
+    return paths[-1]
+
+
+class TestRoundTrip:
+    def test_records_and_checkpoint_survive_reopen(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 11):
+            assert store.append(make_record(seq)) > 0
+        store.save_checkpoint(make_checkpoint(2, 50))
+        store.close()
+
+        reopened = FileStore(tmp_path / "s")
+        load = reopened.load()
+        assert [r.batch_seq for r in load.records] == list(range(1, 11))
+        assert load.checkpoint is not None
+        assert load.checkpoint.ordinal == 2
+        assert not load.damaged
+        assert not load.truncated_tail
+        assert load.bytes_scanned > 0
+        assert set(load.record_bytes) == set(range(1, 11))
+        reopened.close()
+
+    def test_duplicate_seq_last_wins(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        first = make_record(5, payload_bytes=16)
+        second = make_record(5, payload_bytes=48)
+        store.append(first)
+        store.append(second)
+        store.close()
+        load = FileStore(tmp_path / "s").load()
+        assert len(load.records) == 1
+        assert load.records[0] == second
+
+    def test_fresh_store_never_appends_to_old_segment(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        store.append(make_record(1))
+        first_segment = newest_segment(store)
+        store.close()
+        reopened = FileStore(tmp_path / "s")
+        reopened.append(make_record(2))
+        assert newest_segment(reopened) != first_segment
+        reopened.close()
+
+    def test_empty_store_loads_empty(self, tmp_path):
+        load = FileStore(tmp_path / "s").load()
+        assert load.empty
+        assert not load.damaged
+
+
+class TestConfiguration:
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FileStore(tmp_path / "s", fsync="sometimes")
+
+    def test_tiny_segment_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FileStore(tmp_path / "s", segment_bytes=100)
+
+    @pytest.mark.parametrize("policy", ["always", "batch", "never"])
+    def test_all_policies_round_trip(self, tmp_path, policy):
+        store = FileStore(tmp_path / policy, fsync=policy)
+        for seq in range(1, 20):
+            store.append(make_record(seq))
+        store.save_checkpoint(make_checkpoint(1, 10))
+        store.close()
+        load = FileStore(tmp_path / policy, fsync=policy).load()
+        assert len(load.records) == 19
+        assert load.checkpoint.ordinal == 1
+
+
+class TestDamage:
+    def test_torn_tail_is_survivable(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 9):
+            store.append(make_record(seq))
+        store.close()
+        torn_write_file(newest_segment(store), nbytes=10)
+
+        load = FileStore(tmp_path / "s").load()
+        assert load.truncated_tail
+        assert load.corrupt_segments == 0
+        assert not load.damaged
+        # The torn record is gone; the intact prefix survives.
+        assert [r.batch_seq for r in load.records] == list(range(1, 8))
+
+    def test_mid_segment_corruption_detected(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 6):
+            store.append(make_record(seq))
+        store.close()
+        flip_byte(newest_segment(store), offset=len(SEGMENT_MAGIC) + 8)
+
+        load = FileStore(tmp_path / "s").load()
+        assert load.corrupt_segments == 1
+        assert load.damaged
+        # Nothing after (or at) the damage point is served.
+        assert load.records == []
+
+    def test_damage_torn_write_quarantines_live_segment(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 6):
+            store.append(make_record(seq))
+        damaged = store.damage_torn_write(nbytes=10)
+        assert damaged is not None
+        # Post-damage appends land in a fresh segment and survive.
+        store.append(make_record(6))
+        store.close()
+
+        load = FileStore(tmp_path / "s").load()
+        # The tear is now mid-stream (a fresh segment follows), which the
+        # loader conservatively reports as damage — but the intact prefix
+        # and the post-damage append are both served.
+        assert load.damaged
+        seqs = [r.batch_seq for r in load.records]
+        assert 6 in seqs
+        assert seqs[:4] == [1, 2, 3, 4]
+
+    def test_damage_corrupt_segment_detected_on_load(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 6):
+            store.append(make_record(seq))
+        assert store.damage_corrupt_segment() is not None
+        store.close()
+        load = FileStore(tmp_path / "s").load()
+        assert load.corrupt_segments == 1
+        assert load.damaged
+
+    def test_damage_on_empty_store_is_noop(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        assert store.damage_torn_write() is None
+        assert store.damage_corrupt_segment() is None
+
+
+class TestCheckpoints:
+    def test_newest_verified_checkpoint_wins(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        store.save_checkpoint(make_checkpoint(1, 25))
+        store.save_checkpoint(make_checkpoint(2, 50))
+        store.close()
+        load = FileStore(tmp_path / "s").load()
+        assert load.checkpoint.ordinal == 2
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        store.save_checkpoint(make_checkpoint(1, 25))
+        store.save_checkpoint(make_checkpoint(2, 50))
+        store.close()
+        flip_byte(store.checkpoints_dir / "ckpt-000000000002", offset=20)
+
+        load = FileStore(tmp_path / "s").load()
+        assert load.corrupt_checkpoints == 1
+        assert load.checkpoint.ordinal == 1
+
+    def test_leftover_tmp_file_is_ignored(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        store.save_checkpoint(make_checkpoint(1, 25))
+        (store.checkpoints_dir / "ckpt-000000000009.tmp").write_bytes(b"garbage")
+        store.close()
+        load = FileStore(tmp_path / "s").load()
+        assert load.checkpoint.ordinal == 1
+        assert load.corrupt_checkpoints == 0
+
+
+class TestGcAndRolling:
+    def test_segments_roll_at_size_limit(self, tmp_path):
+        store = FileStore(tmp_path / "s", segment_bytes=4096)
+        for seq in range(1, 30):
+            store.append(make_record(seq, payload_bytes=512))
+        assert len(list(store.segments_dir.glob("seg-*.log"))) > 1
+        store.close()
+        load = FileStore(tmp_path / "s").load()
+        assert [r.batch_seq for r in load.records] == list(range(1, 30))
+
+    def test_gc_drops_covered_segments_and_checkpoints(self, tmp_path):
+        store = FileStore(tmp_path / "s", segment_bytes=4096)
+        for seq in range(1, 30):
+            store.append(make_record(seq, payload_bytes=512))
+        store.save_checkpoint(make_checkpoint(1, 10))
+        store.save_checkpoint(make_checkpoint(3, 100))
+        before = len(list(store.segments_dir.glob("seg-*.log")))
+        store.gc(stable_ordinal=3, stable_seq=100)
+        after = len(list(store.segments_dir.glob("seg-*.log")))
+        assert after < before
+        # The live segment always survives.
+        assert newest_segment(store).exists()
+        ckpts = sorted(store.checkpoints_dir.glob("ckpt-*"))
+        assert [p.name for p in ckpts] == ["ckpt-000000000003"]
+        store.close()
+
+    def test_gc_spares_segments_with_unreadable_frames(self, tmp_path):
+        store = FileStore(tmp_path / "s", segment_bytes=4096)
+        for seq in range(1, 30):
+            store.append(make_record(seq, payload_bytes=512))
+        store.close()
+        # Break a sealed segment's frame *header* (the length field), so
+        # the header-only GC scan cannot prove coverage: the segment must
+        # be kept so load() can still report the damage.
+        sealed = sorted(store.segments_dir.glob("seg-*.log"))[0]
+        flip_byte(sealed, offset=len(SEGMENT_MAGIC))
+        reopened = FileStore(tmp_path / "s", segment_bytes=4096)
+        reopened.gc(stable_ordinal=99, stable_seq=10_000)
+        assert sealed.exists()
+        reopened.close()
+
+
+class TestMemoryStore:
+    def test_load_is_always_empty(self):
+        store = MemoryStore()
+        store.append(make_record(1))
+        store.save_checkpoint(make_checkpoint(1, 25))
+        load = store.load()
+        assert load.empty
+        assert not load.damaged
+
+    def test_not_persistent(self, tmp_path):
+        assert MemoryStore().persistent is False
+        assert FileStore(tmp_path / "s").persistent is True
+
+
+class TestInspectVerify:
+    def test_inspect_reports_healthy_store(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 6):
+            store.append(make_record(seq))
+        store.save_checkpoint(make_checkpoint(1, 25))
+        store.close()
+
+        report = inspect_store(tmp_path / "s")
+        assert report["total_records"] == 5
+        assert report["max_seq"] == 5
+        assert report["corrupt_segments"] == 0
+        assert [c["ordinal"] for c in report["checkpoints"]] == [1]
+        assert all(c["verified"] for c in report["checkpoints"])
+
+        _report, ok = verify_store(tmp_path / "s")
+        assert ok
+
+    def test_verify_flags_corruption_but_not_torn_tail(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 6):
+            store.append(make_record(seq))
+        store.close()
+        torn_write_file(newest_segment(store), nbytes=10)
+        _report, ok = verify_store(tmp_path / "s")
+        assert ok  # a torn tail is an expected crash artifact
+
+        flip_byte(newest_segment(store), offset=len(SEGMENT_MAGIC) + 8)
+        report, ok = verify_store(tmp_path / "s")
+        assert not ok
+        assert report["corrupt_segments"] >= 1
