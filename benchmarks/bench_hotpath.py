@@ -1,0 +1,96 @@
+"""PerfLab hot-path benchmark: encode-once fan-out, sim deployments, live fleet.
+
+Runs the :mod:`repro.perf` suite and writes the result document to
+``benchmarks/results/BENCH_hotpath.json``. With ``--check`` the fresh run
+is compared against the committed baseline: the regression guard works on
+cached-vs-uncached *speedup ratios* measured in the same run, so the
+verdict is machine-independent even though absolute ops/s are not.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py             # full suite
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick --check
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --live      # + process fleet
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_RESULTS_PATH,
+    compare_results,
+    load_results,
+    run_suite,
+    write_results,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one small sim scenario and fewer encode repeats (CI smoke)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="also run the live multi-process deployment benchmark",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare speedup ratios against the baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / DEFAULT_RESULTS_PATH,
+        help="baseline JSON for --check (default: the committed results file)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="where to write results (default: the committed results file; "
+        "pass /dev/null-ish paths at your peril)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional erosion of baseline speedups (default 0.35)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_suite(quick=args.quick, live=args.live)
+    print(json.dumps(result, indent=2, sort_keys=True))
+
+    if args.check:
+        baseline = load_results(args.baseline)
+        failures = compare_results(result, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed", file=sys.stderr)
+
+    out = args.out
+    if out is None and not args.check:
+        out = REPO_ROOT / DEFAULT_RESULTS_PATH
+    if out is not None:
+        write_results(result, out)
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,10 +42,20 @@ REQUIRED_JSONL_KEYS = {
 #: Counter-name prefixes that prove each pipeline layer is instrumented.
 REQUIRED_LAYERS = ("net_", "prime_", "intro_", "proxy_", "crypto_")
 
+#: Hot-path cache instruments (PerfLab): created eagerly, so they must
+#: appear in every export even when a cache saw no traffic.
+REQUIRED_COUNTERS = (
+    "net_frame_cache_hit_total",
+    "net_frame_cache_miss_total",
+    "crypto_verify_cache_hit_total",
+    "crypto_verify_cache_miss_total",
+)
+
 
 def check_prometheus(path: Path, errors: list) -> None:
     families: dict = {}
     layer_hits = set()
+    sample_names = set()
     for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         if not line or line.startswith("#"):
             match = TYPE_RE.match(line)
@@ -72,12 +82,16 @@ def check_prometheus(path: Path, errors: list) -> None:
             errors.append(f"{path.name}:{line_no}: sample {name} has no # TYPE")
         elif families[family] == "counter" and not name.endswith("_total"):
             errors.append(f"{path.name}:{line_no}: counter {name} lacks _total")
+        sample_names.add(name)
         for prefix in REQUIRED_LAYERS:
             if name.startswith(prefix):
                 layer_hits.add(prefix)
     for prefix in REQUIRED_LAYERS:
         if prefix not in layer_hits:
             errors.append(f"{path.name}: no metrics from layer {prefix!r}")
+    for counter in REQUIRED_COUNTERS:
+        if counter not in sample_names:
+            errors.append(f"{path.name}: required counter {counter} absent")
 
 
 def check_jsonl(path: Path, errors: list, kinds: set) -> None:

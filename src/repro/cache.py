@@ -1,0 +1,134 @@
+"""Bounded caches for the encode-once hot path.
+
+Two small primitives shared by the codec, both network substrates, and
+the crypto layer:
+
+``BoundedLru``
+    An ordered-dict LRU with a fixed capacity and optional hit/miss
+    counter instruments.  ``get`` uses a sentinel so cached falsy values
+    (``False``, ``b""``) are first-class citizens.
+
+``FrameCache``
+    An identity-keyed cache for immutable message objects.  Messages are
+    frozen dataclasses, so a given object's encoding never changes; the
+    cache pins a strong reference to the keyed object for as long as the
+    entry lives, which guarantees ``id()`` cannot be recycled while the
+    entry is reachable.  Eviction drops the pin and the value together.
+"""
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+_MISS = object()
+
+
+class BoundedLru:
+    """A fixed-capacity LRU map with optional hit/miss instruments."""
+
+    __slots__ = ("capacity", "_data", "_hit", "_miss")
+
+    def __init__(
+        self,
+        capacity: int,
+        hit_counter: Optional[Any] = None,
+        miss_counter: Optional[Any] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("BoundedLru capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hit = hit_counter
+        self._miss = miss_counter
+
+    def get(self, key: Hashable, default: Any = _MISS) -> Any:
+        """Return the cached value, or ``default`` (the module sentinel
+        when not given) on a miss.  Hits refresh recency."""
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            if self._miss is not None:
+                self._miss.inc()
+            return default
+        self._data.move_to_end(key)
+        if self._hit is not None:
+            self._hit.inc()
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self.capacity:
+            data.popitem(last=False)
+
+    def pop(self, key: Hashable) -> Any:
+        return self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    @property
+    def is_miss(self) -> object:
+        """The sentinel ``get`` returns by default on a miss."""
+        return _MISS
+
+
+MISS = _MISS
+
+
+class FrameCache:
+    """Identity-keyed cache mapping immutable message objects to a
+    derived value (encoded bytes, frames, or wire-size estimates).
+
+    The key is ``(id(obj), extra)``; the entry stores the object itself
+    so the id stays pinned, plus a defensive identity check on read.
+    ``extra`` lets one cache hold per-source frames (live transport).
+    """
+
+    __slots__ = ("_lru",)
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        hit_counter: Optional[Any] = None,
+        miss_counter: Optional[Any] = None,
+    ) -> None:
+        self._lru = BoundedLru(capacity, hit_counter, miss_counter)
+
+    def get_or_build(
+        self,
+        obj: Any,
+        build: Callable[[Any], Any],
+        extra: Hashable = None,
+    ) -> Any:
+        key = (id(obj), extra)
+        entry = self._lru.get(key)
+        if entry is not _MISS:
+            pinned, value = entry
+            if pinned is obj:
+                return value
+            # id() was recycled after an eviction raced this lookup; fall
+            # through and rebuild for the live object.
+        value = build(obj)
+        self._lru.put(key, (obj, value))
+        return value
+
+    def invalidate(self, obj: Any, extra: Hashable = None) -> None:
+        self._lru.pop((id(obj), extra))
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def capacity(self) -> int:
+        return self._lru.capacity

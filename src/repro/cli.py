@@ -154,6 +154,32 @@ def make_parser() -> argparse.ArgumentParser:
                           help="write an observability bundle per seed "
                                "(DIR/seed-N/)")
 
+    perf = sub.add_parser(
+        "perf", help="hot-path benchmarks and the speedup regression guard"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_run = perf_sub.add_parser(
+        "run", help="run the benchmark suite and write BENCH_hotpath.json"
+    )
+    perf_run.add_argument("--quick", action="store_true",
+                          help="small sim scenario + fewer repeats (CI smoke)")
+    perf_run.add_argument("--live", action="store_true",
+                          help="also benchmark the live process fleet")
+    perf_run.add_argument("--out", default=None, metavar="PATH",
+                          help="results path (default: "
+                               "benchmarks/results/BENCH_hotpath.json)")
+    perf_check = perf_sub.add_parser(
+        "check", help="re-run and compare speedups against a baseline; "
+                      "exit 1 on regression"
+    )
+    perf_check.add_argument("--quick", action="store_true",
+                            help="small sim scenario + fewer repeats")
+    perf_check.add_argument("--baseline", default=None, metavar="PATH",
+                            help="baseline JSON (default: the committed "
+                                 "results file)")
+    perf_check.add_argument("--tolerance", type=float, default=0.35,
+                            help="allowed fractional speedup erosion")
+
     store = sub.add_parser(
         "store", help="inspect or verify a durable store directory"
     )
@@ -209,7 +235,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_rt(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     return _cmd_run(args)
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro import perf
+
+    result = perf.run_suite(quick=args.quick,
+                            live=getattr(args, "live", False))
+    print(_json.dumps(result, indent=2, sort_keys=True))
+
+    if args.perf_command == "check":
+        baseline_path = Path(args.baseline) if args.baseline else perf.DEFAULT_RESULTS_PATH
+        baseline = perf.load_results(baseline_path)
+        failures = perf.compare_results(result, baseline, tolerance=args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if not failures:
+            print("regression check passed", file=sys.stderr)
+        return 1 if failures else 0
+
+    out = Path(args.out) if args.out else perf.DEFAULT_RESULTS_PATH
+    perf.write_results(result, out)
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:

@@ -31,6 +31,7 @@ from repro.core.messages import (
     pack_update,
 )
 from repro.crypto.threshold import combine_with_retry
+from repro.crypto.verifycache import verify_with
 from repro.errors import SignatureError
 from repro.prime.messages import OpaqueUpdate
 
@@ -78,7 +79,9 @@ class IntroductionManager:
         replica = self._replica
         if not replica.online:
             return
-        if not public.verify(update.signing_bytes(), update.signature):
+        if not verify_with(
+            replica.env.verify_cache, public, update.signing_bytes(), update.signature
+        ):
             replica.trace("intro.bad-signature", client=update.client_id)
             return
         alias = client_alias(update.client_id)

@@ -20,6 +20,7 @@ from repro.core.messages import ClientResponse, ClientUpdate, client_alias
 from repro.costs import CostModel
 from repro.crypto.rsa import RsaKeyPair
 from repro.crypto.threshold import ThresholdPublicKey
+from repro.crypto.verifycache import verify_with
 from repro.obs.registry import NULL_METRICS
 from repro.rt.substrate import Scheduler, Transport
 
@@ -43,6 +44,7 @@ class ClientProxy:
         max_retransmits: int = 10,
         tracer=None,
         metrics=None,
+        verify_cache=None,
     ):
         self.kernel = kernel
         self.network = network
@@ -59,6 +61,7 @@ class ClientProxy:
         self._m_thresh_verify = metrics.counter("crypto.threshold.verify", site="proxy")
         self._signing_key = signing_key
         self._response_public = response_public
+        self._verify_cache = verify_cache
         self._replicas = list(on_premises_replicas)
         self.costs = costs or CostModel()
         self.retransmit_timeout = retransmit_timeout
@@ -164,8 +167,11 @@ class ClientProxy:
         if seq not in self._pending:
             return
         self._m_thresh_verify.inc()
-        if not self._response_public.verify(
-            message.signing_bytes(), message.threshold_sig
+        if not verify_with(
+            self._verify_cache,
+            self._response_public,
+            message.signing_bytes(),
+            message.threshold_sig,
         ):
             if self.tracer:
                 self.tracer.record("proxy.bad-response", self.host, seq=seq)

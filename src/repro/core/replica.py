@@ -53,6 +53,7 @@ from repro.crypto.threshold import (
     ThresholdPublicKey,
     combine_with_retry,
 )
+from repro.crypto.verifycache import verify_with
 from repro.errors import ProtocolError, SignatureError
 from repro.obs.registry import NULL_METRICS
 from repro.rt.substrate import Scheduler, Transport
@@ -152,6 +153,9 @@ class ReplicaEnv:
     # Durable-store seam: host -> DurableStore. None means the volatile
     # MemoryStore (the deterministic sim's default; traces byte-identical).
     store_factory: Optional[Callable[[str], DurableStore]] = None
+    # Shared signature-verification memo (repro.crypto.verifycache). None
+    # verifies directly; simulated crypto costs are charged either way.
+    verify_cache: Optional[object] = None
 
 
 class ClientProgress:
@@ -399,8 +403,11 @@ class ReplicaBase:
         if isinstance(payload, EncryptedUpdate):
             if self.env.intro_public is None:
                 return False
-            return self.env.intro_public.verify(
-                payload.signing_bytes(), payload.threshold_sig
+            return verify_with(
+                self.env.verify_cache,
+                self.env.intro_public,
+                payload.signing_bytes(),
+                payload.threshold_sig,
             )
         if isinstance(payload, ClientUpdate):
             if self.confidential:
@@ -408,8 +415,11 @@ class ReplicaBase:
                 # Confidential Spire.
                 return False
             public = self.env.client_registry.get(payload.client_id)
-            return public is not None and public.verify(
-                payload.signing_bytes(), payload.signature
+            return public is not None and verify_with(
+                self.env.verify_cache,
+                public,
+                payload.signing_bytes(),
+                payload.signature,
             )
         if isinstance(payload, KeyProposal):
             return payload.proposer in self.env.on_premises

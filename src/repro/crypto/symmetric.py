@@ -23,11 +23,41 @@ import hmac
 import hashlib
 from dataclasses import dataclass
 
+from repro.cache import MISS, BoundedLru
 from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.crypto.modes import cbc_decrypt, cbc_encrypt
 from repro.errors import CryptoError, DecryptionError
 
 KEY_SIZE = 32
+
+# Key-schedule memo: expanding an AES-256 key schedule in pure Python
+# costs ~100x one block operation, and every on-premises replica
+# re-encrypts/decrypts under the same small set of per-client keys. The
+# AES object is immutable after construction (round keys only), so one
+# instance per key byte-string is safe to share. Deterministic either
+# way; the toggle exists for the PerfLab benchmark's uncached arm.
+_CIPHER_CACHE = BoundedLru(256)
+_cipher_cache_enabled = True
+
+
+def set_cipher_cache_enabled(enabled: bool) -> bool:
+    """Toggle the AES key-schedule memo; returns the previous setting."""
+    global _cipher_cache_enabled
+    previous = _cipher_cache_enabled
+    _cipher_cache_enabled = bool(enabled)
+    if not enabled:
+        _CIPHER_CACHE.clear()
+    return previous
+
+
+def _cipher_for(enc_key: bytes) -> AES:
+    if not _cipher_cache_enabled:
+        return AES(enc_key)
+    cipher = _CIPHER_CACHE.get(enc_key)
+    if cipher is MISS:
+        cipher = AES(enc_key)
+        _CIPHER_CACHE.put(enc_key, cipher)
+    return cipher
 
 
 @dataclass(frozen=True)
@@ -67,7 +97,7 @@ def deterministic_iv(keys: SymmetricKeyPair, plaintext: bytes) -> bytes:
 def encrypt(keys: SymmetricKeyPair, plaintext: bytes) -> bytes:
     """Deterministically encrypt: returns ``iv || ciphertext``."""
     iv = deterministic_iv(keys, plaintext)
-    cipher = AES(keys.enc_key)
+    cipher = _cipher_for(keys.enc_key)
     return iv + cbc_encrypt(cipher, iv, plaintext)
 
 
@@ -81,7 +111,7 @@ def decrypt(keys: SymmetricKeyPair, blob: bytes) -> bytes:
     if len(blob) < 2 * BLOCK_SIZE:
         raise DecryptionError("blob too short to contain IV and one block")
     iv, ciphertext = blob[:BLOCK_SIZE], blob[BLOCK_SIZE:]
-    cipher = AES(keys.enc_key)
+    cipher = _cipher_for(keys.enc_key)
     plaintext = cbc_decrypt(cipher, iv, ciphertext)
     if not hmac.compare_digest(deterministic_iv(keys, plaintext), iv):
         raise DecryptionError("IV commitment mismatch (wrong key or tampered data)")

@@ -40,7 +40,49 @@ from repro.crypto.numbers import (
     int_to_bytes,
     modinv,
 )
+from repro.cache import MISS, BoundedLru
 from repro.errors import CryptoError, SignatureError
+
+# Full-domain-hash memo. hash_to_element is a pure function of
+# (modulus, message); every replica in an introduction group hashes the
+# *same* signing bytes once for its partial and again when combining, so
+# one process-wide memo removes the repeated SHA-256 loop + reduction.
+# Wall-clock only: simulated-time crypto costs are still charged by the
+# cost model, so sim traces are unchanged.
+_FDH_CACHE = BoundedLru(4096)
+_fdh_cache_enabled = True
+
+# Share-proof memo. verify_partial is a pure function of the public key,
+# the message, and the partial (signer, value, proof), yet every replica
+# that collects a quorum re-checks the *same* partials other collectors
+# already checked — 4 modular exponentiations per check. Memoizing the
+# boolean verdict (True and False alike) removes the duplicate pow()
+# work; simulated-time costs are still charged, so sim traces are
+# unchanged.
+_SHARE_VERIFY_CACHE = BoundedLru(8192)
+_share_verify_cache_enabled = True
+
+
+def set_hash_cache_enabled(enabled: bool) -> bool:
+    """Toggle the FDH memo; returns the previous setting. Disabling
+    clears the cache."""
+    global _fdh_cache_enabled
+    previous = _fdh_cache_enabled
+    _fdh_cache_enabled = bool(enabled)
+    if not enabled:
+        _FDH_CACHE.clear()
+    return previous
+
+
+def set_share_verify_cache_enabled(enabled: bool) -> bool:
+    """Toggle the partial-signature proof memo; returns the previous
+    setting. Disabling clears the cache."""
+    global _share_verify_cache_enabled
+    previous = _share_verify_cache_enabled
+    _share_verify_cache_enabled = bool(enabled)
+    if not enabled:
+        _SHARE_VERIFY_CACHE.clear()
+    return previous
 
 
 @dataclass(frozen=True)
@@ -69,13 +111,21 @@ class ThresholdPublicKey:
         A SHA-256-based full-domain-hash: counters are appended and hashed
         until the concatenation covers the modulus size, then reduced.
         """
+        if _fdh_cache_enabled:
+            key = (self.n_modulus, message)
+            cached = _FDH_CACHE.get(key)
+            if cached is not MISS:
+                return cached
         need = self.byte_length + 8
         out = bytearray()
         counter = 0
         while len(out) < need:
             out.extend(hashlib.sha256(message + counter.to_bytes(4, "big")).digest())
             counter += 1
-        return bytes_to_int(bytes(out[:need])) % self.n_modulus
+        element = bytes_to_int(bytes(out[:need])) % self.n_modulus
+        if _fdh_cache_enabled:
+            _FDH_CACHE.put(key, element)
+        return element
 
     def verify(self, message: bytes, signature: bytes) -> bool:
         """Ordinary RSA check: signature^e == H(message) mod N."""
@@ -318,17 +368,25 @@ def verify_partial(
     if v_i is None:
         return False
     n = public.n_modulus
-    delta = math.factorial(public.players)
-    x_tilde = pow(public.hash_to_element(message), 2 * delta, n)
     c = partial.proof.challenge
     z = partial.proof.response
     if z < 0:
         return False
+    if _share_verify_cache_enabled:
+        cache_key = (n, message, partial.signer, partial.value, c, z)
+        cached = _SHARE_VERIFY_CACHE.get(cache_key)
+        if cached is not MISS:
+            return cached
+    delta = math.factorial(public.players)
+    x_tilde = pow(public.hash_to_element(message), 2 * delta, n)
     commit_v = (pow(public.verifier_base, z, n) * modinv(pow(v_i, c, n), n)) % n
     commit_x = (pow(x_tilde, z, n) * modinv(pow(partial.value, c, n), n)) % n
-    return c == _proof_challenge(
+    result = c == _proof_challenge(
         n, public.verifier_base, x_tilde, v_i, partial.value, commit_v, commit_x
     )
+    if _share_verify_cache_enabled:
+        _SHARE_VERIFY_CACHE.put(cache_key, result)
+    return result
 
 
 def combine_verified(

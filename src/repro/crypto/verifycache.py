@@ -1,0 +1,80 @@
+"""Memoized signature verification.
+
+Retransmits and pipelined retries re-present byte-identical
+(message, signature) pairs: every replica re-checks a client update's RSA
+signature each time the client retransmits it, and a proxy re-checks the
+same threshold signature when f+1 responders race to answer. Verification
+is a pure function of the public key and the material, so a bounded LRU
+of results removes the repeated modular exponentiations without changing
+any outcome.
+
+Key: ``(modulus, exponent, sha256(message), signature)``. The modulus
+identifies both the signer and the key epoch — a renewed or re-dealt key
+has a fresh modulus, so stale results cannot survive a key change. Both
+``RsaPublicKey`` (``.n``) and ``ThresholdPublicKey`` (``.n_modulus``)
+are supported; the key object itself is never used as a dict key
+(``ThresholdPublicKey`` holds a dict field and is unhashable).
+
+Results are cached whether valid or not: a Byzantine replay of a bad
+signature hits the cached ``False`` instead of burning another modexp.
+
+Simulated-time crypto *costs* are charged by the caller's cost model as
+before; the cache only skips the real computation, so sim traces are
+byte-identical with the cache on or off.
+"""
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from repro.cache import MISS, BoundedLru
+
+
+def _key_modulus(public: Any) -> int:
+    modulus = getattr(public, "n_modulus", None)
+    if modulus is None:
+        modulus = public.n
+    return modulus
+
+
+class VerifyCache:
+    """Bounded memo for ``public.verify(message, signature)`` results."""
+
+    __slots__ = ("_lru",)
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        hit_counter: Optional[Any] = None,
+        miss_counter: Optional[Any] = None,
+    ) -> None:
+        self._lru = BoundedLru(capacity, hit_counter, miss_counter)
+
+    def verify(self, public: Any, message: bytes, signature: bytes) -> bool:
+        key = (
+            _key_modulus(public),
+            public.e,
+            hashlib.sha256(message).digest(),
+            signature,
+        )
+        cached = self._lru.get(key)
+        if cached is not MISS:
+            return cached
+        result = bool(public.verify(message, signature))
+        self._lru.put(key, result)
+        return result
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
+def verify_with(
+    cache: Optional["VerifyCache"], public: Any, message: bytes, signature: bytes
+) -> bool:
+    """Verify through ``cache`` when one is wired, else directly."""
+    if cache is None:
+        return bool(public.verify(message, signature))
+    return cache.verify(public, message, signature)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Tuple, Type
 
+from repro.cache import FrameCache
 from repro.core.confidentiality import Sensitive
 from repro.core.messages import (
     BatchRecord,
@@ -250,9 +251,49 @@ def decode_message(data: bytes, offset: int = 0) -> Tuple[Any, int]:
     return decode(data, offset + 1)
 
 
+# Identity-keyed memo for encode_message. Messages are frozen
+# dataclasses, so a given object's encoding never changes; broadcast
+# fan-outs, nested re-encodes (OpaqueUpdate / BatchRecord / state
+# transfer), and encoded_size probes reuse the same bytes instead of
+# re-serializing. Bounded LRU; entries pin the keyed object so ids
+# cannot be recycled while an entry lives.
+_PAYLOAD_CACHE = FrameCache(capacity=4096)
+_payload_cache_enabled = True
+
+
+def set_payload_cache_enabled(enabled: bool) -> bool:
+    """Toggle the module-level payload cache; returns the previous
+    setting. Disabling also clears the cache."""
+    global _payload_cache_enabled
+    previous = _payload_cache_enabled
+    _payload_cache_enabled = bool(enabled)
+    if not enabled:
+        _PAYLOAD_CACHE.clear()
+    return previous
+
+
+def payload_cache_enabled() -> bool:
+    return _payload_cache_enabled
+
+
+def clear_payload_cache() -> None:
+    _PAYLOAD_CACHE.clear()
+
+
+def payload_cache_len() -> int:
+    return len(_PAYLOAD_CACHE)
+
+
+def encode_message_cached(message: Any) -> bytes:
+    """``encode_message`` memoized on message object identity."""
+    if not _payload_cache_enabled:
+        return encode_message(message)
+    return _PAYLOAD_CACHE.get_or_build(message, encode_message)
+
+
 def encoded_size(message: Any) -> int:
     """Exact wire size of a message under this codec."""
-    return len(encode_message(message))
+    return len(encode_message_cached(message))
 
 
 # -- Prime engine messages ----------------------------------------------------
@@ -272,7 +313,9 @@ _register(1, PoRequest)(
 def _encode_opaque(out: bytearray, update: OpaqueUpdate) -> None:
     write_bytes(out, update.digest)
     write_varint(out, update.size)
-    nested = encode_message(update.payload)
+    nested = update.encoded
+    if nested is None:
+        nested = encode_message_cached(update.payload)
     write_bytes(out, nested)
 
 
@@ -281,7 +324,10 @@ def _decode_opaque(data: bytes, offset: int) -> Tuple[OpaqueUpdate, int]:
     size, offset = read_varint(data, offset)
     nested, offset = read_bytes(data, offset)
     payload, _ = decode_message(nested)
-    return OpaqueUpdate(digest=digest, payload=payload, size=size), offset
+    return (
+        OpaqueUpdate(digest=digest, payload=payload, size=size, encoded=nested),
+        offset,
+    )
 
 
 def _decode_po_request(data: bytes, offset: int) -> Tuple[PoRequest, int]:
@@ -447,7 +493,7 @@ def _decode_po_fetch(data, offset):
 
 _register(12, PoFetchReply)(
     (
-        lambda out, m: write_bytes(out, encode_message(m.request)),
+        lambda out, m: write_bytes(out, encode_message_cached(m.request)),
         lambda data, o: _decode_po_fetch_reply(data, o),
     )
 )
@@ -724,7 +770,7 @@ def _encode_batch_record(out, m: BatchRecord):
     write_varint(out, len(m.entries))
     for ordinal, payload in m.entries:
         write_varint(out, ordinal)
-        write_bytes(out, encode_message(payload))
+        write_bytes(out, encode_message_cached(payload))
 
 
 def _decode_batch_record(data, offset):
@@ -748,10 +794,10 @@ def _encode_xfer_response(out, m: StateXferResponse):
     write_varint(out, m.nonce)
     out.append(1 if m.checkpoint is not None else 0)
     if m.checkpoint is not None:
-        write_bytes(out, encode_message(m.checkpoint))
+        write_bytes(out, encode_message_cached(m.checkpoint))
     write_varint(out, len(m.batches))
     for record in m.batches:
-        write_bytes(out, encode_message(record))
+        write_bytes(out, encode_message_cached(record))
     write_varint(out, m.view)
     write_str(out, m.responder)
     write_varint(out, m.part_index)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.cache import BoundedLru, FrameCache
 from repro.errors import ConfigurationError
 from repro.net.overlay import Overlay
 from repro.net.topology import Topology
@@ -32,6 +33,10 @@ from repro.sim.trace import Tracer
 Handler = Callable[[str, Any], None]
 
 DEFAULT_MESSAGE_SIZE = 256          # bytes, when payload declares nothing
+# Instrument-handle maps are keyed by message type name (plus drop
+# reason); the live set is small, the bound only guards FaultLab sweeps
+# that register many dynamic types.
+_INSTRUMENT_CAPACITY = 256
 DEFAULT_WAN_BANDWIDTH = 100e6 / 8   # 100 Mbit/s in bytes/second
 DEFAULT_LAN_BANDWIDTH = 1e9 / 8     # 1 Gbit/s in bytes/second
 
@@ -51,6 +56,8 @@ class Network:
         jitter_fraction: float = 0.05,
         wan_loss_probability: float = 0.0,
         metrics: Optional[MetricsRegistry] = None,
+        frame_cache_enabled: bool = True,
+        frame_cache_capacity: int = 1024,
     ):
         self.kernel = kernel
         self.topology = topology
@@ -59,9 +66,21 @@ class Network:
         self.metrics = metrics if metrics is not None else NULL_METRICS
         # Per-message-type instrument handles, cached so the hot send path
         # pays one dict lookup instead of a registry lookup per message.
-        self._send_instruments: Dict[str, Tuple[Any, Any]] = {}
-        self._recv_instruments: Dict[str, Tuple[Any, Any]] = {}
-        self._drop_counters: Dict[Tuple[str, str], Any] = {}
+        # Bounded: the registry owns the counts; eviction only drops a
+        # handle, which is re-fetched on the next use.
+        self._send_instruments: BoundedLru = BoundedLru(_INSTRUMENT_CAPACITY)
+        self._recv_instruments: BoundedLru = BoundedLru(_INSTRUMENT_CAPACITY)
+        self._drop_counters: BoundedLru = BoundedLru(_INSTRUMENT_CAPACITY)
+        # Identity-keyed wire_size memo: a broadcast fan-out (or a
+        # retransmit of the same stored message object) computes the size
+        # estimate once instead of once per destination. Sizes are a pure
+        # function of the message, so traces are unchanged.
+        self.frame_cache_enabled = frame_cache_enabled
+        self._frame_cache = FrameCache(
+            frame_cache_capacity,
+            hit_counter=self.metrics.counter("net.frame_cache_hit"),
+            miss_counter=self.metrics.counter("net.frame_cache_miss"),
+        )
         self._rng = rng.stream("net.jitter")
         self._handlers: Dict[str, Handler] = {}
         self._down_hosts: Dict[str, bool] = {}
@@ -149,33 +168,40 @@ class Network:
     # -- metrics helpers -------------------------------------------------------------
 
     def _count_send(self, type_name: str, size: int) -> None:
-        pair = self._send_instruments.get(type_name)
+        pair = self._send_instruments.get(type_name, None)
         if pair is None:
-            pair = self._send_instruments[type_name] = (
+            pair = (
                 self.metrics.counter("net.send", type=type_name),
                 self.metrics.counter("net.send_bytes", type=type_name),
             )
+            self._send_instruments.put(type_name, pair)
         pair[0].inc()
         pair[1].inc(size)
 
     def _count_recv(self, type_name: str, size: int) -> None:
-        pair = self._recv_instruments.get(type_name)
+        pair = self._recv_instruments.get(type_name, None)
         if pair is None:
-            pair = self._recv_instruments[type_name] = (
+            pair = (
                 self.metrics.counter("net.recv", type=type_name),
                 self.metrics.counter("net.recv_bytes", type=type_name),
             )
+            self._recv_instruments.put(type_name, pair)
         pair[0].inc()
         pair[1].inc(size)
 
     def _count_drop(self, type_name: str, reason: str) -> None:
         key = (type_name, reason)
-        counter = self._drop_counters.get(key)
+        counter = self._drop_counters.get(key, None)
         if counter is None:
-            counter = self._drop_counters[key] = self.metrics.counter(
-                "net.drop", type=type_name, reason=reason
-            )
+            counter = self.metrics.counter("net.drop", type=type_name, reason=reason)
+            self._drop_counters.put(key, counter)
         counter.inc()
+
+    def _cached_size(self, payload: Any) -> int:
+        """``_payload_size`` memoized on payload identity (when enabled)."""
+        if not self.frame_cache_enabled:
+            return _payload_size(payload)
+        return self._frame_cache.get_or_build(payload, _payload_size)
 
     # -- sending ------------------------------------------------------------------
 
@@ -189,7 +215,7 @@ class Network:
         must tolerate silent loss anyway.
         """
         self.messages_sent += 1
-        size = size if size is not None else _payload_size(payload)
+        size = size if size is not None else self._cached_size(payload)
         self.bytes_sent += size
         type_name = type(payload).__name__
         self._count_send(type_name, size)
@@ -243,7 +269,14 @@ class Network:
         return True
 
     def multicast(self, src: str, dsts, payload: Any, size: Optional[int] = None) -> None:
-        """Send the same payload to every host in ``dsts`` (excluding src)."""
+        """Send the same payload to every host in ``dsts`` (excluding src).
+
+        The payload's size estimate is computed once for the whole fan-out
+        (it is a pure function of the immutable message, so per-destination
+        behavior is byte-identical to computing it per send).
+        """
+        if size is None and self.frame_cache_enabled:
+            size = self._cached_size(payload)
         for dst in dsts:
             if dst != src:
                 self.send(src, dst, payload, size=size)

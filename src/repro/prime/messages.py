@@ -16,8 +16,8 @@ carry real signatures produced by :mod:`repro.crypto`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
 
 # An update originator is a (replica incarnation) identity: "r3#0" is
 # replica 3's first incarnation; after a proactive recovery it injects as
@@ -39,6 +39,10 @@ class OpaqueUpdate:
     digest: bytes
     payload: object
     size: int
+    # Codec bytes of ``payload``, filled at injection/decode time so the
+    # intro, ordering, and store layers never re-encode the nested
+    # update. Excluded from equality/repr: it is derived data.
+    encoded: Optional[bytes] = field(default=None, compare=False, repr=False)
 
     def wire_size(self) -> int:
         return self.size

@@ -31,6 +31,7 @@ from repro.core.app import KeyValueApplication
 from repro.core.confidentiality import Auditor
 from repro.core.proxy import ClientProxy
 from repro.core.replica import ExecutingReplica, ReplicaBase, ReplicaEnv, StorageReplica
+from repro.crypto.verifycache import VerifyCache
 from repro.obs.export import metrics_jsonl_rows, prometheus_text, tracer_jsonl_rows, write_jsonl
 from repro.obs.registry import MetricsRegistry
 from repro.rt.bootstrap import RtConfig, SystemMaterial, data_ports, generate_material, host_ports
@@ -73,6 +74,12 @@ class NodeContext:
         )
         self.auditor = Auditor(tracer=self.tracer)
         self.transport.inspector = self.auditor.inspect_delivery
+        # Per-process signature-verification memo (retransmits and
+        # duplicate responses hit it; see repro.crypto.verifycache).
+        self.verify_cache = VerifyCache(
+            hit_counter=self.metrics.counter("crypto.verify_cache_hit"),
+            miss_counter=self.metrics.counter("crypto.verify_cache_miss"),
+        )
         self.control = ControlServer(self.control_port, bind_host=config.bind_host)
         self.shutdown_requested = asyncio.Event()
         self._install_routes()
@@ -214,6 +221,7 @@ def _build_env(ctx: NodeContext) -> ReplicaEnv:
         rng=ctx.rng,
         metrics=ctx.metrics,
         store_factory=store_factory,
+        verify_cache=ctx.verify_cache,
     )
 
 
@@ -337,6 +345,7 @@ async def _client_main(config: RtConfig, client_id: str) -> int:
         retransmit_timeout=config.retransmit_timeout,
         tracer=ctx.tracer,
         metrics=ctx.metrics,
+        verify_cache=ctx.verify_cache,
     )
     await ctx.start()
 

@@ -25,8 +25,9 @@ overlay check at send *and* delivery time.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
+from repro.cache import BoundedLru, FrameCache
 from repro.errors import ConfigurationError
 from repro.net.overlay import Overlay
 from repro.net.topology import Topology
@@ -38,6 +39,8 @@ Handler = Callable[[str, Any], None]
 #: Outbound connect attempts per message burst before declaring loss.
 _CONNECT_ATTEMPTS = 3
 _CONNECT_BACKOFF = 0.25
+#: Bound on the per-type instrument-handle maps (see repro.net.network).
+_INSTRUMENT_CAPACITY = 256
 
 
 class _PeerLink:
@@ -63,6 +66,8 @@ class LiveTransport:
         loop: Optional[asyncio.AbstractEventLoop] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
+        frame_cache_enabled: bool = True,
+        frame_cache_capacity: int = 1024,
     ):
         self.topology = topology
         self.overlay = Overlay(topology)
@@ -78,9 +83,19 @@ class LiveTransport:
         self._servers: List[asyncio.base_events.Server] = []
         #: Sites currently cut off by a live partition fault.
         self._blocked_sites: Set[str] = set()
-        self._send_instruments: Dict[str, Tuple[Any, Any]] = {}
-        self._recv_instruments: Dict[str, Tuple[Any, Any]] = {}
-        self._drop_counters: Dict[Tuple[str, str], Any] = {}
+        self._send_instruments: BoundedLru = BoundedLru(_INSTRUMENT_CAPACITY)
+        self._recv_instruments: BoundedLru = BoundedLru(_INSTRUMENT_CAPACITY)
+        self._drop_counters: BoundedLru = BoundedLru(_INSTRUMENT_CAPACITY)
+        # Identity-keyed frame cache: a broadcast serializes its payload
+        # into a wire frame once per (message, src) instead of once per
+        # destination. Frames are pure functions of (src, message), so
+        # per-destination bytes on the wire are unchanged.
+        self.frame_cache_enabled = frame_cache_enabled
+        self._frame_cache = FrameCache(
+            frame_cache_capacity,
+            hit_counter=self.metrics.counter("net.frame_cache_hit"),
+            miss_counter=self.metrics.counter("net.frame_cache_miss"),
+        )
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -159,39 +174,52 @@ class LiveTransport:
     # -- metrics helpers ---------------------------------------------------------
 
     def _count_send(self, type_name: str, size: int) -> None:
-        pair = self._send_instruments.get(type_name)
+        pair = self._send_instruments.get(type_name, None)
         if pair is None:
-            pair = self._send_instruments[type_name] = (
+            pair = (
                 self.metrics.counter("net.send", type=type_name),
                 self.metrics.counter("net.send_bytes", type=type_name),
             )
+            self._send_instruments.put(type_name, pair)
         pair[0].inc()
         pair[1].inc(size)
 
     def _count_recv(self, type_name: str, size: int) -> None:
-        pair = self._recv_instruments.get(type_name)
+        pair = self._recv_instruments.get(type_name, None)
         if pair is None:
-            pair = self._recv_instruments[type_name] = (
+            pair = (
                 self.metrics.counter("net.recv", type=type_name),
                 self.metrics.counter("net.recv_bytes", type=type_name),
             )
+            self._recv_instruments.put(type_name, pair)
         pair[0].inc()
         pair[1].inc(size)
 
     def _count_drop(self, type_name: str, reason: str) -> None:
         key = (type_name, reason)
-        counter = self._drop_counters.get(key)
+        counter = self._drop_counters.get(key, None)
         if counter is None:
-            counter = self._drop_counters[key] = self.metrics.counter(
-                "net.drop", type=type_name, reason=reason
-            )
+            counter = self.metrics.counter("net.drop", type=type_name, reason=reason)
+            self._drop_counters.put(key, counter)
         counter.inc()
 
     # -- sending -----------------------------------------------------------------
 
+    def _frame_for(self, src: str, payload: Any) -> bytes:
+        """The wire frame for (src, payload), encoded at most once per
+        object while the cache entry lives."""
+        if not self.frame_cache_enabled:
+            return encode_frame(src, payload)
+        return self._frame_cache.get_or_build(
+            payload, lambda message: encode_frame(src, message), extra=src
+        )
+
     def send(self, src: str, dst: str, payload: Any, size: Optional[int] = None) -> bool:
         """Frame and ship one message; returns False on a known partition."""
-        frame = encode_frame(src, payload)
+        frame = self._frame_for(src, payload)
+        return self._send_framed(src, dst, payload, frame)
+
+    def _send_framed(self, src: str, dst: str, payload: Any, frame: bytes) -> bool:
         self.messages_sent += 1
         self.bytes_sent += len(frame)
         type_name = type(payload).__name__
@@ -220,9 +248,14 @@ class LiveTransport:
         return True
 
     def multicast(self, src: str, dsts: Iterable[str], payload: Any, size: Optional[int] = None) -> None:
+        """Encode once, ship to every destination (excluding src)."""
+        frame: Optional[bytes] = None
         for dst in dsts:
-            if dst != src:
-                self.send(src, dst, payload, size=size)
+            if dst == src:
+                continue
+            if frame is None:
+                frame = self._frame_for(src, payload)
+            self._send_framed(src, dst, payload, frame)
 
     def _write(self, dst: str, frame: bytes, type_name: str) -> None:
         if dst in self._handlers:

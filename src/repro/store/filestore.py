@@ -271,48 +271,69 @@ class FileStore(DurableStore):
         by_seq: Dict[int, Tuple[BatchRecord, int]] = {}
         for position, path in enumerate(paths):
             is_last = position == len(paths) - 1
-            data = path.read_bytes()
-            load.bytes_scanned += len(data)
-            if len(data) < len(SEGMENT_MAGIC):
+            self._stream_segment_records(path, is_last, load, by_seq)
+        load.records = [by_seq[seq][0] for seq in sorted(by_seq)]
+        load.record_bytes = {seq: size for seq, (_r, size) in by_seq.items()}
+
+    def _stream_segment_records(
+        self,
+        path: Path,
+        is_last: bool,
+        load: StoreLoad,
+        by_seq: Dict[int, Tuple[BatchRecord, int]],
+    ) -> None:
+        """Stream one segment's frames from the file handle.
+
+        Recovery of an arbitrarily long log holds at most one frame in
+        memory at a time instead of whole segment files. Damage
+        semantics match the previous whole-file scan: a short magic or
+        torn frame is a truncated tail only on the newest segment, any
+        CRC/decode failure ends that segment's scan, and
+        ``bytes_scanned`` counts the bytes actually read.
+        """
+        with path.open("rb") as fh:
+            magic = fh.read(len(SEGMENT_MAGIC))
+            load.bytes_scanned += len(magic)
+            if len(magic) < len(SEGMENT_MAGIC):
                 if is_last:
                     load.truncated_tail = True
                 else:
                     load.corrupt_segments += 1
-                continue
-            if not data.startswith(SEGMENT_MAGIC):
+                return
+            if magic != SEGMENT_MAGIC:
                 load.corrupt_segments += 1
-                continue
-            offset = len(SEGMENT_MAGIC)
-            while offset < len(data):
-                if offset + _FRAME_HEADER.size > len(data):
+                return
+            while True:
+                header = fh.read(_FRAME_HEADER.size)
+                if not header:
+                    return  # clean end of segment
+                load.bytes_scanned += len(header)
+                if len(header) < _FRAME_HEADER.size:
                     if is_last:
                         load.truncated_tail = True
                     else:
                         load.corrupt_segments += 1
-                    break
-                length, crc = _FRAME_HEADER.unpack_from(data, offset)
-                end = offset + _FRAME_HEADER.size + length
-                if end > len(data):
+                    return
+                length, crc = _FRAME_HEADER.unpack(header)
+                body = fh.read(length)
+                load.bytes_scanned += len(body)
+                if len(body) < length:
                     if is_last:
                         load.truncated_tail = True
                     else:
                         load.corrupt_segments += 1
-                    break
-                body = data[offset + _FRAME_HEADER.size : end]
+                    return
                 if zlib.crc32(body) != crc:
                     load.corrupt_segments += 1
-                    break
+                    return
                 try:
                     record, _ = decode_message(body)
                 except Exception:
                     record = None
                 if not isinstance(record, BatchRecord):
                     load.corrupt_segments += 1
-                    break
-                by_seq[record.batch_seq] = (record, end - offset)
-                offset = end
-        load.records = [by_seq[seq][0] for seq in sorted(by_seq)]
-        load.record_bytes = {seq: size for seq, (_r, size) in by_seq.items()}
+                    return
+                by_seq[record.batch_seq] = (record, _FRAME_HEADER.size + length)
 
     # -- fault injection (FaultLab torn_write / corrupt_segment) -------------------
 

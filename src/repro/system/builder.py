@@ -17,6 +17,7 @@ from repro.core.confidentiality import Auditor
 from repro.core.distribution import DistributionPlan
 from repro.core.proxy import ClientProxy
 from repro.core.replica import ExecutingReplica, ReplicaBase, ReplicaEnv, StorageReplica
+from repro.crypto.verifycache import VerifyCache
 from repro.net.attacks import AttackController
 from repro.net.network import Network
 from repro.obs import NULL_METRICS, MetricsRegistry, SpanTracker
@@ -170,6 +171,7 @@ def build(
         tracer=tracer,
         wan_loss_probability=config.wan_loss_probability,
         metrics=metrics,
+        frame_cache_enabled=config.frame_cache_enabled,
     )
     attacks = AttackController(kernel, overlay, tracer=tracer, network=network)
     auditor = Auditor(tracer=tracer)
@@ -204,6 +206,17 @@ def build(
                 host=host,
             )
 
+    # One verification memo for the whole deployment: the sim runs every
+    # replica in-process, so a retransmit verified once by any replica is
+    # a cache hit everywhere. Simulated crypto costs are charged per
+    # replica as before; only the real modexp is skipped.
+    verify_cache = None
+    if config.verify_cache_enabled:
+        verify_cache = VerifyCache(
+            hit_counter=metrics.counter("crypto.verify_cache_hit"),
+            miss_counter=metrics.counter("crypto.verify_cache_miss"),
+        )
+
     env = ReplicaEnv(
         kernel=kernel,
         network=network,
@@ -231,6 +244,7 @@ def build(
         rng=rng,
         metrics=metrics,
         store_factory=store_factory,
+        verify_cache=verify_cache,
     )
 
     replicas: Dict[str, ReplicaBase] = {}
@@ -262,6 +276,7 @@ def build(
             costs=config.costs,
             tracer=tracer,
             metrics=metrics,
+            verify_cache=verify_cache,
         )
         recorder.attach(proxy)
         proxies[cid] = proxy

@@ -69,6 +69,15 @@ class SystemConfig:
     rsa_bits: int = 512
     threshold_bits: int = 384
 
+    # Hot-path caches (PerfLab). Both are mechanical optimizations:
+    # frame caching memoizes per-message wire sizes/frames on object
+    # identity, verify caching memoizes signature checks on
+    # (modulus, digest, signature). Sim traces are byte-identical with
+    # the caches on or off (test enforced); the toggles exist for the
+    # benchmark harness and for bisecting.
+    frame_cache_enabled: bool = True
+    verify_cache_enabled: bool = True
+
     costs: CostModel = field(default_factory=CostModel)
     tracing: bool = True
     # Observability: when False the deployment wires the null registry and

@@ -1,0 +1,243 @@
+"""Unit tests for the encode-once cache primitives and the verify memo.
+
+The caches back the hot path of both substrates; the properties pinned
+here — bounded size, falsy values as first-class citizens, identity
+pinning, counter plumbing, modulus-scoped verify keys — are what make
+them safe to leave enabled by default.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import MISS, BoundedLru, FrameCache
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.verifycache import VerifyCache, verify_with
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class TestBoundedLru:
+    def test_get_put_roundtrip(self):
+        lru = BoundedLru(4)
+        lru.put("a", 1)
+        assert lru.get("a") == 1
+        assert lru.get("b") is MISS
+        assert lru.get("b", None) is None
+
+    def test_falsy_values_are_hits(self):
+        lru = BoundedLru(4)
+        lru.put("flag", False)
+        lru.put("blob", b"")
+        assert lru.get("flag") is False
+        assert lru.get("blob") == b""
+
+    def test_capacity_bound_evicts_least_recent(self):
+        lru = BoundedLru(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh: "b" is now least recent
+        lru.put("c", 3)
+        assert len(lru) == 2
+        assert "b" not in lru
+        assert lru.get("a") == 1 and lru.get("c") == 3
+
+    def test_put_existing_key_does_not_evict(self):
+        lru = BoundedLru(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)
+        assert len(lru) == 2
+        assert lru.get("a") == 10 and lru.get("b") == 2
+
+    def test_counters(self):
+        hit, miss = Counter(), Counter()
+        lru = BoundedLru(4, hit_counter=hit, miss_counter=miss)
+        lru.get("a")
+        lru.put("a", 1)
+        lru.get("a")
+        lru.get("a")
+        assert hit.value == 2 and miss.value == 1
+
+    def test_pop_and_clear(self):
+        lru = BoundedLru(4)
+        lru.put("a", 1)
+        assert lru.pop("a") == 1
+        assert lru.pop("a") is None
+        lru.put("b", 2)
+        lru.clear()
+        assert len(lru) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedLru(0)
+
+    def test_bound_holds_under_churn(self):
+        lru = BoundedLru(16)
+        rng = random.Random(3)
+        for i in range(1000):
+            lru.put(rng.randrange(200), i)
+            assert len(lru) <= 16
+
+
+class TestFrameCache:
+    def test_builds_once_per_object(self):
+        cache = FrameCache(8)
+        calls = []
+
+        def build(obj):
+            calls.append(obj)
+            return obj * 2
+
+        value = "v"
+        assert cache.get_or_build(value, build) == "vv"
+        assert cache.get_or_build(value, build) == "vv"
+        assert len(calls) == 1
+
+    def test_extra_key_separates_entries(self):
+        cache = FrameCache(8)
+        obj = "payload"
+        a = cache.get_or_build(obj, lambda o: ("a", o), extra="src-a")
+        b = cache.get_or_build(obj, lambda o: ("b", o), extra="src-b")
+        assert a == ("a", "payload") and b == ("b", "payload")
+        assert len(cache) == 2
+
+    def test_entry_pins_the_object(self):
+        """While an entry lives, the keyed object cannot be collected, so
+        its id() cannot be recycled onto a different message."""
+        import weakref
+
+        class Message:
+            pass
+
+        cache = FrameCache(8)
+        obj = Message()
+        ref = weakref.ref(obj)
+        cache.get_or_build(obj, lambda o: b"frame")
+        del obj
+        assert ref() is not None  # the cache's pin keeps it alive
+        cache.clear()
+        assert ref() is None
+
+    def test_identity_mismatch_rebuilds(self):
+        """A stale entry whose pinned object differs from the live one
+        (id reuse after eviction) is rebuilt, never served."""
+        cache = FrameCache(8)
+        a = ("msg",)
+        cache.get_or_build(a, lambda o: "A")
+        # Forge a collision: replace the pinned object behind a's key.
+        cache._lru.put((id(a), None), (("other",), "STALE"))
+        assert cache.get_or_build(a, lambda o: "REBUILT") == "REBUILT"
+
+    def test_invalidate(self):
+        cache = FrameCache(8)
+        obj = ("msg",)
+        cache.get_or_build(obj, lambda o: "first")
+        cache.invalidate(obj)
+        assert cache.get_or_build(obj, lambda o: "second") == "second"
+
+    def test_eviction_respects_capacity(self):
+        cache = FrameCache(2)
+        keep = [object() for _ in range(5)]
+        for obj in keep:
+            cache.get_or_build(obj, lambda o: id(o))
+        assert len(cache) == 2
+        assert cache.capacity == 2
+
+
+@pytest.fixture(scope="module")
+def rsa():
+    return generate_keypair(512, random.Random(5))
+
+
+class TestVerifyCache:
+    def test_dedup_skips_recompute(self, rsa, monkeypatch):
+        public = rsa.public
+        message = b"client update"
+        signature = rsa.sign(message)
+        cache = VerifyCache()
+        calls = Counter()
+        real_verify = type(public).verify
+
+        def counting_verify(self, msg, sig):
+            calls.inc()
+            return real_verify(self, msg, sig)
+
+        monkeypatch.setattr(type(public), "verify", counting_verify)
+        assert cache.verify(public, message, signature) is True
+        assert cache.verify(public, message, signature) is True
+        assert calls.value == 1
+
+    def test_false_results_are_cached(self, rsa, monkeypatch):
+        public = rsa.public
+        message = b"forged"
+        bad_sig = b"\x00" * public.byte_length
+        cache = VerifyCache()
+        calls = Counter()
+        real_verify = type(public).verify
+
+        def counting_verify(self, msg, sig):
+            calls.inc()
+            return real_verify(self, msg, sig)
+
+        monkeypatch.setattr(type(public), "verify", counting_verify)
+        assert cache.verify(public, message, bad_sig) is False
+        assert cache.verify(public, message, bad_sig) is False
+        assert calls.value == 1
+
+    def test_key_is_modulus_scoped(self, rsa):
+        """A different key (fresh modulus) never shares cache entries —
+        the property that makes the memo safe across key renewal."""
+        public = rsa.public
+        other = generate_keypair(512, random.Random(6))
+        message = b"epoch check"
+        signature = rsa.sign(message)
+        cache = VerifyCache()
+        assert cache.verify(public, message, signature) is True
+        assert cache.verify(other.public, message, signature) is False
+        assert len(cache) == 2
+
+    def test_threshold_public_key_supported(self, threshold_group):
+        from repro.crypto.threshold import combine_partials
+
+        public = threshold_group.public
+        message = b"threshold material"
+        partials = [
+            share.sign_partial(message)
+            for share in list(threshold_group.shares.values())[:2]
+        ]
+        signature = combine_partials(public, message, partials)
+        cache = VerifyCache()
+        assert cache.verify(public, message, signature) is True
+        assert cache.verify(public, message, signature) is True
+        assert len(cache) == 1
+
+    def test_bounded(self, rsa):
+        public = rsa.public
+        cache = VerifyCache(capacity=4)
+        for i in range(10):
+            cache.verify(public, b"m%d" % i, b"\x01" * public.byte_length)
+        assert len(cache) <= 4
+
+    def test_verify_with_none_cache_verifies_directly(self, rsa):
+        public = rsa.public
+        message = b"direct"
+        signature = rsa.sign(message)
+        assert verify_with(None, public, message, signature) is True
+        assert verify_with(None, public, message, b"\x00" * public.byte_length) is False
+
+    def test_verify_with_counters(self, rsa):
+        public = rsa.public
+        hit, miss = Counter(), Counter()
+        cache = VerifyCache(hit_counter=hit, miss_counter=miss)
+        message = b"counted"
+        signature = rsa.sign(message)
+        verify_with(cache, public, message, signature)
+        verify_with(cache, public, message, signature)
+        assert miss.value == 1 and hit.value == 1

@@ -253,6 +253,66 @@ class TestGcAndRolling:
         reopened.close()
 
 
+class TestStreamingScan:
+    """Recovery streams segments record-by-record instead of slurping
+    whole files; the accounting and torn-tail behavior must be exact."""
+
+    def test_bytes_scanned_accounts_for_every_byte(self, tmp_path):
+        store = FileStore(tmp_path / "s", segment_bytes=4096)
+        for seq in range(1, 30):
+            store.append(make_record(seq, payload_bytes=512))
+        store.save_checkpoint(make_checkpoint(1, 10))
+        store.close()
+        segment_bytes = sum(
+            p.stat().st_size for p in store.segments_dir.glob("seg-*.log")
+        )
+        load = FileStore(tmp_path / "s").load()
+        # Checkpoint bytes are counted separately by the loader; the
+        # streamed segment scan must have read every segment byte.
+        assert load.bytes_scanned >= segment_bytes
+        assert [r.batch_seq for r in load.records] == list(range(1, 30))
+
+    def test_torn_header_on_newest_segment_is_survivable(self, tmp_path):
+        from repro.store.filestore import _FRAME_HEADER
+
+        store = FileStore(tmp_path / "s")
+        for seq in range(1, 6):
+            store.append(make_record(seq))
+        store.close()
+        path = newest_segment(store)
+        # Leave a partial frame *header* (not a partial body) at the tail.
+        intact = path.stat().st_size
+        with path.open("ab") as fh:
+            fh.write(b"\x00" * (_FRAME_HEADER.size - 1))
+        assert path.stat().st_size == intact + _FRAME_HEADER.size - 1
+
+        load = FileStore(tmp_path / "s").load()
+        assert load.truncated_tail
+        assert not load.damaged
+        assert [r.batch_seq for r in load.records] == list(range(1, 6))
+
+    def test_magic_only_segment_is_empty_not_damaged(self, tmp_path):
+        store = FileStore(tmp_path / "s")
+        store.append(make_record(1))
+        store.close()
+        path = newest_segment(store)
+        path.write_bytes(SEGMENT_MAGIC)
+        load = FileStore(tmp_path / "s").load()
+        assert load.records == []
+        assert not load.damaged
+
+    def test_partial_magic_on_sealed_segment_is_corrupt(self, tmp_path):
+        store = FileStore(tmp_path / "s", segment_bytes=4096)
+        for seq in range(1, 30):
+            store.append(make_record(seq, payload_bytes=512))
+        store.close()
+        sealed = sorted(store.segments_dir.glob("seg-*.log"))[0]
+        sealed.write_bytes(SEGMENT_MAGIC[:2])
+        load = FileStore(tmp_path / "s").load()
+        assert load.corrupt_segments == 1
+        assert load.damaged
+
+
 class TestMemoryStore:
     def test_load_is_always_empty(self):
         store = MemoryStore()
