@@ -46,6 +46,12 @@ def main(argv=None) -> int:
         help="also run the live multi-process deployment benchmark",
     )
     parser.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="skip the batched-intro scenarios (singleton hot path only)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="compare speedup ratios against the baseline; exit 1 on regression",
@@ -71,7 +77,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    result = run_suite(quick=args.quick, live=args.live)
+    result = run_suite(quick=args.quick, live=args.live, batch=args.batch)
     print(json.dumps(result, indent=2, sort_keys=True))
 
     if args.check:

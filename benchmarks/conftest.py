@@ -53,3 +53,14 @@ def run_latency_config(
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _deterministic_batch_jitter():
+    """Pin the intro batch-window jitter stream for the whole benchmark
+    session. The builder reseeds it per deployment, but benchmarks that
+    construct several deployments in one process (speedup ratios, A/B
+    arms) must not depend on how many draws earlier benchmarks made."""
+    from repro.core.intro import seed_batch_jitter
+
+    seed_batch_jitter(0)

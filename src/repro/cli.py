@@ -46,6 +46,10 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=30.0, help="workload seconds")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--interval", type=float, default=1.0, help="per-client update period")
+    run.add_argument("--batch-size", type=int, default=1,
+                     help="intro batch size (1 = singleton path)")
+    run.add_argument("--batch-window", type=float, default=0.02,
+                     help="intro batch flush window in seconds")
     run.add_argument("--key-renewal", action="store_true")
     run.add_argument("--loss", type=float, default=0.0, help="WAN loss probability")
     run.add_argument("--attack", choices=ATTACKS, default="none")
@@ -104,6 +108,13 @@ def make_parser() -> argparse.ArgumentParser:
                         help="artifacts: spec, logs, per-node slices, merged bundle")
     rt_run.add_argument("--timeout", type=float, default=300.0,
                         help="workload wall-clock limit in seconds")
+    rt_run.add_argument("--batch-size", type=int, default=1,
+                        help="intro batch size (1 = singleton path)")
+    rt_run.add_argument("--batch-window", type=float, default=0.02,
+                        help="intro batch flush window in seconds")
+    rt_run.add_argument("--crypto-workers", type=int, default=0,
+                        help="crypto worker processes per replica "
+                             "(0 = in-process signing)")
 
     rt_node = rt_sub.add_parser(
         "node", help="run one node process (spawned by the launcher)"
@@ -136,6 +147,9 @@ def make_parser() -> argparse.ArgumentParser:
     faultlab.add_argument("--mode", choices=[m.value for m in Mode],
                           default="confidential")
     faultlab.add_argument("--f", dest="f", type=int, default=1)
+    faultlab.add_argument("--batch-size", type=int, default=1,
+                          help="intro batch size to sweep under "
+                               "(1 = singleton path)")
     faultlab.add_argument("--key-renewal", action="store_true",
                           help="enable key renewal (checks bounded disclosure)")
     faultlab.add_argument("--plant-leak", action="store_true",
@@ -165,6 +179,8 @@ def make_parser() -> argparse.ArgumentParser:
                           help="small sim scenario + fewer repeats (CI smoke)")
     perf_run.add_argument("--live", action="store_true",
                           help="also benchmark the live process fleet")
+    perf_run.add_argument("--no-batch", dest="batch", action="store_false",
+                          help="skip the batched-intro scenarios")
     perf_run.add_argument("--out", default=None, metavar="PATH",
                           help="results path (default: "
                                "benchmarks/results/BENCH_hotpath.json)")
@@ -177,6 +193,8 @@ def make_parser() -> argparse.ArgumentParser:
     perf_check.add_argument("--baseline", default=None, metavar="PATH",
                             help="baseline JSON (default: the committed "
                                  "results file)")
+    perf_check.add_argument("--no-batch", dest="batch", action="store_false",
+                            help="skip the batched-intro scenarios")
     perf_check.add_argument("--tolerance", type=float, default=0.35,
                             help="allowed fractional speedup erosion")
 
@@ -247,7 +265,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro import perf
 
     result = perf.run_suite(quick=args.quick,
-                            live=getattr(args, "live", False))
+                            live=getattr(args, "live", False),
+                            batch=getattr(args, "batch", True))
     print(_json.dumps(result, indent=2, sort_keys=True))
 
     if args.perf_command == "check":
@@ -344,6 +363,9 @@ def _cmd_rt(args: argparse.Namespace) -> int:
         base_port=args.base_port,
         latency=args.latency,
         out_dir=args.out,
+        intro_batch_size=args.batch_size,
+        intro_batch_window=args.batch_window,
+        crypto_workers=args.crypto_workers,
     )
     summary = run_deployment(config, timeout=args.timeout)
     total = summary["updates_submitted"]
@@ -374,6 +396,7 @@ def _cmd_faultlab(args: argparse.Namespace) -> int:
         mode=Mode(args.mode),
         f=args.f,
         key_renewal_enabled=args.key_renewal,
+        intro_batch_size=args.batch_size,
     )
     if args.substrate == "live":
         return _cmd_faultlab_live(args, lab)
@@ -521,6 +544,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_clients=args.clients,
         seed=args.seed,
         update_interval=args.interval,
+        intro_batch_size=args.batch_size,
+        intro_batch_window=args.batch_window,
         key_renewal_enabled=args.key_renewal,
         wan_loss_probability=args.loss,
     )

@@ -21,16 +21,22 @@ introducer costs one timeout, not liveness.
 from __future__ import annotations
 
 import hashlib
+import random
 from typing import TYPE_CHECKING, Dict, List, Set, Tuple
 
 from repro.core.messages import (
+    BatchProposal,
+    BatchShare,
     ClientUpdate,
     EncryptedUpdate,
     IntroShare,
+    SignedUpdateBatch,
     client_alias,
     pack_update,
+    update_batch_signing_bytes,
 )
-from repro.crypto.threshold import combine_with_retry
+from repro.crypto.merkle import merkle_root
+from repro.crypto.threshold import combine_via, combine_with_retry, sign_partial_via
 from repro.crypto.verifycache import verify_with
 from repro.errors import SignatureError
 from repro.prime.messages import OpaqueUpdate
@@ -39,6 +45,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.replica import ExecutingReplica
 
 IntroKey = Tuple[str, int]  # (alias, client_seq)
+
+# Batch-window flush jitter. Desynchronising the two proposers' windows
+# avoids lock-step proposal bursts; the stream is module-global and must
+# be reseeded explicitly (builder, perf harness, benchmarks conftest) so
+# seeded runs — and perf speedup ratios — stay reproducible. The stream
+# is only ever drawn from in batch mode, so singleton runs never consume
+# it and stay byte-identical whatever it was seeded with.
+_JITTER_RNG = random.Random(0)
+
+
+def seed_batch_jitter(seed: int) -> None:
+    """Reseed the batch-window jitter stream deterministically."""
+    global _JITTER_RNG
+    _JITTER_RNG = random.Random(seed)
+
+
+def _jittered(window: float) -> float:
+    return window * (0.75 + 0.5 * _JITTER_RNG.random())
 
 
 class IntroductionManager:
@@ -54,6 +78,7 @@ class IntroductionManager:
         self._m_shares = metrics.counter("intro.shares_received")
         self._m_injected = metrics.counter("intro.injected")
         self._m_failovers = metrics.counter("intro.failovers")
+        self._m_batches = metrics.counter("intro.batches")
         self.failover_delay = failover_delay
         self._shares: Dict[Tuple[str, int, bytes], Dict[int, object]] = {}
         self._assembled: Dict[IntroKey, EncryptedUpdate] = {}
@@ -62,6 +87,20 @@ class IntroductionManager:
         self._injected: Set[IntroKey] = set()
         self._done: Set[IntroKey] = set()
         self._awaiting_keys: Dict[str, List[ClientUpdate]] = {}
+        # Batch mode (BatchLab) state.
+        self._batch_no = 0
+        self._batch_buffer: List[EncryptedUpdate] = []
+        self._batch_timer: object = None
+        self._pending_batches: Dict[int, dict] = {}
+        self._parked_proposals: List[Tuple[str, BatchProposal]] = []
+        self._acked_batches: Set[Tuple[str, int]] = set()
+        self._echoed: Set[IntroKey] = set()
+        self._batch_failover_initiated: Set[IntroKey] = set()
+        self._pref_cache: Dict[str, List[str]] = {}
+
+    @property
+    def batching(self) -> bool:
+        return self._replica.env.intro_batch_size > 1
 
     # -- entry: proxy-signed update arrives ------------------------------------
 
@@ -112,8 +151,307 @@ class IntroductionManager:
         encrypted = EncryptedUpdate(
             alias=alias, client_seq=update.client_seq, ciphertext=ciphertext
         )
+        if self.batching:
+            # Batch path: the threshold partial is amortised over the whole
+            # window, so only the encryption cost is charged per update.
+            replica.after(replica.costs.update_encrypt, self._batch_enqueue, encrypted)
+            return
         cost = replica.costs.update_encrypt + replica.costs.threshold_partial
         replica.after(cost, self._share_partial, encrypted)
+
+    # -- batched confidential path (BatchLab) --------------------------------------
+
+    def _batch_enqueue(self, encrypted: EncryptedUpdate) -> None:
+        """Record an independently derived ciphertext and, if this replica
+        proposes batches for the client, buffer it for the next window."""
+        replica = self._replica
+        if not replica.online:
+            return
+        key = (encrypted.alias, encrypted.client_seq)
+        if key in self._done or key in self._injected or key in self._assembled:
+            return
+        self._assembled[key] = encrypted
+        self._retry_parked_proposals()
+        rank = self.introducer_rank(encrypted.alias)
+        if rank <= 1:
+            self._batch_buffer.append(encrypted)
+            if len(self._batch_buffer) >= replica.env.intro_batch_size:
+                self._flush_batch()
+            elif self._batch_timer is None:
+                self._batch_timer = replica.kernel.call_later(
+                    _jittered(replica.env.intro_batch_window), self._flush_batch
+                )
+        elif key not in self._failover_timers:
+            # Non-proposers arm the same rank-staggered failover as the
+            # singleton path, stretched by one batch window so a healthy
+            # proposer always beats the timer.
+            self._failover_timers[key] = replica.kernel.call_later(
+                (rank - 1) * self.failover_delay + replica.env.intro_batch_window,
+                self._batch_failover,
+                key,
+            )
+
+    def _flush_batch(self) -> None:
+        """Close the current window: one Merkle root, one partial, one
+        proposal multicast — however many updates are inside."""
+        replica = self._replica
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        if not replica.online:
+            self._batch_buffer.clear()
+            return
+        live = [
+            item
+            for item in self._batch_buffer
+            if (item.alias, item.client_seq) not in self._done
+            and (item.alias, item.client_seq) not in self._injected
+        ]
+        size = replica.env.intro_batch_size
+        items, self._batch_buffer = live[:size], live[size:]
+        if self._batch_buffer:
+            self._batch_timer = replica.kernel.call_later(
+                _jittered(replica.env.intro_batch_window), self._flush_batch
+            )
+        if not items:
+            return
+        self._batch_no += 1
+        batch_no = self._batch_no
+        root = merkle_root([item.digest() for item in items])
+        self._m_partial.inc()
+        partial = sign_partial_via(
+            replica.env.crypto_pool,
+            replica.intro_share,
+            update_batch_signing_bytes(root, len(items)),
+        )
+        self._pending_batches[batch_no] = {
+            "root": root,
+            "items": tuple(items),
+            "partials": {partial.signer: partial},
+            "combining": False,
+        }
+        proposal = BatchProposal(
+            proposer=replica.host, batch_no=batch_no, items=tuple(items)
+        )
+        replica.after(replica.costs.threshold_partial, self._send_proposal, proposal)
+
+    def _send_proposal(self, proposal: BatchProposal) -> None:
+        replica = self._replica
+        if not replica.online:
+            return
+        for peer in replica.on_premises_peers():
+            replica.network_send(peer, proposal)
+        replica.trace(
+            "intro.batch-proposed", batch=proposal.batch_no, count=len(proposal.items)
+        )
+        self._maybe_combine_batch(proposal.batch_no)
+
+    def _defer_failover(self, key: IntroKey, delay: float) -> None:
+        """Push back an armed failover timer (never create one): fresh
+        evidence that someone live is handling ``key`` resets its clock."""
+        timer = self._failover_timers.pop(key, None)
+        if timer is None:
+            return
+        timer.cancel()
+        self._failover_timers[key] = self._replica.kernel.call_later(
+            delay, self._batch_failover, key
+        )
+
+    def _note_proposer_alive(self, proposer: str) -> None:
+        """A batch proposal from ``proposer`` proves it is alive and
+        draining its window. Defer failovers for every pending key it is
+        responsible for — including keys still queued in its buffer —
+        keeping crash detection without duplicate-intro storms when the
+        proposer is merely backlogged. Keys whose two proposers are both
+        down get no deferral and fail over on schedule."""
+        replica = self._replica
+        for key in list(self._failover_timers):
+            prefs = self.preference_list(key[0])
+            if proposer not in prefs[:2]:
+                continue
+            rank = prefs.index(replica.host)
+            self._defer_failover(key, rank * self.failover_delay)
+
+    def on_batch_proposal(self, src: str, proposal: BatchProposal) -> None:
+        """Peer side: sign the proposer's root only after checking every
+        item against the ciphertext this replica derived on its own —
+        deterministic encryption makes the two bit-identical, so a digest
+        match proves the proposer packaged genuine proxy-signed updates."""
+        replica = self._replica
+        self._note_proposer_alive(proposal.proposer)
+        ack_key = (proposal.proposer, proposal.batch_no)
+        if ack_key in self._acked_batches:
+            return
+        keys = [(item.alias, item.client_seq) for item in proposal.items]
+        if not keys or all(key in self._done for key in keys):
+            return
+        missing = False
+        for item, key in zip(proposal.items, keys):
+            if key in self._done:
+                # Already executed; its assembled copy is gone. Execution
+                # dedups by (alias, seq), so a stale item is harmless.
+                continue
+            mine = self._assembled.get(key)
+            if mine is None:
+                missing = True
+                continue
+            if mine.digest() != item.digest():
+                replica.trace(
+                    "intro.batch-mismatch",
+                    proposer=proposal.proposer,
+                    batch=proposal.batch_no,
+                    alias=item.alias,
+                    seq=item.client_seq,
+                )
+                return
+        if missing:
+            # The proxy fan-out for some item has not reached us yet; park
+            # the proposal and retry when the ciphertext is assembled.
+            self._parked_proposals.append((src, proposal))
+            return
+        self._acked_batches.add(ack_key)
+        root = merkle_root([item.digest() for item in proposal.items])
+        self._m_partial.inc()
+        partial = sign_partial_via(
+            replica.env.crypto_pool,
+            replica.intro_share,
+            update_batch_signing_bytes(root, len(proposal.items)),
+        )
+        share = BatchShare(
+            proposer=proposal.proposer,
+            batch_no=proposal.batch_no,
+            root=root,
+            count=len(proposal.items),
+            partial=partial,
+        )
+        replica.after(
+            replica.costs.threshold_partial,
+            replica.network_send,
+            proposal.proposer,
+            share,
+        )
+
+    def _retry_parked_proposals(self) -> None:
+        if not self._parked_proposals:
+            return
+        parked, self._parked_proposals = self._parked_proposals, []
+        for src, proposal in parked:
+            self.on_batch_proposal(src, proposal)
+
+    def on_batch_share(self, src: str, share: BatchShare) -> None:
+        replica = self._replica
+        self._m_shares.inc()
+        pending = self._pending_batches.get(share.batch_no)
+        if pending is None or share.proposer != replica.host:
+            return
+        if share.root != pending["root"] or share.count != len(pending["items"]):
+            return
+        pending["partials"][share.partial.signer] = share.partial
+        self._maybe_combine_batch(share.batch_no)
+
+    def _maybe_combine_batch(self, batch_no: int) -> None:
+        replica = self._replica
+        pending = self._pending_batches.get(batch_no)
+        if pending is None or pending["combining"]:
+            return
+        if len(pending["partials"]) < replica.intro_public.threshold:
+            return
+        pending["combining"] = True
+        replica.after(replica.costs.threshold_combine, self._combine_batch, batch_no)
+
+    def _combine_batch(self, batch_no: int) -> None:
+        replica = self._replica
+        pending = self._pending_batches.get(batch_no)
+        if pending is None or not replica.online:
+            return
+        self._m_combine.inc()
+        message = update_batch_signing_bytes(pending["root"], len(pending["items"]))
+        try:
+            signature = combine_via(
+                replica.env.crypto_pool,
+                replica.intro_public,
+                message,
+                list(pending["partials"].values()),
+            )
+        except SignatureError:
+            replica.trace("intro.batch-combine-failed", batch=batch_no)
+            pending["combining"] = False
+            return
+        del self._pending_batches[batch_no]
+        batch = SignedUpdateBatch(
+            root=pending["root"], items=pending["items"], threshold_sig=signature
+        )
+        self._m_batches.inc()
+        replica.engine.inject(
+            OpaqueUpdate(digest=batch.digest(), payload=batch, size=batch.wire_size())
+        )
+        for item in pending["items"]:
+            key = (item.alias, item.client_seq)
+            self._injected.add(key)
+            self._m_injected.inc()
+            replica.trace("intro.injected", alias=item.alias, seq=item.client_seq)
+
+    def _batch_failover(self, key: IntroKey) -> None:
+        """The proposers missed their window for this update: fall back to
+        the singleton share flow. This replica multicasts its own share;
+        peers holding the assembled ciphertext echo theirs back once, and
+        the initiator combines at threshold like a rank-0 introducer."""
+        self._failover_timers.pop(key, None)
+        replica = self._replica
+        if key in self._done or key in self._injected or not replica.online:
+            return
+        encrypted = self._assembled.get(key)
+        if encrypted is None:
+            return
+        self._m_failovers.inc()
+        replica.trace("intro.failover", alias=key[0], seq=key[1])
+        self._batch_failover_initiated.add(key)
+        self._m_partial.inc()
+        partial = sign_partial_via(
+            replica.env.crypto_pool, replica.intro_share, encrypted.signing_bytes()
+        )
+        share = IntroShare(
+            alias=key[0],
+            client_seq=key[1],
+            update_digest=encrypted.digest(),
+            partial=partial,
+        )
+        replica.after(replica.costs.threshold_partial, self._send_failover_share, share)
+
+    def _send_failover_share(self, share: IntroShare) -> None:
+        replica = self._replica
+        if not replica.online:
+            return
+        for peer in replica.on_premises_peers():
+            replica.network_send(peer, share)
+        self.on_intro_share(replica.host, share)
+
+    def _maybe_echo_share(self, src: str, key: IntroKey, share: IntroShare) -> None:
+        """Batch mode: a singleton IntroShare from a peer means a failover
+        is under way; contribute this replica's share (once) so the
+        initiator can reach threshold."""
+        replica = self._replica
+        if (
+            key in self._echoed
+            or key in self._batch_failover_initiated
+            or key in self._injected
+        ):
+            return
+        encrypted = self._assembled.get(key)
+        if encrypted is None or encrypted.digest() != share.update_digest:
+            return
+        self._echoed.add(key)
+        self._m_partial.inc()
+        partial = sign_partial_via(
+            replica.env.crypto_pool, replica.intro_share, encrypted.signing_bytes()
+        )
+        echo = IntroShare(
+            alias=key[0],
+            client_seq=key[1],
+            update_digest=share.update_digest,
+            partial=partial,
+        )
+        replica.after(replica.costs.threshold_partial, replica.network_send, src, echo)
 
     def _share_partial(self, encrypted: EncryptedUpdate) -> None:
         replica = self._replica
@@ -138,6 +476,13 @@ class IntroductionManager:
         key = (share.alias, share.client_seq)
         if key in self._done:
             return
+        if self.batching and src != replica.host:
+            # A singleton share means some peer is already running a
+            # failover for this key; stagger rather than pile on.
+            self._defer_failover(
+                key, max(self.introducer_rank(share.alias), 1) * self.failover_delay
+            )
+            self._maybe_echo_share(src, key, share)
         vote_key = (share.alias, share.client_seq, share.update_digest)
         partials = self._shares.setdefault(vote_key, {})
         partials[share.partial.signer] = share.partial
@@ -149,13 +494,14 @@ class IntroductionManager:
         if key in self._injected:
             return
         rank = self.introducer_rank(share.alias)
-        if rank <= 1:
+        if rank <= 1 or key in self._batch_failover_initiated:
             # Two immediate introducers, one per on-premises site (the
             # preference list alternates sites): a site disconnection
             # costs nothing on the introduction path. Prime deduplicates
-            # at execution.
+            # at execution. A batch-mode failover initiator combines the
+            # echoed singleton shares the same way.
             replica.after(replica.costs.threshold_combine, self._combine_and_inject, key)
-        elif key not in self._failover_timers:
+        elif not self.batching and key not in self._failover_timers:
             delay = (rank - 1) * self.failover_delay
             self._failover_timers[key] = replica.kernel.call_later(
                 delay, self._failover_inject, key
@@ -248,6 +594,9 @@ class IntroductionManager:
 
     def preference_list(self, alias: str) -> List[str]:
         """The full introducer preference order for a client alias."""
+        cached = self._pref_cache.get(alias)
+        if cached is not None:
+            return cached
         replica = self._replica
         hosts = sorted([replica.host] + replica.on_premises_peers())
         topology = replica.env.network.topology
@@ -262,7 +611,9 @@ class IntroductionManager:
                     interleaved.append(column[row])
         offset = int(hashlib.sha256(alias.encode("utf-8")).hexdigest(), 16)
         rotation = offset % len(interleaved)
-        return interleaved[rotation:] + interleaved[:rotation]
+        ordered = interleaved[rotation:] + interleaved[:rotation]
+        self._pref_cache[alias] = ordered
+        return ordered
 
     def mark_executed(self, alias: str, client_seq: int) -> None:
         """The update was globally ordered and executed: stop failovers."""
@@ -274,6 +625,8 @@ class IntroductionManager:
         self._assembled.pop(key, None)
         self._plain_pending.pop(key, None)
         self._injected.discard(key)
+        self._echoed.discard(key)
+        self._batch_failover_initiated.discard(key)
         for vote_key in [vk for vk in self._shares if (vk[0], vk[1]) == key]:
             del self._shares[vote_key]
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.confidentiality import Sensitive
+from repro.crypto.merkle import MerkleProof
 from repro.crypto.threshold import PartialSignature
 
 _HEADER = 64
@@ -131,6 +132,149 @@ class ClientResponse:
 
     def wire_size(self) -> int:
         return _HEADER + 24 + len(self.body) + len(self.threshold_sig)
+
+    def sensitive_parts(self) -> List[str]:
+        return [self.body.label]
+
+
+# --------------------------------------------------------------------------
+# Batched introduction and responses (BatchLab)
+# --------------------------------------------------------------------------
+
+
+def update_batch_signing_bytes(root: bytes, count: int) -> bytes:
+    """What the intro group threshold-signs for a batch: the Merkle root
+    over the member updates' digests, bound to the batch width."""
+    return f"update-batch|{count}|".encode("utf-8") + root
+
+
+def response_batch_signing_bytes(root: bytes, count: int) -> bytes:
+    """What the response group threshold-signs for a batch of responses."""
+    return f"response-batch|{count}|".encode("utf-8") + root
+
+
+@dataclass(frozen=True)
+class BatchProposal:
+    """A proposer's window of encrypted updates, offered to its
+    on-premises peers for co-signing under one Merkle root.
+
+    Peers verify each member against the ciphertext they derived
+    independently from the same proxy-signed update (deterministic
+    encryption makes the two bit-identical), so co-signing the root never
+    requires trusting the proposer about any member's content.
+    """
+
+    proposer: str
+    batch_no: int
+    items: Tuple[EncryptedUpdate, ...]
+
+    def wire_size(self) -> int:
+        return _HEADER + 24 + sum(item.wire_size() - _HEADER for item in self.items)
+
+
+@dataclass(frozen=True)
+class BatchShare:
+    """One on-premises replica's threshold share over a proposed batch's
+    Merkle root, returned to the proposer for combining."""
+
+    proposer: str
+    batch_no: int
+    root: bytes
+    count: int
+    partial: PartialSignature
+
+    def signing_bytes(self) -> bytes:
+        return update_batch_signing_bytes(self.root, self.count)
+
+    def wire_size(self) -> int:
+        return _HEADER + 24 + len(self.root) + 192
+
+
+@dataclass(frozen=True)
+class SignedUpdateBatch:
+    """A fully certified batch of encrypted updates: one threshold
+    signature over the Merkle root vouches for every member. Ordered by
+    Prime as a single payload, amortizing pre-order message volume and
+    signing across the window."""
+
+    root: bytes
+    items: Tuple[EncryptedUpdate, ...]
+    threshold_sig: bytes
+
+    def signing_bytes(self) -> bytes:
+        return update_batch_signing_bytes(self.root, len(self.items))
+
+    def digest(self) -> bytes:
+        return hashlib.sha256(self.signing_bytes()).digest()
+
+    def wire_size(self) -> int:
+        return (
+            _HEADER
+            + 24
+            + len(self.root)
+            + len(self.threshold_sig)
+            + sum(item.wire_size() - _HEADER for item in self.items)
+        )
+
+
+@dataclass(frozen=True)
+class ResponseBatchShare:
+    """Threshold share over a Merkle root of response digests, exchanged
+    among executing replicas after processing one ordered batch."""
+
+    root: bytes
+    count: int
+    partial: PartialSignature
+
+    def signing_bytes(self) -> bytes:
+        return response_batch_signing_bytes(self.root, self.count)
+
+    def wire_size(self) -> int:
+        return _HEADER + 16 + len(self.root) + 192
+
+
+@dataclass(frozen=True)
+class CertifiedResponse:
+    """A batched client response: the batch-level threshold signature
+    plus this response's Merkle inclusion proof.
+
+    A proxy verifies one threshold signature per *batch* (cacheable
+    across the batch's members) and one logarithmic hash path per
+    response, instead of one threshold signature per response.
+    """
+
+    client_id: str
+    client_seq: int
+    body: Sensitive
+    batch_root: bytes
+    batch_count: int
+    batch_sig: bytes
+    proof: MerkleProof
+
+    def response_signing_bytes(self) -> bytes:
+        # Identical framing to ClientResponse.signing_bytes: the Merkle
+        # leaf for a response is the digest of the same bytes a singleton
+        # response would have threshold-signed directly.
+        return (
+            f"response|{self.client_id}|{self.client_seq}|".encode("utf-8")
+            + self.body.data
+        )
+
+    def leaf(self) -> bytes:
+        return hashlib.sha256(self.response_signing_bytes()).digest()
+
+    def batch_signing_bytes(self) -> bytes:
+        return response_batch_signing_bytes(self.batch_root, self.batch_count)
+
+    def wire_size(self) -> int:
+        return (
+            _HEADER
+            + 24
+            + len(self.body)
+            + len(self.batch_sig)
+            + len(self.batch_root)
+            + self.proof.wire_size()
+        )
 
     def sensitive_parts(self) -> List[str]:
         return [self.body.label]

@@ -16,7 +16,13 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.confidentiality import Sensitive
-from repro.core.messages import ClientResponse, ClientUpdate, client_alias
+from repro.core.messages import (
+    CertifiedResponse,
+    ClientResponse,
+    ClientUpdate,
+    client_alias,
+)
+from repro.crypto.merkle import verify_inclusion
 from repro.costs import CostModel
 from repro.crypto.rsa import RsaKeyPair
 from repro.crypto.threshold import ThresholdPublicKey
@@ -151,7 +157,7 @@ class ClientProxy:
     # -- responses -------------------------------------------------------------------
 
     def _on_message(self, src: str, message: object) -> None:
-        if not isinstance(message, ClientResponse):
+        if not isinstance(message, (ClientResponse, CertifiedResponse)):
             return
         if message.client_id != self.client_id:
             return
@@ -162,12 +168,27 @@ class ClientProxy:
             self.costs.threshold_verify, self._verify_response, message
         )
 
-    def _verify_response(self, message: ClientResponse) -> None:
+    def _verify_response(self, message) -> None:
         seq = message.client_seq
         if seq not in self._pending:
             return
         self._m_thresh_verify.inc()
-        if not verify_with(
+        if isinstance(message, CertifiedResponse):
+            # Batched response: one threshold verification per *batch*
+            # (memoised across the batch's members by the verify cache),
+            # plus this response's Merkle inclusion proof.
+            if not verify_with(
+                self._verify_cache,
+                self._response_public,
+                message.batch_signing_bytes(),
+                message.batch_sig,
+            ) or not verify_inclusion(
+                message.batch_root, message.leaf(), message.proof
+            ):
+                if self.tracer:
+                    self.tracer.record("proxy.bad-response", self.host, seq=seq)
+                return
+        elif not verify_with(
             self._verify_cache,
             self._response_public,
             message.signing_bytes(),

@@ -16,6 +16,7 @@ at data-center hosts, quantifying the gap Confidential Spire closes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
@@ -27,19 +28,25 @@ from repro.core.encryption import KeyManager
 from repro.core.intro import IntroductionManager
 from repro.core.key_renewal import KeyRenewalManager
 from repro.core.messages import (
+    BatchProposal,
     BatchRecord,
+    BatchShare,
+    CertifiedResponse,
     CheckpointMsg,
     ClientResponse,
     ClientUpdate,
     EncryptedUpdate,
     IntroShare,
     KeyProposal,
+    ResponseBatchShare,
     ResponseShare,
     ResumePoint,
+    SignedUpdateBatch,
     StateXferResponse,
     StateXferSolicit,
     XferRequest,
     client_alias,
+    response_batch_signing_bytes,
     unpack_update,
 )
 from repro.core.state_transfer import StateTransferManager
@@ -47,11 +54,14 @@ from repro.costs import CostModel
 from repro.crypto.keystore import HardwareKeyStore
 from repro.crypto.rsa import RsaPublicKey
 from repro.crypto.symmetric import SymmetricKeyPair
+from repro.crypto.merkle import merkle_proof, merkle_root
 from repro.crypto.threshold import (
     PartialSignature,
     ThresholdKeyShare,
     ThresholdPublicKey,
+    combine_via,
     combine_with_retry,
+    sign_partial_via,
 )
 from repro.crypto.verifycache import verify_with
 from repro.errors import ProtocolError, SignatureError
@@ -156,6 +166,15 @@ class ReplicaEnv:
     # Shared signature-verification memo (repro.crypto.verifycache). None
     # verifies directly; simulated crypto costs are charged either way.
     verify_cache: Optional[object] = None
+    # BatchLab: introduction batching window. 1 = the singleton path,
+    # byte-identical to pre-batching traces; > 1 aggregates up to this
+    # many updates under one threshold signature per window.
+    intro_batch_size: int = 1
+    intro_batch_window: float = 0.02
+    # Optional repro.crypto.pool.CryptoPool: threshold sign/combine are
+    # evaluated in worker processes when set (live runtime), in-process
+    # when None (the sim default; results are bit-identical either way).
+    crypto_pool: Optional[object] = None
 
 
 class ClientProgress:
@@ -310,8 +329,14 @@ class ReplicaBase:
             self.on_client_update(src, message)
         elif isinstance(message, IntroShare):
             self.on_intro_share(src, message)
+        elif isinstance(message, BatchProposal):
+            self.on_batch_proposal(src, message)
+        elif isinstance(message, BatchShare):
+            self.on_batch_share(src, message)
         elif isinstance(message, ResponseShare):
             self.on_response_share(src, message)
+        elif isinstance(message, ResponseBatchShare):
+            self.on_response_batch_share(src, message)
         elif isinstance(message, CheckpointMsg):
             self.checkpoints.on_checkpoint(src, message)
         elif isinstance(message, StateXferSolicit):
@@ -331,8 +356,17 @@ class ReplicaBase:
     def on_intro_share(self, src: str, message: IntroShare) -> None:
         self.trace("replica.unexpected-intro-share", src=src)
 
+    def on_batch_proposal(self, src: str, message: BatchProposal) -> None:
+        self.trace("replica.unexpected-batch-proposal", src=src)
+
+    def on_batch_share(self, src: str, message: BatchShare) -> None:
+        self.trace("replica.unexpected-batch-share", src=src)
+
     def on_response_share(self, src: str, message: ResponseShare) -> None:
         self.trace("replica.unexpected-response-share", src=src)
+
+    def on_response_batch_share(self, src: str, message: ResponseBatchShare) -> None:
+        self.trace("replica.unexpected-response-batch-share", src=src)
 
     # -- scheduling helper ------------------------------------------------------------------
 
@@ -381,11 +415,14 @@ class ReplicaBase:
                 digest=batch_digest(entries),
             )
         self.checkpoints.maybe_generate(record.resume.ordinal, record.resume)
+        self.on_batch_delivered()
 
     def process_entry(self, ordinal: int, payload: object) -> None:
         if isinstance(payload, XferRequest):
             self.xfer.on_ordered_request(payload)
-        elif isinstance(payload, (EncryptedUpdate, ClientUpdate, KeyProposal)):
+        elif isinstance(
+            payload, (EncryptedUpdate, ClientUpdate, KeyProposal, SignedUpdateBatch)
+        ):
             self.store_entry(ordinal, payload)
         else:
             raise ProtocolError(
@@ -395,6 +432,10 @@ class ReplicaBase:
     def store_entry(self, ordinal: int, payload: object) -> None:
         """Storage behaviour: nothing beyond the update log (kept by
         :meth:`_deliver`); executing replicas override."""
+
+    def on_batch_delivered(self) -> None:
+        """Post-delivery hook: executing replicas flush the response batch
+        accumulated while processing the ordered batch (BatchLab)."""
 
     # -- update validation (Prime callback) ----------------------------------------------------
 
@@ -420,6 +461,21 @@ class ReplicaBase:
                 public,
                 payload.signing_bytes(),
                 payload.signature,
+            )
+        if isinstance(payload, SignedUpdateBatch):
+            if self.env.intro_public is None or not payload.items:
+                return False
+            # The root must re-derive from the member digests: the
+            # signature then covers every item, and no item can be
+            # swapped without invalidating it.
+            root = merkle_root([item.digest() for item in payload.items])
+            if root != payload.root:
+                return False
+            return verify_with(
+                self.env.verify_cache,
+                self.env.intro_public,
+                payload.signing_bytes(),
+                payload.threshold_sig,
             )
         if isinstance(payload, KeyProposal):
             return payload.proposer in self.env.on_premises
@@ -650,6 +706,8 @@ class StorageReplica(ReplicaBase):
             for _ordinal, payload in record.entries:
                 if isinstance(payload, EncryptedUpdate):
                     count += 1
+                elif isinstance(payload, SignedUpdateBatch):
+                    count += len(payload.items)
         return count
 
 
@@ -695,6 +753,13 @@ class ExecutingReplica(ReplicaBase):
         self._response_shares: Dict[Tuple[str, int, bytes], Dict[int, PartialSignature]] = {}
         self._pending_responses: Dict[Tuple[str, int], bytes] = {}
         self._responses_combined: Set[Tuple[str, int]] = set()
+        # BatchLab: responses produced while executing one ordered batch,
+        # certified together under one threshold signature per batch.
+        self._response_batch_buffer: List[Tuple[str, int, bytes]] = []
+        self._response_batch_cost = 0.0
+        self._pending_response_batches: Dict[bytes, Tuple[Tuple[str, int, bytes], ...]] = {}
+        self._response_batch_shares: Dict[bytes, Dict[int, PartialSignature]] = {}
+        self._response_batches_combined: Set[bytes] = set()
         metrics = self.metrics
         self._m_executed = metrics.counter("replica.updates_executed")
         self._m_resp_partial = metrics.counter("crypto.threshold.partial", op="response")
@@ -733,6 +798,16 @@ class ExecutingReplica(ReplicaBase):
     def on_intro_share(self, src: str, message: IntroShare) -> None:
         self.intro.on_intro_share(src, message)
 
+    def on_batch_proposal(self, src: str, message: BatchProposal) -> None:
+        self.intro.on_batch_proposal(src, message)
+
+    def on_batch_share(self, src: str, message: BatchShare) -> None:
+        self.intro.on_batch_share(src, message)
+
+    @property
+    def batching(self) -> bool:
+        return self.env.intro_batch_size > 1
+
     def executed_seq(self, alias: str) -> int:
         """Highest client sequence seen executed (renewal trigger input)."""
         progress = self._executed.get(alias)
@@ -750,6 +825,9 @@ class ExecutingReplica(ReplicaBase):
     def store_entry(self, ordinal: int, payload: object) -> None:
         if isinstance(payload, EncryptedUpdate):
             self._execute_encrypted(payload)
+        elif isinstance(payload, SignedUpdateBatch):
+            for item in payload.items:
+                self._execute_encrypted(item)
         elif isinstance(payload, ClientUpdate):
             self._execute_plain(payload)
         elif isinstance(payload, KeyProposal):
@@ -794,6 +872,15 @@ class ExecutingReplica(ReplicaBase):
         self._m_executed.inc()
         self.trace("replica.executed", client=alias, seq=client_seq)
         if response_body is not None:
+            if self.batching:
+                # The threshold partial is amortised over every response
+                # from this ordered batch; per-update costs accumulate and
+                # are charged once at the flush.
+                self._response_batch_buffer.append(
+                    (client_id, client_seq, response_body)
+                )
+                self._response_batch_cost += extra_cost + self.costs.app_execute
+                return
             cost = extra_cost + self.costs.app_execute + self.costs.threshold_partial
             self.after(cost, self._share_response, client_id, client_seq, response_body)
 
@@ -885,7 +972,101 @@ class ExecutingReplica(ReplicaBase):
         )
         self._maybe_send_response(signed)
 
-    def _maybe_send_response(self, response: ClientResponse) -> None:
+    # -- batched response pipeline (BatchLab) -------------------------------------
+
+    def on_batch_delivered(self) -> None:
+        if not self._response_batch_buffer:
+            return
+        items = tuple(self._response_batch_buffer)
+        self._response_batch_buffer = []
+        cost = self._response_batch_cost + self.costs.threshold_partial
+        self._response_batch_cost = 0.0
+        self.after(cost, self._share_response_batch, items)
+
+    @staticmethod
+    def _response_leaf(client_id: str, client_seq: int, body: bytes) -> bytes:
+        # Matches ClientResponse.signing_bytes / CertifiedResponse.leaf:
+        # the Merkle leaf is the digest of the bytes a singleton response
+        # would have threshold-signed directly.
+        return hashlib.sha256(
+            f"response|{client_id}|{client_seq}|".encode("utf-8") + body
+        ).digest()
+
+    def _share_response_batch(self, items) -> None:
+        if not self.online:
+            return
+        leaves = [self._response_leaf(cid, seq, body) for cid, seq, body in items]
+        root = merkle_root(leaves)
+        self._pending_response_batches[root] = items
+        self._m_resp_partial.inc()
+        partial = sign_partial_via(
+            self.env.crypto_pool,
+            self.response_share,
+            response_batch_signing_bytes(root, len(items)),
+        )
+        share = ResponseBatchShare(root=root, count=len(items), partial=partial)
+        for peer in self.executing_peers():
+            self.network_send(peer, share)
+        self.on_response_batch_share(self.host, share)
+
+    def on_response_batch_share(self, src: str, message: ResponseBatchShare) -> None:
+        partials = self._response_batch_shares.setdefault(message.root, {})
+        partials[message.partial.signer] = message.partial
+        if (
+            len(partials) >= self.env.response_public.threshold
+            and message.root in self._pending_response_batches
+            and message.root not in self._response_batches_combined
+        ):
+            self._response_batches_combined.add(message.root)
+            self.after(
+                self.costs.threshold_combine,
+                self._combine_response_batch,
+                message.root,
+            )
+
+    def _combine_response_batch(self, root: bytes) -> None:
+        if not self.online:
+            return
+        items = self._pending_response_batches.get(root)
+        if items is None:
+            return
+        partials = list(self._response_batch_shares.get(root, {}).values())
+        self._m_resp_combine.inc()
+        try:
+            batch_sig = combine_via(
+                self.env.crypto_pool,
+                self.env.response_public,
+                response_batch_signing_bytes(root, len(items)),
+                partials,
+            )
+        except SignatureError:
+            self.trace("response.batch-combine-failed", count=len(items))
+            self._response_batches_combined.discard(root)
+            return
+        del self._pending_response_batches[root]
+        self._response_batch_shares.pop(root, None)
+        leaves = [self._response_leaf(cid, seq, body) for cid, seq, body in items]
+        for index, (client_id, client_seq, body) in enumerate(items):
+            certified = CertifiedResponse(
+                client_id=client_id,
+                client_seq=client_seq,
+                body=Sensitive(body, label="client-response"),
+                batch_root=root,
+                batch_count=len(items),
+                batch_sig=batch_sig,
+                proof=merkle_proof(leaves, index),
+            )
+            cache = self._response_cache.setdefault(client_id, {})
+            cache[client_seq] = certified
+            while len(cache) > self.response_cache_window:
+                del cache[min(cache)]
+            self._m_resp_combined.inc()
+            self.trace(
+                "response.combined", alias=client_alias(client_id), seq=client_seq
+            )
+            self._maybe_send_response(certified)
+
+    def _maybe_send_response(self, response) -> None:
         """Send to the proxy if this replica is in the client's responder
         set (first f+1 on-premises replicas in preference order)."""
         site = self.env.network.topology.site_of(self.host)
@@ -910,6 +1091,48 @@ class ExecutingReplica(ReplicaBase):
 
     # -- checkpointing --------------------------------------------------------------------------
 
+    @staticmethod
+    def _response_to_state(seq: int, response) -> list:
+        if isinstance(response, CertifiedResponse):
+            # Versioned by length: certified entries carry the batch
+            # certificate and inclusion proof alongside the body.
+            return [
+                seq,
+                response.body.data.hex(),
+                response.batch_sig.hex(),
+                response.batch_root.hex(),
+                response.batch_count,
+                response.proof.leaf_index,
+                [[sib.hex(), int(right)] for sib, right in response.proof.path],
+            ]
+        return [seq, response.body.data.hex(), response.threshold_sig.hex()]
+
+    @staticmethod
+    def _response_from_state(client: str, entry: list):
+        from repro.crypto.merkle import MerkleProof
+
+        if len(entry) == 3:
+            seq, body_hex, sig_hex = entry
+            return ClientResponse(
+                client_id=client,
+                client_seq=int(seq),
+                body=Sensitive(bytes.fromhex(body_hex), label="client-response"),
+                threshold_sig=bytes.fromhex(sig_hex),
+            )
+        seq, body_hex, sig_hex, root_hex, count, leaf_index, path = entry
+        return CertifiedResponse(
+            client_id=client,
+            client_seq=int(seq),
+            body=Sensitive(bytes.fromhex(body_hex), label="client-response"),
+            batch_root=bytes.fromhex(root_hex),
+            batch_count=int(count),
+            batch_sig=bytes.fromhex(sig_hex),
+            proof=MerkleProof(
+                leaf_index=int(leaf_index),
+                path=tuple((bytes.fromhex(sib), bool(right)) for sib, right in path),
+            ),
+        )
+
     def build_checkpoint_blob(self):
         state = {
             "app": self.app.snapshot().hex(),
@@ -919,7 +1142,7 @@ class ExecutingReplica(ReplicaBase):
             },
             "responses": {
                 client: [
-                    [seq, r.body.data.hex(), r.threshold_sig.hex()]
+                    self._response_to_state(seq, r)
                     for seq, r in sorted(cache.items())
                 ]
                 for client, cache in sorted(self._response_cache.items())
@@ -950,13 +1173,9 @@ class ExecutingReplica(ReplicaBase):
         self._response_cache = {}
         for client, entries in state["responses"].items():
             cache = self._response_cache.setdefault(client, {})
-            for seq, body_hex, sig_hex in entries:
-                cache[int(seq)] = ClientResponse(
-                    client_id=client,
-                    client_seq=int(seq),
-                    body=Sensitive(bytes.fromhex(body_hex), label="client-response"),
-                    threshold_sig=bytes.fromhex(sig_hex),
-                )
+            for entry in entries:
+                response = self._response_from_state(client, entry)
+                cache[response.client_seq] = response
         if self.confidential and "keys" in state:
             self.key_manager.restore_state(state["keys"])
             self.renewal.restore_state(state.get("renewal", {}))
@@ -965,7 +1184,10 @@ class ExecutingReplica(ReplicaBase):
     # -- state transfer replay ---------------------------------------------------------------------
 
     def replay_entry(self, ordinal: int, payload: object) -> None:
-        if isinstance(payload, EncryptedUpdate):
+        if isinstance(payload, SignedUpdateBatch):
+            for item in payload.items:
+                self.replay_entry(ordinal, item)
+        elif isinstance(payload, EncryptedUpdate):
             if self.is_executed(payload.alias, payload.client_seq):
                 return
             packed = self.key_manager.decrypt_update(
@@ -1001,4 +1223,9 @@ class ExecutingReplica(ReplicaBase):
         self._response_shares = {}
         self._pending_responses = {}
         self._responses_combined = set()
+        self._response_batch_buffer = []
+        self._response_batch_cost = 0.0
+        self._pending_response_batches = {}
+        self._response_batch_shares = {}
+        self._response_batches_combined = set()
         self._install_initial_keys()

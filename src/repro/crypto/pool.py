@@ -1,0 +1,222 @@
+"""Process-pool crypto workers (the RECIPE seam, BatchLab).
+
+Protocol logic stays single-threaded and deterministic; the expensive
+primitive evaluations — threshold-RSA partial signatures and combines,
+which are pure functions of their inputs — can be pushed to worker
+processes so a live replica uses all cores. The sim keeps its in-process
+default (``crypto_workers = 0``) and may optionally offload: results are
+bit-identical either way, so offloading never changes simulated traces.
+
+Fault tolerance: a worker killed mid-task (crash, OOM, an operator's
+``kill -9``) must not lose the batch. The pool polls worker liveness
+while collecting; on a death it respawns a fresh worker and resubmits
+every still-unresolved task. Tasks are deterministic and idempotent, so
+duplicate completions (a task resubmitted while its first copy was merely
+queued behind a live worker) are de-duplicated by task id.
+
+Deliberately not :class:`concurrent.futures.ProcessPoolExecutor`: a dead
+worker there poisons the whole executor (``BrokenProcessPool``) and every
+pending future with it, which is exactly the failure mode this seam must
+absorb.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crypto.threshold import (
+    PartialSignature,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+    combine_with_retry,
+)
+from repro.errors import CryptoError, SignatureError
+
+_POLL_INTERVAL = 0.05
+
+_ERROR_TYPES = {
+    "SignatureError": SignatureError,
+    "CryptoError": CryptoError,
+}
+
+
+def _worker_loop(tasks, results, task_delay: float) -> None:
+    """Worker process body: evaluate tasks until the poison pill."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        task_id, kind, args = item
+        try:
+            if task_delay:
+                # Test hook: stretch task duration so fault injection can
+                # reliably land mid-batch.
+                time.sleep(task_delay)
+            if kind == "sign":
+                share, message = args
+                payload = share.sign_partial(message)
+            elif kind == "sign_with_proof":
+                share, message = args
+                payload = share.sign_partial_with_proof(message)
+            elif kind == "combine":
+                public, message, partials = args
+                payload = combine_with_retry(public, message, partials)
+            else:  # pragma: no cover - parent never sends unknown kinds
+                raise CryptoError(f"unknown crypto task kind {kind!r}")
+        except (SignatureError, CryptoError) as error:
+            results.put((task_id, "err", type(error).__name__, str(error)))
+        else:
+            results.put((task_id, "ok", payload))
+
+
+class CryptoPool:
+    """A fault-tolerant pool of crypto worker processes."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        task_delay: float = 0.0,
+        context: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise CryptoError("CryptoPool needs at least one worker")
+        methods = multiprocessing.get_all_start_methods()
+        method = context or ("fork" if "fork" in methods else "spawn")
+        self._ctx = multiprocessing.get_context(method)
+        self._task_delay = task_delay
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._workers: List[multiprocessing.Process] = []
+        self._next_task_id = 0
+        self._closed = False
+        self.workers = workers
+        self.respawns = 0
+        self.tasks_completed = 0
+        for _ in range(workers):
+            self._spawn_worker()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        process = self._ctx.Process(
+            target=_worker_loop,
+            args=(self._tasks, self._results, self._task_delay),
+            daemon=True,
+        )
+        process.start()
+        self._workers.append(process)
+
+    def worker_pids(self) -> List[int]:
+        return [p.pid for p in self._workers if p.pid is not None]
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every worker: poison pills, then join, then terminate
+        stragglers. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            try:
+                self._tasks.put(None)
+            except (ValueError, OSError):  # pragma: no cover - queue torn down
+                break
+        deadline = time.monotonic() + timeout
+        for process in self._workers:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._tasks.close()
+        self._results.close()
+        self._workers = []
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- task execution ----------------------------------------------------------
+
+    def _run_tasks(self, specs: Sequence[Tuple[str, tuple]]) -> List[object]:
+        """Run tasks through the workers; returns results in spec order.
+
+        Survives worker deaths by respawning and resubmitting unresolved
+        tasks; raises the original crypto error for tasks that *evaluated*
+        to an error (those are deterministic, not transient).
+        """
+        if self._closed:
+            raise CryptoError("CryptoPool is shut down")
+        pending: Dict[int, Tuple[str, tuple]] = {}
+        order: List[int] = []
+        for kind, args in specs:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            pending[task_id] = (kind, args)
+            order.append(task_id)
+            self._tasks.put((task_id, kind, args))
+        resolved: Dict[int, tuple] = {}
+        while len(resolved) < len(order):
+            try:
+                item = self._results.get(timeout=_POLL_INTERVAL)
+            except queue.Empty:
+                self._reap_dead_workers(
+                    [tid for tid in order if tid not in resolved], pending
+                )
+                continue
+            task_id = item[0]
+            if task_id in resolved or task_id not in pending:
+                continue  # duplicate completion after a resubmission
+            resolved[task_id] = item[1:]
+            self.tasks_completed += 1
+        results: List[object] = []
+        for task_id in order:
+            outcome = resolved[task_id]
+            if outcome[0] == "err":
+                _, name, text = outcome
+                raise _ERROR_TYPES.get(name, CryptoError)(text)
+            results.append(outcome[1])
+        return results
+
+    def _reap_dead_workers(self, unresolved: List[int], pending) -> None:
+        """Respawn dead workers and resubmit whatever they may have held."""
+        dead = [p for p in self._workers if not p.is_alive()]
+        if not dead:
+            return
+        for process in dead:
+            self._workers.remove(process)
+            self.respawns += 1
+            self._spawn_worker()
+        # A dead worker may have consumed any unresolved task without
+        # producing its result; resubmit them all (dedup by id absorbs
+        # tasks that were actually still queued or held by live workers).
+        for task_id in unresolved:
+            kind, args = pending[task_id]
+            self._tasks.put((task_id, kind, args))
+
+    # -- crypto seam -------------------------------------------------------------
+
+    def sign_partial(self, share: ThresholdKeyShare, message: bytes) -> PartialSignature:
+        return self._run_tasks([("sign", (share, message))])[0]
+
+    def sign_partials(
+        self, share: ThresholdKeyShare, messages: Iterable[bytes]
+    ) -> List[PartialSignature]:
+        """Sign a batch of messages in parallel across the workers."""
+        return self._run_tasks([("sign", (share, m)) for m in messages])
+
+    def sign_partial_with_proof(
+        self, share: ThresholdKeyShare, message: bytes
+    ) -> PartialSignature:
+        return self._run_tasks([("sign_with_proof", (share, message))])[0]
+
+    def combine(
+        self,
+        public: ThresholdPublicKey,
+        message: bytes,
+        partials: Sequence[PartialSignature],
+    ) -> bytes:
+        """``combine_with_retry`` evaluated in a worker; raises
+        :class:`SignatureError` exactly as the in-process call would."""
+        return self._run_tasks([("combine", (public, message, list(partials)))])[0]

@@ -443,6 +443,34 @@ def combine_with_retry(
     raise last_error or SignatureError("no verifying subset of partial signatures")
 
 
+def sign_partial_via(
+    pool: Optional[object], share: ThresholdKeyShare, message: bytes
+) -> PartialSignature:
+    """Route a partial signature through a crypto pool when one is
+    configured (``repro.crypto.pool``), else sign in-process.
+
+    Signing is deterministic, so the result is bit-identical either way —
+    the pool is purely a wall-clock/parallelism seam.
+    """
+    if pool is not None:
+        return pool.sign_partial(share, message)
+    return share.sign_partial(message)
+
+
+def combine_via(
+    pool: Optional[object],
+    public: ThresholdPublicKey,
+    message: bytes,
+    partials: Iterable[PartialSignature],
+) -> bytes:
+    """Route :func:`combine_with_retry` through a crypto pool when one is
+    configured; error behaviour (``SignatureError`` on fewer than f+1
+    honest shares) is identical in both paths."""
+    if pool is not None:
+        return pool.combine(public, message, list(partials))
+    return combine_with_retry(public, message, partials)
+
+
 def _integer_lagrange_at_zero(delta: int, i: int, indices: List[int]) -> int:
     """delta * l_i(0) for the Lagrange basis over ``indices``; an integer."""
     num = delta

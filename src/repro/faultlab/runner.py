@@ -63,6 +63,11 @@ class FaultLabConfig:
     #: loses the page cache, so ``never`` keeps sweeps fast.
     store_fsync: str = "never"
 
+    #: BatchLab: introduction batch size. 1 sweeps the singleton path
+    #: (the trace-identity baseline); > 1 sweeps the batched intro and
+    #: response pipelines under the same fault schedules.
+    intro_batch_size: int = 1
+
     def system_config(self, seed: int) -> SystemConfig:
         return SystemConfig(
             mode=self.mode,
@@ -73,6 +78,7 @@ class FaultLabConfig:
             update_interval=self.update_interval,
             checkpoint_interval=self.checkpoint_interval,
             key_renewal_enabled=self.key_renewal_enabled,
+            intro_batch_size=self.intro_batch_size,
             tracing=True,
         )
 

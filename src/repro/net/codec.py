@@ -30,19 +30,25 @@ from typing import Any, Callable, Dict, List, Tuple, Type
 from repro.cache import FrameCache
 from repro.core.confidentiality import Sensitive
 from repro.core.messages import (
+    BatchProposal,
     BatchRecord,
+    BatchShare,
+    CertifiedResponse,
     CheckpointMsg,
     ClientResponse,
     ClientUpdate,
     EncryptedUpdate,
     IntroShare,
     KeyProposal,
+    ResponseBatchShare,
     ResponseShare,
     ResumePoint,
+    SignedUpdateBatch,
     StateXferResponse,
     StateXferSolicit,
     XferRequest,
 )
+from repro.crypto.merkle import MerkleProof
 from repro.crypto.threshold import PartialSignature, ShareProof
 from repro.errors import ProtocolError
 from repro.prime.messages import (
@@ -839,6 +845,163 @@ def _decode_xfer_response(data, offset):
 
 
 _register(30, StateXferResponse)((_encode_xfer_response, _decode_xfer_response))
+
+
+# -- BatchLab messages ---------------------------------------------------------
+
+
+def _write_proof(out: bytearray, proof: MerkleProof) -> None:
+    write_varint(out, proof.leaf_index)
+    write_varint(out, len(proof.path))
+    for sibling, sibling_is_right in proof.path:
+        write_bytes(out, sibling)
+        out.append(1 if sibling_is_right else 0)
+
+
+def _read_proof(data: bytes, offset: int) -> Tuple[MerkleProof, int]:
+    leaf_index, offset = read_varint(data, offset)
+    count, offset = read_varint(data, offset)
+    path = []
+    for _ in range(count):
+        sibling, offset = read_bytes(data, offset)
+        sibling_is_right = bool(data[offset])
+        offset += 1
+        path.append((sibling, sibling_is_right))
+    return MerkleProof(leaf_index=leaf_index, path=tuple(path)), offset
+
+
+def _encode_batch_proposal(out, m: BatchProposal):
+    write_str(out, m.proposer)
+    write_varint(out, m.batch_no)
+    write_varint(out, len(m.items))
+    for item in m.items:
+        write_bytes(out, encode_message_cached(item))
+
+
+def _decode_batch_proposal(data, offset):
+    proposer, offset = read_str(data, offset)
+    batch_no, offset = read_varint(data, offset)
+    count, offset = read_varint(data, offset)
+    items = []
+    for _ in range(count):
+        nested, offset = read_bytes(data, offset)
+        item, _ = decode_message(nested)
+        items.append(item)
+    return (
+        BatchProposal(proposer=proposer, batch_no=batch_no, items=tuple(items)),
+        offset,
+    )
+
+
+_register(31, BatchProposal)((_encode_batch_proposal, _decode_batch_proposal))
+
+
+def _encode_batch_share(out, m: BatchShare):
+    write_str(out, m.proposer)
+    write_varint(out, m.batch_no)
+    write_bytes(out, m.root)
+    write_varint(out, m.count)
+    _write_partial(out, m.partial)
+
+
+def _decode_batch_share(data, offset):
+    proposer, offset = read_str(data, offset)
+    batch_no, offset = read_varint(data, offset)
+    root, offset = read_bytes(data, offset)
+    count, offset = read_varint(data, offset)
+    partial, offset = _read_partial(data, offset)
+    return (
+        BatchShare(
+            proposer=proposer, batch_no=batch_no, root=root, count=count, partial=partial
+        ),
+        offset,
+    )
+
+
+_register(32, BatchShare)((_encode_batch_share, _decode_batch_share))
+
+
+def _encode_signed_batch(out, m: SignedUpdateBatch):
+    write_bytes(out, m.root)
+    write_varint(out, len(m.items))
+    for item in m.items:
+        write_bytes(out, encode_message_cached(item))
+    write_bytes(out, m.threshold_sig)
+
+
+def _decode_signed_batch(data, offset):
+    root, offset = read_bytes(data, offset)
+    count, offset = read_varint(data, offset)
+    items = []
+    for _ in range(count):
+        nested, offset = read_bytes(data, offset)
+        item, _ = decode_message(nested)
+        items.append(item)
+    threshold_sig, offset = read_bytes(data, offset)
+    return (
+        SignedUpdateBatch(root=root, items=tuple(items), threshold_sig=threshold_sig),
+        offset,
+    )
+
+
+_register(33, SignedUpdateBatch)((_encode_signed_batch, _decode_signed_batch))
+
+
+def _encode_response_batch_share(out, m: ResponseBatchShare):
+    write_bytes(out, m.root)
+    write_varint(out, m.count)
+    _write_partial(out, m.partial)
+
+
+def _decode_response_batch_share(data, offset):
+    root, offset = read_bytes(data, offset)
+    count, offset = read_varint(data, offset)
+    partial, offset = _read_partial(data, offset)
+    return ResponseBatchShare(root=root, count=count, partial=partial), offset
+
+
+_register(34, ResponseBatchShare)(
+    (_encode_response_batch_share, _decode_response_batch_share)
+)
+
+
+def _encode_certified_response(out, m: CertifiedResponse):
+    write_str(out, m.client_id)
+    write_varint(out, m.client_seq)
+    write_str(out, m.body.label)
+    write_bytes(out, m.body.data)
+    write_bytes(out, m.batch_root)
+    write_varint(out, m.batch_count)
+    write_bytes(out, m.batch_sig)
+    _write_proof(out, m.proof)
+
+
+def _decode_certified_response(data, offset):
+    client_id, offset = read_str(data, offset)
+    client_seq, offset = read_varint(data, offset)
+    label, offset = read_str(data, offset)
+    body, offset = read_bytes(data, offset)
+    batch_root, offset = read_bytes(data, offset)
+    batch_count, offset = read_varint(data, offset)
+    batch_sig, offset = read_bytes(data, offset)
+    proof, offset = _read_proof(data, offset)
+    return (
+        CertifiedResponse(
+            client_id=client_id,
+            client_seq=client_seq,
+            body=Sensitive(body, label=label),
+            batch_root=batch_root,
+            batch_count=batch_count,
+            batch_sig=batch_sig,
+            proof=proof,
+        ),
+        offset,
+    )
+
+
+_register(35, CertifiedResponse)(
+    (_encode_certified_response, _decode_certified_response)
+)
 
 
 def registered_types() -> List[Type]:

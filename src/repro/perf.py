@@ -137,10 +137,14 @@ def bench_sim(
     interval: float,
     optimized: bool,
     seed: int = 7,
+    batch_size: int = 1,
+    batch_window: float = 0.02,
+    crypto_workers: int = 0,
 ) -> Dict:
     """One deterministic deployment run with every hot-path cache on or
     off together. Wall-clock figures are real; latency percentiles are
     simulated time and must not depend on ``optimized``."""
+    from repro.core.intro import seed_batch_jitter
     from repro.crypto import symmetric, threshold
     from repro.net import codec
     from repro.system import SystemConfig, build
@@ -149,6 +153,7 @@ def bench_sim(
     prev_fdh = threshold.set_hash_cache_enabled(optimized)
     prev_share = threshold.set_share_verify_cache_enabled(optimized)
     prev_cipher = symmetric.set_cipher_cache_enabled(optimized)
+    deployment = None
     try:
         config = SystemConfig(
             seed=seed,
@@ -157,7 +162,14 @@ def bench_sim(
             tracing=False,
             frame_cache_enabled=optimized,
             verify_cache_enabled=optimized,
+            intro_batch_size=batch_size,
+            intro_batch_window=batch_window,
+            crypto_workers=crypto_workers,
         )
+        # Reseed the batch-window jitter stream per arm (the builder also
+        # seeds it, but an explicit reseed here pins the draw sequence even
+        # when several benchmarks share one process).
+        seed_batch_jitter(seed)
         deployment = build(config)
         deployment.start()
         duration = updates_per_client * interval
@@ -178,6 +190,8 @@ def bench_sim(
         return {
             "optimized": optimized,
             "clients": clients,
+            "batch_size": batch_size,
+            "crypto_workers": crypto_workers,
             "updates_completed": completed,
             "wall_seconds": round(wall, 3),
             "updates_per_wall_s": round(completed / wall, 2) if wall > 0 else 0.0,
@@ -190,6 +204,8 @@ def bench_sim(
             "fingerprint": fingerprint,
         }
     finally:
+        if deployment is not None:
+            deployment.shutdown()
         codec.set_payload_cache_enabled(prev_codec)
         threshold.set_hash_cache_enabled(prev_fdh)
         threshold.set_share_verify_cache_enabled(prev_share)
@@ -218,6 +234,58 @@ def bench_sim_scenario(
         "baseline": baseline,
         "optimized": optimized,
         "speedup": round(opt_rate / base_rate, 3) if base_rate else 0.0,
+    }
+
+
+def bench_batch_scenario(
+    clients: int,
+    updates_per_client: int,
+    interval: float,
+    batch_size: int,
+    batch_window: float = 0.02,
+    crypto_workers: int = 0,
+    seed: int = 7,
+) -> Dict:
+    """Singleton intro path vs batched intro path for one workload shape.
+
+    Both arms run with every cache on, so the ratio isolates what batching
+    buys on top of PR 5's caches. Unlike :func:`bench_sim_scenario` the
+    arms are *not* fingerprint-compared — batching legitimately reorders
+    simulated completions — but both must make real progress.
+    """
+    singleton = bench_sim(
+        clients, updates_per_client, interval, optimized=True, seed=seed, batch_size=1
+    )
+    batched = bench_sim(
+        clients,
+        updates_per_client,
+        interval,
+        optimized=True,
+        seed=seed,
+        batch_size=batch_size,
+        batch_window=batch_window,
+        crypto_workers=crypto_workers,
+    )
+    if not singleton["updates_completed"] or not batched["updates_completed"]:
+        raise AssertionError(
+            "batch benchmark arm made no progress: "
+            f"singleton={singleton['updates_completed']} "
+            f"batched={batched['updates_completed']}"
+        )
+    base_rate = singleton["updates_per_wall_s"]
+    batch_rate = batched["updates_per_wall_s"]
+    return {
+        "kind": "batch",
+        "clients": clients,
+        "updates_per_client": updates_per_client,
+        "interval_s": interval,
+        "batch_size": batch_size,
+        "batch_window_s": batch_window,
+        "crypto_workers": crypto_workers,
+        "seed": seed,
+        "baseline": singleton,
+        "optimized": batched,
+        "speedup": round(batch_rate / base_rate, 3) if base_rate else 0.0,
     }
 
 
@@ -278,8 +346,22 @@ def bench_live(
 QUICK_SIM_SCENARIOS = [(10, 10, 0.2)]
 FULL_SIM_SCENARIOS = [(10, 20, 0.2), (40, 8, 1.0)]
 
+#: (clients, updates_per_client, interval, batch_size, batch_window) per
+#: suite flavor. Batch scenarios deliberately use *high* offered load
+#: (short intervals): the singleton intro path saturates there, which is
+#: exactly the regime batching exists for. The window is sized so one
+#: flush swallows a whole client burst. The 40-client entry is the
+#: ROADMAP headline.
+QUICK_BATCH_SCENARIOS = [(10, 8, 0.05, 8, 0.05)]
+FULL_BATCH_SCENARIOS = [(10, 20, 0.05, 8, 0.05), (40, 8, 0.1, 16, 0.1)]
 
-def run_suite(quick: bool = False, live: bool = False, live_out: str = "perf-live") -> Dict:
+
+def run_suite(
+    quick: bool = False,
+    live: bool = False,
+    live_out: str = "perf-live",
+    batch: bool = True,
+) -> Dict:
     """Run the benchmark families and return the result document."""
     scenarios = QUICK_SIM_SCENARIOS if quick else FULL_SIM_SCENARIOS
     result: Dict[str, Any] = {
@@ -290,9 +372,20 @@ def run_suite(quick: bool = False, live: bool = False, live_out: str = "perf-liv
             for clients, updates, interval in scenarios
         ],
     }
+    if batch:
+        batch_scenarios = QUICK_BATCH_SCENARIOS if quick else FULL_BATCH_SCENARIOS
+        result["sim"].extend(
+            bench_batch_scenario(clients, updates, interval, batch_size, window)
+            for clients, updates, interval, batch_size, window in batch_scenarios
+        )
     if live:
         result["live"] = bench_live(out_dir=live_out)
     return result
+
+
+#: Minimum batched-over-singleton throughput ratio the regression guard
+#: will accept for "batch"-kind sim entries (the BatchLab acceptance bar).
+BATCH_SPEEDUP_FLOOR = 5.0
 
 
 def compare_results(
@@ -312,21 +405,36 @@ def compare_results(
             f"(baseline {base_encode:.2f}x, tolerance {tolerance:.0%})"
         )
 
-    base_sims = {entry["clients"]: entry for entry in baseline.get("sim", [])}
+    # Sim entries come in two kinds — "cache" (caches off vs on, the
+    # pre-batching scenarios carry no kind field) and "batch" (singleton
+    # vs batched intro) — compared only against the same kind.
+    base_sims = {
+        (entry.get("kind", "cache"), entry["clients"]): entry
+        for entry in baseline.get("sim", [])
+    }
     for entry in current.get("sim", []):
+        kind = entry.get("kind", "cache")
         clients = entry["clients"]
-        base_entry = base_sims.get(clients)
+        base_entry = base_sims.get((kind, clients))
         if base_entry is None:
             continue
         cur_speed = entry.get("speedup", 0.0)
         base_speed = base_entry.get("speedup", 0.0)
-        # The sim arms include full deployments, so allow the noise
-        # tolerance below 1.0 but never below parity minus tolerance.
-        floor = min(max(1.0 - tolerance, 0.5), base_speed * (1 - tolerance))
+        if kind == "batch":
+            # Batched-vs-singleton ratios explode when the singleton arm
+            # saturates (the baseline barely progresses), so tracking the
+            # baseline ratio directly would be brittle. Enforce the
+            # BatchLab acceptance bar instead: batching must keep a >= 5x
+            # advantage, or stay within tolerance of a sub-5x baseline.
+            floor = min(base_speed * (1 - tolerance), BATCH_SPEEDUP_FLOOR)
+        else:
+            # The sim arms include full deployments, so allow the noise
+            # tolerance below 1.0 but never below parity minus tolerance.
+            floor = min(max(1.0 - tolerance, 0.5), base_speed * (1 - tolerance))
         if cur_speed < floor:
             failures.append(
-                f"sim speedup at {clients} clients regressed: {cur_speed:.2f}x "
-                f"< floor {floor:.2f}x (baseline {base_speed:.2f}x)"
+                f"{kind} sim speedup at {clients} clients regressed: "
+                f"{cur_speed:.2f}x < floor {floor:.2f}x (baseline {base_speed:.2f}x)"
             )
     return failures
 

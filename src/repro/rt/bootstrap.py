@@ -245,6 +245,14 @@ class RtConfig:
     store_fsync: str = "batch"
     store_segment_bytes: int = 1 << 20
 
+    # BatchLab: introduction batching and the crypto worker pool. Batch
+    # size 1 keeps the singleton path; crypto_workers > 0 gives each
+    # replica process a pool of that many worker processes for threshold
+    # sign/combine.
+    intro_batch_size: int = 1
+    intro_batch_window: float = 0.02
+    crypto_workers: int = 0
+
     def system_config(self) -> SystemConfig:
         """The :class:`SystemConfig` every node derives material from.
 
@@ -262,6 +270,9 @@ class RtConfig:
             pp_interval=self.pp_interval,
             vc_timeout=self.vc_timeout,
             failover_delay=self.failover_delay,
+            intro_batch_size=self.intro_batch_size,
+            intro_batch_window=self.intro_batch_window,
+            crypto_workers=self.crypto_workers,
             costs=FREE,
             tracing=True,
             metrics_enabled=True,

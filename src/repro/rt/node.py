@@ -80,6 +80,18 @@ class NodeContext:
             hit_counter=self.metrics.counter("crypto.verify_cache_hit"),
             miss_counter=self.metrics.counter("crypto.verify_cache_miss"),
         )
+        # Crypto worker pool (BatchLab): replica processes offload
+        # threshold sign/combine to worker processes; clients never need
+        # one. Shut down with the node in :meth:`stop`.
+        self.crypto_pool = None
+        if role == "replica" and config.crypto_workers > 0:
+            from repro.crypto.pool import CryptoPool
+
+            self.crypto_pool = CryptoPool(workers=config.crypto_workers)
+        if config.intro_batch_size > 1:
+            from repro.core.intro import seed_batch_jitter
+
+            seed_batch_jitter(config.seed)
         self.control = ControlServer(self.control_port, bind_host=config.bind_host)
         self.shutdown_requested = asyncio.Event()
         self._install_routes()
@@ -138,6 +150,8 @@ class NodeContext:
     async def stop(self) -> None:
         await self.control.close()
         await self.transport.close()
+        if self.crypto_pool is not None:
+            self.crypto_pool.shutdown()
 
     def node_dir(self) -> Path:
         return Path(self.config.out_dir) / "nodes" / self.host
@@ -222,6 +236,9 @@ def _build_env(ctx: NodeContext) -> ReplicaEnv:
         metrics=ctx.metrics,
         store_factory=store_factory,
         verify_cache=ctx.verify_cache,
+        intro_batch_size=cfg.intro_batch_size,
+        intro_batch_window=cfg.intro_batch_window,
+        crypto_pool=ctx.crypto_pool,
     )
 
 

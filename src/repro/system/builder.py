@@ -58,11 +58,17 @@ class Deployment:
     env: ReplicaEnv
     metrics: MetricsRegistry
     spans: Optional[SpanTracker]
+    crypto_pool: Optional[object] = None
 
     def start(self) -> None:
         """Bring every replica online (idempotent per replica start)."""
         for host in sorted(self.replicas):
             self.replicas[host].start()
+
+    def shutdown(self) -> None:
+        """Release external resources (the crypto worker pool, if any)."""
+        if self.crypto_pool is not None:
+            self.crypto_pool.shutdown()
 
     def run(self, until: float) -> float:
         """Advance the simulation to virtual time ``until``."""
@@ -217,6 +223,19 @@ def build(
             miss_counter=metrics.counter("crypto.verify_cache_miss"),
         )
 
+    crypto_pool = None
+    if config.crypto_workers > 0:
+        from repro.crypto.pool import CryptoPool
+
+        crypto_pool = CryptoPool(workers=config.crypto_workers)
+    if config.intro_batch_size > 1:
+        # Seed the proposer window jitter from the deployment seed so
+        # batched runs are reproducible. Singleton runs never draw from
+        # this stream, preserving byte-identity at batch size 1.
+        from repro.core.intro import seed_batch_jitter
+
+        seed_batch_jitter(config.seed)
+
     env = ReplicaEnv(
         kernel=kernel,
         network=network,
@@ -245,6 +264,9 @@ def build(
         metrics=metrics,
         store_factory=store_factory,
         verify_cache=verify_cache,
+        intro_batch_size=config.intro_batch_size,
+        intro_batch_window=config.intro_batch_window,
+        crypto_pool=crypto_pool,
     )
 
     replicas: Dict[str, ReplicaBase] = {}
@@ -303,6 +325,7 @@ def build(
         env=env,
         metrics=metrics,
         spans=spans,
+        crypto_pool=crypto_pool,
     )
 
 

@@ -78,6 +78,18 @@ class SystemConfig:
     frame_cache_enabled: bool = True
     verify_cache_enabled: bool = True
 
+    # Batched introduction (BatchLab). Size 1 is the singleton path and
+    # stays trace-byte-identical to pre-batching builds; sizes > 1
+    # aggregate up to that many updates per proposer window under one
+    # threshold signature over a Merkle root.
+    intro_batch_size: int = 1
+    intro_batch_window: float = 0.02
+
+    # Crypto worker processes (repro.crypto.pool). 0 keeps threshold
+    # sign/combine in-process (the sim default); > 0 builds a CryptoPool
+    # with that many workers — results are bit-identical either way.
+    crypto_workers: int = 0
+
     costs: CostModel = field(default_factory=CostModel)
     tracing: bool = True
     # Observability: when False the deployment wires the null registry and
@@ -95,6 +107,12 @@ class SystemConfig:
             raise ConfigurationError(
                 f"store_fsync must be always/batch/never, got {self.store_fsync!r}"
             )
+        if self.intro_batch_size < 1:
+            raise ConfigurationError("intro_batch_size must be at least 1")
+        if self.intro_batch_window <= 0:
+            raise ConfigurationError("intro_batch_window must be positive")
+        if self.crypto_workers < 0:
+            raise ConfigurationError("crypto_workers must be non-negative")
 
     @property
     def confidential(self) -> bool:

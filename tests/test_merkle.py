@@ -1,0 +1,190 @@
+"""Property suite for the BatchLab Merkle tree (repro.crypto.merkle).
+
+The tree certifies whole update batches under one threshold signature,
+so its guarantees are load-bearing for safety: a root must be a pure
+function of the leaf sequence, every leaf must carry a verifying
+inclusion proof, and no tampered leaf, index, or path may verify.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import (
+    MerkleProof,
+    leaf_hash,
+    merkle_proof,
+    merkle_root,
+    node_hash,
+    verify_inclusion,
+)
+from repro.errors import CryptoError
+
+leaves_strategy = st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=40)
+
+
+# -- root construction -----------------------------------------------------------
+
+
+@given(leaves_strategy)
+@settings(max_examples=100, deadline=None)
+def test_root_stable_under_rebuild(leaves):
+    """Same leaf sequence, same root — across repeated builds and copies."""
+    first = merkle_root(leaves)
+    assert merkle_root(list(leaves)) == first
+    assert merkle_root(tuple(leaves)) == first
+
+
+@given(leaves_strategy)
+@settings(max_examples=100, deadline=None)
+def test_root_changes_when_any_leaf_changes(leaves):
+    root = merkle_root(leaves)
+    for i in range(len(leaves)):
+        tampered = list(leaves)
+        tampered[i] = tampered[i] + b"\x01"
+        assert merkle_root(tampered) != root
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_root_depends_on_leaf_order(leaves):
+    reordered = list(reversed(leaves))
+    if reordered == leaves:
+        return
+    assert merkle_root(reordered) != merkle_root(leaves)
+
+
+def test_single_leaf_root_is_leaf_hash():
+    assert merkle_root([b"only"]) == leaf_hash(b"only")
+
+
+def test_two_leaf_root_is_node_of_leaf_hashes():
+    assert merkle_root([b"a", b"b"]) == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(CryptoError):
+        merkle_root([])
+
+
+def test_domain_separation_between_leaf_and_node():
+    # A leaf equal to a serialized interior node must not produce the
+    # node's digest (second-preimage defence).
+    left, right = leaf_hash(b"l"), leaf_hash(b"r")
+    assert leaf_hash(left + right) != node_hash(left, right)
+
+
+def test_odd_width_not_equivalent_to_duplicated_last_leaf():
+    # Promotion, not duplication: [a, b, c] != [a, b, c, c].
+    assert merkle_root([b"a", b"b", b"c"]) != merkle_root([b"a", b"b", b"c", b"c"])
+
+
+# -- inclusion proofs ------------------------------------------------------------
+
+
+@given(leaves_strategy)
+@settings(max_examples=100, deadline=None)
+def test_inclusion_proof_roundtrip_for_every_leaf(leaves):
+    root = merkle_root(leaves)
+    for index, leaf in enumerate(leaves):
+        proof = merkle_proof(leaves, index)
+        assert proof.leaf_index == index
+        assert verify_inclusion(root, leaf, proof)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 5, 7, 9, 11, 31, 33])
+def test_odd_and_even_widths_prove_every_leaf(width):
+    leaves = [bytes([i]) * 8 for i in range(width)]
+    root = merkle_root(leaves)
+    for index, leaf in enumerate(leaves):
+        assert verify_inclusion(root, leaf, merkle_proof(leaves, index))
+
+
+def test_single_leaf_proof_has_empty_path():
+    proof = merkle_proof([b"solo"], 0)
+    assert proof.path == ()
+    assert verify_inclusion(merkle_root([b"solo"]), b"solo", proof)
+
+
+@given(leaves_strategy, st.data())
+@settings(max_examples=100, deadline=None)
+def test_tampered_leaf_fails_verification(leaves, data):
+    root = merkle_root(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    proof = merkle_proof(leaves, index)
+    assert not verify_inclusion(root, leaves[index] + b"\x00", proof)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=40), st.data())
+@settings(max_examples=100, deadline=None)
+def test_truncated_proof_fails_verification(leaves, data):
+    root = merkle_root(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    proof = merkle_proof(leaves, index)
+    if not proof.path:
+        return
+    truncated = MerkleProof(leaf_index=index, path=proof.path[:-1])
+    assert not verify_inclusion(root, leaves[index], truncated)
+    beheaded = MerkleProof(leaf_index=index, path=proof.path[1:])
+    assert not verify_inclusion(root, leaves[index], beheaded)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=40), st.data())
+@settings(max_examples=100, deadline=None)
+def test_tampered_sibling_fails_verification(leaves, data):
+    root = merkle_root(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    proof = merkle_proof(leaves, index)
+    step = data.draw(st.integers(0, len(proof.path) - 1))
+    sibling, is_right = proof.path[step]
+    flipped = bytes([sibling[0] ^ 0xFF]) + sibling[1:]
+    tampered_path = proof.path[:step] + ((flipped, is_right),) + proof.path[step + 1 :]
+    assert not verify_inclusion(
+        root, leaves[index], MerkleProof(leaf_index=index, path=tampered_path)
+    )
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=2, max_size=40), st.data())
+@settings(max_examples=100, deadline=None)
+def test_flipped_direction_fails_verification(leaves, data):
+    # Swapping left/right at any step moves the leaf to a different slot.
+    if len(set(leaves)) < 2:
+        return
+    root = merkle_root(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    proof = merkle_proof(leaves, index)
+    step = data.draw(st.integers(0, len(proof.path) - 1))
+    sibling, is_right = proof.path[step]
+    flipped_path = proof.path[:step] + ((sibling, not is_right),) + proof.path[step + 1 :]
+    flipped = MerkleProof(leaf_index=index, path=flipped_path)
+    # The flipped proof may only verify if both children are identical.
+    if verify_inclusion(root, leaves[index], flipped):
+        assert sibling == leaf_hash(leaves[index]) or len(set(leaves)) == 1
+
+
+def test_proof_for_wrong_leaf_fails():
+    leaves = [b"a", b"b", b"c", b"d"]
+    root = merkle_root(leaves)
+    proof = merkle_proof(leaves, 1)
+    assert not verify_inclusion(root, b"a", proof)
+
+
+def test_out_of_range_index_rejected():
+    with pytest.raises(CryptoError):
+        merkle_proof([b"a", b"b"], 2)
+    with pytest.raises(CryptoError):
+        merkle_proof([b"a", b"b"], -1)
+
+
+def test_negative_index_never_verifies():
+    leaves = [b"a", b"b"]
+    proof = merkle_proof(leaves, 0)
+    bad = MerkleProof(leaf_index=-1, path=proof.path)
+    assert not verify_inclusion(merkle_root(leaves), b"a", bad)
+
+
+def test_proof_against_wrong_root_fails():
+    leaves = [b"a", b"b", b"c"]
+    other = [b"x", b"y", b"z"]
+    proof = merkle_proof(leaves, 0)
+    assert not verify_inclusion(merkle_root(other), b"a", proof)

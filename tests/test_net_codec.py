@@ -6,19 +6,25 @@ from hypothesis import strategies as st
 
 from repro.core.confidentiality import Sensitive
 from repro.core.messages import (
+    BatchProposal,
     BatchRecord,
+    BatchShare,
+    CertifiedResponse,
     CheckpointMsg,
     ClientResponse,
     ClientUpdate,
     EncryptedUpdate,
     IntroShare,
     KeyProposal,
+    ResponseBatchShare,
     ResponseShare,
     ResumePoint,
+    SignedUpdateBatch,
     StateXferResponse,
     StateXferSolicit,
     XferRequest,
 )
+from repro.crypto.merkle import MerkleProof
 from repro.crypto.threshold import PartialSignature
 from repro.errors import ProtocolError
 from repro.net.codec import (
@@ -125,6 +131,30 @@ CPITM_MESSAGES = [
         part_count=3,
     ),
     StateXferResponse(requester="x", nonce=1, checkpoint=None, batches=(), view=0, responder="y"),
+    # BatchLab introduction-batching messages.
+    BatchProposal(proposer="cc-a-r0", batch_no=3, items=(SAMPLE_ENCRYPTED, EncryptedUpdate(alias="ef01" * 4, client_seq=2, ciphertext=b"\x0e" * 48))),
+    BatchProposal(proposer="cc-b-r1", batch_no=1, items=(SAMPLE_ENCRYPTED,)),
+    BatchShare(proposer="cc-a-r0", batch_no=3, root=b"\x0f" * 32, count=2, partial=PartialSignature(signer=2, value=2 ** 300 + 7)),
+    SignedUpdateBatch(root=b"\x10" * 32, items=(SAMPLE_ENCRYPTED,), threshold_sig=b"\x11" * 48),
+    ResponseBatchShare(root=b"\x12" * 32, count=4, partial=PartialSignature(signer=0, value=2 ** 350 + 123)),
+    CertifiedResponse(
+        client_id="client-03",
+        client_seq=4,
+        body=Sensitive(b"OK", label="client-response"),
+        batch_root=b"\x13" * 32,
+        batch_count=4,
+        batch_sig=b"\x14" * 48,
+        proof=MerkleProof(leaf_index=2, path=((b"\x15" * 32, True), (b"\x16" * 32, False))),
+    ),
+    CertifiedResponse(
+        client_id="client-07",
+        client_seq=1,
+        body=Sensitive(b"VALUE 9", label="client-response"),
+        batch_root=b"\x17" * 32,
+        batch_count=1,
+        batch_sig=b"\x18" * 48,
+        proof=MerkleProof(leaf_index=0, path=()),
+    ),
 ]
 
 

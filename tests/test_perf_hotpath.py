@@ -113,7 +113,10 @@ def test_opaque_update_carries_preencoded_payload():
 WIRE_SIZE_RATIO_BANDS = {
     "BatchFetch": (17.6, 36.0),
     "BatchFetchReply": (7.5, 7.5),
+    "BatchProposal": (1.4, 1.6),
     "BatchRecord": (1.7, 1.7),
+    "BatchShare": (3.7, 3.7),
+    "CertifiedResponse": (1.3, 1.5),
     "CheckpointMsg": (1.4, 2.9),
     "ClientResponse": (1.7, 1.7),
     "ClientUpdate": (1.5, 1.5),
@@ -130,7 +133,9 @@ WIRE_SIZE_RATIO_BANDS = {
     "PoRequest": (1.75, 1.75),
     "PrePrepare": (10.4, 10.4),
     "Prepare": (3.3, 3.3),
+    "ResponseBatchShare": (3.7, 3.7),
     "ResponseShare": (3.4, 3.4),
+    "SignedUpdateBatch": (1.4, 1.5),
     "StateXferResponse": (2.1, 8.7),
     "StateXferSolicit": (7.3, 7.3),
     "Suspect": (36.0, 36.0),
