@@ -12,10 +12,21 @@ Checks, per artifact:
 * ``trace.json``    — Chrome ``trace_event`` JSON: complete ("X") events
   with numeric ts/dur, and every phase slice nested inside its update
   slice's bounds.
+* ``telemetry.jsonl`` / ``health.jsonl`` / ``merge_report.json`` — live
+  (WatchLab) artifacts, validated only when present so sim bundles stay
+  acceptable: telemetry rows are snapshot/health rows, health rows carry
+  the structured-event schema, and the merge report accounts for every
+  absorbed (torn) line.
 
-Exit code 0 when the bundle is well-formed; 1 with a per-file error list
-otherwise. Used by CI (see .github/workflows/ci.yml) and by the export
-tests.
+Stream mode — ``check_obs_export.py --stream [FILE|-]`` — validates the
+JSONL that ``repro obs tail`` prints: every line must be a JSON object
+with a ``node`` annotation and a known ``kind`` (snapshot, health,
+trace, span) carrying that kind's required keys. Used by the
+``obs-live-smoke`` CI job.
+
+Exit code 0 when the bundle/stream is well-formed; 1 with a per-file
+error list otherwise. Used by CI (see .github/workflows/ci.yml) and by
+the export tests.
 """
 
 from __future__ import annotations
@@ -37,6 +48,15 @@ REQUIRED_JSONL_KEYS = {
     "histogram": {"name", "labels", "count", "sum", "p50", "p99", "p99_9"},
     "span": {"alias", "client", "client_seq", "start", "status", "marks", "phases"},
     "trace": {"time", "category", "host", "detail"},
+    "snapshot": {"time", "counters", "gauges", "histograms", "window"},
+    "health": {"time", "event", "host", "severity", "detail"},
+}
+
+HEALTH_SEVERITIES = {"info", "warning", "critical"}
+
+#: Top-level keys ``repro rt merge`` writes into merge_report.json.
+REQUIRED_REPORT_KEYS = {
+    "nodes", "trace_events", "health_events", "absorbed_total", "absorbed_lines",
 }
 
 #: Counter-name prefixes that prove each pipeline layer is instrumented.
@@ -94,7 +114,26 @@ def check_prometheus(path: Path, errors: list) -> None:
             errors.append(f"{path.name}: required counter {counter} absent")
 
 
-def check_jsonl(path: Path, errors: list, kinds: set) -> None:
+def check_row(row, where: str, errors: list, kinds: set) -> bool:
+    """Validate one JSONL row against its kind's schema; True when clean."""
+    if not isinstance(row, dict):
+        errors.append(f"{where}: row is not an object")
+        return False
+    kind = row.get("kind")
+    if kind not in kinds:
+        errors.append(f"{where}: unexpected kind {kind!r}")
+        return False
+    missing = REQUIRED_JSONL_KEYS[kind] - row.keys()
+    if missing:
+        errors.append(f"{where}: {kind} row missing {sorted(missing)}")
+        return False
+    if kind == "health" and row["severity"] not in HEALTH_SEVERITIES:
+        errors.append(f"{where}: health severity {row['severity']!r} unknown")
+        return False
+    return True
+
+
+def check_jsonl(path: Path, errors: list, kinds: set, allow_empty: bool = False) -> None:
     seen = 0
     for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         try:
@@ -102,17 +141,9 @@ def check_jsonl(path: Path, errors: list, kinds: set) -> None:
         except json.JSONDecodeError as exc:
             errors.append(f"{path.name}:{line_no}: invalid JSON ({exc})")
             continue
-        kind = row.get("kind")
-        if kind not in kinds:
-            errors.append(f"{path.name}:{line_no}: unexpected kind {kind!r}")
-            continue
-        missing = REQUIRED_JSONL_KEYS[kind] - row.keys()
-        if missing:
-            errors.append(
-                f"{path.name}:{line_no}: {kind} row missing {sorted(missing)}"
-            )
-        seen += 1
-    if seen == 0:
+        if check_row(row, f"{path.name}:{line_no}", errors, kinds):
+            seen += 1
+    if seen == 0 and not allow_empty:
         errors.append(f"{path.name}: no rows")
 
 
@@ -162,6 +193,31 @@ def check_chrome_trace(path: Path, errors: list) -> None:
             )
 
 
+def check_merge_report(path: Path, errors: list) -> None:
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        errors.append(f"{path.name}: invalid JSON ({exc})")
+        return
+    missing = REQUIRED_REPORT_KEYS - report.keys()
+    if missing:
+        errors.append(f"{path.name}: missing keys {sorted(missing)}")
+        return
+    for key in ("nodes", "trace_events", "health_events", "absorbed_total"):
+        value = report[key]
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"{path.name}: {key} is not a non-negative int")
+    absorbed = report["absorbed_lines"]
+    if not isinstance(absorbed, dict):
+        errors.append(f"{path.name}: absorbed_lines is not an object")
+        return
+    if sum(absorbed.values()) != report["absorbed_total"]:
+        errors.append(
+            f"{path.name}: absorbed_total={report['absorbed_total']} does not "
+            f"match per-file tally {sum(absorbed.values())}"
+        )
+
+
 def check_bundle(bundle_dir: str) -> list:
     root = Path(bundle_dir)
     errors: list = []
@@ -180,12 +236,70 @@ def check_bundle(bundle_dir: str) -> list:
             errors.append(f"{name}: missing")
             continue
         checker(path)
+    # Live (WatchLab) artifacts: written by ``rt merge`` but not by the
+    # sim exporter, so they are validated only when present.
+    live = {
+        "telemetry.jsonl": lambda p: check_jsonl(
+            p, errors, {"snapshot", "health"}, allow_empty=True
+        ),
+        "health.jsonl": lambda p: check_jsonl(
+            p, errors, {"health"}, allow_empty=True
+        ),
+        "merge_report.json": lambda p: check_merge_report(p, errors),
+    }
+    for name, checker in live.items():
+        path = root / name
+        if path.is_file():
+            checker(path)
     return errors
 
 
+STREAM_KINDS = {"snapshot", "health", "trace", "span"}
+
+
+def check_stream(lines, errors: list) -> dict:
+    """Validate ``repro obs tail`` output: node-annotated telemetry rows."""
+    tally = {kind: 0 for kind in STREAM_KINDS}
+    for line_no, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"stream:{line_no}: invalid JSON ({exc})")
+            continue
+        if not check_row(row, f"stream:{line_no}", errors, STREAM_KINDS):
+            continue
+        if "node" not in row:
+            errors.append(f"stream:{line_no}: row lacks its node annotation")
+            continue
+        tally[row["kind"]] += 1
+    if sum(tally.values()) == 0:
+        errors.append("stream: no telemetry rows at all")
+    elif tally["snapshot"] == 0:
+        errors.append("stream: no snapshot rows — fleet never reported metrics")
+    return tally
+
+
 def main(argv) -> int:
+    if len(argv) >= 2 and argv[1] == "--stream":
+        source = argv[2] if len(argv) > 2 else "-"
+        if source == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            lines = Path(source).read_text(encoding="utf-8").splitlines()
+        errors: list = []
+        tally = check_stream(lines, errors)
+        if errors:
+            for error in errors:
+                print(f"FAIL {error}")
+            return 1
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(tally.items()) if v)
+        print(f"OK stream: telemetry rows are well-formed ({counts})")
+        return 0
     if len(argv) != 2:
-        print(f"usage: {argv[0]} BUNDLE_DIR", file=sys.stderr)
+        print(f"usage: {argv[0]} BUNDLE_DIR | --stream [FILE|-]", file=sys.stderr)
         return 2
     errors = check_bundle(argv[1])
     if errors:

@@ -61,7 +61,8 @@ def make_parser() -> argparse.ArgumentParser:
     sub.add_parser("table1", help="print Table I (replica distributions)")
 
     obs = sub.add_parser(
-        "obs", help="run a deployment and export the observability bundle"
+        "obs", help="run a deployment and export the observability bundle; "
+                    "'obs top'/'obs tail' attach to a live fleet"
     )
     obs.add_argument("--mode", choices=[m.value for m in Mode], default="confidential")
     obs.add_argument("--f", dest="f", type=int, default=1)
@@ -71,8 +72,38 @@ def make_parser() -> argparse.ArgumentParser:
     obs.add_argument("--seed", type=int, default=1)
     obs.add_argument("--interval", type=float, default=1.0)
     obs.add_argument("--attack", choices=ATTACKS, default="none")
-    obs.add_argument("--out", required=True, metavar="DIR",
-                     help="directory for metrics.prom / *.jsonl / trace.json")
+    obs.add_argument("--out", metavar="DIR",
+                     help="directory for metrics.prom / *.jsonl / trace.json "
+                          "(required unless using 'obs top' / 'obs tail')")
+    obs_sub = obs.add_subparsers(dest="obs_command")
+
+    obs_top = obs_sub.add_parser(
+        "top", help="live per-node telemetry table for a running rt fleet"
+    )
+    obs_top.add_argument("--spec", required=True, metavar="PATH",
+                         help="deployment spec.json written by 'rt run'")
+    obs_top.add_argument("--interval", type=float, default=1.0,
+                         help="refresh period in seconds")
+    obs_top.add_argument("--duration", type=float, default=0.0,
+                         help="exit after this many seconds (0 = until the "
+                              "fleet goes away or Ctrl-C)")
+    obs_top.add_argument("--once", action="store_true",
+                         help="print one snapshot and exit")
+
+    obs_tail = obs_sub.add_parser(
+        "tail", help="stream a live fleet's telemetry rows as JSONL "
+                     "(spans, snapshots, health events, milestones)"
+    )
+    obs_tail.add_argument("--spec", required=True, metavar="PATH",
+                          help="deployment spec.json written by 'rt run'")
+    obs_tail.add_argument("--duration", type=float, default=0.0,
+                          help="exit after this many seconds (0 = until the "
+                               "fleet goes away or Ctrl-C)")
+    obs_tail.add_argument("--wait", type=float, default=1.0,
+                          help="server-side long-poll hold per request")
+    obs_tail.add_argument("--kinds", default="",
+                          help="comma-separated row kinds to emit "
+                               "(trace,span,snapshot,health; default all)")
 
     scenario = sub.add_parser("scenario", help="run a declarative scenario file")
     scenario.add_argument("path", help="JSON scenario (see repro.system.scenario)")
@@ -115,6 +146,15 @@ def make_parser() -> argparse.ArgumentParser:
     rt_run.add_argument("--crypto-workers", type=int, default=0,
                         help="crypto worker processes per replica "
                              "(0 = in-process signing)")
+    rt_run.add_argument("--no-trace-wire", dest="trace_wire",
+                        action="store_false",
+                        help="disable wire-level trace context propagation")
+    rt_run.add_argument("--telemetry-interval", type=float, default=1.0,
+                        help="seconds between telemetry snapshots "
+                             "(0 = disable the watch loop)")
+    rt_run.add_argument("--no-detectors", dest="detectors",
+                        action="store_false",
+                        help="disable online anomaly detectors")
 
     rt_node = rt_sub.add_parser(
         "node", help="run one node process (spawned by the launcher)"
@@ -167,6 +207,9 @@ def make_parser() -> argparse.ArgumentParser:
     faultlab.add_argument("--obs-out", metavar="DIR",
                           help="write an observability bundle per seed "
                                "(DIR/seed-N/)")
+    faultlab.add_argument("--detect", action="store_true",
+                          help="run the online anomaly detectors and score "
+                               "fault -> detection coverage per seed")
 
     perf = sub.add_parser(
         "perf", help="hot-path benchmarks and the speedup regression guard"
@@ -366,6 +409,9 @@ def _cmd_rt(args: argparse.Namespace) -> int:
         intro_batch_size=args.batch_size,
         intro_batch_window=args.batch_window,
         crypto_workers=args.crypto_workers,
+        trace_wire=args.trace_wire,
+        telemetry_interval=args.telemetry_interval,
+        detectors=args.detectors,
     )
     summary = run_deployment(config, timeout=args.timeout)
     total = summary["updates_submitted"]
@@ -397,6 +443,7 @@ def _cmd_faultlab(args: argparse.Namespace) -> int:
         f=args.f,
         key_renewal_enabled=args.key_renewal,
         intro_batch_size=args.batch_size,
+        detectors=args.detect,
     )
     if args.substrate == "live":
         return _cmd_faultlab_live(args, lab)
@@ -419,6 +466,9 @@ def _cmd_faultlab(args: argparse.Namespace) -> int:
         if args.windows:
             for window in result.metric_windows:
                 print("   ", window.describe())
+        if args.detect:
+            for match in result.detections:
+                print("   ", match.describe())
         if args.obs_out:
             from repro.obs import write_bundle
 
@@ -506,6 +556,18 @@ def _cmd_faultlab_live(args: argparse.Namespace, lab) -> int:
           f"{summary['updates_completed']}/{summary['updates_submitted']} "
           f"updates completed through {len(schedule.events)} fault events "
           f"in {summary['workload_seconds']:.1f}s")
+    detections = summary.get("detections") or []
+    if detections:
+        hit = sum(1 for d in detections if d["detected"])
+        print(f"detection: {hit}/{len(detections)} faults surfaced as "
+              "health events")
+        for row in detections:
+            if row["detected"]:
+                print(f"    {row['fault']}@{row['target']} -> "
+                      f"{row['event']} on {row['host']} "
+                      f"after {row['latency']:.2f}s")
+            else:
+                print(f"    {row['fault']}@{row['target']} -> MISSED")
     print(f"merged bundle: {summary['merged_bundle']['metrics.prom']}")
     return 0 if summary["ok"] else 1
 
@@ -585,6 +647,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    obs_command = getattr(args, "obs_command", None)
+    if obs_command == "top":
+        return _cmd_obs_top(args)
+    if obs_command == "tail":
+        return _cmd_obs_tail(args)
+    if not args.out:
+        print("repro obs: --out is required (or use 'obs top' / 'obs tail' "
+              "to attach to a live fleet)", file=sys.stderr)
+        return 2
+
     from repro.obs import write_bundle
 
     config = SystemConfig(
@@ -608,6 +680,117 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     for name in sorted(paths):
         print(f"  wrote {paths[name]}")
     return 0
+
+
+#: How long ``obs top`` / ``obs tail`` wait for first contact with the
+#: fleet before concluding it never came up. The live launcher holds the
+#: control plane down for ~2s of warmup, so the grace must cover a slow
+#: CI boot, not just the happy path.
+_STARTUP_GRACE = 30.0
+
+
+def _fleet_aggregator(spec_path: str):
+    from repro.obs.watch import FleetAggregator
+    from repro.rt.bootstrap import RtConfig
+
+    with open(spec_path, "r", encoding="utf-8") as fh:
+        config = RtConfig.from_json(fh.read())
+    return FleetAggregator.for_config(config)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Live fleet table: poll every node's /telemetry + /clock and render."""
+    import asyncio
+    import time as _time
+
+    agg = _fleet_aggregator(args.spec)
+
+    async def run() -> int:
+        start = _time.time()
+        deadline = start + args.duration if args.duration > 0 else None
+        seen_fleet = False
+        dark_polls = 0
+        while True:
+            await agg.poll_once()
+            await agg.probe_clocks()
+            print(agg.render_top(), flush=True)
+            if args.once:
+                return 0
+            if len(agg.unreachable) == len(agg.nodes):
+                # Whole fleet dark: before first contact that just means
+                # the nodes are still warming up, so keep retrying within
+                # the startup grace; after first contact it means the
+                # fleet shut down.
+                dark_polls += 1
+                if seen_fleet and dark_polls >= 3:
+                    print("obs top: fleet unreachable, exiting",
+                          file=sys.stderr)
+                    return 0
+                if not seen_fleet and _time.time() - start > _STARTUP_GRACE:
+                    print("obs top: fleet never came up, exiting",
+                          file=sys.stderr)
+                    return 1
+            else:
+                seen_fleet = True
+                dark_polls = 0
+            if deadline is not None and _time.time() >= deadline:
+                return 0
+            print(flush=True)
+            await asyncio.sleep(args.interval)
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Stream the fleet's telemetry rows (JSONL on stdout) as they happen."""
+    import asyncio
+    import json as _json
+    import time as _time
+
+    agg = _fleet_aggregator(args.spec)
+    kinds = {k.strip() for k in args.kinds.split(",") if k.strip()} or None
+
+    async def run() -> int:
+        start = _time.time()
+        deadline = start + args.duration if args.duration > 0 else None
+        seen_fleet = False
+        dark_polls = 0
+        while True:
+            rows = await agg.poll_once(wait=args.wait)
+            for row in rows:
+                if kinds is not None and row.get("kind") not in kinds:
+                    continue
+                print(_json.dumps(row, sort_keys=True), flush=True)
+            if len(agg.unreachable) == len(agg.nodes):
+                # Dark before first contact = warming up (keep retrying
+                # within the grace); dark after = the fleet shut down.
+                dark_polls += 1
+                if seen_fleet and dark_polls >= 3:
+                    break
+                if not seen_fleet and _time.time() - start > _STARTUP_GRACE:
+                    print("obs tail: fleet never came up", file=sys.stderr)
+                    return 1
+                await asyncio.sleep(0.5)
+            else:
+                seen_fleet = True
+                dark_polls = 0
+            if deadline is not None and _time.time() >= deadline:
+                break
+        report = agg.stitch_report()
+        print(f"obs tail: {len(agg.new_rows)} rows, "
+              f"{report['completed']} spans stitched, "
+              f"completeness {report['completeness'] * 100:.1f}%, "
+              f"{len(agg.health)} health events",
+              file=sys.stderr)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _install_attack(deployment, attack: str, duration: float) -> None:

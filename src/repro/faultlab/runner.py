@@ -68,6 +68,12 @@ class FaultLabConfig:
     #: response pipelines under the same fault schedules.
     intro_batch_size: int = 1
 
+    #: WatchLab: attach the online anomaly-detector suite to the run and
+    #: score every injected fault against the health events it raises
+    #: (fault→detection latency lands in ``faultlab.detection_latency``).
+    #: Off by default: the bare sweep is the trace-identity baseline.
+    detectors: bool = False
+
     def system_config(self, seed: int) -> SystemConfig:
         return SystemConfig(
             mode=self.mode,
@@ -115,17 +121,29 @@ class FaultLabResult:
     deployment: object = field(default=None, repr=False)
     adversary: object = field(default=None, repr=False)
     metric_windows: Tuple[MetricWindow, ...] = ()
+    #: WatchLab (lab.detectors): the health events the online detector
+    #: suite raised during the run, and each injected fault scored
+    #: against them (with fault→detection latency).
+    health_events: Tuple = ()
+    detections: Tuple = ()
 
     @property
     def ok(self) -> bool:
         return self.report.ok
 
+    @property
+    def detected_faults(self) -> int:
+        return sum(1 for match in self.detections if match.detected)
+
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
-        return (
+        line = (
             f"{status} seed={self.schedule.seed} events={len(self.schedule)} "
             f"t_end={self.end_time:.1f} :: {self.report.summary().splitlines()[0]}"
         )
+        if self.detections:
+            line += f" :: detected {self.detected_faults}/{len(self.detections)} faults"
+        return line
 
 
 def schedule_for_seed(seed: int, lab: Optional[FaultLabConfig] = None) -> FaultSchedule:
@@ -145,8 +163,17 @@ def run_schedule(
     schedule: FaultSchedule,
     lab: Optional[FaultLabConfig] = None,
     keep_deployment: bool = False,
+    detector_config=None,
 ) -> FaultLabResult:
-    """Replay ``schedule`` against a fresh deployment and check invariants."""
+    """Replay ``schedule`` against a fresh deployment and check invariants.
+
+    With ``lab.detectors`` (or an explicit ``detector_config``, a
+    :class:`~repro.obs.watch.detectors.DetectorConfig`), the online
+    anomaly-detector suite rides along on the deployment's tracer and the
+    result carries its health events plus a per-fault detection verdict.
+    The suite only *reads* the tracer, so detector runs replay the exact
+    same traces as bare ones.
+    """
     lab = lab or FaultLabConfig()
     validate_schedule(schedule)
 
@@ -175,6 +202,16 @@ def run_schedule(
     windows = _install_metric_windows(schedule, deployment)
     _install_events(schedule, deployment, adversary)
 
+    suite = None
+    if lab.detectors or detector_config is not None:
+        from repro.obs.watch.detectors import DetectorSuite
+
+        suite = DetectorSuite(
+            now_fn=lambda: deployment.kernel.now, config=detector_config
+        ).attach(deployment.tracer)
+        suite.watch_hosts(deployment.replicas.keys())
+        suite.restrict_exposure(deployment.data_center_hosts)
+
     try:
         deployment.start()
         end_time = quiesce_at + lab.quiescence
@@ -185,6 +222,21 @@ def run_schedule(
         deployment.run(until=end_time)
 
         report = checker.finish()
+        health_events: Tuple = ()
+        detections: Tuple = ()
+        if suite is not None:
+            from repro.obs.watch.detectors import match_detections
+
+            suite.poll(end_time)
+            health_events = tuple(suite.drain())
+            detections = tuple(
+                match_detections(schedule.events, health_events)
+            )
+            latency_hist = deployment.metrics.histogram("faultlab.detection_latency")
+            for match in detections:
+                if match.latency is not None:
+                    latency_hist.observe(match.latency)
+            suite.detach()
         return FaultLabResult(
             schedule=schedule,
             report=report,
@@ -193,6 +245,8 @@ def run_schedule(
             deployment=deployment if keep_deployment else None,
             adversary=adversary if keep_deployment else None,
             metric_windows=tuple(_finalize_metric_windows(windows, deployment)),
+            health_events=health_events,
+            detections=detections,
         )
     finally:
         if needs_store:

@@ -35,11 +35,46 @@ def _prom_name(name: str) -> str:
     return _NAME_RE.sub("_", name)
 
 
+def _prom_escape(value) -> str:
+    """Label-value escaping per the exposition format: backslash, double
+    quote, and newline must be escaped or the line is unparseable."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{_prom_name(k)}="{v}"' for k, v in labels)
+    inner = ",".join(f'{_prom_name(k)}="{_prom_escape(v)}"' for k, v in labels)
     return "{" + inner + "}"
+
+
+#: HELP text for the well-known instrument families; anything else gets a
+#: generic line so every exposed metric still carries a HELP entry.
+_PROM_HELP = {
+    "proxy": "client proxy: submissions, completions, retransmits, latency",
+    "prime": "Prime ordering protocol: proposals, views, batches",
+    "intro": "introduction layer: injected updates, shares, failovers",
+    "replica": "replica execution pipeline",
+    "response": "threshold-signed client responses",
+    "checkpoint": "checkpoint generation and garbage collection",
+    "store": "durable update log (append, recovery, corruption)",
+    "net": "transport: frames sent/received/dropped, frame cache",
+    "crypto": "threshold crypto and signature verification cache",
+    "kernel": "event kernel progress",
+    "watch": "live telemetry: per-site link delay, watch loop",
+    "audit": "confidentiality auditor",
+    "faultlab": "fault injection and detection",
+}
+
+
+def _prom_help(name: str) -> str:
+    family = name.split(".", 1)[0].split("_", 1)[0]
+    return _PROM_HELP.get(family, "repro instrument")
 
 
 def _json_safe(value):
@@ -62,23 +97,24 @@ def prometheus_text(metrics: MetricsRegistry, at_time: float = 0.0) -> str:
     lines: List[str] = [f"# repro metrics snapshot at virtual t={at_time:g}s"]
     seen_types: Dict[str, str] = {}
 
-    def header(name: str, kind: str) -> None:
+    def header(name: str, kind: str, source_name: str) -> None:
         if seen_types.get(name) != kind:
             seen_types[name] = kind
+            lines.append(f"# HELP {name} {_prom_help(source_name)}")
             lines.append(f"# TYPE {name} {kind}")
 
     for counter in metrics.counters():
         name = _prom_name(counter.name) + "_total"
-        header(name, "counter")
+        header(name, "counter", counter.name)
         lines.append(f"{name}{_prom_labels(counter.labels)} {counter.value:g}")
     for gauge in metrics.gauges():
         name = _prom_name(gauge.name)
-        header(name, "gauge")
+        header(name, "gauge", gauge.name)
         lines.append(f"{name}{_prom_labels(gauge.labels)} {gauge.value:g}")
     for histogram in metrics.histograms():
         name = _prom_name(histogram.name)
         stats = histogram.stats()
-        header(name, "summary")
+        header(name, "summary", histogram.name)
         labels = list(histogram.labels)
         for q, value in (("0.5", stats.p50), ("0.99", stats.p99), ("0.999", stats.p99_9)):
             q_labels = _prom_labels(labels + [("quantile", q)])
@@ -166,11 +202,19 @@ def spans_jsonl_rows(spans: Iterable[Span]) -> Iterator[Dict]:
 # -- Chrome trace_event --------------------------------------------------------------
 
 
-def chrome_trace(spans: Iterable[Span]) -> Dict:
+def chrome_trace(spans: Iterable[Span], hosts: Dict[str, Dict] = None) -> Dict:
     """Chrome ``trace_event`` JSON: one lane (tid) per client, one outer
-    slice per update with the phases nested inside it."""
+    slice per update with the phases nested inside it.
+
+    With ``hosts`` (host -> {"role", "site"}, as the merged bundle learns
+    from each node's ``metrics_raw.json``), every deployment process gets
+    its own pid with ``process_name``/``process_labels`` metadata, and
+    each client's lane lands inside its proxy's process — the viewer then
+    groups lanes by replica/site instead of one flat pseudo-process.
+    """
     events: List[Dict] = []
-    tids: Dict[str, int] = {}
+    tids: Dict[object, int] = {}
+    pids: Dict[str, int] = {}
     events.append(
         {
             "ph": "M",
@@ -180,14 +224,41 @@ def chrome_trace(spans: Iterable[Span]) -> Dict:
             "args": {"name": "repro pipeline"},
         }
     )
-    for span in spans:
-        tid = tids.get(span.client)
-        if tid is None:
-            tid = tids[span.client] = len(tids) + 1
+    if hosts:
+        for host in sorted(hosts):
+            info = hosts[host] or {}
+            pid = pids[host] = len(pids) + 2
+            role = info.get("role", "replica")
+            site = info.get("site", "")
+            label = f"{host} [{role}@{site}]" if site else f"{host} [{role}]"
             events.append(
                 {
                     "ph": "M",
-                    "pid": 1,
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": label},
+                }
+            )
+            if site:
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": 0,
+                        "name": "process_labels",
+                        "args": {"labels": site},
+                    }
+                )
+    for span in spans:
+        pid = pids.get(f"proxy-{span.client}", 1)
+        tid = tids.get((pid, span.client))
+        if tid is None:
+            tid = tids[(pid, span.client)] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
                     "tid": tid,
                     "name": "thread_name",
                     "args": {"name": span.client},
@@ -199,7 +270,7 @@ def chrome_trace(spans: Iterable[Span]) -> Dict:
         events.append(
             {
                 "ph": "X",
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "name": f"update {span.client_seq}",
                 "cat": "update",
@@ -220,7 +291,7 @@ def chrome_trace(spans: Iterable[Span]) -> Dict:
             events.append(
                 {
                     "ph": "X",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": tid,
                     "name": phase,
                     "cat": "phase",

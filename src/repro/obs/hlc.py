@@ -1,0 +1,96 @@
+"""Hybrid logical clock: causally consistent timestamps across processes.
+
+Live RtLab nodes share a wall-clock epoch, but each OS process still reads
+its own system clock — NTP drift, VM steal time, or a deliberately skewed
+container can pull the per-node ``now`` values apart. A hybrid logical
+clock (Kulkarni et al., "Logical Physical Clocks") repairs causality:
+every timestamp is a ``(physical, logical)`` pair where ``physical`` never
+runs behind any timestamp the node has *seen*, and ``logical`` breaks ties
+among events sharing one physical reading.
+
+Two uses in WatchLab:
+
+- every v2 wire frame carries the sender's HLC sample
+  (:class:`~repro.rt.wire.TraceContext`), so a receiver can (a) merge it
+  — guaranteeing its own subsequent timestamps sort after the send — and
+  (b) measure the apparent one-way delay ``local_now - remote_physical``,
+  which feeds the per-site latency matrix in ``repro obs top``;
+- the control plane's ``/clock`` endpoint exposes the node's HLC so an
+  external observer (the fleet aggregator) can estimate per-node clock
+  skew with an NTP-style RTT-compensated probe
+  (:func:`estimate_offset`).
+
+The sim substrate never constructs an HLC — a single deterministic kernel
+clock already totally orders every event — which is how simulation traces
+stay byte-identical with tracing enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class HlcTimestamp:
+    """One hybrid-logical-clock reading; orders by (physical, logical)."""
+
+    physical: float
+    logical: int = 0
+
+    def as_tuple(self) -> Tuple[float, int]:
+        return (self.physical, self.logical)
+
+
+class HybridLogicalClock:
+    """Per-process HLC over an arbitrary ``now_fn`` (wall seconds)."""
+
+    __slots__ = ("_now", "_last")
+
+    def __init__(self, now_fn: Callable[[], float]):
+        self._now = now_fn
+        self._last = HlcTimestamp(0.0, 0)
+
+    @property
+    def last(self) -> HlcTimestamp:
+        """Most recent timestamp issued or merged (no side effects)."""
+        return self._last
+
+    def tick(self) -> HlcTimestamp:
+        """Timestamp a local or send event."""
+        physical = self._now()
+        if physical > self._last.physical:
+            self._last = HlcTimestamp(physical, 0)
+        else:
+            self._last = HlcTimestamp(self._last.physical, self._last.logical + 1)
+        return self._last
+
+    def merge(self, remote: HlcTimestamp) -> HlcTimestamp:
+        """Absorb a received timestamp; the result is after both clocks."""
+        physical = self._now()
+        if physical > self._last.physical and physical > remote.physical:
+            self._last = HlcTimestamp(physical, 0)
+        elif self._last.physical > remote.physical:
+            self._last = HlcTimestamp(self._last.physical, self._last.logical + 1)
+        elif remote.physical > self._last.physical:
+            self._last = HlcTimestamp(remote.physical, remote.logical + 1)
+        else:
+            self._last = HlcTimestamp(
+                self._last.physical, max(self._last.logical, remote.logical) + 1
+            )
+        return self._last
+
+
+def estimate_offset(
+    t_request: float, t_remote: float, t_response: float
+) -> Tuple[float, float]:
+    """NTP-style (offset, uncertainty) from one control-plane clock probe.
+
+    ``t_request``/``t_response`` are the observer's clock when the probe
+    left and returned; ``t_remote`` is the probed node's reported ``now``.
+    The offset estimate assumes symmetric paths; the uncertainty is half
+    the round trip, the worst-case asymmetry error.
+    """
+    rtt = max(0.0, t_response - t_request)
+    midpoint = t_request + rtt / 2.0
+    return (t_remote - midpoint, rtt / 2.0)

@@ -119,12 +119,22 @@ class Histogram:
         self.samples.append((self._now(), value))
 
     def stats(
-        self, since: float = 0.0, until: Optional[float] = None
+        self, since: Optional[float] = None, until: Optional[float] = None
     ) -> HistogramStats:
+        """Aggregate over the half-open window ``[since, until)``.
+
+        ``None`` bounds are unbounded, and that is the default on *both*
+        ends: live-substrate clocks are epoch-relative and run negative
+        during warmup, so a ``since=0.0`` default would silently drop
+        pre-epoch samples from whole-run stats. Half-openness means
+        adjacent windows ``[a, b)``/``[b, c)`` partition the samples — a
+        sample stamped exactly at a rotation instant lands in the later
+        window, and in exactly one window.
+        """
         values = sorted(
             v
             for t, v in self.samples
-            if t >= since and (until is None or t < until)
+            if (since is None or t >= since) and (until is None or t < until)
         )
         if not values:
             return EMPTY_HISTOGRAM_STATS
@@ -218,7 +228,7 @@ class _NullInstrument:
         pass
 
     def stats(
-        self, since: float = 0.0, until: Optional[float] = None
+        self, since: Optional[float] = None, until: Optional[float] = None
     ) -> HistogramStats:
         return EMPTY_HISTOGRAM_STATS
 

@@ -1,0 +1,56 @@
+"""WatchLab: the *live* observability plane.
+
+ObsLab (PR 2) made the system measurable after the fact; WatchLab makes
+it watchable while it runs and lets it *detect* the fault classes
+FaultLab knows how to inject:
+
+- :mod:`repro.obs.watch.events` — structured :class:`HealthEvent` records
+  and their JSONL schema;
+- :mod:`repro.obs.watch.ring` — the bounded, cursor-addressed telemetry
+  ring every node serves over ``GET /telemetry``;
+- :mod:`repro.obs.watch.telemetry` — periodic metric snapshots (counter
+  values, gauge readings, windowed phase percentiles);
+- :mod:`repro.obs.watch.detectors` — online rule-based anomaly detectors
+  (view-change storm, batch share storm, silent replica, liveness stall,
+  checkpoint lag, store corruption burst, exposure, retransmit storm)
+  plus the fault-kind → expected-detection mapping FaultLab asserts;
+- :mod:`repro.obs.watch.node` — the per-node watch loop gluing ring,
+  snapshots, and detectors to a tracer + scheduler;
+- :mod:`repro.obs.watch.aggregator` — the fleet-side consumer behind
+  ``repro obs top`` / ``repro obs tail``.
+
+Everything here is substrate-agnostic: the same detectors run inside the
+deterministic simulation (FaultLab attaches them to the kernel) and
+inside every live RtLab process (the node's watch loop polls them).
+"""
+
+from repro.obs.watch.events import HealthEvent, health_jsonl_row
+from repro.obs.watch.ring import TelemetryRing
+from repro.obs.watch.telemetry import metrics_snapshot
+from repro.obs.watch.detectors import (
+    DetectorConfig,
+    DetectorSuite,
+    DetectionMatch,
+    EXPECTED_DETECTIONS,
+    REQUIRED_DETECTION_KINDS,
+    match_detections,
+)
+from repro.obs.watch.node import NodeWatch, WATCHED_CATEGORIES
+from repro.obs.watch.aggregator import FleetAggregator, NodeEndpoint
+
+__all__ = [
+    "DetectionMatch",
+    "DetectorConfig",
+    "DetectorSuite",
+    "EXPECTED_DETECTIONS",
+    "FleetAggregator",
+    "HealthEvent",
+    "NodeEndpoint",
+    "NodeWatch",
+    "REQUIRED_DETECTION_KINDS",
+    "TelemetryRing",
+    "WATCHED_CATEGORIES",
+    "health_jsonl_row",
+    "match_detections",
+    "metrics_snapshot",
+]

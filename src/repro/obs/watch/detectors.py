@@ -1,0 +1,469 @@
+"""Online rule-based anomaly detectors over the trace/telemetry stream.
+
+A :class:`DetectorSuite` watches the same :class:`~repro.sim.trace.Tracer`
+stream the span tracker does and raises structured
+:class:`~repro.obs.watch.events.HealthEvent` records when the fleet looks
+unhealthy. The rules are deliberately simple — sliding-window counts and
+staleness timers, no models — so every firing is explainable from its
+``detail`` dict and reproducible under the deterministic simulation.
+
+Detector catalog (kind → rule):
+
+=================== =====================================================
+view-change-storm    ≥ ``view_storm_views`` distinct Prime views adopted
+                     within ``window`` seconds (leader churn).
+batch-share-storm    ≥ ``share_storm_count`` introduction failovers plus
+                     unexpected-share receipts within ``window`` (a
+                     proposer flapping or a replica spraying bad shares).
+silent-replica       a previously seen replica not heard from for
+                     ``silence_timeout`` seconds while the rest of the
+                     fleet stays active — or an explicit ``replica.down``.
+liveness-stall       the oldest submitted-but-unfinished update is older
+                     than ``stall_timeout`` seconds.
+checkpoint-lag       a replica's stable-checkpoint ordinal trails the
+                     fleet maximum by ≥ ``checkpoint_lag`` checkpoints.
+store-corruption     ≥ ``store_burst`` CRC/torn-tail detections
+                     (``store.corrupted`` / ``store.truncated``) within
+                     ``window``.
+exposure             a confidentiality exposure recorded by the auditor
+                     (``audit.exposure``) on a host declared off-limits
+                     via ``restrict_exposure`` — always critical, no
+                     window. On-premises replicas legitimately observe
+                     plaintext, so exposure is only anomalous for the
+                     declared (data-center) hosts.
+retransmit-storm     ≥ ``retransmit_storm_count`` proxy retransmissions
+                     within ``window``.
+=================== =====================================================
+
+Each (kind, host) pair is an **episode**: the first firing raises an
+event, further firings are suppressed until the condition clears or
+``cooldown`` elapses, so a five-second stall yields one event, not one
+per poll.
+
+FaultLab closes the loop: :data:`EXPECTED_DETECTIONS` maps every
+injectable fault kind to the detector kinds that legitimately flag it,
+and :func:`match_detections` scores a run — did each injected fault get
+detected, and how long after injection (fault→detection latency).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.obs.watch.events import HealthEvent
+from repro.sim.trace import TraceEvent, Tracer
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Thresholds for every rule; see the module catalog for meanings."""
+
+    window: float = 5.0
+    cooldown: float = 10.0
+    #: How often event-driven auto-polling re-evaluates the timer rules.
+    auto_poll_interval: float = 0.25
+
+    view_storm_views: int = 3
+    share_storm_count: int = 6
+    silence_timeout: float = 4.0
+    stall_timeout: float = 6.0
+    checkpoint_lag: int = 3
+    store_burst: int = 1
+    retransmit_storm_count: int = 10
+
+
+class DetectorSuite:
+    """All detectors over one trace stream; raise into ``self.events``."""
+
+    def __init__(
+        self,
+        now_fn=None,
+        config: Optional[DetectorConfig] = None,
+    ):
+        self._now = now_fn or (lambda: 0.0)
+        self.config = config or DetectorConfig()
+        self.events: List[HealthEvent] = []
+        self._drained = 0
+
+        self._views: Deque[Tuple[float, int]] = deque()
+        self._share_failures: Deque[float] = deque()
+        self._retransmits: Deque[float] = deque()
+        self._store_hits: Deque[float] = deque()
+        self._last_seen: Dict[str, float] = {}
+        self._watched: Set[str] = set()
+        self._exposure_hosts: Set[str] = set()
+        self._down: Set[str] = set()
+        self._proxy_alias: Dict[str, str] = {}
+        self._outstanding: Dict[Tuple[str, int], float] = {}
+        self._ckpt: Dict[str, int] = {}
+        self._active: Dict[Tuple[str, str], bool] = {}
+        self._last_raised: Dict[Tuple[str, str], float] = {}
+        self._last_event_time = 0.0
+        self._next_auto_poll = 0.0
+        self._tracer: Optional[Tracer] = None
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "DetectorSuite":
+        tracer.subscribe(self.on_event)
+        self._tracer = tracer
+        return self
+
+    def detach(self) -> None:
+        if self._tracer is not None:
+            self._tracer.unsubscribe(self.on_event)
+            self._tracer = None
+
+    def watch_hosts(self, hosts: Sequence[str]) -> "DetectorSuite":
+        """Declare the replica hosts whose silence matters."""
+        self._watched.update(hosts)
+        return self
+
+    def restrict_exposure(self, hosts: Sequence[str]) -> "DetectorSuite":
+        """Declare the hosts for which plaintext exposure is a violation.
+
+        Confidential Spire's on-prem replicas see plaintext by design;
+        only the data-center (cloud) hosts must never. Without this call
+        no exposure events are raised at all.
+        """
+        self._exposure_hosts.update(hosts)
+        return self
+
+    def note_host(self, host: str, now: float) -> None:
+        """External liveness evidence (e.g. a transport-level delivery)."""
+        self._watched.add(host)
+        self._mark_alive(host, now)
+
+    def drain(self) -> List[HealthEvent]:
+        """Events raised since the previous drain (streaming consumers)."""
+        new = self.events[self._drained :]
+        self._drained = len(self.events)
+        return new
+
+    # -- event intake -------------------------------------------------------------
+
+    def on_event(self, event: TraceEvent) -> None:
+        t = event.time
+        if t > self._last_event_time:
+            self._last_event_time = t
+        category = event.category
+        if event.host and category != "replica.down":
+            self._mark_alive(event.host, t)
+
+        if category == "prime.view":
+            self._views.append((t, event.detail.get("view", 0)))
+            self._check_view_storm(t)
+        elif category == "intro.failover" or category.startswith("replica.unexpected"):
+            self._share_failures.append(t)
+            self._check_share_storm(t)
+        elif category == "proxy.retransmit":
+            self._retransmits.append(t)
+            self._check_retransmit_storm(t)
+        elif category == "proxy.submit":
+            detail = event.detail
+            self._proxy_alias[event.host] = detail["alias"]
+            self._outstanding[(detail["alias"], detail["seq"])] = t
+        elif category in ("proxy.complete", "proxy.gave-up"):
+            alias = self._proxy_alias.get(event.host)
+            if alias is not None:
+                self._outstanding.pop((alias, event.detail["seq"]), None)
+        elif category == "checkpoint.stable":
+            ordinal = int(event.detail.get("ordinal", 0))
+            if ordinal > self._ckpt.get(event.host, -1):
+                self._ckpt[event.host] = ordinal
+        elif category in ("store.corrupted", "store.truncated"):
+            self._store_hits.append(t)
+            self._check_store_burst(t, event.host, category)
+        elif category == "audit.exposure":
+            if event.host in self._exposure_hosts:
+                self._raise(
+                    t, "exposure", event.host, "critical",
+                    label=event.detail.get("label"),
+                    channel=event.detail.get("channel"),
+                )
+        elif category == "replica.down":
+            self._watched.add(event.host)
+            self._down.add(event.host)
+            self._raise(
+                t, "silent-replica", event.host, "critical", reason="down"
+            )
+
+        if t >= self._next_auto_poll:
+            self._next_auto_poll = t + self.config.auto_poll_interval
+            self._poll_timers(t)
+
+    def poll(self, now: Optional[float] = None) -> List[HealthEvent]:
+        """Evaluate the timer rules; returns events newly raised by this call."""
+        if now is None:
+            now = max(self._now(), self._last_event_time)
+        before = len(self.events)
+        self._poll_timers(now)
+        return self.events[before:]
+
+    # -- episode bookkeeping ------------------------------------------------------
+
+    def _raise(self, t: float, kind: str, host: str, severity: str, **detail) -> None:
+        key = (kind, host)
+        if self._active.get(key):
+            last = self._last_raised.get(key, float("-inf"))
+            if t - last < self.config.cooldown:
+                return
+        self._active[key] = True
+        self._last_raised[key] = t
+        self.events.append(
+            HealthEvent(time=t, kind=kind, host=host, severity=severity, detail=detail)
+        )
+
+    def _clear(self, kind: str, host: str) -> None:
+        self._active[(kind, host)] = False
+
+    def _mark_alive(self, host: str, now: float) -> None:
+        self._last_seen[host] = max(self._last_seen.get(host, 0.0), now)
+        if host in self._down:
+            self._down.discard(host)
+            self._clear("silent-replica", host)
+
+    # -- windowed storms ----------------------------------------------------------
+
+    @staticmethod
+    def _trim(samples: Deque, horizon: float) -> None:
+        while samples and (
+            samples[0][0] if isinstance(samples[0], tuple) else samples[0]
+        ) < horizon:
+            samples.popleft()
+
+    def _check_view_storm(self, now: float) -> None:
+        self._trim(self._views, now - self.config.window)
+        distinct = {view for _t, view in self._views}
+        if len(distinct) >= self.config.view_storm_views:
+            self._raise(
+                now, "view-change-storm", "fleet", "warning",
+                views=sorted(distinct), window=self.config.window,
+            )
+        else:
+            self._clear("view-change-storm", "fleet")
+
+    def _check_share_storm(self, now: float) -> None:
+        self._trim(self._share_failures, now - self.config.window)
+        count = len(self._share_failures)
+        if count >= self.config.share_storm_count:
+            self._raise(
+                now, "batch-share-storm", "fleet", "warning",
+                failures=count, window=self.config.window,
+            )
+        else:
+            self._clear("batch-share-storm", "fleet")
+
+    def _check_retransmit_storm(self, now: float) -> None:
+        self._trim(self._retransmits, now - self.config.window)
+        count = len(self._retransmits)
+        if count >= self.config.retransmit_storm_count:
+            self._raise(
+                now, "retransmit-storm", "fleet", "warning",
+                retransmits=count, window=self.config.window,
+            )
+        else:
+            self._clear("retransmit-storm", "fleet")
+
+    def _check_store_burst(self, now: float, host: str, category: str) -> None:
+        self._trim(self._store_hits, now - self.config.window)
+        if len(self._store_hits) >= self.config.store_burst:
+            self._raise(
+                now, "store-corruption", host, "critical",
+                detections=len(self._store_hits), last=category,
+            )
+
+    # -- timer rules --------------------------------------------------------------
+
+    def _poll_timers(self, now: float) -> None:
+        self._check_view_storm(now)
+        self._check_share_storm(now)
+        self._check_retransmit_storm(now)
+        self._check_silence(now)
+        self._check_stall(now)
+        self._check_checkpoint_lag(now)
+
+    def _check_silence(self, now: float) -> None:
+        # "While the rest of the fleet stays active": someone must have
+        # been heard from *within* the silence window, otherwise the
+        # whole system is idle (workload drained, shutdown imminent) and
+        # nobody is anomalously silent.
+        fleet_active = now - self._last_event_time <= self.config.silence_timeout
+        for host in sorted(self._watched):
+            if host in self._down:
+                continue  # episode already raised by replica.down
+            last = self._last_seen.get(host)
+            if last is None:
+                continue  # never heard from it; nothing to miss yet
+            silent_for = now - last
+            if (silent_for > self.config.silence_timeout and fleet_active
+                    and self._last_event_time > last):
+                self._raise(
+                    now, "silent-replica", host, "critical",
+                    silent_for=round(silent_for, 3), reason="silence",
+                )
+            elif silent_for <= self.config.silence_timeout:
+                self._clear("silent-replica", host)
+
+    def _check_stall(self, now: float) -> None:
+        if not self._outstanding:
+            self._clear("liveness-stall", "fleet")
+            return
+        oldest = min(self._outstanding.values())
+        age = now - oldest
+        if age > self.config.stall_timeout:
+            self._raise(
+                now, "liveness-stall", "fleet", "critical",
+                oldest_age=round(age, 3), outstanding=len(self._outstanding),
+            )
+        else:
+            self._clear("liveness-stall", "fleet")
+
+    def _check_checkpoint_lag(self, now: float) -> None:
+        if len(self._ckpt) < 2:
+            return
+        fleet_max = max(self._ckpt.values())
+        for host, ordinal in sorted(self._ckpt.items()):
+            lag = fleet_max - ordinal
+            if lag >= self.config.checkpoint_lag:
+                self._raise(
+                    now, "checkpoint-lag", host, "warning",
+                    ordinal=ordinal, fleet=fleet_max, lag=lag,
+                )
+            else:
+                self._clear("checkpoint-lag", host)
+
+
+# -- fault → detection matching ------------------------------------------------------
+
+#: Which detector kinds legitimately flag each injectable fault kind.
+EXPECTED_DETECTIONS: Dict[str, Tuple[str, ...]] = {
+    "recover": ("silent-replica", "liveness-stall", "view-change-storm"),
+    "isolate": (
+        "silent-replica",
+        "view-change-storm",
+        "liveness-stall",
+        "retransmit-storm",
+        "checkpoint-lag",
+    ),
+    "torn_write": ("store-corruption", "silent-replica"),
+    "corrupt_segment": ("store-corruption", "silent-replica"),
+    "leak": ("exposure",),
+    "compromise": (
+        "batch-share-storm",
+        "view-change-storm",
+        "retransmit-storm",
+        "liveness-stall",
+    ),
+    "degrade": ("retransmit-storm", "liveness-stall", "view-change-storm"),
+    "loss": ("retransmit-storm", "liveness-stall", "view-change-storm"),
+    "skew": (
+        "retransmit-storm",
+        "liveness-stall",
+        "view-change-storm",
+        "batch-share-storm",
+    ),
+}
+
+#: Fault kinds whose detection is hard-asserted (a miss fails the run).
+#: The rest are opportunistic: a quiet compromise or a 2% loss window can
+#: be legitimately sub-threshold.
+REQUIRED_DETECTION_KINDS: Tuple[str, ...] = (
+    "recover",
+    "isolate",
+    "torn_write",
+    "corrupt_segment",
+    "leak",
+)
+
+
+@dataclass(frozen=True)
+class DetectionMatch:
+    """One injected fault scored against the health-event stream."""
+
+    fault_kind: str
+    fault_target: str
+    fault_time: float
+    detected: bool
+    event_kind: Optional[str] = None
+    event_host: Optional[str] = None
+    detection_time: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Fault→detection latency in seconds (None when undetected)."""
+        if self.detection_time is None:
+            return None
+        return self.detection_time - self.fault_time
+
+    def describe(self) -> str:
+        if not self.detected:
+            return f"{self.fault_kind} {self.fault_target} @ {self.fault_time:.2f}: UNDETECTED"
+        return (
+            f"{self.fault_kind} {self.fault_target} @ {self.fault_time:.2f}: "
+            f"{self.event_kind} @ {self.event_host} after {self.latency:.2f}s"
+        )
+
+
+def _fault_window_end(event) -> float:
+    until = getattr(event, "until", None)
+    if until is not None:
+        return float(until)
+    param = getattr(event, "param", None)
+    if param is not None:
+        return float(event.at) + float(param("duration", 3.0))
+    return float(event.at) + 1.0
+
+
+def match_detections(
+    fault_events: Sequence,
+    health_events: Sequence[HealthEvent],
+    grace: float = 8.0,
+    offset: float = 0.0,
+) -> List[DetectionMatch]:
+    """Score every injected fault against the raised health events.
+
+    A fault counts as detected if an expected-kind health event fires
+    inside ``[fault.at, window_end + grace]``. Events naming the fault's
+    target host (or a host inside the target site) are preferred; a
+    fleet-scoped event inside the window matches otherwise.
+
+    ``offset`` is added to every fault time before comparison: the live
+    substrate schedules faults relative to launch completion while nodes
+    stamp events relative to the shared epoch, and the two differ by the
+    launch duration.
+    """
+    ordered = sorted(health_events, key=lambda e: e.time)
+    matches: List[DetectionMatch] = []
+    for fault in fault_events:
+        expected = EXPECTED_DETECTIONS.get(fault.kind, ())
+        fault_at = float(fault.at) + offset
+        deadline = _fault_window_end(fault) + offset + grace
+        target = fault.target or ""
+        candidates = [
+            he
+            for he in ordered
+            if he.kind in expected and fault_at <= he.time <= deadline
+        ]
+        hit = next(
+            (
+                he
+                for he in candidates
+                if target and (he.host == target or he.host.startswith(target))
+            ),
+            None,
+        ) or (candidates[0] if candidates else None)
+        matches.append(
+            DetectionMatch(
+                fault_kind=fault.kind,
+                fault_target=target,
+                fault_time=fault_at,
+                detected=hit is not None,
+                event_kind=hit.kind if hit else None,
+                event_host=hit.host if hit else None,
+                detection_time=hit.time if hit else None,
+            )
+        )
+    return matches

@@ -1,0 +1,61 @@
+"""Structured health events: what a detector says when it fires.
+
+A :class:`HealthEvent` is the unit of WatchLab's output stream — one
+detector firing once, with enough structure for three consumers:
+
+- ``repro obs tail`` prints them live as JSONL;
+- FaultLab matches them against the injected fault schedule and scores
+  fault→detection latency;
+- the merged bundle persists them (``health.jsonl``) next to spans and
+  trace events.
+
+The JSONL row uses ``"kind": "health"`` (the bundle's row-type
+discriminator, like ``"span"`` and ``"trace"``) and carries the detector
+kind under ``"event"`` so the two never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Severity levels, mildest first. Detectors pick from these only.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One detector firing: when, which rule, where, and why."""
+
+    time: float
+    kind: str  # detector identifier, e.g. "view-change-storm"
+    host: str  # the node (or "fleet") the anomaly concerns
+    severity: str = "warning"
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:.2f}] {self.severity.upper()} {self.kind} @ {self.host}: {body}"
+
+
+def health_jsonl_row(event: HealthEvent) -> Dict[str, Any]:
+    """The bundle/stream row for one health event."""
+    return {
+        "kind": "health",
+        "time": event.time,
+        "event": event.kind,
+        "host": event.host,
+        "severity": event.severity,
+        "detail": dict(event.detail),
+    }
+
+
+def health_event_from_row(row: Dict[str, Any]) -> HealthEvent:
+    """Inverse of :func:`health_jsonl_row` (merge and tail consumers)."""
+    return HealthEvent(
+        time=float(row["time"]),
+        kind=str(row["event"]),
+        host=str(row.get("host", "fleet")),
+        severity=str(row.get("severity", "warning")),
+        detail=dict(row.get("detail") or {}),
+    )

@@ -1,0 +1,169 @@
+"""Node-side watch loop: ring + snapshots + detectors on one tracer.
+
+One :class:`NodeWatch` runs inside every live RtLab process (and can run
+inside the simulation — it only needs a tracer, a metrics registry, and
+a ``now_fn``). It glues the WatchLab pieces together:
+
+- subscribes to the tracer: milestone categories are forwarded into the
+  telemetry ring as ``{"kind": "trace"}`` rows (the aggregator stitches
+  cross-node spans from these), and every event feeds the
+  :class:`~repro.obs.watch.detectors.DetectorSuite`;
+- a local :class:`~repro.obs.spans.SpanTracker` turns the node's own
+  milestones into completed ``{"kind": "span"}`` rows (these complete on
+  proxy nodes, where submit and respond both happen);
+- :meth:`tick` — called from the node's periodic timer — appends a
+  metric snapshot, drains newly completed spans and newly raised health
+  events into the ring, and re-evaluates the timer-based detectors.
+
+Everything the ring holds is JSON-ready; ``GET /telemetry`` serves it
+verbatim via :meth:`telemetry_since`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.export import spans_jsonl_rows
+from repro.obs.spans import SpanTracker
+from repro.obs.watch.detectors import DetectorConfig, DetectorSuite
+from repro.obs.watch.events import HealthEvent, health_jsonl_row
+from repro.obs.watch.ring import TelemetryRing
+from repro.obs.watch.telemetry import metrics_snapshot
+from repro.sim.trace import TraceEvent, Tracer
+
+#: Trace categories streamed into the ring for live cross-node stitching.
+#: Everything the span tracker keys on, plus the health-relevant markers.
+WATCHED_CATEGORIES = frozenset(
+    {
+        "proxy.submit",
+        "proxy.complete",
+        "proxy.retransmit",
+        "proxy.gave-up",
+        "intro.injected",
+        "intro.failover",
+        "replica.executed",
+        "response.combined",
+        "prime.view",
+        "checkpoint.stable",
+        "replica.down",
+        "rt.partition",
+        "xfer.initiate",
+        "xfer.complete",
+        "store.corrupted",
+        "store.truncated",
+        "audit.exposure",
+    }
+)
+
+#: Hard cap on rows retained for the shutdown artifact (snapshots +
+#: health only — spans and trace rows are persisted by the existing
+#: artifact paths).
+_ARTIFACT_CAP = 50_000
+
+
+class NodeWatch:
+    """Live telemetry state for one node process."""
+
+    def __init__(
+        self,
+        host: str,
+        role: str,
+        site: str,
+        metrics: MetricsRegistry,
+        now_fn: Callable[[], float],
+        config: Optional[DetectorConfig] = None,
+        ring_capacity: int = 4096,
+        snapshot_window: float = 5.0,
+    ):
+        self.host = host
+        self.role = role
+        self.site = site
+        self.metrics = metrics
+        self._now = now_fn
+        self.snapshot_window = snapshot_window
+        self.ring = TelemetryRing(ring_capacity)
+        self.detectors = DetectorSuite(now_fn=now_fn, config=config)
+        self.spans = SpanTracker()
+        self.health: List[HealthEvent] = []
+        self._artifact_rows: List[Dict[str, Any]] = []
+        self._spans_streamed = 0
+        self._tracer: Optional[Tracer] = None
+
+    # -- wiring -------------------------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "NodeWatch":
+        tracer.subscribe(self.on_trace)
+        self.spans.attach(tracer)
+        self.detectors.attach(tracer)
+        self._tracer = tracer
+        return self
+
+    def detach(self) -> None:
+        if self._tracer is not None:
+            self._tracer.unsubscribe(self.on_trace)
+            self.spans.detach()
+            self.detectors.detach()
+            self._tracer = None
+
+    def on_trace(self, event: TraceEvent) -> None:
+        if event.category in WATCHED_CATEGORIES:
+            self.ring.append(
+                {
+                    "kind": "trace",
+                    "time": event.time,
+                    "category": event.category,
+                    "host": event.host,
+                    "detail": dict(event.detail),
+                }
+            )
+
+    def note_peers(self, peer_seen: Dict[str, float]) -> None:
+        """Transport-level liveness evidence for the silence detector."""
+        for host, seen_at in peer_seen.items():
+            self.detectors.note_host(host, seen_at)
+
+    # -- periodic work ------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One watch-loop iteration: snapshot, drain spans, poll detectors."""
+        now = self._now()
+        snapshot = metrics_snapshot(self.metrics, now, window=self.snapshot_window)
+        self.ring.append(snapshot)
+        self._archive(snapshot)
+
+        closed = self.spans.closed
+        if len(closed) > self._spans_streamed:
+            for row in spans_jsonl_rows(closed[self._spans_streamed :]):
+                self.ring.append(row)
+            self._spans_streamed = len(closed)
+
+        self.detectors.poll(now)
+        for event in self.detectors.drain():
+            self.health.append(event)
+            row = health_jsonl_row(event)
+            self.ring.append(row)
+            self._archive(row)
+
+    def _archive(self, row: Dict[str, Any]) -> None:
+        if len(self._artifact_rows) < _ARTIFACT_CAP:
+            self._artifact_rows.append(row)
+
+    # -- read side ----------------------------------------------------------------
+
+    def telemetry_since(self, cursor: int) -> Dict[str, Any]:
+        """The ``/telemetry`` response body for one consumer poll."""
+        rows, next_cursor, dropped = self.ring.since(cursor)
+        return {
+            "host": self.host,
+            "role": self.role,
+            "site": self.site,
+            "now": self._now(),
+            "next": next_cursor,
+            "dropped": dropped,
+            "entries": rows,
+        }
+
+    def artifact_rows(self) -> Sequence[Dict[str, Any]]:
+        """Snapshot + health rows for the shutdown ``telemetry.jsonl``."""
+        return self._artifact_rows

@@ -1,0 +1,76 @@
+"""Bounded, cursor-addressed telemetry ring.
+
+Every live node buffers its telemetry rows (metric snapshots, completed
+spans, milestone trace rows, health events) in one of these. Consumers
+poll with a **cursor** — the sequence number of the next row they have
+not seen — so any number of independent consumers (the fleet aggregator,
+a second ``obs tail``, a test) can read at their own pace without the
+node tracking them.
+
+Sequence numbers are monotonically increasing for the life of the ring
+and survive eviction: a consumer that falls behind a full ring is told
+exactly how many rows it lost (``dropped``) instead of silently skipping
+them — the same "never drop silently" rule the offline merge enforces
+for torn JSONL tails.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+
+class TelemetryRing:
+    """Fixed-capacity row buffer with monotonic per-row sequence numbers."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        on_append: Optional[Callable[[], None]] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._rows: Deque[Tuple[int, Dict[str, Any]]] = deque()
+        self._next_seq = 0
+        self.evicted = 0
+        #: Called after every append — the live node hooks an asyncio
+        #: Event here so /telemetry long-polls wake without busy-waiting.
+        self.on_append = on_append
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def next_seq(self) -> int:
+        """The cursor a brand-new consumer should start from... minus the
+        backlog: rows [next_seq - len(ring), next_seq) are still readable."""
+        return self._next_seq
+
+    @property
+    def oldest_seq(self) -> int:
+        return self._rows[0][0] if self._rows else self._next_seq
+
+    def append(self, row: Dict[str, Any]) -> int:
+        """Add one row; returns its sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._rows.append((seq, row))
+        if len(self._rows) > self.capacity:
+            self._rows.popleft()
+            self.evicted += 1
+        if self.on_append is not None:
+            self.on_append()
+        return seq
+
+    def since(self, cursor: int) -> Tuple[List[Dict[str, Any]], int, int]:
+        """Rows at sequence >= ``cursor``; returns (rows, next_cursor, dropped).
+
+        ``dropped`` counts rows the consumer asked for that were already
+        evicted — zero for any consumer keeping up with the ring.
+        """
+        if cursor < 0:
+            cursor = 0
+        dropped = max(0, min(self.oldest_seq, self._next_seq) - cursor)
+        rows = [row for seq, row in self._rows if seq >= cursor]
+        return rows, self._next_seq, dropped

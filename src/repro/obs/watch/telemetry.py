@@ -1,0 +1,51 @@
+"""Periodic metric snapshots: the rows ``repro obs top`` diffs.
+
+A snapshot is a flattened, JSON-ready reading of a node's
+:class:`~repro.obs.registry.MetricsRegistry` at one instant: every
+counter and gauge by its ``name{label=value}`` series key, plus windowed
+percentile stats for each histogram over the trailing ``window``
+seconds. The aggregator turns two consecutive snapshots into rates
+(updates/s, view changes/s) without the node doing any rate math —
+counters stay cumulative end to end, exactly like Prometheus scraping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs.registry import MetricsRegistry
+
+
+def series_key(name: str, labels) -> str:
+    """Canonical series key: ``name`` or ``name{k=v,...}`` (sorted labels)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return name + "{" + inner + "}"
+
+
+def metrics_snapshot(
+    metrics: MetricsRegistry, now: float, window: float = 5.0
+) -> Dict[str, Any]:
+    """One ``{"kind": "snapshot"}`` telemetry row for the ring."""
+    histograms: Dict[str, Dict[str, float]] = {}
+    for histogram in metrics.histograms():
+        # No clamp at zero: live clocks are epoch-relative and negative
+        # during warmup, and the trailing window must slide through that.
+        stats = histogram.stats(since=now - window, until=None)
+        histograms[series_key(histogram.name, histogram.labels)] = {
+            "count": stats.count,
+            "mean": stats.mean,
+            "p50": stats.p50,
+            "p99": stats.p99,
+        }
+    return {
+        "kind": "snapshot",
+        "time": now,
+        "window": window,
+        "counters": {
+            series_key(c.name, c.labels): c.value for c in metrics.counters()
+        },
+        "gauges": {series_key(g.name, g.labels): g.value for g in metrics.gauges()},
+        "histograms": histograms,
+    }

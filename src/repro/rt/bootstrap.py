@@ -253,6 +253,16 @@ class RtConfig:
     intro_batch_window: float = 0.02
     crypto_workers: int = 0
 
+    # WatchLab: live telemetry + anomaly detection. ``trace_wire`` stamps
+    # every outbound frame with a v2 trace-context extension (trace id +
+    # sender HLC); ``telemetry_interval`` paces each node's watch tick
+    # (snapshot, span drain, detector poll); ``detectors`` arms the
+    # online anomaly detectors. All default on — frames stay v1 and the
+    # watch loop idle only when explicitly disabled.
+    trace_wire: bool = True
+    telemetry_interval: float = 1.0
+    detectors: bool = True
+
     def system_config(self) -> SystemConfig:
         """The :class:`SystemConfig` every node derives material from.
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 import json
 from typing import Awaitable, Callable, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qsl
 
 #: handler(body_dict) -> (status, content_type, body_text)
 Response = Tuple[int, str, str]
@@ -61,6 +62,10 @@ class ControlServer:
             if len(parts) < 2:
                 return
             method, path = parts[0].upper(), parts[1]
+            # Query strings feed the handler like body fields do (body
+            # wins on a key collision): GET /telemetry?since=42&wait=1.
+            path, _, query = path.partition("?")
+            params: Dict = dict(parse_qsl(query)) if query else {}
             content_length = 0
             while True:
                 line = await reader.readline()
@@ -69,12 +74,12 @@ class ControlServer:
                 name, _, value = line.decode("ascii", "replace").partition(":")
                 if name.strip().lower() == "content-length":
                     content_length = min(int(value.strip() or 0), _MAX_BODY)
-            body: Dict = {}
+            body: Dict = params
             if content_length:
                 raw = await reader.readexactly(content_length)
                 try:
-                    body = json.loads(raw.decode("utf-8"))
-                except (ValueError, UnicodeDecodeError):
+                    body = {**params, **json.loads(raw.decode("utf-8"))}
+                except (ValueError, UnicodeDecodeError, TypeError):
                     await self._respond(writer, 400, "application/json",
                                         '{"error": "bad json body"}')
                     return

@@ -171,7 +171,41 @@ async def _run_live_async(
             "merged_bundle": paths,
         }
     )
+    summary["detections"] = _score_detections(schedule, config, paths, t0)
     return summary
+
+
+def _score_detections(
+    schedule: FaultSchedule, config: RtConfig, paths: Dict[str, str], t0: float
+) -> List[Dict]:
+    """Match the merged health-event stream against the injected faults.
+
+    Fault times are relative to ``t0`` (post-launch) while nodes stamp
+    health events relative to the shared epoch; the difference is the
+    launch duration, passed as the matching offset.
+    """
+    from repro.obs.watch.detectors import match_detections
+    from repro.obs.watch.events import health_event_from_row
+    from repro.rt.merge import load_jsonl_rows
+
+    health_path = paths.get("health.jsonl")
+    if not health_path:
+        return []
+    rows, _absorbed = load_jsonl_rows(Path(health_path))
+    health = [health_event_from_row(row) for row in rows if row.get("kind") == "health"]
+    offset = t0 - config.epoch if config.epoch else 0.0
+    matches = match_detections(schedule.events, health, offset=offset)
+    return [
+        {
+            "fault": match.fault_kind,
+            "target": match.fault_target,
+            "detected": match.detected,
+            "event": match.event_kind,
+            "host": match.event_host,
+            "latency": match.latency,
+        }
+        for match in matches
+    ]
 
 
 def run_schedule_live(

@@ -1,8 +1,9 @@
 """Merge per-node observability artifacts into one deployment bundle.
 
 Each live node persists its slice at shutdown (``nodes/<host>/``): a raw
-instrument dump with full histogram samples, its Prometheus snapshot, and
-its trace events. Because every process stamps events with the *shared*
+instrument dump with full histogram samples, its Prometheus snapshot,
+its trace events, and its telemetry ring archive (metric snapshots +
+health events). Because every process stamps events with the *shared*
 wall-clock epoch, the merge is trivial and exact:
 
 - **counters** with the same (name, labels) sum across nodes;
@@ -14,7 +15,15 @@ wall-clock epoch, the merge is trivial and exact:
   deployment's causal spans are *replayed offline* through the same
   :class:`~repro.obs.spans.SpanTracker` the simulation runs online —
   a proxy's submit on one process and a replica's execute on another
-  land in the same span, exactly as they do in one sim process.
+  land in the same span, exactly as they do in one sim process;
+- **telemetry and health rows** interleave into ``telemetry.jsonl`` and
+  ``health.jsonl``.
+
+A node killed mid-write (FaultLab does this on purpose) leaves a torn
+JSONL tail. The merge **absorbs** such lines — every unparseable or
+schema-less line is counted per file in ``merge_report.json`` — and
+never silently drops or crashes on them: the report is the audit trail
+that says exactly how much of the record was unusable.
 
 The result is the standard bundle layout (``metrics.prom``,
 ``metrics.jsonl``, ``spans.jsonl``, ``trace.jsonl``, ``trace.json``)
@@ -26,7 +35,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List
+from typing import Any, Dict, List, Tuple
 
 from repro.obs.export import (
     chrome_trace,
@@ -41,35 +50,123 @@ from repro.obs.spans import SpanTracker
 from repro.sim.trace import TraceEvent
 
 
-def load_trace_events(node_dirs: List[Path]) -> List[TraceEvent]:
-    """All nodes' trace events, interleaved on the shared timeline."""
+def load_jsonl_rows(path: Path) -> Tuple[List[Dict], int]:
+    """Parse a JSONL file, absorbing damage instead of raising.
+
+    Returns ``(rows, absorbed)`` where ``absorbed`` counts lines that
+    were not valid JSON objects — a torn tail from a killed process, a
+    truncated flush, or garbage. Blank lines are ignored, not counted.
+    """
+    rows: List[Dict] = []
+    absorbed = 0
+    if not path.is_file():
+        return rows, absorbed
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            absorbed += 1
+            continue
+        if not isinstance(row, dict):
+            absorbed += 1
+            continue
+        rows.append(row)
+    return rows, absorbed
+
+
+def load_trace_events(
+    node_dirs: List[Path], report: Dict[str, int] = None
+) -> List[TraceEvent]:
+    """All nodes' trace events, interleaved on the shared timeline.
+
+    Damaged lines are absorbed and tallied into ``report`` (path ->
+    count) rather than aborting the merge: a torn tail must never cost
+    the healthy prefix of the same file.
+    """
     events: List[TraceEvent] = []
     for node_dir in node_dirs:
         path = node_dir / "trace.jsonl"
-        if not path.is_file():
-            continue
-        for line in path.read_text(encoding="utf-8").splitlines():
-            row = json.loads(line)
-            events.append(
-                TraceEvent(
-                    time=row["time"],
-                    category=row["category"],
-                    host=row["host"],
-                    detail=row.get("detail") or {},
+        rows, absorbed = load_jsonl_rows(path)
+        for row in rows:
+            try:
+                events.append(
+                    TraceEvent(
+                        time=row["time"],
+                        category=row["category"],
+                        host=row["host"],
+                        detail=row.get("detail") or {},
+                    )
                 )
-            )
+            except (KeyError, TypeError):
+                absorbed += 1
+        if absorbed and report is not None:
+            report[str(path)] = report.get(str(path), 0) + absorbed
     events.sort(key=lambda e: e.time)
     return events
 
 
-def merge_metrics(node_dirs: List[Path]) -> MetricsRegistry:
+def load_telemetry_rows(
+    node_dirs: List[Path], report: Dict[str, int] = None
+) -> List[Dict]:
+    """All nodes' telemetry archives (snapshots + health), time-sorted.
+
+    Rows gain a ``"node"`` key naming the directory they came from;
+    health rows already carry the emitting ``host``.
+    """
+    merged: List[Dict] = []
+    for node_dir in node_dirs:
+        path = node_dir / "telemetry.jsonl"
+        rows, absorbed = load_jsonl_rows(path)
+        for row in rows:
+            if "kind" not in row or "time" not in row:
+                absorbed += 1
+                continue
+            merged.append({"node": node_dir.name, **row})
+        if absorbed and report is not None:
+            report[str(path)] = report.get(str(path), 0) + absorbed
+    merged.sort(key=lambda r: r["time"])
+    return merged
+
+
+def load_host_info(node_dirs: List[Path]) -> Dict[str, Dict]:
+    """host -> {"role", "site"} from each node's raw instrument dump."""
+    hosts: Dict[str, Dict] = {}
+    for node_dir in node_dirs:
+        path = node_dir / "metrics_raw.json"
+        if not path.is_file():
+            continue
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            continue
+        host = raw.get("host", node_dir.name)
+        hosts[host] = {
+            "role": raw.get("role", "replica"),
+            "site": raw.get("site", ""),
+        }
+    return hosts
+
+
+def merge_metrics(
+    node_dirs: List[Path], report: Dict[str, int] = None
+) -> MetricsRegistry:
     """One registry with every node's instruments folded in."""
     merged = MetricsRegistry()
     for node_dir in node_dirs:
         path = node_dir / "metrics_raw.json"
         if not path.is_file():
             continue
-        raw = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            # A node killed mid-dump: its .tmp never replaced the real
+            # file, or the file itself is torn. Absorb, keep merging.
+            if report is not None:
+                report[str(path)] = report.get(str(path), 0) + 1
+            continue
         for row in raw.get("counters", ()):
             merged.counter(row["name"], **dict(row["labels"])).inc(row["value"])
         for row in raw.get("gauges", ()):
@@ -98,8 +195,11 @@ def merge_bundle(out_dir) -> Dict[str, str]:
     merged_dir = root / "merged"
     merged_dir.mkdir(parents=True, exist_ok=True)
 
-    events = load_trace_events(node_dirs)
-    metrics = merge_metrics(node_dirs)
+    absorbed: Dict[str, int] = {}
+    events = load_trace_events(node_dirs, report=absorbed)
+    metrics = merge_metrics(node_dirs, report=absorbed)
+    telemetry = load_telemetry_rows(node_dirs, report=absorbed)
+    hosts = load_host_info(node_dirs)
     spans = replay_spans(events)
     at_time = events[-1].time if events else 0.0
 
@@ -109,6 +209,9 @@ def merge_bundle(out_dir) -> Dict[str, str]:
         "spans.jsonl": merged_dir / "spans.jsonl",
         "trace.jsonl": merged_dir / "trace.jsonl",
         "trace.json": merged_dir / "trace.json",
+        "telemetry.jsonl": merged_dir / "telemetry.jsonl",
+        "health.jsonl": merged_dir / "health.jsonl",
+        "merge_report.json": merged_dir / "merge_report.json",
     }
     paths["metrics.prom"].write_text(
         prometheus_text(metrics, at_time=at_time), encoding="utf-8"
@@ -117,6 +220,21 @@ def merge_bundle(out_dir) -> Dict[str, str]:
     write_jsonl(paths["spans.jsonl"], spans_jsonl_rows(spans.all_spans()))
     write_jsonl(paths["trace.jsonl"], tracer_jsonl_rows(events))
     paths["trace.json"].write_text(
-        json.dumps(chrome_trace(spans.all_spans()), sort_keys=True), encoding="utf-8"
+        json.dumps(chrome_trace(spans.all_spans(), hosts=hosts), sort_keys=True),
+        encoding="utf-8",
+    )
+    write_jsonl(paths["telemetry.jsonl"], telemetry)
+    health_rows = [r for r in telemetry if r.get("kind") == "health"]
+    write_jsonl(paths["health.jsonl"], health_rows)
+    report: Dict[str, Any] = {
+        "nodes": len(node_dirs),
+        "trace_events": len(events),
+        "telemetry_rows": len(telemetry),
+        "health_events": len(health_rows),
+        "absorbed_lines": absorbed,
+        "absorbed_total": sum(absorbed.values()),
+    }
+    paths["merge_report.json"].write_text(
+        json.dumps(report, indent=2, sort_keys=True), encoding="utf-8"
     )
     return {name: str(path) for name, path in paths.items()}

@@ -34,6 +34,7 @@ from repro.core.replica import ExecutingReplica, ReplicaBase, ReplicaEnv, Storag
 from repro.crypto.verifycache import VerifyCache
 from repro.obs.export import metrics_jsonl_rows, prometheus_text, tracer_jsonl_rows, write_jsonl
 from repro.obs.registry import MetricsRegistry
+from repro.obs.watch import NodeWatch
 from repro.rt.bootstrap import RtConfig, SystemMaterial, data_ports, generate_material, host_ports
 from repro.rt.control import ControlServer
 from repro.rt.runtime import LiveScheduler
@@ -63,6 +64,7 @@ class NodeContext:
             "kernel.events_processed", lambda: self.scheduler.events_processed
         )
         self.tracer = Tracer(self.scheduler, enabled=True)
+        self.site = self.material.topology.site_of(host).name
         self.transport = LiveTransport(
             self.material.topology,
             data_ports(self.material, config.base_port),
@@ -71,7 +73,26 @@ class NodeContext:
             loop=self.loop,
             metrics=self.metrics,
             tracer=self.tracer,
+            trace_wire=config.trace_wire,
+            now_fn=lambda: self.scheduler.now,
         )
+        # WatchLab: ring buffer + snapshots + span tracker + detectors,
+        # all fed from this node's tracer; served via GET /telemetry.
+        self.watch = NodeWatch(
+            host,
+            role,
+            self.site,
+            self.metrics,
+            now_fn=lambda: self.scheduler.now,
+        ).attach(self.tracer)
+        if config.detectors:
+            self.watch.detectors.watch_hosts(self.material.all_hosts)
+            self.watch.detectors.restrict_exposure(self.material.data_center_hosts)
+        else:
+            self.watch.detectors.detach()
+        self._telemetry_event = asyncio.Event()
+        self.watch.ring.on_append = self._telemetry_event.set
+        self._watch_task: Optional[asyncio.Task] = None
         self.auditor = Auditor(tracer=self.tracer)
         self.transport.inspector = self.auditor.inspect_delivery
         # Per-process signature-verification memo (retransmits and
@@ -101,6 +122,8 @@ class NodeContext:
     def _install_routes(self) -> None:
         self.control.route("GET", "/health", self._r_health)
         self.control.route("GET", "/metrics", self._r_metrics)
+        self.control.route("GET", "/telemetry", self._r_telemetry)
+        self.control.route("GET", "/clock", self._r_clock)
         self.control.route("POST", "/shutdown", self._r_shutdown)
         self.control.route("POST", "/partition", self._r_partition)
 
@@ -122,6 +145,33 @@ class NodeContext:
             prometheus_text(self.metrics, at_time=self.scheduler.now),
         )
 
+    async def _r_telemetry(self, body: Dict) -> Tuple[int, str, str]:
+        try:
+            cursor = int(body.get("since", 0) or 0)
+            wait = float(body.get("wait", 0) or 0)
+        except (TypeError, ValueError):
+            return 400, "application/json", '{"error": "bad since/wait"}'
+        if wait > 0 and self.watch.ring.next_seq <= cursor:
+            # Long poll: park until the ring grows or the wait expires.
+            self._telemetry_event.clear()
+            try:
+                await asyncio.wait_for(
+                    self._telemetry_event.wait(), timeout=min(wait, 30.0)
+                )
+            except asyncio.TimeoutError:
+                pass
+        return 200, "application/json", json.dumps(self.watch.telemetry_since(cursor))
+
+    def _r_clock(self, _body: Dict) -> Tuple[int, str, str]:
+        stamp = self.transport.hlc.last
+        return 200, "application/json", json.dumps(
+            {
+                "host": self.host,
+                "now": self.scheduler.now,
+                "hlc": [stamp.physical, stamp.logical],
+            }
+        )
+
     def _r_shutdown(self, _body: Dict) -> Tuple[int, str, str]:
         self.shutdown_requested.set()
         return 202, "application/json", '{"shutting_down": true}'
@@ -140,6 +190,8 @@ class NodeContext:
     async def start(self) -> None:
         await self.transport.start_serving()
         await self.control.start()
+        if self.config.telemetry_interval > 0:
+            self._watch_task = self.loop.create_task(self._watch_loop())
         # SIGTERM behaves like POST /shutdown: artifacts still get written.
         try:
             self.loop.add_signal_handler(signal.SIGTERM, self.shutdown_requested.set)
@@ -147,7 +199,17 @@ class NodeContext:
         except NotImplementedError:  # pragma: no cover - non-unix
             pass
 
+    async def _watch_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.telemetry_interval)
+            self.transport.hlc.tick()  # idle nodes still advance their clock
+            self.watch.note_peers(self.transport.peer_seen)
+            self.watch.tick()
+
     async def stop(self) -> None:
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            self._watch_task = None
         await self.control.close()
         await self.transport.close()
         if self.crypto_pool is not None:
@@ -158,6 +220,7 @@ class NodeContext:
 
     def write_artifacts(self) -> None:
         """Persist this node's observability slice for the merge step."""
+        self.watch.tick()  # flush the final snapshot and pending health events
         out = self.node_dir()
         out.mkdir(parents=True, exist_ok=True)
         (out / "metrics.prom").write_text(
@@ -165,9 +228,11 @@ class NodeContext:
         )
         write_jsonl(out / "metrics.jsonl", metrics_jsonl_rows(self.metrics))
         write_jsonl(out / "trace.jsonl", tracer_jsonl_rows(self.tracer.events))
+        write_jsonl(out / "telemetry.jsonl", self.watch.artifact_rows())
         raw = {
             "host": self.host,
             "role": self.role,
+            "site": self.site,
             "now": self.scheduler.now,
             "counters": [
                 {"name": c.name, "labels": list(c.labels), "value": c.value}

@@ -31,8 +31,16 @@ from repro.cache import BoundedLru, FrameCache
 from repro.errors import ConfigurationError
 from repro.net.overlay import Overlay
 from repro.net.topology import Topology
+from repro.obs.hlc import HlcTimestamp, HybridLogicalClock
 from repro.obs.registry import MetricsRegistry, NULL_METRICS
-from repro.rt.wire import FrameDecoder, encode_frame
+from repro.rt.wire import (
+    FrameDecoder,
+    TraceContext,
+    encode_frame,
+    extend_frame,
+    host_span_id,
+    span_trace_id,
+)
 
 Handler = Callable[[str, Any], None]
 
@@ -68,6 +76,8 @@ class LiveTransport:
         tracer=None,
         frame_cache_enabled: bool = True,
         frame_cache_capacity: int = 1024,
+        trace_wire: bool = False,
+        now_fn: Optional[Callable[[], float]] = None,
     ):
         self.topology = topology
         self.overlay = Overlay(topology)
@@ -101,6 +111,22 @@ class LiveTransport:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.inspector: Optional[Callable[[str, Any], None]] = None
+        # Wire tracing (WatchLab): when enabled, every outbound frame is
+        # upgraded to v2 with a (trace_id, parent_span, HLC) extension.
+        # Receivers merge the HLC and measure per-site one-way delay; on
+        # a shared-epoch localhost deployment the clocks agree, so the
+        # measured delay is the emulated WAN latency itself.
+        self.trace_wire = trace_wire
+        self._now = now_fn if now_fn is not None else self.loop.time
+        self.hlc = HybridLogicalClock(self._now)
+        #: Last receive instant per peer host — transport-level liveness
+        #: evidence consumed by the silent-replica detector.
+        self.peer_seen: Dict[str, float] = {}
+        self._link_delay_instruments: BoundedLru = BoundedLru(_INSTRUMENT_CAPACITY)
+        self.metrics.register_gauge(
+            "net.outbound_queue_depth",
+            lambda: float(sum(len(l.queue) for l in self._links.values())),
+        )
 
     # -- membership -------------------------------------------------------------
 
@@ -154,14 +180,14 @@ class LiveTransport:
 
     def _make_reader(self, local_host: str):
         async def read_stream(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-            decoder = FrameDecoder()
+            decoder = FrameDecoder(include_context=True)
             try:
                 while True:
                     chunk = await reader.read(65536)
                     if not chunk:
                         break
-                    for src, message in decoder.feed(chunk):
-                        self._deliver(src, local_host, message)
+                    for src, message, ctx in decoder.feed(chunk):
+                        self._deliver(src, local_host, message, ctx)
             except (ConnectionError, asyncio.IncompleteReadError):
                 pass
             except Exception:  # corrupt frame: drop the connection
@@ -214,12 +240,37 @@ class LiveTransport:
             payload, lambda message: encode_frame(src, message), extra=src
         )
 
+    def _trace_for(self, src: str, payload: Any) -> Optional[TraceContext]:
+        """The context stamped onto this send, or None with tracing off.
+
+        The trace id is derived from the update's (alias, client_seq)
+        when the payload carries one; protocol messages without a span
+        identity still get a context (id 0) so HLC propagation and the
+        link-delay matrix cover every traced frame.
+        """
+        if not self.trace_wire:
+            return None
+        alias = getattr(payload, "alias", None)
+        seq = getattr(payload, "client_seq", None)
+        trace_id = (
+            span_trace_id(alias, seq)
+            if alias is not None and seq is not None
+            else 0
+        )
+        stamp = self.hlc.tick()
+        return TraceContext(trace_id, host_span_id(src), stamp.physical, stamp.logical)
+
     def send(self, src: str, dst: str, payload: Any, size: Optional[int] = None) -> bool:
         """Frame and ship one message; returns False on a known partition."""
         frame = self._frame_for(src, payload)
         return self._send_framed(src, dst, payload, frame)
 
     def _send_framed(self, src: str, dst: str, payload: Any, frame: bytes) -> bool:
+        trace = self._trace_for(src, payload)
+        if trace is not None:
+            # Cached frames stay v1/extension-free; the per-send stamp is
+            # prepended without re-encoding the message body.
+            frame = extend_frame(frame, trace)
         self.messages_sent += 1
         self.bytes_sent += len(frame)
         type_name = type(payload).__name__
@@ -261,9 +312,9 @@ class LiveTransport:
         if dst in self._handlers:
             # Co-located host (a proxy and its client driver share a
             # process): skip the socket, deliver on the loop.
-            decoder = FrameDecoder()
-            for src, message in decoder.feed(frame):
-                self.loop.call_soon(self._deliver, src, dst, message)
+            decoder = FrameDecoder(include_context=True)
+            for src, message, ctx in decoder.feed(frame):
+                self.loop.call_soon(self._deliver, src, dst, message, ctx)
             return
         link = self._links.get(dst)
         if link is None:
@@ -312,7 +363,25 @@ class LiveTransport:
 
     # -- delivery -----------------------------------------------------------------
 
-    def _deliver(self, src: str, dst: str, message: Any) -> None:
+    def _observe_context(self, src: str, ctx: TraceContext) -> None:
+        now = self._now()
+        self.peer_seen[src] = now
+        self.hlc.merge(HlcTimestamp(ctx.hlc_physical, ctx.hlc_logical))
+        delay = now - ctx.hlc_physical
+        if delay < 0:
+            return  # clocks disagree more than the link delay; skip the sample
+        src_site = self.topology.site_of(src).name
+        histogram = self._link_delay_instruments.get(src_site, None)
+        if histogram is None:
+            histogram = self.metrics.histogram("watch.link_delay", src=src_site)
+            self._link_delay_instruments.put(src_site, histogram)
+        histogram.observe(delay)
+
+    def _deliver(
+        self, src: str, dst: str, message: Any, ctx: Optional[TraceContext] = None
+    ) -> None:
+        if ctx is not None:
+            self._observe_context(src, ctx)
         if self._down_hosts.get(dst, False):
             self.messages_dropped += 1
             self._count_drop(type(message).__name__, "host-down")

@@ -7,32 +7,54 @@ stream between OS processes::
 
     +-------+---------+-------+-----------------+----------------------+
     | magic | version | flags |   body length   |         body         |
-    |  "RT" |  1 byte | 1 byte| 4 bytes, big-end| src host + message   |
-    +-------+---------+-------+-----------------+----------------------+
+    |  "RT" |  1 byte | 1 byte| 4 bytes, big-end| [trace ext] + src +  |
+    +-------+---------+-------+-----------------+  message             +
+                                                +----------------------+
 
-    body = varint(len(src)) + src utf-8 + codec.encode_message(message)
+    body = [trace context, 28 bytes, iff flags & 0x01]
+           + varint(len(src)) + src utf-8 + codec.encode_message(message)
+
+Version 2 (WatchLab) adds an optional **trace-context extension**: a
+fixed 28-byte block carrying ``(trace_id, parent_span, hlc)`` so
+per-update spans stitch into cross-node causal timelines and receivers
+can merge the sender's hybrid logical clock. The extension is signalled
+by flag bit ``0x01``; frames without it are emitted as version 1,
+byte-identical to the pre-WatchLab format, so a v2 node talks to a v1
+node for free and the per-(message, src) frame cache stays valid.
 
 The version byte is the compatibility contract: a node that receives a
-frame with an unknown version drops the connection rather than guessing
-(mixed-version groups must negotiate out of band). ``flags`` is reserved
-(must be zero in version 1).
+frame with an *unknown* version (or an unknown flag bit) drops the
+connection rather than guessing; versions 1 and 2 are both accepted.
 
 Every registered message type — including nested threshold-signature
 shares and checkpoint payloads — round-trips through this format; the
-hypothesis suite in ``tests/test_rt_wire.py`` proves it.
+hypothesis suite in ``tests/test_rt_wire.py`` proves it, with and
+without the trace-context extension.
 """
 
 from __future__ import annotations
 
+import struct
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.net.codec import decode_message, encode_message, read_str, write_str
 
 WIRE_MAGIC = b"RT"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+#: Versions a receiver accepts. v1 = no extensions; v2 = trace context.
+ACCEPTED_VERSIONS = (1, 2)
+
+#: Flag bit: the body starts with a 28-byte trace-context extension.
+FLAG_TRACE_CONTEXT = 0x01
+_KNOWN_FLAGS = FLAG_TRACE_CONTEXT
 
 _HEADER_LEN = 2 + 1 + 1 + 4  # magic + version + flags + length
+
+#: trace_id (u64) + parent_span (u64) + hlc physical (f64) + hlc logical (u32)
+_TRACE_EXT = struct.Struct(">QQdI")
+TRACE_EXT_LEN = _TRACE_EXT.size
 
 #: Upper bound on one frame's body. State-transfer responses are chunked
 #: well below this (xfer_chunk_bytes is 64 KiB by default); anything
@@ -40,65 +62,161 @@ _HEADER_LEN = 2 + 1 + 1 + 4  # magic + version + flags + length
 #: allocation.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+_U64_MASK = (1 << 64) - 1
+_U32_MASK = (1 << 32) - 1
 
-def encode_frame(src: str, message: Any) -> bytes:
-    """Frame ``message`` from host ``src`` for the stream."""
+
+def span_trace_id(alias: str, client_seq: int) -> int:
+    """Deterministic 64-bit trace id for one client update.
+
+    Every node derives the same id from the update's (alias, client_seq)
+    span key, so cross-node frames carrying the same update correlate
+    without any id-assignment handshake.
+    """
+    import hashlib
+
+    digest = hashlib.blake2b(
+        f"{alias}|{client_seq}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def host_span_id(host: str) -> int:
+    """Deterministic 64-bit span id for a host's send context."""
+    import hashlib
+
+    digest = hashlib.blake2b(host.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Per-frame causal metadata: span lineage plus the sender's HLC."""
+
+    trace_id: int
+    parent_span: int
+    hlc_physical: float
+    hlc_logical: int = 0
+
+    def pack(self) -> bytes:
+        return _TRACE_EXT.pack(
+            self.trace_id & _U64_MASK,
+            self.parent_span & _U64_MASK,
+            self.hlc_physical,
+            self.hlc_logical & _U32_MASK,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> "TraceContext":
+        trace_id, parent_span, physical, logical = _TRACE_EXT.unpack_from(data, offset)
+        return cls(trace_id, parent_span, physical, logical)
+
+
+def encode_frame(src: str, message: Any, trace: Optional[TraceContext] = None) -> bytes:
+    """Frame ``message`` from host ``src`` for the stream.
+
+    Without ``trace`` the frame is version 1, byte-identical to the
+    pre-WatchLab format; with it, version 2 with the extension flag set.
+    """
     body = bytearray()
+    if trace is not None:
+        body.extend(trace.pack())
     write_str(body, src)
     body.extend(encode_message(message))
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame body {len(body)} exceeds MAX_FRAME_BYTES")
-    header = WIRE_MAGIC + bytes([WIRE_VERSION, 0]) + len(body).to_bytes(4, "big")
+    version, flags = (2, FLAG_TRACE_CONTEXT) if trace is not None else (1, 0)
+    header = WIRE_MAGIC + bytes([version, flags]) + len(body).to_bytes(4, "big")
     return header + bytes(body)
 
 
-def decode_frame(data: bytes, offset: int = 0) -> Tuple[str, Any, int]:
-    """Decode one complete frame; returns (src, message, next_offset).
+def extend_frame(base_frame: bytes, trace: TraceContext) -> bytes:
+    """Attach a trace context to an already-encoded extension-free frame.
 
-    Raises :class:`ProtocolError` on truncation, bad magic, or an
-    unsupported version — the caller should treat the stream as corrupt.
+    The (src, message) body bytes are reused verbatim, so a cached v1
+    frame upgrades to a stamped v2 frame without re-encoding the message
+    — the hot-path cost of tracing is one 28-byte pack plus a copy.
+    """
+    body_len = int.from_bytes(base_frame[4:8], "big") + TRACE_EXT_LEN
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame body {body_len} exceeds MAX_FRAME_BYTES")
+    header = WIRE_MAGIC + bytes([2, FLAG_TRACE_CONTEXT]) + body_len.to_bytes(4, "big")
+    return header + trace.pack() + base_frame[_HEADER_LEN:]
+
+
+def decode_frame_ex(
+    data: bytes, offset: int = 0
+) -> Tuple[str, Any, Optional[TraceContext], int]:
+    """Decode one complete frame; returns (src, message, trace, next_offset).
+
+    Raises :class:`ProtocolError` on truncation, bad magic, an
+    unsupported version, or an unknown flag bit — the caller should treat
+    the stream as corrupt.
     """
     if len(data) - offset < _HEADER_LEN:
         raise ProtocolError("truncated frame header")
     if data[offset : offset + 2] != WIRE_MAGIC:
         raise ProtocolError("bad frame magic")
     version = data[offset + 2]
-    if version != WIRE_VERSION:
+    if version not in ACCEPTED_VERSIONS:
         raise ProtocolError(f"unsupported wire version {version}")
-    if data[offset + 3] != 0:
-        raise ProtocolError("nonzero reserved flags")
+    flags = data[offset + 3]
+    if version == 1 and flags != 0:
+        raise ProtocolError("nonzero reserved flags in v1 frame")
+    if flags & ~_KNOWN_FLAGS:
+        raise ProtocolError(f"unknown flag bits 0x{flags & ~_KNOWN_FLAGS:02x}")
     length = int.from_bytes(data[offset + 4 : offset + 8], "big")
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame body {length} exceeds MAX_FRAME_BYTES")
     start = offset + _HEADER_LEN
     if len(data) - start < length:
         raise ProtocolError("truncated frame body")
-    src, body_offset = read_str(data, start)
+    trace: Optional[TraceContext] = None
+    body_offset = start
+    if flags & FLAG_TRACE_CONTEXT:
+        if length < TRACE_EXT_LEN:
+            raise ProtocolError("frame too short for trace-context extension")
+        trace = TraceContext.unpack(data, body_offset)
+        body_offset += TRACE_EXT_LEN
+    src, body_offset = read_str(data, body_offset)
     message, end = decode_message(data, body_offset)
     if end != start + length:
         raise ProtocolError("frame length does not match message encoding")
-    return src, message, start + length
+    return src, message, trace, start + length
 
 
-def frame_size(src: str, message: Any) -> int:
+def decode_frame(data: bytes, offset: int = 0) -> Tuple[str, Any, int]:
+    """Decode one complete frame; returns (src, message, next_offset).
+
+    Compatibility wrapper over :func:`decode_frame_ex` that discards any
+    trace-context extension.
+    """
+    src, message, _trace, end = decode_frame_ex(data, offset)
+    return src, message, end
+
+
+def frame_size(src: str, message: Any, trace: Optional[TraceContext] = None) -> int:
     """Exact on-the-wire size of one framed message."""
-    return len(encode_frame(src, message))
+    return len(encode_frame(src, message, trace))
 
 
 class FrameDecoder:
     """Incremental decoder for a TCP byte stream.
 
     Feed arbitrary chunks; complete frames come out. Keeps at most one
-    partial frame of buffered state.
+    partial frame of buffered state. With ``include_context=True``,
+    :meth:`feed` yields (src, message, trace) triples instead of pairs
+    (``trace`` is None for v1 frames).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, include_context: bool = False) -> None:
         self._buffer = bytearray()
+        self._include_context = include_context
 
-    def feed(self, chunk: bytes) -> List[Tuple[str, Any]]:
-        """Absorb ``chunk``; return every complete (src, message)."""
+    def feed(self, chunk: bytes) -> List[Tuple]:
+        """Absorb ``chunk``; return every complete frame."""
         self._buffer.extend(chunk)
-        frames: List[Tuple[str, Any]] = []
+        frames: List[Tuple] = []
         offset = 0
         while True:
             remaining = len(self._buffer) - offset
@@ -109,8 +227,11 @@ class FrameDecoder:
                 raise ProtocolError(f"frame body {length} exceeds MAX_FRAME_BYTES")
             if remaining < _HEADER_LEN + length:
                 break
-            src, message, offset = decode_frame(bytes(self._buffer), offset)
-            frames.append((src, message))
+            src, message, trace, offset = decode_frame_ex(bytes(self._buffer), offset)
+            if self._include_context:
+                frames.append((src, message, trace))
+            else:
+                frames.append((src, message))
         if offset:
             del self._buffer[:offset]
         return frames

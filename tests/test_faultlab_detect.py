@@ -1,0 +1,131 @@
+"""Fault→detection coverage: every hard-asserted fault kind injected by
+FaultLab must surface as a matching health event, with fault→detection
+latency recorded as a first-class metric — and attaching the detector
+suite must not perturb the simulation's trace."""
+
+import pytest
+
+from repro.faultlab import FaultLabConfig, plant_leak, run_schedule
+from repro.faultlab.schedule import FaultEvent, FaultSchedule
+from repro.obs.watch.detectors import REQUIRED_DETECTION_KINDS
+from repro.system import Mode
+
+
+def lab(**kw):
+    return FaultLabConfig(mode=Mode.CONFIDENTIAL, f=1, detectors=True, **kw)
+
+
+def run(events, horizon=25.0, seed=11, config=None):
+    schedule = FaultSchedule(seed=seed, horizon=horizon, events=tuple(events))
+    return schedule, run_schedule(schedule, config or lab())
+
+
+class TestRequiredKindsDetected:
+    def test_recover_detected(self):
+        _, result = run([
+            FaultEvent(at=5.0, kind="recover", target="cc-a-r1",
+                       params=(("duration", 6.0),)),
+        ])
+        [match] = result.detections
+        assert match.detected
+        assert match.event_kind in ("silent-replica", "liveness-stall",
+                                    "view-change-storm")
+        assert match.latency is not None and match.latency >= 0.0
+
+    def test_isolate_detected(self):
+        _, result = run([
+            FaultEvent(at=6.0, kind="isolate", target="cc-b", until=12.0),
+        ])
+        [match] = result.detections
+        assert match.detected
+
+    def test_torn_write_detected(self):
+        _, result = run([
+            FaultEvent(at=5.0, kind="torn_write", target="cc-a-r2",
+                       params=(("duration", 4.0),)),
+        ])
+        [match] = result.detections
+        assert match.detected, result.summary()
+        assert match.event_kind in ("store-corruption", "silent-replica")
+
+    def test_corrupt_segment_detected(self):
+        _, result = run([
+            FaultEvent(at=5.0, kind="corrupt_segment", target="cc-a-r2",
+                       params=(("duration", 4.0),)),
+        ])
+        [match] = result.detections
+        assert match.detected, result.summary()
+
+    def test_planted_leak_detected_as_exposure(self):
+        schedule = plant_leak(FaultSchedule(seed=7, horizon=20.0, events=()))
+        result = run_schedule(schedule, lab())
+        leak_matches = [m for m in result.detections if m.fault_kind == "leak"]
+        assert leak_matches and all(m.detected for m in leak_matches)
+        assert all(m.event_kind == "exposure" for m in leak_matches)
+        # A planted leak still fails the confidentiality invariant.
+        assert not result.ok
+
+    def test_required_kinds_all_exercised_above(self):
+        exercised = {"recover", "isolate", "torn_write", "corrupt_segment", "leak"}
+        assert exercised == set(REQUIRED_DETECTION_KINDS)
+
+
+class TestDetectionMetrics:
+    def test_detection_latency_histogram_recorded(self):
+        _, result = run(
+            [FaultEvent(at=5.0, kind="recover", target="cc-a-r1",
+                        params=(("duration", 6.0),))],
+            config=FaultLabConfig(mode=Mode.CONFIDENTIAL, f=1, detectors=True),
+        )
+        assert result.detections[0].detected
+        # keep_deployment=False drops the deployment, so assert through
+        # the result's summary/health stream instead of raw instruments.
+        assert result.summary().endswith("detected 1/1 faults")
+
+    def test_latency_histogram_on_kept_deployment(self):
+        schedule = FaultSchedule(
+            seed=11, horizon=25.0,
+            events=(FaultEvent(at=5.0, kind="recover", target="cc-a-r1",
+                               params=(("duration", 6.0),)),),
+        )
+        result = run_schedule(schedule, lab(), keep_deployment=True)
+        hist = result.deployment.metrics.histogram("faultlab.detection_latency")
+        stats = hist.stats()
+        assert stats.count == 1
+        assert stats.minimum >= 0.0
+
+    def test_health_events_exposed_on_result(self):
+        _, result = run([
+            FaultEvent(at=5.0, kind="recover", target="cc-a-r1",
+                       params=(("duration", 6.0),)),
+        ])
+        assert result.health_events
+        assert all(hasattr(e, "kind") and hasattr(e, "time")
+                   for e in result.health_events)
+        assert result.detected_faults == 1
+
+
+class TestDetectorsDoNotPerturbTheRun:
+    def test_trace_identical_with_and_without_detectors(self):
+        events = (
+            FaultEvent(at=5.0, kind="recover", target="cc-a-r1",
+                       params=(("duration", 6.0),)),
+            FaultEvent(at=12.0, kind="isolate", target="cc-b", until=16.0),
+        )
+        schedule = FaultSchedule(seed=21, horizon=25.0, events=events)
+        plain = run_schedule(
+            schedule, FaultLabConfig(mode=Mode.CONFIDENTIAL, f=1),
+            keep_deployment=True)
+        watched = run_schedule(
+            schedule, FaultLabConfig(mode=Mode.CONFIDENTIAL, f=1, detectors=True),
+            keep_deployment=True)
+        assert plain.deployment.tracer.events == watched.deployment.tracer.events
+        assert plain.report.violations == watched.report.violations
+        assert watched.detections  # the watched run did detect
+
+    def test_detectors_default_off(self):
+        assert FaultLabConfig().detectors is False
+        schedule = FaultSchedule(seed=3, horizon=12.0, events=())
+        result = run_schedule(schedule, FaultLabConfig())
+        assert result.detections == ()
+        assert result.health_events == ()

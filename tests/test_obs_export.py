@@ -62,6 +62,49 @@ class TestPrometheusText:
             "# repro metrics snapshot at virtual t=12.5s"
         )
 
+    def test_every_metric_has_help_before_type(self):
+        metrics = MetricsRegistry()
+        metrics.counter("proxy.submitted").inc()
+        metrics.gauge("kernel.events_processed").set(1)
+        metrics.histogram("store.append_seconds").observe(0.01)
+        lines = prometheus_text(metrics).splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert lines[i - 1].startswith(f"# HELP {name} "), line
+
+    def test_help_text_is_family_specific(self):
+        metrics = MetricsRegistry()
+        metrics.counter("proxy.submitted").inc()
+        metrics.counter("some.unknown.family").inc()
+        text = prometheus_text(metrics)
+        assert "# HELP proxy_submitted_total client proxy" in text
+        assert "# HELP some_unknown_family_total repro instrument" in text
+
+    def test_help_emitted_once_per_metric_name(self):
+        metrics = MetricsRegistry()
+        metrics.counter("net.send", type="PoAck").inc()
+        metrics.counter("net.send", type="PoRequest").inc()
+        text = prometheus_text(metrics)
+        assert text.count("# HELP net_send_total ") == 1
+        assert text.count("# TYPE net_send_total counter") == 1
+
+    def test_label_values_escaped(self):
+        metrics = MetricsRegistry()
+        metrics.counter("x", path='seg\\a"b\nc').inc()
+        text = prometheus_text(metrics)
+        # Raw specials must never leak into the exposition line: the
+        # backslash doubles, the quote and newline gain backslashes.
+        line = next(l for l in text.splitlines() if l.startswith("x_total"))
+        assert line == 'x_total{path="seg\\\\a\\"b\\nc"} 1'
+
+    def test_escaped_output_still_one_line_per_sample(self):
+        metrics = MetricsRegistry()
+        metrics.counter("x", detail="multi\nline").inc(2)
+        body = [l for l in prometheus_text(metrics).splitlines()
+                if not l.startswith("#")]
+        assert body == ['x_total{detail="multi\\nline"} 2']
+
 
 class TestJsonl:
     def test_write_jsonl_roundtrip(self, tmp_path):
@@ -116,6 +159,46 @@ class TestChromeTrace:
         doc = chrome_trace([span])
         assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
 
+    def test_without_hosts_output_is_single_process(self):
+        doc = chrome_trace([make_span()])
+        assert {e["pid"] for e in doc["traceEvents"]} == {1}
+
+    def test_hosts_metadata_names_processes_by_role_and_site(self):
+        hosts = {
+            "cc-a-r0": {"role": "replica", "site": "cc-a"},
+            "proxy-client-00": {"role": "client", "site": "cc-b"},
+        }
+        doc = chrome_trace([make_span()], hosts=hosts)
+        meta = {
+            (e["pid"], e["name"]): e["args"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] in ("process_name", "process_labels")
+        }
+        names = [args["name"] for (pid, kind), args in meta.items()
+                 if kind == "process_name"]
+        assert "cc-a-r0 [replica@cc-a]" in names
+        assert "proxy-client-00 [client@cc-b]" in names
+        labels = [args["labels"] for (pid, kind), args in meta.items()
+                  if kind == "process_labels"]
+        assert sorted(labels) == ["cc-a", "cc-b"]
+
+    def test_client_lane_lands_in_its_proxy_process(self):
+        hosts = {"proxy-client-00": {"role": "client", "site": "cc-a"}}
+        doc = chrome_trace([make_span()], hosts=hosts)
+        proxy_pid = next(
+            e["pid"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+            and e["args"]["name"].startswith("proxy-client-00")
+        )
+        update = next(e for e in doc["traceEvents"] if e.get("cat") == "update")
+        assert update["pid"] == proxy_pid
+
+    def test_unknown_proxy_falls_back_to_pipeline_process(self):
+        hosts = {"cc-a-r0": {"role": "replica", "site": "cc-a"}}
+        doc = chrome_trace([make_span()], hosts=hosts)
+        update = next(e for e in doc["traceEvents"] if e.get("cat") == "update")
+        assert update["pid"] == 1
+
 
 class TestBundleAndSchema:
     @pytest.fixture(scope="class")
@@ -167,6 +250,118 @@ class TestBundleAndSchema:
             assert any(
                 line.startswith(prefix) for line in text.splitlines()
             ), f"no {prefix} metrics in exposition"
+
+
+def snapshot_row(t=1.0, **extra):
+    row = {"kind": "snapshot", "time": t, "counters": {}, "gauges": {},
+           "histograms": {}, "window": 5.0}
+    row.update(extra)
+    return row
+
+
+def health_row(t=1.2, severity="critical", **extra):
+    row = {"kind": "health", "time": t, "event": "silent-replica",
+           "host": "cc-a-r0", "severity": severity, "detail": {}}
+    row.update(extra)
+    return row
+
+
+def run_checker(*argv, stdin=""):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *argv],
+        input=stdin, capture_output=True, text=True,
+    )
+
+
+class TestCheckScriptLiveArtifacts:
+    @pytest.fixture()
+    def live_bundle(self, tmp_path):
+        from repro.system import SystemConfig, build
+
+        dep = build(SystemConfig(num_clients=2, seed=5))
+        dep.start()
+        dep.start_workload(duration=3.0)
+        dep.run(until=5.0)
+        out = tmp_path / "bundle"
+        write_bundle(dep, out)
+        (out / "telemetry.jsonl").write_text(
+            json.dumps(snapshot_row()) + "\n" + json.dumps(health_row()) + "\n")
+        (out / "health.jsonl").write_text(json.dumps(health_row()) + "\n")
+        (out / "merge_report.json").write_text(json.dumps({
+            "nodes": 2, "trace_events": 4, "health_events": 1,
+            "absorbed_total": 1, "absorbed_lines": {"nodes/a/trace.jsonl": 1},
+        }))
+        return out
+
+    def test_live_artifacts_accepted(self, live_bundle):
+        proc = run_checker(str(live_bundle))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_health_with_unknown_severity_rejected(self, live_bundle):
+        (live_bundle / "health.jsonl").write_text(
+            json.dumps(health_row(severity="catastrophic")) + "\n")
+        proc = run_checker(str(live_bundle))
+        assert proc.returncode == 1
+        assert "severity" in proc.stdout
+
+    def test_merge_report_tally_mismatch_rejected(self, live_bundle):
+        (live_bundle / "merge_report.json").write_text(json.dumps({
+            "nodes": 2, "trace_events": 4, "health_events": 1,
+            "absorbed_total": 5, "absorbed_lines": {"nodes/a/trace.jsonl": 1},
+        }))
+        proc = run_checker(str(live_bundle))
+        assert proc.returncode == 1
+        assert "absorbed_total" in proc.stdout
+
+    def test_merge_report_missing_keys_rejected(self, live_bundle):
+        (live_bundle / "merge_report.json").write_text(json.dumps({"nodes": 2}))
+        proc = run_checker(str(live_bundle))
+        assert proc.returncode == 1
+
+
+class TestCheckScriptStreamMode:
+    def tail_row(self, row):
+        return json.dumps({"node": "cc-a-r0", **row})
+
+    def test_valid_stream_accepted(self):
+        stdin = "\n".join([
+            self.tail_row(snapshot_row()),
+            self.tail_row(health_row()),
+            self.tail_row({"kind": "trace", "time": 1.0, "category": "x",
+                           "host": "cc-a-r0", "detail": {}}),
+        ]) + "\n"
+        proc = run_checker("--stream", "-", stdin=stdin)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "snapshot=1" in proc.stdout
+
+    def test_stream_from_file(self, tmp_path):
+        path = tmp_path / "tail.jsonl"
+        path.write_text(self.tail_row(snapshot_row()) + "\n")
+        proc = run_checker("--stream", str(path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_empty_stream_rejected(self):
+        proc = run_checker("--stream", "-", stdin="")
+        assert proc.returncode == 1
+        assert "no telemetry rows" in proc.stdout
+
+    def test_stream_without_snapshots_rejected(self):
+        proc = run_checker("--stream", "-",
+                           stdin=self.tail_row(health_row()) + "\n")
+        assert proc.returncode == 1
+        assert "no snapshot rows" in proc.stdout
+
+    def test_row_without_node_annotation_rejected(self):
+        proc = run_checker("--stream", "-",
+                           stdin=json.dumps(snapshot_row()) + "\n")
+        assert proc.returncode == 1
+        assert "node annotation" in proc.stdout
+
+    def test_torn_stream_line_rejected(self):
+        stdin = self.tail_row(snapshot_row()) + "\n" + '{"kind": "snapsh\n'
+        proc = run_checker("--stream", "-", stdin=stdin)
+        assert proc.returncode == 1
+        assert "invalid JSON" in proc.stdout
 
 
 class TestFaultLabWindows:

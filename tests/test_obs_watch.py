@@ -1,0 +1,579 @@
+"""WatchLab unit tests: HLC, telemetry ring, snapshots, detectors,
+NodeWatch glue, fault→detection matching, and the fleet aggregator's
+offline logic (absorb / stitch / render)."""
+
+import json
+
+import pytest
+
+from repro.obs.hlc import HlcTimestamp, HybridLogicalClock, estimate_offset
+from repro.obs.registry import MetricsRegistry
+from repro.obs.watch import FleetAggregator, NodeEndpoint, NodeWatch, TelemetryRing
+from repro.obs.watch.detectors import (
+    DetectorConfig,
+    DetectorSuite,
+    EXPECTED_DETECTIONS,
+    REQUIRED_DETECTION_KINDS,
+    match_detections,
+)
+from repro.obs.watch.events import (
+    HealthEvent,
+    health_event_from_row,
+    health_jsonl_row,
+)
+from repro.obs.watch.telemetry import metrics_snapshot, series_key
+from repro.rt.wire import host_span_id, span_trace_id
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def ev(t, category, host, **detail):
+    return TraceEvent(time=t, category=category, host=host, detail=detail)
+
+
+# -- hybrid logical clock -------------------------------------------------------------
+
+
+class TestHlc:
+    def test_tick_follows_advancing_physical_clock(self):
+        clock = FakeClock(1.0)
+        hlc = HybridLogicalClock(lambda: clock.now)
+        assert hlc.tick() == HlcTimestamp(1.0, 0)
+        clock.now = 2.0
+        assert hlc.tick() == HlcTimestamp(2.0, 0)
+
+    def test_tick_increments_logical_when_physical_stalls(self):
+        clock = FakeClock(1.0)
+        hlc = HybridLogicalClock(lambda: clock.now)
+        assert hlc.tick() == HlcTimestamp(1.0, 0)
+        assert hlc.tick() == HlcTimestamp(1.0, 1)
+        assert hlc.tick() == HlcTimestamp(1.0, 2)
+
+    def test_merge_never_runs_behind_remote(self):
+        clock = FakeClock(1.0)
+        hlc = HybridLogicalClock(lambda: clock.now)
+        hlc.tick()
+        merged = hlc.merge(HlcTimestamp(5.0, 3))
+        assert merged.physical == 5.0
+        assert merged.logical == 4
+        # Local events issued after the merge still sort after it.
+        assert hlc.tick() > merged
+
+    def test_merge_with_equal_physical_takes_max_logical(self):
+        clock = FakeClock(1.0)
+        hlc = HybridLogicalClock(lambda: clock.now)
+        hlc.tick()  # (1.0, 0)
+        merged = hlc.merge(HlcTimestamp(1.0, 7))
+        assert merged == HlcTimestamp(1.0, 8)
+
+    def test_timestamps_order_lexicographically(self):
+        assert HlcTimestamp(1.0, 5) < HlcTimestamp(2.0, 0)
+        assert HlcTimestamp(1.0, 1) < HlcTimestamp(1.0, 2)
+
+    def test_estimate_offset_symmetric_probe(self):
+        # Observer at t=10 sends; node's clock runs 2s ahead; RTT 0.2s.
+        offset, uncertainty = estimate_offset(10.0, 12.1, 10.2)
+        assert offset == pytest.approx(2.0)
+        assert uncertainty == pytest.approx(0.1)
+
+
+# -- trace / span id derivation -------------------------------------------------------
+
+
+class TestSpanIds:
+    def test_trace_id_deterministic_across_nodes(self):
+        assert span_trace_id("alias-1", 7) == span_trace_id("alias-1", 7)
+        assert span_trace_id("alias-1", 7) != span_trace_id("alias-1", 8)
+        assert span_trace_id("alias-1", 7) != span_trace_id("alias-2", 7)
+
+    def test_ids_are_u64(self):
+        for value in (span_trace_id("x", 0), host_span_id("cc-a-r0")):
+            assert 0 <= value < 2**64
+
+
+# -- telemetry ring -------------------------------------------------------------------
+
+
+class TestTelemetryRing:
+    def test_cursor_pagination(self):
+        ring = TelemetryRing(capacity=10)
+        for i in range(3):
+            ring.append({"i": i})
+        rows, nxt, dropped = ring.since(0)
+        assert [r["i"] for r in rows] == [0, 1, 2]
+        assert (nxt, dropped) == (3, 0)
+        rows, nxt, dropped = ring.since(nxt)
+        assert rows == [] and nxt == 3 and dropped == 0
+
+    def test_eviction_reports_dropped_rows(self):
+        ring = TelemetryRing(capacity=3)
+        for i in range(5):
+            ring.append({"i": i})
+        rows, nxt, dropped = ring.since(0)
+        assert [r["i"] for r in rows] == [2, 3, 4]
+        assert nxt == 5
+        assert dropped == 2  # rows 0 and 1 are gone, and the ring says so
+        assert ring.evicted == 2
+
+    def test_on_append_callback_fires(self):
+        fired = []
+        ring = TelemetryRing(capacity=2, on_append=lambda: fired.append(1))
+        ring.append({})
+        ring.append({})
+        assert len(fired) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TelemetryRing(capacity=0)
+
+
+# -- metric snapshots -----------------------------------------------------------------
+
+
+class TestSnapshot:
+    def test_snapshot_flattens_all_instruments(self):
+        clock = FakeClock(0.0)
+        metrics = MetricsRegistry(now_fn=lambda: clock.now)
+        metrics.counter("proxy.completed").inc(4)
+        metrics.gauge("net.outbound_queue_depth").set(2)
+        metrics.histogram("proxy.latency").observe(0.030)
+        clock.now = 1.0
+        metrics.histogram("proxy.latency").observe(0.050)
+        snap = metrics_snapshot(metrics, now=1.0, window=5.0)
+        assert snap["kind"] == "snapshot"
+        assert snap["time"] == 1.0
+        assert snap["counters"]["proxy.completed"] == 4
+        assert snap["gauges"]["net.outbound_queue_depth"] == 2
+        hist = snap["histograms"]["proxy.latency"]
+        assert hist["count"] == 2
+        assert hist["p50"] == pytest.approx(0.040)
+
+    def test_snapshot_window_includes_negative_warmup_times(self):
+        # Live clocks are epoch-relative: observations land at t < 0
+        # while processes warm up before the shared epoch instant.
+        clock = FakeClock(-1.5)
+        metrics = MetricsRegistry(now_fn=lambda: clock.now)
+        metrics.histogram("store.append_seconds").observe(0.002)
+        snap = metrics_snapshot(metrics, now=-1.0, window=5.0)
+        assert snap["histograms"]["store.append_seconds"]["count"] == 1
+
+    def test_series_key_sorts_labels(self):
+        assert series_key("x", ()) == "x"
+        assert series_key("x", (("a", "1"), ("b", "2"))) == "x{a=1,b=2}"
+
+    def test_snapshot_round_trips_through_json(self):
+        metrics = MetricsRegistry()
+        metrics.counter("a.b", site="cc-a").inc()
+        snap = metrics_snapshot(metrics, now=0.0)
+        assert json.loads(json.dumps(snap)) == snap
+
+
+# -- detectors ------------------------------------------------------------------------
+
+
+def suite(now=0.0, **overrides):
+    clock = FakeClock(now)
+    cfg = DetectorConfig(**overrides) if overrides else DetectorConfig()
+    return clock, DetectorSuite(now_fn=lambda: clock.now, config=cfg)
+
+
+class TestDetectors:
+    def test_view_change_storm(self):
+        _, s = suite()
+        for i, view in enumerate((1, 2, 3)):
+            s.on_event(ev(1.0 + i * 0.1, "prime.view", "cc-a-r0", view=view))
+        kinds = [e.kind for e in s.events]
+        assert "view-change-storm" in kinds
+        [storm] = [e for e in s.events if e.kind == "view-change-storm"]
+        assert storm.severity == "warning"
+        assert storm.detail["views"] == [1, 2, 3]
+
+    def test_view_changes_outside_window_do_not_storm(self):
+        _, s = suite()
+        for i, view in enumerate((1, 2, 3)):
+            s.on_event(ev(1.0 + i * 10.0, "prime.view", "cc-a-r0", view=view))
+        assert not [e for e in s.events if e.kind == "view-change-storm"]
+
+    def test_batch_share_storm(self):
+        _, s = suite()
+        for i in range(6):
+            s.on_event(ev(2.0 + i * 0.05, "intro.failover", "cc-a-r1"))
+        assert any(e.kind == "batch-share-storm" for e in s.events)
+
+    def test_retransmit_storm(self):
+        _, s = suite()
+        for i in range(10):
+            s.on_event(ev(3.0 + i * 0.01, "proxy.retransmit", "proxy-client-00"))
+        assert any(e.kind == "retransmit-storm" for e in s.events)
+
+    def test_replica_down_raises_immediately(self):
+        _, s = suite()
+        s.on_event(ev(4.0, "replica.down", "cc-b-r2"))
+        [down] = s.events
+        assert down.kind == "silent-replica"
+        assert down.host == "cc-b-r2"
+        assert down.severity == "critical"
+
+    def test_silence_detected_while_fleet_active(self):
+        clock, s = suite()
+        s.watch_hosts(["cc-a-r0", "cc-a-r1"])
+        s.on_event(ev(0.0, "replica.executed", "cc-a-r0", alias="x", seq=1))
+        # r1 keeps chattering; r0 goes quiet.
+        for i in range(1, 60):
+            s.on_event(ev(i * 0.2, "replica.executed", "cc-a-r1", alias="x", seq=i))
+        silent = [e for e in s.events if e.kind == "silent-replica"]
+        assert [e.host for e in silent] == ["cc-a-r0"]
+        assert silent[0].detail["reason"] == "silence"
+
+    def test_no_silence_events_when_whole_fleet_idles(self):
+        clock, s = suite()
+        s.watch_hosts(["cc-a-r0", "cc-a-r1"])
+        s.on_event(ev(0.0, "replica.executed", "cc-a-r0", alias="x", seq=1))
+        s.on_event(ev(0.01, "replica.executed", "cc-a-r1", alias="x", seq=1))
+        # Workload drained; the final poll happens long after everyone
+        # stopped talking. Nobody is anomalously silent.
+        assert s.poll(30.0) == []
+
+    def test_unseen_host_never_flagged(self):
+        _, s = suite()
+        s.watch_hosts(["cc-a-r0", "never-started"])
+        for i in range(1, 50):
+            s.on_event(ev(i * 0.2, "replica.executed", "cc-a-r0", alias="x", seq=i))
+        assert not [e for e in s.events if e.host == "never-started"]
+
+    def test_liveness_stall(self):
+        _, s = suite()
+        s.on_event(ev(1.0, "proxy.submit", "proxy-client-00", alias="a0", seq=1))
+        # Keep the fleet "active" past the stall timeout without completing.
+        for i in range(1, 40):
+            s.on_event(ev(1.0 + i * 0.2, "prime.view", "cc-a-r0", view=0))
+        stalls = [e for e in s.events if e.kind == "liveness-stall"]
+        assert stalls and stalls[0].severity == "critical"
+
+    def test_completion_clears_stall_state(self):
+        _, s = suite()
+        s.on_event(ev(1.0, "proxy.submit", "proxy-client-00", alias="a0", seq=1))
+        s.on_event(ev(1.5, "proxy.complete", "proxy-client-00", seq=1))
+        assert s.poll(30.0) == []
+
+    def test_checkpoint_lag(self):
+        _, s = suite()
+        s.on_event(ev(1.0, "checkpoint.stable", "cc-a-r0", ordinal=10))
+        s.on_event(ev(1.1, "checkpoint.stable", "cc-a-r1", ordinal=2))
+        s.poll(2.0)
+        lag = [e for e in s.events if e.kind == "checkpoint-lag"]
+        assert [e.host for e in lag] == ["cc-a-r1"]
+        assert lag[0].detail["lag"] == 8
+
+    def test_store_corruption_burst(self):
+        _, s = suite()
+        s.on_event(ev(5.0, "store.corrupted", "cc-b-r0", segment="seg-3"))
+        [hit] = [e for e in s.events if e.kind == "store-corruption"]
+        assert hit.host == "cc-b-r0"
+        assert hit.severity == "critical"
+
+    def test_exposure_only_for_restricted_hosts(self):
+        _, s = suite()
+        s.restrict_exposure(["dc-1-r0"])
+        s.on_event(ev(1.0, "audit.exposure", "cc-a-r0",
+                      label="client-update-body", channel="network"))
+        assert not s.events  # on-prem plaintext is by design
+        s.on_event(ev(1.1, "audit.exposure", "dc-1-r0",
+                      label="client-update-body", channel="network"))
+        [leak] = s.events
+        assert leak.kind == "exposure" and leak.severity == "critical"
+
+    def test_episode_cooldown_suppresses_repeats(self):
+        _, s = suite()
+        for i in range(20):
+            s.on_event(ev(1.0 + i * 0.05, "store.corrupted", "cc-b-r0"))
+        hits = [e for e in s.events if e.kind == "store-corruption"]
+        assert len(hits) == 1  # one episode, not one event per sample
+
+    def test_drain_returns_each_event_once(self):
+        _, s = suite()
+        s.on_event(ev(1.0, "replica.down", "cc-a-r0"))
+        assert [e.kind for e in s.drain()] == ["silent-replica"]
+        assert s.drain() == []
+        s.on_event(ev(2.0, "store.corrupted", "cc-a-r1"))
+        assert [e.kind for e in s.drain()] == ["store-corruption"]
+
+    def test_attach_detach_via_tracer(self):
+        kernel = FakeClock(0.0)
+        tracer = Tracer(kernel)
+        _, s = suite()
+        s.attach(tracer)
+        kernel.now = 1.0
+        tracer.record("replica.down", "cc-a-r0")
+        assert len(s.events) == 1
+        s.detach()
+        tracer.record("replica.down", "cc-a-r1")
+        assert len(s.events) == 1
+
+
+# -- health event rows ----------------------------------------------------------------
+
+
+class TestHealthEvents:
+    def test_row_round_trip(self):
+        event = HealthEvent(time=3.25, kind="liveness-stall", host="fleet",
+                            severity="critical", detail={"oldest_age": 7.0})
+        row = health_jsonl_row(event)
+        assert row["kind"] == "health"
+        assert row["event"] == "liveness-stall"
+        assert health_event_from_row(row) == event
+
+    def test_from_row_tolerates_aggregator_annotations(self):
+        row = health_jsonl_row(HealthEvent(time=1.0, kind="exposure", host="dc-1-r0"))
+        row["node"] = "dc-1-r0"  # the merge adds this
+        assert health_event_from_row(row).kind == "exposure"
+
+
+# -- fault → detection matching -------------------------------------------------------
+
+
+class FakeFault:
+    def __init__(self, at, kind, target="", until=None, duration=3.0):
+        self.at = at
+        self.kind = kind
+        self.target = target
+        self.until = until
+        self._duration = duration
+
+    def param(self, name, default=None):
+        return self._duration if name == "duration" else default
+
+
+class TestMatchDetections:
+    def test_every_required_kind_has_expectations(self):
+        for kind in REQUIRED_DETECTION_KINDS:
+            assert EXPECTED_DETECTIONS[kind]
+
+    def test_target_scoped_event_preferred(self):
+        fault = FakeFault(5.0, "recover", target="cc-a-r1")
+        health = [
+            HealthEvent(time=5.5, kind="silent-replica", host="cc-a-r0"),
+            HealthEvent(time=6.0, kind="silent-replica", host="cc-a-r1"),
+        ]
+        [match] = match_detections([fault], health)
+        assert match.detected
+        assert match.event_host == "cc-a-r1"
+        assert match.latency == pytest.approx(1.0)
+
+    def test_site_target_matches_host_prefix(self):
+        fault = FakeFault(5.0, "isolate", target="cc-b", until=9.0)
+        health = [HealthEvent(time=7.0, kind="checkpoint-lag", host="cc-b-r2")]
+        [match] = match_detections([fault], health)
+        assert match.detected and match.event_host == "cc-b-r2"
+
+    def test_unexpected_kind_does_not_count(self):
+        fault = FakeFault(5.0, "recover", target="cc-a-r1")
+        health = [HealthEvent(time=6.0, kind="store-corruption", host="cc-a-r1")]
+        [match] = match_detections([fault], health)
+        assert not match.detected
+        assert "UNDETECTED" in match.describe()
+
+    def test_event_before_fault_does_not_count(self):
+        fault = FakeFault(5.0, "recover", target="cc-a-r1")
+        health = [HealthEvent(time=4.0, kind="silent-replica", host="cc-a-r1")]
+        [match] = match_detections([fault], health)
+        assert not match.detected
+
+    def test_grace_bounds_late_detections(self):
+        fault = FakeFault(5.0, "recover", target="cc-a-r1", duration=3.0)
+        late = [HealthEvent(time=100.0, kind="silent-replica", host="cc-a-r1")]
+        [match] = match_detections([fault], late, grace=8.0)
+        assert not match.detected
+
+    def test_offset_aligns_live_fault_times(self):
+        # Live: fault at t0-relative 5.0, node events epoch-relative; the
+        # launch took 2.5s, so the fault actually hit at epoch time 7.5.
+        fault = FakeFault(5.0, "recover", target="cc-a-r1")
+        health = [HealthEvent(time=8.0, kind="silent-replica", host="cc-a-r1")]
+        [match] = match_detections([fault], health, offset=2.5)
+        assert match.detected
+        assert match.latency == pytest.approx(0.5)
+        [miss] = match_detections([fault], health, offset=50.0)
+        assert not miss.detected
+
+
+# -- NodeWatch glue -------------------------------------------------------------------
+
+
+def make_node_watch(now=0.0):
+    kernel = FakeClock(now)
+    tracer = Tracer(kernel)
+    metrics = MetricsRegistry(now_fn=lambda: kernel.now)
+    watch = NodeWatch("cc-a-r0", "replica", "cc-a", metrics,
+                      now_fn=lambda: kernel.now).attach(tracer)
+    return kernel, tracer, metrics, watch
+
+
+class TestNodeWatch:
+    def test_milestones_stream_into_ring(self):
+        kernel, tracer, _, watch = make_node_watch()
+        kernel.now = 1.0
+        tracer.record("intro.injected", "cc-a-r0", alias="a0", seq=1)
+        tracer.record("prime.preorder", "cc-a-r0")  # not a watched category
+        rows, _, _ = watch.ring.since(0)
+        assert [r["category"] for r in rows if r["kind"] == "trace"] == [
+            "intro.injected"
+        ]
+
+    def test_tick_appends_snapshot_and_health(self):
+        kernel, tracer, metrics, watch = make_node_watch()
+        metrics.counter("replica.updates_executed").inc(3)
+        kernel.now = 2.0
+        tracer.record("store.corrupted", "cc-a-r0", segment="seg-0")
+        watch.tick()
+        rows, _, _ = watch.ring.since(0)
+        kinds = [r["kind"] for r in rows]
+        assert "snapshot" in kinds and "health" in kinds
+        snap = next(r for r in rows if r["kind"] == "snapshot")
+        assert snap["counters"]["replica.updates_executed"] == 3
+
+    def test_telemetry_since_carries_identity_and_cursor(self):
+        kernel, _, _, watch = make_node_watch()
+        watch.tick()
+        body = watch.telemetry_since(0)
+        assert body["host"] == "cc-a-r0"
+        assert body["role"] == "replica"
+        assert body["site"] == "cc-a"
+        assert body["next"] == len(body["entries"])
+        assert body["dropped"] == 0
+
+    def test_artifact_rows_hold_snapshots_and_health_only(self):
+        kernel, tracer, _, watch = make_node_watch()
+        kernel.now = 1.0
+        tracer.record("intro.injected", "cc-a-r0", alias="a0", seq=1)
+        tracer.record("store.corrupted", "cc-a-r0")
+        watch.tick()
+        kinds = {r["kind"] for r in watch.artifact_rows()}
+        assert kinds == {"snapshot", "health"}
+
+    def test_note_peers_feeds_silence_detector(self):
+        kernel, _, _, watch = make_node_watch()
+        watch.detectors.watch_hosts(["cc-a-r1"])
+        watch.note_peers({"cc-a-r1": 1.0})
+        assert watch.detectors._last_seen["cc-a-r1"] == 1.0
+
+
+# -- fleet aggregator (offline) -------------------------------------------------------
+
+
+def make_aggregator():
+    nodes = [
+        NodeEndpoint(name="cc-a-r0", control_port=1, site="cc-a"),
+        NodeEndpoint(name="proxy-client-00", control_port=2, site="cc-a",
+                     role="client"),
+    ]
+    return FleetAggregator(nodes)
+
+
+def snapshot_payload(t, counters, histograms=None):
+    return {
+        "kind": "snapshot", "time": t, "window": 5.0,
+        "counters": counters, "gauges": {}, "histograms": histograms or {},
+    }
+
+
+class TestFleetAggregator:
+    def test_absorb_updates_cursor_and_buckets_rows(self):
+        agg = make_aggregator()
+        node = agg.nodes[0]
+        agg._absorb(node, {
+            "next": 3, "dropped": 1,
+            "entries": [
+                snapshot_payload(1.0, {"replica.updates_executed": 10}),
+                {"kind": "health", "time": 1.1, "event": "silent-replica",
+                 "host": "cc-a-r1", "severity": "critical", "detail": {}},
+                {"kind": "trace", "time": 1.2, "category": "intro.injected",
+                 "host": "cc-a-r0", "detail": {"alias": "a0", "seq": 1}},
+            ],
+        })
+        assert agg._cursors["cc-a-r0"] == 3
+        assert agg.dropped["cc-a-r0"] == 1
+        assert len(agg.health) == 1
+        assert len(agg.trace_rows) == 1
+        assert all(r["node"] == "cc-a-r0" for r in agg.new_rows)
+
+    def test_rates_from_consecutive_snapshots(self):
+        agg = make_aggregator()
+        node = agg.nodes[0]
+        agg._absorb(node, {"next": 1, "dropped": 0, "entries": [
+            snapshot_payload(1.0, {"replica.updates_executed": 10})]})
+        agg._absorb(node, {"next": 2, "dropped": 0, "entries": [
+            snapshot_payload(3.0, {"replica.updates_executed": 50})]})
+        assert agg._rate("cc-a-r0", "replica.updates_executed") == pytest.approx(20.0)
+
+    def test_stitch_builds_cross_node_spans(self):
+        agg = make_aggregator()
+        proxy, replica = agg.nodes[1], agg.nodes[0]
+        # Milestones arrive from *different* nodes, out of order.
+        agg._absorb(replica, {"next": 2, "dropped": 0, "entries": [
+            {"kind": "trace", "time": 1.1, "category": "intro.injected",
+             "host": "cc-a-r0", "detail": {"alias": "a0", "seq": 1}},
+            {"kind": "trace", "time": 1.2, "category": "replica.executed",
+             "host": "cc-a-r0", "detail": {"alias": "a0", "seq": 1}},
+        ]})
+        agg._absorb(proxy, {"next": 3, "dropped": 0, "entries": [
+            {"kind": "trace", "time": 1.0, "category": "proxy.submit",
+             "host": "proxy-client-00",
+             "detail": {"client": "client-00", "alias": "a0", "seq": 1}},
+            {"kind": "trace", "time": 1.3, "category": "response.combined",
+             "host": "proxy-client-00",
+             "detail": {"client": "client-00", "alias": "a0", "seq": 1}},
+            {"kind": "trace", "time": 1.4, "category": "proxy.complete",
+             "host": "proxy-client-00",
+             "detail": {"client": "client-00", "alias": "a0", "seq": 1,
+                        "latency": 0.4}},
+        ]})
+        report = agg.stitch_report()
+        assert report["spans"] == 1
+        assert report["completed"] == 1
+        assert report["complete_timelines"] == 1
+        assert report["completeness"] == 1.0
+        assert report["phase_sum_within_5pct"] == 1
+
+    def test_render_top_offline(self):
+        agg = make_aggregator()
+        node = agg.nodes[0]
+        agg._absorb(node, {"next": 2, "dropped": 0, "entries": [
+            snapshot_payload(1.0, {"replica.updates_executed": 10}),
+            snapshot_payload(2.0, {"replica.updates_executed": 30},
+                             histograms={"watch.link_delay{src=cc-a}": {
+                                 "count": 5, "mean": 0.01,
+                                 "p50": 0.01, "p99": 0.02}}),
+        ]})
+        agg.health.append(HealthEvent(time=2.0, kind="silent-replica",
+                                      host="cc-a-r1", severity="critical"))
+        screen = agg.render_top(now=2.5)
+        assert "cc-a-r0" in screen
+        assert "20.0" in screen  # updates/s
+        assert "silent-replica" in screen
+        assert "one-way p50 latency" in screen
+        # The unpolled client renders as pending, not crash.
+        assert "proxy-client-00" in screen
+
+    def test_site_latency_matrix_parses_series_labels(self):
+        agg = make_aggregator()
+        agg._absorb(agg.nodes[0], {"next": 1, "dropped": 0, "entries": [
+            snapshot_payload(1.0, {}, histograms={
+                "watch.link_delay{src=dc-1}": {"count": 3, "mean": 0.04,
+                                               "p50": 0.04, "p99": 0.05}})]})
+        assert agg.site_latency_matrix() == {("dc-1", "cc-a"): 0.04}
+
+    def test_for_config_builds_replica_and_client_endpoints(self):
+        from repro.rt.bootstrap import RtConfig
+
+        config = RtConfig(num_clients=2)
+        agg = FleetAggregator.for_config(config)
+        roles = [n.role for n in agg.nodes]
+        assert roles.count("client") == 2
+        assert roles.count("replica") >= 6  # f=1 confidential fleet
+        assert all(n.site for n in agg.nodes)
+        assert len({n.control_port for n in agg.nodes}) == len(agg.nodes)

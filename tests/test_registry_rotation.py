@@ -1,0 +1,126 @@
+"""Property tests pinning the time-windowed histogram semantics.
+
+The contract under test (see ``Histogram.stats``):
+
+- a window is half-open ``[since, until)``;
+- rotating adjacent windows ``[a, b) / [b, c)`` **partitions** the
+  samples — a sample stamped exactly at a rotation instant lands in the
+  later window and in exactly one window;
+- ``None`` bounds are unbounded on both ends, so whole-run stats include
+  the live substrate's negative (pre-epoch) warmup timestamps;
+- p50/p99 follow linear interpolation on rank ``p/100 * (n - 1)`` over
+  the window's sorted values, clamped into ``[min, max]``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import EMPTY_HISTOGRAM_STATS, Histogram, MetricsRegistry
+
+
+def make_histogram(samples):
+    hist = Histogram("h", (), now_fn=lambda: 0.0)
+    hist.samples = sorted(samples)
+    return hist
+
+
+def reference_percentile(values, p):
+    values = sorted(values)
+    if len(values) == 1:
+        return values[0]
+    rank = (p / 100.0) * (len(values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(values) - 1)
+    value = values[low] + (values[high] - values[low]) * (rank - low)
+    return min(max(value, values[0]), values[-1])
+
+
+times = st.floats(min_value=-100.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+values = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+sample_lists = st.lists(st.tuples(times, values), min_size=0, max_size=60)
+
+
+@given(samples=sample_lists,
+       bounds=st.tuples(times, times, times).map(sorted))
+@settings(max_examples=200, deadline=None)
+def test_rotation_partitions_samples_exactly(samples, bounds):
+    t0, t1, t2 = bounds
+    hist = make_histogram(samples)
+    first = hist.stats(since=t0, until=t1)
+    second = hist.stats(since=t1, until=t2)
+    union = hist.stats(since=t0, until=t2)
+    assert first.count + second.count == union.count
+    # Summation order differs between the two windows and the union, so
+    # totals agree only to float round-off; the partition itself is exact.
+    assert first.total + second.total == pytest.approx(union.total, rel=1e-9)
+
+
+@given(samples=sample_lists)
+@settings(max_examples=100, deadline=None)
+def test_unbounded_default_covers_everything_including_negative_times(samples):
+    hist = make_histogram(samples)
+    stats = hist.stats()
+    assert stats.count == len(samples)
+
+
+@given(samples=sample_lists, pivot=times)
+@settings(max_examples=150, deadline=None)
+def test_sample_at_rotation_instant_lands_in_later_window(samples, pivot):
+    hist = make_histogram(samples + [(pivot, 1.0)])
+    before = hist.stats(until=pivot)
+    after = hist.stats(since=pivot)
+    at_pivot = sum(1 for t, _v in hist.samples if t == pivot)
+    # Every pivot-stamped sample is in the "after" window, none "before".
+    assert after.count >= at_pivot
+    assert before.count + after.count == len(hist.samples)
+
+
+@given(samples=st.lists(st.tuples(times, values), min_size=1, max_size=60),
+       window=st.tuples(times, times).map(sorted))
+@settings(max_examples=200, deadline=None)
+def test_percentiles_match_reference_over_window(samples, window):
+    since, until = window
+    hist = make_histogram(samples)
+    stats = hist.stats(since=since, until=until)
+    in_window = [v for t, v in hist.samples if since <= t < until]
+    if not in_window:
+        assert stats is EMPTY_HISTOGRAM_STATS
+        return
+    assert stats.count == len(in_window)
+    assert stats.minimum == min(in_window)
+    assert stats.maximum == max(in_window)
+    assert abs(stats.p50 - reference_percentile(in_window, 50)) <= 1e-6
+    assert abs(stats.p99 - reference_percentile(in_window, 99)) <= 1e-6
+    assert stats.minimum <= stats.p50 <= stats.p99 <= stats.maximum
+
+
+@given(samples=st.lists(st.tuples(times, values), min_size=1, max_size=40),
+       step=st.floats(min_value=0.5, max_value=10.0,
+                      allow_nan=False, allow_infinity=False))
+@settings(max_examples=100, deadline=None)
+def test_rolling_rotation_covers_each_sample_once(samples, step):
+    """Simulate snapshot rotation: consecutive windows tile the timeline."""
+    hist = make_histogram(samples)
+    lo = min(t for t, _v in hist.samples)
+    hi = max(t for t, _v in hist.samples)
+    total = 0
+    edge = lo
+    while edge <= hi:
+        total += hist.stats(since=edge, until=edge + step).count
+        edge += step
+    assert total == len(hist.samples)
+
+
+def test_registry_now_fn_stamps_observations():
+    clock = {"now": -2.0}
+    metrics = MetricsRegistry(now_fn=lambda: clock["now"])
+    hist = metrics.histogram("h")
+    hist.observe(0.5)  # pre-epoch warmup sample
+    clock["now"] = 3.0
+    hist.observe(0.7)
+    assert hist.samples == [(-2.0, 0.5), (3.0, 0.7)]
+    assert hist.stats().count == 2  # default window must not drop t<0
+    assert hist.stats(since=0.0).count == 1

@@ -1,0 +1,241 @@
+"""Merge robustness: torn JSONL tails are absorbed and counted, never
+silently dropped; telemetry/health interleave; the merged bundle and its
+merge report stay consistent."""
+
+import json
+
+import pytest
+
+from repro.rt.merge import (
+    load_host_info,
+    load_jsonl_rows,
+    load_telemetry_rows,
+    load_trace_events,
+    merge_bundle,
+    merge_metrics,
+)
+
+
+def write_lines(path, lines):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+
+
+def trace_line(t, category, host, **detail):
+    return json.dumps({"kind": "trace", "time": t, "category": category,
+                       "host": host, "detail": detail})
+
+
+class TestLoadJsonlRows:
+    def test_clean_file(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_lines(path, [json.dumps({"a": i}) for i in range(3)])
+        rows, absorbed = load_jsonl_rows(path)
+        assert [r["a"] for r in rows] == [0, 1, 2]
+        assert absorbed == 0
+
+    def test_missing_file_is_empty_not_error(self, tmp_path):
+        assert load_jsonl_rows(tmp_path / "nope.jsonl") == ([], 0)
+
+    def test_torn_tail_absorbed_prefix_kept(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text(
+            json.dumps({"a": 1}) + "\n" + '{"a": 2, "tor',  # killed mid-write
+            encoding="utf-8",
+        )
+        rows, absorbed = load_jsonl_rows(path)
+        assert rows == [{"a": 1}]
+        assert absorbed == 1
+
+    def test_mid_file_garbage_and_non_objects_absorbed(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_lines(path, [
+            json.dumps({"a": 1}),
+            "not json at all",
+            json.dumps([1, 2, 3]),  # valid JSON, wrong shape
+            json.dumps(42),
+            json.dumps({"a": 2}),
+        ])
+        rows, absorbed = load_jsonl_rows(path)
+        assert [r["a"] for r in rows] == [1, 2]
+        assert absorbed == 3
+
+    def test_blank_lines_ignored_not_counted(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        write_lines(path, [json.dumps({"a": 1}), "", "   ", json.dumps({"a": 2})])
+        rows, absorbed = load_jsonl_rows(path)
+        assert len(rows) == 2 and absorbed == 0
+
+    def test_invalid_utf8_does_not_crash(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_bytes(json.dumps({"a": 1}).encode() + b"\n\xff\xfe{broken\n")
+        rows, absorbed = load_jsonl_rows(path)
+        assert rows == [{"a": 1}]
+        assert absorbed == 1
+
+
+class TestLoadTraceEvents:
+    def test_interleaves_across_nodes_by_time(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        write_lines(a / "trace.jsonl", [trace_line(2.0, "x", "a")])
+        write_lines(b / "trace.jsonl", [trace_line(1.0, "y", "b")])
+        events = load_trace_events([a, b])
+        assert [e.category for e in events] == ["y", "x"]
+
+    def test_schema_less_rows_tallied_per_file(self, tmp_path):
+        a = tmp_path / "a"
+        write_lines(a / "trace.jsonl", [
+            trace_line(1.0, "x", "a"),
+            json.dumps({"kind": "trace", "no_time": True}),  # KeyError row
+            "torn{",
+        ])
+        report = {}
+        events = load_trace_events([a], report=report)
+        assert len(events) == 1
+        assert report[str(a / "trace.jsonl")] == 2
+
+
+class TestLoadTelemetryRows:
+    def test_rows_annotated_and_sorted(self, tmp_path):
+        a, b = tmp_path / "cc-a-r0", tmp_path / "proxy-client-00"
+        write_lines(a / "telemetry.jsonl", [
+            json.dumps({"kind": "snapshot", "time": 2.0, "counters": {}}),
+        ])
+        write_lines(b / "telemetry.jsonl", [
+            json.dumps({"kind": "health", "time": 1.0, "event": "exposure",
+                        "host": "dc-1-r0", "severity": "critical", "detail": {}}),
+        ])
+        rows = load_telemetry_rows([a, b])
+        assert [r["time"] for r in rows] == [1.0, 2.0]
+        assert rows[0]["node"] == "proxy-client-00"
+        assert rows[1]["node"] == "cc-a-r0"
+
+    def test_kindless_rows_absorbed(self, tmp_path):
+        a = tmp_path / "a"
+        write_lines(a / "telemetry.jsonl", [
+            json.dumps({"time": 1.0}),              # no kind
+            json.dumps({"kind": "snapshot"}),        # no time
+            json.dumps({"kind": "snapshot", "time": 1.0}),
+        ])
+        report = {}
+        rows = load_telemetry_rows([a], report=report)
+        assert len(rows) == 1
+        assert report[str(a / "telemetry.jsonl")] == 2
+
+
+class TestMergeMetrics:
+    def node(self, tmp_path, name, raw):
+        d = tmp_path / name
+        d.mkdir(parents=True, exist_ok=True)
+        (d / "metrics_raw.json").write_text(json.dumps(raw), encoding="utf-8")
+        return d
+
+    def test_counters_sum_and_histograms_concatenate(self, tmp_path):
+        a = self.node(tmp_path, "a", {
+            "host": "a", "counters": [
+                {"name": "net.send", "labels": [], "value": 3}],
+            "gauges": [], "histograms": [
+                {"name": "proxy.latency", "labels": [], "samples": [[1.0, 0.01]]}],
+        })
+        b = self.node(tmp_path, "b", {
+            "host": "b", "counters": [
+                {"name": "net.send", "labels": [], "value": 4}],
+            "gauges": [], "histograms": [
+                {"name": "proxy.latency", "labels": [], "samples": [[0.5, 0.03]]}],
+        })
+        merged = merge_metrics([a, b])
+        assert merged.counter("net.send").value == 7
+        hist = merged.histogram("proxy.latency")
+        assert hist.samples == [(0.5, 0.03), (1.0, 0.01)]  # time-sorted union
+
+    def test_torn_raw_dump_absorbed_into_report(self, tmp_path):
+        a = self.node(tmp_path, "a", {
+            "host": "a",
+            "counters": [{"name": "net.send", "labels": [], "value": 1}],
+            "gauges": [], "histograms": [],
+        })
+        b = tmp_path / "b"
+        b.mkdir()
+        (b / "metrics_raw.json").write_text('{"host": "b", "coun', encoding="utf-8")
+        report = {}
+        merged = merge_metrics([a, b], report=report)
+        assert merged.counter("net.send").value == 1
+        assert report[str(b / "metrics_raw.json")] == 1
+
+
+class TestLoadHostInfo:
+    def test_role_and_site_extracted(self, tmp_path):
+        d = tmp_path / "cc-a-r0"
+        d.mkdir()
+        (d / "metrics_raw.json").write_text(json.dumps(
+            {"host": "cc-a-r0", "role": "replica", "site": "cc-a",
+             "counters": [], "gauges": [], "histograms": []}))
+        info = load_host_info([d])
+        assert info == {"cc-a-r0": {"role": "replica", "site": "cc-a"}}
+
+
+class TestMergeBundle:
+    def make_node(self, root, name, *, torn=False):
+        d = root / "nodes" / name
+        d.mkdir(parents=True)
+        (d / "metrics_raw.json").write_text(json.dumps({
+            "host": name, "role": "replica", "site": "cc-a",
+            "counters": [{"name": "net.send", "labels": [], "value": 2}],
+            "gauges": [], "histograms": [],
+        }))
+        trace = [
+            trace_line(1.0, "proxy.submit", name,
+                       client="client-00", alias="a0", seq=1),
+            trace_line(1.5, "proxy.complete", name,
+                       client="client-00", alias="a0", seq=1, latency=0.5),
+        ]
+        if torn:
+            trace.append('{"kind": "trace", "time": 2.0, "cat')
+        write_lines(d / "trace.jsonl", trace)
+        telemetry = [
+            json.dumps({"kind": "snapshot", "time": 1.0, "counters": {},
+                        "gauges": {}, "histograms": {}, "window": 5.0}),
+            json.dumps({"kind": "health", "time": 1.2, "event": "silent-replica",
+                        "host": name, "severity": "critical", "detail": {}}),
+        ]
+        if torn:
+            telemetry.append('{"kind": "snapsh')
+        write_lines(d / "telemetry.jsonl", telemetry)
+        return d
+
+    def test_bundle_artifacts_and_report(self, tmp_path):
+        self.make_node(tmp_path, "cc-a-r0", torn=True)
+        self.make_node(tmp_path, "cc-a-r1")
+        paths = merge_bundle(tmp_path)
+        for name in ("metrics.prom", "metrics.jsonl", "spans.jsonl",
+                     "trace.jsonl", "trace.json", "telemetry.jsonl",
+                     "health.jsonl", "merge_report.json"):
+            assert name in paths
+
+        report = json.loads(
+            (tmp_path / "merged" / "merge_report.json").read_text())
+        assert report["nodes"] == 2
+        assert report["trace_events"] == 4
+        assert report["health_events"] == 2
+        assert report["absorbed_total"] == 2  # one torn trace + one torn telemetry
+        torn_files = set(report["absorbed_lines"])
+        assert any("cc-a-r0" in f and "trace" in f for f in torn_files)
+        assert any("cc-a-r0" in f and "telemetry" in f for f in torn_files)
+
+        health_rows, absorbed = load_jsonl_rows(tmp_path / "merged" / "health.jsonl")
+        assert absorbed == 0
+        assert {r["host"] for r in health_rows} == {"cc-a-r0", "cc-a-r1"}
+
+        # chrome trace carries per-process metadata from host info
+        trace = json.loads((tmp_path / "merged" / "trace.json").read_text())
+        names = [e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("name") == "process_name"]
+        assert "cc-a-r0 [replica@cc-a]" in names
+
+    def test_clean_bundle_reports_zero_absorbed(self, tmp_path):
+        self.make_node(tmp_path, "cc-a-r0")
+        merge_bundle(tmp_path)
+        report = json.loads(
+            (tmp_path / "merged" / "merge_report.json").read_text())
+        assert report["absorbed_total"] == 0
+        assert report["absorbed_lines"] == {}
