@@ -1,0 +1,178 @@
+"""ShardLab scaling benchmark: fixed client load over 1/2/4 shards.
+
+Runs the same 40-client workload against sharded deployments of 1, 2,
+and 4 groups and measures completed updates per *virtual* second. The
+simulation is deterministic, so the numbers are exactly reproducible on
+any machine — which is why ``--check`` can enforce a hard floor on the
+2-shard/1-shard scaling ratio instead of a fuzzy wall-clock comparison.
+
+At this load a single group is far past saturation (clients offer ~130
+updates/s against a group capacity around 10/s), so sharding the
+keyspace shows up directly in completions: each extra group adds
+ordering, introduction, and threshold-signing capacity.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py            # full run
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.shard.builder import build_sharded  # noqa: E402
+from repro.system.config import SystemConfig  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS_PATH = Path("benchmarks") / "results" / "BENCH_shard.json"
+
+#: The acceptance floor: two shards must complete at least this multiple
+#: of the single-shard run's updates under the same offered load.
+SCALING_FLOOR_2X = 1.6
+
+FULL = {"clients": 40, "interval": 0.3, "duration": 5.0, "shards": (1, 2, 4)}
+QUICK = {"clients": 16, "interval": 0.25, "duration": 4.0, "shards": (1, 2)}
+
+
+def run_point(shards: int, clients: int, interval: float, duration: float,
+              seed: int = 11) -> dict:
+    config = SystemConfig(
+        seed=seed,
+        f=1,
+        num_clients=clients,
+        update_interval=interval,
+        checkpoint_interval=50,
+        shards=shards,
+        tracing=False,
+    )
+    deployment = build_sharded(config)
+    deployment.start()
+    deployment.start_workload(duration=duration)
+    deployment.run(until=duration + 3.0)
+    completed = deployment.completed_count()
+    latencies = deployment.latencies()
+    deployment.shutdown()
+    latencies.sort()
+    return {
+        "shards": shards,
+        "completed": completed,
+        "updates_per_sec": round(completed / duration, 3),
+        "p50_latency": round(latencies[len(latencies) // 2], 4) if latencies else None,
+    }
+
+
+def run_scaling(quick: bool = False, seed: int = 11) -> dict:
+    params = QUICK if quick else FULL
+    points = [
+        run_point(s, params["clients"], params["interval"], params["duration"],
+                  seed=seed)
+        for s in params["shards"]
+    ]
+    base = points[0]["updates_per_sec"]
+    ratios = {
+        f"{p['shards']}/1": round(p["updates_per_sec"] / base, 3)
+        for p in points[1:]
+    }
+    return {
+        "benchmark": "shard_scaling",
+        "quick": quick,
+        "seed": seed,
+        "clients": params["clients"],
+        "update_interval": params["interval"],
+        "duration": params["duration"],
+        "points": points,
+        "ratios": ratios,
+    }
+
+
+def check(result: dict, baseline: dict | None, tolerance: float) -> list:
+    failures = []
+    two = result["ratios"].get("2/1")
+    if two is None:
+        failures.append("no 2-shard point in this run; cannot check the floor")
+    elif two < SCALING_FLOOR_2X:
+        failures.append(
+            f"2-shard scaling ratio {two} below the acceptance floor "
+            f"{SCALING_FLOOR_2X}"
+        )
+    if baseline is not None and baseline.get("quick") == result.get("quick"):
+        for key, ratio in baseline.get("ratios", {}).items():
+            fresh = result["ratios"].get(key)
+            if fresh is None:
+                failures.append(f"baseline ratio {key} missing from this run")
+            elif fresh < ratio * (1 - tolerance):
+                failures.append(
+                    f"ratio {key} regressed: {fresh} vs baseline {ratio} "
+                    f"(tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="16 clients, 1/2 shards only (CI smoke; skips baseline ratios "
+        "unless the baseline is also quick)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the 2-shard scaling floor (and baseline ratios when "
+        "comparable); exit 1 on failure",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / DEFAULT_RESULTS_PATH,
+        help="baseline JSON for --check (default: the committed results file)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="where to write results (default: the committed results file, "
+        "full runs only)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional erosion of baseline ratios (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    result = run_scaling(quick=args.quick, seed=args.seed)
+    print(json.dumps(result, indent=2, sort_keys=True))
+
+    if args.check:
+        baseline = None
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+        failures = check(result, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("scaling check passed", file=sys.stderr)
+
+    out = args.out
+    if out is None and not args.quick and not args.check:
+        out = REPO_ROOT / DEFAULT_RESULTS_PATH
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

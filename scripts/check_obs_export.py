@@ -71,11 +71,37 @@ REQUIRED_COUNTERS = (
     "crypto_verify_cache_miss_total",
 )
 
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+#: Shard label values look like ``s0``, ``s1``, ...
+SHARD_VALUE_RE = re.compile(r"^s\d+$")
+
+#: ShardLab instruments that must carry a ``shard="sN"`` label per sample.
+SHARD_LABELED = ("shard_updates_total", "shard_cross_shard_total")
+
+#: Once a bundle is multi-shard (two or more distinct shard labels), the
+#: routing tier's per-shard load counter must be present.
+SHARD_MULTI_REQUIRED = ("shard_updates_total",)
+
+#: A bundle with cross-shard traffic ran a coordinator, which creates its
+#: outcome counters eagerly — both must appear (live fleets have no
+#: coordinator: cross-shard ordering is a sim-substrate feature).
+SHARD_CROSS_REQUIRED = (
+    "shard_cross_committed_total",
+    "shard_cross_rejected_total",
+)
+
+#: Telemetry snapshot series for per-shard counters (series_key format).
+SHARD_SERIES_RE = re.compile(r"^shard\.(updates|cross_shard)\{shard=(s\d+)\}$")
+#: Node names of a sharded rt fleet: ``s0.ec-a-01``, ``s1.proxy-...``.
+SHARD_NODE_RE = re.compile(r"^(s\d+)\.")
+
 
 def check_prometheus(path: Path, errors: list) -> None:
     families: dict = {}
     layer_hits = set()
     sample_names = set()
+    shard_ids = set()
     for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         if not line or line.startswith("#"):
             match = TYPE_RE.match(line)
@@ -106,12 +132,35 @@ def check_prometheus(path: Path, errors: list) -> None:
         for prefix in REQUIRED_LAYERS:
             if name.startswith(prefix):
                 layer_hits.add(prefix)
+        if name in SHARD_LABELED:
+            labels = dict(LABEL_RE.findall(match.group("labels") or ""))
+            shard = labels.get("shard")
+            if shard is None or not SHARD_VALUE_RE.match(shard):
+                errors.append(
+                    f'{path.name}:{line_no}: {name} sample lacks a shard="sN" label'
+                )
+            else:
+                shard_ids.add(shard)
     for prefix in REQUIRED_LAYERS:
         if prefix not in layer_hits:
             errors.append(f"{path.name}: no metrics from layer {prefix!r}")
     for counter in REQUIRED_COUNTERS:
         if counter not in sample_names:
             errors.append(f"{path.name}: required counter {counter} absent")
+    if len(shard_ids) >= 2:
+        # Multi-shard bundle: the routing tier creates this eagerly, so
+        # its absence means broken shard wiring.
+        for counter in SHARD_MULTI_REQUIRED:
+            if counter not in sample_names:
+                errors.append(
+                    f"{path.name}: multi-shard bundle lacks required counter {counter}"
+                )
+    if "shard_cross_shard_total" in sample_names:
+        for counter in SHARD_CROSS_REQUIRED:
+            if counter not in sample_names:
+                errors.append(
+                    f"{path.name}: cross-shard bundle lacks required counter {counter}"
+                )
 
 
 def check_row(row, where: str, errors: list, kinds: set) -> bool:
@@ -130,6 +179,21 @@ def check_row(row, where: str, errors: list, kinds: set) -> bool:
     if kind == "health" and row["severity"] not in HEALTH_SEVERITIES:
         errors.append(f"{where}: health severity {row['severity']!r} unknown")
         return False
+    if kind in ("counter", "gauge", "histogram") and str(
+        row.get("name", "")
+    ) in ("shard.updates", "shard.cross_shard"):
+        labels = row.get("labels") or {}
+        shard = labels.get("shard") if isinstance(labels, dict) else None
+        if not isinstance(shard, str) or not SHARD_VALUE_RE.match(shard):
+            errors.append(f"{where}: {row['name']} row lacks a shard=sN label")
+            return False
+    if kind == "snapshot":
+        for series in row.get("counters", {}):
+            if series in ("shard.updates", "shard.cross_shard"):
+                errors.append(
+                    f"{where}: snapshot series {series!r} lacks its shard label"
+                )
+                return False
     return True
 
 
@@ -260,6 +324,8 @@ STREAM_KINDS = {"snapshot", "health", "trace", "span"}
 def check_stream(lines, errors: list) -> dict:
     """Validate ``repro obs tail`` output: node-annotated telemetry rows."""
     tally = {kind: 0 for kind in STREAM_KINDS}
+    node_shards = set()
+    series_shards = set()
     for line_no, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
@@ -275,10 +341,23 @@ def check_stream(lines, errors: list) -> dict:
             errors.append(f"stream:{line_no}: row lacks its node annotation")
             continue
         tally[row["kind"]] += 1
+        node_match = SHARD_NODE_RE.match(str(row["node"]))
+        if node_match:
+            node_shards.add(node_match.group(1))
+        if row["kind"] == "snapshot":
+            for series in row.get("counters", {}):
+                series_match = SHARD_SERIES_RE.match(series)
+                if series_match:
+                    series_shards.add(series_match.group(2))
     if sum(tally.values()) == 0:
         errors.append("stream: no telemetry rows at all")
     elif tally["snapshot"] == 0:
         errors.append("stream: no snapshot rows — fleet never reported metrics")
+    if len(node_shards) >= 2 and not series_shards:
+        errors.append(
+            "stream: nodes from multiple shards reported but no shard.* "
+            "counter series were seen in any snapshot"
+        )
     return tally
 
 

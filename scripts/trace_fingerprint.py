@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Print the sim trace fingerprint for a small reference configuration.
+
+The fingerprint is the sha256 over the ``repr`` of every trace event of a
+short deterministic run. It pins the exact byte-level behaviour of the
+simulation: ShardLab's single-shard path must reproduce it bit-for-bit
+(see tests/test_shard_identity.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.system.builder import build
+from repro.system.config import SystemConfig
+
+
+def fingerprint(seed: int, clients: int, duration: float) -> str:
+    config = SystemConfig(
+        seed=seed,
+        f=1,
+        num_clients=clients,
+        update_interval=0.4,
+        checkpoint_interval=20,
+    )
+    deployment = build(config)
+    deployment.start()
+    deployment.start_workload(duration=duration)
+    deployment.run(until=duration + 4.0)
+    digest = hashlib.sha256()
+    for event in deployment.tracer.events:
+        digest.update(repr(event).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=19)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--duration", type=float, default=6.0)
+    args = parser.parse_args()
+    print(fingerprint(args.seed, args.clients, args.duration))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

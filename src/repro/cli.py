@@ -132,6 +132,9 @@ def make_parser() -> argparse.ArgumentParser:
     rt_run.add_argument("--interval", type=float, default=0.02,
                         help="pacing delay between a client's updates")
     rt_run.add_argument("--seed", type=int, default=1)
+    rt_run.add_argument("--shards", type=int, default=1,
+                        help="independent replica groups; clients are "
+                             "routed to their home shard")
     rt_run.add_argument("--base-port", type=int, default=17000)
     rt_run.add_argument("--no-latency", dest="latency", action="store_false",
                         help="disable emulated site latencies")
@@ -256,6 +259,33 @@ def make_parser() -> argparse.ArgumentParser:
         "verify", help="check CRCs and decodability; exit 1 on corruption"
     )
     store_verify.add_argument("path", metavar="DIR")
+
+    shard = sub.add_parser(
+        "shard",
+        help="ShardLab: multi-group sharded sim and the shard fault sweep",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    shard_run = shard_sub.add_parser(
+        "run", help="run one sharded sim with a cross-shard workload"
+    )
+    shard_run.add_argument("--shards", type=int, default=2)
+    shard_run.add_argument("--seed", type=int, default=19)
+    shard_run.add_argument("--clients", type=int, default=8)
+    shard_run.add_argument("--duration", type=float, default=8.0)
+    shard_run.add_argument("--interval", type=float, default=0.35,
+                           help="per-client update interval (seconds)")
+    shard_run.add_argument("--cross-every", type=int, default=4,
+                           help="every Nth update per client crosses shards "
+                                "(0 disables the cross-shard path)")
+    _add_obs_args(shard_run)
+    shard_sweep = shard_sub.add_parser(
+        "sweep", help="shard-scoped fault sweep with per-shard invariants"
+    )
+    shard_sweep.add_argument("--seeds", type=int, default=20,
+                             help="number of seeds (schedules) to run")
+    shard_sweep.add_argument("--start-seed", type=int, default=1)
+    shard_sweep.add_argument("--shards", type=int, default=2)
+    shard_sweep.add_argument("--clients", type=int, default=8)
     return parser
 
 
@@ -298,7 +328,62 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_store(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "shard":
+        return _cmd_shard(args)
     return _cmd_run(args)
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    if args.shard_command == "sweep":
+        from repro.faultlab.shardfaults import ShardFaultLabConfig, shard_sweep
+
+        lab = ShardFaultLabConfig(shards=args.shards, num_clients=args.clients)
+        seeds = range(args.start_seed, args.start_seed + args.seeds)
+        results = shard_sweep(
+            seeds, lab, on_result=lambda r: print(r.summary(), flush=True)
+        )
+        green = sum(1 for r in results if r.ok)
+        committed = sum(r.cross_committed for r in results)
+        print(f"\nshard sweep: {green}/{len(results)} seeds green, "
+              f"{committed} cross-shard commits")
+        return 0 if green == len(results) else 1
+
+    from repro.shard.builder import build_sharded
+    from repro.system.config import SystemConfig
+
+    config = SystemConfig(
+        seed=args.seed,
+        num_clients=args.clients,
+        update_interval=args.interval,
+        shards=args.shards,
+    )
+    deployment = build_sharded(config)
+    deployment.start()
+    deployment.start_workload(
+        duration=args.duration, cross_shard_every=args.cross_every
+    )
+    deployment.run(until=args.duration + 4.0)
+
+    print(f"shards={deployment.num_shards} clients={len(deployment.client_ids)} "
+          f"duration={args.duration:g}s")
+    for shard_id in range(deployment.num_shards):
+        local = [
+            cid for cid, router in sorted(deployment.routers.items())
+            if router.shard_id == shard_id
+        ]
+        done = sum(len(deployment.routers[cid].proxy.completed) for cid in local)
+        print(f"  s{shard_id}: {len(local)} clients, {done} updates completed")
+    coordinator = deployment.coordinator
+    if coordinator is not None:
+        print(f"  cross-shard: {len(coordinator.completed)} committed, "
+              f"{len(coordinator.rejected)} rejected, "
+              f"{coordinator.outstanding} in flight")
+    latencies = sorted(deployment.latencies())
+    if latencies:
+        print(f"  p50 latency: {latencies[len(latencies) // 2] * 1000:.1f} ms")
+    _write_obs_outputs(deployment, trace_out=args.trace_out, obs_out=args.obs_out)
+    deployment.shutdown()
+    return 0
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -401,6 +486,7 @@ def _cmd_rt(args: argparse.Namespace) -> int:
         data_centers=args.data_centers,
         num_clients=args.clients,
         seed=args.seed,
+        shards=args.shards,
         updates_per_client=args.updates,
         update_interval=args.interval,
         base_port=args.base_port,
@@ -419,6 +505,13 @@ def _cmd_rt(args: argparse.Namespace) -> int:
     print(f"rt run: {summary['clients']} clients, {done}/{total} updates "
           f"completed in {summary['workload_seconds']:.1f}s "
           f"({summary['throughput_per_s']:.1f}/s)")
+    shards = summary.get("shards") or {}
+    if len(shards) > 1:
+        for name in sorted(shards):
+            agg = shards[name]
+            print(f"  shard {name}: {agg['clients']} clients, "
+                  f"{agg['updates_completed']}/{agg['updates_submitted']} "
+                  "updates completed")
     print(f"latency: mean {summary['latency_mean'] * 1000:.1f} ms, "
           f"p50 {summary['latency_p50'] * 1000:.1f} ms, "
           f"p99 {summary['latency_p99'] * 1000:.1f} ms; "

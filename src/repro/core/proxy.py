@@ -79,6 +79,7 @@ class ClientProxy:
         self._retransmit_timers: Dict[int, object] = {}
         self._retransmit_counts: Dict[int, int] = {}
         self._response_callbacks: List[ResponseCallback] = []
+        self._certified_callbacks: List[Callable[[object], None]] = []
         self.completed: Dict[int, Tuple[float, bytes]] = {}  # seq -> (latency, body)
         self.retransmissions = 0
         network.register(host, self._on_message)
@@ -90,6 +91,21 @@ class ClientProxy:
         client application both listen); they run in registration order.
         """
         self._response_callbacks.append(callback)
+
+    def on_certified(self, callback: Callable[[object], None]) -> None:
+        """Register a callback receiving the verified response *message*.
+
+        Unlike :meth:`on_response`, the full :class:`ClientResponse` /
+        :class:`CertifiedResponse` object is passed through — the
+        cross-shard coordinator needs the threshold signature itself (it
+        is the prepare certificate), not just the body.
+        """
+        self._certified_callbacks.append(callback)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number :meth:`submit` will assign next."""
+        return self._seq + 1
 
     # -- submission ---------------------------------------------------------------
 
@@ -207,6 +223,8 @@ class ClientProxy:
         self._m_latency.observe(latency)
         if self.tracer:
             self.tracer.record("proxy.complete", self.host, seq=seq, latency=latency)
+        for callback in self._certified_callbacks:
+            callback(message)
         for callback in self._response_callbacks:
             callback(seq, message.body.data, latency)
 

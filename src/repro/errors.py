@@ -16,6 +16,10 @@ class ConfigurationError(ReproError):
     """A system configuration is invalid or cannot satisfy the threat model."""
 
 
+#: Short alias; the builder documents its validation errors under this name.
+ConfigError = ConfigurationError
+
+
 class CryptoError(ReproError):
     """Base class for cryptographic failures."""
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import random
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -34,11 +35,25 @@ from repro.system.adversary import Behavior
 #: deliberate confidentiality breach used to validate the checker. The
 #: storage kinds (``torn_write``/``corrupt_segment``) are likewise explicit
 #: only: adding them to the random pool would regenerate every existing
-#: seed's schedule, invalidating the sweep baselines.
+#: seed's schedule, invalidating the sweep baselines. The shard kinds are
+#: generated only by the dedicated ShardLab sweep
+#: (:func:`repro.faultlab.shardfaults.generate_shard_schedule`), never by
+#: :func:`generate_schedule`, for the same reason.
 KINDS = (
     "compromise", "isolate", "degrade", "loss", "skew", "recover", "leak",
     "torn_write", "corrupt_segment",
+    "shard_kill_proposers", "shard_partition",
 )
+
+#: ShardLab kinds: ``target`` names a shard (``s0``, ``s1``, ...) of a
+#: sharded deployment rather than a host or site.
+#: ``shard_kill_proposers`` crash-recovers ``count`` of the shard's
+#: on-premises proposers back-to-back (staggered by ``stagger`` so the
+#: one-at-a-time recovery orchestrator never skips one);
+#: ``shard_partition`` isolates one of the shard's on-premises sites for
+#: the window — cross-shard commits into that shard stall and must drain
+#: after the reconnect.
+SHARD_KINDS = ("shard_kill_proposers", "shard_partition")
 
 #: Kinds whose ``target`` names a site rather than a replica host.
 SITE_KINDS = ("isolate", "degrade", "skew")
@@ -50,7 +65,7 @@ SITE_KINDS = ("isolate", "degrade", "skew")
 STORE_KINDS = ("torn_write", "corrupt_segment")
 
 #: Kinds that require an ``until`` (they are windows, not instants).
-WINDOW_KINDS = ("compromise", "isolate", "degrade", "loss", "skew")
+WINDOW_KINDS = ("compromise", "isolate", "degrade", "loss", "skew", "shard_partition")
 
 
 @dataclass(frozen=True)
@@ -149,6 +164,11 @@ class FaultSchedule:
     def _tail(event: FaultEvent) -> float:
         if event.kind == "recover" or event.kind in STORE_KINDS:
             return float(event.param("duration", 3.0))
+        if event.kind == "shard_kill_proposers":
+            # ``count`` staggered kills, each lasting ``duration``.
+            count = max(1, int(event.param("count", 1)))
+            stagger = float(event.param("stagger", 0.6))
+            return float(event.param("duration", 3.0)) + stagger * (count - 1)
         return 0.0
 
     # -- serialization -------------------------------------------------------
@@ -183,6 +203,9 @@ class FaultSchedule:
         return "\n".join(lines)
 
 
+_SHARD_TARGET = re.compile(r"^s\d+$")
+
+
 def validate_schedule(schedule: FaultSchedule) -> None:
     """Structural validation; raises :class:`ConfigurationError`."""
     for event in schedule.events:
@@ -206,6 +229,11 @@ def validate_schedule(schedule: FaultSchedule) -> None:
         if event.kind not in ("loss", "leak") and not event.target:
             # loss is global; leak defaults to the first executing replica.
             raise ConfigurationError(f"{event.kind} event needs a target")
+        if event.kind in SHARD_KINDS and not _SHARD_TARGET.match(event.target):
+            raise ConfigurationError(
+                f"{event.kind} target must name a shard ('s0', 's1', ...), "
+                f"got {event.target!r}"
+            )
 
 
 # ---------------------------------------------------------------------------

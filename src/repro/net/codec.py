@@ -51,6 +51,12 @@ from repro.core.messages import (
 from repro.crypto.merkle import MerkleProof
 from repro.crypto.threshold import PartialSignature, ShareProof
 from repro.errors import ProtocolError
+from repro.shard.messages import (
+    CrossShardCommit,
+    CrossShardIntent,
+    CrossShardPrepare,
+    ShardMapAnnounce,
+)
 from repro.prime.messages import (
     BatchFetch,
     BatchFetchReply,
@@ -1002,6 +1008,127 @@ def _decode_certified_response(data, offset):
 _register(35, CertifiedResponse)(
     (_encode_certified_response, _decode_certified_response)
 )
+
+
+# ---------------------------------------------------------------------------
+# ShardLab (tags 36-39)
+# ---------------------------------------------------------------------------
+
+
+def _encode_shard_map_announce(out, m: ShardMapAnnounce):
+    write_varint(out, m.seed)
+    write_varint(out, m.shards)
+    write_varint(out, m.version)
+
+
+def _decode_shard_map_announce(data, offset):
+    seed, offset = read_varint(data, offset)
+    shards, offset = read_varint(data, offset)
+    version, offset = read_varint(data, offset)
+    return ShardMapAnnounce(seed=seed, shards=shards, version=version), offset
+
+
+_register(36, ShardMapAnnounce)(
+    (_encode_shard_map_announce, _decode_shard_map_announce)
+)
+
+
+def _encode_xshard_intent(out, m: CrossShardIntent):
+    write_str(out, m.client_id)
+    write_varint(out, m.client_seq)
+    write_varint(out, m.home_shard)
+    write_varint(out, len(m.targets))
+    for target in m.targets:
+        write_varint(out, target)
+    _write_blob(out, m.body)
+
+
+def _decode_xshard_intent(data, offset):
+    client_id, offset = read_str(data, offset)
+    client_seq, offset = read_varint(data, offset)
+    home_shard, offset = read_varint(data, offset)
+    count, offset = read_varint(data, offset)
+    targets = []
+    for _ in range(count):
+        target, offset = read_varint(data, offset)
+        targets.append(target)
+    body, offset = _read_blob(data, offset)
+    return (
+        CrossShardIntent(
+            client_id=client_id,
+            client_seq=client_seq,
+            home_shard=home_shard,
+            targets=tuple(targets),
+            body=body,
+        ),
+        offset,
+    )
+
+
+_register(37, CrossShardIntent)((_encode_xshard_intent, _decode_xshard_intent))
+
+
+def _encode_xshard_prepare(out, m: CrossShardPrepare):
+    write_str(out, m.client_id)
+    write_varint(out, m.client_seq)
+    write_varint(out, m.home_shard)
+    write_bytes(out, m.intent_digest)
+    write_varint(out, m.cert_kind)
+    write_bytes(out, m.cert_sig)
+    write_bytes(out, m.batch_root)
+    write_varint(out, m.batch_count)
+    if m.proof is not None:
+        out.append(1)
+        _write_proof(out, m.proof)
+    else:
+        out.append(0)
+
+
+def _decode_xshard_prepare(data, offset):
+    client_id, offset = read_str(data, offset)
+    client_seq, offset = read_varint(data, offset)
+    home_shard, offset = read_varint(data, offset)
+    intent_digest, offset = read_bytes(data, offset)
+    cert_kind, offset = read_varint(data, offset)
+    cert_sig, offset = read_bytes(data, offset)
+    batch_root, offset = read_bytes(data, offset)
+    batch_count, offset = read_varint(data, offset)
+    has_proof = data[offset]
+    offset += 1
+    proof = None
+    if has_proof:
+        proof, offset = _read_proof(data, offset)
+    return (
+        CrossShardPrepare(
+            client_id=client_id,
+            client_seq=client_seq,
+            home_shard=home_shard,
+            intent_digest=intent_digest,
+            cert_kind=cert_kind,
+            cert_sig=cert_sig,
+            batch_root=batch_root,
+            batch_count=batch_count,
+            proof=proof,
+        ),
+        offset,
+    )
+
+
+_register(38, CrossShardPrepare)((_encode_xshard_prepare, _decode_xshard_prepare))
+
+
+def _encode_xshard_commit(out, m: CrossShardCommit):
+    _encode_xshard_intent(out, m.intent)
+    _encode_xshard_prepare(out, m.prepare)
+
+
+def _decode_xshard_commit(data, offset):
+    intent, offset = _decode_xshard_intent(data, offset)
+    prepare, offset = _decode_xshard_prepare(data, offset)
+    return CrossShardCommit(intent=intent, prepare=prepare), offset
+
+
+_register(39, CrossShardCommit)((_encode_xshard_commit, _decode_xshard_commit))
 
 
 def registered_types() -> List[Type]:

@@ -66,6 +66,7 @@ _PROM_HELP = {
     "net": "transport: frames sent/received/dropped, frame cache",
     "crypto": "threshold crypto and signature verification cache",
     "kernel": "event kernel progress",
+    "shard": "ShardLab: routing tier, per-shard load, cross-shard ordering",
     "watch": "live telemetry: per-site link delay, watch loop",
     "audit": "confidentiality auditor",
     "faultlab": "fault injection and detection",

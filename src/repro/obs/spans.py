@@ -18,12 +18,19 @@ Milestones and their source events:
 ==========  ======================  ==========================================
 milestone   trace category          meaning
 ==========  ======================  ==========================================
-submit      ``proxy.submit``        proxy signed and queued the update
+submit      ``route.submit``        routing tier accepted the update (sharded
+                                    deployments only; otherwise the span
+                                    starts at ``proxy.submit``)
+route       ``proxy.submit``        proxy signed and queued the update
 intro       ``intro.injected``      first introducer injected into Prime
 order       ``replica.executed``    first replica executed the ordered update
 execute     ``response.combined``   first replica combined the response sig
 respond     ``proxy.complete``      proxy verified the threshold response
 ==========  ======================  ==========================================
+
+The ``route`` phase only appears in sharded runs: without ``route.submit``
+events the span starts at ``proxy.submit`` and no ``route`` mark is ever
+written, so unsharded phase summaries are unchanged.
 
 Milestones are consecutive, so the phase durations of a completed span sum
 *exactly* to the proxy-measured end-to-end latency. A milestone that never
@@ -39,7 +46,13 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.sim.trace import TraceEvent, Tracer
 
 #: Phase names, in pipeline order. ``submit`` is the span start, not a phase.
-PHASES = ("intro", "order", "execute", "respond")
+#: ``route`` (the routing-tier hop) only fires in sharded deployments.
+PHASES = ("route", "intro", "order", "execute", "respond")
+
+#: Phases every completed update must traverse regardless of deployment
+#: shape; ``route`` is excluded because only sharded runs have a routing
+#: tier. Timeline-completeness checks (WatchLab) key off this tuple.
+REQUIRED_PHASES = ("intro", "order", "execute", "respond")
 
 _MILESTONE_OF = {
     "intro.injected": "intro",
@@ -101,6 +114,7 @@ class SpanTracker:
         self._active_transfers: Set[str] = set()
         self._tracer: Optional[Tracer] = None
         self._handlers = {
+            "route.submit": self._on_route,
             "proxy.submit": self._on_submit,
             "intro.injected": self._on_milestone,
             "replica.executed": self._on_milestone,
@@ -131,13 +145,36 @@ class SpanTracker:
 
     # -- event handlers -----------------------------------------------------------
 
+    def _on_route(self, event: TraceEvent) -> None:
+        # Sharded deployments: the routing tier accepts the update before
+        # the proxy sees it, so the span opens here and the later
+        # proxy.submit closes the "route" phase.
+        detail = event.detail
+        key = (detail["alias"], detail["seq"])
+        if key in self.open:
+            return
+        span = Span(
+            alias=detail["alias"],
+            client=detail["client"],
+            client_seq=detail["seq"],
+            start=event.time,
+        )
+        if self._active_transfers:
+            span.xfer_overlap = True
+        self.open[key] = span
+
     def _on_submit(self, event: TraceEvent) -> None:
         detail = event.detail
         alias = detail["alias"]
         client = detail["client"]
         self._proxy_key[event.host] = (client, alias)
         key = (alias, detail["seq"])
-        if key in self.open:
+        existing = self.open.get(key)
+        if existing is not None:
+            # Opened by the routing tier: proxy.submit is the end of the
+            # route phase rather than the span start.
+            if "route" not in existing.marks:
+                existing.marks["route"] = event.time
             return
         span = Span(alias=alias, client=client, client_seq=detail["seq"], start=event.time)
         if self._active_transfers:

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.hlc import estimate_offset
-from repro.obs.spans import PHASES, SpanTracker
+from repro.obs.spans import REQUIRED_PHASES, SpanTracker
 from repro.obs.watch.events import HealthEvent, health_event_from_row
 from repro.sim.trace import TraceEvent
 
@@ -61,32 +61,37 @@ class FleetAggregator:
 
     @classmethod
     def for_config(cls, config) -> "FleetAggregator":
-        """Build endpoints for a live deployment from its spec/RtConfig."""
-        from repro.rt.bootstrap import generate_material, host_ports
-        from repro.sim.rng import RngRegistry
+        """Build endpoints for a live deployment from its spec/RtConfig.
 
-        material = generate_material(config.system_config(), RngRegistry(config.seed))
-        ports = host_ports(material, config.base_port)
-        nodes = [
-            NodeEndpoint(
-                name=host,
-                control_port=ports[host][1],
-                site=material.topology.site_of(host).name,
-                role="replica",
-                host=config.bind_host,
+        Shard-aware: every shard's replicas and proxies are polled, with
+        node names carrying their shard namespace (``s0.cc-a-r0``).
+        """
+        from repro.rt.bootstrap import generate_fleet
+
+        nodes = []
+        for shard in generate_fleet(config):
+            material = shard.material
+            ports = shard.ports()
+            nodes.extend(
+                NodeEndpoint(
+                    name=host,
+                    control_port=ports[host][1],
+                    site=material.topology.site_of(host).name,
+                    role="replica",
+                    host=config.bind_host,
+                )
+                for host in material.all_hosts
             )
-            for host in material.all_hosts
-        ]
-        nodes.extend(
-            NodeEndpoint(
-                name=proxy_host,
-                control_port=ports[proxy_host][1],
-                site=material.topology.site_of(proxy_host).name,
-                role="client",
-                host=config.bind_host,
+            nodes.extend(
+                NodeEndpoint(
+                    name=proxy_host,
+                    control_port=ports[proxy_host][1],
+                    site=material.topology.site_of(proxy_host).name,
+                    role="client",
+                    host=config.bind_host,
+                )
+                for proxy_host in sorted(material.proxy_of_client.values())
             )
-            for proxy_host in sorted(material.proxy_of_client.values())
-        )
         return cls(nodes, epoch=config.epoch)
 
     def _now(self) -> float:
@@ -207,7 +212,7 @@ class FleetAggregator:
         full = [
             s
             for s in completed
-            if all(phase in s.marks for phase in PHASES)
+            if all(phase in s.marks for phase in REQUIRED_PHASES)
         ]
         exact = 0
         for span in completed:

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.distribution import DistributionPlan, plan_confidential, plan_spire
 from repro.core.messages import client_alias
+from repro.errors import ConfigurationError
 from repro.costs import FREE
 from repro.crypto.keystore import HardwareKeyStore
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
@@ -68,11 +69,32 @@ class SystemMaterial:
         return "executing" if host in self.executing_hosts else "storage"
 
 
-def generate_material(config: SystemConfig, rng: RngRegistry) -> SystemMaterial:
+def generate_material(
+    config: SystemConfig,
+    rng: RngRegistry,
+    *,
+    namespace: str = "",
+    client_ids: Optional[List[str]] = None,
+    client_keys: Optional[Dict[str, RsaKeyPair]] = None,
+) -> SystemMaterial:
     """Derive the full deterministic system material for ``config``.
 
     The RNG draw order on the ``"keygen"`` stream is a compatibility
     contract: changing it changes every key in every existing trace.
+
+    The keyword parameters exist for ShardLab's per-group material and all
+    default to the classic single-group behaviour:
+
+    * ``namespace`` prefixes every replica/proxy hostname (e.g. ``"s1."``)
+      so S groups can share one tracer and one merged bundle without
+      ambiguity.
+    * ``client_ids`` names this group's *local* clients explicitly instead
+      of deriving ``client-00..`` from ``num_clients``.
+    * ``client_keys`` supplies pre-generated signing keys for the *global*
+      client population. Local clients use their entry; every other
+      (foreign) client is still registered for verification and given a
+      gateway proxy host, so a cross-shard commit signed by a foreign
+      client introduces through the normal pipeline.
     """
     if config.confidential:
         plan = plan_confidential(config.f, config.data_centers)
@@ -80,7 +102,7 @@ def generate_material(config: SystemConfig, rng: RngRegistry) -> SystemMaterial:
         plan = plan_spire(config.f, config.data_centers)
 
     topology = east_coast_topology(config.data_centers)
-    on_prem_hosts, dc_hosts = _place_replicas(topology, plan)
+    on_prem_hosts, dc_hosts = _place_replicas(topology, plan, namespace)
     all_hosts = on_prem_hosts + dc_hosts
 
     prime_config = PrimeConfig(
@@ -104,19 +126,39 @@ def generate_material(config: SystemConfig, rng: RngRegistry) -> SystemMaterial:
         config.threshold_bits, plan.f + 1, len(executing_hosts), keygen_rng
     )
 
-    client_ids = [f"client-{i:02d}" for i in range(config.num_clients)]
-    client_keys: Dict[str, RsaKeyPair] = {
-        cid: generate_keypair(config.rsa_bits, keygen_rng) for cid in client_ids
-    }
-    client_registry = {cid: kp.public for cid, kp in client_keys.items()}
-    alias_to_client = {client_alias(cid): cid for cid in client_ids}
+    if client_ids is None:
+        client_ids = [f"client-{i:02d}" for i in range(config.num_clients)]
+    validate_client_ids(client_ids)
+    if client_keys is None:
+        local_keys: Dict[str, RsaKeyPair] = {
+            cid: generate_keypair(config.rsa_bits, keygen_rng) for cid in client_ids
+        }
+        known_keys = local_keys
+    else:
+        missing = [cid for cid in client_ids if cid not in client_keys]
+        if missing:
+            raise ConfigurationError(
+                f"client_keys lacks entries for local clients {missing}"
+            )
+        local_keys = {cid: client_keys[cid] for cid in client_ids}
+        known_keys = client_keys
+    # Replicas verify signatures (and resolve aliases) for every *known*
+    # client — in a sharded deployment that is the global population, so a
+    # cross-shard commit signed by a foreign client's key verifies here.
+    client_registry = {cid: kp.public for cid, kp in known_keys.items()}
+    alias_to_client = {client_alias(cid): cid for cid in known_keys}
     initial_client_keys: Dict[str, SymmetricKeyPair] = {
         client_alias(cid): derive_keypair(
             rng.randbytes(f"client-keys.{cid}", 32)
         )
-        for cid in client_ids
+        for cid in known_keys
     }
-    proxy_of_client = {cid: f"proxy-{cid}" for cid in client_ids}
+    # Local clients get their proxy host; foreign clients get a gateway
+    # host the cross-shard coordinator can attach a proxy to on demand.
+    proxy_of_client = {cid: f"{namespace}proxy-{cid}" for cid in client_ids}
+    for cid in known_keys:
+        if cid not in proxy_of_client:
+            proxy_of_client[cid] = f"{namespace}gw-{cid}"
     for proxy_host in proxy_of_client.values():
         topology.add_host(proxy_host, CLIENT_SITE)
 
@@ -140,13 +182,40 @@ def generate_material(config: SystemConfig, rng: RngRegistry) -> SystemMaterial:
         intro_group=intro_group,
         response_group=response_group,
         client_ids=client_ids,
-        client_keys=client_keys,
+        client_keys=local_keys,
         client_registry=client_registry,
         alias_to_client=alias_to_client,
         initial_client_keys=initial_client_keys,
         proxy_of_client=proxy_of_client,
         keystores=keystores,
     )
+
+
+def validate_client_ids(client_ids: List[str]) -> None:
+    """Reject empty, duplicate, or alias-colliding client id sets.
+
+    Duplicate ids used to slip through silently (the material dicts are
+    keyed by id, so a duplicate overwrote its twin's keys); an alias
+    collision would let two distinct clients impersonate each other at
+    the introduction layer.
+    """
+    if not client_ids:
+        raise ConfigurationError("at least one client id required")
+    seen: Dict[str, str] = {}
+    for cid in client_ids:
+        if not cid:
+            raise ConfigurationError("client ids must be non-empty strings")
+        if cid in seen:
+            raise ConfigurationError(f"duplicate client id {cid!r}")
+        seen[cid] = cid
+    aliases: Dict[str, str] = {}
+    for cid in client_ids:
+        alias = client_alias(cid)
+        if alias in aliases:
+            raise ConfigurationError(
+                f"client ids {aliases[alias]!r} and {cid!r} collide on alias {alias}"
+            )
+        aliases[alias] = cid
 
 
 def _interleave_by_site(topology: Topology, hosts: Tuple[str, ...]) -> Tuple[str, ...]:
@@ -165,7 +234,7 @@ def _interleave_by_site(topology: Topology, hosts: Tuple[str, ...]) -> Tuple[str
 
 
 def _place_replicas(
-    topology: Topology, plan: DistributionPlan
+    topology: Topology, plan: DistributionPlan, namespace: str = ""
 ) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
     """Create replica hostnames and place them in their sites."""
     from repro.net.topology import (
@@ -182,12 +251,12 @@ def _place_replicas(
     dc_hosts: List[str] = []
     for site, count in zip(on_prem_sites, plan.on_premises):
         for i in range(count):
-            host = f"{site}-r{i}"
+            host = f"{namespace}{site}-r{i}"
             topology.add_host(host, site)
             on_prem_hosts.append(host)
     for site, count in zip(dc_sites, plan.data_centers):
         for i in range(count):
-            host = f"{site}-r{i}"
+            host = f"{namespace}{site}-r{i}"
             topology.add_host(host, site)
             dc_hosts.append(host)
     return tuple(on_prem_hosts), tuple(dc_hosts)
@@ -211,6 +280,17 @@ class RtConfig:
     data_centers: int = 2
     num_clients: int = 5
     seed: int = 1
+
+    #: ShardLab: number of independent replica groups. Each shard is a
+    #: full Prime deployment (own threshold groups, own stores, own
+    #: key-renewal schedule) with namespaced hostnames (``s0.`` ...);
+    #: clients are routed to their home shard by the deterministic
+    #: :class:`~repro.shard.shardmap.ShardMap`.
+    shards: int = 1
+    #: Port-space stride between shards: shard N's ports start at
+    #: ``base_port + N * shard_port_stride``. Must exceed twice the
+    #: number of hosts + proxies of any one shard.
+    shard_port_stride: int = 256
 
     #: Updates each client submits (closed loop: next begins when the
     #: previous completes or the pacing interval elapses).
@@ -275,6 +355,7 @@ class RtConfig:
             data_centers=self.data_centers,
             num_clients=self.num_clients,
             seed=self.seed,
+            shards=self.shards,
             update_interval=self.update_interval,
             checkpoint_interval=self.checkpoint_interval,
             pp_interval=self.pp_interval,
@@ -295,6 +376,106 @@ class RtConfig:
     def from_json(cls, text: str) -> "RtConfig":
         data = json.loads(text)
         return cls(**data)
+
+
+@dataclass
+class ShardSlice:
+    """One shard's share of a live fleet: local clients, material, ports."""
+
+    shard_id: int
+    namespace: str
+    client_ids: List[str]
+    config: SystemConfig
+    material: SystemMaterial
+    base_port: int
+
+    def ports(self) -> Dict[str, Tuple[int, int]]:
+        return host_ports(self.material, self.base_port)
+
+
+def generate_fleet(config: "RtConfig") -> List[ShardSlice]:
+    """Derive every shard's material for one live deployment.
+
+    Deterministic in (config, seed): the launcher and every node process
+    compute the same fleet without coordination. For ``shards == 1`` this
+    is exactly the classic single-group derivation (no namespace, ports
+    at ``base_port``).
+    """
+    if config.shards == 1:
+        system_config = config.system_config()
+        material = generate_material(system_config, RngRegistry(config.seed))
+        return [
+            ShardSlice(
+                shard_id=0,
+                namespace="",
+                client_ids=list(material.client_ids),
+                config=system_config,
+                material=material,
+                base_port=config.base_port,
+            )
+        ]
+    from dataclasses import replace as _replace
+
+    from repro.shard.shardmap import ShardMap, shard_seed
+
+    client_ids = [f"client-{i:02d}" for i in range(config.num_clients)]
+    shard_map = ShardMap(seed=config.seed, shards=config.shards)
+    assignment = shard_map.assign(client_ids)
+    empty = sorted(s for s, ids in assignment.items() if not ids)
+    if empty:
+        raise ConfigurationError(
+            f"shard map (seed={config.seed}, shards={config.shards}) leaves "
+            f"shards {empty} without clients"
+        )
+    slices: List[ShardSlice] = []
+    for shard_id in range(config.shards):
+        local_ids = assignment[shard_id]
+        shard_config = _replace(
+            config.system_config(),
+            shards=1,
+            num_clients=len(local_ids),
+            seed=shard_seed(config.seed, shard_id),
+        )
+        material = generate_material(
+            shard_config,
+            RngRegistry(shard_config.seed),
+            namespace=f"s{shard_id}.",
+            client_ids=local_ids,
+        )
+        base = config.base_port + shard_id * config.shard_port_stride
+        hosts_needed = 2 * (len(material.all_hosts) + len(material.proxy_of_client))
+        if hosts_needed > config.shard_port_stride:
+            raise ConfigurationError(
+                f"shard {shard_id} needs {hosts_needed} ports but "
+                f"shard_port_stride is {config.shard_port_stride}"
+            )
+        slices.append(
+            ShardSlice(
+                shard_id=shard_id,
+                namespace=f"s{shard_id}.",
+                client_ids=local_ids,
+                config=shard_config,
+                material=material,
+                base_port=base,
+            )
+        )
+    return slices
+
+
+def slice_for_host(slices: List[ShardSlice], host: str) -> ShardSlice:
+    """The shard slice a replica/proxy hostname belongs to."""
+    for shard in slices:
+        if host in shard.material.all_hosts or host in shard.ports():
+            return shard
+    raise ConfigurationError(f"host {host!r} belongs to no shard of this fleet")
+
+
+def slice_for_client(slices: List[ShardSlice], client_id: str) -> ShardSlice:
+    """The home shard slice of ``client_id``."""
+    for shard in slices:
+        if client_id in shard.client_ids:
+            return shard
+    raise ConfigurationError(f"client {client_id!r} belongs to no shard of this fleet")
 
 
 def host_ports(material: SystemMaterial, base_port: int) -> Dict[str, Tuple[int, int]]:

@@ -30,10 +30,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.rt.bootstrap import RtConfig, generate_material, host_ports
+from repro.rt.bootstrap import RtConfig, generate_fleet
 from repro.rt.control import http_request
 from repro.rt.merge import merge_bundle
-from repro.sim.rng import RngRegistry
 
 _HEALTH_INTERVAL = 0.25
 _SCRAPE_INTERVAL = 2.0
@@ -93,9 +92,26 @@ class Launcher:
                              "(use Launcher.with_epoch or rt run)")
         self.config = config
         self.out_dir = Path(config.out_dir)
-        material = generate_material(config.system_config(), RngRegistry(config.seed))
-        self.material = material
-        self.ports = host_ports(material, config.base_port)
+        # One slice per shard; a single-shard fleet is exactly the classic
+        # derivation (no namespace, ports at base_port).
+        self.slices = generate_fleet(config)
+        self.material = self.slices[0].material
+        self.ports: Dict[str, Tuple[int, int]] = {}
+        for shard in self.slices:
+            self.ports.update(shard.ports())
+        self.all_hosts: List[str] = [
+            host for shard in self.slices for host in shard.material.all_hosts
+        ]
+        self.client_ids: List[str] = [
+            cid for shard in self.slices for cid in shard.client_ids
+        ]
+        self.shard_of_client: Dict[str, int] = {
+            cid: shard.shard_id for shard in self.slices for cid in shard.client_ids
+        }
+        self.proxy_of_client: Dict[str, str] = {}
+        for shard in self.slices:
+            for cid in shard.client_ids:
+                self.proxy_of_client[cid] = shard.material.proxy_of_client[cid]
         self.replicas: Dict[str, NodeHandle] = {}
         self.clients: Dict[str, NodeHandle] = {}
         self.spec_path = self.out_dir / "spec.json"
@@ -131,7 +147,7 @@ class Launcher:
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self.spec_path.write_text(self.config.to_json(), encoding="utf-8")
 
-        for host in self.material.all_hosts:
+        for host in self.all_hosts:
             self.replicas[host] = NodeHandle(
                 name=host,
                 kind="replica",
@@ -141,8 +157,8 @@ class Launcher:
             self._spawn(self.replicas[host])
         await self._wait_healthy(self.replicas.values())
 
-        for cid in self.material.client_ids:
-            proxy_host = self.material.proxy_of_client[cid]
+        for cid in self.client_ids:
+            proxy_host = self.proxy_of_client[cid]
             self.clients[cid] = NodeHandle(
                 name=cid,
                 kind="client",
@@ -224,7 +240,7 @@ class Launcher:
     def client_results(self) -> Dict[str, Dict]:
         results = {}
         clients_dir = self.out_dir / "clients"
-        for cid in self.material.client_ids:
+        for cid in self.client_ids:
             path = clients_dir / f"{cid}.json"
             if path.is_file():
                 results[cid] = json.loads(path.read_text(encoding="utf-8"))
@@ -254,7 +270,7 @@ class Launcher:
         deadline = time.time() + timeout
         next_scrape = 0.0
         while time.time() < deadline:
-            if len(self.client_results()) == len(self.material.client_ids):
+            if len(self.client_results()) == len(self.client_ids):
                 return True
             for handle in self.clients.values():
                 if not handle.alive and handle.name not in self.client_results():
@@ -304,6 +320,15 @@ class Launcher:
         )
         submitted = sum(r.get("updates", 0) for r in results.values())
         completed = sum(r.get("completed", 0) for r in results.values())
+        shards: Dict[str, Dict] = {}
+        for cid, result in results.items():
+            key = f"s{self.shard_of_client.get(cid, 0)}"
+            agg = shards.setdefault(
+                key, {"clients": 0, "updates_submitted": 0, "updates_completed": 0}
+            )
+            agg["clients"] += 1
+            agg["updates_submitted"] += result.get("updates", 0)
+            agg["updates_completed"] += result.get("completed", 0)
         return {
             "clients": len(results),
             "updates_submitted": submitted,
@@ -312,6 +337,7 @@ class Launcher:
             "latency_p50": _percentile(latencies, 50),
             "latency_p99": _percentile(latencies, 99),
             "latency_mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "shards": shards,
         }
 
 

@@ -35,7 +35,14 @@ from repro.crypto.verifycache import VerifyCache
 from repro.obs.export import metrics_jsonl_rows, prometheus_text, tracer_jsonl_rows, write_jsonl
 from repro.obs.registry import MetricsRegistry
 from repro.obs.watch import NodeWatch
-from repro.rt.bootstrap import RtConfig, SystemMaterial, data_ports, generate_material, host_ports
+from repro.rt.bootstrap import (
+    RtConfig,
+    SystemMaterial,
+    data_ports,
+    generate_fleet,
+    slice_for_client,
+    slice_for_host,
+)
 from repro.rt.control import ControlServer
 from repro.rt.runtime import LiveScheduler
 from repro.rt.transport import LiveTransport
@@ -50,10 +57,19 @@ class NodeContext:
         self.config = config
         self.host = host
         self.role = role
-        self.system_config = config.system_config()
+        # Shard-aware: every node derives the whole fleet, then keeps only
+        # its own shard's slice (material, ports, system config). With
+        # shards == 1 the slice IS the classic single-group derivation.
+        fleet = generate_fleet(config)
+        try:
+            self.shard = slice_for_host(fleet, host)
+        except Exception:
+            raise SystemExit(f"unknown host {host!r} for this deployment")
+        self.shard_id = self.shard.shard_id
+        self.system_config = self.shard.config
         self.rng = RngRegistry(self.system_config.seed)
-        self.material: SystemMaterial = generate_material(self.system_config, self.rng)
-        self.ports = host_ports(self.material, config.base_port)
+        self.material: SystemMaterial = self.shard.material
+        self.ports = self.shard.ports()
         if host not in self.ports:
             raise SystemExit(f"unknown host {host!r} for this deployment")
         self.data_port, self.control_port = self.ports[host]
@@ -67,7 +83,7 @@ class NodeContext:
         self.site = self.material.topology.site_of(host).name
         self.transport = LiveTransport(
             self.material.topology,
-            data_ports(self.material, config.base_port),
+            data_ports(self.material, self.shard.base_port),
             bind_host=config.bind_host,
             latency=config.latency,
             loop=self.loop,
@@ -132,6 +148,7 @@ class NodeContext:
             {
                 "host": self.host,
                 "role": self.role,
+                "shard": self.shard_id,
                 "now": self.scheduler.now,
                 "pid": os.getpid(),
                 "events": self.scheduler.events_processed,
@@ -233,6 +250,7 @@ class NodeContext:
             "host": self.host,
             "role": self.role,
             "site": self.site,
+            "shard": self.shard_id,
             "now": self.scheduler.now,
             "counters": [
                 {"name": c.name, "labels": list(c.labels), "value": c.value}
@@ -371,6 +389,14 @@ class ClientDriver:
         self.interval = interval
         self._completions: Dict[int, float] = {}
         self._done = asyncio.Event()
+        # Routing-tier accounting: in a sharded fleet each client's
+        # submissions count against its home shard (same instrument the
+        # sim's ShardRouter uses, so merged bundles validate uniformly).
+        self._m_shard = (
+            ctx.metrics.counter("shard.updates", shard=f"s{ctx.shard_id}")
+            if ctx.config.shards > 1
+            else None
+        )
         proxy.on_response(self._on_response)
 
     def _on_response(self, seq: int, _body: bytes, latency: float) -> None:
@@ -385,6 +411,8 @@ class ClientDriver:
         )
         for _ in range(self.updates):
             self._done.clear()
+            if self._m_shard is not None:
+                self._m_shard.inc()
             seq = self.proxy.submit(_update_body(self.proxy.client_id, self.proxy._seq + 1))
             deadline = self.ctx.scheduler.now + per_update_timeout
             while seq not in self._completions and self.ctx.scheduler.now < deadline:
@@ -408,9 +436,13 @@ class ClientDriver:
 
 
 async def _client_main(config: RtConfig, client_id: str) -> int:
-    rng_probe = RngRegistry(config.seed)
-    material = generate_material(config.system_config(), rng_probe)
-    proxy_host = material.proxy_of_client.get(client_id)
+    # Clients route to their home shard: resolve the slice first, then
+    # stand the node context up on that shard's proxy host and ports.
+    try:
+        home = slice_for_client(generate_fleet(config), client_id)
+    except Exception:
+        raise SystemExit(f"unknown client {client_id!r} for this deployment")
+    proxy_host = home.material.proxy_of_client.get(client_id)
     if proxy_host is None:
         raise SystemExit(f"unknown client {client_id!r} for this deployment")
 

@@ -1,0 +1,38 @@
+"""ShardLab: multi-group sharded execution (repro.shard).
+
+One Prime instance is the hard scalability ceiling of the single-group
+system. ShardLab partitions the client keyspace across S independent
+replica groups — each with its own Prime instance, threshold signing
+groups, encrypted log/checkpoint store, and key-renewal schedule — fronted
+by a thin routing tier and a two-phase cross-shard ordering path for the
+rare multi-key update. See docs/SHARDING.md.
+"""
+
+from repro.shard.messages import (
+    CrossShardCommit,
+    CrossShardIntent,
+    CrossShardPrepare,
+    ShardMapAnnounce,
+)
+from repro.shard.shardmap import ShardMap
+
+__all__ = [
+    "CrossShardCommit",
+    "CrossShardIntent",
+    "CrossShardPrepare",
+    "ShardMap",
+    "ShardMapAnnounce",
+    "ShardedDeployment",
+    "build_sharded",
+]
+
+
+def __getattr__(name: str):
+    # The builder pulls in the whole system stack (which pulls in the
+    # codec, which imports repro.shard.messages) — importing it lazily
+    # keeps `import repro.shard.messages` cycle-free.
+    if name in ("ShardedDeployment", "build_sharded"):
+        from repro.shard import builder
+
+        return getattr(builder, name)
+    raise AttributeError(name)

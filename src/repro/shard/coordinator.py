@@ -1,0 +1,290 @@
+"""The cross-shard two-phase coordinator.
+
+Phase 1 (**prepare**): the intent rides the normal client pipeline on the
+home shard — signed by the client's key, encrypted at introduction,
+ordered by the home shard's Prime instance, executed everywhere. The home
+shard's threshold-signed response (whose body binds the intent digest) is
+the prepare certificate: f+1 correct home replicas vouch that the intent
+occupies exactly one slot in the home shard's order.
+
+Phase 2 (**commit**): the coordinator wraps (intent, certificate) into a
+:class:`CrossShardCommit` and submits it to every other participant shard
+through a *gateway proxy* — a :class:`~repro.core.proxy.ClientProxy`
+signing with the same client key, registered on the participant's
+network. The commit flows through the participant's full pipeline too
+(confidential introduction included: data-center replicas of the
+participant shard only ever see the commit's ciphertext). Participant
+replicas verify the certificate at execution time and apply under the
+last-writer-wins tiebreak (see repro.shard.app).
+
+The coordinator is untrusted for safety: certificates bind the intent
+digest, participants re-verify them against the home shard's
+response-group public key, and gateway retransmission handles loss — a
+crashed coordinator can stall a cross-shard update (liveness), never
+fork state (safety).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.confidentiality import Sensitive
+from repro.core.messages import CertifiedResponse, ClientResponse
+from repro.core.proxy import ClientProxy
+from repro.net.codec import encode_message
+from repro.obs.registry import NULL_METRICS
+from repro.shard.messages import (
+    XS_COMMIT_MAGIC,
+    XS_INTENT_MAGIC,
+    XS_OK,
+    XS_PREPARED_MAGIC,
+    CrossShardCommit,
+    CrossShardIntent,
+    CrossShardPrepare,
+)
+
+CrossCallback = Callable[[str, int, float], None]
+
+
+@dataclass
+class _Pending:
+    intent: CrossShardIntent
+    started: float
+    awaiting: Set[int]
+    prepare: Optional[CrossShardPrepare] = None
+    commit_seqs: Dict[int, int] = field(default_factory=dict)
+
+
+class CrossShardCoordinator:
+    """Drives intents through prepare and commit across shard boundaries."""
+
+    def __init__(
+        self,
+        kernel,
+        shard_map,
+        client_keys,
+        tracer=None,
+        metrics=None,
+        retransmit_timeout: float = 1.0,
+    ):
+        self.kernel = kernel
+        self.shard_map = shard_map
+        self.client_keys = client_keys
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.retransmit_timeout = retransmit_timeout
+        self.shards: Dict[int, object] = {}
+        self._gateways: Dict[Tuple[str, int], ClientProxy] = {}
+        #: (client_id, home proxy seq) -> in-flight intent
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        #: (client_id, shard, gateway seq) -> pending key
+        self._commit_index: Dict[Tuple[str, int, int], Tuple[str, int]] = {}
+        self._callbacks: List[CrossCallback] = []
+        self.completed: List[Tuple[str, int, float]] = []
+        self.rejected: List[Tuple[str, int, int, bytes]] = []
+        self._m_latency = self.metrics.histogram("shard.cross_latency")
+        self._m_committed = self.metrics.counter("shard.cross_committed")
+        self._m_rejected = self.metrics.counter("shard.cross_rejected")
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach_shard(self, shard_id: int, deployment) -> None:
+        """Register one shard and listen on its local proxies for
+        prepared-intent responses."""
+        self.shards[shard_id] = deployment
+        for proxy in deployment.proxies.values():
+            proxy.on_certified(self._on_home_response)
+
+    def on_committed(self, callback: CrossCallback) -> None:
+        """Register a callback invoked as (client_id, seq, latency) once an
+        intent has committed on every participant shard."""
+        self._callbacks.append(callback)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    # -- phase 1: intent -----------------------------------------------------
+
+    def submit_cross(self, router, body: bytes, participants: Set[int]) -> int:
+        cid = router.client_id
+        home = router.shard_id
+        targets = tuple(sorted(participants))
+        seq = router.predict_seq()
+        intent = CrossShardIntent(
+            client_id=cid,
+            client_seq=seq,
+            home_shard=home,
+            targets=targets,
+            body=Sensitive(body, label="client-update-body"),
+        )
+        self._pending[(cid, seq)] = _Pending(
+            intent=intent,
+            started=self.kernel.now,
+            awaiting=set(targets) - {home},
+        )
+        self.metrics.counter("shard.cross_shard", shard=f"s{home}").inc()
+        if self.tracer:
+            self.tracer.record(
+                "xshard.intent",
+                router.host,
+                client=cid,
+                seq=seq,
+                home=home,
+                targets=list(targets),
+            )
+        wrapped = XS_INTENT_MAGIC + encode_message(intent)
+        assigned = router.submit(wrapped)
+        if assigned != seq:
+            raise AssertionError(
+                f"intent for {cid} bound seq {seq} but router assigned {assigned}"
+            )
+        return seq
+
+    # -- phase transition: home response -> certificate ----------------------
+
+    def _on_home_response(self, message) -> None:
+        body = message.body.data
+        if not body.startswith(XS_PREPARED_MAGIC):
+            return
+        key = (message.client_id, message.client_seq)
+        pending = self._pending.get(key)
+        if pending is None or pending.prepare is not None:
+            return
+        if body[len(XS_PREPARED_MAGIC):] != pending.intent.digest():
+            # A correct home shard echoes the digest of the intent it
+            # executed; a mismatch means this response belongs to some
+            # other update and cannot certify ours.
+            return
+        pending.prepare = self._prepare_from(message, pending.intent)
+        if self.tracer:
+            self.tracer.record(
+                "xshard.prepared",
+                f"router-{message.client_id}",
+                client=message.client_id,
+                seq=message.client_seq,
+                home=pending.intent.home_shard,
+            )
+        if not pending.awaiting:
+            self._complete(key, pending)
+            return
+        for shard_id in sorted(pending.awaiting):
+            self._inject_commit(shard_id, key, pending)
+
+    @staticmethod
+    def _prepare_from(message, intent: CrossShardIntent) -> CrossShardPrepare:
+        if isinstance(message, CertifiedResponse):
+            return CrossShardPrepare(
+                client_id=message.client_id,
+                client_seq=message.client_seq,
+                home_shard=intent.home_shard,
+                intent_digest=intent.digest(),
+                cert_kind=1,
+                cert_sig=message.batch_sig,
+                batch_root=message.batch_root,
+                batch_count=message.batch_count,
+                proof=message.proof,
+            )
+        assert isinstance(message, ClientResponse)
+        return CrossShardPrepare(
+            client_id=message.client_id,
+            client_seq=message.client_seq,
+            home_shard=intent.home_shard,
+            intent_digest=intent.digest(),
+            cert_kind=0,
+            cert_sig=message.threshold_sig,
+        )
+
+    # -- phase 2: commit -----------------------------------------------------
+
+    def _inject_commit(
+        self, shard_id: int, key: Tuple[str, int], pending: _Pending
+    ) -> None:
+        cid = key[0]
+        gateway = self._gateway(cid, shard_id)
+        commit = CrossShardCommit(intent=pending.intent, prepare=pending.prepare)
+        gw_seq = gateway.submit(XS_COMMIT_MAGIC + encode_message(commit))
+        pending.commit_seqs[shard_id] = gw_seq
+        self._commit_index[(cid, shard_id, gw_seq)] = key
+        if self.tracer:
+            self.tracer.record(
+                "xshard.commit",
+                gateway.host,
+                client=cid,
+                seq=key[1],
+                shard=shard_id,
+                gw_seq=gw_seq,
+            )
+
+    def _gateway(self, cid: str, shard_id: int) -> ClientProxy:
+        gateway = self._gateways.get((cid, shard_id))
+        if gateway is not None:
+            return gateway
+        deployment = self.shards[shard_id]
+        host = deployment.env.proxy_of_client[cid]
+        gateway = ClientProxy(
+            kernel=self.kernel,
+            network=deployment.network,
+            host=host,
+            client_id=cid,
+            signing_key=self.client_keys[cid],
+            response_public=deployment.env.response_public,
+            on_premises_replicas=list(deployment.on_premises_hosts),
+            costs=deployment.config.costs,
+            retransmit_timeout=self.retransmit_timeout,
+            tracer=deployment.tracer,
+            metrics=self.metrics,
+            verify_cache=deployment.env.verify_cache,
+        )
+        gateway.on_response(
+            lambda seq, body, latency, _cid=cid, _shard=shard_id: (
+                self._on_commit_response(_cid, _shard, seq, body)
+            )
+        )
+        self._gateways[(cid, shard_id)] = gateway
+        return gateway
+
+    def _on_commit_response(
+        self, cid: str, shard_id: int, gw_seq: int, body: bytes
+    ) -> None:
+        key = self._commit_index.pop((cid, shard_id, gw_seq), None)
+        if key is None:
+            return
+        pending = self._pending.get(key)
+        if pending is None:
+            return
+        if body != XS_OK:
+            self._m_rejected.inc()
+            self.rejected.append((cid, key[1], shard_id, body))
+            if self.tracer:
+                self.tracer.record(
+                    "xshard.rejected",
+                    f"router-{cid}",
+                    client=cid,
+                    seq=key[1],
+                    shard=shard_id,
+                    reason=body.decode("utf-8", "replace"),
+                )
+            return
+        pending.awaiting.discard(shard_id)
+        if not pending.awaiting:
+            self._complete(key, pending)
+
+    def _complete(self, key: Tuple[str, int], pending: _Pending) -> None:
+        del self._pending[key]
+        latency = self.kernel.now - pending.started
+        self._m_committed.inc()
+        self._m_latency.observe(latency)
+        self.completed.append((key[0], key[1], latency))
+        if self.tracer:
+            self.tracer.record(
+                "xshard.committed",
+                f"router-{key[0]}",
+                client=key[0],
+                seq=key[1],
+                latency=latency,
+                shards=sorted(pending.intent.targets),
+            )
+        for callback in self._callbacks:
+            callback(key[0], key[1], latency)

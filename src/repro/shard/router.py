@@ -1,0 +1,105 @@
+"""The routing tier: one thin router per client.
+
+A router owns the client's view of the sharded system: it knows the shard
+map, fronts the client's proxy on its home shard, and hands multi-shard
+updates to the cross-shard coordinator. Routing is deliberately cheap —
+a hash lookup and a fixed ``route_delay`` forwarding cost — so the tier
+adds a bounded, observable latency phase (``route`` in spans) rather than
+a second consensus hop.
+
+In a single-shard deployment the router is **inert**: `submit` calls the
+proxy directly with no events, no metrics, and no delay, keeping S=1
+traces byte-identical to unsharded builds (test-enforced).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.messages import client_alias
+from repro.core.proxy import ClientProxy
+from repro.obs.registry import NULL_METRICS
+
+
+class ShardRouter:
+    """Routes one client's updates to its home shard."""
+
+    def __init__(
+        self,
+        client_id: str,
+        shard_id: int,
+        proxy: ClientProxy,
+        kernel,
+        route_delay: float = 0.0,
+        tracer=None,
+        metrics=None,
+        coordinator=None,
+        inert: bool = False,
+    ):
+        self.client_id = client_id
+        self.alias = client_alias(client_id)
+        self.shard_id = shard_id
+        self.proxy = proxy
+        self.kernel = kernel
+        self.route_delay = route_delay
+        self.tracer = tracer
+        self.coordinator = coordinator
+        self.inert = inert
+        self.host = f"router-{client_id}"
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_routed = metrics.counter("shard.updates", shard=f"s{shard_id}")
+        self._m_route_latency = metrics.histogram("shard.route_latency")
+        # The router is the proxy's only submitter, so the next sequence
+        # number is predictable; predicting it lets route.submit (and the
+        # cross-shard intent digest) carry the slot before the proxy
+        # assigns it.
+        self._next_seq = proxy.next_seq
+
+    def predict_seq(self) -> int:
+        """The proxy seq the next routed submission will be assigned."""
+        return self._next_seq
+
+    def submit(self, body: bytes) -> int:
+        """Route one single-shard update to the home shard's proxy."""
+        if self.inert:
+            return self.proxy.submit(body)
+        seq = self._next_seq
+        self._next_seq += 1
+        if self.tracer:
+            # Span-open milestone for sharded runs: the routing hop is
+            # the first thing that happens to an update, so the span
+            # tracker keys the span here and measures proxy.submit as the
+            # end of the "route" phase.
+            self.tracer.record(
+                "route.submit",
+                self.host,
+                client=self.client_id,
+                alias=self.alias,
+                seq=seq,
+                shard=self.shard_id,
+            )
+        self._m_routed.inc()
+        self._m_route_latency.observe(self.route_delay)
+        self.kernel.call_later(self.route_delay, self._forward, body, seq)
+        return seq
+
+    def _forward(self, body: bytes, seq: int) -> None:
+        assigned = self.proxy.submit(body)
+        if assigned != seq:
+            raise AssertionError(
+                f"router predicted seq {seq} but proxy assigned {assigned}; "
+                "something else submitted through this proxy"
+            )
+
+    def submit_cross(self, body: bytes, targets) -> Optional[int]:
+        """Route a multi-shard update through the two-phase coordinator.
+
+        ``targets`` are the participant shard ids; the home shard is
+        always included. Falls back to a plain submit when the update
+        turns out not to cross a shard boundary.
+        """
+        participants = set(int(t) for t in targets)
+        participants.add(self.shard_id)
+        if len(participants) == 1 or self.coordinator is None:
+            return self.submit(body)
+        return self.coordinator.submit_cross(self, body, participants)

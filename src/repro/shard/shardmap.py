@@ -1,0 +1,85 @@
+"""The shard map: a stable hash partition of the client keyspace.
+
+Routing uses rendezvous (highest-random-weight) hashing: every
+(shard, alias) pair gets a deterministic sha256 weight, and an alias lives
+on the shard with the highest weight. The properties the routing tier
+depends on (and the Hypothesis suite in tests/test_shardmap.py enforces):
+
+* **total** — every alias maps to exactly one shard in [0, S);
+* **stable** — the mapping is a pure function of (seed, version, S, alias):
+  two processes with the same announce agree with no coordination;
+* **balanced** — weights are independent per alias, so loads concentrate
+  around n/S like balls into bins;
+* **rebalance-free growth** — an alias's shard depends only on its own
+  weights, never on the rest of the client set, so adding clients moves
+  nobody (changing S is a different epoch: bump ``version``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List
+
+from repro.core.messages import client_alias
+from repro.errors import ConfigurationError
+from repro.shard.messages import ShardMapAnnounce
+
+
+class ShardMap:
+    """Deterministic alias → shard assignment for one routing epoch."""
+
+    def __init__(self, seed: int, shards: int, version: int = 1):
+        if shards < 1:
+            raise ConfigurationError("a shard map needs at least one shard")
+        self.seed = int(seed)
+        self.shards = int(shards)
+        self.version = int(version)
+
+    # -- the mapping ---------------------------------------------------------
+
+    def _weight(self, shard: int, alias: str) -> int:
+        material = f"{self.seed}|{self.version}|{shard}|{alias}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+    def shard_of(self, alias: str) -> int:
+        """The home shard for an alias (highest rendezvous weight wins)."""
+        if self.shards == 1:
+            return 0
+        return max(range(self.shards), key=lambda s: (self._weight(s, alias), s))
+
+    def shard_of_client(self, client_id: str) -> int:
+        return self.shard_of(client_alias(client_id))
+
+    def key_shard(self, key: str) -> int:
+        """Owner shard for an application key (used to pick cross-shard
+        participants); same rendezvous scheme over the key string."""
+        return self.shard_of(f"key:{key}")
+
+    def assign(self, client_ids: Iterable[str]) -> Dict[int, List[str]]:
+        """Partition ``client_ids`` into per-shard sorted lists.
+
+        Every shard appears in the result; a shard that owns no client is
+        reported with an empty list so callers can reject it explicitly.
+        """
+        partition: Dict[int, List[str]] = {s: [] for s in range(self.shards)}
+        for cid in sorted(client_ids):
+            partition[self.shard_of_client(cid)].append(cid)
+        return partition
+
+    # -- wire form -----------------------------------------------------------
+
+    def announce(self) -> ShardMapAnnounce:
+        return ShardMapAnnounce(
+            seed=self.seed, shards=self.shards, version=self.version
+        )
+
+    @classmethod
+    def from_announce(cls, msg: ShardMapAnnounce) -> "ShardMap":
+        return cls(seed=msg.seed, shards=msg.shards, version=msg.version)
+
+
+def shard_seed(master_seed: int, shard_id: int) -> int:
+    """Per-shard master seed: independent key material and jitter per
+    group, still a pure function of the deployment seed."""
+    digest = hashlib.sha256(f"shard|{master_seed}|{shard_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -36,6 +36,30 @@ BodyFn = Callable[[str, int], bytes]
 
 
 @dataclass
+class GroupContext:
+    """Shared-world parameters for building one group of a sharded deployment.
+
+    ShardLab (``repro.shard``) builds S independent replica groups that share
+    one kernel, one tracer, and one metrics registry; each group gets its own
+    RNG registry, topology, and network. Passing a ``GroupContext`` to
+    :func:`build` switches it from "construct the whole world" to "construct
+    one group inside an existing world". ``client_keys`` carries the global
+    client signing keys so every group can verify every client (cross-shard
+    commits are signed by foreign clients).
+    """
+
+    kernel: "Kernel"
+    rng: RngRegistry
+    tracer: Tracer
+    metrics: MetricsRegistry
+    spans: Optional[SpanTracker]
+    namespace: str
+    client_ids: List[str]
+    client_keys: Dict[str, object]
+    shard_id: int = 0
+
+
+@dataclass
 class Deployment:
     """A fully wired simulated system, ready to run."""
 
@@ -59,6 +83,7 @@ class Deployment:
     metrics: MetricsRegistry
     spans: Optional[SpanTracker]
     crypto_pool: Optional[object] = None
+    shard_id: int = 0
 
     def start(self) -> None:
         """Bring every replica online (idempotent per replica start)."""
@@ -138,30 +163,52 @@ def _default_body(client_id: str, seq: int) -> bytes:
 def build(
     config: SystemConfig,
     app_factory: Optional[Callable[[], Application]] = None,
+    group: Optional[GroupContext] = None,
 ) -> Deployment:
-    """Construct a deployment per ``config``. See the module docstring."""
+    """Construct a deployment per ``config``. See the module docstring.
+
+    With ``group`` set, the deployment is one replica group of a sharded
+    world: kernel, tracer, metrics, and spans are shared, hostnames are
+    namespaced, and the client population comes from the shard map instead
+    of ``config.num_clients``. Without it (the default), behaviour is the
+    classic single-group build, byte-identical to pre-shard releases.
+    """
     app_factory = app_factory or KeyValueApplication
-    kernel = Kernel()
-    rng = RngRegistry(config.seed)
-    tracer = Tracer(kernel, enabled=config.tracing)
+    if group is None:
+        kernel = Kernel()
+        rng = RngRegistry(config.seed)
+        tracer = Tracer(kernel, enabled=config.tracing)
 
-    metrics = (
-        MetricsRegistry(now_fn=lambda: kernel.now)
-        if config.metrics_enabled
-        else NULL_METRICS
-    )
-    # Causal spans piggyback on the tracer; without tracing there are no
-    # milestone events to observe, so there is nothing to attach.
-    spans = SpanTracker().attach(tracer) if config.tracing else None
-    metrics.register_gauge("kernel.events_processed", lambda: kernel.events_processed)
-    metrics.register_gauge("kernel.pending_events", lambda: kernel.pending_events)
-    metrics.register_gauge("kernel.timers_scheduled", lambda: kernel.timers_scheduled)
-    metrics.register_gauge("kernel.heap_depth", lambda: kernel.heap_depth)
+        metrics = (
+            MetricsRegistry(now_fn=lambda: kernel.now)
+            if config.metrics_enabled
+            else NULL_METRICS
+        )
+        # Causal spans piggyback on the tracer; without tracing there are no
+        # milestone events to observe, so there is nothing to attach.
+        spans = SpanTracker().attach(tracer) if config.tracing else None
+        metrics.register_gauge("kernel.events_processed", lambda: kernel.events_processed)
+        metrics.register_gauge("kernel.pending_events", lambda: kernel.pending_events)
+        metrics.register_gauge("kernel.timers_scheduled", lambda: kernel.timers_scheduled)
+        metrics.register_gauge("kernel.heap_depth", lambda: kernel.heap_depth)
 
-    # Geography, roles, and every key in the system come from the shared
-    # deterministic dealer; live RtLab nodes re-derive the identical
-    # material from (config, seed) in their own processes.
-    material = generate_material(config, rng)
+        # Geography, roles, and every key in the system come from the shared
+        # deterministic dealer; live RtLab nodes re-derive the identical
+        # material from (config, seed) in their own processes.
+        material = generate_material(config, rng)
+    else:
+        kernel = group.kernel
+        rng = group.rng
+        tracer = group.tracer
+        metrics = group.metrics
+        spans = group.spans
+        material = generate_material(
+            config,
+            rng,
+            namespace=group.namespace,
+            client_ids=group.client_ids,
+            client_keys=group.client_keys,
+        )
     plan = material.plan
     topology = material.topology
     on_prem_hosts = material.on_premises_hosts
@@ -326,6 +373,7 @@ def build(
         metrics=metrics,
         spans=spans,
         crypto_pool=crypto_pool,
+        shard_id=group.shard_id if group is not None else 0,
     )
 
 

@@ -31,6 +31,16 @@ class SystemConfig:
     data_centers: int = 2
     seed: int = 1
 
+    # ShardLab: number of independent replica groups. 1 is the classic
+    # single-group deployment (trace-byte-identical to pre-shard builds);
+    # S > 1 partitions the client keyspace across S groups, each with its
+    # own Prime instance, threshold groups, and stores, fronted by a
+    # routing tier (see repro.shard). ``route_delay`` is the simulated
+    # one-way routing-tier cost charged per routed submission; it only
+    # applies when shards > 1.
+    shards: int = 1
+    route_delay: float = 0.0005
+
     # Workload (Section VII: ten substations at 1 update/s each).
     num_clients: int = 10
     update_interval: float = 1.0
@@ -103,6 +113,20 @@ class SystemConfig:
             raise ConfigurationError("1-3 data centers supported")
         if self.num_clients < 1:
             raise ConfigurationError("at least one client required")
+        if not 1 <= self.shards <= 64:
+            raise ConfigurationError("1-64 shards supported")
+        if self.shards > self.num_clients:
+            raise ConfigurationError(
+                f"{self.shards} shards need at least {self.shards} clients "
+                f"(got {self.num_clients}); every shard must own a slice of "
+                "the client keyspace"
+            )
+        if self.route_delay < 0:
+            raise ConfigurationError("route_delay must be non-negative")
+        # The distribution rule (Section IV-B / Table I) is checked here so
+        # an infeasible (f, k, S) combination fails at config construction
+        # with a clear error, not mid-way through material generation.
+        validate_distribution(self.mode, self.f, self.data_centers)
         if self.store_fsync not in ("always", "batch", "never"):
             raise ConfigurationError(
                 f"store_fsync must be always/batch/never, got {self.store_fsync!r}"
@@ -117,3 +141,44 @@ class SystemConfig:
     @property
     def confidential(self) -> bool:
         return self.mode is Mode.CONFIDENTIAL
+
+
+def validate_distribution(mode: Mode, f: int, data_centers: int) -> None:
+    """Reject (f, k, S) combinations the replica-distribution rule cannot
+    satisfy, with the derived parameters spelled out in the error.
+
+    ``plan_confidential``/``plan_spire`` already refuse infeasible inputs,
+    but only when the plan is computed — deep inside material generation.
+    Re-deriving the plan here surfaces the same failures at
+    :class:`SystemConfig` construction, and cross-checks the arithmetic the
+    rest of the system depends on (n = 3f + 2k + 1, quorum coverage with a
+    site down).
+    """
+    from repro.core.distribution import plan_confidential, plan_spire
+
+    sites = 2 + data_centers
+    try:
+        if mode is Mode.CONFIDENTIAL:
+            plan = plan_confidential(f, data_centers)
+        else:
+            plan = plan_spire(f, data_centers)
+    except ConfigurationError as exc:
+        raise ConfigurationError(
+            f"no replica distribution satisfies f={f} over S={sites} sites: {exc}"
+        ) from exc
+    if plan.n != 3 * plan.f + 2 * plan.k + 1:
+        raise ConfigurationError(
+            f"distribution for f={f}, S={sites} is inconsistent: "
+            f"n={plan.n} != 3f+2k+1={3 * plan.f + 2 * plan.k + 1}"
+        )
+    if max(plan.counts) > plan.k - 1:
+        raise ConfigurationError(
+            f"distribution for f={f}, S={sites} places {max(plan.counts)} "
+            f"replicas in one site, exceeding the k-1={plan.k - 1} bound"
+        )
+    # Losing the largest site plus f intrusions must still leave a quorum.
+    if plan.n - max(plan.counts) - plan.f < plan.quorum:
+        raise ConfigurationError(
+            f"distribution for f={f}, S={sites} cannot form a quorum of "
+            f"{plan.quorum} with its largest site down and f compromised"
+        )

@@ -35,6 +35,12 @@ from repro.net.codec import (
     registered_types,
     write_varint,
 )
+from repro.shard.messages import (
+    CrossShardCommit,
+    CrossShardIntent,
+    CrossShardPrepare,
+    ShardMapAnnounce,
+)
 from repro.prime.messages import (
     BatchFetch,
     BatchFetchReply,
@@ -86,6 +92,21 @@ SAMPLE_RESUME = ResumePoint(batch_seq=7, ordinal=42, ordered_through=(("r0#0", 5
 SAMPLE_ENCRYPTED = EncryptedUpdate(alias="abcd" * 4, client_seq=9, ciphertext=b"\x01" * 48, threshold_sig=b"\x02" * 48)
 SAMPLE_PLAIN = ClientUpdate(client_id="client-03", client_seq=4, body=Sensitive(b"SET x 1", label="client-update-body"), signature=b"\x03" * 64)
 SAMPLE_PROPOSAL = KeyProposal(alias="abcd" * 4, range_start=101, range_end=200, proposer="cc-a-r1", encrypted_seed=b"\x04" * 64)
+SAMPLE_INTENT = CrossShardIntent(
+    client_id="client-03",
+    client_seq=7,
+    home_shard=1,
+    targets=(0, 1),
+    body=Sensitive(b"SET xkey-client-03-2 xvalue-8", label="client-update-body"),
+)
+SAMPLE_PREPARE = CrossShardPrepare(
+    client_id="client-03",
+    client_seq=7,
+    home_shard=1,
+    intent_digest=b"\x19" * 32,
+    cert_kind=0,
+    cert_sig=b"\x1a" * 48,
+)
 
 
 PRIME_MESSAGES = [
@@ -155,6 +176,22 @@ CPITM_MESSAGES = [
         batch_sig=b"\x18" * 48,
         proof=MerkleProof(leaf_index=0, path=()),
     ),
+    # ShardLab routing + cross-shard ordering messages.
+    ShardMapAnnounce(seed=19, shards=4, version=2),
+    SAMPLE_INTENT,
+    SAMPLE_PREPARE,
+    CrossShardPrepare(
+        client_id="client-03",
+        client_seq=7,
+        home_shard=1,
+        intent_digest=b"\x1b" * 32,
+        cert_kind=1,
+        cert_sig=b"\x1c" * 48,
+        batch_root=b"\x1d" * 32,
+        batch_count=3,
+        proof=MerkleProof(leaf_index=1, path=((b"\x1e" * 32, False),)),
+    ),
+    CrossShardCommit(intent=SAMPLE_INTENT, prepare=SAMPLE_PREPARE),
 ]
 
 

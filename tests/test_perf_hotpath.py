@@ -118,6 +118,10 @@ WIRE_SIZE_RATIO_BANDS = {
     "BatchShare": (3.7, 3.7),
     "CertifiedResponse": (1.3, 1.5),
     "CheckpointMsg": (1.4, 2.9),
+    "CrossShardCommit": (1.5, 1.5),
+    "CrossShardIntent": (2.0, 2.0),
+    "CrossShardPrepare": (1.5, 1.8),
+    "ShardMapAnnounce": (22.0, 22.0),
     "ClientResponse": (1.7, 1.7),
     "ClientUpdate": (1.5, 1.5),
     "Commit": (3.3, 3.3),

@@ -1,0 +1,71 @@
+"""Single-shard byte-identity: ShardLab must not perturb the classic sim.
+
+The golden fingerprints pin the exact trace bytes of two small reference
+runs (see scripts/trace_fingerprint.py for the recipe). ``build_sharded``
+with ``shards=1`` must reproduce them bit-for-bit: the inert routing tier
+may not reorder a single kernel event, draw one extra random number, or
+touch a hostname. If an intentional sim change moves the goldens, refresh
+them with scripts/trace_fingerprint.py — in a commit that says so.
+"""
+
+import hashlib
+
+from repro.shard.builder import build_sharded
+from repro.system.builder import build
+from repro.system.config import SystemConfig
+
+import pytest
+
+GOLDEN = {
+    (19, 3, 6.0): "b341ab2eb354e6472509cbc8a6b36eb17dc02acf02f14f7773caeccdbd99a553",
+    (7, 2, 5.0): "006b3ef2f0f1a92de8bb2c2c188aef40016dcd812d7a8bed42f4bf0ceff66a91",
+}
+
+
+def _config(seed: int, clients: int) -> SystemConfig:
+    return SystemConfig(
+        seed=seed,
+        f=1,
+        num_clients=clients,
+        update_interval=0.4,
+        checkpoint_interval=20,
+    )
+
+
+def _run(deployment, duration: float):
+    deployment.start()
+    deployment.start_workload(duration=duration)
+    deployment.run(until=duration + 4.0)
+    return deployment.tracer.events
+
+
+def _fingerprint(events) -> str:
+    digest = hashlib.sha256()
+    for event in events:
+        digest.update(repr(event).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("seed,clients,duration", sorted(GOLDEN))
+def test_classic_build_matches_golden(seed, clients, duration):
+    events = _run(build(_config(seed, clients)), duration)
+    assert _fingerprint(events) == GOLDEN[(seed, clients, duration)]
+
+
+@pytest.mark.parametrize("seed,clients,duration", sorted(GOLDEN))
+def test_single_shard_build_matches_golden(seed, clients, duration):
+    """shards=1 through the sharded builder reproduces the same bytes."""
+    config = _config(seed, clients)
+    assert config.shards == 1
+    events = _run(build_sharded(config), duration)
+    assert _fingerprint(events) == GOLDEN[(seed, clients, duration)]
+
+
+def test_single_shard_trace_is_event_for_event_identical():
+    """Not just the same hash: the same events, in the same order."""
+    classic = _run(build(_config(7, 2)), 5.0)
+    sharded = _run(build_sharded(_config(7, 2)), 5.0)
+    assert len(classic) == len(sharded)
+    for a, b in zip(classic, sharded):
+        assert repr(a) == repr(b)

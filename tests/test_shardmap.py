@@ -1,0 +1,126 @@
+"""Property suite for the rendezvous-hash shard map.
+
+The routing tier's correctness rests on four properties of
+:class:`repro.shard.shardmap.ShardMap` (see its module docstring):
+total, stable, balanced, and rebalance-free. Hypothesis hunts for
+counterexamples over seeds, versions, shard counts, and client sets;
+balance — a statistical property an adversarial search could always
+"defeat" by finding an unlucky seed — is pinned on fixed seeds instead.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import client_alias
+from repro.errors import ConfigurationError
+from repro.shard.messages import ShardMapAnnounce
+from repro.shard.shardmap import ShardMap, shard_seed
+
+import pytest
+
+SEEDS = st.integers(0, 2 ** 32)
+SHARDS = st.integers(1, 16)
+VERSIONS = st.integers(1, 5)
+CLIENT_IDS = st.lists(
+    st.text(alphabet="abcdefghij-0123456789", min_size=1, max_size=12),
+    min_size=1,
+    max_size=30,
+    unique=True,
+)
+
+
+@settings(max_examples=100, derandomize=True, deadline=None)
+@given(seed=SEEDS, shards=SHARDS, version=VERSIONS, client_ids=CLIENT_IDS)
+def test_total_every_client_maps_to_exactly_one_shard(
+    seed, shards, version, client_ids
+):
+    shard_map = ShardMap(seed=seed, shards=shards, version=version)
+    assignment = shard_map.assign(client_ids)
+    assert sorted(cid for ids in assignment.values() for cid in ids) == sorted(
+        client_ids
+    )
+    for cid in client_ids:
+        home = shard_map.shard_of_client(cid)
+        assert 0 <= home < shards
+        assert cid in assignment[home]
+
+
+@settings(max_examples=100, derandomize=True, deadline=None)
+@given(seed=SEEDS, shards=SHARDS, version=VERSIONS, client_ids=CLIENT_IDS)
+def test_stable_across_announce_roundtrip(seed, shards, version, client_ids):
+    """Two processes that share an announce agree with no coordination."""
+    original = ShardMap(seed=seed, shards=shards, version=version)
+    rebuilt = ShardMap.from_announce(original.announce())
+    for cid in client_ids:
+        assert original.shard_of_client(cid) == rebuilt.shard_of_client(cid)
+        key = f"xkey-{cid}"
+        assert original.key_shard(key) == rebuilt.key_shard(key)
+
+
+@settings(max_examples=100, derandomize=True, deadline=None)
+@given(
+    seed=SEEDS,
+    shards=SHARDS,
+    version=VERSIONS,
+    client_ids=CLIENT_IDS,
+    extra=st.lists(
+        st.text(alphabet="klmnopqrs-0123456789", min_size=1, max_size=12),
+        max_size=10,
+        unique=True,
+    ),
+)
+def test_rebalance_free_growth(seed, shards, version, client_ids, extra):
+    """Adding clients never moves an existing client's home shard."""
+    shard_map = ShardMap(seed=seed, shards=shards, version=version)
+    before = {cid: shard_map.shard_of_client(cid) for cid in client_ids}
+    shard_map.assign(client_ids + [c for c in extra if c not in client_ids])
+    after = {cid: shard_map.shard_of_client(cid) for cid in client_ids}
+    assert before == after
+
+
+@pytest.mark.parametrize("seed", [1, 7, 19, 42, 1234])
+def test_balanced_load_on_reference_seeds(seed):
+    """256 aliases over 4 shards land near 64 each (balls into bins).
+
+    Fixed seeds, not Hypothesis: balance is statistical, and a property
+    search would always find some seed that skews a finite sample."""
+    shard_map = ShardMap(seed=seed, shards=4)
+    assignment = shard_map.assign([f"client-{i:03d}" for i in range(256)])
+    counts = sorted(len(ids) for ids in assignment.values())
+    assert counts[0] >= 32 and counts[-1] <= 96, counts
+
+
+@settings(max_examples=50, derandomize=True, deadline=None)
+@given(seed=SEEDS, shards=st.integers(2, 16))
+def test_version_bump_is_a_new_epoch(seed, shards):
+    """Different versions are allowed to disagree — and generally do."""
+    v1 = ShardMap(seed=seed, shards=shards, version=1)
+    v2 = ShardMap(seed=seed, shards=shards, version=2)
+    aliases = [client_alias(f"client-{i:02d}") for i in range(40)]
+    # Not asserting inequality per-alias (hash collisions on a handful of
+    # aliases are legitimate); across 40 aliases the epochs must not be
+    # the identical mapping by construction accident.
+    assert any(v1.shard_of(a) != v2.shard_of(a) for a in aliases)
+
+
+def test_single_shard_is_constant():
+    shard_map = ShardMap(seed=3, shards=1)
+    for i in range(20):
+        assert shard_map.shard_of_client(f"client-{i:02d}") == 0
+
+
+def test_zero_shards_rejected():
+    with pytest.raises(ConfigurationError):
+        ShardMap(seed=1, shards=0)
+
+
+def test_announce_is_the_wire_epoch():
+    announce = ShardMap(seed=9, shards=3, version=4).announce()
+    assert announce == ShardMapAnnounce(seed=9, shards=3, version=4)
+
+
+def test_shard_seed_is_stable_and_distinct():
+    assert shard_seed(19, 0) == shard_seed(19, 0)
+    derived = {shard_seed(19, s) for s in range(8)}
+    assert len(derived) == 8
+    assert shard_seed(19, 0) != shard_seed(20, 0)

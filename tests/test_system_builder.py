@@ -28,6 +28,54 @@ class TestConfigValidation:
         with pytest.raises(ConfigurationError):
             SystemConfig(num_clients=0)
 
+    def test_infeasible_distribution_fails_at_config_time(self):
+        # The (f, k, S) distribution rule is re-derived in __post_init__ so
+        # an impossible site count fails before any material generation.
+        with pytest.raises(ConfigurationError):
+            SystemConfig(f=1, data_centers=0)
+
+    def test_shard_count_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(shards=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(shards=65, num_clients=100)
+
+    def test_more_shards_than_clients_rejected(self):
+        with pytest.raises(ConfigurationError, match="every shard must own"):
+            SystemConfig(shards=4, num_clients=3)
+
+    def test_negative_route_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(route_delay=-0.001)
+
+
+class TestClientIdentityValidation:
+    """Duplicate/colliding client ids must fail loudly, not overwrite keys."""
+
+    def test_duplicate_client_ids_rejected(self):
+        from repro.rt.bootstrap import generate_material
+        from repro.sim.rng import RngRegistry
+
+        config = SystemConfig(num_clients=2, seed=5)
+        with pytest.raises(ConfigurationError, match="duplicate client id"):
+            generate_material(
+                config, RngRegistry(5), client_ids=["client-00", "client-00"]
+            )
+
+    def test_empty_client_id_rejected(self):
+        from repro.rt.bootstrap import generate_material
+        from repro.sim.rng import RngRegistry
+
+        config = SystemConfig(num_clients=2, seed=5)
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            generate_material(config, RngRegistry(5), client_ids=["client-00", ""])
+
+    def test_empty_client_set_rejected(self):
+        from repro.rt.bootstrap import validate_client_ids
+
+        with pytest.raises(ConfigurationError, match="at least one client"):
+            validate_client_ids([])
+
 
 class TestBuildConfidential:
     @pytest.fixture(scope="class")
