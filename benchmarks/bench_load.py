@@ -1,0 +1,82 @@
+"""LoadLab saturation benchmark: open-loop offered-load sweep.
+
+Thin driver over :mod:`repro.load.sweep`. Steps offered load through a
+ladder of arrival rates for both the singleton and batched introduction
+configurations, records latency-vs-offered-load and goodput curves, and
+detects the saturation knee (the last rung where goodput keeps up with
+at least ``KNEE_GOODPUT_FRACTION`` of the offered rate).
+
+The sweep runs in virtual time, so every number is machine-independent
+and ``--check`` can enforce structural guarantees as hard failures:
+a knee must exist for every configuration, the batched knee must sit at
+or above the singleton knee, and per-point accounting must balance
+(offered == admitted + dropped).
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_load.py              # full run, writes results
+    PYTHONPATH=src python benchmarks/bench_load.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.load.sweep import (  # noqa: E402
+    DEFAULT_RESULTS_PATH,
+    REPO_ROOT,
+    check_load,
+    load_results,
+    run_sweep,
+    write_results,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short 2-point ladder for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce knee/accounting guarantees; exit 1 on failure")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline BENCH_load.json for regression comparison")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write results here (default: committed results path)")
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--profile", default="poisson")
+    args = parser.parse_args(argv)
+
+    result = run_sweep(quick=args.quick, seed=args.seed, profile=args.profile)
+    print(json.dumps(result, indent=2))
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / DEFAULT_RESULTS_PATH
+    if out is not None:
+        write_results(result, out)
+        print(f"wrote {out}", file=sys.stderr)
+
+    if args.check:
+        baseline_path = args.baseline
+        if baseline_path is None:
+            committed = REPO_ROOT / DEFAULT_RESULTS_PATH
+            if committed.exists():
+                baseline_path = committed
+        baseline = load_results(baseline_path) if baseline_path else None
+        failures = check_load(result, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("CHECK OK", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,9 +18,10 @@ import json
 import sys
 from pathlib import Path
 
+from repro.load.closedloop import latency_stats, run_closed_loop_sim
 from repro.rt.bootstrap import RtConfig
 from repro.rt.launcher import run_deployment
-from repro.system import Mode, SystemConfig, build
+from repro.system import Mode, SystemConfig
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_rt.json"
 
@@ -30,36 +31,12 @@ UPDATE_INTERVAL = 0.05
 SEED = 23
 
 
-def _percentile(sorted_values, p):
-    if not sorted_values:
-        return 0.0
-    rank = (p / 100.0) * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    fraction = rank - low
-    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
-
-
-def _stats(latencies, completed, elapsed):
-    ordered = sorted(latencies)
-    return {
-        "updates_completed": completed,
-        "workload_seconds": round(elapsed, 3),
-        "throughput_per_s": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
-        "latency_p50_ms": round(_percentile(ordered, 50) * 1000, 2),
-        "latency_p99_ms": round(_percentile(ordered, 99) * 1000, 2),
-        "latency_mean_ms": round(
-            sum(ordered) / len(ordered) * 1000 if ordered else 0.0, 2
-        ),
-    }
-
-
 def run_sim() -> dict:
     """The same closed-loop workload under the deterministic simulation.
 
     Mirrors the live ClientDriver exactly: one in-flight update per
     client — submit, wait for the threshold-verified response, sleep the
-    interval, repeat.
+    interval, repeat (the shared driver in ``repro.load.closedloop``).
     """
     config = SystemConfig(
         mode=Mode.CONFIDENTIAL,
@@ -68,37 +45,11 @@ def run_sim() -> dict:
         num_clients=NUM_CLIENTS,
         update_interval=UPDATE_INTERVAL,
     )
-    deployment = build(config)
-    deployment.start()
-    kernel = deployment.kernel
-    remaining = {cid: UPDATES_PER_CLIENT for cid in deployment.proxies}
-    last_completion = [0.0]
-
-    def submit(cid):
-        proxy = deployment.proxies[cid]
-        seq = proxy._seq + 1
-        proxy.submit(f"SET {cid} {seq}".encode())
-
-    def chain(cid):
-        def on_response(_seq, _body, _latency):
-            last_completion[0] = kernel.now
-            remaining[cid] -= 1
-            if remaining[cid] > 0:
-                kernel.call_later(UPDATE_INTERVAL, submit, cid)
-
-        deployment.proxies[cid].on_response(on_response)
-
-    start_at = 0.5
-    for cid in deployment.proxies:
-        chain(cid)
-        kernel.call_at(start_at, submit, cid)
-    deployment.run(until=600.0)
-    latencies = [
-        latency
-        for proxy in deployment.proxies.values()
-        for _seq, latency in proxy.latencies()
-    ]
-    return _stats(latencies, len(latencies), last_completion[0] - start_at)
+    deployment, latencies, elapsed = run_closed_loop_sim(
+        config, UPDATES_PER_CLIENT, UPDATE_INTERVAL
+    )
+    deployment.shutdown()
+    return latency_stats(latencies, len(latencies), elapsed)
 
 
 def run_live(out_dir: str) -> dict:
@@ -121,7 +72,7 @@ def run_live(out_dir: str) -> dict:
     for path in sorted(clients_dir.glob("*.json")):
         result = json.loads(path.read_text())
         latencies.extend(latency for _seq, latency in result["latencies"])
-    return _stats(
+    return latency_stats(
         latencies, summary["updates_completed"], summary["workload_seconds"]
     )
 

@@ -26,6 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.load.closedloop import latency_stats  # noqa: E402
 from repro.shard.builder import build_sharded  # noqa: E402
 from repro.system.config import SystemConfig  # noqa: E402
 
@@ -58,12 +59,16 @@ def run_point(shards: int, clients: int, interval: float, duration: float,
     completed = deployment.completed_count()
     latencies = deployment.latencies()
     deployment.shutdown()
-    latencies.sort()
+    # Shared reporting (repro.load.closedloop): the same percentile math
+    # every other benchmark uses. `updates_per_sec` is virtual-time
+    # throughput, the quantity the scaling ratios are built from.
+    stats = latency_stats(latencies, completed, duration)
     return {
         "shards": shards,
         "completed": completed,
         "updates_per_sec": round(completed / duration, 3),
-        "p50_latency": round(latencies[len(latencies) // 2], 4) if latencies else None,
+        "latency_p50_ms": stats["latency_p50_ms"],
+        "latency_p99_ms": stats["latency_p99_ms"],
     }
 
 

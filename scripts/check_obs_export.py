@@ -24,6 +24,15 @@ with a ``node`` annotation and a known ``kind`` (snapshot, health,
 trace, span) carrying that kind's required keys. Used by the
 ``obs-live-smoke`` CI job.
 
+Bench mode — ``check_obs_export.py --bench-load BENCH_load.json`` —
+validates a LoadLab saturation-sweep artifact: both configuration
+curves present, every point schema-complete with balanced accounting,
+and a detected knee per curve. Used by the ``load-smoke`` CI job.
+
+Bundles from open-loop runs additionally get their ``load_*`` metric
+family checked: if any ``load_`` sample appears, the full accounting
+family and phase-labelled latency histogram must be present.
+
 Exit code 0 when the bundle/stream is well-formed; 1 with a per-file
 error list otherwise. Used by CI (see .github/workflows/ci.yml) and by
 the export tests.
@@ -76,6 +85,20 @@ LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
 #: Shard label values look like ``s0``, ``s1``, ...
 SHARD_VALUE_RE = re.compile(r"^s\d+$")
 
+#: LoadLab instruments: a bundle from an open-loop run (any ``load_``
+#: sample present) must carry the complete accounting family — partial
+#: presence means the generator's metric wiring broke.
+LOAD_REQUIRED = (
+    "load_offered_total",
+    "load_admitted_total",
+    "load_dropped_total",
+    "load_completed_total",
+    "load_slo_miss_total",
+    "load_aliases",
+)
+#: The open-loop latency histogram is labelled by arrival phase.
+LOAD_LATENCY_RE = re.compile(r'^load_latency\{[^}]*phase="[^"]+"')
+
 #: ShardLab instruments that must carry a ``shard="sN"`` label per sample.
 SHARD_LABELED = ("shard_updates_total", "shard_cross_shard_total")
 
@@ -102,6 +125,7 @@ def check_prometheus(path: Path, errors: list) -> None:
     layer_hits = set()
     sample_names = set()
     shard_ids = set()
+    load_latency_phased = False
     for line_no, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         if not line or line.startswith("#"):
             match = TYPE_RE.match(line)
@@ -132,6 +156,8 @@ def check_prometheus(path: Path, errors: list) -> None:
         for prefix in REQUIRED_LAYERS:
             if name.startswith(prefix):
                 layer_hits.add(prefix)
+        if name == "load_latency" and LOAD_LATENCY_RE.match(line):
+            load_latency_phased = True
         if name in SHARD_LABELED:
             labels = dict(LABEL_RE.findall(match.group("labels") or ""))
             shard = labels.get("shard")
@@ -161,6 +187,18 @@ def check_prometheus(path: Path, errors: list) -> None:
                 errors.append(
                     f"{path.name}: cross-shard bundle lacks required counter {counter}"
                 )
+    if any(name.startswith("load_") for name in sample_names):
+        # Open-loop bundle: the whole accounting family must be there.
+        for counter in LOAD_REQUIRED:
+            if counter not in sample_names:
+                errors.append(
+                    f"{path.name}: open-loop bundle lacks required metric {counter}"
+                )
+        if not load_latency_phased:
+            errors.append(
+                f"{path.name}: open-loop bundle has load_* metrics but no "
+                'phase-labelled load_latency samples'
+            )
 
 
 def check_row(row, where: str, errors: list, kinds: set) -> bool:
@@ -318,6 +356,71 @@ def check_bundle(bundle_dir: str) -> list:
     return errors
 
 
+#: Keys every BENCH_load.json sweep point must carry.
+BENCH_LOAD_POINT_KEYS = {
+    "offered_rate", "offered", "admitted", "dropped", "completed",
+    "slo_miss", "timeouts", "aliases_active", "offered_per_s",
+    "goodput_per_s", "latency_p50_ms", "latency_p99_ms",
+}
+BENCH_LOAD_KNEE_KEYS = {
+    "offered_rate", "offered_per_s", "goodput_per_s", "latency_p99_ms",
+    "saturated",
+}
+BENCH_LOAD_CONFIGS = {"singleton", "batched"}
+
+
+def check_bench_load(path: Path, errors: list) -> None:
+    """Validate a BENCH_load.json saturation-sweep artifact.
+
+    Structural only (no repro import): both configuration curves exist,
+    every point carries the full accounting schema and balances
+    (offered == admitted + dropped; timeouts == admitted − completed),
+    and each curve has a detected knee.
+    """
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{path.name}: unreadable ({exc})")
+        return
+    if doc.get("benchmark") != "load_sweep":
+        errors.append(f"{path.name}: benchmark is not 'load_sweep'")
+    configs = doc.get("configs")
+    if not isinstance(configs, dict):
+        errors.append(f"{path.name}: configs missing")
+        return
+    missing_configs = BENCH_LOAD_CONFIGS - configs.keys()
+    if missing_configs:
+        errors.append(f"{path.name}: configs missing {sorted(missing_configs)}")
+    for name, curve in configs.items():
+        points = curve.get("points")
+        if not isinstance(points, list) or len(points) < 2:
+            errors.append(f"{path.name}: {name} curve has fewer than 2 points")
+            continue
+        for index, point in enumerate(points):
+            missing = BENCH_LOAD_POINT_KEYS - point.keys()
+            if missing:
+                errors.append(
+                    f"{path.name}: {name} point {index} missing {sorted(missing)}"
+                )
+                continue
+            if point["offered"] != point["admitted"] + point["dropped"]:
+                errors.append(
+                    f"{path.name}: {name} point {index} accounting imbalance"
+                )
+            if point["timeouts"] != point["admitted"] - point["completed"]:
+                errors.append(
+                    f"{path.name}: {name} point {index} timeout identity broken"
+                )
+        knee = curve.get("knee")
+        if not isinstance(knee, dict):
+            errors.append(f"{path.name}: {name} curve has no detected knee")
+        elif BENCH_LOAD_KNEE_KEYS - knee.keys():
+            errors.append(
+                f"{path.name}: {name} knee missing "
+                f"{sorted(BENCH_LOAD_KNEE_KEYS - knee.keys())}"
+            )
+
+
 STREAM_KINDS = {"snapshot", "health", "trace", "span"}
 
 
@@ -377,8 +480,21 @@ def main(argv) -> int:
         counts = ", ".join(f"{k}={v}" for k, v in sorted(tally.items()) if v)
         print(f"OK stream: telemetry rows are well-formed ({counts})")
         return 0
+    if len(argv) == 3 and argv[1] == "--bench-load":
+        errors = []
+        check_bench_load(Path(argv[2]), errors)
+        if errors:
+            for error in errors:
+                print(f"FAIL {error}")
+            return 1
+        print(f"OK {argv[2]}: load sweep artifact is well-formed")
+        return 0
     if len(argv) != 2:
-        print(f"usage: {argv[0]} BUNDLE_DIR | --stream [FILE|-]", file=sys.stderr)
+        print(
+            f"usage: {argv[0]} BUNDLE_DIR | --stream [FILE|-] | "
+            "--bench-load BENCH_load.json",
+            file=sys.stderr,
+        )
         return 2
     errors = check_bundle(argv[1])
     if errors:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Write a live-fleet deployment spec (RtConfig JSON) to a shared path.
+
+The docker compose fleet has no launcher process: every node container
+derives its material independently from one spec file on the shared
+``/fleet`` volume. This script is the compose fleet's init step — it
+renders the spec exactly once (stamping the shared wall-clock epoch at
+fleet start), then every replica/client container reads it.
+
+Flags mirror the RtConfig knobs the fleet manifest exposes; defaults
+match :class:`repro.rt.bootstrap.RtConfig`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.rt.bootstrap import RtConfig  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", required=True, help="where to write spec.json")
+    parser.add_argument("--mode", default="confidential",
+                        choices=("confidential", "spire"))
+    parser.add_argument("--f", dest="f", type=int, default=1)
+    parser.add_argument("--clients", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--base-port", type=int, default=17000)
+    parser.add_argument("--updates", type=int, default=100)
+    parser.add_argument("--interval", type=float, default=0.02)
+    parser.add_argument("--out-dir", default="/fleet/out",
+                        help="artifact directory inside the containers")
+    parser.add_argument("--no-durable-store", dest="durable_store",
+                        action="store_false")
+    parser.add_argument("--load-profile", default="",
+                        help="open-loop arrival profile (empty = closed loop)")
+    parser.add_argument("--load-rate", type=float, default=20.0)
+    parser.add_argument("--load-aliases", type=int, default=200)
+    parser.add_argument("--load-duration", type=float, default=10.0)
+    args = parser.parse_args(argv)
+
+    config = RtConfig(
+        mode=args.mode,
+        f=args.f,
+        num_clients=args.clients,
+        seed=args.seed,
+        shards=args.shards,
+        base_port=args.base_port,
+        updates_per_client=args.updates,
+        update_interval=args.interval,
+        out_dir=args.out_dir,
+        durable_store=args.durable_store,
+        epoch=time.time(),
+        load_profile=args.load_profile,
+        load_rate=args.load_rate,
+        load_aliases=args.load_aliases,
+        load_duration=args.load_duration,
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_suffix(".tmp")
+    tmp.write_text(config.to_json() + "\n", encoding="utf-8")
+    tmp.replace(out)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Container health probe: GET the rt control plane's /health endpoint.
+
+Used as the docker HEALTHCHECK for every fleet container. The node's
+control port comes from ``NODE_CONTROL_PORT`` (set per service by the
+generated compose manifest); exit 0 iff the endpoint answers 200 within
+the timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import urllib.request
+
+
+def main() -> int:
+    port = os.environ.get("NODE_CONTROL_PORT")
+    if not port:
+        print("NODE_CONTROL_PORT not set", file=sys.stderr)
+        return 2
+    url = f"http://127.0.0.1:{int(port)}/health"
+    try:
+        with urllib.request.urlopen(url, timeout=2.0) as response:
+            if response.status == 200:
+                return 0
+            print(f"{url} -> {response.status}", file=sys.stderr)
+    except OSError as exc:
+        print(f"{url} -> {exc}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -158,6 +158,16 @@ def make_parser() -> argparse.ArgumentParser:
     rt_run.add_argument("--no-detectors", dest="detectors",
                         action="store_false",
                         help="disable online anomaly detectors")
+    rt_run.add_argument("--load-profile", default="",
+                        choices=("", "poisson", "bursty", "diurnal", "storm"),
+                        help="open-loop arrival profile for the client "
+                             "drivers (default: closed loop)")
+    rt_run.add_argument("--load-rate", type=float, default=20.0,
+                        help="aggregate offered arrivals/s across clients")
+    rt_run.add_argument("--load-aliases", type=int, default=200,
+                        help="distinct client aliases fleet-wide")
+    rt_run.add_argument("--load-duration", type=float, default=10.0,
+                        help="open-loop generation window in seconds")
 
     rt_node = rt_sub.add_parser(
         "node", help="run one node process (spawned by the launcher)"
@@ -286,6 +296,73 @@ def make_parser() -> argparse.ArgumentParser:
     shard_sweep.add_argument("--start-seed", type=int, default=1)
     shard_sweep.add_argument("--shards", type=int, default=2)
     shard_sweep.add_argument("--clients", type=int, default=8)
+
+    load = sub.add_parser(
+        "load",
+        help="LoadLab: open-loop load generation, saturation sweeps, and "
+             "the scenario zoo",
+    )
+    load_sub = load.add_subparsers(dest="load_command", required=True)
+    load_run = load_sub.add_parser(
+        "run", help="one open-loop run at a fixed offered rate"
+    )
+    load_run.add_argument("--profile", default="poisson",
+                          choices=("poisson", "bursty", "diurnal", "storm"))
+    load_run.add_argument("--rate", type=float, default=20.0,
+                          help="mean offered rate, arrivals/second")
+    load_run.add_argument("--aliases", type=int, default=1000,
+                          help="distinct client aliases multiplexed over "
+                               "the proxy pool")
+    load_run.add_argument("--duration", type=float, default=8.0)
+    load_run.add_argument("--clients", type=int, default=10,
+                          help="real proxies in the pool")
+    load_run.add_argument("--seed", type=int, default=11)
+    load_run.add_argument("--batch", type=int, default=1,
+                          help="intro_batch_size (1 = singleton path)")
+    load_run.add_argument("--shards", type=int, default=1)
+    load_run.add_argument("--max-inflight", type=int, default=4,
+                          help="admission bound per proxy; arrivals past "
+                               "it are dropped and counted")
+    load_run.add_argument("--deadline", type=float, default=4.0,
+                          help="latency SLO (seconds) for goodput")
+    load_run.add_argument("--drain", type=float, default=4.0,
+                          help="extra virtual seconds after arrivals stop")
+    _add_obs_args(load_run)
+    load_sweep = load_sub.add_parser(
+        "sweep", help="saturation sweep: step offered load, detect the knee"
+    )
+    load_sweep.add_argument("--quick", action="store_true",
+                            help="2-point CI ladder, fewer aliases")
+    load_sweep.add_argument("--check", action="store_true",
+                            help="enforce knee floors (and the committed "
+                                 "baseline when comparable); exit 1 on "
+                                 "failure")
+    load_sweep.add_argument("--baseline", default=None,
+                            help="baseline BENCH_load.json for --check")
+    load_sweep.add_argument("--out", default=None,
+                            help="where to write results (default: the "
+                                 "committed results file, full runs only)")
+    load_sweep.add_argument("--tolerance", type=float, default=0.25)
+    load_sweep.add_argument("--seed", type=int, default=11)
+    load_sweep.add_argument("--profile", default="poisson",
+                            choices=("poisson", "bursty", "diurnal", "storm"))
+    load_sweep.add_argument("--rates", default=None,
+                            help="comma-separated offered-rate ladder "
+                                 "overriding the default")
+    load_scenario = load_sub.add_parser(
+        "scenario", help="run a named load+fault scenario (or --all / --list)"
+    )
+    load_scenario.add_argument("name", nargs="?", default=None,
+                               help="scenario name (see --list)")
+    load_scenario.add_argument("--list", action="store_true",
+                               help="print the scenario catalog and exit")
+    load_scenario.add_argument("--all", action="store_true",
+                               help="run every scenario in the zoo")
+    load_scenario.add_argument("--quick", action="store_true",
+                               help="halved rate, fewer aliases")
+    load_scenario.add_argument("--seed", type=int, default=11)
+    load_scenario.add_argument("--json", action="store_true",
+                               help="emit the full result document as JSON")
     return parser
 
 
@@ -330,7 +407,106 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perf(args)
     if args.command == "shard":
         return _cmd_shard(args)
+    if args.command == "load":
+        return _cmd_load(args)
     return _cmd_run(args)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    if args.load_command == "run":
+        from repro.load import LoadConfig, LoadGenerator
+        from repro.shard.builder import build_sharded
+
+        config = SystemConfig(
+            seed=args.seed,
+            f=1,
+            num_clients=args.clients,
+            update_interval=1.0,
+            checkpoint_interval=50,
+            intro_batch_size=args.batch,
+            shards=args.shards,
+        )
+        deployment = build_sharded(config) if args.shards > 1 else build(config)
+        deployment.start()
+        generator = LoadGenerator(
+            deployment,
+            LoadConfig(
+                profile=args.profile,
+                rate=args.rate,
+                aliases=args.aliases,
+                duration=args.duration,
+                max_inflight=args.max_inflight,
+                deadline=args.deadline,
+            ),
+        )
+        generator.start()
+        deployment.run(
+            until=generator.config.start_at + args.duration + args.drain
+        )
+        stats = generator.stats()
+        print(stats.describe())
+        print(_json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        _write_obs_outputs(deployment, args.trace_out, args.obs_out)
+        deployment.shutdown()
+        return 0
+
+    if args.load_command == "sweep":
+        from repro.load import (
+            DEFAULT_RESULTS_PATH,
+            check_load,
+            load_results,
+            run_sweep,
+            write_results,
+        )
+        from repro.load.sweep import REPO_ROOT
+
+        rates = None
+        if args.rates:
+            rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        result = run_sweep(quick=args.quick, seed=args.seed,
+                           profile=args.profile, rates=rates)
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        if args.check:
+            baseline = load_results(
+                Path(args.baseline) if args.baseline else None
+            )
+            failures = check_load(result, baseline, tolerance=args.tolerance)
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            if not failures:
+                print("load check passed", file=sys.stderr)
+            return 1 if failures else 0
+        out = Path(args.out) if args.out else None
+        if out is None and not args.quick:
+            out = REPO_ROOT / DEFAULT_RESULTS_PATH
+        if out is not None:
+            write_results(result, out)
+            print(f"wrote {out}", file=sys.stderr)
+        return 0
+
+    # scenario
+    from repro.load import SCENARIOS, run_load_scenario, scenario_names
+
+    if args.list or (args.name is None and not args.all):
+        for name in scenario_names():
+            scenario = SCENARIOS[name]
+            substrate = "sim+live" if scenario.live_ok else "sim"
+            print(f"{name:32s} [{substrate}] {scenario.summary}")
+        return 0
+    names = scenario_names() if args.all else [args.name]
+    failures = 0
+    for name in names:
+        result = run_load_scenario(name, seed=args.seed, quick=args.quick)
+        if args.json:
+            print(_json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(result.summary())
+        if not result.ok:
+            failures += 1
+    return 1 if failures else 0
 
 
 def _cmd_shard(args: argparse.Namespace) -> int:
@@ -498,6 +674,10 @@ def _cmd_rt(args: argparse.Namespace) -> int:
         trace_wire=args.trace_wire,
         telemetry_interval=args.telemetry_interval,
         detectors=args.detectors,
+        load_profile=args.load_profile,
+        load_rate=args.load_rate,
+        load_aliases=args.load_aliases,
+        load_duration=args.load_duration,
     )
     summary = run_deployment(config, timeout=args.timeout)
     total = summary["updates_submitted"]
@@ -505,6 +685,12 @@ def _cmd_rt(args: argparse.Namespace) -> int:
     print(f"rt run: {summary['clients']} clients, {done}/{total} updates "
           f"completed in {summary['workload_seconds']:.1f}s "
           f"({summary['throughput_per_s']:.1f}/s)")
+    load = summary.get("load")
+    if load:
+        print(f"open loop ({load['profile']}): offered {load['offered']}, "
+              f"admitted {load['admitted']}, dropped {load['dropped']}, "
+              f"timeouts {load['timeouts']}, slo_miss {load['slo_miss']}, "
+              f"aliases {load['aliases']}")
     shards = summary.get("shards") or {}
     if len(shards) > 1:
         for name in sorted(shards):
@@ -517,7 +703,12 @@ def _cmd_rt(args: argparse.Namespace) -> int:
           f"p99 {summary['latency_p99'] * 1000:.1f} ms; "
           f"retransmissions {summary['retransmissions']}")
     print(f"merged bundle: {summary['merged_bundle']['metrics.prom']}")
-    ok = summary["finished"] and done >= total and total > 0
+    if load:
+        # Open loop: drops/timeouts are legitimate outcomes — the run is
+        # good when it finished, offered work, and completed some of it.
+        ok = summary["finished"] and total > 0 and done > 0
+    else:
+        ok = summary["finished"] and done >= total and total > 0
     return 0 if ok else 1
 
 

@@ -1,0 +1,78 @@
+"""LoadLab: open-loop load generation, saturation curves, and scenarios.
+
+Everything the repo measured before this package was *closed-loop*: a
+bounded set of clients each keeping at most one update in flight, so the
+generator implicitly slows down whenever the system does. That hides the
+saturation knee — exactly the regime the ROADMAP north-star cares about.
+
+``repro.load`` is the open-loop instrument:
+
+* :mod:`repro.load.arrivals` — seeded arrival processes (Poisson, bursty
+  on/off, diurnal ramp, failure storm), substrate-neutral;
+* :mod:`repro.load.generator` — drives a sim deployment at an *offered*
+  rate from thousands of client aliases multiplexed over a bounded pool
+  of real proxies, recording drops and timeouts instead of slowing down;
+* :mod:`repro.load.sweep` — the saturation harness: step offered load,
+  emit latency-vs-offered-load and goodput curves with knee detection
+  into ``benchmarks/results/BENCH_load.json``;
+* :mod:`repro.load.scenarios` — the scenario zoo composing load shapes
+  with FaultLab schedules, each runnable by name;
+* :mod:`repro.load.closedloop` — the shared closed-loop driver helper
+  the legacy benchmarks now build on, so closed- and open-loop arms
+  share configuration and reporting code.
+
+The live substrate reuses :mod:`repro.load.arrivals` through the rt
+client driver (``RtConfig.load_profile``).
+"""
+
+from repro.load.arrivals import (
+    PROFILES,
+    ArrivalSpec,
+    arrival_gaps,
+    arrival_times,
+    peak_rate,
+    phase_at,
+    rate_at,
+)
+from repro.load.generator import LoadConfig, LoadGenerator, LoadStats
+from repro.load.scenarios import (
+    SCENARIOS,
+    LoadScenario,
+    LoadScenarioResult,
+    run_load_scenario,
+    scenario_names,
+)
+from repro.load.sweep import (
+    DEFAULT_RESULTS_PATH,
+    check_load,
+    detect_knee,
+    load_results,
+    run_point,
+    run_sweep,
+    write_results,
+)
+
+__all__ = [
+    "PROFILES",
+    "ArrivalSpec",
+    "arrival_gaps",
+    "arrival_times",
+    "peak_rate",
+    "phase_at",
+    "rate_at",
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadStats",
+    "SCENARIOS",
+    "LoadScenario",
+    "LoadScenarioResult",
+    "run_load_scenario",
+    "scenario_names",
+    "DEFAULT_RESULTS_PATH",
+    "check_load",
+    "detect_knee",
+    "load_results",
+    "run_point",
+    "run_sweep",
+    "write_results",
+]

@@ -1,0 +1,202 @@
+"""Seeded arrival processes for open-loop load generation.
+
+An arrival process answers one question: *when does the next request
+arrive?* — independent of how the system under test is doing. That
+independence is what makes the generator open-loop: a saturated system
+does not slow the arrivals down, it drops or queues them, and the
+generator records that honestly.
+
+Four profiles, all driven by a single seeded ``random.Random`` through
+Lewis–Shedler thinning (draw candidate arrivals at the profile's peak
+rate, accept each with probability ``rate_at(t) / peak``), so one stream
+of draws deterministically produces the whole sequence:
+
+``poisson``
+    Homogeneous Poisson at ``rate``: exponential interarrivals, the
+    memoryless baseline every queueing result assumes.
+
+``bursty``
+    On/off duty cycle: silent for ``off_seconds``, then Poisson at a
+    rate inflated so the *mean over the whole cycle* is still ``rate``.
+    Models field devices that batch-report.
+
+``diurnal``
+    A triangular ramp with period ``period``: the instantaneous rate
+    climbs monotonically from ``floor_fraction * rate`` to the peak over
+    the first half-period and descends over the second. Mean over a full
+    period is ``rate``. Models the day/night cycle in miniature.
+
+``storm``
+    Poisson at ``rate``, except inside ``[storm_at, storm_at +
+    storm_duration)`` where the rate multiplies by ``storm_multiplier``
+    — the retransmission/failover storm that follows a failure.
+
+Every function is substrate-neutral: the sim generator converts the gap
+sequence into kernel timeouts, the live rt driver into asyncio sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+from repro.errors import ConfigurationError
+
+PROFILES = ("poisson", "bursty", "diurnal", "storm")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process: profile name, mean rate, profile parameters.
+
+    ``rate`` is the *mean* offered rate in arrivals per second, averaged
+    over the profile's cycle — so sweeping ``rate`` compares profiles at
+    equal total offered load.
+    """
+
+    profile: str = "poisson"
+    rate: float = 10.0
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ConfigurationError(
+                f"unknown arrival profile {self.profile!r}; "
+                f"expected one of {PROFILES}"
+            )
+        if self.rate <= 0:
+            raise ConfigurationError(f"arrival rate must be > 0, got {self.rate}")
+
+    def param(self, name: str, default: float) -> float:
+        return float(self.params.get(name, default))
+
+    # -- profile parameters (with their defaults) ---------------------------
+
+    @property
+    def on_seconds(self) -> float:
+        return self.param("on_seconds", 1.0)
+
+    @property
+    def off_seconds(self) -> float:
+        return self.param("off_seconds", 2.0)
+
+    @property
+    def period(self) -> float:
+        return self.param("period", 8.0)
+
+    @property
+    def floor_fraction(self) -> float:
+        return self.param("floor_fraction", 0.2)
+
+    @property
+    def storm_at(self) -> float:
+        return self.param("storm_at", 3.0)
+
+    @property
+    def storm_duration(self) -> float:
+        return self.param("storm_duration", 2.0)
+
+    @property
+    def storm_multiplier(self) -> float:
+        return self.param("storm_multiplier", 5.0)
+
+
+def rate_at(spec: ArrivalSpec, t: float) -> float:
+    """Instantaneous arrival rate λ(t) for ``spec`` at time ``t`` (t is
+    relative to the process's own start)."""
+    if spec.profile == "poisson":
+        return spec.rate
+    if spec.profile == "bursty":
+        cycle = spec.on_seconds + spec.off_seconds
+        if cycle <= 0:
+            return spec.rate
+        # Inflate the on-rate so the cycle mean is still spec.rate.
+        on_rate = spec.rate * cycle / spec.on_seconds
+        return on_rate if (t % cycle) < spec.on_seconds else 0.0
+    if spec.profile == "diurnal":
+        period = spec.period
+        if period <= 0:
+            return spec.rate
+        floor = spec.floor_fraction * spec.rate
+        # Triangular: mean of a symmetric ramp floor->peak->floor is
+        # (floor + peak) / 2, so peak = 2*rate - floor keeps the mean.
+        peak = 2.0 * spec.rate - floor
+        phase = (t % period) / period
+        ramp = 2.0 * phase if phase < 0.5 else 2.0 * (1.0 - phase)
+        return floor + (peak - floor) * ramp
+    # storm
+    in_storm = spec.storm_at <= t < spec.storm_at + spec.storm_duration
+    return spec.rate * spec.storm_multiplier if in_storm else spec.rate
+
+
+def peak_rate(spec: ArrivalSpec) -> float:
+    """The profile's maximum instantaneous rate (the thinning envelope)."""
+    if spec.profile == "poisson":
+        return spec.rate
+    if spec.profile == "bursty":
+        cycle = spec.on_seconds + spec.off_seconds
+        return spec.rate * cycle / spec.on_seconds if cycle > 0 else spec.rate
+    if spec.profile == "diurnal":
+        return 2.0 * spec.rate - spec.floor_fraction * spec.rate
+    return spec.rate * spec.storm_multiplier
+
+
+def phase_at(spec: ArrivalSpec, t: float) -> str:
+    """A coarse label for where ``t`` falls in the profile's cycle.
+
+    Used to label latency histograms (``load.latency{phase=...}``) so a
+    sweep can report p99 *by phase* — burst-on latency vs burst-off,
+    storm vs background.
+    """
+    if spec.profile == "poisson":
+        return "steady"
+    if spec.profile == "bursty":
+        cycle = spec.on_seconds + spec.off_seconds
+        if cycle <= 0:
+            return "steady"
+        return "on" if (t % cycle) < spec.on_seconds else "off"
+    if spec.profile == "diurnal":
+        period = spec.period
+        if period <= 0:
+            return "steady"
+        return "rise" if (t % period) / period < 0.5 else "fall"
+    in_storm = spec.storm_at <= t < spec.storm_at + spec.storm_duration
+    return "storm" if in_storm else "base"
+
+
+def arrival_times(
+    spec: ArrivalSpec, rng: random.Random, duration: float, start: float = 0.0
+) -> Iterator[float]:
+    """Yield absolute arrival times in ``[start, start + duration)``.
+
+    Deterministic given the seeded ``rng``: the same (seed, spec,
+    duration) always produces the same sequence. Times are strictly
+    increasing. Implementation is Lewis–Shedler thinning against the
+    profile's peak rate, so every profile consumes the rng stream the
+    same way (one exponential + one uniform per candidate).
+    """
+    peak = peak_rate(spec)
+    if peak <= 0:
+        return
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak)
+        if t >= duration:
+            return
+        if rng.random() * peak < rate_at(spec, t):
+            yield start + t
+
+
+def arrival_gaps(
+    spec: ArrivalSpec, rng: random.Random, duration: float
+) -> Iterator[float]:
+    """Yield interarrival gaps (the Timeout/sleep sequence a driver needs).
+
+    The first gap is measured from the process start; gaps sum to less
+    than ``duration``.
+    """
+    last = 0.0
+    for t in arrival_times(spec, rng, duration):
+        yield t - last
+        last = t

@@ -1,0 +1,377 @@
+"""Open-loop load generator for the simulated substrate.
+
+The generator multiplexes thousands of *client aliases* — virtual users
+with their own keyspaces and value-size draws — over the bounded pool of
+real :class:`~repro.core.proxy.ClientProxy` objects a deployment owns.
+Arrivals come from a seeded :class:`~repro.load.arrivals.ArrivalSpec`;
+each arrival is attributed to an alias, the alias to its pinned proxy,
+and the proxy either *admits* the update (it has an in-flight slot) or
+the generator *drops* it on the spot and counts the drop.
+
+That drop accounting is the whole point. A closed-loop driver slows down
+when the system does, silently converting overload into lower offered
+load; an open-loop generator keeps offering and makes the system's
+refusal visible as ``load.dropped`` and ``load.timeouts``. Goodput is
+then "completions within the deadline per second" — the honest curve a
+saturation sweep plots against offered load.
+
+Keyspaces respect ShardLab routing: in a sharded deployment every alias
+only writes keys the :class:`~repro.shard.shardmap.ShardMap` assigns to
+its proxy's home shard, so no key is ever written through a foreign
+group and the cross-shard consistency audit stays meaningful.
+
+The generator is mechanically invisible until started: constructing one
+(or starting a disabled one) schedules nothing, draws no randomness, and
+creates no instruments, so paired runs with and without an (idle)
+generator produce byte-identical traces — test-enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.load.arrivals import ArrivalSpec, arrival_gaps, phase_at
+from repro.load.closedloop import percentile
+from repro.sim.process import Timeout, spawn
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Shape of one open-loop run."""
+
+    #: Arrival profile: poisson | bursty | diurnal | storm.
+    profile: str = "poisson"
+    #: Mean offered rate, arrivals/second, aggregated across all aliases.
+    rate: float = 20.0
+    #: Profile parameters (see :class:`~repro.load.arrivals.ArrivalSpec`).
+    profile_params: Dict[str, float] = field(default_factory=dict)
+    #: Distinct client aliases multiplexed over the proxy pool.
+    aliases: int = 1000
+    #: Offered-load window in virtual seconds (arrivals stop after it).
+    duration: float = 10.0
+    #: Virtual time at which arrivals begin (deployment warm-up).
+    start_at: float = 0.5
+    #: Keys per alias keyspace.
+    keyspace: int = 4
+    #: Value payload size draw, uniform over [min, max] bytes.
+    value_bytes_min: int = 16
+    value_bytes_max: int = 64
+    #: Admission bound: in-flight updates per pooled proxy. An arrival
+    #: finding its proxy full is dropped and counted, never queued.
+    max_inflight: int = 4
+    #: Latency SLO: completions slower than this count against goodput.
+    deadline: float = 4.0
+    #: Fraction of arrivals concentrated on the ``hot_clients`` subset
+    #: (0 = uniform). The shard-hotspot scenario sets this.
+    hot_fraction: float = 0.0
+    #: Client ids receiving the hot fraction (empty = first client).
+    hot_clients: Tuple[str, ...] = ()
+
+    def spec(self) -> ArrivalSpec:
+        return ArrivalSpec(
+            profile=self.profile, rate=self.rate, params=dict(self.profile_params)
+        )
+
+
+@dataclass
+class LoadStats:
+    """Backpressure-honest accounting for one open-loop run."""
+
+    profile: str
+    offered_rate: float
+    duration: float
+    aliases: int
+    pool_clients: int
+    offered: int = 0
+    admitted: int = 0
+    dropped: int = 0
+    completed: int = 0
+    slo_miss: int = 0
+    timeouts: int = 0
+    aliases_active: int = 0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    p99_by_phase_ms: Dict[str, float] = field(default_factory=dict)
+    per_shard: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def goodput_per_s(self) -> float:
+        good = self.completed - self.slo_miss
+        return good / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def admitted_per_s(self) -> float:
+        return self.admitted / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def offered_per_s(self) -> float:
+        return self.offered / self.duration if self.duration > 0 else 0.0
+
+    def to_dict(self) -> Dict:
+        doc = {
+            "profile": self.profile,
+            "offered_rate": self.offered_rate,
+            "duration_s": self.duration,
+            "aliases": self.aliases,
+            "pool_clients": self.pool_clients,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "completed": self.completed,
+            "slo_miss": self.slo_miss,
+            "timeouts": self.timeouts,
+            "aliases_active": self.aliases_active,
+            "offered_per_s": round(self.offered_per_s, 3),
+            "admitted_per_s": round(self.admitted_per_s, 3),
+            "goodput_per_s": round(self.goodput_per_s, 3),
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "p99_by_phase_ms": dict(self.p99_by_phase_ms),
+        }
+        if self.per_shard:
+            doc["per_shard"] = {k: dict(v) for k, v in self.per_shard.items()}
+        return doc
+
+    def describe(self) -> str:
+        return (
+            f"{self.profile} offered {self.offered} ({self.offered_per_s:.1f}/s) "
+            f"over {self.aliases_active} aliases: admitted {self.admitted}, "
+            f"dropped {self.dropped}, completed {self.completed} "
+            f"(goodput {self.goodput_per_s:.1f}/s, slo_miss {self.slo_miss}, "
+            f"timeouts {self.timeouts}), p99 {self.latency_p99_ms:.1f} ms"
+        )
+
+
+class LoadGenerator:
+    """Drive one (sharded or classic) sim deployment open-loop.
+
+    Accepts either a :class:`~repro.system.builder.Deployment` (submits
+    through its proxies) or a
+    :class:`~repro.shard.builder.ShardedDeployment` (submits through its
+    routing tier, so ``shard.updates`` accounting and route spans fire
+    exactly as they do for organic traffic).
+    """
+
+    def __init__(self, deployment, config: Optional[LoadConfig] = None,
+                 enabled: bool = True):
+        if config is not None and config.aliases < 1:
+            raise ConfigurationError("load generator needs at least one alias")
+        self.deployment = deployment
+        self.config = config or LoadConfig()
+        self.enabled = enabled
+        self.kernel = deployment.kernel
+        self._started = False
+        self._finished = False
+        # Accounting (plain ints; the metric instruments are created in
+        # start() so an idle generator leaves the registry untouched).
+        self._offered = 0
+        self._admitted = 0
+        self._dropped = 0
+        self._completed = 0
+        self._slo_miss = 0
+        self._aliases_used: set = set()
+        self._latencies: List[float] = []
+        self._phase_latencies: Dict[str, List[float]] = {}
+        self._inflight: Dict[Tuple[str, int], Tuple[int, str]] = {}
+        self._per_client: Dict[str, Dict[str, int]] = {}
+        self._alias_keys: Dict[int, List[str]] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def _submitters(self) -> Dict[str, object]:
+        """client_id -> object with .submit(body) (proxy or router)."""
+        routers = getattr(self.deployment, "routers", None)
+        if routers is not None:
+            return dict(routers)
+        return dict(self.deployment.proxies)
+
+    def _proxy_of(self, client_id: str):
+        routers = getattr(self.deployment, "routers", None)
+        if routers is not None:
+            return routers[client_id].proxy
+        return self.deployment.proxies[client_id]
+
+    def _shard_of(self, client_id: str) -> int:
+        shard_of = getattr(self.deployment, "shard_of_client", None)
+        if shard_of is not None:
+            return shard_of(client_id)
+        return 0
+
+    def _alias_keyspace(self, alias: int, client_id: str) -> List[str]:
+        """The alias's keys, filtered to its home shard's ownership.
+
+        In a classic deployment every candidate passes; in a sharded one
+        only keys the ShardMap assigns to the alias's home shard are
+        kept, so the generator never writes a key through a foreign
+        group. Probing is deterministic: key j is the j-th candidate the
+        filter accepted.
+        """
+        keys = self._alias_keys.get(alias)
+        if keys is not None:
+            return keys
+        shard_map = getattr(self.deployment, "shard_map", None)
+        home = self._shard_of(client_id)
+        keys = []
+        candidate = 0
+        limit = max(64, self.config.keyspace * 64)
+        while len(keys) < self.config.keyspace and candidate < limit:
+            key = f"a{alias:05d}-k{candidate}"
+            candidate += 1
+            if shard_map is None or shard_map.key_shard(key) == home:
+                keys.append(key)
+        if not keys:  # pragma: no cover - the probe limit is generous
+            keys = [f"a{alias:05d}-k0"]
+        self._alias_keys[alias] = keys
+        return keys
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the generator: draws begin at ``config.start_at``.
+
+        A disabled generator's start() is a strict no-op — no kernel
+        events, no rng draws, no metric instruments — which is what the
+        paired-run trace-identity test pins.
+        """
+        if not self.enabled or self._started:
+            return
+        self._started = True
+        cfg = self.config
+        metrics = self.deployment.metrics
+        self._m_offered = metrics.counter("load.offered")
+        self._m_admitted = metrics.counter("load.admitted")
+        self._m_dropped = metrics.counter("load.dropped")
+        self._m_completed = metrics.counter("load.completed")
+        self._m_slo_miss = metrics.counter("load.slo_miss")
+        metrics.gauge("load.aliases").set(cfg.aliases)
+        metrics.register_gauge("load.inflight", lambda: len(self._inflight))
+        self._spec = cfg.spec()
+        self._rng = self.deployment.rng.stream("load.arrivals")
+        alias_rng = self.deployment.rng.stream("load.aliases")
+
+        submitters = self._submitters()
+        self._clients = sorted(submitters)
+        self._submit_via = submitters
+        for cid in self._clients:
+            self._per_client.setdefault(cid, {"admitted": 0, "completed": 0,
+                                              "dropped": 0})
+            self._proxy_of(cid).on_response(self._make_on_response(cid))
+
+        # Alias tour: a seeded permutation walked round-robin guarantees
+        # every alias takes the stage (the "thousands of users" claim is
+        # measured, not assumed), while the hot-fraction draw can still
+        # skew traffic at the *client* level for hotspot scenarios.
+        self._alias_order = list(range(cfg.aliases))
+        alias_rng.shuffle(self._alias_order)
+        self._alias_cursor = 0
+        hot = [cid for cid in cfg.hot_clients if cid in submitters]
+        if cfg.hot_fraction > 0 and not hot:
+            hot = [self._clients[0]]
+        self._hot_clients = hot
+
+        spawn(self.kernel, self._process(), name="load-generator")
+
+    def _process(self):
+        cfg = self.config
+        yield Timeout(cfg.start_at)
+        epoch = self.kernel.now
+        for gap in arrival_gaps(self._spec, self._rng, cfg.duration):
+            if gap > 0:
+                yield Timeout(gap)
+            self._arrival(self.kernel.now - epoch)
+
+    # -- per-arrival ---------------------------------------------------------
+
+    def _make_on_response(self, client_id: str):
+        def on_response(seq: int, _body: bytes, latency: float) -> None:
+            entry = self._inflight.pop((client_id, seq), None)
+            if entry is None:
+                return  # closed-loop traffic on the same proxy, not ours
+            _alias, phase = entry
+            self._completed += 1
+            self._m_completed.inc()
+            self._per_client[client_id]["completed"] += 1
+            self._latencies.append(latency)
+            self._phase_latencies.setdefault(phase, []).append(latency)
+            self._m_latency_for(phase).observe(latency)
+            if latency > self.config.deadline:
+                self._slo_miss += 1
+                self._m_slo_miss.inc()
+
+        return on_response
+
+    def _m_latency_for(self, phase: str):
+        return self.deployment.metrics.histogram("load.latency", phase=phase)
+
+    def _pick_client(self, alias: int) -> str:
+        cfg = self.config
+        if self._hot_clients and self._rng.random() < cfg.hot_fraction:
+            return self._hot_clients[alias % len(self._hot_clients)]
+        return self._clients[alias % len(self._clients)]
+
+    def _arrival(self, t_rel: float) -> None:
+        cfg = self.config
+        self._offered += 1
+        self._m_offered.inc()
+        alias = self._alias_order[self._alias_cursor]
+        self._alias_cursor = (self._alias_cursor + 1) % len(self._alias_order)
+        self._aliases_used.add(alias)
+        client_id = self._pick_client(alias)
+        proxy = self._proxy_of(client_id)
+        if proxy.outstanding >= cfg.max_inflight:
+            # Open-loop honesty: the pool is saturated, so this arrival
+            # is refused and *recorded* — not silently deferred.
+            self._dropped += 1
+            self._m_dropped.inc()
+            self._per_client[client_id]["dropped"] += 1
+            return
+        keys = self._alias_keyspace(alias, client_id)
+        key = keys[self._rng.randrange(len(keys))]
+        size = self._rng.randint(cfg.value_bytes_min, cfg.value_bytes_max)
+        body = f"SET {key} a{alias}:{self._offered}:".encode() + b"v" * size
+        phase = phase_at(self._spec, t_rel)
+        seq = proxy.next_seq
+        self._inflight[(client_id, seq)] = (alias, phase)
+        self._admitted += 1
+        self._m_admitted.inc()
+        self._per_client[client_id]["admitted"] += 1
+        self._submit_via[client_id].submit(body)
+
+    # -- results -------------------------------------------------------------
+
+    def stats(self) -> LoadStats:
+        cfg = self.config
+        ordered = sorted(self._latencies)
+        per_shard: Dict[str, Dict[str, int]] = {}
+        for cid, row in self._per_client.items():
+            shard = f"s{self._shard_of(cid)}"
+            agg = per_shard.setdefault(
+                shard, {"admitted": 0, "completed": 0, "dropped": 0}
+            )
+            for field_name, value in row.items():
+                agg[field_name] += value
+        stats = LoadStats(
+            profile=cfg.profile,
+            offered_rate=cfg.rate,
+            duration=cfg.duration,
+            aliases=cfg.aliases,
+            pool_clients=len(getattr(self, "_clients", ())) or
+            len(self._submitters()),
+            offered=self._offered,
+            admitted=self._admitted,
+            dropped=self._dropped,
+            completed=self._completed,
+            slo_miss=self._slo_miss,
+            timeouts=self._admitted - self._completed,
+            aliases_active=len(self._aliases_used),
+            latency_p50_ms=round(percentile(ordered, 50) * 1000, 3),
+            latency_p99_ms=round(percentile(ordered, 99) * 1000, 3),
+            p99_by_phase_ms={
+                phase: round(percentile(sorted(values), 99) * 1000, 3)
+                for phase, values in sorted(self._phase_latencies.items())
+            },
+            per_shard=per_shard if len(per_shard) > 1 else {},
+        )
+        return stats

@@ -34,19 +34,13 @@ import hashlib
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 # -- small statistics helpers ---------------------------------------------------
 
-
-def _percentile(sorted_values: Sequence[float], p: float) -> float:
-    if not sorted_values:
-        return 0.0
-    rank = (p / 100.0) * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    fraction = rank - low
-    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+# The percentile math lives in repro.load.closedloop so every benchmark
+# (closed-loop and open-loop) reports latency the same way.
+from repro.load.closedloop import percentile as _percentile  # noqa: E402
 
 
 def _counter_total(counters: Dict, name: str) -> float:

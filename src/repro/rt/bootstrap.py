@@ -343,6 +343,24 @@ class RtConfig:
     telemetry_interval: float = 1.0
     detectors: bool = True
 
+    # LoadLab: open-loop client driving (:mod:`repro.load.arrivals`). An
+    # empty ``load_profile`` keeps the classic closed loop above. With a
+    # profile set ("poisson" | "bursty" | "diurnal" | "storm"), every
+    # client process runs an open-loop driver instead: seeded arrivals at
+    # ``load_rate / num_clients`` per client, its slice of ``load_aliases``
+    # client aliases multiplexed over its one real proxy, and arrivals
+    # that find the proxy's in-flight window full are dropped and counted
+    # — never silently deferred.
+    load_profile: str = ""
+    load_rate: float = 20.0
+    load_aliases: int = 200
+    load_duration: float = 10.0
+    load_max_inflight: int = 4
+    load_deadline: float = 4.0
+    load_keyspace: int = 4
+    load_value_bytes: int = 32
+    load_profile_params: Dict[str, float] = field(default_factory=dict)
+
     def system_config(self) -> SystemConfig:
         """The :class:`SystemConfig` every node derives material from.
 

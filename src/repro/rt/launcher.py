@@ -71,16 +71,9 @@ class NodeHandle:
         return self.proc is not None and self.proc.poll() is None
 
 
-def _percentile(sorted_values: List[float], p: float) -> float:
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    rank = (p / 100.0) * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    fraction = rank - low
-    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+# Shared percentile math (repro.load.closedloop) so live summaries and
+# every benchmark report latency identically.
+from repro.load.closedloop import percentile as _percentile  # noqa: E402
 
 
 class Launcher:
@@ -329,7 +322,7 @@ class Launcher:
             agg["clients"] += 1
             agg["updates_submitted"] += result.get("updates", 0)
             agg["updates_completed"] += result.get("completed", 0)
-        return {
+        summary = {
             "clients": len(results),
             "updates_submitted": submitted,
             "updates_completed": completed,
@@ -339,6 +332,21 @@ class Launcher:
             "latency_mean": sum(latencies) / len(latencies) if latencies else 0.0,
             "shards": shards,
         }
+        # Open-loop runs (RtConfig.load_profile) publish per-client load
+        # accounting; aggregate it fleet-wide so drops/timeouts surface in
+        # the one summary document benchmarks read.
+        load_rows = [r["load"] for r in results.values() if "load" in r]
+        if load_rows:
+            summary["load"] = {
+                "profile": load_rows[0]["profile"],
+                "offered": sum(row["offered"] for row in load_rows),
+                "admitted": sum(row["admitted"] for row in load_rows),
+                "dropped": sum(row["dropped"] for row in load_rows),
+                "timeouts": sum(row["timeouts"] for row in load_rows),
+                "slo_miss": sum(row["slo_miss"] for row in load_rows),
+                "aliases": sum(row["aliases"] for row in load_rows),
+            }
+        return summary
 
 
 async def _run_deployment_async(config: RtConfig, timeout: float) -> Dict:

@@ -435,11 +435,139 @@ class ClientDriver:
         }
 
 
+class OpenLoopClientDriver:
+    """Open-loop workload: seeded arrivals at an offered rate.
+
+    The live counterpart of :class:`repro.load.generator.LoadGenerator`,
+    scoped to one client process: this client's slice of the fleet-wide
+    alias population is multiplexed over its single real proxy, arrival
+    gaps come from the same seeded :mod:`repro.load.arrivals` processes
+    the sim uses (as asyncio sleeps instead of kernel timeouts), and an
+    arrival that finds the proxy's in-flight window full is dropped and
+    counted — the generator never slows down because the system did.
+
+    The result document keeps every key the closed-loop driver publishes
+    (so ``Launcher.summary()`` aggregates both identically) plus a
+    ``load`` extras dict with the open-loop accounting.
+    """
+
+    def __init__(self, ctx: NodeContext, proxy: ClientProxy, config: RtConfig,
+                 client_index: int, total_clients: int):
+        import random as _random
+
+        from repro.load.arrivals import ArrivalSpec
+
+        self.ctx = ctx
+        self.proxy = proxy
+        self.config = config
+        per_client_rate = max(config.load_rate / max(total_clients, 1), 1e-3)
+        self.spec = ArrivalSpec(
+            profile=config.load_profile,
+            rate=per_client_rate,
+            params=dict(config.load_profile_params or {}),
+        )
+        # This client's contiguous slice of the fleet-wide alias space.
+        base, remainder = divmod(config.load_aliases, max(total_clients, 1))
+        count = max(1, base + (1 if client_index < remainder else 0))
+        start = client_index * base + min(client_index, remainder)
+        self.aliases = list(range(start, start + count))
+        self.rng = _random.Random(f"{config.seed}:load:{proxy.client_id}")
+        self.rng.shuffle(self.aliases)
+        self._cursor = 0
+        self._phase_of: Dict[int, str] = {}
+        self._m_offered = ctx.metrics.counter("load.offered")
+        self._m_admitted = ctx.metrics.counter("load.admitted")
+        self._m_dropped = ctx.metrics.counter("load.dropped")
+        self._m_completed = ctx.metrics.counter("load.completed")
+        self._m_slo_miss = ctx.metrics.counter("load.slo_miss")
+        ctx.metrics.gauge("load.aliases").set(count)
+        self._m_shard = (
+            ctx.metrics.counter("shard.updates", shard=f"s{ctx.shard_id}")
+            if ctx.config.shards > 1
+            else None
+        )
+        self.offered = 0
+        self.admitted = 0
+        self.dropped = 0
+        self.slo_miss = 0
+        proxy.on_response(self._on_response)
+
+    def _on_response(self, seq: int, _body: bytes, latency: float) -> None:
+        phase = self._phase_of.pop(seq, "steady")
+        self._m_completed.inc()
+        self.ctx.metrics.histogram("load.latency", phase=phase).observe(latency)
+        if latency > self.config.load_deadline:
+            self.slo_miss += 1
+            self._m_slo_miss.inc()
+
+    def _arrival(self, t_rel: float) -> None:
+        from repro.load.arrivals import phase_at
+
+        cfg = self.config
+        self.offered += 1
+        self._m_offered.inc()
+        alias = self.aliases[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.aliases)
+        if self.proxy.outstanding >= cfg.load_max_inflight:
+            self.dropped += 1
+            self._m_dropped.inc()
+            return
+        key = f"a{alias:05d}-k{self.rng.randrange(max(cfg.load_keyspace, 1))}"
+        body = (
+            f"SET {key} a{alias}:{self.offered}:".encode()
+            + b"v" * max(cfg.load_value_bytes, 0)
+        )
+        self._phase_of[self.proxy.next_seq] = phase_at(self.spec, t_rel)
+        if self._m_shard is not None:
+            self._m_shard.inc()
+        self.proxy.submit(body)
+        self.admitted += 1
+        self._m_admitted.inc()
+
+    async def run(self) -> Dict:
+        from repro.load.arrivals import arrival_gaps
+
+        cfg = self.config
+        start = self.ctx.scheduler.now
+        for gap in arrival_gaps(self.spec, self.rng, cfg.load_duration):
+            if gap > 0:
+                await asyncio.sleep(gap)
+            self._arrival(self.ctx.scheduler.now - start)
+        # Drain: give in-flight updates a bounded window to complete;
+        # whatever is still pending afterwards is honest timeout count.
+        drain_deadline = self.ctx.scheduler.now + cfg.load_deadline + 6.0
+        while self.proxy.outstanding and self.ctx.scheduler.now < drain_deadline:
+            await asyncio.sleep(0.2)
+        completed = len(self.proxy.completed)
+        return {
+            "client_id": self.proxy.client_id,
+            "updates": self.offered,
+            "completed": completed,
+            "gave_up": int(self.proxy._m_gave_up.value)
+            if hasattr(self.proxy._m_gave_up, "value")
+            else 0,
+            "retransmissions": self.proxy.retransmissions,
+            "latencies": self.proxy.latencies(),
+            "load": {
+                "profile": cfg.load_profile,
+                "rate_per_client": self.spec.rate,
+                "duration_s": cfg.load_duration,
+                "offered": self.offered,
+                "admitted": self.admitted,
+                "dropped": self.dropped,
+                "timeouts": self.admitted - completed,
+                "slo_miss": self.slo_miss,
+                "aliases": len(self.aliases),
+            },
+        }
+
+
 async def _client_main(config: RtConfig, client_id: str) -> int:
     # Clients route to their home shard: resolve the slice first, then
     # stand the node context up on that shard's proxy host and ports.
+    fleet = generate_fleet(config)
     try:
-        home = slice_for_client(generate_fleet(config), client_id)
+        home = slice_for_client(fleet, client_id)
     except Exception:
         raise SystemExit(f"unknown client {client_id!r} for this deployment")
     proxy_host = home.material.proxy_of_client.get(client_id)
@@ -463,7 +591,19 @@ async def _client_main(config: RtConfig, client_id: str) -> int:
     )
     await ctx.start()
 
-    driver = ClientDriver(ctx, proxy, config.updates_per_client, config.update_interval)
+    if config.load_profile:
+        all_clients = sorted(
+            cid for fleet_slice in fleet for cid in fleet_slice.client_ids
+        )
+        driver = OpenLoopClientDriver(
+            ctx, proxy, config,
+            client_index=all_clients.index(client_id),
+            total_clients=len(all_clients),
+        )
+    else:
+        driver = ClientDriver(
+            ctx, proxy, config.updates_per_client, config.update_interval
+        )
     result = await driver.run()
 
     # Publish the result atomically, then wait for the launcher's shutdown:

@@ -1,0 +1,132 @@
+"""Property tests for the LoadLab arrival processes.
+
+Covers the guarantees the rest of LoadLab builds on: seeded determinism
+(same spec + seed → identical arrival train), Poisson mean-interarrival
+accuracy, bursty duty-cycle confinement (no arrivals inside off
+windows), and diurnal ramp shape (monotone rise then fall inside each
+period).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load import (
+    PROFILES,
+    ArrivalSpec,
+    arrival_gaps,
+    arrival_times,
+    peak_rate,
+    phase_at,
+    rate_at,
+)
+
+rates = st.floats(min_value=2.0, max_value=80.0)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+profiles = st.sampled_from(PROFILES)
+
+
+@settings(max_examples=40, deadline=None)
+@given(profile=profiles, rate=rates, seed=seeds)
+def test_seeded_determinism(profile, rate, seed):
+    spec = ArrivalSpec(profile=profile, rate=rate)
+    first = list(arrival_times(spec, random.Random(seed), duration=6.0))
+    second = list(arrival_times(spec, random.Random(seed), duration=6.0))
+    assert first == second
+    # A different seed virtually always yields a different train.
+    other = list(arrival_times(spec, random.Random(seed + 1), duration=6.0))
+    if first:
+        assert first != other
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=st.floats(min_value=10.0, max_value=60.0), seed=seeds)
+def test_poisson_mean_interarrival(rate, seed):
+    spec = ArrivalSpec(profile="poisson", rate=rate)
+    duration = max(400.0 / rate, 20.0)  # ≥ ~400 expected arrivals
+    times = list(arrival_times(spec, random.Random(seed), duration=duration))
+    assert len(times) >= 100
+    mean_gap = times[-1] / len(times)
+    # Sample mean of Exp(rate) with n≥100: allow ±40% (≈4σ at n=100).
+    assert math.isclose(mean_gap, 1.0 / rate, rel_tol=0.40)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=rates, seed=seeds)
+def test_bursty_duty_cycle(rate, seed):
+    spec = ArrivalSpec(profile="bursty", rate=rate)
+    on = spec.on_seconds
+    cycle = on + spec.off_seconds
+    times = list(arrival_times(spec, random.Random(seed), duration=12.0))
+    for t in times:
+        offset = t % cycle
+        assert offset <= on, f"arrival at {t:.3f} lands in an off window"
+        assert phase_at(spec, t) == "on"
+    # The on-rate is scaled up so the long-run mean is preserved.
+    assert math.isclose(rate_at(spec, 0.0), rate * cycle / on, rel_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=rates)
+def test_diurnal_ramp_monotone(rate):
+    spec = ArrivalSpec(profile="diurnal", rate=rate)
+    period = spec.period
+    half = period / 2.0
+    samples = [period * i / 200.0 for i in range(201)]
+    previous = None
+    for t in samples:
+        r = rate_at(spec, t)
+        floor = spec.floor_fraction * rate
+        peak = 2.0 * rate - floor
+        assert floor - 1e-9 <= r <= peak + 1e-9
+        if previous is not None:
+            t_prev, r_prev = previous
+            if t_prev >= 0 and t <= half:
+                assert r >= r_prev - 1e-9  # rising half
+            elif t_prev >= half and t <= period:
+                assert r <= r_prev + 1e-9  # falling half
+        previous = (t, r)
+    # Mean-preserving: trapezoid over one period integrates to rate.
+    mean = sum(rate_at(spec, t) for t in samples[:-1]) / (len(samples) - 1)
+    assert math.isclose(mean, rate, rel_tol=0.02)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rate=rates, seed=seeds)
+def test_storm_multiplies_rate_in_window(rate, seed):
+    spec = ArrivalSpec(profile="storm", rate=rate)
+    start, dur = spec.storm_at, spec.storm_duration
+    assert rate_at(spec, start + dur / 2.0) == pytest.approx(
+        rate * spec.storm_multiplier)
+    assert rate_at(spec, start - 0.01) == pytest.approx(rate)
+    assert rate_at(spec, start + dur + 0.01) == pytest.approx(rate)
+    assert peak_rate(spec) == pytest.approx(rate * spec.storm_multiplier)
+    assert phase_at(spec, start + dur / 2.0) == "storm"
+
+
+@settings(max_examples=25, deadline=None)
+@given(profile=profiles, rate=rates, seed=seeds)
+def test_gaps_reconstruct_times(profile, rate, seed):
+    spec = ArrivalSpec(profile=profile, rate=rate)
+    times = list(arrival_times(spec, random.Random(seed), duration=5.0))
+    gaps = list(arrival_gaps(spec, random.Random(seed), duration=5.0))
+    assert len(gaps) == len(times)
+    acc = 0.0
+    for gap, t in zip(gaps, times):
+        assert gap >= 0.0
+        acc += gap
+        assert math.isclose(acc, t, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_rate_must_be_positive():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ArrivalSpec(profile="poisson", rate=0.0)
+    with pytest.raises(ConfigurationError):
+        ArrivalSpec(profile="tsunami", rate=1.0)

@@ -1,0 +1,174 @@
+"""Open-loop LoadGenerator behaviour: accounting, coverage, isolation.
+
+The open-loop contract is that the generator *counts* what the system
+cannot absorb instead of slowing down — so the accounting identities
+(offered == admitted + dropped; timeouts == admitted − completed) are
+load-bearing, as is the guarantee that a disabled generator leaves a
+simulation bit-for-bit untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load import LoadConfig, LoadGenerator
+from repro.obs.export import prometheus_text
+from repro.shard.builder import build_sharded
+from repro.system import build
+from repro.system.config import SystemConfig
+
+
+def _config(clients: int = 6, shards: int = 1, tracing: bool = False,
+            seed: int = 7) -> SystemConfig:
+    return SystemConfig(
+        seed=seed,
+        f=1,
+        num_clients=clients,
+        update_interval=1.0,
+        checkpoint_interval=50,
+        shards=shards,
+        tracing=tracing,
+    )
+
+
+def _run(config: SystemConfig, load: LoadConfig, drain: float = 4.0):
+    deployment = (build_sharded(config) if config.shards > 1
+                  else build(config))
+    deployment.start()
+    generator = LoadGenerator(deployment, load)
+    generator.start()
+    deployment.run(until=load.start_at + load.duration + drain)
+    stats = generator.stats()
+    deployment.shutdown()
+    return deployment, stats
+
+
+def test_accounting_balances():
+    _, stats = _run(_config(), LoadConfig(
+        profile="poisson", rate=20.0, aliases=50, duration=4.0))
+    assert stats.offered > 0
+    assert stats.offered == stats.admitted + stats.dropped
+    assert stats.timeouts == stats.admitted - stats.completed
+    assert 0 <= stats.completed <= stats.admitted
+    assert stats.goodput_per_s <= stats.admitted_per_s <= stats.offered_per_s
+    doc = stats.to_dict()
+    assert doc["offered"] == doc["admitted"] + doc["dropped"]
+    assert isinstance(stats.describe(), str)
+
+
+def test_alias_tour_covers_every_alias():
+    # 4s at 20/s offers ~80 arrivals over 50 aliases; the shuffled
+    # round-robin tour guarantees every alias appears before any repeats.
+    _, stats = _run(_config(), LoadConfig(
+        profile="poisson", rate=20.0, aliases=50, duration=4.0))
+    assert stats.aliases_active == 50
+
+
+def test_admission_control_drops_instead_of_queueing():
+    # One inflight slot per proxy at 60/s: most arrivals must be dropped,
+    # and dropped work never becomes latency.
+    _, stats = _run(_config(), LoadConfig(
+        profile="poisson", rate=60.0, aliases=100, duration=4.0,
+        max_inflight=1))
+    assert stats.dropped > 0
+    assert stats.offered == stats.admitted + stats.dropped
+
+
+def test_sharded_keyspaces_stay_home():
+    deployment, stats = _run(_config(clients=8, shards=2), LoadConfig(
+        profile="poisson", rate=24.0, aliases=64, duration=4.0))
+    doc = stats.to_dict()
+    assert set(doc["per_shard"]) == {"s0", "s1"}
+    # Per-shard rows split offered work: admitted + dropped == offered.
+    total = sum(row["admitted"] + row["dropped"]
+                for row in doc["per_shard"].values())
+    assert total == stats.offered
+    assert all(row["admitted"] + row["dropped"] > 0
+               for row in doc["per_shard"].values())
+
+
+def test_alias_keyspaces_route_to_home_shard():
+    config = _config(clients=8, shards=2)
+    deployment = build_sharded(config)
+    deployment.start()
+    generator = LoadGenerator(deployment, LoadConfig(
+        profile="poisson", rate=10.0, aliases=32, duration=2.0))
+    shard_map = deployment.shard_map
+    clients = sorted(deployment.routers)
+    for alias in range(32):
+        client_id = clients[alias % len(clients)]
+        home = deployment.shard_of_client(client_id)
+        keys = generator._alias_keyspace(alias, client_id)
+        assert keys, f"alias {alias} got an empty keyspace"
+        assert all(shard_map.key_shard(key) == home for key in keys)
+    deployment.shutdown()
+
+
+def test_hot_fraction_skews_one_client():
+    hot = "c0"
+    _, stats = _run(_config(), LoadConfig(
+        profile="poisson", rate=30.0, aliases=60, duration=4.0,
+        hot_fraction=0.8, hot_clients=(hot,)))
+    assert stats.offered > 0
+
+
+def test_disabled_generator_is_a_strict_noop():
+    """Paired run: a disabled generator must not perturb the sim at all."""
+    def run_once(with_disabled_generator: bool):
+        config = _config(clients=5, tracing=True, seed=13)
+        deployment = build(config)
+        deployment.start()
+        if with_disabled_generator:
+            generator = LoadGenerator(
+                deployment,
+                LoadConfig(profile="bursty", rate=25.0, aliases=100,
+                           duration=3.0),
+                enabled=False,
+            )
+            generator.start()  # must draw no rng, schedule nothing
+        deployment.start_workload(duration=3.0)
+        deployment.run(until=6.0)
+        events = [(e.time, e.category, e.host, tuple(sorted(e.detail.items())))
+                  for e in deployment.tracer.events]
+        latencies = [
+            (cid, seq, latency)
+            for cid, proxy in sorted(deployment.proxies.items())
+            for seq, latency in proxy.latencies()
+        ]
+        deployment.shutdown()
+        return events, latencies
+
+    baseline = run_once(False)
+    paired = run_once(True)
+    assert paired == baseline
+    assert baseline[1], "the comparison must cover a run with completions"
+
+
+def test_disabled_generator_reports_empty_stats():
+    config = _config(clients=5)
+    deployment = build(config)
+    deployment.start()
+    generator = LoadGenerator(
+        deployment,
+        LoadConfig(profile="poisson", rate=10.0, aliases=10, duration=2.0),
+        enabled=False,
+    )
+    generator.start()
+    deployment.run(until=3.0)
+    stats = generator.stats()
+    deployment.shutdown()
+    assert stats.offered == 0
+    assert stats.completed == 0
+
+
+def test_load_metrics_exported_via_obs():
+    deployment, stats = _run(_config(), LoadConfig(
+        profile="poisson", rate=20.0, aliases=40, duration=4.0))
+    text = prometheus_text(deployment.metrics, at_time=deployment.kernel.now)
+    assert "load_offered_total" in text
+    assert "load_admitted_total" in text
+    assert "load_dropped_total" in text
+    assert "load_completed_total" in text
+    assert "load_slo_miss_total" in text
+    assert "load_aliases" in text
+    assert 'load_latency{phase="steady"' in text

@@ -1,0 +1,51 @@
+"""Scenario zoo smoke tests: composition of load shapes + fault schedules.
+
+The full 5-scenario sweep runs in CI's load-smoke job and via
+``repro load scenario --all``; here we pin the registry's shape and run
+two representative scenarios end-to-end at quick scale — one classic
+(bursty load + replica recovery under checkpointing) and the planted-
+breach one (storm load + key-renewal racing a leak), which exercises the
+breach-caught inversion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load import SCENARIOS, run_load_scenario, scenario_names
+from repro.errors import ConfigurationError
+
+
+def test_registry_shape():
+    names = scenario_names()
+    assert len(names) >= 5
+    assert names == sorted(names)
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.summary
+        assert scenario.rate > 0
+        assert scenario.faults, f"{name} composes no faults"
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ConfigurationError):
+        run_load_scenario("does-not-exist")
+
+
+def test_checkpoint_under_burst_quick():
+    result = run_load_scenario("checkpoint-under-burst", quick=True)
+    assert result.ok, result.summary()
+    assert result.stats["completed"] > 0
+    assert result.stats["offered"] >= result.stats["admitted"]
+    assert not result.violations
+    doc = result.to_dict()
+    assert doc["scenario"] == "checkpoint-under-burst"
+    assert doc["ok"] is True
+
+
+def test_key_renewal_storm_catches_planted_breach():
+    result = run_load_scenario("key-renewal-storm", quick=True)
+    assert result.ok, result.summary()
+    # The leak is planted; green means the invariant *caught* it and
+    # nothing else failed.
+    assert result.breach_caught is True

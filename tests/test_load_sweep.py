@@ -1,0 +1,147 @@
+"""Sweep machinery unit tests: knee detection and the --check guard.
+
+These run on synthetic curve points (no simulation), plus one real
+two-rung mini-sweep pinning the end-to-end plumbing and the committed
+BENCH_load.json schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.load.sweep import (
+    DEFAULT_RESULTS_PATH,
+    KNEE_GOODPUT_FRACTION,
+    REPO_ROOT,
+    SWEEP_CONFIGS,
+    check_load,
+    detect_knee,
+    run_point,
+)
+
+
+def _point(rate: float, goodput: float, offered: int = 100,
+           dropped: int = 0) -> dict:
+    return {
+        "offered_rate": rate,
+        "offered_per_s": rate,
+        "goodput_per_s": goodput,
+        "latency_p99_ms": 100.0,
+        "offered": offered,
+        "admitted": offered - dropped,
+        "dropped": dropped,
+    }
+
+
+def test_detect_knee_last_keeping_up():
+    points = [
+        _point(10, 10.0),     # keeps up
+        _point(20, 19.0),     # keeps up (0.95 ≥ 0.85)
+        _point(40, 20.0),     # collapsed
+        _point(80, 15.0),     # collapsed
+    ]
+    knee = detect_knee(points)
+    assert knee is not None
+    assert knee["offered_rate"] == 20
+    assert knee["saturated"] is True
+
+
+def test_detect_knee_unsaturated_is_lower_bound():
+    points = [_point(10, 10.0), _point(20, 20.0)]
+    knee = detect_knee(points)
+    assert knee["offered_rate"] == 20
+    assert knee["saturated"] is False
+
+
+def test_detect_knee_none_when_always_behind():
+    points = [_point(10, 2.0), _point(20, 1.0)]
+    assert detect_knee(points) is None
+
+
+def test_detect_knee_sorts_by_offered_rate():
+    points = [_point(40, 10.0), _point(10, 10.0)]
+    knee = detect_knee(points)
+    assert knee["offered_rate"] == 10
+
+
+def test_check_load_requires_knee_per_config():
+    result = {
+        "quick": True,
+        "configs": {
+            "singleton": {"points": [_point(10, 1.0)], "knee": None},
+            "batched": {"points": [_point(10, 10.0)],
+                        "knee": detect_knee([_point(10, 10.0)])},
+        },
+    }
+    failures = check_load(result, None)
+    assert any("no saturation knee" in f for f in failures)
+
+
+def test_check_load_batched_floor():
+    singleton = [_point(10, 10.0), _point(20, 5.0)]
+    batched = [_point(10, 2.0), _point(20, 2.0), _point(5, 5.0)]
+    result = {
+        "quick": True,
+        "configs": {
+            "singleton": {"points": singleton, "knee": detect_knee(singleton)},
+            "batched": {"points": batched, "knee": detect_knee(batched)},
+        },
+    }
+    failures = check_load(result, None)
+    assert any("below" in f and "singleton knee" in f for f in failures)
+
+
+def test_check_load_accounting_imbalance():
+    bad = _point(10, 10.0)
+    bad["dropped"] = 5  # offered 100 != admitted 100 + dropped 5
+    result = {
+        "quick": True,
+        "configs": {"singleton": {"points": [bad], "knee": detect_knee([bad])}},
+    }
+    failures = check_load(result, None)
+    assert any("accounting imbalance" in f for f in failures)
+
+
+def test_check_load_baseline_regression():
+    good = [_point(10, 10.0)]
+    curve = {"points": good, "knee": detect_knee(good)}
+    result = {"quick": False, "configs": {"singleton": dict(curve)}}
+    baseline_points = [_point(10, 10.0)]
+    baseline_knee = detect_knee(baseline_points)
+    baseline_knee["goodput_per_s"] = 40.0  # pretend we used to do 4x
+    baseline = {"quick": False,
+                "configs": {"singleton": {"points": baseline_points,
+                                          "knee": baseline_knee}}}
+    failures = check_load(result, baseline, tolerance=0.25)
+    assert any("regressed" in f for f in failures)
+    # A quick run is never compared against a full baseline.
+    result_quick = dict(result, quick=True)
+    assert not check_load(result_quick, baseline, tolerance=0.25)
+
+
+def test_run_point_accounting_and_schema():
+    doc = run_point(10.0, aliases=100, duration=3.0, clients=6, seed=3)
+    assert doc["offered"] == doc["admitted"] + doc["dropped"]
+    assert doc["intro_batch_size"] == 1
+    assert doc["shards"] == 1
+    for key in ("offered_per_s", "goodput_per_s", "latency_p50_ms",
+                "latency_p99_ms", "aliases_active"):
+        assert key in doc
+
+
+def test_committed_results_schema():
+    path = REPO_ROOT / DEFAULT_RESULTS_PATH
+    assert path.exists(), "benchmarks/results/BENCH_load.json is missing"
+    doc = json.loads(path.read_text())
+    assert doc["benchmark"] == "load_sweep"
+    assert doc["aliases"] >= 1000
+    assert set(doc["configs"]) == set(SWEEP_CONFIGS)
+    for name, curve in doc["configs"].items():
+        assert curve["knee"] is not None, f"{name} curve has no knee"
+        assert len(curve["points"]) >= 2
+    # The committed artifact must itself satisfy the structural checks.
+    assert check_load(doc, None) == []
+    assert doc["knee_goodput_fraction"] == KNEE_GOODPUT_FRACTION
