@@ -3,7 +3,7 @@ COMPOSE ?= docker compose -f docker/docker-compose.yml
 
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench-load compose-gen \
+.PHONY: test test-fast bench-load bench-store compose-gen \
         fleet-build fleet-up fleet-down fleet-logs fleet-health
 
 test:
@@ -14,6 +14,9 @@ test-fast:
 
 bench-load:
 	$(PYTHON) benchmarks/bench_load.py --quick --check
+
+bench-store:
+	$(PYTHON) benchmarks/bench_store_recovery.py --quick --check
 
 compose-gen:
 	$(PYTHON) scripts/gen_compose.py --out docker/docker-compose.yml

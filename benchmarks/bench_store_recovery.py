@@ -1,26 +1,39 @@
-"""StoreLab: recovery time and network transfer vs log length, disk on/off.
+"""StoreLab + CompactLab: recovery cost vs log length, compaction, deltas.
 
-A data-center replica crashes mid-run and rejoins. Without a durable
-store, the whole missing prefix crosses the wire; with one, the replica
-replays its local log first and fetches only the suffix it missed while
-down. This benchmark sweeps how much log has accumulated by crash time
-(the longer the log since the last stable checkpoint, the bigger the
-disk win) and writes the paired measurements to
-``benchmarks/results/BENCH_store.json``.
+Three paired experiments, all against the deterministic simulation:
 
-Run directly:
+1. **Disk vs network recovery** (the original StoreLab sweep): a
+   data-center replica crashes mid-run and rejoins. Without a durable
+   store the whole missing prefix crosses the wire; with one it replays
+   its local log and fetches only the suffix.
+2. **Log size vs time, compaction on/off** (CompactLab): identical runs
+   with the background compactor armed and disarmed; the on-disk log of
+   the observed replica is sampled over virtual time. The ``--check``
+   floor asserts the compacted log stays within a slack factor of its
+   *live* record bytes (dead weight stays bounded), while the
+   uncompacted log keeps the duplicates and below-stable records.
+3. **Delta vs full state transfer** (CompactLab): a replica is crashed
+   across several checkpoint intervals and rejoins with its durable
+   store. With ``checkpoint_delta_interval`` set, responders ship only
+   the delta suffix above the requester's chain tip; the baseline ships
+   the full snapshot. The ``--check`` floor asserts the delta run moves
+   strictly fewer wire bytes.
 
-    PYTHONPATH=src python benchmarks/bench_store_recovery.py
+Writes ``benchmarks/results/BENCH_store.json``. Run directly:
+
+    PYTHONPATH=src python benchmarks/bench_store_recovery.py [--quick] [--check]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import shutil
 import sys
 import tempfile
 from pathlib import Path
 
+from repro.store.filestore import SEGMENT_MAGIC, _scan_segment_frames
 from repro.system import Mode, SystemConfig, build
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_store.json"
@@ -29,10 +42,28 @@ TARGET = "dc-2-r0"
 SEED = 31
 NUM_CLIENTS = 5
 #: Long interval: the update-log tail (not checkpoint freshness) dominates
-#: recovery, which is the regime this benchmark sweeps.
+#: recovery, which is the regime the disk-vs-network sweep exercises.
 CHECKPOINT_INTERVAL = 400
 OUTAGE = 2.0
 CRASH_TIMES = (6.0, 12.0, 18.0)
+
+#: Compaction experiment: fast checkpoints make records go dead quickly,
+#: small segments give the compactor sealed files to rewrite.
+COMPACT_CHECKPOINT_INTERVAL = 25
+COMPACT_SEGMENT_BYTES = 8192
+COMPACT_TICK = 1.0
+COMPACT_SLACK = 1.5
+
+#: Delta experiment: the outage spans several checkpoint intervals so the
+#: survivors' chain advances well past the crashed replica's disk state,
+#: but stays within one full-snapshot period (EVERY_N * interval
+#: ordinals) so the rejoining replica's own full anchor is still the
+#: survivors' anchor and the transfer ships only the delta suffix.
+DELTA_CHECKPOINT_INTERVAL = 25
+DELTA_EVERY_N = 10
+DELTA_UPDATE_INTERVAL = 0.25
+DELTA_CRASH_AT = 8.0
+DELTA_OUTAGE = 3.0
 
 
 def counter(deployment, name, host):
@@ -42,6 +73,15 @@ def counter(deployment, name, host):
         if metric == name and ("host", host) in labels
     )
 
+
+def close_stores(deployment):
+    for replica in deployment.replicas.values():
+        replica.store.close()
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1: disk vs network recovery (original sweep)
+# ---------------------------------------------------------------------------
 
 def run_once(crash_at: float, disk: bool, store_dir: str | None) -> dict:
     config = SystemConfig(
@@ -91,14 +131,13 @@ def run_once(crash_at: float, disk: bool, store_dir: str | None) -> dict:
         "converged": target.executed_ordinal() == live.executed_ordinal(),
     }
     if disk:
-        for replica in deployment.replicas.values():
-            replica.store.close()
+        close_stores(deployment)
     return point
 
 
-def main() -> int:
-    points = []
-    for crash_at in CRASH_TIMES:
+def sweep_disk_recovery(crash_times) -> tuple[list, list]:
+    points, failures = [], []
+    for crash_at in crash_times:
         tempdir = tempfile.mkdtemp(prefix="bench-store-")
         try:
             with_disk = run_once(crash_at, disk=True, store_dir=tempdir)
@@ -115,12 +154,220 @@ def main() -> int:
             f"saved {saved:.0f}B"
         )
         if not (with_disk["converged"] and without["converged"]):
-            print("FAIL: a run did not converge", file=sys.stderr)
-            return 1
+            failures.append(f"crash@{crash_at}: a run did not converge")
         if with_disk["xfer_bytes_received"] > without["xfer_bytes_received"]:
-            print("FAIL: disk recovery transferred MORE than network-only",
-                  file=sys.stderr)
-            return 1
+            failures.append(
+                f"crash@{crash_at}: disk recovery transferred MORE than network-only"
+            )
+    return points, failures
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2: log size vs time, compaction on/off
+# ---------------------------------------------------------------------------
+
+def _log_footprint(store_root: Path) -> dict:
+    """Total / live / dead bytes of one replica's segment files, applying
+    the compactor's own liveness rule (last copy of each seq wins; the
+    stable point is not known offline, so 'live' here means 'not
+    shadowed by a newer duplicate' — the part compaction cannot drop)."""
+    seg_dir = store_root / "segments"
+    total = live = records = 0
+    frames = []  # (seg, pos, seq, size)
+    for path in sorted(seg_dir.glob("seg-*.log")):
+        total += path.stat().st_size
+        scanned = _scan_segment_frames(path) or []
+        for pos, (seq, frame) in enumerate(scanned):
+            frames.append((path.name, pos, seq, len(frame)))
+    last = {}
+    for seg, pos, seq, size in frames:
+        last[seq] = (seg, pos)
+    for seg, pos, seq, size in frames:
+        records += 1
+        if last[seq] == (seg, pos):
+            live += size
+    live += len(SEGMENT_MAGIC) * max(
+        1, len(list(seg_dir.glob("seg-*.log")))
+    )
+    return {"total_bytes": total, "live_bytes": live, "records": records}
+
+
+def run_compaction_run(compaction: bool, duration: float, sample_times) -> dict:
+    tempdir = tempfile.mkdtemp(prefix="bench-compact-")
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL,
+        f=1,
+        num_clients=NUM_CLIENTS,
+        seed=SEED,
+        update_interval=0.25,
+        checkpoint_interval=COMPACT_CHECKPOINT_INTERVAL,
+        store_dir=tempdir,
+        store_fsync="never",
+        store_segment_bytes=COMPACT_SEGMENT_BYTES,
+        store_compaction_interval=COMPACT_TICK if compaction else 0.0,
+        store_compaction_budget=2,
+    )
+    deployment = build(config)
+    samples = []
+
+    def sample(t):
+        deployment.replicas[TARGET].store.sync()
+        point = _log_footprint(Path(tempdir) / TARGET)
+        point["time"] = t
+        samples.append(point)
+
+    for t in sample_times:
+        deployment.kernel.call_at(t, sample, t)
+    try:
+        deployment.start()
+        deployment.start_workload(duration=duration - 1.0)
+        deployment.run(until=duration)
+        final = _log_footprint(Path(tempdir) / TARGET)
+        return {
+            "compaction": compaction,
+            "samples": samples,
+            "final": final,
+            "compaction_runs": counter(deployment, "store.compaction_runs", TARGET),
+            "segments_rewritten": counter(
+                deployment, "store.compaction_segments", TARGET
+            ),
+            "records_dropped": counter(
+                deployment, "store.compaction_records_dropped", TARGET
+            ),
+            "bytes_reclaimed": counter(
+                deployment, "store.compaction_bytes_reclaimed", TARGET
+            ),
+        }
+    finally:
+        close_stores(deployment)
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+
+def sweep_compaction(duration: float, sample_times) -> tuple[dict, list]:
+    on = run_compaction_run(True, duration, sample_times)
+    off = run_compaction_run(False, duration, sample_times)
+    print(
+        f"compaction on : {on['final']['total_bytes']:>8d}B log "
+        f"({on['final']['live_bytes']}B live), "
+        f"{on['segments_rewritten']:.0f} segments rewritten, "
+        f"{on['bytes_reclaimed']:.0f}B reclaimed"
+    )
+    print(
+        f"compaction off: {off['final']['total_bytes']:>8d}B log "
+        f"({off['final']['live_bytes']}B live)"
+    )
+    failures = []
+    floor = on["final"]["live_bytes"] * COMPACT_SLACK + COMPACT_SEGMENT_BYTES
+    if on["final"]["total_bytes"] > floor:
+        failures.append(
+            f"compacted log {on['final']['total_bytes']}B exceeds live-bytes "
+            f"floor {floor:.0f}B (live {on['final']['live_bytes']}B x "
+            f"{COMPACT_SLACK} + one open segment)"
+        )
+    if on["final"]["total_bytes"] > off["final"]["total_bytes"]:
+        failures.append(
+            "compaction made the log LARGER: "
+            f"{on['final']['total_bytes']}B vs {off['final']['total_bytes']}B"
+        )
+    if on["segments_rewritten"] <= 0:
+        failures.append("compactor never rewrote a segment (nothing exercised)")
+    return {"on": on, "off": off}, failures
+
+
+# ---------------------------------------------------------------------------
+# Experiment 3: delta vs full state transfer
+# ---------------------------------------------------------------------------
+
+def run_delta_run(delta_interval: int, crash_at: float, outage: float) -> dict:
+    tempdir = tempfile.mkdtemp(prefix="bench-delta-")
+    config = SystemConfig(
+        mode=Mode.CONFIDENTIAL,
+        f=1,
+        num_clients=NUM_CLIENTS,
+        seed=SEED,
+        update_interval=DELTA_UPDATE_INTERVAL,
+        checkpoint_interval=DELTA_CHECKPOINT_INTERVAL,
+        checkpoint_delta_interval=delta_interval,
+        store_dir=tempdir,
+        store_fsync="never",
+    )
+    deployment = build(config)
+    try:
+        deployment.start()
+        end = crash_at + outage + 10.0
+        deployment.start_workload(duration=end - 3.0)
+        deployment.recovery.schedule_recovery(TARGET, crash_at, outage)
+        deployment.run(until=end)
+        live = deployment.replicas["dc-1-r0"]
+        target = deployment.replicas[TARGET]
+        stable = live.checkpoints.stable
+        return {
+            "delta_interval": delta_interval,
+            "crash_at": crash_at,
+            "outage": outage,
+            "xfer_bytes_received": counter(
+                deployment, "xfer.bytes_received", TARGET
+            ),
+            "delta_checkpoints_saved": counter(
+                deployment, "store.delta_checkpoints_saved", TARGET
+            ),
+            "full_snapshot_bytes": (
+                len(stable.blob_bytes()) if stable is not None else 0
+            ),
+            "stable_ordinal": stable.ordinal if stable is not None else 0,
+            "converged": target.executed_ordinal() == live.executed_ordinal(),
+        }
+    finally:
+        close_stores(deployment)
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+
+def sweep_delta(crash_at: float, outage: float) -> tuple[dict, list]:
+    with_deltas = run_delta_run(DELTA_EVERY_N, crash_at, outage)
+    baseline = run_delta_run(0, crash_at, outage)
+    print(
+        f"delta chain   : {with_deltas['xfer_bytes_received']:>9.0f}B wire "
+        f"({with_deltas['delta_checkpoints_saved']:.0f} deltas persisted)"
+    )
+    print(
+        f"full snapshots: {baseline['xfer_bytes_received']:>9.0f}B wire "
+        f"(snapshot {baseline['full_snapshot_bytes']}B)"
+    )
+    failures = []
+    if not (with_deltas["converged"] and baseline["converged"]):
+        failures.append("a delta-experiment run did not converge")
+    if with_deltas["xfer_bytes_received"] >= baseline["xfer_bytes_received"]:
+        failures.append(
+            "delta recovery did not transfer fewer wire bytes: "
+            f"{with_deltas['xfer_bytes_received']}B vs "
+            f"{baseline['xfer_bytes_received']}B full-snapshot baseline"
+        )
+    if with_deltas["delta_checkpoints_saved"] <= 0:
+        failures.append("no delta checkpoints were persisted (nothing exercised)")
+    return {"deltas": with_deltas, "full": baseline}, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer crash points, shorter runs")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a structural floor fails")
+    args = parser.parse_args(argv)
+
+    crash_times = CRASH_TIMES[:1] if args.quick else CRASH_TIMES
+    compact_duration = 14.0 if args.quick else 24.0
+    sample_times = (
+        (6.0, 10.0, 13.0) if args.quick else (6.0, 12.0, 18.0, 23.0)
+    )
+
+    failures: list = []
+    points, f1 = sweep_disk_recovery(crash_times)
+    failures += f1
+    compaction, f2 = sweep_compaction(compact_duration, sample_times)
+    failures += f2
+    delta, f3 = sweep_delta(DELTA_CRASH_AT, DELTA_OUTAGE)
+    failures += f3
 
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(
@@ -131,6 +378,8 @@ def main() -> int:
                 "checkpoint_interval": CHECKPOINT_INTERVAL,
                 "outage_seconds": OUTAGE,
                 "points": points,
+                "compaction": compaction,
+                "delta_transfer": delta,
             },
             indent=2,
             sort_keys=True,
@@ -139,6 +388,14 @@ def main() -> int:
         encoding="utf-8",
     )
     print(f"wrote {RESULTS_PATH}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures and args.check:
+        return 1
+    if failures:
+        # Without --check, floors are informational (historical behaviour
+        # kept for exploratory runs) — but convergence is never optional.
+        return 1 if any("did not converge" in f for f in failures) else 0
     return 0
 
 

@@ -99,6 +99,19 @@ LOAD_REQUIRED = (
 #: The open-loop latency histogram is labelled by arrival phase.
 LOAD_LATENCY_RE = re.compile(r'^load_latency\{[^}]*phase="[^"]+"')
 
+#: CompactLab instruments: created eagerly on every store (volatile or
+#: file-backed), so any bundle with store instrumentation at all (any
+#: ``store_`` sample) must carry the complete family — partial presence
+#: means the compaction/delta metric wiring broke.
+STORE_REQUIRED = (
+    "store_compaction_runs_total",
+    "store_compaction_segments_total",
+    "store_compaction_records_dropped_total",
+    "store_compaction_bytes_reclaimed_total",
+    "store_delta_checkpoints_saved_total",
+    "store_delta_bytes_total",
+)
+
 #: ShardLab instruments that must carry a ``shard="sN"`` label per sample.
 SHARD_LABELED = ("shard_updates_total", "shard_cross_shard_total")
 
@@ -186,6 +199,15 @@ def check_prometheus(path: Path, errors: list) -> None:
             if counter not in sample_names:
                 errors.append(
                     f"{path.name}: cross-shard bundle lacks required counter {counter}"
+                )
+    if any(name.startswith("store_") for name in sample_names):
+        # Store-instrumented bundle: the CompactLab family is created
+        # eagerly alongside the append/checkpoint counters.
+        for counter in STORE_REQUIRED:
+            if counter not in sample_names:
+                errors.append(
+                    f"{path.name}: store-instrumented bundle lacks required "
+                    f"counter {counter}"
                 )
     if any(name.startswith("load_") for name in sample_names):
         # Open-loop bundle: the whole accounting family must be there.

@@ -149,6 +149,15 @@ def make_parser() -> argparse.ArgumentParser:
     rt_run.add_argument("--crypto-workers", type=int, default=0,
                         help="crypto worker processes per replica "
                              "(0 = in-process signing)")
+    rt_run.add_argument("--delta-interval", type=int, default=0,
+                        help="full checkpoint every N-th checkpoint, "
+                             "encrypted state deltas between (0 = every "
+                             "checkpoint is a full snapshot)")
+    rt_run.add_argument("--compaction-interval", type=float, default=0.0,
+                        help="seconds between background log-compaction "
+                             "ticks (0 = compaction off)")
+    rt_run.add_argument("--compaction-budget", type=int, default=2,
+                        help="sealed segments rewritten per compaction tick")
     rt_run.add_argument("--no-trace-wire", dest="trace_wire",
                         action="store_false",
                         help="disable wire-level trace context propagation")
@@ -606,15 +615,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
         status = "OK" if ok else "CORRUPT"
         print(f"{status}: {root} — {report['total_records']} records in "
               f"{len(report['segments'])} segments, "
-              f"{len(report['checkpoints'])} checkpoints")
+              f"{len(report['checkpoints'])} checkpoints, "
+              f"{len(report['chain']['deltas'])} deltas")
         if report["torn_segments"]:
             print(f"  torn tail in newest segment (survivable crash artifact)")
+        if report["compaction_artifacts"]:
+            print(f"  {report['compaction_artifacts']} leftover compaction "
+                  "artifact(s) (resolved by open-time repair)")
         for segment in report["segments"]:
             if segment["status"] == "corrupt":
                 print(f"  corrupt segment {segment['file']}: {segment['detail']}")
         for ckpt in report["checkpoints"]:
             if not ckpt["verified"]:
                 print(f"  corrupt checkpoint {ckpt['file']}")
+        for delta in report["chain"]["deltas"]:
+            if not delta["verified"]:
+                print(f"  corrupt delta {delta['file']}")
+            elif (delta["full_ordinal"] == report["chain"]["anchor_ordinal"]
+                  and not delta.get("in_chain")):
+                print(f"  orphan delta {delta['file']}: does not extend the "
+                      f"chain anchored at {report['chain']['anchor_ordinal']}")
         return 0 if ok else 1
 
     report = inspect_store(root)
@@ -623,14 +643,17 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
     print(f"store: {root}")
     print(f"  {len(report['segments'])} segments, "
-          f"{report['total_records']} records, "
+          f"{report['total_records']} records "
+          f"({report['live_records']} live / {report['dead_records']} dead), "
           f"max batch_seq {report['max_seq']}")
     for segment in report["segments"]:
         span = ""
         if segment["min_seq"] is not None:
             span = f" seq {segment['min_seq']}..{segment['max_seq']}"
         detail = f" ({segment['detail']})" if segment["detail"] else ""
-        print(f"    {segment['file']}: {segment['records']} records,"
+        print(f"    {segment['file']}: {segment['records']} records"
+              f" ({segment['live_records']} live, "
+              f"ratio {segment['live_ratio']:.2f}),"
               f"{span} [{segment['status']}]{detail}")
     print(f"  {len(report['checkpoints'])} checkpoints")
     for ckpt in report["checkpoints"]:
@@ -638,6 +661,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
         extra = (f" batch_seq {ckpt['batch_seq']} signer {ckpt['signer']}"
                  if ckpt["verified"] else "")
         print(f"    {ckpt['file']}: ordinal {ckpt['ordinal']}{extra} [{mark}]")
+    chain = report["chain"]
+    if chain["deltas"]:
+        print(f"  {len(chain['deltas'])} delta checkpoints "
+              f"(chain: anchor {chain['anchor_ordinal']} -> "
+              f"tip {chain['chain_tip']}, {chain['chain_length']} links, "
+              f"{chain['orphan_deltas']} orphan, {chain['stale_deltas']} stale)")
+        for delta in chain["deltas"]:
+            if delta["verified"]:
+                mark = "chain" if delta.get("in_chain") else (
+                    "stale"
+                    if delta["full_ordinal"] != chain["anchor_ordinal"]
+                    else "ORPHAN"
+                )
+                print(f"    {delta['file']}: ordinal {delta['ordinal']} "
+                      f"base {delta['base_ordinal']} "
+                      f"full {delta['full_ordinal']} [{mark}]")
+            else:
+                print(f"    {delta['file']}: [CORRUPT]")
+    if report["compaction_artifacts"]:
+        print(f"  {report['compaction_artifacts']} leftover compaction artifact(s)")
     return 0
 
 
@@ -671,6 +714,9 @@ def _cmd_rt(args: argparse.Namespace) -> int:
         intro_batch_size=args.batch_size,
         intro_batch_window=args.batch_window,
         crypto_workers=args.crypto_workers,
+        checkpoint_delta_interval=args.delta_interval,
+        store_compaction_interval=args.compaction_interval,
+        store_compaction_budget=args.compaction_budget,
         trace_wire=args.trace_wire,
         telemetry_interval=args.telemetry_interval,
         detectors=args.detectors,

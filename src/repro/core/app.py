@@ -33,6 +33,24 @@ class Application(ABC):
     def restore(self, blob: bytes) -> None:
         """Replace the application state with a snapshot's contents."""
 
+    def state_doc(self) -> Optional[Dict]:
+        """Optional structured snapshot for delta-friendly checkpoints.
+
+        Return a JSON-able dict equivalent to :meth:`snapshot` (same
+        determinism contract), or ``None`` — the default — to let the
+        checkpoint layer fall back to chunked opaque snapshot bytes.
+        Implementations returning a dict must accept it back through
+        :meth:`restore_state_doc`. Structured documents let
+        :func:`repro.core.statedelta.diff_state` ship only the keys that
+        changed between checkpoints instead of every byte block the
+        serialization touched.
+        """
+        return None
+
+    def restore_state_doc(self, doc: Dict) -> None:
+        """Replace state from a :meth:`state_doc` document."""
+        raise NotImplementedError(f"{type(self).__name__} has no structured state")
+
 
 class KeyValueApplication(Application):
     """Reference application: a string key-value store.
@@ -69,6 +87,13 @@ class KeyValueApplication(Application):
         state = json.loads(blob.decode("utf-8"))
         self._store = dict(state["store"])
         self.executed_count = int(state["executed"])
+
+    def state_doc(self) -> Dict:
+        return {"store": dict(self._store), "executed": self.executed_count}
+
+    def restore_state_doc(self, doc: Dict) -> None:
+        self._store = dict(doc["store"])
+        self.executed_count = int(doc["executed"])
 
     def get(self, key: str) -> Optional[str]:
         """Direct read for tests/examples (not part of the replicated API)."""

@@ -397,6 +397,40 @@ class CheckpointMsg:
 
 
 @dataclass(frozen=True)
+class CheckpointDeltaMsg:
+    """A delta-encoded checkpoint multicast between full snapshots.
+
+    ``blob`` carries the (encrypted) canonical-JSON state *diff* against
+    the chain node at ``base_ordinal``; ``full_ordinal`` anchors the chain
+    at its full snapshot so a delta can never be applied against the wrong
+    lineage. Correctness/stability voting mirrors :class:`CheckpointMsg`
+    but digests bind the chain coordinates as well as the blob.
+    """
+
+    ordinal: int
+    base_ordinal: int
+    full_ordinal: int
+    resume: ResumePoint
+    blob: Union[bytes, Sensitive]
+    signer: str
+
+    def blob_bytes(self) -> bytes:
+        return self.blob.data if isinstance(self.blob, Sensitive) else self.blob
+
+    def blob_digest(self) -> bytes:
+        header = f"ckpt-delta|{self.ordinal}|{self.base_ordinal}|{self.full_ordinal}|"
+        return hashlib.sha256(header.encode("utf-8") + self.blob_bytes()).digest()
+
+    def wire_size(self) -> int:
+        return _HEADER + 40 + len(self.blob_bytes()) + self.resume.wire_size()
+
+    def sensitive_parts(self) -> List[str]:
+        if isinstance(self.blob, Sensitive):
+            return [self.blob.label]
+        return []
+
+
+@dataclass(frozen=True)
 class StateXferSolicit:
     """A lagging replica asks on-premises replicas to introduce its state
     transfer request into the global order.
@@ -488,18 +522,22 @@ class StateXferResponse:
     responder: str
     part_index: int = 0
     part_count: int = 1
+    deltas: Tuple[CheckpointDeltaMsg, ...] = ()
 
     def wire_size(self) -> int:
         size = _HEADER + 32
         if self.checkpoint is not None:
             size += self.checkpoint.wire_size()
         size += sum(b.wire_size() for b in self.batches)
+        size += sum(d.wire_size() for d in self.deltas)
         return size
 
     def sensitive_parts(self) -> List[str]:
         parts: List[str] = []
         if self.checkpoint is not None:
             parts.extend(self.checkpoint.sensitive_parts())
+        for delta in self.deltas:
+            parts.extend(delta.sensitive_parts())
         for batch in self.batches:
             parts.extend(batch.sensitive_parts())
         return parts

@@ -32,6 +32,7 @@ from repro.core.messages import (
     BatchRecord,
     BatchShare,
     CertifiedResponse,
+    CheckpointDeltaMsg,
     CheckpointMsg,
     ClientResponse,
     ClientUpdate,
@@ -50,6 +51,7 @@ from repro.core.messages import (
     unpack_update,
 )
 from repro.core.state_transfer import StateTransferManager
+from repro.core.statedelta import apply_delta, diff_state
 from repro.costs import CostModel
 from repro.crypto.keystore import HardwareKeyStore
 from repro.crypto.rsa import RsaPublicKey
@@ -146,6 +148,14 @@ class ReplicaEnv:
     proxy_of_client: Dict[str, str]
     initial_client_keys: Dict[str, SymmetricKeyPair]
     checkpoint_interval: int = 100
+    # CompactLab: full snapshot every N checkpoints with state deltas
+    # between (0/1 = every checkpoint full, the legacy behaviour).
+    checkpoint_delta_interval: int = 0
+    # CompactLab: background log-compaction tick. 0 disables (the sim's
+    # default — trace byte-identity); > 0 schedules a bounded compaction
+    # of up to store_compaction_budget sealed segments per tick.
+    store_compaction_interval: float = 0.0
+    store_compaction_budget: int = 2
     key_validity: int = 1000
     key_slack: int = 10
     key_renewal_enabled: bool = False
@@ -243,10 +253,13 @@ class ReplicaBase:
             else MemoryStore(metrics=self.metrics, host=host)
         )
         self.update_log: Dict[int, BatchRecord] = {}
-        self.checkpoints = CheckpointManager(self, env.checkpoint_interval)
+        self.checkpoints = CheckpointManager(
+            self, env.checkpoint_interval, env.checkpoint_delta_interval
+        )
         self.xfer = StateTransferManager(self)
         self.engine = self._make_engine()
         self._last_lagging_xfer = -1e9
+        self._compaction_scheduled = False
         # Hook for the Byzantine adversary (repro.system.adversary): maps
         # (dst, message) -> message-or-None on everything this host sends.
         self.outbound_filter = None
@@ -296,6 +309,32 @@ class ReplicaBase:
         """Bring the replica online at deployment start."""
         self.online = True
         self.engine.start()
+        self._schedule_compaction()
+
+    # -- background log compaction (CompactLab) -----------------------------------
+
+    def _schedule_compaction(self) -> None:
+        """Arm the periodic compaction tick (sim kernel or live scheduler —
+        both provide ``call_later``). Disabled (interval 0) by default so
+        existing sim traces stay byte-identical; the tick itself is pure
+        disk work with zero simulated cost, so enabling it never perturbs
+        protocol timing either."""
+        interval = self.env.store_compaction_interval
+        if interval > 0 and not self._compaction_scheduled:
+            self._compaction_scheduled = True
+            self.kernel.call_later(interval, self._compaction_tick)
+
+    def _compaction_tick(self) -> None:
+        interval = self.env.store_compaction_interval
+        if interval <= 0:
+            self._compaction_scheduled = False
+            return
+        if self.online:
+            # Offline = the modeled process is dead; its disk does not
+            # compact itself. The timer keeps ticking so compaction
+            # resumes with recovery.
+            self.store.compact(self.env.store_compaction_budget)
+        self.kernel.call_later(interval, self._compaction_tick)
 
     # -- networking ---------------------------------------------------------------------
 
@@ -337,7 +376,7 @@ class ReplicaBase:
             self.on_response_share(src, message)
         elif isinstance(message, ResponseBatchShare):
             self.on_response_batch_share(src, message)
-        elif isinstance(message, CheckpointMsg):
+        elif isinstance(message, (CheckpointMsg, CheckpointDeltaMsg)):
             self.checkpoints.on_checkpoint(src, message)
         elif isinstance(message, StateXferSolicit):
             self.xfer.on_solicit(src, message)
@@ -516,10 +555,26 @@ class ReplicaBase:
         checkpoint: Optional[CheckpointMsg],
         batches: List[BatchRecord],
         view: int,
+        deltas: Tuple[CheckpointDeltaMsg, ...] = (),
     ) -> None:
-        if checkpoint is not None:
-            self.checkpoints.adopt_stable(checkpoint)
-            self.restore_from_checkpoint(checkpoint)
+        if deltas and checkpoint is None and self.checkpoints.stable is None:
+            # A chain without its anchor is unusable; the requester-side
+            # agreement should never let this through, but never crash on
+            # a malformed combination — just ignore the chain.
+            deltas = ()
+        if checkpoint is not None or deltas:
+            # Capture the local anchor *before* adopting: when responders
+            # omitted the full snapshot (our have_ordinal proved we hold
+            # it), the chain applies on top of our own stable chain.
+            anchor = checkpoint if checkpoint is not None else self.checkpoints.stable
+            prior = (
+                tuple(self.checkpoints.stable_deltas) if checkpoint is None else ()
+            )
+            self.checkpoints.adopt_chain(checkpoint, deltas)
+            if deltas:
+                self.restore_from_chain(anchor, prior + tuple(deltas))
+            else:
+                self.restore_from_checkpoint(checkpoint)
         for record in batches:
             self.update_log[record.batch_seq] = record
             self.store.append(record)
@@ -527,6 +582,8 @@ class ReplicaBase:
                 self.replay_entry(ordinal, payload)
         if batches:
             resume = batches[-1].resume
+        elif deltas:
+            resume = deltas[-1].resume
         elif checkpoint is not None:
             resume = checkpoint.resume
         else:
@@ -546,6 +603,13 @@ class ReplicaBase:
     def restore_from_checkpoint(self, checkpoint: CheckpointMsg) -> None:
         """Storage replicas keep the blob opaque; nothing to apply."""
 
+    def restore_from_chain(
+        self,
+        checkpoint: CheckpointMsg,
+        deltas: Tuple[CheckpointDeltaMsg, ...],
+    ) -> None:
+        """Storage replicas keep chain blobs opaque; nothing to apply."""
+
     def replay_entry(self, ordinal: int, payload: object) -> None:
         """Storage replicas only store; executing replicas re-execute."""
 
@@ -563,6 +627,15 @@ class ReplicaBase:
     # -- checkpoint hooks --------------------------------------------------------------------------------------
 
     def build_checkpoint_blob(self):
+        raise ProtocolError(f"{self.host}: storage replicas do not checkpoint")
+
+    def build_checkpoint_state(self) -> dict:
+        raise ProtocolError(f"{self.host}: storage replicas do not checkpoint")
+
+    def encode_checkpoint_state(self, state: dict):
+        raise ProtocolError(f"{self.host}: storage replicas do not checkpoint")
+
+    def build_delta_blob(self, base_state: dict, state: dict):
         raise ProtocolError(f"{self.host}: storage replicas do not checkpoint")
 
     # -- proactive recovery -------------------------------------------------------------------------------------
@@ -584,7 +657,9 @@ class ReplicaBase:
         self.keystore.wipe()
         self.incarnation += 1
         self.update_log = {}
-        self.checkpoints = CheckpointManager(self, self.env.checkpoint_interval)
+        self.checkpoints = CheckpointManager(
+            self, self.env.checkpoint_interval, self.env.checkpoint_delta_interval
+        )
         self.xfer = StateTransferManager(self)
         self.reset_role_state()
         self.engine = self._make_engine()
@@ -624,14 +699,32 @@ class ReplicaBase:
                 "store.corrupted",
                 segments=load.corrupt_segments,
                 checkpoints=load.corrupt_checkpoints,
+                deltas=load.corrupt_deltas,
             )
         if load.truncated_tail:
             self.trace("store.truncated")
         if load.empty:
             return recovery
         checkpoint = load.checkpoint
+        chain = load.chain_deltas() if checkpoint is not None else []
         base_seq = 0
-        if checkpoint is not None:
+        if checkpoint is not None and chain:
+            try:
+                self.restore_from_chain(checkpoint, tuple(chain))
+            except Exception:
+                # A delta verified (magic + CRC) but its content does not
+                # decrypt/parse or apply. The chain is broken: fall back
+                # to the full snapshot alone (plus the log tail).
+                recovery.corruption_detected = True
+                self.metrics.counter("store.corruption_detected", host=self.host).inc()
+                self.trace("store.corrupted", stage="delta-restore")
+                chain = []
+            else:
+                self.checkpoints.adopt_chain(checkpoint, tuple(chain))
+                base_seq = chain[-1].resume.batch_seq
+                recovery.ordinal = chain[-1].ordinal
+                recovery.bytes_replayed += load.checkpoint_bytes + load.delta_bytes
+        if checkpoint is not None and not chain:
             try:
                 self.restore_from_checkpoint(checkpoint)
             except Exception:
@@ -647,7 +740,12 @@ class ReplicaBase:
                 base_seq = checkpoint.resume.batch_seq
                 recovery.ordinal = checkpoint.ordinal
                 recovery.bytes_replayed += load.checkpoint_bytes
-        resume = checkpoint.resume if checkpoint is not None else None
+        if chain:
+            resume = chain[-1].resume
+        elif checkpoint is not None:
+            resume = checkpoint.resume
+        else:
+            resume = None
         next_seq = base_seq + 1
         for record in load.records:
             if record.batch_seq < next_seq:
@@ -1133,6 +1231,62 @@ class ExecutingReplica(ReplicaBase):
             ),
         )
 
+    #: Hex characters per ``app`` block in the delta-friendly state shape.
+    _APP_BLOCK_HEX = 1024
+
+    def build_checkpoint_state(self) -> dict:
+        """The delta-friendly state document (CompactLab chains).
+
+        Structured so :func:`repro.core.statedelta.diff_state` produces
+        small diffs between consecutive checkpoints: the app contributes
+        its structured :meth:`~repro.core.app.Application.state_doc` when
+        it has one (only changed keys ship), falling back to the opaque
+        snapshot split into fixed-size hex blocks keyed by index (only
+        touched blocks ship); each client's response cache is keyed by
+        sequence number (only new/evicted entries ship). The legacy
+        full-blob shape (:meth:`build_checkpoint_blob`) is kept verbatim
+        for the delta-off path — its bytes are a trace-identity
+        contract."""
+        doc = self.app.state_doc()
+        if doc is not None:
+            app_state: dict = {"doc": doc}
+        else:
+            blob_hex = self.app.snapshot().hex()
+            app_state = {
+                "blocks": {
+                    f"{index:08d}": blob_hex[offset : offset + self._APP_BLOCK_HEX]
+                    for index, offset in enumerate(
+                        range(0, len(blob_hex), self._APP_BLOCK_HEX)
+                    )
+                }
+            }
+        state = {
+            "app": app_state,
+            "executed": {
+                alias: progress.to_state()
+                for alias, progress in sorted(self._executed.items())
+            },
+            "responses": {
+                client: {
+                    str(seq): self._response_to_state(seq, r)
+                    for seq, r in sorted(cache.items())
+                }
+                for client, cache in sorted(self._response_cache.items())
+            },
+        }
+        if self.confidential:
+            state["keys"] = self.key_manager.to_state()
+            state["renewal"] = self.renewal.to_state()
+        return state
+
+    def encode_checkpoint_state(self, state: dict):
+        packed = json.dumps(state, sort_keys=True).encode("utf-8")
+        self.observe_plaintext("state-snapshot", channel="checkpoint")
+        if self.confidential:
+            self._m_hw_encrypt.inc()
+            return self.keystore.hardware_encrypt(packed)
+        return Sensitive(packed, label="state-snapshot")
+
     def build_checkpoint_blob(self):
         state = {
             "app": self.app.snapshot().hex(),
@@ -1151,21 +1305,54 @@ class ExecutingReplica(ReplicaBase):
         if self.confidential:
             state["keys"] = self.key_manager.to_state()
             state["renewal"] = self.renewal.to_state()
-        packed = json.dumps(state, sort_keys=True).encode("utf-8")
-        self.observe_plaintext("state-snapshot", channel="checkpoint")
+        return self.encode_checkpoint_state(state)
+
+    def build_delta_blob(self, base_state: dict, state: dict):
+        """Encode the diff ``base_state -> state`` exactly like a full blob
+        (hardware-encrypted when confidential): a delta leaks no more than
+        the snapshot it abbreviates."""
+        delta = diff_state(base_state, state)
+        packed = json.dumps(delta, sort_keys=True).encode("utf-8")
+        self.observe_plaintext("state-delta", channel="checkpoint")
         if self.confidential:
             self._m_hw_encrypt.inc()
             return self.keystore.hardware_encrypt(packed)
-        return Sensitive(packed, label="state-snapshot")
+        return Sensitive(packed, label="state-delta")
 
-    def restore_from_checkpoint(self, checkpoint: CheckpointMsg) -> None:
+    def decode_checkpoint_blob(self, blob_bytes: bytes) -> dict:
         if self.confidential:
             self._m_hw_decrypt.inc()
-            packed = self.keystore.hardware_decrypt(checkpoint.blob_bytes())
+            packed = self.keystore.hardware_decrypt(blob_bytes)
         else:
-            packed = checkpoint.blob_bytes()
-        state = json.loads(packed.decode("utf-8"))
-        self.app.restore(bytes.fromhex(state["app"]))
+            packed = blob_bytes
+        return json.loads(packed.decode("utf-8"))
+
+    def restore_from_checkpoint(self, checkpoint: CheckpointMsg) -> None:
+        state = self.decode_checkpoint_blob(checkpoint.blob_bytes())
+        self._install_state(state)
+
+    def restore_from_chain(
+        self,
+        checkpoint: CheckpointMsg,
+        deltas: Tuple[CheckpointDeltaMsg, ...],
+    ) -> None:
+        state = self.decode_checkpoint_blob(checkpoint.blob_bytes())
+        for delta in deltas:
+            patch = self.decode_checkpoint_blob(delta.blob_bytes())
+            state = apply_delta(state, patch)
+        self._install_state(state)
+
+    def _install_state(self, state: dict) -> None:
+        app = state["app"]
+        if isinstance(app, dict) and "doc" in app:
+            # Delta-friendly shape: the app's structured state document.
+            self.app.restore_state_doc(app["doc"])
+        else:
+            if isinstance(app, dict):
+                # Delta-friendly fallback: fixed-size hex blocks by index.
+                blocks = app["blocks"]
+                app = "".join(blocks[key] for key in sorted(blocks))
+            self.app.restore(bytes.fromhex(app))
         self._executed = {
             alias: ClientProgress.from_state(progress_state)
             for alias, progress_state in state["executed"].items()
@@ -1173,6 +1360,10 @@ class ExecutingReplica(ReplicaBase):
         self._response_cache = {}
         for client, entries in state["responses"].items():
             cache = self._response_cache.setdefault(client, {})
+            # Legacy shape: a list of entries; delta-friendly shape: a
+            # dict keyed by str(client_seq). Entries are identical.
+            if isinstance(entries, dict):
+                entries = [entries[key] for key in sorted(entries, key=int)]
             for entry in entries:
                 response = self._response_from_state(client, entry)
                 cache[response.client_seq] = response

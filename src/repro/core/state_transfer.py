@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.messages import (
     BatchRecord,
+    CheckpointDeltaMsg,
     CheckpointMsg,
     StateXferResponse,
     StateXferSolicit,
@@ -170,14 +171,24 @@ class StateTransferManager:
         if request.requester == replica.host:
             return
         stable = replica.checkpoints.stable
-        # Trim to what the requester does not already hold: omit the
-        # checkpoint when theirs is at least as fresh, and send only the
-        # log suffix above both our stable point and their have-point.
-        if stable is not None and stable.ordinal <= request.have_ordinal:
+        chain = tuple(replica.checkpoints.stable_deltas)
+        tip_ordinal = replica.checkpoints.stable_tip_ordinal()
+        tip_resume = replica.checkpoints.stable_tip_resume()
+        # Trim to what the requester does not already hold. Three cases:
+        # they are at/past our chain tip (nothing but log tail); they hold
+        # our full snapshot but trail the delta chain (ship only the delta
+        # suffix — the CompactLab cheap catch-up path); they trail the
+        # full itself (ship full + whole chain).
+        deltas: Tuple[CheckpointDeltaMsg, ...] = ()
+        if stable is None or tip_ordinal <= request.have_ordinal:
             checkpoint = None
+        elif stable.ordinal <= request.have_ordinal:
+            checkpoint = None
+            deltas = tuple(d for d in chain if d.ordinal > request.have_ordinal)
         else:
             checkpoint = stable
-        after_seq = stable.resume.batch_seq if stable is not None else 0
+            deltas = chain
+        after_seq = tip_resume.batch_seq if tip_resume is not None else 0
         after_seq = max(after_seq, request.have_seq)
         batches = replica.update_log_after(after_seq)
         self._m_served.inc()
@@ -191,12 +202,15 @@ class StateTransferManager:
                 batches=tuple(batches),
                 view=replica.engine.view,
                 responder=replica.host,
+                deltas=deltas,
             )
             replica.network_send(request.requester, response)
             return
-        self._serve_chunked(request, checkpoint, batches, chunk_bytes)
+        self._serve_chunked(request, checkpoint, batches, chunk_bytes, deltas)
 
-    def _serve_chunked(self, request, stable, batches, chunk_bytes: int) -> None:
+    def _serve_chunked(
+        self, request, stable, batches, chunk_bytes: int, deltas=()
+    ) -> None:
         """Flow-controlled serving: split the update log into bounded
         parts and pace them out, so catch-up traffic interleaves with
         live protocol traffic instead of monopolizing the pipes (the
@@ -222,6 +236,7 @@ class StateTransferManager:
                 responder=replica.host,
                 part_index=index,
                 part_count=part_count,
+                deltas=tuple(deltas) if index == 0 else (),
             )
             delay = index * replica.env.xfer_chunk_interval
             if delay > 0:
@@ -267,6 +282,7 @@ class StateTransferManager:
             batches=batches,
             view=max(piece.view for piece in ordered),
             responder=part.responder,
+            deltas=ordered[0].deltas,
         )
 
     def _try_assemble(self, nonce: int) -> None:
@@ -286,19 +302,32 @@ class StateTransferManager:
                 threshold=threshold,
             )
             return
+        deltas = self._agree_deltas(responses, checkpoint, threshold)
+        if deltas:
+            tip_resume = deltas[-1].resume
+        elif checkpoint is not None:
+            tip_resume = checkpoint.resume
+        else:
+            tip_resume = None
         if (
-            checkpoint is not None
+            tip_resume is not None
             and self._have != (0, 0)
-            and checkpoint.resume.batch_seq <= self._have[0]
+            and tip_resume.batch_seq <= self._have[0]
         ):
-            # Our disk recovery already covers this checkpoint's prefix;
+            # Our disk recovery already covers this chain's prefix;
             # restoring it would roll the application back behind records
-            # we replayed locally. Treat it as already held.
+            # we replayed locally. Treat the whole chain as already held.
             checkpoint = None
-        # With no checkpoint to install, batches continue from what we
+            deltas = ()
+        # With no chain to install, batches continue from what we
         # recovered locally (0 when there was no disk recovery —
         # responders only omit their checkpoint against a nonzero have).
-        base_seq = checkpoint.resume.batch_seq if checkpoint is not None else self._have[0]
+        if deltas:
+            base_seq = deltas[-1].resume.batch_seq
+        elif checkpoint is not None:
+            base_seq = checkpoint.resume.batch_seq
+        else:
+            base_seq = self._have[0]
 
         batches = self._agree_batches(responses, base_seq, threshold)
         if batches is None:
@@ -314,14 +343,18 @@ class StateTransferManager:
         self._responses.pop(nonce, None)
         self.completed_count += 1
         self._m_completed.inc()
-        replica.trace(
-            "xfer.complete",
-            nonce=nonce,
-            checkpoint=checkpoint.ordinal if checkpoint else 0,
-            batches=len(batches),
-        )
+        detail = {
+            "nonce": nonce,
+            "checkpoint": checkpoint.ordinal if checkpoint else 0,
+            "batches": len(batches),
+        }
+        if deltas:
+            # Key added only on the delta path: default-path traces are a
+            # byte-identity contract across seeds.
+            detail["deltas"] = len(deltas)
+        replica.trace("xfer.complete", **detail)
         replica.engine.catching_up = False
-        replica.apply_state_transfer(checkpoint, batches, adopted_view)
+        replica.apply_state_transfer(checkpoint, batches, adopted_view, deltas=deltas)
 
     def _agree_checkpoint(self, responses, threshold: int):
         """The highest checkpoint attested by >= threshold responders.
@@ -345,6 +378,46 @@ class StateTransferManager:
         if none_votes >= threshold:
             return None
         return _NO_AGREEMENT
+
+    def _agree_deltas(
+        self, responses, checkpoint, threshold: int
+    ) -> Tuple[CheckpointDeltaMsg, ...]:
+        """The longest contiguous f+1-attested delta chain above the anchor.
+
+        The anchor is the agreed full snapshot, or — when responders
+        omitted it because our ``have_ordinal`` proved we hold it — our own
+        stable chain tip. Each link's digest binds its (ordinal, base,
+        full) coordinates, so link-by-link agreement composes into chain
+        agreement. Orphan links that do not extend the anchor are ignored;
+        recovery then proceeds from the full snapshot plus batches alone.
+        """
+        if checkpoint is not None:
+            anchor_full = checkpoint.ordinal
+            anchor_tip = checkpoint.ordinal
+        else:
+            own = self._replica.checkpoints
+            if own.stable is None:
+                return ()
+            anchor_full = own.stable.ordinal
+            anchor_tip = own.stable_tip_ordinal()
+        votes: Dict[Tuple[int, bytes], List[CheckpointDeltaMsg]] = {}
+        for response in responses:
+            for delta in response.deltas:
+                key = (delta.ordinal, delta.blob_digest())
+                votes.setdefault(key, []).append(delta)
+        by_base: Dict[int, CheckpointDeltaMsg] = {}
+        for group in votes.values():
+            if len(group) >= threshold:
+                delta = group[0]
+                if delta.full_ordinal == anchor_full:
+                    by_base.setdefault(delta.base_ordinal, delta)
+        chain: List[CheckpointDeltaMsg] = []
+        tip = anchor_tip
+        while tip in by_base:
+            delta = by_base.pop(tip)
+            chain.append(delta)
+            tip = delta.ordinal
+        return tuple(chain)
 
     def _agree_batches(
         self, responses, base_seq: int, threshold: int

@@ -74,6 +74,13 @@ class FaultLabConfig:
     #: Off by default: the bare sweep is the trace-identity baseline.
     detectors: bool = False
 
+    #: CompactLab: delta-checkpoint chain length and background-compaction
+    #: tick. Both off by default (the trace-identity baseline); the
+    #: dedicated compaction/delta crash kinds turn them on explicitly so
+    #: there are artifacts to damage.
+    checkpoint_delta_interval: int = 0
+    store_compaction_interval: float = 0.0
+
     def system_config(self, seed: int) -> SystemConfig:
         return SystemConfig(
             mode=self.mode,
@@ -85,6 +92,8 @@ class FaultLabConfig:
             checkpoint_interval=self.checkpoint_interval,
             key_renewal_enabled=self.key_renewal_enabled,
             intro_batch_size=self.intro_batch_size,
+            checkpoint_delta_interval=self.checkpoint_delta_interval,
+            store_compaction_interval=self.store_compaction_interval,
             tracing=True,
         )
 
@@ -433,6 +442,14 @@ def _damage_store(deployment, event) -> None:
         damage = getattr(store, "damage_torn_write", None)
         if damage is not None:
             applied = damage(int(event.param("bytes", 64))) is not None
+    elif event.kind == "crash_during_compaction":
+        damage = getattr(store, "damage_crash_during_compaction", None)
+        if damage is not None:
+            applied = damage(int(event.param("stage", 2))) is not None
+    elif event.kind == "crash_mid_delta":
+        damage = getattr(store, "damage_crash_mid_delta", None)
+        if damage is not None:
+            applied = damage() is not None
     else:  # corrupt_segment
         damage = getattr(store, "damage_corrupt_segment", None)
         if damage is not None:

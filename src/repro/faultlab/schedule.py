@@ -42,6 +42,7 @@ from repro.system.adversary import Behavior
 KINDS = (
     "compromise", "isolate", "degrade", "loss", "skew", "recover", "leak",
     "torn_write", "corrupt_segment",
+    "crash_during_compaction", "crash_mid_delta",
     "shard_kill_proposers", "shard_partition",
 )
 
@@ -61,8 +62,17 @@ SITE_KINDS = ("isolate", "degrade", "skew")
 #: Kinds that crash a replica *and* damage its durable store before the
 #: respawn: ``torn_write`` truncates the newest segment's tail (a crash
 #: mid-append); ``corrupt_segment`` flips a byte inside a record (bit rot
-#: / hostile storage). Both carry recover-style ``duration`` params.
-STORE_KINDS = ("torn_write", "corrupt_segment")
+#: / hostile storage); ``crash_during_compaction`` kills the process
+#: between compaction's atomic swap steps (``stage`` 1-3 picks the crash
+#: window), leaving the .compact.tmp/.old artifacts repair must resolve;
+#: ``crash_mid_delta`` tears the newest delta-checkpoint file mid-write.
+#: All carry recover-style ``duration`` params.
+STORE_KINDS = (
+    "torn_write",
+    "corrupt_segment",
+    "crash_during_compaction",
+    "crash_mid_delta",
+)
 
 #: Kinds that require an ``until`` (they are windows, not instants).
 WINDOW_KINDS = ("compromise", "isolate", "degrade", "loss", "skew", "shard_partition")

@@ -34,6 +34,7 @@ from repro.core.messages import (
     BatchRecord,
     BatchShare,
     CertifiedResponse,
+    CheckpointDeltaMsg,
     CheckpointMsg,
     ClientResponse,
     ClientUpdate,
@@ -814,6 +815,9 @@ def _encode_xfer_response(out, m: StateXferResponse):
     write_str(out, m.responder)
     write_varint(out, m.part_index)
     write_varint(out, m.part_count)
+    write_varint(out, len(m.deltas))
+    for delta in m.deltas:
+        write_bytes(out, encode_message_cached(delta))
 
 
 def _decode_xfer_response(data, offset):
@@ -835,6 +839,12 @@ def _decode_xfer_response(data, offset):
     responder, offset = read_str(data, offset)
     part_index, offset = read_varint(data, offset)
     part_count, offset = read_varint(data, offset)
+    delta_count, offset = read_varint(data, offset)
+    deltas = []
+    for _ in range(delta_count):
+        nested, offset = read_bytes(data, offset)
+        delta, _ = decode_message(nested)
+        deltas.append(delta)
     return (
         StateXferResponse(
             requester=requester,
@@ -845,12 +855,45 @@ def _decode_xfer_response(data, offset):
             responder=responder,
             part_index=part_index,
             part_count=part_count,
+            deltas=tuple(deltas),
         ),
         offset,
     )
 
 
 _register(30, StateXferResponse)((_encode_xfer_response, _decode_xfer_response))
+
+
+def _encode_checkpoint_delta(out, m: CheckpointDeltaMsg):
+    write_varint(out, m.ordinal)
+    write_varint(out, m.base_ordinal)
+    write_varint(out, m.full_ordinal)
+    _write_resume(out, m.resume)
+    _write_blob(out, m.blob)
+    write_str(out, m.signer)
+
+
+def _decode_checkpoint_delta(data, offset):
+    ordinal, offset = read_varint(data, offset)
+    base_ordinal, offset = read_varint(data, offset)
+    full_ordinal, offset = read_varint(data, offset)
+    resume, offset = _read_resume(data, offset)
+    blob, offset = _read_blob(data, offset)
+    signer, offset = read_str(data, offset)
+    return (
+        CheckpointDeltaMsg(
+            ordinal=ordinal,
+            base_ordinal=base_ordinal,
+            full_ordinal=full_ordinal,
+            resume=resume,
+            blob=blob,
+            signer=signer,
+        ),
+        offset,
+    )
+
+
+_register(40, CheckpointDeltaMsg)((_encode_checkpoint_delta, _decode_checkpoint_delta))
 
 
 # -- BatchLab messages ---------------------------------------------------------

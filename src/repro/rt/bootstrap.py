@@ -325,6 +325,15 @@ class RtConfig:
     store_fsync: str = "batch"
     store_segment_bytes: int = 1 << 20
 
+    # CompactLab: delta checkpoints + background log compaction. With
+    # ``checkpoint_delta_interval`` = N > 1, only every N-th checkpoint is
+    # a full snapshot (deltas between); ``store_compaction_interval`` > 0
+    # arms a wall-clock compaction tick on each node's scheduler that
+    # rewrites up to ``store_compaction_budget`` sealed segments per tick.
+    checkpoint_delta_interval: int = 0
+    store_compaction_interval: float = 0.0
+    store_compaction_budget: int = 2
+
     # BatchLab: introduction batching and the crypto worker pool. Batch
     # size 1 keeps the singleton path; crypto_workers > 0 gives each
     # replica process a pool of that many worker processes for threshold
@@ -376,6 +385,9 @@ class RtConfig:
             shards=self.shards,
             update_interval=self.update_interval,
             checkpoint_interval=self.checkpoint_interval,
+            checkpoint_delta_interval=self.checkpoint_delta_interval,
+            store_compaction_interval=self.store_compaction_interval,
+            store_compaction_budget=self.store_compaction_budget,
             pp_interval=self.pp_interval,
             vc_timeout=self.vc_timeout,
             failover_delay=self.failover_delay,

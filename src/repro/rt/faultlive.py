@@ -24,6 +24,15 @@ corrupt_segment  SIGKILL, then flip a byte inside the newest store
                  segment (silent media corruption), then respawn:
                  recovery must *detect* the damage and fall back to
                  network state transfer rather than serve it.
+crash_during_compaction
+                 SIGKILL, then freeze the background compactor's atomic
+                 swap mid-flight (leftover .compact.tmp/.old files),
+                 then respawn: the open-time repair must resolve the
+                 artifacts and lose no live record.
+crash_mid_delta  SIGKILL, then tear the newest delta-checkpoint file
+                 in half, then respawn: recovery must cut the delta
+                 chain before the damage and degrade to the full
+                 snapshot plus log tail.
 =============== ======================================================
 
 The two store-damage kinds require the fleet to run with file-backed
@@ -55,23 +64,45 @@ from repro.rt.launcher import Launcher
 from repro.store.filestore import (
     _FRAME_HEADER,
     SEGMENT_MAGIC,
+    _delta_files,
     flip_byte,
+    interrupt_compaction_files,
     torn_write_file,
 )
 
 #: Fault kinds the live substrate can realise physically.
-LIVE_KINDS = ("recover", "isolate", "torn_write", "corrupt_segment")
+LIVE_KINDS = (
+    "recover",
+    "isolate",
+    "torn_write",
+    "corrupt_segment",
+    "crash_during_compaction",
+    "crash_mid_delta",
+)
 
 
 def _damage_store_files(out_dir: str, host: str, kind: str, event) -> bool:
-    """Damage the newest on-disk store segment of ``host``; True if applied.
+    """Damage the newest on-disk store files of ``host``; True if applied.
 
     Runs only while the host's process is dead (we SIGKILL first), so
     nothing races the file writes.
     """
-    seg_dir = Path(out_dir) / "nodes" / host / "store" / "segments"
+    store_dir = Path(out_dir) / "nodes" / host / "store"
+    seg_dir = store_dir / "segments"
     if not seg_dir.is_dir():
         return False
+    if kind == "crash_mid_delta":
+        # Tear the newest delta-checkpoint file mid-write; with no deltas
+        # on disk yet, leave an orphan temp file repair must sweep.
+        deltas = _delta_files(store_dir / "checkpoints")
+        if deltas:
+            target = deltas[-1][0]
+            torn_write_file(target, max(32, target.stat().st_size // 2))
+        else:
+            (store_dir / "checkpoints").mkdir(parents=True, exist_ok=True)
+            orphan = store_dir / "checkpoints" / "delta-000000000000-000000000000.tmp"
+            orphan.write_bytes(b"RDLT\x01")
+        return True
     header = len(SEGMENT_MAGIC)
     candidates = sorted(
         path for path in seg_dir.glob("seg-*.log") if path.stat().st_size > header
@@ -81,6 +112,11 @@ def _damage_store_files(out_dir: str, host: str, kind: str, event) -> bool:
     target = candidates[-1]
     if kind == "torn_write":
         torn_write_file(target, int(event.param("bytes", 64)))
+    elif kind == "crash_during_compaction":
+        # Freeze the atomic compaction swap at the chosen stage: the
+        # respawned process's open-time repair must resolve the leftover
+        # .compact.tmp/.old files deterministically.
+        interrupt_compaction_files(target, int(event.param("stage", 2)))
     else:
         offset = event.param("offset")
         if offset is None:
@@ -109,7 +145,12 @@ async def _apply_event(launcher: Launcher, event, t0: float) -> None:
         launcher.crash(event.target)
         await at(event.at + duration)
         await launcher.restart(event.target)
-    elif event.kind in ("torn_write", "corrupt_segment"):
+    elif event.kind in (
+        "torn_write",
+        "corrupt_segment",
+        "crash_during_compaction",
+        "crash_mid_delta",
+    ):
         duration = float(event.param("duration", 3.0))
         await at(event.at)
         launcher.crash(event.target)

@@ -307,6 +307,9 @@ def _build_env(ctx: NodeContext) -> ReplicaEnv:
         proxy_of_client=m.proxy_of_client,
         initial_client_keys=m.initial_client_keys,
         checkpoint_interval=cfg.checkpoint_interval,
+        checkpoint_delta_interval=cfg.checkpoint_delta_interval,
+        store_compaction_interval=cfg.store_compaction_interval,
+        store_compaction_budget=cfg.store_compaction_budget,
         key_validity=cfg.key_validity,
         key_slack=cfg.key_slack,
         key_renewal_enabled=cfg.key_renewal_enabled,

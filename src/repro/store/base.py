@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.messages import BatchRecord, CheckpointMsg
+from repro.core.messages import BatchRecord, CheckpointDeltaMsg, CheckpointMsg
 
 
 @dataclass
@@ -52,10 +52,18 @@ class StoreLoad:
     record_bytes: Dict[int, int] = field(default_factory=dict)
     checkpoint_bytes: int = 0
     bytes_scanned: int = 0
+    #: Verified checkpoint deltas found on disk (any lineage, sorted by
+    #: ordinal); the recovery layer extracts the contiguous chain that
+    #: anchors at ``checkpoint`` and ignores orphans.
+    deltas: List[CheckpointDeltaMsg] = field(default_factory=list)
+    delta_bytes: int = 0
     #: Segments where a CRC/decode failure stopped the scan mid-file.
     corrupt_segments: int = 0
     #: Checkpoint files that failed verification (newer-but-broken ones).
     corrupt_checkpoints: int = 0
+    #: Delta files that failed verification (torn or bit-flipped); the
+    #: chain is cut before the damage and recovery degrades gracefully.
+    corrupt_deltas: int = 0
     #: The newest segment ended in a partial frame (torn write / SIGKILL
     #: mid-append) — expected after a crash, handled by clean truncation.
     truncated_tail: bool = False
@@ -66,7 +74,30 @@ class StoreLoad:
 
     @property
     def damaged(self) -> bool:
-        return bool(self.corrupt_segments or self.corrupt_checkpoints)
+        return bool(
+            self.corrupt_segments or self.corrupt_checkpoints or self.corrupt_deltas
+        )
+
+    def chain_deltas(self) -> List[CheckpointDeltaMsg]:
+        """The contiguous delta chain anchored at ``checkpoint``.
+
+        Walks ``deltas`` newest-first relevance: starting from the full
+        snapshot's ordinal, repeatedly takes the delta whose
+        ``base_ordinal`` equals the current tip and whose ``full_ordinal``
+        matches the anchor. Orphans and post-gap deltas are skipped —
+        recovery then falls back to the full snapshot plus log tail.
+        """
+        if self.checkpoint is None:
+            return []
+        anchor = self.checkpoint.ordinal
+        by_base = {d.base_ordinal: d for d in self.deltas if d.full_ordinal == anchor}
+        chain: List[CheckpointDeltaMsg] = []
+        tip = anchor
+        while tip in by_base:
+            delta = by_base.pop(tip)
+            chain.append(delta)
+            tip = delta.ordinal
+        return chain
 
 
 @dataclass
@@ -108,10 +139,26 @@ class DurableStore:
         """Atomically persist a stable checkpoint; returns bytes written."""
         raise NotImplementedError
 
-    def gc(self, stable_ordinal: int, stable_seq: int) -> None:
-        """Drop records below ``stable_seq`` and checkpoints below
-        ``stable_ordinal`` (both covered by the stable checkpoint)."""
+    def save_delta(self, message: CheckpointDeltaMsg) -> int:
+        """Atomically persist a stable checkpoint delta; returns bytes
+        written. Deltas are chain links: GC keeps every link between the
+        retained full snapshot and the stable tip."""
         raise NotImplementedError
+
+    def gc(self, stable_ordinal: int, stable_seq: int) -> None:
+        """Drop records below ``stable_seq`` and dead checkpoint-chain
+        files below ``stable_ordinal``. Chain-aware: the newest full
+        snapshot at or below ``stable_ordinal`` survives (deltas up to the
+        stable tip need their anchor), older fulls and deltas from older
+        lineages are dropped."""
+        raise NotImplementedError
+
+    def compact(self, budget_segments: int = 1) -> Dict[str, int]:
+        """One bounded background-compaction tick: rewrite up to
+        ``budget_segments`` sealed log segments, dropping below-stable and
+        replayed-duplicate records. Returns a stats dict (``segments``,
+        ``records_dropped``, ``bytes_reclaimed``). No-op if volatile."""
+        return {"segments": 0, "records_dropped": 0, "bytes_reclaimed": 0}
 
     def load(self) -> StoreLoad:
         """Read back whatever survived; never raises on damaged data —

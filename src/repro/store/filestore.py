@@ -41,6 +41,22 @@ Damage tolerance on :meth:`FileStore.load`:
 A fresh :class:`FileStore` always opens a *new* segment rather than
 appending to the last one, so a torn tail from a previous incarnation is
 never written after — it stays quarantined until GC removes it.
+
+CompactLab additions:
+
+- **Background compaction** (:meth:`FileStore.compact`): a bounded tick
+  that rewrites sealed segments, dropping below-stable records and
+  replayed duplicates (a newer copy of the same ``batch_seq`` exists
+  later in the log). The swap is crash-safe: live records are copied to
+  ``seg-N.compact.tmp``, the original is quarantined to ``seg-N.log.old``,
+  the temp is renamed into place, and only then is the quarantine file
+  removed. A crash at any point leaves artifacts the next open repairs
+  deterministically (:meth:`_repair_interrupted_compaction`) — never two
+  live copies, never zero.
+- **Checkpoint deltas** (:meth:`FileStore.save_delta`): delta files
+  (``RDLT`` magic, ``delta-<ordinal>-<full>`` names) persist the stable
+  checkpoint chain between full snapshots; GC is chain-aware so the full
+  snapshot anchoring the stable tip always survives.
 """
 
 from __future__ import annotations
@@ -52,7 +68,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.messages import BatchRecord, CheckpointMsg
+from repro.core.messages import BatchRecord, CheckpointDeltaMsg, CheckpointMsg
 from repro.errors import ConfigurationError
 from repro.net.codec import decode_message, encode_message
 from repro.obs.registry import NULL_METRICS
@@ -60,7 +76,13 @@ from repro.store.base import DurableStore, StoreLoad
 
 SEGMENT_MAGIC = b"RSEG\x01"
 CHECKPOINT_MAGIC = b"RCKP\x01"
+DELTA_MAGIC = b"RDLT\x01"
 _FRAME_HEADER = struct.Struct(">II")  # (body length, CRC32 of body)
+
+#: Suffixes used by the crash-safe compaction swap. Neither matches the
+#: ``seg-*.log`` glob, so in-flight swap files are invisible to load/GC.
+_COMPACT_TMP_SUFFIX = ".compact.tmp"
+_COMPACT_OLD_SUFFIX = ".old"
 
 FSYNC_POLICIES = ("always", "batch", "never")
 
@@ -108,6 +130,21 @@ class FileStore(DurableStore):
         self._m_gc_ckpts = metrics.counter("store.gc_checkpoints", host=host)
         self._h_append = metrics.histogram("store.append_seconds", host=host)
         self._h_fsync = metrics.histogram("store.fsync_seconds", host=host)
+        # CompactLab families, created eagerly so every export carries them.
+        self._m_compaction_runs = metrics.counter("store.compaction_runs", host=host)
+        self._m_compaction_segments = metrics.counter(
+            "store.compaction_segments", host=host
+        )
+        self._m_compaction_dropped = metrics.counter(
+            "store.compaction_records_dropped", host=host
+        )
+        self._m_compaction_reclaimed = metrics.counter(
+            "store.compaction_bytes_reclaimed", host=host
+        )
+        self._m_delta_saved = metrics.counter("store.delta_checkpoints_saved", host=host)
+        self._m_delta_bytes = metrics.counter("store.delta_bytes", host=host)
+
+        self._repair_interrupted_compaction()
 
         self._fh = None
         self._segment_index = self._highest_segment_index()
@@ -115,6 +152,16 @@ class FileStore(DurableStore):
         #: Max batch_seq per segment written by *this* process (sealed
         #: segments from earlier incarnations are scanned lazily by GC).
         self._segment_max_seq: Dict[int, int] = {}
+        #: batch_seqs appended per segment by *this* process — lets the
+        #: compactor prove duplicate-shadowing without rescanning.
+        self._written_seqs: Dict[int, set] = {}
+        #: Lazily scanned seq sets for sealed segments from earlier
+        #: incarnations (None = unreadable, treated conservatively).
+        self._segment_seq_cache: Dict[int, Optional[frozenset]] = {}
+        #: The stable point last passed to :meth:`gc` — the compactor's
+        #: threshold for dropping below-stable records.
+        self._stable_seq = 0
+        self._stable_ordinal = 0
 
     # -- segment plumbing ---------------------------------------------------------
 
@@ -150,6 +197,149 @@ class FileStore(DurableStore):
         self._h_fsync.observe(time.perf_counter() - started)
         self._appends_since_sync = 0
 
+    # -- compaction ---------------------------------------------------------------
+
+    def _repair_interrupted_compaction(self) -> None:
+        """Finish or roll back a compaction swap a crash interrupted.
+
+        The swap leaves at most two artifacts per segment: the quarantined
+        original (``seg-N.log.old``) and the compacted copy
+        (``seg-N.compact.tmp``). Exactly one of three crash windows is
+        possible, each with a deterministic repair:
+
+        - ``.log`` present + ``.old`` present: crash after the rename-in —
+          the compacted copy is live, drop the quarantine file;
+        - ``.log`` missing + ``.old`` present: crash between quarantine and
+          rename-in — the temp may not be fully durable, so roll *back*:
+          restore the original, discard the temp;
+        - ``.log`` present + ``.tmp`` only: crash before quarantine — the
+          original is untouched, discard the temp.
+        """
+        for old in sorted(self.segments_dir.glob("seg-*.log" + _COMPACT_OLD_SUFFIX)):
+            log = old.with_name(old.name[: -len(_COMPACT_OLD_SUFFIX)])
+            tmp = log.with_name(log.name[: -len(".log")] + _COMPACT_TMP_SUFFIX)
+            if log.exists():
+                old.unlink(missing_ok=True)
+            else:
+                old.replace(log)
+            tmp.unlink(missing_ok=True)
+        for tmp in sorted(self.segments_dir.glob("seg-*" + _COMPACT_TMP_SUFFIX)):
+            tmp.unlink(missing_ok=True)
+        self._fsync_dir(self.segments_dir)
+
+    def compact(self, budget_segments: int = 1) -> Dict[str, int]:
+        """One bounded compaction tick over the sealed segments.
+
+        A record is dead when it is below the stable point, or when a
+        newer copy of the same ``batch_seq`` exists later in the log
+        (replayed duplicate — load() is last-write-wins, so only the
+        newest copy is ever used). At most ``budget_segments`` segments
+        are rewritten per call so the tick never stalls the hot path;
+        damaged segments are left untouched for load() to classify.
+        """
+        stats = {"segments": 0, "records_dropped": 0, "bytes_reclaimed": 0}
+        self._m_compaction_runs.inc()
+        if budget_segments <= 0:
+            return stats
+        if self._fh is not None:
+            self._fh.flush()
+        sealed: List[Tuple[int, Path]] = []
+        for path in sorted(self.segments_dir.glob("seg-*.log")):
+            try:
+                index = int(path.stem.split("-")[1])
+            except (IndexError, ValueError):
+                continue
+            if index != self._segment_index:
+                sealed.append((index, path))
+        seq_sets = {index: self._segment_seqs(index, path) for index, path in sealed}
+        for position, (index, path) in enumerate(sealed):
+            if stats["segments"] >= budget_segments:
+                break
+            if seq_sets[index] is None:
+                continue
+            shadowing: set = set(self._written_seqs.get(self._segment_index, ()))
+            for later_index, _later_path in sealed[position + 1 :]:
+                later_set = seq_sets[later_index]
+                if later_set is not None:
+                    shadowing.update(later_set)
+            result = self._compact_segment(index, path, shadowing)
+            if result is None:
+                continue
+            dropped, reclaimed = result
+            if dropped == 0:
+                continue
+            stats["segments"] += 1
+            stats["records_dropped"] += dropped
+            stats["bytes_reclaimed"] += reclaimed
+        if stats["segments"]:
+            self._m_compaction_segments.inc(stats["segments"])
+            self._m_compaction_dropped.inc(stats["records_dropped"])
+            self._m_compaction_reclaimed.inc(stats["bytes_reclaimed"])
+        return stats
+
+    def _compact_segment(
+        self, index: int, path: Path, shadowing: set
+    ) -> Optional[Tuple[int, int]]:
+        """Rewrite one sealed segment; returns (records dropped, bytes
+        reclaimed) or None when the segment is unreadable."""
+        frames = _scan_segment_frames(path)
+        if frames is None:
+            self._segment_seq_cache[index] = None
+            return None
+        last_position = {seq: i for i, (seq, _frame) in enumerate(frames)}
+        keep = [
+            (seq, frame)
+            for i, (seq, frame) in enumerate(frames)
+            if seq >= self._stable_seq
+            and seq not in shadowing
+            and last_position[seq] == i
+        ]
+        dropped = len(frames) - len(keep)
+        if dropped == 0:
+            return (0, 0)
+        old_size = path.stat().st_size
+        if not keep:
+            path.unlink(missing_ok=True)
+            self._forget_segment(index)
+            return (dropped, old_size)
+        tmp = path.with_name(path.name[: -len(".log")] + _COMPACT_TMP_SUFFIX)
+        old = path.with_name(path.name + _COMPACT_OLD_SUFFIX)
+        with open(tmp, "wb") as fh:
+            fh.write(SEGMENT_MAGIC)
+            for _seq, frame in keep:
+                fh.write(frame)
+            fh.flush()
+            if self.fsync_policy != "never":
+                os.fsync(fh.fileno())
+        new_size = tmp.stat().st_size
+        path.replace(old)  # quarantine the original
+        tmp.replace(path)  # atomic swap-in
+        if self.fsync_policy != "never":
+            self._fsync_dir(self.segments_dir)
+        old.unlink(missing_ok=True)
+        kept_seqs = frozenset(seq for seq, _frame in keep)
+        self._segment_seq_cache[index] = kept_seqs
+        self._segment_max_seq[index] = max(kept_seqs)
+        self._written_seqs.pop(index, None)
+        return (dropped, old_size - new_size)
+
+    def _segment_seqs(self, index: int, path: Path) -> Optional[frozenset]:
+        """All batch_seqs in a sealed segment (None when unreadable)."""
+        written = self._written_seqs.get(index)
+        if written is not None:
+            return frozenset(written)
+        cached = self._segment_seq_cache.get(index, _UNSCANNED)
+        if cached is not _UNSCANNED:
+            return cached
+        scanned = _scan_segment_seqs(path)
+        self._segment_seq_cache[index] = scanned
+        return scanned
+
+    def _forget_segment(self, index: int) -> None:
+        self._segment_max_seq.pop(index, None)
+        self._written_seqs.pop(index, None)
+        self._segment_seq_cache.pop(index, None)
+
     # -- DurableStore ------------------------------------------------------------
 
     def append(self, record: BatchRecord) -> int:
@@ -173,6 +363,7 @@ class FileStore(DurableStore):
         self._m_append_bytes.inc(len(frame))
         current = self._segment_max_seq.get(self._segment_index, 0)
         self._segment_max_seq[self._segment_index] = max(current, record.batch_seq)
+        self._written_seqs.setdefault(self._segment_index, set()).add(record.batch_seq)
         return len(frame)
 
     def save_checkpoint(self, message: CheckpointMsg) -> int:
@@ -196,6 +387,26 @@ class FileStore(DurableStore):
         self._m_ckpt_bytes.inc(len(payload))
         return len(payload)
 
+    def save_delta(self, message: CheckpointDeltaMsg) -> int:
+        body = encode_message(message)
+        payload = DELTA_MAGIC + _frame(body)
+        final = self.checkpoints_dir / (
+            f"delta-{message.ordinal:012d}-{message.full_ordinal:012d}"
+        )
+        tmp = final.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            if self.fsync_policy != "never":
+                os.fsync(fh.fileno())
+        tmp.replace(final)
+        if self.fsync_policy != "never":
+            self._fsync_dir(self.checkpoints_dir)
+        self._sync_current()
+        self._m_delta_saved.inc()
+        self._m_delta_bytes.inc(len(payload))
+        return len(payload)
+
     @staticmethod
     def _fsync_dir(path: Path) -> None:
         try:
@@ -210,12 +421,19 @@ class FileStore(DurableStore):
             os.close(fd)
 
     def gc(self, stable_ordinal: int, stable_seq: int) -> None:
-        """Drop sealed segments and checkpoints the stable point covers.
+        """Drop sealed segments and checkpoint-chain files the stable
+        point covers.
 
         A sealed segment goes only when a *clean* scan proves every record
         in it is below ``stable_seq``; a segment with unreadable frames is
-        kept so load() can still report the damage.
+        kept so load() can still report the damage. Checkpoint retention
+        is chain-aware: the newest full snapshot at/below
+        ``stable_ordinal`` anchors any stable deltas above it, so it
+        survives its own GC; older fulls and deltas from older lineages
+        are dropped.
         """
+        self._stable_seq = max(self._stable_seq, stable_seq)
+        self._stable_ordinal = max(self._stable_ordinal, stable_ordinal)
         for path in sorted(self.segments_dir.glob("seg-*.log")):
             try:
                 index = int(path.stem.split("-")[1])
@@ -228,16 +446,29 @@ class FileStore(DurableStore):
                 max_seq = _scan_segment_max_seq(path)
             if max_seq is not None and max_seq < stable_seq:
                 path.unlink(missing_ok=True)
-                self._segment_max_seq.pop(index, None)
+                self._forget_segment(index)
                 self._m_gc_segments.inc()
+        anchors = [
+            ordinal
+            for _path, ordinal in _checkpoint_files(self.checkpoints_dir)
+            if ordinal <= stable_ordinal
+        ]
+        keep_full = max(anchors) if anchors else None
+        if keep_full is None:
+            return
         for path, ordinal in _checkpoint_files(self.checkpoints_dir):
-            if ordinal < stable_ordinal:
+            if ordinal < keep_full:
+                path.unlink(missing_ok=True)
+                self._m_gc_ckpts.inc()
+        for path, _ordinal, full_ordinal in _delta_files(self.checkpoints_dir):
+            if full_ordinal < keep_full:
                 path.unlink(missing_ok=True)
                 self._m_gc_ckpts.inc()
 
     def load(self) -> StoreLoad:
         load = StoreLoad()
         self._load_checkpoint(load)
+        self._load_deltas(load)
         self._load_segments(load)
         return load
 
@@ -265,6 +496,21 @@ class FileStore(DurableStore):
             load.checkpoint_bytes = len(data)
             load.bytes_scanned += len(data)
             return
+
+    def _load_deltas(self, load: StoreLoad) -> None:
+        found = []
+        for path, ordinal, _full in sorted(
+            _delta_files(self.checkpoints_dir), key=lambda pof: pof[1]
+        ):
+            data = path.read_bytes()
+            message = _verify_delta_bytes(data)
+            if message is None:
+                load.corrupt_deltas += 1
+                continue
+            found.append(message)
+            load.delta_bytes += len(data)
+            load.bytes_scanned += len(data)
+        load.deltas = found
 
     def _load_segments(self, load: StoreLoad) -> None:
         paths = sorted(self.segments_dir.glob("seg-*.log"))
@@ -362,6 +608,37 @@ class FileStore(DurableStore):
         flip_byte(target, offset)
         return target
 
+    def damage_crash_during_compaction(self, stage: int = 2) -> Optional[Path]:
+        """Leave the on-disk artifacts of a crash mid-compaction-swap.
+
+        ``stage`` picks the crash window: 1 = after the compacted temp
+        copy was written, 2 = after the original was quarantined, 3 =
+        after the temp was renamed into place (cleanup never ran). The
+        next open must repair to exactly one intact copy.
+        """
+        target = self._newest_record_segment()
+        if target is None:
+            return None
+        self._quarantine_current()
+        interrupt_compaction_files(target, stage)
+        return target
+
+    def damage_crash_mid_delta(self) -> Optional[Path]:
+        """Damage the newest checkpoint-delta file as a crash or bit rot
+        would: its tail is torn off, so verification fails, the chain is
+        cut, and recovery must fall back to the full snapshot. With no
+        delta on disk, an orphan ``.tmp`` is left instead (the
+        crash-before-rename window), which load() must ignore."""
+        self._quarantine_current()
+        deltas = sorted(_delta_files(self.checkpoints_dir), key=lambda pof: pof[1])
+        if deltas:
+            target = deltas[-1][0]
+            torn_write_file(target, nbytes=max(32, target.stat().st_size // 2))
+            return target
+        orphan = self.checkpoints_dir / "delta-000000000000-000000000000.tmp"
+        orphan.write_bytes(DELTA_MAGIC)
+        return orphan
+
     def _newest_record_segment(self) -> Optional[Path]:
         if self._fh is not None:
             self._fh.flush()
@@ -412,6 +689,26 @@ def flip_byte(path, offset: int) -> None:
         fh.write(bytes([byte[0] ^ 0xFF]))
 
 
+def interrupt_compaction_files(target, stage: int = 2) -> None:
+    """Reproduce a crash mid-compaction-swap at the file level.
+
+    Shared between :meth:`FileStore.damage_crash_during_compaction` (sim)
+    and the live fault injector, which damages a SIGKILLed node's store
+    directory directly. The "compacted" temp is a byte-for-byte copy —
+    the repair path never inspects contents, only which files exist.
+    """
+    target = Path(target)
+    if stage not in (1, 2, 3):
+        raise ValueError(f"stage must be 1, 2 or 3 (got {stage})")
+    tmp = target.with_name(target.name[: -len(".log")] + _COMPACT_TMP_SUFFIX)
+    old = target.with_name(target.name + _COMPACT_OLD_SUFFIX)
+    tmp.write_bytes(target.read_bytes())
+    if stage >= 2:
+        target.replace(old)
+    if stage >= 3:
+        tmp.replace(target)
+
+
 def _checkpoint_files(directory: Path) -> List[Tuple[Path, int]]:
     found: List[Tuple[Path, int]] = []
     for path in directory.glob("ckpt-*"):
@@ -425,9 +722,33 @@ def _checkpoint_files(directory: Path) -> List[Tuple[Path, int]]:
 
 
 def _verify_checkpoint_bytes(data: bytes) -> Optional[CheckpointMsg]:
-    if not data.startswith(CHECKPOINT_MAGIC):
+    message = _verify_framed_bytes(data, CHECKPOINT_MAGIC)
+    return message if isinstance(message, CheckpointMsg) else None
+
+
+def _delta_files(directory: Path) -> List[Tuple[Path, int, int]]:
+    """(path, ordinal, full_ordinal) for every finished delta file."""
+    found: List[Tuple[Path, int, int]] = []
+    for path in directory.glob("delta-*"):
+        if path.suffix == ".tmp":
+            continue
+        parts = path.name.split("-")
+        try:
+            found.append((path, int(parts[1]), int(parts[2])))
+        except (IndexError, ValueError):
+            continue
+    return found
+
+
+def _verify_delta_bytes(data: bytes) -> Optional[CheckpointDeltaMsg]:
+    message = _verify_framed_bytes(data, DELTA_MAGIC)
+    return message if isinstance(message, CheckpointDeltaMsg) else None
+
+
+def _verify_framed_bytes(data: bytes, magic: bytes):
+    if not data.startswith(magic):
         return None
-    offset = len(CHECKPOINT_MAGIC)
+    offset = len(magic)
     if offset + _FRAME_HEADER.size > len(data):
         return None
     length, crc = _FRAME_HEADER.unpack_from(data, offset)
@@ -438,7 +759,7 @@ def _verify_checkpoint_bytes(data: bytes) -> Optional[CheckpointMsg]:
         message, _ = decode_message(body)
     except Exception:
         return None
-    return message if isinstance(message, CheckpointMsg) else None
+    return message
 
 
 def _scan_segment_max_seq(path: Path) -> Optional[int]:
@@ -470,6 +791,70 @@ def _scan_segment_max_seq(path: Path) -> Optional[int]:
     except OSError:
         return None
     return max_seq
+
+
+def _scan_segment_seqs(path: Path) -> Optional[frozenset]:
+    """All batch_seqs of a sealed segment via a header-only scan.
+
+    Same discipline as :func:`_scan_segment_max_seq`: None on anything
+    unreadable, so callers treat the segment conservatively.
+    """
+    seqs: set = set()
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(SEGMENT_MAGIC)) != SEGMENT_MAGIC:
+                return None
+            size = path.stat().st_size
+            while fh.tell() < size:
+                header = fh.read(_FRAME_HEADER.size)
+                if len(header) < _FRAME_HEADER.size:
+                    return None
+                length, _crc = _FRAME_HEADER.unpack_from(header, 0)
+                if fh.tell() + length > size:
+                    return None
+                peek = fh.read(min(length, 16))
+                seq = _peek_batch_seq(peek)
+                if seq is None:
+                    return None
+                seqs.add(seq)
+                fh.seek(length - len(peek), os.SEEK_CUR)
+    except OSError:
+        return None
+    return frozenset(seqs)
+
+
+def _scan_segment_frames(path: Path) -> Optional[List[Tuple[int, bytes]]]:
+    """CRC-verified (batch_seq, frame) pairs of one segment, in file
+    order; None if any frame fails verification (the compactor must never
+    rewrite — and thereby launder — a damaged segment)."""
+    frames: List[Tuple[int, bytes]] = []
+    try:
+        with open(path, "rb") as fh:
+            if fh.read(len(SEGMENT_MAGIC)) != SEGMENT_MAGIC:
+                return None
+            while True:
+                header = fh.read(_FRAME_HEADER.size)
+                if not header:
+                    return frames
+                if len(header) < _FRAME_HEADER.size:
+                    return None
+                length, crc = _FRAME_HEADER.unpack(header)
+                body = fh.read(length)
+                if len(body) < length or zlib.crc32(body) != crc:
+                    return None
+                try:
+                    record, _ = decode_message(body)
+                except Exception:
+                    return None
+                if not isinstance(record, BatchRecord):
+                    return None
+                frames.append((record.batch_seq, header + body))
+    except OSError:
+        return None
+
+
+#: Sentinel distinguishing "never scanned" from "scanned, unreadable".
+_UNSCANNED = object()
 
 
 def _peek_batch_seq(body_prefix: bytes) -> Optional[int]:

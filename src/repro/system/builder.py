@@ -299,6 +299,9 @@ def build(
         proxy_of_client=proxy_of_client,
         initial_client_keys=initial_client_keys,
         checkpoint_interval=config.checkpoint_interval,
+        checkpoint_delta_interval=config.checkpoint_delta_interval,
+        store_compaction_interval=config.store_compaction_interval,
+        store_compaction_budget=config.store_compaction_budget,
         key_validity=config.key_validity,
         key_slack=config.key_slack,
         key_renewal_enabled=config.key_renewal_enabled,

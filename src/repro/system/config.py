@@ -74,6 +74,17 @@ class SystemConfig:
     store_fsync: str = "batch"
     store_segment_bytes: int = 1 << 20
 
+    # CompactLab. ``checkpoint_delta_interval`` = N > 1 makes only every
+    # N-th checkpoint a full snapshot, with codec-encoded state deltas
+    # between (0/1 keeps every checkpoint full — the legacy behaviour, and
+    # the trace-byte-identity default). ``store_compaction_interval`` > 0
+    # arms a background tick every that many (simulated or wall) seconds
+    # that rewrites up to ``store_compaction_budget`` sealed log segments,
+    # dropping below-stable and replayed-duplicate records.
+    checkpoint_delta_interval: int = 0
+    store_compaction_interval: float = 0.0
+    store_compaction_budget: int = 2
+
     # Cryptographic sizes. Small-but-real keys keep pure-Python wall time
     # tolerable; simulated costs come from `costs`, not from wall time.
     rsa_bits: int = 512
@@ -137,6 +148,16 @@ class SystemConfig:
             raise ConfigurationError("intro_batch_window must be positive")
         if self.crypto_workers < 0:
             raise ConfigurationError("crypto_workers must be non-negative")
+        if self.checkpoint_delta_interval < 0:
+            raise ConfigurationError(
+                "checkpoint_delta_interval must be non-negative"
+            )
+        if self.store_compaction_interval < 0:
+            raise ConfigurationError(
+                "store_compaction_interval must be non-negative"
+            )
+        if self.store_compaction_budget < 1:
+            raise ConfigurationError("store_compaction_budget must be at least 1")
 
     @property
     def confidential(self) -> bool:

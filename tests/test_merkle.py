@@ -157,9 +157,15 @@ def test_flipped_direction_fails_verification(leaves, data):
     sibling, is_right = proof.path[step]
     flipped_path = proof.path[:step] + ((sibling, not is_right),) + proof.path[step + 1 :]
     flipped = MerkleProof(leaf_index=index, path=flipped_path)
-    # The flipped proof may only verify if both children are identical.
+    # The flipped proof may only verify when the node being swapped and
+    # its sibling subtree hash identically (duplicate leaves can make
+    # interior nodes coincide, not just leaf-level ones) — then the swap
+    # is a no-op. Any other verifying flip would be a soundness bug.
     if verify_inclusion(root, leaves[index], flipped):
-        assert sibling == leaf_hash(leaves[index]) or len(set(leaves)) == 1
+        current = leaf_hash(leaves[index])
+        for sib, sib_is_right in proof.path[:step]:
+            current = node_hash(current, sib) if sib_is_right else node_hash(sib, current)
+        assert current == sibling
 
 
 def test_proof_for_wrong_leaf_fails():

@@ -10,6 +10,7 @@ from repro.core.messages import (
     BatchRecord,
     BatchShare,
     CertifiedResponse,
+    CheckpointDeltaMsg,
     CheckpointMsg,
     ClientResponse,
     ClientUpdate,
@@ -136,6 +137,9 @@ CPITM_MESSAGES = [
     SAMPLE_PROPOSAL,
     CheckpointMsg(ordinal=100, resume=SAMPLE_RESUME, blob=b"\x0c" * 256, signer="cc-a-r0"),
     CheckpointMsg(ordinal=100, resume=SAMPLE_RESUME, blob=Sensitive(b"plain state", label="state-snapshot"), signer="dc-1-r0"),
+    # CompactLab delta-encoded checkpoints (chain nodes between fulls).
+    CheckpointDeltaMsg(ordinal=125, base_ordinal=100, full_ordinal=100, resume=SAMPLE_RESUME, blob=b"\x1f" * 64, signer="cc-a-r0"),
+    CheckpointDeltaMsg(ordinal=150, base_ordinal=125, full_ordinal=100, resume=SAMPLE_RESUME, blob=Sensitive(b'{"set":{}}', label="state-delta"), signer="dc-1-r0"),
     StateXferSolicit(requester="cc-b-r1", nonce=2),
     StateXferSolicit(requester="cc-b-r1", nonce=2, have_seq=75, have_ordinal=3),
     XferRequest(requester="cc-b-r1", nonce=2),
@@ -152,6 +156,19 @@ CPITM_MESSAGES = [
         part_count=3,
     ),
     StateXferResponse(requester="x", nonce=1, checkpoint=None, batches=(), view=0, responder="y"),
+    # Deltas-only transfer: requester already holds the full anchor.
+    StateXferResponse(
+        requester="cc-b-r1",
+        nonce=3,
+        checkpoint=None,
+        batches=(),
+        view=4,
+        responder="dc-2-r0",
+        deltas=(
+            CheckpointDeltaMsg(ordinal=125, base_ordinal=100, full_ordinal=100, resume=SAMPLE_RESUME, blob=b"\x20" * 48, signer="dc-2-r0"),
+            CheckpointDeltaMsg(ordinal=150, base_ordinal=125, full_ordinal=100, resume=SAMPLE_RESUME, blob=b"\x21" * 48, signer="dc-2-r0"),
+        ),
+    ),
     # BatchLab introduction-batching messages.
     BatchProposal(proposer="cc-a-r0", batch_no=3, items=(SAMPLE_ENCRYPTED, EncryptedUpdate(alias="ef01" * 4, client_seq=2, ciphertext=b"\x0e" * 48))),
     BatchProposal(proposer="cc-b-r1", batch_no=1, items=(SAMPLE_ENCRYPTED,)),

@@ -117,6 +117,7 @@ WIRE_SIZE_RATIO_BANDS = {
     "BatchRecord": (1.7, 1.7),
     "BatchShare": (3.7, 3.7),
     "CertifiedResponse": (1.3, 1.5),
+    "CheckpointDeltaMsg": (2.2, 3.4),
     "CheckpointMsg": (1.4, 2.9),
     "CrossShardCommit": (1.5, 1.5),
     "CrossShardIntent": (2.0, 2.0),
